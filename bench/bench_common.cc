@@ -1,0 +1,168 @@
+#include "bench_common.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mncbench {
+
+namespace {
+
+const char* FindArg(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+double ArgDouble(int argc, char** argv, const std::string& name,
+                 double default_value) {
+  const char* value = FindArg(argc, argv, name);
+  return value != nullptr ? std::atof(value) : default_value;
+}
+
+int64_t ArgInt(int argc, char** argv, const std::string& name,
+               int64_t default_value) {
+  const char* value = FindArg(argc, argv, name);
+  return value != nullptr ? std::atoll(value) : default_value;
+}
+
+std::vector<EstimatorEntry> MakeAllEstimators(uint64_t seed) {
+  std::vector<EstimatorEntry> out;
+  out.push_back({"MetaWC", std::make_unique<mnc::MetaWcEstimator>()});
+  out.push_back({"MetaAC", std::make_unique<mnc::MetaAcEstimator>()});
+  out.push_back({"Sample", std::make_unique<mnc::SamplingEstimator>(
+                               /*unbiased=*/false,
+                               mnc::SamplingEstimator::kDefaultSampleFraction,
+                               seed)});
+  out.push_back(
+      {"MNC Basic", std::make_unique<mnc::MncEstimator>(/*basic=*/true, seed)});
+  out.push_back(
+      {"MNC", std::make_unique<mnc::MncEstimator>(/*basic=*/false, seed)});
+  out.push_back({"DMap", std::make_unique<mnc::DensityMapEstimator>()});
+  out.push_back({"Bitset", std::make_unique<mnc::BitsetEstimator>(
+                               nullptr, kBitsetBudgetBytes)});
+  out.push_back({"LGraph", std::make_unique<mnc::LayeredGraphEstimator>(
+                               mnc::LayeredGraphEstimator::kDefaultRounds,
+                               seed)});
+  return out;
+}
+
+EstimateRun RunEstimator(mnc::SparsityEstimator& estimator,
+                         const mnc::ExprPtr& root) {
+  EstimateRun run;
+  mnc::SketchPropagator propagator(&estimator);
+  if (!propagator.Supports(root)) return run;
+
+  // Phase 1: build all leaf synopses (construction time).
+  std::unordered_set<const mnc::ExprNode*> visited;
+  std::vector<mnc::ExprPtr> leaves;
+  std::function<void(const mnc::ExprPtr&)> collect =
+      [&](const mnc::ExprPtr& node) {
+        if (!visited.insert(node.get()).second) return;
+        if (node->is_leaf()) {
+          leaves.push_back(node);
+          return;
+        }
+        collect(node->left());
+        if (node->right() != nullptr) collect(node->right());
+      };
+  collect(root);
+
+  mnc::Stopwatch watch;
+  for (const mnc::ExprPtr& leaf : leaves) {
+    if (propagator.Synopsis(leaf) == nullptr) {
+      return run;  // e.g., bitset over memory budget
+    }
+  }
+  run.build_seconds = watch.ElapsedSeconds();
+
+  // Phase 2: propagate synopses and estimate the root (estimation time).
+  watch.Restart();
+  const std::optional<double> sparsity = propagator.EstimateSparsity(root);
+  run.estimate_seconds = watch.ElapsedSeconds();
+  if (!sparsity.has_value()) return run;
+
+  run.supported = true;
+  run.sparsity = *sparsity;
+  return run;
+}
+
+std::string FormatError(std::optional<double> error) {
+  if (!error.has_value()) return "x";
+  if (std::isinf(*error)) return "inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", *error);
+  return buf;
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s", width, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+void RunAccuracyTable(const std::vector<UseCaseBuilder>& builders, int reps,
+                      uint64_t seed) {
+  const std::vector<int> widths = {8, 10, 12, 14, 14, 10};
+  PrintRow({"case", "name", "estimator", "est-sparsity", "true-sparsity",
+            "rel-err"},
+           widths);
+
+  for (const UseCaseBuilder& builder : builders) {
+    std::vector<EstimatorEntry> estimators = MakeAllEstimators(seed);
+    std::vector<mnc::RelativeErrorAggregator> per_estimator(
+        estimators.size());
+    std::vector<bool> supported(estimators.size(), true);
+    std::string case_id;
+    std::string case_name;
+    double last_true = 0.0;
+    std::vector<double> last_est(estimators.size(), 0.0);
+
+    for (int rep = 0; rep < reps; ++rep) {
+      mnc::Rng rng(seed + static_cast<uint64_t>(rep));
+      mnc::UseCase uc = builder(rng);
+      case_id = uc.id;
+      case_name = uc.name;
+      const mnc::ExprPtr expr = mnc::FoldTransposedLeaves(uc.expr);
+
+      mnc::Evaluator eval;
+      const double truth = eval.Evaluate(expr).Sparsity();
+      last_true = truth;
+
+      for (size_t e = 0; e < estimators.size(); ++e) {
+        const EstimateRun run = RunEstimator(*estimators[e].estimator, expr);
+        if (!run.supported) {
+          supported[e] = false;
+          continue;
+        }
+        per_estimator[e].Add(run.sparsity, truth);
+        last_est[e] = run.sparsity;
+      }
+    }
+
+    for (size_t e = 0; e < estimators.size(); ++e) {
+      char est_s[32], true_s[32];
+      std::snprintf(est_s, sizeof(est_s), "%.3e", last_est[e]);
+      std::snprintf(true_s, sizeof(true_s), "%.3e", last_true);
+      PrintRow({case_id, case_name, estimators[e].name,
+                supported[e] ? est_s : "x", true_s,
+                supported[e]
+                    ? FormatError(per_estimator[e].Error())
+                    : FormatError(std::nullopt)},
+               widths);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace mncbench

@@ -1,0 +1,76 @@
+// Shared infrastructure for the SparsEst benchmark binaries (one binary per
+// table/figure of the paper — see DESIGN.md §2).
+//
+// Every binary accepts:
+//   --scale <f>   multiplies the default problem dimensions (default 1.0)
+//   --reps <n>    repetitions for accuracy aggregation (default 3; §5 M1)
+// plus binary-specific flags documented in each main().
+
+#ifndef MNC_BENCH_BENCH_COMMON_H_
+#define MNC_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mnc/mnc.h"
+
+namespace mncbench {
+
+// Default bit-matrix budget: scales the paper's "exceeds available memory"
+// failures down to laptop size (the paper's bitset failures are 8 TB on a
+// 128 GB machine).
+inline constexpr int64_t kBitsetBudgetBytes = 128LL << 20;  // 128 MB
+
+// Simple flag parsing: --name <value>.
+double ArgDouble(int argc, char** argv, const std::string& name,
+                 double default_value);
+int64_t ArgInt(int argc, char** argv, const std::string& name,
+               int64_t default_value);
+
+// The full estimator lineup of §6 in the paper's ordering, with default
+// parameters (density map b = 256, layered graph r = 32, sample f = 0.05).
+struct EstimatorEntry {
+  std::string name;
+  std::unique_ptr<mnc::SparsityEstimator> estimator;
+};
+std::vector<EstimatorEntry> MakeAllEstimators(uint64_t seed = 42);
+
+// Result of one estimator run on one expression.
+struct EstimateRun {
+  bool supported = false;
+  double sparsity = 0.0;
+  double build_seconds = 0.0;     // leaf synopsis construction
+  double estimate_seconds = 0.0;  // propagation + root estimation
+};
+
+// Runs `estimator` over the DAG: builds leaf synopses (timed separately),
+// then propagates/estimates (timed). Returns supported=false if the
+// estimator cannot handle the DAG (unsupported op, single-op estimator on a
+// chain, or bitset over budget).
+EstimateRun RunEstimator(mnc::SparsityEstimator& estimator,
+                         const mnc::ExprPtr& root);
+
+// Formats a relative error like the paper's plots: "1.0" for exact, "inf"
+// for failures, "x" when unsupported.
+std::string FormatError(std::optional<double> error);
+
+// Prints a markdown-ish table row.
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+
+// Accuracy-table driver shared by Figures 10/11/14: for each use case,
+// regenerates the workload `reps` times (§5 M1: errors aggregate additively
+// over repetitions), evaluates the ground truth, runs every estimator, and
+// prints one row per estimator with the aggregated relative error.
+// Transposed leaves are folded (the §6.6 simplification) so product-only
+// estimators see pure chains.
+using UseCaseBuilder = std::function<mnc::UseCase(mnc::Rng&)>;
+void RunAccuracyTable(const std::vector<UseCaseBuilder>& builders, int reps,
+                      uint64_t seed);
+
+}  // namespace mncbench
+
+#endif  // MNC_BENCH_BENCH_COMMON_H_

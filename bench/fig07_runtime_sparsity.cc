@@ -1,0 +1,68 @@
+// Figure 7: construction and estimation runtime for varying sparsity.
+//
+// Square n x n product (paper: 20K, here default 2K — scale with --dim) at
+// sparsities {0.001, 0.01, 0.1, 0.99}. Reports, per estimator, the
+// construction time (leaf synopses), estimation time, and total, next to the
+// multi-threaded FP64 matrix multiplication (MM) as the runtime baseline.
+// The expected shape: Meta ~ free, Sample and MNC cheap, DMap moderate,
+// Bitset/LGraph expensive (LGraph cheaper at low sparsity), and all below
+// MM for dense inputs.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const int64_t dim = mncbench::ArgInt(argc, argv, "dim", 2000);
+  const std::vector<double> sparsities = {0.001, 0.01, 0.1, 0.99};
+
+  std::printf("Figure 7: runtime vs. sparsity (dims %lld x %lld)\n",
+              static_cast<long long>(dim), static_cast<long long>(dim));
+  const std::vector<int> widths = {10, 12, 14, 14, 14};
+  mncbench::PrintRow({"sparsity", "estimator", "construct[s]", "estimate[s]",
+                      "total[s]"},
+                     widths);
+
+  mnc::ThreadPool pool;
+  for (const double sparsity : sparsities) {
+    mnc::Rng rng(42);
+    const mnc::Matrix a =
+        mnc::Matrix::AutoFromCsr(mnc::GenerateUniformSparse(dim, dim,
+                                                            sparsity, rng));
+    const mnc::Matrix b =
+        mnc::Matrix::AutoFromCsr(mnc::GenerateUniformSparse(dim, dim,
+                                                            sparsity, rng));
+    const mnc::ExprPtr expr = mnc::ExprNode::MatMul(
+        mnc::ExprNode::Leaf(a, "A"), mnc::ExprNode::Leaf(b, "B"));
+
+    for (auto& [name, estimator] : mncbench::MakeAllEstimators()) {
+      if (name == "MetaWC" || name == "MetaAC") continue;  // ~0, as in Fig. 7
+      if (name == "MNC Basic") continue;
+      const mncbench::EstimateRun run =
+          mncbench::RunEstimator(*estimator, expr);
+      char construct[32], estimate[32], total[32];
+      std::snprintf(construct, sizeof(construct), "%.4f", run.build_seconds);
+      std::snprintf(estimate, sizeof(estimate), "%.4f",
+                    run.estimate_seconds);
+      std::snprintf(total, sizeof(total), "%.4f",
+                    run.build_seconds + run.estimate_seconds);
+      char sp[16];
+      std::snprintf(sp, sizeof(sp), "%.3f", sparsity);
+      mncbench::PrintRow({sp, name, run.supported ? construct : "x",
+                          run.supported ? estimate : "x",
+                          run.supported ? total : "x"},
+                         widths);
+    }
+
+    // Runtime baseline: the actual multi-threaded FP64 product.
+    mnc::Stopwatch watch;
+    const mnc::Matrix c = mnc::Multiply(a, b, &pool);
+    char mm[32];
+    std::snprintf(mm, sizeof(mm), "%.4f", watch.ElapsedSeconds());
+    char sp[16];
+    std::snprintf(sp, sizeof(sp), "%.3f", sparsity);
+    mncbench::PrintRow({sp, "MM", "-", "-", mm}, widths);
+    std::printf("\n");
+  }
+  return 0;
+}

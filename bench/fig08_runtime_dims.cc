@@ -1,0 +1,74 @@
+// Figure 8: construction and estimation runtime for varying common
+// dimension at a fixed number of non-zeros.
+//
+// Output dimensions fixed (paper: 10K x 10K, here default 2K x 2K), common
+// dimension swept over {0.25x, 1x, 4x, 16x} of the output dimension with
+// nnz held constant — so sparsity drops as the common dimension grows.
+// Expected shape: Bitset/DMap degrade with the common dimension (their cost
+// is proportional to dense sizes); Sample and MNC scale mildly (linear in
+// the common dimension); LGraph tracks the (constant) non-zero count.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const int64_t out_dim = mncbench::ArgInt(argc, argv, "dim", 2000);
+  const int64_t nnz = mncbench::ArgInt(argc, argv, "nnz", out_dim * 200);
+  const std::vector<int64_t> common_dims = {out_dim / 4, out_dim,
+                                            4 * out_dim, 16 * out_dim};
+
+  std::printf(
+      "Figure 8: runtime vs. common dimension (output %lld x %lld, "
+      "nnz %lld per input)\n",
+      static_cast<long long>(out_dim), static_cast<long long>(out_dim),
+      static_cast<long long>(nnz));
+  const std::vector<int> widths = {14, 12, 12, 14, 14, 14};
+  mncbench::PrintRow({"common-dim", "sparsity", "estimator", "construct[s]",
+                      "estimate[s]", "total[s]"},
+                     widths);
+
+  mnc::ThreadPool pool;
+  for (const int64_t common : common_dims) {
+    const double sparsity =
+        static_cast<double>(nnz) /
+        (static_cast<double>(out_dim) * static_cast<double>(common));
+    mnc::Rng rng(42);
+    const mnc::Matrix a = mnc::Matrix::AutoFromCsr(
+        mnc::GenerateUniformSparse(out_dim, common, sparsity, rng));
+    const mnc::Matrix b = mnc::Matrix::AutoFromCsr(
+        mnc::GenerateUniformSparse(common, out_dim, sparsity, rng));
+    const mnc::ExprPtr expr = mnc::ExprNode::MatMul(
+        mnc::ExprNode::Leaf(a, "A"), mnc::ExprNode::Leaf(b, "B"));
+
+    char cd[16], sp[16];
+    std::snprintf(cd, sizeof(cd), "%lld", static_cast<long long>(common));
+    std::snprintf(sp, sizeof(sp), "%.5f", sparsity);
+
+    for (auto& [name, estimator] : mncbench::MakeAllEstimators()) {
+      if (name == "MetaWC" || name == "MetaAC" || name == "MNC Basic") {
+        continue;
+      }
+      const mncbench::EstimateRun run =
+          mncbench::RunEstimator(*estimator, expr);
+      char construct[32], estimate[32], total[32];
+      std::snprintf(construct, sizeof(construct), "%.4f", run.build_seconds);
+      std::snprintf(estimate, sizeof(estimate), "%.4f",
+                    run.estimate_seconds);
+      std::snprintf(total, sizeof(total), "%.4f",
+                    run.build_seconds + run.estimate_seconds);
+      mncbench::PrintRow({cd, sp, name, run.supported ? construct : "x",
+                          run.supported ? estimate : "x",
+                          run.supported ? total : "x"},
+                         widths);
+    }
+
+    mnc::Stopwatch watch;
+    const mnc::Matrix c = mnc::Multiply(a, b, &pool);
+    char mm[32];
+    std::snprintf(mm, sizeof(mm), "%.4f", watch.ElapsedSeconds());
+    mncbench::PrintRow({cd, sp, "MM", "-", "-", mm}, widths);
+    std::printf("\n");
+  }
+  return 0;
+}

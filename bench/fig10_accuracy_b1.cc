@@ -1,0 +1,38 @@
+// Figure 10: estimation accuracy on B1 Struct — synthetic matrix products
+// with structural properties (§6.3).
+//
+// Paper shape to reproduce: metadata/sampling/density-map estimators show
+// large errors on structured inputs; LGraph is accurate; only Bitset and
+// MNC are exact on all five use cases (B1.5 exercises MNC's upper bound).
+// Default dimensions scale the paper's 100K inputs down to laptop size
+// (B1.1-B1.3: 10K; B1.4/B1.5: 2K); use --scale to adjust.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const double scale = mncbench::ArgDouble(argc, argv, "scale", 1.0);
+  const int reps = static_cast<int>(mncbench::ArgInt(argc, argv, "reps", 3));
+  const int64_t n = static_cast<int64_t>(10000 * scale);
+  const int64_t n_outer = static_cast<int64_t>(2000 * scale);
+
+  std::printf("Figure 10: accuracy on B1 Struct (reps=%d)\n\n", reps);
+  mncbench::RunAccuracyTable(
+      {
+          [n](mnc::Rng& rng) {
+            return mnc::MakeB11Nlp(rng, n, n, /*embed_dim=*/100,
+                                   /*known_fraction=*/0.001);
+          },
+          [n](mnc::Rng& rng) {
+            return mnc::MakeB12Scale(rng, n, /*cols=*/2000, /*sparsity=*/0.01);
+          },
+          [n](mnc::Rng& rng) {
+            return mnc::MakeB13Perm(rng, n, /*cols=*/2000, /*sparsity=*/0.5);
+          },
+          [n_outer](mnc::Rng& rng) { return mnc::MakeB14Outer(rng, n_outer); },
+          [n_outer](mnc::Rng& rng) { return mnc::MakeB15Inner(rng, n_outer); },
+      },
+      reps, /*seed=*/42);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 11: estimation accuracy on B2 Real — operations over the dataset
+// stand-ins (§6.3/§6.4).
+//
+// Paper shape to reproduce: MNC exact on B2.1/B2.2/B2.5, small errors on
+// the graph products (B2.3/B2.4); LGraph consistently accurate but excluded
+// from B2.5 (element-wise); Bitset exact where it fits in memory — at paper
+// scale it fails on B2.1/B2.3; here the 128 MB budget reproduces the B2.1
+// failure at default scale.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const double scale = mncbench::ArgDouble(argc, argv, "scale", 1.0);
+  const int reps = static_cast<int>(mncbench::ArgInt(argc, argv, "reps", 3));
+
+  const int64_t nlp_rows = static_cast<int64_t>(100000 * scale);
+  const int64_t nlp_dict = static_cast<int64_t>(20000 * scale);
+  const int64_t cov_rows = static_cast<int64_t>(50000 * scale);
+  const int64_t graph_nodes = static_cast<int64_t>(20000 * scale);
+  const int64_t mnist_rows = static_cast<int64_t>(20000 * scale);
+
+  std::printf("Figure 11: accuracy on B2 Real (reps=%d)\n\n", reps);
+  mncbench::RunAccuracyTable(
+      {
+          [nlp_rows, nlp_dict](mnc::Rng& rng) {
+            return mnc::MakeB21NlpReal(rng, nlp_rows, nlp_dict,
+                                       /*embed_dim=*/100,
+                                       /*unknown_fraction=*/0.85);
+          },
+          [cov_rows](mnc::Rng& rng) {
+            return mnc::MakeB22Project(rng, cov_rows);
+          },
+          [graph_nodes](mnc::Rng& rng) {
+            return mnc::MakeB23CoRefGraph(rng, graph_nodes,
+                                          /*avg_degree=*/8.0);
+          },
+          [graph_nodes](mnc::Rng& rng) {
+            return mnc::MakeB24EmailGraph(rng, graph_nodes);
+          },
+          [mnist_rows](mnc::Rng& rng) {
+            return mnc::MakeB25Mask(rng, mnist_rows);
+          },
+      },
+      reps, /*seed=*/42);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 12: baseline parameter configurations (§6.5).
+//
+// (a/b) Layered graph: relative error vs. number of rounds r on B2.1 (NLP)
+//       and B2.2 (Project), with MNC (parameter-free, exact here) as the
+//       reference line.
+// (c/d) Density map: relative error vs. block size b on B2.4 (EmailG) and
+//       B2.2 (Project). Expected shape: the r = 32 default is a good knee;
+//       the density map only captures Covertype's 54-column structure for
+//       block sizes <= 32.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+double Truth(const mnc::ExprPtr& expr) {
+  mnc::Evaluator eval;
+  return eval.Evaluate(expr).Sparsity();
+}
+
+void SweepLGraph(const char* label, const mnc::ExprPtr& expr, double truth,
+                 double mnc_error) {
+  std::printf("%s (MNC reference error: %.3f)\n", label, mnc_error);
+  const std::vector<int> widths = {10, 12};
+  mncbench::PrintRow({"rounds", "rel-err"}, widths);
+  for (const int rounds : {2, 4, 8, 16, 32, 64, 128}) {
+    mnc::LayeredGraphEstimator est(rounds, /*seed=*/42);
+    const mncbench::EstimateRun run = mncbench::RunEstimator(est, expr);
+    mncbench::PrintRow(
+        {std::to_string(rounds),
+         run.supported
+             ? mncbench::FormatError(mnc::RelativeError(run.sparsity, truth))
+             : "x"},
+        widths);
+  }
+  std::printf("\n");
+}
+
+void SweepDMap(const char* label, const mnc::ExprPtr& expr, double truth,
+               double mnc_error) {
+  std::printf("%s (MNC reference error: %.3f)\n", label, mnc_error);
+  const std::vector<int> widths = {12, 12};
+  mncbench::PrintRow({"block-size", "rel-err"}, widths);
+  for (const int64_t block : {16, 32, 64, 128, 256, 512, 1024}) {
+    mnc::DensityMapEstimator est(block);
+    const mncbench::EstimateRun run = mncbench::RunEstimator(est, expr);
+    mncbench::PrintRow(
+        {std::to_string(block),
+         run.supported
+             ? mncbench::FormatError(mnc::RelativeError(run.sparsity, truth))
+             : "x"},
+        widths);
+  }
+  std::printf("\n");
+}
+
+double MncError(const mnc::ExprPtr& expr, double truth) {
+  mnc::MncEstimator est;
+  const mncbench::EstimateRun run = mncbench::RunEstimator(est, expr);
+  return run.supported ? mnc::RelativeError(run.sparsity, truth) : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = mncbench::ArgDouble(argc, argv, "scale", 1.0);
+  mnc::Rng rng(42);
+
+  // Workloads (generated once; the sweep varies only the estimator).
+  mnc::UseCase b21 = mnc::MakeB21NlpReal(
+      rng, static_cast<int64_t>(50000 * scale),
+      static_cast<int64_t>(10000 * scale), 100, 0.85);
+  mnc::UseCase b22 =
+      mnc::MakeB22Project(rng, static_cast<int64_t>(50000 * scale));
+  mnc::UseCase b24 =
+      mnc::MakeB24EmailGraph(rng, static_cast<int64_t>(20000 * scale));
+
+  const mnc::ExprPtr e21 = mnc::FoldTransposedLeaves(b21.expr);
+  const mnc::ExprPtr e22 = mnc::FoldTransposedLeaves(b22.expr);
+  const mnc::ExprPtr e24 = mnc::FoldTransposedLeaves(b24.expr);
+  const double t21 = Truth(e21);
+  const double t22 = Truth(e22);
+  const double t24 = Truth(e24);
+
+  std::printf("Figure 12: baseline parameter sensitivity\n\n");
+  SweepLGraph("Fig 12(a): LGraph rounds on B2.1 NLP", e21, t21,
+              MncError(e21, t21));
+  SweepLGraph("Fig 12(b): LGraph rounds on B2.2 Project", e22, t22,
+              MncError(e22, t22));
+  SweepDMap("Fig 12(c): DMap block size on B2.4 EmailG", e24, t24,
+            MncError(e24, t24));
+  SweepDMap("Fig 12(d): DMap block size on B2.2 Project", e22, t22,
+            MncError(e22, t22));
+  return 0;
+}

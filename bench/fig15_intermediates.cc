@@ -1,0 +1,102 @@
+// Figure 15: accuracy of ALL intermediates of B3.2 (deferred scale & shift,
+// §6.6).
+//
+// The chain S^T X^T diag(w) X S B has 6 inputs and 15 subchains (i, j),
+// i < j. Each subchain is estimated left-deep and compared against the
+// ground truth; the output is the upper-triangle error matrix of the paper,
+// once for DMap and once for MNC. Paper shape: DMap struggles with the
+// scale-and-shift matrix (final error ~98.6, and X S B mis-estimated badly),
+// MNC exact on many intermediates with a near-1.0 final error.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+// Left-deep subchain expression over leaves[i..j].
+mnc::ExprPtr Subchain(const std::vector<mnc::ExprPtr>& leaves, size_t i,
+                      size_t j) {
+  mnc::ExprPtr acc = leaves[i];
+  for (size_t k = i + 1; k <= j; ++k) {
+    acc = mnc::ExprNode::MatMul(acc, leaves[k]);
+  }
+  return acc;
+}
+
+void PrintTriangle(const char* label,
+                   const std::vector<std::vector<std::string>>& cells,
+                   const std::vector<std::string>& names) {
+  std::printf("%s\n", label);
+  const int width = 12;
+  std::printf("%-8s", "");
+  for (size_t j = 1; j < names.size(); ++j) {
+    std::printf("%-*s", width, names[j].c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i + 1 < names.size(); ++i) {
+    std::printf("%-8s", names[i].c_str());
+    for (size_t j = 1; j < names.size(); ++j) {
+      std::printf("%-*s", width, cells[i][j].c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+void RunVariant(int64_t rows, bool covertype) {
+  mnc::Rng rng(42);
+  mnc::UseCase uc = mnc::MakeB32ScaleShift(rng, rows, covertype);
+  const std::vector<mnc::ExprPtr>& leaves = uc.chain_leaves;
+  const std::vector<std::string> names = {"S^T", "X^T", "diag(w)",
+                                          "X",   "S",   "B"};
+
+  std::printf("B3.2 with %s input (X: %lld x %lld)\n",
+              covertype ? "Covertype-like" : "Mnist-like",
+              static_cast<long long>(rows),
+              static_cast<long long>(leaves[3]->cols()));
+
+  mnc::Evaluator eval;
+  mnc::DensityMapEstimator dmap;
+  mnc::MncEstimator mnc_est;
+
+  std::vector<std::vector<std::string>> dmap_cells(
+      leaves.size(), std::vector<std::string>(leaves.size(), ""));
+  std::vector<std::vector<std::string>> mnc_cells = dmap_cells;
+
+  for (size_t i = 0; i + 1 < leaves.size(); ++i) {
+    for (size_t j = i + 1; j < leaves.size(); ++j) {
+      const mnc::ExprPtr expr = Subchain(leaves, i, j);
+      const double truth = eval.Evaluate(expr).Sparsity();
+
+      const mncbench::EstimateRun dm = mncbench::RunEstimator(dmap, expr);
+      const mncbench::EstimateRun mn = mncbench::RunEstimator(mnc_est, expr);
+      dmap_cells[i][j] =
+          dm.supported
+              ? mncbench::FormatError(mnc::RelativeError(dm.sparsity, truth))
+              : "x";
+      mnc_cells[i][j] =
+          mn.supported
+              ? mncbench::FormatError(mnc::RelativeError(mn.sparsity, truth))
+              : "x";
+    }
+  }
+
+  PrintTriangle("DMap relative errors (rows: chain start, cols: chain end)",
+                dmap_cells, names);
+  PrintTriangle("MNC relative errors", mnc_cells, names);
+}
+
+int main(int argc, char** argv) {
+  const double scale = mncbench::ArgDouble(argc, argv, "scale", 1.0);
+  const int64_t rows = static_cast<int64_t>(10000 * scale);
+
+  std::printf(
+      "Figure 15: relative error of all 15 intermediates of B3.2\n\n");
+  RunVariant(rows, /*covertype=*/false);  // Fig. 15(a)/(b)
+  RunVariant(rows, /*covertype=*/true);   // §6.6 closing paragraph
+  return 0;
+}

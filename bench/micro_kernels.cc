@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) for the individual kernels behind the
+// paper's runtime figures: sketch construction, MNC estimation, sparse
+// matrix multiplication, and the competing synopses. Complements the
+// table-shaped fig07/fig08 binaries with statistically robust per-kernel
+// numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "mnc/mnc.h"
+
+namespace {
+
+mnc::CsrMatrix MakeInput(int64_t dim, double sparsity) {
+  mnc::Rng rng(42);
+  return mnc::GenerateUniformSparse(dim, dim, sparsity, rng);
+}
+
+void BM_MncSketchConstruction(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  const double sparsity = 1e-2;
+  const mnc::CsrMatrix m = MakeInput(dim, sparsity);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mnc::MncSketch::FromCsr(m));
+  }
+  state.SetItemsProcessed(state.iterations() * m.NumNonZeros());
+}
+BENCHMARK(BM_MncSketchConstruction)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_MncProductEstimate(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  const mnc::CsrMatrix a = MakeInput(dim, 1e-2);
+  const mnc::CsrMatrix b = MakeInput(dim, 1e-2);
+  const mnc::MncSketch ha = mnc::MncSketch::FromCsr(a);
+  const mnc::MncSketch hb = mnc::MncSketch::FromCsr(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mnc::EstimateProductSparsity(ha, hb));
+  }
+}
+BENCHMARK(BM_MncProductEstimate)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_MncSketchPropagation(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  const mnc::MncSketch ha = mnc::MncSketch::FromCsr(MakeInput(dim, 1e-2));
+  const mnc::MncSketch hb = mnc::MncSketch::FromCsr(MakeInput(dim, 1e-2));
+  mnc::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mnc::PropagateProduct(ha, hb, rng));
+  }
+}
+BENCHMARK(BM_MncSketchPropagation)->Arg(1000)->Arg(4000);
+
+void BM_SpGemm(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  const mnc::CsrMatrix a = MakeInput(dim, 1e-2);
+  const mnc::CsrMatrix b = MakeInput(dim, 1e-2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mnc::MultiplySparseSparse(a, b));
+  }
+}
+BENCHMARK(BM_SpGemm)->Arg(1000)->Arg(2000)->Arg(4000);
+
+void BM_DensityMapBuild(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  const mnc::Matrix m = mnc::Matrix::Sparse(MakeInput(dim, 1e-2));
+  mnc::DensityMapEstimator est;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Build(m));
+  }
+}
+BENCHMARK(BM_DensityMapBuild)->Arg(1000)->Arg(4000);
+
+void BM_LayeredGraphBuild(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  const mnc::Matrix m = mnc::Matrix::Sparse(MakeInput(dim, 1e-2));
+  mnc::LayeredGraphEstimator est;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Build(m));
+  }
+}
+BENCHMARK(BM_LayeredGraphBuild)->Arg(1000)->Arg(4000);
+
+void BM_BitsetBoolProduct(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  const mnc::BitMatrix a =
+      mnc::BitMatrix::FromMatrix(mnc::Matrix::Sparse(MakeInput(dim, 1e-2)));
+  const mnc::BitMatrix b =
+      mnc::BitMatrix::FromMatrix(mnc::Matrix::Sparse(MakeInput(dim, 1e-2)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MultiplyBool(b));
+  }
+}
+BENCHMARK(BM_BitsetBoolProduct)->Arg(1000)->Arg(2000);
+
+void BM_EWiseMultSparse(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  const mnc::CsrMatrix a = MakeInput(dim, 0.1);
+  const mnc::CsrMatrix b = MakeInput(dim, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mnc::MultiplyEWiseSparseSparse(a, b));
+  }
+}
+BENCHMARK(BM_EWiseMultSparse)->Arg(1000)->Arg(2000);
+
+void BM_TransposeSparse(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  const mnc::CsrMatrix a = MakeInput(dim, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mnc::TransposeSparse(a));
+  }
+}
+BENCHMARK(BM_TransposeSparse)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Iterative graph analytics with sketch-driven format decisions.
+//
+// Multi-hop reachability on a citation graph: the frontier indicator f is
+// repeatedly pushed through the transposed adjacency matrix,
+//
+//     f_{k+1} = (G^T f_k) != 0,
+//
+// densifying with every hop (the B3.3 phenomenon). An ML system has to
+// decide per iteration whether the next frontier should be allocated sparse
+// or dense — before computing it. This example drives that decision with
+// MNC sketch propagation and reports, per hop, the predicted vs actual
+// sparsity and whether the format decision was right; MetaAC's prediction
+// is shown for contrast.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "mnc/mnc.h"
+
+int main() {
+  mnc::Rng rng(42);
+  const int64_t nodes = 30000;
+  const mnc::CsrMatrix g = mnc::MakeCitationGraph(nodes, 8.0, rng);
+  const mnc::CsrMatrix gt = mnc::TransposeSparse(g);
+
+  // Seed frontier: the 20 most-cited papers.
+  mnc::CooMatrix seed(nodes, 1);
+  {
+    const std::vector<int64_t> in_degree = g.NnzPerCol();
+    std::vector<std::pair<int64_t, int64_t>> ranked;
+    for (int64_t v = 0; v < nodes; ++v) {
+      ranked.emplace_back(in_degree[static_cast<size_t>(v)], v);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    for (int k = 0; k < 20; ++k) seed.Add(ranked[static_cast<size_t>(k)].second, 0, 1.0);
+  }
+  mnc::CsrMatrix frontier = seed.ToCsr();
+
+  const mnc::MncSketch h_gt = mnc::MncSketch::FromCsr(gt);
+  mnc::MncSketch h_frontier = mnc::MncSketch::FromCsr(frontier);
+  double meta_sparsity = frontier.Sparsity();
+  mnc::Rng prop_rng(7);
+
+  std::printf("multi-hop reachability on %lld-node citation graph\n\n",
+              static_cast<long long>(nodes));
+  std::printf("%-5s %-12s %-12s %-12s %-10s %-10s\n", "hop", "actual",
+              "MNC-pred", "MetaAC-pred", "format", "correct");
+
+  for (int hop = 1; hop <= 6; ++hop) {
+    // Predict BEFORE computing (that is the point of estimation).
+    const double mnc_pred =
+        mnc::EstimateProductSparsity(h_gt, h_frontier);
+    const double meta_pred =
+        1.0 - std::pow(1.0 - gt.Sparsity() * meta_sparsity,
+                       static_cast<double>(nodes));
+    const bool predict_dense = mnc_pred >= mnc::kDenseDispatchThreshold;
+
+    // Execute the hop and reduce to an indicator.
+    frontier = mnc::NotEqualZeroSparse(
+        mnc::MultiplySparseSparse(gt, frontier));
+    const double actual = frontier.Sparsity();
+    const bool actually_dense = actual >= mnc::kDenseDispatchThreshold;
+
+    std::printf("%-5d %-12.5f %-12.5f %-12.5f %-10s %-10s\n", hop, actual,
+                mnc_pred, meta_pred, predict_dense ? "dense" : "sparse",
+                predict_dense == actually_dense ? "yes" : "NO");
+
+    // Propagate the sketch to the next iteration (no rebuild from data —
+    // mirrors compile-time estimation of loop bodies).
+    h_frontier = mnc::PropagateNotEqualZero(
+        mnc::PropagateProduct(h_gt, h_frontier, prop_rng));
+    meta_sparsity = meta_pred;
+  }
+
+  std::printf(
+      "\n(MNC predictions come from sketch propagation only — the frontier "
+      "is never re-sketched.)\n");
+  return 0;
+}

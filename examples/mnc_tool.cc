@@ -1,0 +1,385 @@
+// mnc_tool — command-line front end for the MNC library.
+//
+// Subcommands:
+//   generate <kind> <rows> <cols> <sparsity> <out.mtx> [seed]
+//       Writes a random Matrix-Market file. Kinds: uniform, permutation,
+//       diagonal, token (one non-zero per row, Zipf columns), graph.
+//   sketch <a.mtx> [--out <a.mncs>]
+//       Prints the MNC sketch summary statistics of a matrix; --out also
+//       serializes the sketch (binary) for later driver-side estimation.
+//   estimate-sketches <a.mncs> <b.mncs>
+//       Estimates the product sparsity (with a confidence interval) purely
+//       from serialized sketches — no matrix data needed.
+//   estimate <op> <a.mtx> [b.mtx] [--exact]
+//       Estimates the output sparsity of one operation with every
+//       applicable estimator. Ops: matmul, add, emult, emin, emax,
+//       transpose, rowsums, colsums. --exact also executes the operation.
+//   chain <m1.mtx> <m2.mtx> [...]
+//       Optimizes the multiplication chain, comparing the dimension-only
+//       and the sparsity-aware (MNC) dynamic programs.
+//   expr "<expression-or-script>" --bind NAME=file.mtx [--bind ...]
+//       [--exact]
+//       Parses a DML-like expression or multi-statement script (%*%, *, +,
+//       t(), reshape(), diag(), rbind/cbind, min/max, rowSums/colSums,
+//       != 0, == 0, scalar*, "Y = ...;" assignments) over the bound
+//       matrices and estimates its output sparsity with every applicable
+//       estimator.
+//
+// Example session:
+//   mnc_tool generate uniform 5000 5000 0.001 a.mtx
+//   mnc_tool generate uniform 5000 5000 0.001 b.mtx
+//   mnc_tool estimate matmul a.mtx b.mtx --exact
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mnc/mnc.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mnc_tool generate <uniform|permutation|diagonal|token|"
+               "graph> <rows> <cols> <sparsity> <out.mtx> [seed]\n"
+               "  mnc_tool sketch <a.mtx> [--out <a.mncs>]\n"
+               "  mnc_tool estimate-sketches <a.mncs> <b.mncs>\n"
+               "  mnc_tool estimate <matmul|add|emult|emin|emax|transpose|"
+               "rowsums|colsums> <a.mtx> [b.mtx] [--exact]\n"
+               "  mnc_tool chain <m1.mtx> <m2.mtx> [...]\n"
+               "  mnc_tool expr \"<expression>\" --bind NAME=file.mtx"
+               " [--bind ...] [--exact]\n");
+  return 2;
+}
+
+std::optional<mnc::CsrMatrix> Load(const char* path) {
+  auto m = mnc::ReadMatrixMarketFile(path);
+  if (!m.has_value()) {
+    std::fprintf(stderr, "error: cannot read Matrix-Market file %s\n", path);
+  }
+  return m;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 7) return Usage();
+  const std::string kind = argv[2];
+  const int64_t rows = std::atoll(argv[3]);
+  const int64_t cols = std::atoll(argv[4]);
+  const double sparsity = std::atof(argv[5]);
+  const char* out = argv[6];
+  mnc::Rng rng(argc > 7 ? static_cast<uint64_t>(std::atoll(argv[7])) : 42);
+
+  mnc::CsrMatrix m(0, 0);
+  if (kind == "uniform") {
+    m = mnc::GenerateUniformSparse(rows, cols, sparsity, rng);
+  } else if (kind == "permutation") {
+    m = mnc::GeneratePermutation(rows, rng);
+  } else if (kind == "diagonal") {
+    m = mnc::GenerateDiagonal(rows, rng);
+  } else if (kind == "token") {
+    mnc::ZipfDistribution dist(cols, 1.1);
+    m = mnc::GenerateOneNnzPerRow(rows, cols, dist, rng);
+  } else if (kind == "graph") {
+    m = mnc::GenerateGraphAdjacency(
+        rows, sparsity * static_cast<double>(cols), 1.1, rng);
+  } else {
+    return Usage();
+  }
+  if (!mnc::WriteMatrixMarketFile(m, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out);
+    return 1;
+  }
+  std::printf("wrote %s: %lld x %lld, %lld non-zeros (sparsity %.3g)\n", out,
+              static_cast<long long>(m.rows()),
+              static_cast<long long>(m.cols()),
+              static_cast<long long>(m.NumNonZeros()), m.Sparsity());
+  return 0;
+}
+
+int CmdSketch(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const auto m = Load(argv[2]);
+  if (!m.has_value()) return 1;
+  const char* out = nullptr;
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
+  }
+
+  mnc::Stopwatch watch;
+  const mnc::MncSketch h = mnc::MncSketch::FromCsr(*m);
+  const double build_ms = watch.ElapsedMillis();
+
+  std::printf("matrix: %lld x %lld, %lld non-zeros (sparsity %.6g)\n",
+              static_cast<long long>(h.rows()),
+              static_cast<long long>(h.cols()),
+              static_cast<long long>(h.nnz()), h.Sparsity());
+  std::printf("sketch: %lld bytes, built in %.3f ms\n",
+              static_cast<long long>(h.SizeBytes()), build_ms);
+  std::printf("  max(hr)=%lld  max(hc)=%lld\n",
+              static_cast<long long>(h.max_hr()),
+              static_cast<long long>(h.max_hc()));
+  std::printf("  non-empty rows=%lld cols=%lld\n",
+              static_cast<long long>(h.non_empty_rows()),
+              static_cast<long long>(h.non_empty_cols()));
+  std::printf("  single-nnz rows=%lld cols=%lld\n",
+              static_cast<long long>(h.single_nnz_rows()),
+              static_cast<long long>(h.single_nnz_cols()));
+  std::printf("  half-full rows=%lld cols=%lld\n",
+              static_cast<long long>(h.half_full_rows()),
+              static_cast<long long>(h.half_full_cols()));
+  std::printf("  diagonal=%s extended=%s\n",
+              h.is_diagonal() ? "yes" : "no",
+              h.has_extended() ? "yes" : "no");
+  if (out != nullptr) {
+    if (!mnc::WriteSketchFile(h, out)) {
+      std::fprintf(stderr, "error: cannot write sketch to %s\n", out);
+      return 1;
+    }
+    std::printf("sketch written to %s\n", out);
+  }
+  return 0;
+}
+
+int CmdEstimateSketches(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const auto a = mnc::ReadSketchFile(argv[2]);
+  const auto b = mnc::ReadSketchFile(argv[3]);
+  if (!a.has_value() || !b.has_value()) {
+    std::fprintf(stderr, "error: cannot read sketch files\n");
+    return 1;
+  }
+  if (a->cols() != b->rows()) {
+    std::fprintf(stderr, "error: inner dimensions disagree (%lld vs %lld)\n",
+                 static_cast<long long>(a->cols()),
+                 static_cast<long long>(b->rows()));
+    return 1;
+  }
+  mnc::Stopwatch watch;
+  const mnc::SparsityInterval interval =
+      mnc::EstimateProductSparsityInterval(*a, *b);
+  std::printf("product %lld x %lld\n", static_cast<long long>(a->rows()),
+              static_cast<long long>(b->cols()));
+  std::printf("estimated sparsity: %.6g%s (in %.3f ms)\n", interval.estimate,
+              interval.exact ? " (exact)" : "", watch.ElapsedMillis());
+  if (!interval.exact) {
+    std::printf("95%% interval:       [%.6g, %.6g]\n", interval.lower,
+                interval.upper);
+  }
+  return 0;
+}
+
+// Runs every applicable estimator over the DAG and prints one row each,
+// optionally followed by the exact (executed) result.
+int EstimateAndReport(const mnc::ExprPtr& expr, bool exact) {
+  std::printf("%-16s %-14s %-12s\n", "estimator", "sparsity", "time[ms]");
+  mnc::MetaAcEstimator meta_ac;
+  mnc::MetaWcEstimator meta_wc;
+  mnc::SamplingEstimator sample(true);
+  mnc::MncEstimator mnc_est;
+  mnc::DensityMapEstimator dmap;
+  mnc::LayeredGraphEstimator lgraph;
+  for (mnc::SparsityEstimator* est :
+       std::vector<mnc::SparsityEstimator*>{&meta_wc, &meta_ac, &sample,
+                                            &mnc_est, &dmap, &lgraph}) {
+    mnc::SketchPropagator prop(est);
+    mnc::Stopwatch watch;
+    const auto sparsity = prop.EstimateSparsity(expr);
+    const double ms = watch.ElapsedMillis();
+    if (sparsity.has_value()) {
+      std::printf("%-16s %-14.6g %-12.3f\n", est->Name().c_str(), *sparsity,
+                  ms);
+    } else {
+      std::printf("%-16s %-14s %-12s\n", est->Name().c_str(), "n/a", "-");
+    }
+  }
+
+  if (exact) {
+    mnc::ThreadPool pool;
+    mnc::Evaluator eval(&pool);
+    mnc::Stopwatch watch;
+    const mnc::Matrix result = eval.Evaluate(expr);
+    std::printf("%-16s %-14.6g %-12.3f  (%lld non-zeros)\n", "EXACT",
+                result.Sparsity(), watch.ElapsedMillis(),
+                static_cast<long long>(result.NumNonZeros()));
+  }
+  return 0;
+}
+
+int CmdEstimate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string op_name = argv[2];
+  bool exact = false;
+  std::vector<const char*> files;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--exact") == 0) {
+      exact = true;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+
+  mnc::OpKind op;
+  bool binary = true;
+  if (op_name == "matmul") {
+    op = mnc::OpKind::kMatMul;
+  } else if (op_name == "add") {
+    op = mnc::OpKind::kEWiseAdd;
+  } else if (op_name == "emult") {
+    op = mnc::OpKind::kEWiseMult;
+  } else if (op_name == "emin") {
+    op = mnc::OpKind::kEWiseMin;
+  } else if (op_name == "emax") {
+    op = mnc::OpKind::kEWiseMax;
+  } else if (op_name == "transpose") {
+    op = mnc::OpKind::kTranspose;
+    binary = false;
+  } else if (op_name == "rowsums") {
+    op = mnc::OpKind::kRowSums;
+    binary = false;
+  } else if (op_name == "colsums") {
+    op = mnc::OpKind::kColSums;
+    binary = false;
+  } else {
+    return Usage();
+  }
+  if (files.size() != (binary ? 2u : 1u)) return Usage();
+
+  const auto a = Load(files[0]);
+  if (!a.has_value()) return 1;
+  std::optional<mnc::CsrMatrix> b;
+  if (binary) {
+    b = Load(files[1]);
+    if (!b.has_value()) return 1;
+  }
+
+  mnc::ExprPtr expr_a =
+      mnc::ExprNode::Leaf(mnc::Matrix::AutoFromCsr(*a), files[0]);
+  mnc::ExprPtr expr;
+  switch (op) {
+    case mnc::OpKind::kMatMul:
+      expr = mnc::ExprNode::MatMul(
+          expr_a, mnc::ExprNode::Leaf(mnc::Matrix::AutoFromCsr(*b),
+                                      files[1]));
+      break;
+    case mnc::OpKind::kEWiseAdd:
+      expr = mnc::ExprNode::EWiseAdd(
+          expr_a, mnc::ExprNode::Leaf(mnc::Matrix::AutoFromCsr(*b),
+                                      files[1]));
+      break;
+    case mnc::OpKind::kEWiseMult:
+      expr = mnc::ExprNode::EWiseMult(
+          expr_a, mnc::ExprNode::Leaf(mnc::Matrix::AutoFromCsr(*b),
+                                      files[1]));
+      break;
+    case mnc::OpKind::kEWiseMin:
+      expr = mnc::ExprNode::EWiseMin(
+          expr_a, mnc::ExprNode::Leaf(mnc::Matrix::AutoFromCsr(*b),
+                                      files[1]));
+      break;
+    case mnc::OpKind::kEWiseMax:
+      expr = mnc::ExprNode::EWiseMax(
+          expr_a, mnc::ExprNode::Leaf(mnc::Matrix::AutoFromCsr(*b),
+                                      files[1]));
+      break;
+    case mnc::OpKind::kTranspose:
+      expr = mnc::ExprNode::Transpose(expr_a);
+      break;
+    case mnc::OpKind::kRowSums:
+      expr = mnc::ExprNode::RowSums(expr_a);
+      break;
+    case mnc::OpKind::kColSums:
+      expr = mnc::ExprNode::ColSums(expr_a);
+      break;
+    default:
+      return Usage();
+  }
+
+  return EstimateAndReport(expr, exact);
+}
+
+int CmdExpr(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string source = argv[2];
+  bool exact = false;
+  std::map<std::string, mnc::Matrix> bindings;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--exact") == 0) {
+      exact = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--bind") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "error: --bind expects NAME=file.mtx, got %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      const auto m = Load(spec.substr(eq + 1).c_str());
+      if (!m.has_value()) return 1;
+      bindings.emplace(spec.substr(0, eq), mnc::Matrix::AutoFromCsr(*m));
+      continue;
+    }
+    return Usage();
+  }
+
+  // ParseProgram accepts both single expressions and multi-statement
+  // scripts ("Y = X %*% W; Y != 0").
+  const mnc::ParseResult parsed = mnc::ParseProgram(source, bindings);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  std::printf("expression: %s (%lld x %lld output)\n",
+              parsed.expr->ToString().c_str(),
+              static_cast<long long>(parsed.expr->rows()),
+              static_cast<long long>(parsed.expr->cols()));
+  return EstimateAndReport(parsed.expr, exact);
+}
+
+int CmdChain(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::vector<mnc::MncSketch> sketches;
+  std::vector<mnc::Shape> shapes;
+  for (int i = 2; i < argc; ++i) {
+    const auto m = Load(argv[i]);
+    if (!m.has_value()) return 1;
+    if (!sketches.empty() && sketches.back().cols() != m->rows()) {
+      std::fprintf(stderr, "error: chain dimension mismatch at %s\n",
+                   argv[i]);
+      return 1;
+    }
+    sketches.push_back(mnc::MncSketch::FromCsr(*m));
+    shapes.push_back({m->rows(), m->cols()});
+  }
+
+  const mnc::MMChainResult dense = mnc::OptimizeMMChainDense(shapes);
+  const mnc::MMChainResult sparse = mnc::OptimizeMMChainSparse(sketches);
+  const double dense_cost =
+      mnc::EvaluatePlanCostSparse(*dense.plan, sketches);
+  const double sparse_cost =
+      mnc::EvaluatePlanCostSparse(*sparse.plan, sketches);
+  std::printf("dimension-only plan:  %s\n  sparse cost %.4g\n",
+              mnc::PlanToString(*dense.plan).c_str(), dense_cost);
+  std::printf("sparsity-aware plan:  %s\n  sparse cost %.4g (%.2fx better)\n",
+              mnc::PlanToString(*sparse.plan).c_str(), sparse_cost,
+              dense_cost / sparse_cost);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "sketch") return CmdSketch(argc, argv);
+  if (cmd == "estimate-sketches") return CmdEstimateSketches(argc, argv);
+  if (cmd == "estimate") return CmdEstimate(argc, argv);
+  if (cmd == "expr") return CmdExpr(argc, argv);
+  if (cmd == "chain") return CmdChain(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,44 @@
+// Quickstart: build MNC sketches for two sparse matrices, estimate the
+// sparsity of their product, and compare against the exact result.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "mnc/mnc.h"
+
+int main() {
+  mnc::Rng rng(42);
+
+  // Two random 2000 x 2000 matrices with 1% non-zeros.
+  const mnc::CsrMatrix a = mnc::GenerateUniformSparse(2000, 2000, 0.01, rng);
+  const mnc::CsrMatrix b = mnc::GenerateUniformSparse(2000, 2000, 0.01, rng);
+
+  // Sketch construction is O(nnz + m + n); the sketches are O(m + n).
+  const mnc::MncSketch ha = mnc::MncSketch::FromCsr(a);
+  const mnc::MncSketch hb = mnc::MncSketch::FromCsr(b);
+  std::printf("sketch size: %lld bytes (matrix: %lld non-zeros)\n",
+              static_cast<long long>(ha.SizeBytes()),
+              static_cast<long long>(a.NumNonZeros()));
+
+  // Estimate the product sparsity in O(n) — no multiplication involved.
+  mnc::Stopwatch watch;
+  const double estimated = mnc::EstimateProductSparsity(ha, hb);
+  const double estimate_ms = watch.ElapsedMillis();
+
+  // Ground truth via an actual sparse matrix multiply.
+  watch.Restart();
+  const mnc::CsrMatrix c = mnc::MultiplySparseSparse(a, b);
+  const double multiply_ms = watch.ElapsedMillis();
+  const double actual = c.Sparsity();
+
+  std::printf("estimated sparsity: %.6f (in %.3f ms)\n", estimated,
+              estimate_ms);
+  std::printf("actual sparsity:    %.6f (multiply took %.3f ms)\n", actual,
+              multiply_ms);
+  std::printf("relative error:     %.4f\n",
+              mnc::RelativeError(estimated, actual));
+  return 0;
+}

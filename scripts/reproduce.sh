@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the library, runs the full test suite, and regenerates every paper
+# experiment (one bench binary per table/figure — see DESIGN.md §2).
+#
+# Usage: scripts/reproduce.sh [build-dir]
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" 2>&1 | tee test_output.txt | tail -3
+
+echo "== benches =="
+: > bench_output.txt
+for b in "$BUILD_DIR"/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "===== $b =====" | tee -a bench_output.txt
+    "$b" >> bench_output.txt 2>&1
+  fi
+done
+echo "wrote test_output.txt and bench_output.txt"

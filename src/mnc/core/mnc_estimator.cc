@@ -1,0 +1,283 @@
+#include "mnc/core/mnc_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+namespace internal {
+
+double DensityMapCombine(const std::vector<int64_t>& u,
+                         const std::vector<int64_t>& v, double p) {
+  static const std::vector<int64_t> kEmpty;
+  return DensityMapCombine(u, kEmpty, v, kEmpty, p);
+}
+
+double DensityMapCombine(const std::vector<int64_t>& u,
+                         const std::vector<int64_t>& du,
+                         const std::vector<int64_t>& v,
+                         const std::vector<int64_t>& dv, double p) {
+  MNC_CHECK_EQ(u.size(), v.size());
+  if (p <= 0.0) return 0.0;
+  // prod_k (1 - u_k v_k / p) computed in log space to avoid underflow for
+  // long common dimensions.
+  double log_zero_prob = 0.0;
+  bool certain_hit = false;
+  for (size_t k = 0; k < u.size(); ++k) {
+    double uk = static_cast<double>(u[k]);
+    double vk = static_cast<double>(v[k]);
+    if (!du.empty()) uk -= static_cast<double>(du[k]);
+    if (!dv.empty()) vk -= static_cast<double>(dv[k]);
+    if (uk <= 0.0 || vk <= 0.0) continue;
+    const double cell_prob = std::min(1.0, uk * vk / p);
+    if (cell_prob >= 1.0) {
+      certain_hit = true;
+      break;
+    }
+    log_zero_prob += std::log1p(-cell_prob);
+  }
+  const double s = certain_hit ? 1.0 : 1.0 - std::exp(log_zero_prob);
+  return std::clamp(s, 0.0, 1.0);
+}
+
+namespace {
+
+// Dot product over aligned count vectors.
+double Dot(const std::vector<int64_t>& u, const std::vector<int64_t>& v) {
+  MNC_CHECK_EQ(u.size(), v.size());
+  double acc = 0.0;
+  for (size_t k = 0; k < u.size(); ++k) {
+    acc += static_cast<double>(u[k]) * static_cast<double>(v[k]);
+  }
+  return acc;
+}
+
+// Dot of (u - du) with v.
+double DotDiffLeft(const std::vector<int64_t>& u,
+                   const std::vector<int64_t>& du,
+                   const std::vector<int64_t>& v) {
+  MNC_CHECK_EQ(u.size(), v.size());
+  MNC_CHECK_EQ(du.size(), v.size());
+  double acc = 0.0;
+  for (size_t k = 0; k < u.size(); ++k) {
+    acc += static_cast<double>(u[k] - du[k]) * static_cast<double>(v[k]);
+  }
+  return acc;
+}
+
+// Decomposition of the product estimate into an exactly-known part and a
+// probabilistic Binomial(p, s) part (used by the confidence interval).
+struct ProductEstimateParts {
+  double nnz = 0.0;        // final (bounded, clamped) estimate
+  double exact_nnz = 0.0;  // exactly-known portion
+  double p = 0.0;          // candidate cells of the probabilistic portion
+  double s = 0.0;          // per-cell probability of the probabilistic part
+  bool exact = false;      // the entire estimate is exact under A1/A2
+  double lower_bound = 0.0;  // Theorem 3.2
+  double upper_bound = 0.0;
+};
+
+ProductEstimateParts EstimateProductParts(const MncSketch& a,
+                                          const MncSketch& b,
+                                          bool use_extensions,
+                                          bool use_bounds) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  ProductEstimateParts parts;
+  const double m = static_cast<double>(a.rows());
+  const double l = static_cast<double>(b.cols());
+  parts.upper_bound = m * l;
+  if (a.nnz() == 0 || b.nnz() == 0) {
+    parts.exact = true;
+    parts.upper_bound = 0.0;
+    return parts;
+  }
+
+  double nnz = 0.0;
+  if (a.max_hr() <= 1 || b.max_hc() <= 1) {
+    // Theorem 3.1: exact under A1/A2.
+    nnz = Dot(a.hc(), b.hr());
+    parts.exact_nnz = nnz;
+    parts.exact = true;
+  } else if (use_extensions && (!a.hec().empty() || !b.her().empty())) {
+    // Eq. 8: exact fraction from extension vectors + generic rest. Entries
+    // of non-existing extension vectors are treated as zeros (Alg. 1).
+    std::vector<int64_t> hec_storage;
+    std::vector<int64_t> her_storage;
+    const std::vector<int64_t>* hec_a = &a.hec();
+    if (hec_a->empty()) {
+      hec_storage.assign(static_cast<size_t>(a.cols()), 0);
+      hec_a = &hec_storage;
+    }
+    const std::vector<int64_t>* her_b = &b.her();
+    if (her_b->empty()) {
+      her_storage.assign(static_cast<size_t>(b.rows()), 0);
+      her_b = &her_storage;
+    }
+    nnz = Dot(*hec_a, b.hr()) + DotDiffLeft(a.hc(), *hec_a, *her_b);
+    parts.exact_nnz = nnz;
+    const double p =
+        static_cast<double>(a.non_empty_rows() - a.single_nnz_rows()) *
+        static_cast<double>(b.non_empty_cols() - b.single_nnz_cols());
+    const double s =
+        internal::DensityMapCombine(a.hc(), *hec_a, b.hr(), *her_b, p);
+    parts.p = p;
+    parts.s = s;
+    nnz += s * p;
+  } else {
+    // Generic fallback over column/row counts with the Theorem-3.2 upper
+    // bound folded into the candidate output size p.
+    double p = static_cast<double>(a.non_empty_rows()) *
+               static_cast<double>(b.non_empty_cols());
+    if (!use_bounds) p = m * l;
+    const double s = internal::DensityMapCombine(a.hc(), b.hr(), p);
+    parts.p = p;
+    parts.s = s;
+    nnz = s * p;
+  }
+
+  if (use_bounds) {
+    // Theorem 3.2 lower bound: half-full rows of A against half-full columns
+    // of B (both relative to the common dimension n).
+    const double lower = static_cast<double>(a.half_full_rows()) *
+                         static_cast<double>(b.half_full_cols());
+    parts.lower_bound = lower;
+    parts.upper_bound =
+        std::min(parts.upper_bound,
+                 static_cast<double>(a.non_empty_rows()) *
+                     static_cast<double>(b.non_empty_cols()));
+    nnz = std::max(nnz, lower);
+    nnz = std::min(nnz, parts.upper_bound);
+  }
+  parts.nnz = std::clamp(nnz, 0.0, m * l);
+  return parts;
+}
+
+double EstimateProductNnzImpl(const MncSketch& a, const MncSketch& b,
+                              bool use_extensions, bool use_bounds) {
+  return EstimateProductParts(a, b, use_extensions, use_bounds).nnz;
+}
+
+}  // namespace
+
+}  // namespace internal
+
+double EstimateProductNnz(const MncSketch& a, const MncSketch& b) {
+  return internal::EstimateProductNnzImpl(a, b, /*use_extensions=*/true,
+                                          /*use_bounds=*/true);
+}
+
+double EstimateProductSparsity(const MncSketch& a, const MncSketch& b) {
+  const double cells =
+      static_cast<double>(a.rows()) * static_cast<double>(b.cols());
+  if (cells == 0.0) return 0.0;
+  return EstimateProductNnz(a, b) / cells;
+}
+
+double EstimateProductNnzBasic(const MncSketch& a, const MncSketch& b) {
+  return internal::EstimateProductNnzImpl(a, b, /*use_extensions=*/false,
+                                          /*use_bounds=*/false);
+}
+
+double EstimateProductSparsityBasic(const MncSketch& a, const MncSketch& b) {
+  const double cells =
+      static_cast<double>(a.rows()) * static_cast<double>(b.cols());
+  if (cells == 0.0) return 0.0;
+  return EstimateProductNnzBasic(a, b) / cells;
+}
+
+SparsityInterval EstimateProductSparsityInterval(const MncSketch& a,
+                                                 const MncSketch& b,
+                                                 double z) {
+  MNC_CHECK_GE(z, 0.0);
+  const internal::ProductEstimateParts parts = internal::EstimateProductParts(
+      a, b, /*use_extensions=*/true, /*use_bounds=*/true);
+  const double cells =
+      static_cast<double>(a.rows()) * static_cast<double>(b.cols());
+
+  SparsityInterval interval;
+  interval.exact = parts.exact;
+  if (cells == 0.0) {
+    interval.exact = true;
+    return interval;
+  }
+  interval.estimate = parts.nnz / cells;
+  if (parts.exact) {
+    interval.lower = interval.estimate;
+    interval.upper = interval.estimate;
+    return interval;
+  }
+  // Probabilistic part ~ Binomial(p, s): stddev sqrt(p s (1 - s)). The
+  // exact part contributes no variance; the interval respects the
+  // Theorem-3.2 bounds.
+  const double stddev =
+      std::sqrt(std::max(0.0, parts.p * parts.s * (1.0 - parts.s)));
+  const double center = parts.exact_nnz + parts.p * parts.s;
+  const double lo = std::clamp(center - z * stddev, parts.lower_bound,
+                               parts.upper_bound);
+  const double hi = std::clamp(center + z * stddev, parts.lower_bound,
+                               parts.upper_bound);
+  interval.lower = lo / cells;
+  interval.upper = hi / cells;
+  return interval;
+}
+
+namespace {
+
+// Collision factor lambda of Eq. 13: sum_j hcA_j hcB_j / (nnz(A) nnz(B)).
+double CollisionFactorColumns(const MncSketch& a, const MncSketch& b) {
+  if (a.nnz() == 0 || b.nnz() == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t j = 0; j < a.hc().size(); ++j) {
+    acc += static_cast<double>(a.hc()[j]) * static_cast<double>(b.hc()[j]);
+  }
+  return acc / (static_cast<double>(a.nnz()) * static_cast<double>(b.nnz()));
+}
+
+}  // namespace
+
+double EstimateEWiseMultNnz(const MncSketch& a, const MncSketch& b) {
+  MNC_CHECK_EQ(a.rows(), b.rows());
+  MNC_CHECK_EQ(a.cols(), b.cols());
+  const double lambda = CollisionFactorColumns(a, b);
+  double nnz = 0.0;
+  for (size_t i = 0; i < a.hr().size(); ++i) {
+    const double collisions = static_cast<double>(a.hr()[i]) *
+                              static_cast<double>(b.hr()[i]) * lambda;
+    nnz += std::min(collisions, static_cast<double>(
+                                    std::min(a.hr()[i], b.hr()[i])));
+  }
+  return nnz;
+}
+
+double EstimateEWiseMultSparsity(const MncSketch& a, const MncSketch& b) {
+  const double cells =
+      static_cast<double>(a.rows()) * static_cast<double>(a.cols());
+  if (cells == 0.0) return 0.0;
+  return EstimateEWiseMultNnz(a, b) / cells;
+}
+
+double EstimateEWiseAddNnz(const MncSketch& a, const MncSketch& b) {
+  MNC_CHECK_EQ(a.rows(), b.rows());
+  MNC_CHECK_EQ(a.cols(), b.cols());
+  const double lambda = CollisionFactorColumns(a, b);
+  double nnz = 0.0;
+  for (size_t i = 0; i < a.hr().size(); ++i) {
+    const double ha = static_cast<double>(a.hr()[i]);
+    const double hb = static_cast<double>(b.hr()[i]);
+    const double collisions =
+        std::min(ha * hb * lambda, std::min(ha, hb));
+    nnz += std::min(ha + hb - collisions, static_cast<double>(a.cols()));
+  }
+  return nnz;
+}
+
+double EstimateEWiseAddSparsity(const MncSketch& a, const MncSketch& b) {
+  const double cells =
+      static_cast<double>(a.rows()) * static_cast<double>(a.cols());
+  if (cells == 0.0) return 0.0;
+  return EstimateEWiseAddNnz(a, b) / cells;
+}
+
+}  // namespace mnc

@@ -1,0 +1,75 @@
+// MNC sparsity estimators — §3.2 (Algorithm 1) and §4.1 of the paper.
+//
+// Product estimation runs in O(n) (linear in the common dimension):
+//   1. exact case (Theorem 3.1) when max(hrA) <= 1 or max(hcB) <= 1,
+//   2. extended case (Eq. 8/9) splitting exactly-known and estimated parts,
+//   3. density-map-style fallback over column/row counts,
+// followed by the lower bound of Theorem 3.2. The element-wise estimators
+// implement Eq. 13; reorganizations are exact from metadata (§4.1).
+
+#ifndef MNC_CORE_MNC_ESTIMATOR_H_
+#define MNC_CORE_MNC_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "mnc/core/mnc_sketch.h"
+
+namespace mnc {
+
+// Estimated number of non-zeros of the product A B. Full MNC estimator
+// (Algorithm 1). Aborts if a.cols() != b.rows().
+double EstimateProductNnz(const MncSketch& a, const MncSketch& b);
+
+// Confidence interval around the product estimate ("interesting future
+// work (2)" of §8). The estimator decomposes into an exactly-known part
+// (Theorem 3.1 / the first term of Eq. 8) and a probabilistic part modeled
+// as ~Binomial(p, s) over the p candidate output cells, giving standard
+// deviation sqrt(p s (1 - s)). The interval is estimate ± z * stddev,
+// clamped to the Theorem-3.2 bounds. `exact` is true when the whole
+// estimate is exact under A1/A2 (degenerate interval).
+struct SparsityInterval {
+  double lower = 0.0;
+  double estimate = 0.0;
+  double upper = 0.0;
+  bool exact = false;
+};
+SparsityInterval EstimateProductSparsityInterval(const MncSketch& a,
+                                                 const MncSketch& b,
+                                                 double z = 1.96);
+
+// Estimated output sparsity of A B (EstimateProductNnz scaled by m*l).
+double EstimateProductSparsity(const MncSketch& a, const MncSketch& b);
+
+// "MNC Basic": the estimator without extension vectors and without the
+// lower/upper bounds (Figures 10 and 13 evaluate this variant separately).
+double EstimateProductNnzBasic(const MncSketch& a, const MncSketch& b);
+double EstimateProductSparsityBasic(const MncSketch& a, const MncSketch& b);
+
+// Element-wise estimators (Eq. 13). Shapes must match.
+double EstimateEWiseMultNnz(const MncSketch& a, const MncSketch& b);
+double EstimateEWiseMultSparsity(const MncSketch& a, const MncSketch& b);
+double EstimateEWiseAddNnz(const MncSketch& a, const MncSketch& b);
+double EstimateEWiseAddSparsity(const MncSketch& a, const MncSketch& b);
+
+namespace internal {
+
+// Density-map-style combination over aligned count vectors u (from the left
+// input's columns) and v (from the right input's rows), with p candidate
+// output cells: p * (1 - prod_k (1 - u[k] v[k] / p)). This is E_dm applied
+// at m x l output block granularity (§3.2 "Basic Sparsity Estimation").
+double DensityMapCombine(const std::vector<int64_t>& u,
+                         const std::vector<int64_t>& v, double p);
+
+// Overload with element-wise offsets (u[k]-du[k], v[k]-dv[k]) so the
+// extended case can subtract the exactly-known parts without materializing
+// temporary vectors.
+double DensityMapCombine(const std::vector<int64_t>& u,
+                         const std::vector<int64_t>& du,
+                         const std::vector<int64_t>& v,
+                         const std::vector<int64_t>& dv, double p);
+
+}  // namespace internal
+
+}  // namespace mnc
+
+#endif  // MNC_CORE_MNC_ESTIMATOR_H_

@@ -1,0 +1,281 @@
+#include "mnc/core/mnc_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mnc/core/mnc_estimator.h"
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+int64_t ProbabilisticRound(double x, Rng& rng) {
+  MNC_DCHECK(x >= 0.0);
+  const double fl = std::floor(x);
+  const double frac = x - fl;
+  return static_cast<int64_t>(fl) + (rng.Bernoulli(frac) ? 1 : 0);
+}
+
+int64_t RoundCount(double x, RoundingMode mode, Rng& rng) {
+  if (mode == RoundingMode::kDeterministic) {
+    return static_cast<int64_t>(std::llround(x));
+  }
+  return ProbabilisticRound(x, rng);
+}
+
+namespace {
+
+// Scales counts so their sum approaches target_nnz, clamping every entry to
+// [0, cap] with probabilistic rounding (Eq. 11).
+std::vector<int64_t> ScaleCounts(const std::vector<int64_t>& counts,
+                                 double source_nnz, double target_nnz,
+                                 int64_t cap, Rng& rng, RoundingMode mode) {
+  std::vector<int64_t> out(counts.size(), 0);
+  if (source_nnz <= 0.0 || target_nnz <= 0.0) return out;
+  const double scale = target_nnz / source_nnz;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double scaled = static_cast<double>(counts[i]) * scale;
+    out[i] = std::clamp<int64_t>(RoundCount(scaled, mode, rng), 0, cap);
+  }
+  return out;
+}
+
+// Row-collision factor lambda^r = sum_i hrA_i hrB_i / (nnzA nnzB); the
+// column variant uses hc. (Eq. 13/15.)
+double Lambda(const std::vector<int64_t>& u, const std::vector<int64_t>& v,
+              double nnz_a, double nnz_b) {
+  if (nnz_a <= 0.0 || nnz_b <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (size_t k = 0; k < u.size(); ++k) {
+    acc += static_cast<double>(u[k]) * static_cast<double>(v[k]);
+  }
+  return acc / (nnz_a * nnz_b);
+}
+
+}  // namespace
+
+MncSketch PropagateProduct(const MncSketch& a, const MncSketch& b, Rng& rng,
+                           bool basic, RoundingMode mode) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  if (!basic) {
+    // Eq. 12: a fully diagonal square input leaves the other side unchanged.
+    if (a.is_diagonal() && a.rows() == a.cols()) return b;
+    if (b.is_diagonal() && b.rows() == b.cols()) return a;
+  }
+  const double nnz_c =
+      basic ? EstimateProductNnzBasic(a, b) : EstimateProductNnz(a, b);
+  std::vector<int64_t> hr = ScaleCounts(a.hr(), static_cast<double>(a.nnz()),
+                                        nnz_c, b.cols(), rng, mode);
+  std::vector<int64_t> hc = ScaleCounts(b.hc(), static_cast<double>(b.nnz()),
+                                        nnz_c, a.rows(), rng, mode);
+  return MncSketch::FromCounts(a.rows(), b.cols(), std::move(hr),
+                               std::move(hc));
+}
+
+MncSketch PropagateEWiseAdd(const MncSketch& a, const MncSketch& b, Rng& rng,
+                            RoundingMode mode) {
+  MNC_CHECK_EQ(a.rows(), b.rows());
+  MNC_CHECK_EQ(a.cols(), b.cols());
+  const double nnz_a = static_cast<double>(a.nnz());
+  const double nnz_b = static_cast<double>(b.nnz());
+  const double lambda_r = Lambda(a.hr(), b.hr(), nnz_a, nnz_b);
+  const double lambda_c = Lambda(a.hc(), b.hc(), nnz_a, nnz_b);
+
+  std::vector<int64_t> hr(a.hr().size());
+  for (size_t i = 0; i < hr.size(); ++i) {
+    const double ha = static_cast<double>(a.hr()[i]);
+    const double hb = static_cast<double>(b.hr()[i]);
+    const double collisions = std::min(ha * hb * lambda_c, std::min(ha, hb));
+    const double est = std::clamp(ha + hb - collisions, std::max(ha, hb),
+                                  static_cast<double>(a.cols()));
+    hr[i] = RoundCount(est, mode, rng);
+  }
+  std::vector<int64_t> hc(a.hc().size());
+  for (size_t j = 0; j < hc.size(); ++j) {
+    const double ha = static_cast<double>(a.hc()[j]);
+    const double hb = static_cast<double>(b.hc()[j]);
+    const double collisions = std::min(ha * hb * lambda_r, std::min(ha, hb));
+    const double est = std::clamp(ha + hb - collisions, std::max(ha, hb),
+                                  static_cast<double>(a.rows()));
+    hc[j] = RoundCount(est, mode, rng);
+  }
+  return MncSketch::FromCounts(a.rows(), a.cols(), std::move(hr),
+                               std::move(hc));
+}
+
+MncSketch PropagateEWiseMult(const MncSketch& a, const MncSketch& b, Rng& rng,
+                             RoundingMode mode) {
+  MNC_CHECK_EQ(a.rows(), b.rows());
+  MNC_CHECK_EQ(a.cols(), b.cols());
+  const double nnz_a = static_cast<double>(a.nnz());
+  const double nnz_b = static_cast<double>(b.nnz());
+  const double lambda_r = Lambda(a.hr(), b.hr(), nnz_a, nnz_b);
+  const double lambda_c = Lambda(a.hc(), b.hc(), nnz_a, nnz_b);
+
+  std::vector<int64_t> hr(a.hr().size());
+  for (size_t i = 0; i < hr.size(); ++i) {
+    const double ha = static_cast<double>(a.hr()[i]);
+    const double hb = static_cast<double>(b.hr()[i]);
+    const double est = std::min(ha * hb * lambda_c, std::min(ha, hb));
+    hr[i] = RoundCount(est, mode, rng);
+  }
+  std::vector<int64_t> hc(a.hc().size());
+  for (size_t j = 0; j < hc.size(); ++j) {
+    const double ha = static_cast<double>(a.hc()[j]);
+    const double hb = static_cast<double>(b.hc()[j]);
+    const double est = std::min(ha * hb * lambda_r, std::min(ha, hb));
+    hc[j] = RoundCount(est, mode, rng);
+  }
+  return MncSketch::FromCounts(a.rows(), a.cols(), std::move(hr),
+                               std::move(hc));
+}
+
+MncSketch PropagateTranspose(const MncSketch& a) {
+  return MncSketch::FromCountsExtended(a.cols(), a.rows(), a.hc(), a.hr(),
+                                       a.hec(), a.her(), a.is_diagonal());
+}
+
+MncSketch PropagateNotEqualZero(const MncSketch& a) { return a; }
+
+MncSketch PropagateEqualZero(const MncSketch& a) {
+  std::vector<int64_t> hr(a.hr().size());
+  for (size_t i = 0; i < hr.size(); ++i) hr[i] = a.cols() - a.hr()[i];
+  std::vector<int64_t> hc(a.hc().size());
+  for (size_t j = 0; j < hc.size(); ++j) hc[j] = a.rows() - a.hc()[j];
+  return MncSketch::FromCounts(a.rows(), a.cols(), std::move(hr),
+                               std::move(hc));
+}
+
+MncSketch PropagateRBind(const MncSketch& a, const MncSketch& b) {
+  MNC_CHECK_EQ(a.cols(), b.cols());
+  std::vector<int64_t> hr = a.hr();
+  hr.insert(hr.end(), b.hr().begin(), b.hr().end());
+  std::vector<int64_t> hc(a.hc().size());
+  for (size_t j = 0; j < hc.size(); ++j) hc[j] = a.hc()[j] + b.hc()[j];
+  // her is invalidated (single-nnz columns may gain entries); hec adds
+  // exactly because row counts are untouched (Eq. 14).
+  std::vector<int64_t> hec;
+  if (!a.hec().empty() && !b.hec().empty()) {
+    hec.resize(a.hec().size());
+    for (size_t j = 0; j < hec.size(); ++j) hec[j] = a.hec()[j] + b.hec()[j];
+  }
+  return MncSketch::FromCountsExtended(a.rows() + b.rows(), a.cols(),
+                                       std::move(hr), std::move(hc),
+                                       /*her=*/{}, std::move(hec));
+}
+
+MncSketch PropagateCBind(const MncSketch& a, const MncSketch& b) {
+  MNC_CHECK_EQ(a.rows(), b.rows());
+  std::vector<int64_t> hc = a.hc();
+  hc.insert(hc.end(), b.hc().begin(), b.hc().end());
+  std::vector<int64_t> hr(a.hr().size());
+  for (size_t i = 0; i < hr.size(); ++i) hr[i] = a.hr()[i] + b.hr()[i];
+  std::vector<int64_t> her;
+  if (!a.her().empty() && !b.her().empty()) {
+    her.resize(a.her().size());
+    for (size_t i = 0; i < her.size(); ++i) her[i] = a.her()[i] + b.her()[i];
+  }
+  return MncSketch::FromCountsExtended(a.rows(), a.cols() + b.cols(),
+                                       std::move(hr), std::move(hc),
+                                       std::move(her), /*hec=*/{});
+}
+
+MncSketch PropagateDiag(const MncSketch& a, Rng& rng, RoundingMode mode) {
+  if (a.cols() == 1) {
+    // Vector -> diagonal matrix: every count vector equals the vector's 0/1
+    // row counts (Eq. 14), and the result is fully diagonal iff the vector
+    // is fully dense.
+    const bool full = a.nnz() == a.rows();
+    return MncSketch::FromCountsExtended(a.rows(), a.rows(), a.hr(), a.hr(),
+                                         a.hr(), a.hr(), full);
+  }
+  // Matrix -> vector of its diagonal: best-effort, assuming row non-zeros
+  // are uniformly placed: P(A_ii != 0) ~ hr_i / n.
+  MNC_CHECK_EQ(a.rows(), a.cols());
+  std::vector<int64_t> hr(a.hr().size());
+  int64_t total = 0;
+  for (size_t i = 0; i < hr.size(); ++i) {
+    const double p =
+        static_cast<double>(a.hr()[i]) / static_cast<double>(a.cols());
+    hr[i] = RoundCount(std::min(p, 1.0), mode, rng);
+    total += hr[i];
+  }
+  std::vector<int64_t> hc = {total};
+  return MncSketch::FromCounts(a.rows(), 1, std::move(hr), std::move(hc));
+}
+
+MncSketch PropagateScale(const MncSketch& a) { return a; }
+
+MncSketch PropagateRowSums(const MncSketch& a) {
+  std::vector<int64_t> hr(a.hr().size());
+  int64_t non_empty = 0;
+  for (size_t i = 0; i < hr.size(); ++i) {
+    hr[i] = a.hr()[i] > 0 ? 1 : 0;
+    non_empty += hr[i];
+  }
+  std::vector<int64_t> hc = {non_empty};
+  return MncSketch::FromCounts(a.rows(), 1, std::move(hr), std::move(hc));
+}
+
+MncSketch PropagateColSums(const MncSketch& a) {
+  std::vector<int64_t> hc(a.hc().size());
+  int64_t non_empty = 0;
+  for (size_t j = 0; j < hc.size(); ++j) {
+    hc[j] = a.hc()[j] > 0 ? 1 : 0;
+    non_empty += hc[j];
+  }
+  std::vector<int64_t> hr = {non_empty};
+  return MncSketch::FromCounts(1, a.cols(), std::move(hr), std::move(hc));
+}
+
+MncSketch PropagateReshape(const MncSketch& a, int64_t k, int64_t l, Rng& rng,
+                           RoundingMode mode) {
+  MNC_CHECK_EQ(a.rows() * a.cols(), k * l);
+  if (k == a.rows()) return a;
+
+  std::vector<int64_t> hr(static_cast<size_t>(k), 0);
+  std::vector<int64_t> hc(static_cast<size_t>(l), 0);
+  if (a.rows() % k == 0) {
+    // Merging rows: groups of m/k consecutive input rows concatenate into
+    // one output row; row counts aggregate exactly, column counts are
+    // scaled and replicated (§4.2).
+    const int64_t group = a.rows() / k;
+    for (int64_t i = 0; i < a.rows(); ++i) {
+      hr[static_cast<size_t>(i / group)] += a.hr()[static_cast<size_t>(i)];
+    }
+    for (int64_t c = 0; c < l; ++c) {
+      const int64_t j = c % a.cols();
+      const double est = static_cast<double>(a.hc()[static_cast<size_t>(j)]) /
+                         static_cast<double>(group);
+      hc[static_cast<size_t>(c)] = std::clamp<int64_t>(
+          RoundCount(est, mode, rng), 0, k);
+    }
+  } else if (k % a.rows() == 0) {
+    // Splitting rows: each input row spreads over k/m output rows; column
+    // counts aggregate exactly, row counts are scaled.
+    const int64_t split = k / a.rows();
+    for (int64_t r = 0; r < k; ++r) {
+      const double est =
+          static_cast<double>(a.hr()[static_cast<size_t>(r / split)]) /
+          static_cast<double>(split);
+      hr[static_cast<size_t>(r)] =
+          std::clamp<int64_t>(RoundCount(est, mode, rng), 0, l);
+    }
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      hc[static_cast<size_t>(j % l)] += a.hc()[static_cast<size_t>(j)];
+    }
+  } else {
+    // General fallback: uniform redistribution of the total count.
+    const double nnz = static_cast<double>(a.nnz());
+    for (int64_t r = 0; r < k; ++r) {
+      hr[static_cast<size_t>(r)] = std::clamp<int64_t>(
+          RoundCount(nnz / static_cast<double>(k), mode, rng), 0, l);
+    }
+    for (int64_t c = 0; c < l; ++c) {
+      hc[static_cast<size_t>(c)] = std::clamp<int64_t>(
+          RoundCount(nnz / static_cast<double>(l), mode, rng), 0, k);
+    }
+  }
+  return MncSketch::FromCounts(k, l, std::move(hr), std::move(hc));
+}
+
+}  // namespace mnc

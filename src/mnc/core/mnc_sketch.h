@@ -1,0 +1,126 @@
+// The MNC (Matrix Non-zero Count) sketch — §3.1 of the paper.
+//
+// An MNC sketch of an m x n matrix A holds:
+//   - hr / hc: non-zero counts per row / column (rowSums(A != 0), etc.),
+//   - her / hec: extended counts — hr restricted to columns with a single
+//     non-zero, and hc restricted to rows with a single non-zero,
+//   - summary statistics: max(hr), max(hc), the number of non-empty rows and
+//     columns, the number of half-full rows (hr > n/2) and columns
+//     (hc > m/2), the number of single-non-zero rows/columns, and a flag for
+//     fully diagonal matrices.
+//
+// Size is O(m + n); construction is O(nnz + m + n) (one scan to count, a
+// second scan for the extension vectors when needed).
+
+#ifndef MNC_CORE_MNC_SKETCH_H_
+#define MNC_CORE_MNC_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mnc/matrix/csc_matrix.h"
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/matrix/dense_matrix.h"
+#include "mnc/matrix/matrix.h"
+#include "mnc/util/thread_pool.h"
+
+namespace mnc {
+
+class MncSketch {
+ public:
+  // Sketch construction from matrices (the "construction" cost measured by
+  // Figures 7(b)/8(b)).
+  static MncSketch FromCsr(const CsrMatrix& a);
+  static MncSketch FromCsc(const CscMatrix& a);
+  static MncSketch FromDense(const DenseMatrix& a);
+  static MncSketch FromMatrix(const Matrix& a);
+
+  // Builds a sketch from propagated count vectors; extension vectors are
+  // absent unless provided, and summary statistics are recomputed. Used by
+  // sketch propagation (§3.3/§4).
+  static MncSketch FromCounts(int64_t rows, int64_t cols,
+                              std::vector<int64_t> hr, std::vector<int64_t> hc,
+                              bool diagonal = false);
+
+  // Like FromCounts but also carries extension vectors (used where §4 says
+  // they are exactly preserved, e.g., transpose).
+  static MncSketch FromCountsExtended(int64_t rows, int64_t cols,
+                                      std::vector<int64_t> hr,
+                                      std::vector<int64_t> hc,
+                                      std::vector<int64_t> her,
+                                      std::vector<int64_t> hec,
+                                      bool diagonal = false);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return nnz_; }
+  double Sparsity() const;
+
+  // Count vectors. her()/hec() are empty when has_extended() is false.
+  const std::vector<int64_t>& hr() const { return hr_; }
+  const std::vector<int64_t>& hc() const { return hc_; }
+  const std::vector<int64_t>& her() const { return her_; }
+  const std::vector<int64_t>& hec() const { return hec_; }
+  bool has_extended() const { return !her_.empty() || !hec_.empty(); }
+
+  // Summary statistics (§3.1 "Summary Statistics").
+  int64_t max_hr() const { return max_hr_; }
+  int64_t max_hc() const { return max_hc_; }
+  int64_t non_empty_rows() const { return non_empty_rows_; }   // nnz(hr)
+  int64_t non_empty_cols() const { return non_empty_cols_; }   // nnz(hc)
+  int64_t half_full_rows() const { return half_full_rows_; }   // |hr > n/2|
+  int64_t half_full_cols() const { return half_full_cols_; }   // |hc > m/2|
+  int64_t single_nnz_rows() const { return single_nnz_rows_; } // |hr == 1|
+  int64_t single_nnz_cols() const { return single_nnz_cols_; } // |hc == 1|
+  bool is_diagonal() const { return diagonal_; }
+
+  // Strips extension vectors and the diagonal flag — produces the "MNC
+  // Basic" variant evaluated in Figures 10/13.
+  MncSketch ToBasic() const;
+
+  // Distributed construction (§3.1: "the sketch can be computed via
+  // distributed operations and subsequently collected and used in the
+  // driver"): merges sketches of horizontal (row-range) partitions, in
+  // order. Row counts concatenate; column counts add. Extension vectors
+  // cannot be merged exactly (a column's single-non-zero status is global),
+  // so the merged sketch carries none — exactly the information a
+  // driver-side merge of per-partition count vectors can provide.
+  static MncSketch MergeRowPartitions(const std::vector<MncSketch>& parts);
+
+  // Symmetric merge of vertical (column-range) partitions.
+  static MncSketch MergeColPartitions(const std::vector<MncSketch>& parts);
+
+  // Multi-threaded construction: partitions the matrix into row ranges,
+  // sketches them on the pool, merges, and then reconstructs the extension
+  // vectors in one extra scan (so the result equals FromCsr exactly).
+  static MncSketch FromCsrParallel(const CsrMatrix& a, ThreadPool& pool);
+
+  // Approximate in-memory footprint in bytes (Fig. 9 size analysis).
+  int64_t SizeBytes() const;
+
+ private:
+  MncSketch() = default;
+
+  void RecomputeSummary();
+
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  int64_t nnz_ = 0;
+  std::vector<int64_t> hr_;
+  std::vector<int64_t> hc_;
+  std::vector<int64_t> her_;
+  std::vector<int64_t> hec_;
+  int64_t max_hr_ = 0;
+  int64_t max_hc_ = 0;
+  int64_t non_empty_rows_ = 0;
+  int64_t non_empty_cols_ = 0;
+  int64_t half_full_rows_ = 0;
+  int64_t half_full_cols_ = 0;
+  int64_t single_nnz_rows_ = 0;
+  int64_t single_nnz_cols_ = 0;
+  bool diagonal_ = false;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_CORE_MNC_SKETCH_H_

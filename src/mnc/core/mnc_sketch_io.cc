@@ -1,0 +1,110 @@
+#include "mnc/core/mnc_sketch_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace mnc {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'N', 'C', 'S'};
+constexpr uint8_t kVersion = 1;
+
+// Sanity cap against corrupted headers allocating huge vectors.
+constexpr int64_t kMaxDimension = int64_t{1} << 40;
+
+void WriteInt64(std::ostream& os, int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadInt64(std::istream& is, int64_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(is);
+}
+
+void WriteVector(std::ostream& os, const std::vector<int64_t>& v) {
+  WriteInt64(os, static_cast<int64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(int64_t)));
+}
+
+bool ReadVector(std::istream& is, int64_t expected_size,
+                std::vector<int64_t>* v) {
+  int64_t size = 0;
+  if (!ReadInt64(is, &size)) return false;
+  if (size < 0 || size > kMaxDimension) return false;
+  if (expected_size >= 0 && size != 0 && size != expected_size) return false;
+  v->resize(static_cast<size_t>(size));
+  is.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(v->size() * sizeof(int64_t)));
+  return static_cast<bool>(is) || size == 0;
+}
+
+}  // namespace
+
+bool WriteSketch(const MncSketch& sketch, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  os.put(static_cast<char>(kVersion));
+  os.put(sketch.is_diagonal() ? 1 : 0);
+  WriteInt64(os, sketch.rows());
+  WriteInt64(os, sketch.cols());
+  WriteVector(os, sketch.hr());
+  WriteVector(os, sketch.hc());
+  WriteVector(os, sketch.her());
+  WriteVector(os, sketch.hec());
+  return static_cast<bool>(os);
+}
+
+bool WriteSketchFile(const MncSketch& sketch, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  return WriteSketch(sketch, out);
+}
+
+std::optional<MncSketch> ReadSketch(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  const int version = is.get();
+  if (version != kVersion) return std::nullopt;
+  const int diagonal = is.get();
+  if (diagonal != 0 && diagonal != 1) return std::nullopt;
+
+  int64_t rows = 0;
+  int64_t cols = 0;
+  if (!ReadInt64(is, &rows) || !ReadInt64(is, &cols)) return std::nullopt;
+  if (rows < 0 || cols < 0 || rows > kMaxDimension || cols > kMaxDimension) {
+    return std::nullopt;
+  }
+  std::vector<int64_t> hr, hc, her, hec;
+  if (!ReadVector(is, rows, &hr) || !ReadVector(is, cols, &hc) ||
+      !ReadVector(is, rows, &her) || !ReadVector(is, cols, &hec)) {
+    return std::nullopt;
+  }
+  if (static_cast<int64_t>(hr.size()) != rows ||
+      static_cast<int64_t>(hc.size()) != cols) {
+    return std::nullopt;
+  }
+  // Counts must be within [0, dim].
+  for (int64_t c : hr) {
+    if (c < 0 || c > cols) return std::nullopt;
+  }
+  for (int64_t c : hc) {
+    if (c < 0 || c > rows) return std::nullopt;
+  }
+  return MncSketch::FromCountsExtended(rows, cols, std::move(hr),
+                                       std::move(hc), std::move(her),
+                                       std::move(hec), diagonal == 1);
+}
+
+std::optional<MncSketch> ReadSketchFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return ReadSketch(in);
+}
+
+}  // namespace mnc

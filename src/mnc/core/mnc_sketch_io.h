@@ -1,0 +1,29 @@
+// MNC sketch (de)serialization.
+//
+// Supports the distributed workflow of §3.1: workers sketch their
+// partitions, serialize, and the driver deserializes, merges
+// (MncSketch::MergeRowPartitions), and estimates. The format is a compact
+// little-endian binary layout with a magic header and version byte.
+
+#ifndef MNC_CORE_MNC_SKETCH_IO_H_
+#define MNC_CORE_MNC_SKETCH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "mnc/core/mnc_sketch.h"
+
+namespace mnc {
+
+// Writes `sketch` to `os`. Returns false on stream failure.
+bool WriteSketch(const MncSketch& sketch, std::ostream& os);
+bool WriteSketchFile(const MncSketch& sketch, const std::string& path);
+
+// Reads a sketch; std::nullopt on malformed input or stream failure.
+std::optional<MncSketch> ReadSketch(std::istream& is);
+std::optional<MncSketch> ReadSketchFile(const std::string& path);
+
+}  // namespace mnc
+
+#endif  // MNC_CORE_MNC_SKETCH_IO_H_

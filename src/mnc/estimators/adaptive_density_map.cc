@@ -1,0 +1,213 @@
+#include "mnc/estimators/adaptive_density_map.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mnc {
+
+namespace {
+
+// Work item for iterative quad-tree construction over a (row, col) triple
+// range [lo, hi).
+struct BuildItem {
+  int32_t node;
+  int64_t lo, hi;
+  int64_t r0, c0, h, w;
+  int depth;
+};
+
+}  // namespace
+
+AdaptiveDensityMap AdaptiveDensityMap::FromCsr(const CsrMatrix& a,
+                                               Options options) {
+  MNC_CHECK_GT(options.min_cells, 0);
+  AdaptiveDensityMap map;
+  map.rows_ = a.rows();
+  map.cols_ = a.cols();
+
+  // Expand the non-zero coordinates; the build partitions them in place.
+  const int64_t nnz = a.NumNonZeros();
+  std::vector<int64_t> rows(static_cast<size_t>(nnz));
+  std::vector<int64_t> cols(static_cast<size_t>(nnz));
+  {
+    size_t k = 0;
+    for (int64_t i = 0; i < a.rows(); ++i) {
+      for (int64_t j : a.RowIndices(i)) {
+        rows[k] = i;
+        cols[k] = j;
+        ++k;
+      }
+    }
+  }
+
+  map.nodes_.push_back(Node{});
+  std::vector<BuildItem> stack = {
+      {0, 0, nnz, 0, 0, a.rows(), a.cols(), 0}};
+  while (!stack.empty()) {
+    const BuildItem item = stack.back();
+    stack.pop_back();
+    const int64_t count = item.hi - item.lo;
+    const double cells =
+        static_cast<double>(item.h) * static_cast<double>(item.w);
+    const double sparsity =
+        cells > 0.0 ? static_cast<double>(count) / cells : 0.0;
+    map.nodes_[static_cast<size_t>(item.node)].sparsity =
+        static_cast<float>(sparsity);
+
+    // Leaf conditions: empty, fully dense, small enough, or too deep —
+    // exactly the regions where finer blocks carry no extra information.
+    if (count == 0 || sparsity >= 1.0 ||
+        cells <= static_cast<double>(options.min_cells) ||
+        item.depth >= options.max_depth || item.h <= 1 || item.w <= 1) {
+      continue;
+    }
+
+    // Split into quadrants: partition by row, then by column within each
+    // half (in-place, quicksort-style).
+    const int64_t rmid = item.r0 + item.h / 2;
+    const int64_t cmid = item.c0 + item.w / 2;
+    // Partition rows < rmid to the front, keeping (row, col) pairs aligned.
+    int64_t row_split = item.lo;
+    for (int64_t k = item.lo; k < item.hi; ++k) {
+      if (rows[static_cast<size_t>(k)] < rmid) {
+        std::swap(rows[static_cast<size_t>(k)],
+                  rows[static_cast<size_t>(row_split)]);
+        std::swap(cols[static_cast<size_t>(k)],
+                  cols[static_cast<size_t>(row_split)]);
+        ++row_split;
+      }
+    }
+    auto split_cols = [&](int64_t lo, int64_t hi) {
+      int64_t mid = lo;
+      for (int64_t k = lo; k < hi; ++k) {
+        if (cols[static_cast<size_t>(k)] < cmid) {
+          std::swap(rows[static_cast<size_t>(k)],
+                    rows[static_cast<size_t>(mid)]);
+          std::swap(cols[static_cast<size_t>(k)],
+                    cols[static_cast<size_t>(mid)]);
+          ++mid;
+        }
+      }
+      return mid;
+    };
+    const int64_t top_split = split_cols(item.lo, row_split);
+    const int64_t bottom_split = split_cols(row_split, item.hi);
+
+    const int32_t first_child =
+        static_cast<int32_t>(map.nodes_.size());
+    map.nodes_[static_cast<size_t>(item.node)].first_child = first_child;
+    map.nodes_.resize(map.nodes_.size() + 4);
+
+    const int64_t h_top = item.h / 2;
+    const int64_t w_left = item.w / 2;
+    // Children order: NW, NE, SW, SE.
+    stack.push_back({first_child, item.lo, top_split, item.r0, item.c0,
+                     h_top, w_left, item.depth + 1});
+    stack.push_back({first_child + 1, top_split, row_split, item.r0,
+                     item.c0 + w_left, h_top, item.w - w_left,
+                     item.depth + 1});
+    stack.push_back({first_child + 2, row_split, bottom_split,
+                     item.r0 + h_top, item.c0, item.h - h_top, w_left,
+                     item.depth + 1});
+    stack.push_back({first_child + 3, bottom_split, item.hi,
+                     item.r0 + h_top, item.c0 + w_left, item.h - h_top,
+                     item.w - w_left, item.depth + 1});
+  }
+  return map;
+}
+
+double AdaptiveDensityMap::QueryNode(int32_t index, const Region& node_region,
+                                     int64_t r0, int64_t c0, int64_t h,
+                                     int64_t w) const {
+  // Intersection of the query with this node.
+  const int64_t ri = std::max(node_region.r0, r0);
+  const int64_t ci = std::max(node_region.c0, c0);
+  const int64_t re = std::min(node_region.r0 + node_region.h, r0 + h);
+  const int64_t ce = std::min(node_region.c0 + node_region.w, c0 + w);
+  if (ri >= re || ci >= ce) return 0.0;
+  const double area =
+      static_cast<double>(re - ri) * static_cast<double>(ce - ci);
+
+  const Node& node = nodes_[static_cast<size_t>(index)];
+  if (node.first_child < 0 || node.sparsity == 0.0f ||
+      node.sparsity == 1.0f) {
+    // Leaf (or uniform subtree): contribute area-weighted sparsity.
+    return area * static_cast<double>(node.sparsity);
+  }
+  const int64_t h_top = node_region.h / 2;
+  const int64_t w_left = node_region.w / 2;
+  const Region nw{node_region.r0, node_region.c0, h_top, w_left};
+  const Region ne{node_region.r0, node_region.c0 + w_left, h_top,
+                  node_region.w - w_left};
+  const Region sw{node_region.r0 + h_top, node_region.c0,
+                  node_region.h - h_top, w_left};
+  const Region se{node_region.r0 + h_top, node_region.c0 + w_left,
+                  node_region.h - h_top, node_region.w - w_left};
+  return QueryNode(node.first_child, nw, r0, c0, h, w) +
+         QueryNode(node.first_child + 1, ne, r0, c0, h, w) +
+         QueryNode(node.first_child + 2, sw, r0, c0, h, w) +
+         QueryNode(node.first_child + 3, se, r0, c0, h, w);
+}
+
+double AdaptiveDensityMap::QueryRegion(int64_t r0, int64_t c0, int64_t h,
+                                       int64_t w) const {
+  MNC_CHECK(r0 >= 0 && c0 >= 0 && h >= 0 && w >= 0);
+  if (h == 0 || w == 0 || nodes_.empty()) return 0.0;
+  const double mass = QueryNode(0, {0, 0, rows_, cols_}, r0, c0, h, w);
+  return mass / (static_cast<double>(h) * static_cast<double>(w));
+}
+
+double AdaptiveDensityMap::OverallSparsity() const {
+  return nodes_.empty() ? 0.0
+                        : static_cast<double>(nodes_.front().sparsity);
+}
+
+DensityMap AdaptiveDensityMap::Rasterize(int64_t block_size) const {
+  DensityMap out(rows_, cols_, block_size);
+  for (int64_t bi = 0; bi < out.block_rows(); ++bi) {
+    const int64_t r0 = bi * block_size;
+    const int64_t h = out.BlockRowExtent(bi);
+    for (int64_t bj = 0; bj < out.block_cols(); ++bj) {
+      const int64_t c0 = bj * block_size;
+      const int64_t w = out.BlockColExtent(bj);
+      out.SetBlockSparsity(bi, bj, QueryRegion(r0, c0, h, w));
+    }
+  }
+  return out;
+}
+
+SynopsisPtr AdaptiveDensityMapEstimator::Build(const Matrix& a) {
+  return std::make_shared<AdaptiveDensityMapSynopsis>(
+      AdaptiveDensityMap::FromCsr(a.AsCsr(), options_));
+}
+
+SynopsisPtr AdaptiveDensityMapEstimator::Normalize(
+    const SynopsisPtr& s) const {
+  if (s == nullptr) return s;
+  if (const auto* adaptive =
+          dynamic_cast<const AdaptiveDensityMapSynopsis*>(s.get())) {
+    return std::make_shared<DensityMapSynopsis>(
+        adaptive->map().Rasterize(delegate_.block_size()));
+  }
+  return s;  // already a fixed map (chain intermediate)
+}
+
+double AdaptiveDensityMapEstimator::EstimateSparsity(OpKind op,
+                                                     const SynopsisPtr& a,
+                                                     const SynopsisPtr& b,
+                                                     int64_t out_rows,
+                                                     int64_t out_cols) {
+  return delegate_.EstimateSparsity(op, Normalize(a), Normalize(b), out_rows,
+                                    out_cols);
+}
+
+SynopsisPtr AdaptiveDensityMapEstimator::Propagate(OpKind op,
+                                                   const SynopsisPtr& a,
+                                                   const SynopsisPtr& b,
+                                                   int64_t out_rows,
+                                                   int64_t out_cols) {
+  return delegate_.Propagate(op, Normalize(a), Normalize(b), out_rows,
+                             out_cols);
+}
+
+}  // namespace mnc

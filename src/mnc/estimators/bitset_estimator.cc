@@ -1,0 +1,270 @@
+#include "mnc/estimators/bitset_estimator.h"
+
+#include <bit>
+
+namespace mnc {
+
+BitMatrix::BitMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), words_per_row_((cols + 63) / 64) {
+  MNC_CHECK_GE(rows, 0);
+  MNC_CHECK_GE(cols, 0);
+  words_.assign(static_cast<size_t>(rows * words_per_row_), 0);
+}
+
+BitMatrix BitMatrix::FromMatrix(const Matrix& m) {
+  BitMatrix bits(m.rows(), m.cols());
+  if (m.is_dense()) {
+    const DenseMatrix& d = m.dense();
+    for (int64_t i = 0; i < d.rows(); ++i) {
+      const double* r = d.row(i);
+      for (int64_t j = 0; j < d.cols(); ++j) {
+        if (r[j] != 0.0) bits.Set(i, j);
+      }
+    }
+  } else {
+    const CsrMatrix& s = m.csr();
+    for (int64_t i = 0; i < s.rows(); ++i) {
+      for (int64_t j : s.RowIndices(i)) bits.Set(i, j);
+    }
+  }
+  return bits;
+}
+
+bool BitMatrix::Get(int64_t i, int64_t j) const {
+  MNC_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  return (row(i)[j / 64] >> (j % 64)) & 1;
+}
+
+void BitMatrix::Set(int64_t i, int64_t j) {
+  MNC_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  row(i)[j / 64] |= uint64_t{1} << (j % 64);
+}
+
+int64_t BitMatrix::PopCount() const {
+  int64_t count = 0;
+  for (uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+BitMatrix BitMatrix::MultiplyBool(const BitMatrix& other,
+                                  ThreadPool* pool) const {
+  MNC_CHECK_EQ(cols_, other.rows_);
+  BitMatrix out(rows_, other.cols_);
+  const int64_t out_words = out.words_per_row_;
+  auto compute_rows = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      uint64_t* oi = out.row(i);
+      const uint64_t* ai = row(i);
+      for (int64_t kw = 0; kw < words_per_row_; ++kw) {
+        uint64_t word = ai[kw];
+        while (word != 0) {
+          const int bit = std::countr_zero(word);
+          word &= word - 1;
+          const uint64_t* bk = other.row(kw * 64 + bit);
+          for (int64_t w = 0; w < out_words; ++w) {
+            oi[w] |= bk[w];
+          }
+        }
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(rows_, compute_rows);
+  } else {
+    compute_rows(0, rows_);
+  }
+  return out;
+}
+
+BitMatrix BitMatrix::Or(const BitMatrix& other) const {
+  MNC_CHECK_EQ(rows_, other.rows_);
+  MNC_CHECK_EQ(cols_, other.cols_);
+  BitMatrix out(rows_, cols_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    out.words_[w] = words_[w] | other.words_[w];
+  }
+  return out;
+}
+
+BitMatrix BitMatrix::And(const BitMatrix& other) const {
+  MNC_CHECK_EQ(rows_, other.rows_);
+  MNC_CHECK_EQ(cols_, other.cols_);
+  BitMatrix out(rows_, cols_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    out.words_[w] = words_[w] & other.words_[w];
+  }
+  return out;
+}
+
+BitMatrix BitMatrix::Not() const {
+  BitMatrix out(rows_, cols_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const uint64_t* src = row(i);
+    uint64_t* dst = out.row(i);
+    for (int64_t w = 0; w < words_per_row_; ++w) dst[w] = ~src[w];
+    // Clear the padding bits past cols_ in the last word.
+    const int tail = static_cast<int>(cols_ % 64);
+    if (tail != 0 && words_per_row_ > 0) {
+      dst[words_per_row_ - 1] &= (uint64_t{1} << tail) - 1;
+    }
+  }
+  return out;
+}
+
+BitMatrix BitMatrix::Transpose() const {
+  BitMatrix out(cols_, rows_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const uint64_t* ri = row(i);
+    for (int64_t kw = 0; kw < words_per_row_; ++kw) {
+      uint64_t word = ri[kw];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        word &= word - 1;
+        out.Set(kw * 64 + bit, i);
+      }
+    }
+  }
+  return out;
+}
+
+BitMatrix BitMatrix::Reshape(int64_t k, int64_t l) const {
+  MNC_CHECK_EQ(rows_ * cols_, k * l);
+  BitMatrix out(k, l);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const uint64_t* ri = row(i);
+    for (int64_t kw = 0; kw < words_per_row_; ++kw) {
+      uint64_t word = ri[kw];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        word &= word - 1;
+        const int64_t linear = i * cols_ + kw * 64 + bit;
+        out.Set(linear / l, linear % l);
+      }
+    }
+  }
+  return out;
+}
+
+bool BitsetEstimator::SupportsOp(OpKind) const { return true; }
+
+SynopsisPtr BitsetEstimator::Build(const Matrix& a) {
+  if (max_synopsis_bytes_ >= 0) {
+    const int64_t words_per_row = (a.cols() + 63) / 64;
+    const int64_t bytes =
+        a.rows() * words_per_row * static_cast<int64_t>(sizeof(uint64_t));
+    if (bytes > max_synopsis_bytes_) return nullptr;
+  }
+  return std::make_shared<BitsetSynopsis>(BitMatrix::FromMatrix(a));
+}
+
+BitMatrix BitsetEstimator::Apply(OpKind op, const SynopsisPtr& a,
+                                 const SynopsisPtr& b, int64_t out_rows,
+                                 int64_t out_cols) {
+  const BitMatrix& ba = As<BitsetSynopsis>(a).bits();
+  switch (op) {
+    case OpKind::kMatMul:
+      return ba.MultiplyBool(As<BitsetSynopsis>(b).bits(), pool_);
+    case OpKind::kEWiseAdd:
+    case OpKind::kEWiseMax:  // union pattern (non-negative inputs)
+      return ba.Or(As<BitsetSynopsis>(b).bits());
+    case OpKind::kEWiseMult:
+    case OpKind::kEWiseMin:  // intersection pattern (non-negative inputs)
+      return ba.And(As<BitsetSynopsis>(b).bits());
+    case OpKind::kScale:
+      return ba;  // alpha != 0 preserves the pattern
+    case OpKind::kRowSums: {
+      BitMatrix out(ba.rows(), 1);
+      for (int64_t i = 0; i < ba.rows(); ++i) {
+        const uint64_t* ri = ba.row(i);
+        for (int64_t w = 0; w < ba.words_per_row(); ++w) {
+          if (ri[w] != 0) {
+            out.Set(i, 0);
+            break;
+          }
+        }
+      }
+      return out;
+    }
+    case OpKind::kColSums: {
+      BitMatrix out(1, ba.cols());
+      uint64_t* o = out.row(0);
+      for (int64_t i = 0; i < ba.rows(); ++i) {
+        const uint64_t* ri = ba.row(i);
+        for (int64_t w = 0; w < ba.words_per_row(); ++w) {
+          o[w] |= ri[w];
+        }
+      }
+      return out;
+    }
+    case OpKind::kTranspose:
+      return ba.Transpose();
+    case OpKind::kReshape:
+      return ba.Reshape(out_rows, out_cols);
+    case OpKind::kNotEqualZero:
+      return ba;
+    case OpKind::kEqualZero:
+      return ba.Not();
+    case OpKind::kDiag: {
+      if (ba.cols() == 1) {
+        BitMatrix out(ba.rows(), ba.rows());
+        for (int64_t i = 0; i < ba.rows(); ++i) {
+          if (ba.Get(i, 0)) out.Set(i, i);
+        }
+        return out;
+      }
+      BitMatrix out(ba.rows(), 1);
+      for (int64_t i = 0; i < ba.rows(); ++i) {
+        if (ba.Get(i, i)) out.Set(i, 0);
+      }
+      return out;
+    }
+    case OpKind::kRBind: {
+      const BitMatrix& bb = As<BitsetSynopsis>(b).bits();
+      MNC_CHECK_EQ(ba.cols(), bb.cols());
+      BitMatrix out(ba.rows() + bb.rows(), ba.cols());
+      for (int64_t i = 0; i < ba.rows(); ++i) {
+        std::copy(ba.row(i), ba.row(i) + ba.words_per_row(), out.row(i));
+      }
+      for (int64_t i = 0; i < bb.rows(); ++i) {
+        std::copy(bb.row(i), bb.row(i) + bb.words_per_row(),
+                  out.row(ba.rows() + i));
+      }
+      return out;
+    }
+    case OpKind::kCBind: {
+      const BitMatrix& bb = As<BitsetSynopsis>(b).bits();
+      MNC_CHECK_EQ(ba.rows(), bb.rows());
+      BitMatrix out(ba.rows(), ba.cols() + bb.cols());
+      for (int64_t i = 0; i < ba.rows(); ++i) {
+        for (int64_t j = 0; j < ba.cols(); ++j) {
+          if (ba.Get(i, j)) out.Set(i, j);
+        }
+        for (int64_t j = 0; j < bb.cols(); ++j) {
+          if (bb.Get(i, j)) out.Set(i, ba.cols() + j);
+        }
+      }
+      return out;
+    }
+  }
+  MNC_CHECK_MSG(false, "unreachable");
+  return BitMatrix(0, 0);
+}
+
+double BitsetEstimator::EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                                         const SynopsisPtr& b,
+                                         int64_t out_rows, int64_t out_cols) {
+  const BitMatrix out = Apply(op, a, b, out_rows, out_cols);
+  const double cells =
+      static_cast<double>(out.rows()) * static_cast<double>(out.cols());
+  if (cells == 0.0) return 0.0;
+  return static_cast<double>(out.PopCount()) / cells;
+}
+
+SynopsisPtr BitsetEstimator::Propagate(OpKind op, const SynopsisPtr& a,
+                                       const SynopsisPtr& b, int64_t out_rows,
+                                       int64_t out_cols) {
+  return std::make_shared<BitsetSynopsis>(
+      Apply(op, a, b, out_rows, out_cols));
+}
+
+}  // namespace mnc

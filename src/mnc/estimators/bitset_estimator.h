@@ -1,0 +1,108 @@
+// Naïve bitset estimator E_bmm (§2.1, Eq. 3).
+//
+// Builds boolean bit-matrices of the inputs and evaluates operations exactly
+// in boolean algebra (multiply = AND + OR-reduce, add = OR, ...). Always
+// exact under A1/A2, but space is proportional to the dense size / 64 and a
+// boolean product costs O(m n l / 64) — the "accurate but expensive" end of
+// the spectrum in Figure 2. The optional thread pool reproduces the
+// multi-threaded variant of Appendix B.
+
+#ifndef MNC_ESTIMATORS_BITSET_ESTIMATOR_H_
+#define MNC_ESTIMATORS_BITSET_ESTIMATOR_H_
+
+#include <vector>
+
+#include "mnc/estimators/sparsity_estimator.h"
+#include "mnc/util/thread_pool.h"
+
+namespace mnc {
+
+// Dense bit matrix with 64 cells per word, row-major.
+class BitMatrix {
+ public:
+  BitMatrix(int64_t rows, int64_t cols);
+
+  static BitMatrix FromMatrix(const Matrix& m);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t words_per_row() const { return words_per_row_; }
+
+  bool Get(int64_t i, int64_t j) const;
+  void Set(int64_t i, int64_t j);
+
+  const uint64_t* row(int64_t i) const {
+    return words_.data() + i * words_per_row_;
+  }
+  uint64_t* row(int64_t i) { return words_.data() + i * words_per_row_; }
+
+  // Number of set bits.
+  int64_t PopCount() const;
+
+  // Boolean matrix product (AND/OR), optionally parallel over output rows.
+  BitMatrix MultiplyBool(const BitMatrix& other,
+                         ThreadPool* pool = nullptr) const;
+
+  BitMatrix Or(const BitMatrix& other) const;
+  BitMatrix And(const BitMatrix& other) const;
+  BitMatrix Not() const;  // flips within [0, cols)
+  BitMatrix Transpose() const;
+  BitMatrix Reshape(int64_t k, int64_t l) const;  // row-major relinearization
+
+  int64_t SizeBytes() const {
+    return static_cast<int64_t>(words_.size() * sizeof(uint64_t));
+  }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  int64_t words_per_row_;
+  std::vector<uint64_t> words_;
+};
+
+class BitsetSynopsis final : public EstimatorSynopsis {
+ public:
+  explicit BitsetSynopsis(BitMatrix bits)
+      : EstimatorSynopsis(bits.rows(), bits.cols()), bits_(std::move(bits)) {}
+
+  const BitMatrix& bits() const { return bits_; }
+  int64_t SizeBytes() const override { return bits_.SizeBytes(); }
+
+ private:
+  BitMatrix bits_;
+};
+
+class BitsetEstimator final : public SparsityEstimator {
+ public:
+  // pool == nullptr: single-threaded (the default experimental setup);
+  // non-null: the Appendix-B multi-threaded variant. max_synopsis_bytes
+  // caps the bit-matrix size (< 0 = unlimited): with a cap, Build() returns
+  // nullptr for oversized matrices — the "exceeds available memory" failures
+  // the paper reports for B2.1/B2.3/B3.1/B3.4.
+  explicit BitsetEstimator(ThreadPool* pool = nullptr,
+                           int64_t max_synopsis_bytes = -1)
+      : pool_(pool), max_synopsis_bytes_(max_synopsis_bytes) {}
+
+  std::string Name() const override {
+    return pool_ != nullptr ? "Bitset(MT)" : "Bitset";
+  }
+  bool SupportsOp(OpKind op) const override;
+  bool SupportsChains() const override { return true; }
+  SynopsisPtr Build(const Matrix& a) override;
+  double EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                          const SynopsisPtr& b, int64_t out_rows,
+                          int64_t out_cols) override;
+  SynopsisPtr Propagate(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
+                        int64_t out_rows, int64_t out_cols) override;
+
+ private:
+  BitMatrix Apply(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
+                  int64_t out_rows, int64_t out_cols);
+
+  ThreadPool* pool_;
+  int64_t max_synopsis_bytes_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_ESTIMATORS_BITSET_ESTIMATOR_H_

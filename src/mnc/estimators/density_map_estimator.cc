@@ -1,0 +1,296 @@
+#include "mnc/estimators/density_map_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mnc {
+
+namespace {
+
+// Average-case block product estimate: the per-cell non-zero probability of
+// a (ra x common) * (common x cb) block product with block sparsities s_a
+// and s_b is 1 - (1 - s_a s_b)^common (Eq. 1 applied per block).
+double BlockProductSparsity(double s_a, double s_b, int64_t common) {
+  const double cell = std::min(1.0, s_a * s_b);
+  if (cell >= 1.0) return 1.0;
+  return 1.0 - std::exp(static_cast<double>(common) * std::log1p(-cell));
+}
+
+}  // namespace
+
+DensityMap::DensityMap(int64_t rows, int64_t cols, int64_t block_size)
+    : rows_(rows),
+      cols_(cols),
+      block_size_(block_size),
+      block_rows_(std::max<int64_t>(1, (rows + block_size - 1) / block_size)),
+      block_cols_(std::max<int64_t>(1, (cols + block_size - 1) / block_size)) {
+  MNC_CHECK_GT(block_size, 0);
+  grid_.assign(static_cast<size_t>(block_rows_ * block_cols_), 0.0);
+}
+
+DensityMap DensityMap::FromMatrix(const Matrix& m, int64_t block_size) {
+  DensityMap map(m.rows(), m.cols(), block_size);
+  // Count per block, then normalize.
+  std::vector<int64_t> counts(map.grid_.size(), 0);
+  if (m.is_dense()) {
+    const DenseMatrix& d = m.dense();
+    for (int64_t i = 0; i < d.rows(); ++i) {
+      const double* r = d.row(i);
+      const int64_t bi = i / block_size;
+      for (int64_t j = 0; j < d.cols(); ++j) {
+        if (r[j] != 0.0) {
+          ++counts[static_cast<size_t>(bi * map.block_cols_ +
+                                       j / block_size)];
+        }
+      }
+    }
+  } else {
+    const CsrMatrix& s = m.csr();
+    for (int64_t i = 0; i < s.rows(); ++i) {
+      const int64_t bi = i / block_size;
+      for (int64_t j : s.RowIndices(i)) {
+        ++counts[static_cast<size_t>(bi * map.block_cols_ + j / block_size)];
+      }
+    }
+  }
+  for (int64_t bi = 0; bi < map.block_rows_; ++bi) {
+    const double re = static_cast<double>(map.BlockRowExtent(bi));
+    for (int64_t bj = 0; bj < map.block_cols_; ++bj) {
+      const double cells = re * static_cast<double>(map.BlockColExtent(bj));
+      const double count = static_cast<double>(
+          counts[static_cast<size_t>(bi * map.block_cols_ + bj)]);
+      map.SetBlockSparsity(bi, bj, cells > 0.0 ? count / cells : 0.0);
+    }
+  }
+  return map;
+}
+
+int64_t DensityMap::BlockRowExtent(int64_t bi) const {
+  return std::min(block_size_, rows_ - bi * block_size_);
+}
+
+int64_t DensityMap::BlockColExtent(int64_t bj) const {
+  return std::min(block_size_, cols_ - bj * block_size_);
+}
+
+double DensityMap::TotalNnz() const {
+  double nnz = 0.0;
+  for (int64_t bi = 0; bi < block_rows_; ++bi) {
+    const double re = static_cast<double>(BlockRowExtent(bi));
+    for (int64_t bj = 0; bj < block_cols_; ++bj) {
+      nnz += BlockSparsity(bi, bj) * re *
+             static_cast<double>(BlockColExtent(bj));
+    }
+  }
+  return nnz;
+}
+
+double DensityMap::OverallSparsity() const {
+  const double cells =
+      static_cast<double>(rows_) * static_cast<double>(cols_);
+  if (cells == 0.0) return 0.0;
+  return TotalNnz() / cells;
+}
+
+DensityMap DensityMap::Uniform(int64_t rows, int64_t cols, int64_t block_size,
+                               double sparsity) {
+  DensityMap map(rows, cols, block_size);
+  for (auto& s : map.grid_) s = sparsity;
+  return map;
+}
+
+bool DensityMapEstimator::SupportsOp(OpKind) const { return true; }
+
+SynopsisPtr DensityMapEstimator::Build(const Matrix& a) {
+  return std::make_shared<DensityMapSynopsis>(
+      DensityMap::FromMatrix(a, block_size_));
+}
+
+DensityMap DensityMapEstimator::Apply(OpKind op, const SynopsisPtr& a,
+                                      const SynopsisPtr& b, int64_t out_rows,
+                                      int64_t out_cols) {
+  const DensityMap& da = As<DensityMapSynopsis>(a).map();
+  switch (op) {
+    case OpKind::kMatMul: {
+      // Eq. 4: pseudo matrix multiplication over density maps.
+      const DensityMap& db = As<DensityMapSynopsis>(b).map();
+      MNC_CHECK_EQ(da.cols(), db.rows());
+      DensityMap out(da.rows(), db.cols(), block_size_);
+      for (int64_t bi = 0; bi < out.block_rows(); ++bi) {
+        for (int64_t bj = 0; bj < out.block_cols(); ++bj) {
+          double s = 0.0;
+          for (int64_t bk = 0; bk < da.block_cols(); ++bk) {
+            const double s_blk = BlockProductSparsity(
+                da.BlockSparsity(bi, bk), db.BlockSparsity(bk, bj),
+                da.BlockColExtent(bk));
+            s = s + s_blk - s * s_blk;  // probabilistic ⊕
+          }
+          out.SetBlockSparsity(bi, bj, s);
+        }
+      }
+      return out;
+    }
+    case OpKind::kEWiseAdd:
+    case OpKind::kEWiseMult:
+    case OpKind::kEWiseMin:
+    case OpKind::kEWiseMax: {
+      const DensityMap& db = As<DensityMapSynopsis>(b).map();
+      MNC_CHECK_EQ(da.rows(), db.rows());
+      MNC_CHECK_EQ(da.cols(), db.cols());
+      const bool union_like =
+          op == OpKind::kEWiseAdd || op == OpKind::kEWiseMax;
+      DensityMap out(da.rows(), da.cols(), block_size_);
+      for (int64_t bi = 0; bi < out.block_rows(); ++bi) {
+        for (int64_t bj = 0; bj < out.block_cols(); ++bj) {
+          const double sa = da.BlockSparsity(bi, bj);
+          const double sb = db.BlockSparsity(bi, bj);
+          out.SetBlockSparsity(bi, bj,
+                               union_like ? sa + sb - sa * sb : sa * sb);
+        }
+      }
+      return out;
+    }
+    case OpKind::kScale:
+      return da;  // alpha != 0 preserves the pattern
+    case OpKind::kRowSums: {
+      // P(row non-empty) per block row: 1 - prod over block columns of
+      // (1 - s)^extent.
+      DensityMap out(da.rows(), 1, block_size_);
+      for (int64_t bi = 0; bi < da.block_rows(); ++bi) {
+        double zero_prob = 1.0;
+        for (int64_t bj = 0; bj < da.block_cols(); ++bj) {
+          zero_prob *= std::pow(1.0 - da.BlockSparsity(bi, bj),
+                                static_cast<double>(da.BlockColExtent(bj)));
+        }
+        out.SetBlockSparsity(bi, 0, 1.0 - zero_prob);
+      }
+      return out;
+    }
+    case OpKind::kColSums: {
+      DensityMap out(1, da.cols(), block_size_);
+      for (int64_t bj = 0; bj < da.block_cols(); ++bj) {
+        double zero_prob = 1.0;
+        for (int64_t bi = 0; bi < da.block_rows(); ++bi) {
+          zero_prob *= std::pow(1.0 - da.BlockSparsity(bi, bj),
+                                static_cast<double>(da.BlockRowExtent(bi)));
+        }
+        out.SetBlockSparsity(0, bj, 1.0 - zero_prob);
+      }
+      return out;
+    }
+    case OpKind::kTranspose: {
+      DensityMap out(da.cols(), da.rows(), block_size_);
+      for (int64_t bi = 0; bi < da.block_rows(); ++bi) {
+        for (int64_t bj = 0; bj < da.block_cols(); ++bj) {
+          out.SetBlockSparsity(bj, bi, da.BlockSparsity(bi, bj));
+        }
+      }
+      return out;
+    }
+    case OpKind::kNotEqualZero:
+      return da;
+    case OpKind::kEqualZero: {
+      DensityMap out(da.rows(), da.cols(), block_size_);
+      for (int64_t bi = 0; bi < da.block_rows(); ++bi) {
+        for (int64_t bj = 0; bj < da.block_cols(); ++bj) {
+          out.SetBlockSparsity(bi, bj, 1.0 - da.BlockSparsity(bi, bj));
+        }
+      }
+      return out;
+    }
+    case OpKind::kDiag: {
+      if (da.cols() == 1) {
+        // Vector -> diagonal matrix: diagonal blocks only, with the vector
+        // block's non-zeros spread over block_size^2 cells.
+        DensityMap out(da.rows(), da.rows(), block_size_);
+        for (int64_t bi = 0; bi < da.block_rows(); ++bi) {
+          const double extent = static_cast<double>(da.BlockRowExtent(bi));
+          out.SetBlockSparsity(
+              bi, bi, da.BlockSparsity(bi, 0) * extent /
+                          (extent * extent));
+        }
+        return out;
+      }
+      // Matrix -> diagonal vector: block i of the vector sees the diagonal
+      // of block (i, i).
+      DensityMap out(da.rows(), 1, block_size_);
+      for (int64_t bi = 0; bi < out.block_rows(); ++bi) {
+        out.SetBlockSparsity(bi, 0,
+                             bi < da.block_cols()
+                                 ? da.BlockSparsity(bi, bi)
+                                 : 0.0);
+      }
+      return out;
+    }
+    case OpKind::kRBind: {
+      const DensityMap& db = As<DensityMapSynopsis>(b).map();
+      if (da.rows() % block_size_ == 0) {
+        // Aligned: stack the grids.
+        DensityMap out(da.rows() + db.rows(), da.cols(), block_size_);
+        for (int64_t bi = 0; bi < da.block_rows(); ++bi) {
+          for (int64_t bj = 0; bj < da.block_cols(); ++bj) {
+            out.SetBlockSparsity(bi, bj, da.BlockSparsity(bi, bj));
+          }
+        }
+        for (int64_t bi = 0; bi < db.block_rows(); ++bi) {
+          for (int64_t bj = 0; bj < db.block_cols(); ++bj) {
+            out.SetBlockSparsity(da.block_rows() + bi, bj,
+                                 db.BlockSparsity(bi, bj));
+          }
+        }
+        return out;
+      }
+      // Non-aligned blocks cannot be stitched (§2.2 "Dynamic Block Sizes");
+      // fall back to a uniform map preserving the total count.
+      const double nnz = da.TotalNnz() + db.TotalNnz();
+      const double cells = static_cast<double>(da.rows() + db.rows()) *
+                           static_cast<double>(da.cols());
+      return DensityMap::Uniform(da.rows() + db.rows(), da.cols(),
+                                 block_size_, cells > 0 ? nnz / cells : 0.0);
+    }
+    case OpKind::kCBind: {
+      const DensityMap& db = As<DensityMapSynopsis>(b).map();
+      if (da.cols() % block_size_ == 0) {
+        DensityMap out(da.rows(), da.cols() + db.cols(), block_size_);
+        for (int64_t bi = 0; bi < da.block_rows(); ++bi) {
+          for (int64_t bj = 0; bj < da.block_cols(); ++bj) {
+            out.SetBlockSparsity(bi, bj, da.BlockSparsity(bi, bj));
+          }
+          for (int64_t bj = 0; bj < db.block_cols(); ++bj) {
+            out.SetBlockSparsity(bi, da.block_cols() + bj,
+                                 db.BlockSparsity(bi, bj));
+          }
+        }
+        return out;
+      }
+      const double nnz = da.TotalNnz() + db.TotalNnz();
+      const double cells = static_cast<double>(da.rows()) *
+                           static_cast<double>(da.cols() + db.cols());
+      return DensityMap::Uniform(da.rows(), da.cols() + db.cols(),
+                                 block_size_, cells > 0 ? nnz / cells : 0.0);
+    }
+    case OpKind::kReshape:
+      // Blocks do not survive relinearization; keep the overall sparsity.
+      return DensityMap::Uniform(out_rows, out_cols, block_size_,
+                                 da.OverallSparsity());
+  }
+  MNC_CHECK_MSG(false, "unreachable");
+  return DensityMap(0, 0, block_size_);
+}
+
+double DensityMapEstimator::EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                                             const SynopsisPtr& b,
+                                             int64_t out_rows,
+                                             int64_t out_cols) {
+  return Apply(op, a, b, out_rows, out_cols).OverallSparsity();
+}
+
+SynopsisPtr DensityMapEstimator::Propagate(OpKind op, const SynopsisPtr& a,
+                                           const SynopsisPtr& b,
+                                           int64_t out_rows,
+                                           int64_t out_cols) {
+  return std::make_shared<DensityMapSynopsis>(
+      Apply(op, a, b, out_rows, out_cols));
+}
+
+}  // namespace mnc

@@ -1,0 +1,107 @@
+// Density-map estimator E_dm (§2.2, Eq. 4) [Kernert et al., EDBT'15].
+//
+// The synopsis partitions a matrix into b x b blocks (default b = 256) and
+// stores the sparsity of each block. Matrix products are estimated with a
+// pseudo matrix multiplication over density maps: multiply is replaced by
+// the average-case estimator E_ac over blocks and plus by probabilistic
+// propagation s_A⊕B = s_A + s_B - s_A s_B. Element-wise operations combine
+// per block; reorganizations that do not align with the block grid fall back
+// to a uniform map (the weakness §6.5/Fig. 15 demonstrates).
+
+#ifndef MNC_ESTIMATORS_DENSITY_MAP_ESTIMATOR_H_
+#define MNC_ESTIMATORS_DENSITY_MAP_ESTIMATOR_H_
+
+#include <vector>
+
+#include "mnc/estimators/sparsity_estimator.h"
+
+namespace mnc {
+
+// Grid of per-block sparsities for one matrix.
+class DensityMap {
+ public:
+  DensityMap(int64_t rows, int64_t cols, int64_t block_size);
+
+  static DensityMap FromMatrix(const Matrix& m, int64_t block_size);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t block_size() const { return block_size_; }
+  int64_t block_rows() const { return block_rows_; }
+  int64_t block_cols() const { return block_cols_; }
+
+  double BlockSparsity(int64_t bi, int64_t bj) const {
+    return grid_[static_cast<size_t>(bi * block_cols_ + bj)];
+  }
+  void SetBlockSparsity(int64_t bi, int64_t bj, double s) {
+    grid_[static_cast<size_t>(bi * block_cols_ + bj)] = s;
+  }
+
+  // Cell extents of block row bi / block column bj (partial at the edges).
+  int64_t BlockRowExtent(int64_t bi) const;
+  int64_t BlockColExtent(int64_t bj) const;
+
+  // Total estimated non-zeros (sum of block sparsity * block cells).
+  double TotalNnz() const;
+  double OverallSparsity() const;
+
+  // Uniform map with the given overall sparsity (reorganization fallback).
+  static DensityMap Uniform(int64_t rows, int64_t cols, int64_t block_size,
+                            double sparsity);
+
+  int64_t SizeBytes() const {
+    return static_cast<int64_t>(grid_.size() * sizeof(double));
+  }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  int64_t block_size_;
+  int64_t block_rows_;
+  int64_t block_cols_;
+  std::vector<double> grid_;
+};
+
+class DensityMapSynopsis final : public EstimatorSynopsis {
+ public:
+  explicit DensityMapSynopsis(DensityMap map)
+      : EstimatorSynopsis(map.rows(), map.cols()), map_(std::move(map)) {}
+
+  const DensityMap& map() const { return map_; }
+  int64_t SizeBytes() const override { return map_.SizeBytes(); }
+
+ private:
+  DensityMap map_;
+};
+
+class DensityMapEstimator final : public SparsityEstimator {
+ public:
+  static constexpr int64_t kDefaultBlockSize = 256;
+
+  explicit DensityMapEstimator(int64_t block_size = kDefaultBlockSize)
+      : block_size_(block_size) {
+    MNC_CHECK_GT(block_size, 0);
+  }
+
+  std::string Name() const override { return "DMap"; }
+  int64_t block_size() const { return block_size_; }
+
+  bool SupportsOp(OpKind op) const override;
+  bool SupportsChains() const override { return true; }
+  SynopsisPtr Build(const Matrix& a) override;
+  double EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                          const SynopsisPtr& b, int64_t out_rows,
+                          int64_t out_cols) override;
+  SynopsisPtr Propagate(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
+                        int64_t out_rows, int64_t out_cols) override;
+
+ private:
+  DensityMap Apply(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
+                   int64_t out_rows, int64_t out_cols);
+
+  int64_t block_size_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_ESTIMATORS_DENSITY_MAP_ESTIMATOR_H_

@@ -1,0 +1,139 @@
+#include "mnc/estimators/hash_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace mnc {
+
+namespace {
+
+// 64-bit mix (splitmix64 finalizer) used as the pairwise hash family.
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Column -> sampled row-index lists of A (rows whose hash < p), built in one
+// pass over the non-zeros.
+std::vector<std::vector<int64_t>> SampledColumnLists(const CsrMatrix& a,
+                                                     double p,
+                                                     uint64_t hash_seed) {
+  std::vector<std::vector<int64_t>> lists(static_cast<size_t>(a.cols()));
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const auto idx = a.RowIndices(i);
+    if (idx.empty()) continue;
+    if (ToUnit(Mix64(static_cast<uint64_t>(i) ^ hash_seed)) >= p) continue;
+    for (int64_t j : idx) {
+      lists[static_cast<size_t>(j)].push_back(i);
+    }
+  }
+  return lists;
+}
+
+}  // namespace
+
+HashEstimator::HashEstimator(int64_t min_values, int64_t pair_budget,
+                             uint64_t seed)
+    : min_values_(min_values), pair_budget_(pair_budget), seed_(seed) {
+  MNC_CHECK_GE(min_values, 16);
+  MNC_CHECK_GT(pair_budget, 0);
+}
+
+SynopsisPtr HashEstimator::Build(const Matrix& a) {
+  return std::make_shared<MatrixHandleSynopsis>(a);
+}
+
+double HashEstimator::EstimateProduct(const Matrix& a, const Matrix& b) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  const CsrMatrix ca = a.AsCsr();
+  const CsrMatrix cb = b.AsCsr();
+  const double ml =
+      static_cast<double>(ca.rows()) * static_cast<double>(cb.cols());
+  if (ml == 0.0) return 0.0;
+
+  // Adaptive sampling threshold: keep the expected number of enumerated
+  // pairs within the budget. sum_k |A_k| |B_k| is the total pair count.
+  const std::vector<int64_t> col_counts_a = ca.NnzPerCol();
+  double total_pairs = 0.0;
+  for (int64_t k = 0; k < ca.cols(); ++k) {
+    total_pairs += static_cast<double>(col_counts_a[static_cast<size_t>(k)]) *
+                   static_cast<double>(cb.RowNnz(k));
+  }
+  if (total_pairs == 0.0) return 0.0;
+  const double p = std::min(
+      1.0, std::sqrt(static_cast<double>(pair_budget_) / total_pairs));
+
+  const uint64_t row_seed = seed_ * 0x9E3779B97F4A7C15ULL + 1;
+  const uint64_t col_seed = seed_ * 0xC2B2AE3D27D4EB4FULL + 2;
+  const std::vector<std::vector<int64_t>> rows_per_col =
+      SampledColumnLists(ca, p, row_seed);
+
+  // Precompute sampled column hashes of B rows.
+  // KMV buffer: the min_values_ smallest distinct pair hashes.
+  std::set<uint64_t> kmv;
+  auto offer = [&](uint64_t h) {
+    if (static_cast<int64_t>(kmv.size()) < min_values_) {
+      kmv.insert(h);
+    } else if (h < *kmv.rbegin()) {
+      if (kmv.insert(h).second) {
+        kmv.erase(std::prev(kmv.end()));
+      }
+    }
+  };
+
+  std::vector<uint64_t> col_hash(static_cast<size_t>(cb.cols()));
+  std::vector<char> col_sampled(static_cast<size_t>(cb.cols()));
+  for (int64_t j = 0; j < cb.cols(); ++j) {
+    const uint64_t h = Mix64(static_cast<uint64_t>(j) ^ col_seed);
+    col_hash[static_cast<size_t>(j)] = h;
+    col_sampled[static_cast<size_t>(j)] = ToUnit(h) < p ? 1 : 0;
+  }
+
+  for (int64_t k = 0; k < ca.cols(); ++k) {
+    const auto& rows = rows_per_col[static_cast<size_t>(k)];
+    if (rows.empty()) continue;
+    for (int64_t j : cb.RowIndices(k)) {
+      if (!col_sampled[static_cast<size_t>(j)]) continue;
+      const uint64_t hj = col_hash[static_cast<size_t>(j)];
+      for (int64_t i : rows) {
+        // Pair hash: mix of the two index hashes — identical pairs from
+        // different k collapse to the same value (KMV deduplicates).
+        offer(Mix64(Mix64(static_cast<uint64_t>(i) ^ row_seed) ^ hj));
+      }
+    }
+  }
+
+  double sampled_distinct;
+  if (static_cast<int64_t>(kmv.size()) < min_values_) {
+    sampled_distinct = static_cast<double>(kmv.size());
+  } else {
+    const double vk = ToUnit(*kmv.rbegin());
+    sampled_distinct =
+        vk > 0.0 ? static_cast<double>(min_values_ - 1) / vk : 0.0;
+  }
+  const double distinct = sampled_distinct / (p * p);
+  return std::clamp(distinct / ml, 0.0, 1.0);
+}
+
+double HashEstimator::EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                                       const SynopsisPtr& b, int64_t,
+                                       int64_t) {
+  MNC_CHECK(op == OpKind::kMatMul);
+  return EstimateProduct(As<MatrixHandleSynopsis>(a).matrix(),
+                         As<MatrixHandleSynopsis>(b).matrix());
+}
+
+SynopsisPtr HashEstimator::Propagate(OpKind, const SynopsisPtr&,
+                                     const SynopsisPtr&, int64_t, int64_t) {
+  MNC_CHECK_MSG(false, "hash estimator applies to single products only");
+  return nullptr;
+}
+
+}  // namespace mnc

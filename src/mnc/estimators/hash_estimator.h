@@ -1,0 +1,52 @@
+// Hashing-and-sampling estimator (Appendix A) [Amossen, Campagna, Pagh,
+// Algorithmica 2014].
+//
+// Views the boolean product as Z = ∪_k A_k × B_k (rows of A non-zero in
+// column k crossed with columns of B non-zero in row k) and estimates the
+// number of distinct output pairs with a KMV (k-minimum-values) synopsis:
+// row and column indices are hashed to [0, 1); only rows/columns whose hash
+// falls below an adaptive threshold p are paired, giving a p^2 Bernoulli
+// sample of the distinct output cells; the k smallest distinct pair hashes
+// estimate the sampled distinct count, which is scaled back by 1/p^2.
+// Scan-based: O(d + nnz(A, B)) plus the bounded pair enumeration.
+
+#ifndef MNC_ESTIMATORS_HASH_ESTIMATOR_H_
+#define MNC_ESTIMATORS_HASH_ESTIMATOR_H_
+
+#include "mnc/estimators/sampling_estimator.h"
+#include "mnc/estimators/sparsity_estimator.h"
+
+namespace mnc {
+
+class HashEstimator final : public SparsityEstimator {
+ public:
+  static constexpr int64_t kDefaultMinValues = 1024;   // KMV buffer size
+  static constexpr int64_t kDefaultPairBudget = 1 << 21;
+
+  explicit HashEstimator(int64_t min_values = kDefaultMinValues,
+                         int64_t pair_budget = kDefaultPairBudget,
+                         uint64_t seed = 42);
+
+  std::string Name() const override { return "Hash"; }
+  bool SupportsOp(OpKind op) const override {
+    return op == OpKind::kMatMul;
+  }
+  bool SupportsChains() const override { return false; }
+  SynopsisPtr Build(const Matrix& a) override;
+  double EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                          const SynopsisPtr& b, int64_t out_rows,
+                          int64_t out_cols) override;
+  SynopsisPtr Propagate(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
+                        int64_t out_rows, int64_t out_cols) override;
+
+ private:
+  double EstimateProduct(const Matrix& a, const Matrix& b);
+
+  int64_t min_values_;
+  int64_t pair_budget_;
+  uint64_t seed_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_ESTIMATORS_HASH_ESTIMATOR_H_

@@ -1,0 +1,95 @@
+// Layered-graph estimator E_gph (§2.4) [Cohen, J. Comb. Optim. 1998].
+//
+// Conceptually, a chain (M1, ..., Mk) induces a (k+1)-level graph whose
+// edges are the non-zero positions. Leaf nodes (rows of M1) receive
+// r-vectors of i.i.d. Exp(1) draws; inner nodes take the element-wise
+// minimum of their inputs. A node's r-vector then estimates the number of
+// distinct leaves that reach it as (r - 1) / sum(rv) — so the r-vectors at
+// the rightmost level estimate the non-zeros per output column (Eq. 6).
+//
+// The synopsis carries (a) the current r-vectors — the estimator state for
+// the chain prefix — and (b) a handle to the base matrix so the next
+// product's edges can be traversed. Supports matrix-product chains only,
+// matching §6.6 ("these benchmarks do not apply to the layered graph").
+
+#ifndef MNC_ESTIMATORS_LAYERED_GRAPH_ESTIMATOR_H_
+#define MNC_ESTIMATORS_LAYERED_GRAPH_ESTIMATOR_H_
+
+#include <vector>
+
+#include "mnc/estimators/sparsity_estimator.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+
+class LayeredGraphSynopsis final : public EstimatorSynopsis {
+ public:
+  LayeredGraphSynopsis(int64_t rows, int64_t cols, int rounds,
+                       std::vector<float> column_rvectors, CsrMatrix matrix)
+      : EstimatorSynopsis(rows, cols),
+        rounds_(rounds),
+        column_rvectors_(std::move(column_rvectors)),
+        matrix_(std::move(matrix)) {}
+
+  int rounds() const { return rounds_; }
+
+  // r-vectors of the current rightmost level, column-major: entry
+  // [j * rounds + t] is round t of column j. +inf marks "no reachable leaf".
+  const std::vector<float>& column_rvectors() const {
+    return column_rvectors_;
+  }
+
+  // The base matrix whose edges the next product traverses.
+  const CsrMatrix& matrix() const { return matrix_; }
+
+  int64_t SizeBytes() const override {
+    // r-vectors (the nodes) plus the edge structure (the non-zeros), as in
+    // the O(r d + nnz) size analysis of Table 1 / Fig. 9.
+    return static_cast<int64_t>(column_rvectors_.size() * sizeof(float)) +
+           static_cast<int64_t>(matrix_.NumNonZeros() *
+                                (sizeof(int64_t) + sizeof(double)));
+  }
+
+ private:
+  int rounds_;
+  std::vector<float> column_rvectors_;
+  CsrMatrix matrix_;
+};
+
+class LayeredGraphEstimator final : public SparsityEstimator {
+ public:
+  static constexpr int kDefaultRounds = 32;
+
+  explicit LayeredGraphEstimator(int rounds = kDefaultRounds,
+                                 uint64_t seed = 42);
+
+  std::string Name() const override { return "LGraph"; }
+  int rounds() const { return rounds_; }
+
+  bool SupportsOp(OpKind op) const override {
+    return op == OpKind::kMatMul;
+  }
+  bool SupportsChains() const override { return true; }
+  SynopsisPtr Build(const Matrix& a) override;
+  double EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                          const SynopsisPtr& b, int64_t out_rows,
+                          int64_t out_cols) override;
+  SynopsisPtr Propagate(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
+                        int64_t out_rows, int64_t out_cols) override;
+
+ private:
+  // Min-propagates `source` r-vectors (per row of `edges`) through the
+  // non-zeros of `edges`, yielding r-vectors per column of `edges`.
+  std::vector<float> PropagateThroughEdges(const std::vector<float>& source,
+                                           const CsrMatrix& edges) const;
+
+  // Estimated total non-zeros from column r-vectors (Eq. 6 numerator).
+  double EstimateNnzFromRVectors(const std::vector<float>& rvectors) const;
+
+  int rounds_;
+  Rng rng_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_ESTIMATORS_LAYERED_GRAPH_ESTIMATOR_H_

@@ -1,0 +1,129 @@
+#include "mnc/estimators/meta_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mnc {
+
+bool MetaEstimatorBase::SupportsOp(OpKind) const { return true; }
+
+SynopsisPtr MetaEstimatorBase::Build(const Matrix& a) {
+  return std::make_shared<MetaSynopsis>(a.rows(), a.cols(), a.Sparsity());
+}
+
+double MetaEstimatorBase::EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                                           const SynopsisPtr& b,
+                                           int64_t out_rows,
+                                           int64_t out_cols) {
+  const MetaSynopsis& sa = As<MetaSynopsis>(a);
+  const double s_a = sa.sparsity();
+  switch (op) {
+    case OpKind::kMatMul:
+      return std::clamp(EstimateProduct(s_a, As<MetaSynopsis>(b).sparsity(),
+                                        static_cast<double>(sa.cols())),
+                        0.0, 1.0);
+    case OpKind::kEWiseAdd:
+      return std::clamp(EstimateAdd(s_a, As<MetaSynopsis>(b).sparsity()), 0.0,
+                        1.0);
+    case OpKind::kEWiseMult:
+    case OpKind::kEWiseMin:  // pattern intersection for non-negative inputs
+      return std::clamp(EstimateMult(s_a, As<MetaSynopsis>(b).sparsity()),
+                        0.0, 1.0);
+    case OpKind::kEWiseMax:  // pattern union
+      return std::clamp(EstimateAdd(s_a, As<MetaSynopsis>(b).sparsity()), 0.0,
+                        1.0);
+    case OpKind::kRowSums:
+      // A row sum is non-zero when the row is non-empty: identical to a
+      // product with an all-ones vector.
+      return std::clamp(
+          EstimateProduct(s_a, 1.0, static_cast<double>(sa.cols())), 0.0,
+          1.0);
+    case OpKind::kColSums:
+      return std::clamp(
+          EstimateProduct(s_a, 1.0, static_cast<double>(sa.rows())), 0.0,
+          1.0);
+    case OpKind::kTranspose:
+    case OpKind::kReshape:
+    case OpKind::kNotEqualZero:
+    case OpKind::kScale:
+      return s_a;  // Exact from metadata (§4.1).
+    case OpKind::kEqualZero:
+      return 1.0 - s_a;
+    case OpKind::kDiag: {
+      const double nnz = s_a * static_cast<double>(sa.rows()) *
+                         static_cast<double>(sa.cols());
+      if (sa.cols() == 1) {
+        // Vector -> diagonal matrix: exact.
+        return nnz / (static_cast<double>(out_rows) *
+                      static_cast<double>(out_cols));
+      }
+      // Matrix -> diagonal vector: average case, P(diag cell != 0) = s_a.
+      return s_a;
+    }
+    case OpKind::kRBind:
+    case OpKind::kCBind: {
+      const MetaSynopsis& sb = As<MetaSynopsis>(b);
+      const double nnz =
+          s_a * static_cast<double>(sa.rows()) *
+              static_cast<double>(sa.cols()) +
+          sb.sparsity() * static_cast<double>(sb.rows()) *
+              static_cast<double>(sb.cols());
+      return nnz /
+             (static_cast<double>(out_rows) * static_cast<double>(out_cols));
+    }
+  }
+  MNC_CHECK_MSG(false, "unreachable");
+  return 0.0;
+}
+
+SynopsisPtr MetaEstimatorBase::Propagate(OpKind op, const SynopsisPtr& a,
+                                         const SynopsisPtr& b,
+                                         int64_t out_rows, int64_t out_cols) {
+  const double s = EstimateSparsity(op, a, b, out_rows, out_cols);
+  return std::make_shared<MetaSynopsis>(out_rows, out_cols, s);
+}
+
+double MetaAcEstimator::EstimateProduct(double s_a, double s_b,
+                                        double n) const {
+  // Computed in log space for numerical robustness with ultra-sparse inputs
+  // and large n: 1 - exp(n * log1p(-s_a s_b)).
+  const double cell = std::min(1.0, s_a * s_b);
+  if (cell >= 1.0) return 1.0;
+  return 1.0 - std::exp(n * std::log1p(-cell));
+}
+
+double MetaAcEstimator::EstimateAdd(double s_a, double s_b) const {
+  return s_a + s_b - s_a * s_b;
+}
+
+double MetaAcEstimator::EstimateMult(double s_a, double s_b) const {
+  return s_a * s_b;
+}
+
+double MetaWcEstimator::EstimateProduct(double s_a, double s_b,
+                                        double n) const {
+  return std::min(1.0, s_a * n) * std::min(1.0, s_b * n);
+}
+
+double MetaWcEstimator::EstimateAdd(double s_a, double s_b) const {
+  return std::min(1.0, s_a + s_b);
+}
+
+double MetaWcEstimator::EstimateMult(double s_a, double s_b) const {
+  return std::min(s_a, s_b);
+}
+
+double MetaUltraSparseEstimator::EstimateProduct(double s_a, double s_b,
+                                                 double n) const {
+  return std::min(1.0, s_a * s_b * n);
+}
+
+double MetaUltraSparseEstimator::EstimateAdd(double s_a, double s_b) const {
+  return s_a + s_b - s_a * s_b;
+}
+
+double MetaUltraSparseEstimator::EstimateMult(double s_a, double s_b) const {
+  return s_a * s_b;
+}
+
+}  // namespace mnc

@@ -1,0 +1,90 @@
+// Naïve metadata estimators (§2.1 of the paper).
+//
+// These derive the output sparsity solely from the input sparsities, as
+// available from metadata at compile time:
+//   - MetaAcEstimator (E_ac, Eq. 1): the unbiased average-case estimator
+//     assuming uniformly distributed non-zeros,
+//   - MetaWcEstimator (E_wc, Eq. 2): the worst-case upper-bound estimator
+//     assuming adversarially aligned non-zeros.
+// Both are O(1) in space and time and support all operations and chains.
+
+#ifndef MNC_ESTIMATORS_META_ESTIMATOR_H_
+#define MNC_ESTIMATORS_META_ESTIMATOR_H_
+
+#include "mnc/estimators/sparsity_estimator.h"
+
+namespace mnc {
+
+// Synopsis: just the shape and the scalar sparsity.
+class MetaSynopsis final : public EstimatorSynopsis {
+ public:
+  MetaSynopsis(int64_t rows, int64_t cols, double sparsity)
+      : EstimatorSynopsis(rows, cols), sparsity_(sparsity) {}
+
+  double sparsity() const { return sparsity_; }
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(sizeof(MetaSynopsis));
+  }
+
+ private:
+  double sparsity_;
+};
+
+class MetaEstimatorBase : public SparsityEstimator {
+ public:
+  bool SupportsOp(OpKind op) const override;
+  bool SupportsChains() const override { return true; }
+  SynopsisPtr Build(const Matrix& a) override;
+  double EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                          const SynopsisPtr& b, int64_t out_rows,
+                          int64_t out_cols) override;
+  SynopsisPtr Propagate(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
+                        int64_t out_rows, int64_t out_cols) override;
+
+ protected:
+  // Product estimate given input sparsities and the common dimension n.
+  virtual double EstimateProduct(double s_a, double s_b, double n) const = 0;
+  // Element-wise estimates.
+  virtual double EstimateAdd(double s_a, double s_b) const = 0;
+  virtual double EstimateMult(double s_a, double s_b) const = 0;
+};
+
+// Average case, Eq. 1: s_C = 1 - (1 - s_A s_B)^n.
+class MetaAcEstimator final : public MetaEstimatorBase {
+ public:
+  std::string Name() const override { return "MetaAC"; }
+
+ protected:
+  double EstimateProduct(double s_a, double s_b, double n) const override;
+  double EstimateAdd(double s_a, double s_b) const override;
+  double EstimateMult(double s_a, double s_b) const override;
+};
+
+// Worst case, Eq. 2: s_C = min(1, s_A n) * min(1, s_B n).
+class MetaWcEstimator final : public MetaEstimatorBase {
+ public:
+  std::string Name() const override { return "MetaWC"; }
+
+ protected:
+  double EstimateProduct(double s_a, double s_b, double n) const override;
+  double EstimateAdd(double s_a, double s_b) const override;
+  double EstimateMult(double s_a, double s_b) const override;
+};
+
+// Ultra-sparse simplification (footnote 2 of the paper, after [Cohen'98]):
+// s_C = s_A s_B n — the first-order Taylor expansion of Eq. 1, accurate
+// when collisions are negligible and ~free to compute. Element-wise
+// estimates match the average case.
+class MetaUltraSparseEstimator final : public MetaEstimatorBase {
+ public:
+  std::string Name() const override { return "MetaUS"; }
+
+ protected:
+  double EstimateProduct(double s_a, double s_b, double n) const override;
+  double EstimateAdd(double s_a, double s_b) const override;
+  double EstimateMult(double s_a, double s_b) const override;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_ESTIMATORS_META_ESTIMATOR_H_

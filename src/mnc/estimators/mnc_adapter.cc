@@ -1,0 +1,91 @@
+#include "mnc/estimators/mnc_adapter.h"
+
+#include "mnc/core/mnc_estimator.h"
+#include "mnc/core/mnc_propagation.h"
+
+namespace mnc {
+
+MncEstimator::MncEstimator(bool basic, uint64_t seed, RoundingMode rounding)
+    : basic_(basic), rng_(seed), rounding_(rounding) {}
+
+SynopsisPtr MncEstimator::Build(const Matrix& a) {
+  MncSketch sketch = MncSketch::FromMatrix(a);
+  if (basic_) sketch = sketch.ToBasic();
+  return std::make_shared<MncSynopsis>(std::move(sketch));
+}
+
+double MncEstimator::EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                                      const SynopsisPtr& b, int64_t out_rows,
+                                      int64_t out_cols) {
+  const MncSketch& sa = As<MncSynopsis>(a).sketch();
+  switch (op) {
+    case OpKind::kMatMul: {
+      const MncSketch& sb = As<MncSynopsis>(b).sketch();
+      return basic_ ? EstimateProductSparsityBasic(sa, sb)
+                    : EstimateProductSparsity(sa, sb);
+    }
+    case OpKind::kEWiseAdd:
+    case OpKind::kEWiseMax:
+      return EstimateEWiseAddSparsity(sa, As<MncSynopsis>(b).sketch());
+    case OpKind::kEWiseMult:
+    case OpKind::kEWiseMin:
+      return EstimateEWiseMultSparsity(sa, As<MncSynopsis>(b).sketch());
+    default: {
+      // Reorganizations: derive the sketch (cheap, O(d)) and read off its
+      // sparsity — exact wherever §4.1 allows exact inference.
+      const MncSketch out = Derive(op, a, b, out_rows, out_cols);
+      return out.Sparsity();
+    }
+  }
+}
+
+MncSketch MncEstimator::Derive(OpKind op, const SynopsisPtr& a,
+                               const SynopsisPtr& b, int64_t out_rows,
+                               int64_t out_cols) {
+  const MncSketch& sa = As<MncSynopsis>(a).sketch();
+  switch (op) {
+    case OpKind::kMatMul:
+      return PropagateProduct(sa, As<MncSynopsis>(b).sketch(), rng_, basic_,
+                              rounding_);
+    case OpKind::kEWiseAdd:
+    case OpKind::kEWiseMax:
+      return PropagateEWiseAdd(sa, As<MncSynopsis>(b).sketch(), rng_,
+                               rounding_);
+    case OpKind::kEWiseMult:
+    case OpKind::kEWiseMin:
+      return PropagateEWiseMult(sa, As<MncSynopsis>(b).sketch(), rng_,
+                                rounding_);
+    case OpKind::kScale:
+      return PropagateScale(sa);
+    case OpKind::kRowSums:
+      return PropagateRowSums(sa);
+    case OpKind::kColSums:
+      return PropagateColSums(sa);
+    case OpKind::kTranspose:
+      return PropagateTranspose(sa);
+    case OpKind::kReshape:
+      return PropagateReshape(sa, out_rows, out_cols, rng_, rounding_);
+    case OpKind::kDiag:
+      return PropagateDiag(sa, rng_, rounding_);
+    case OpKind::kRBind:
+      return PropagateRBind(sa, As<MncSynopsis>(b).sketch());
+    case OpKind::kCBind:
+      return PropagateCBind(sa, As<MncSynopsis>(b).sketch());
+    case OpKind::kNotEqualZero:
+      return PropagateNotEqualZero(sa);
+    case OpKind::kEqualZero:
+      return PropagateEqualZero(sa);
+  }
+  MNC_CHECK_MSG(false, "unreachable");
+  return sa;
+}
+
+SynopsisPtr MncEstimator::Propagate(OpKind op, const SynopsisPtr& a,
+                                    const SynopsisPtr& b, int64_t out_rows,
+                                    int64_t out_cols) {
+  MncSketch out = Derive(op, a, b, out_rows, out_cols);
+  if (basic_) out = out.ToBasic();
+  return std::make_shared<MncSynopsis>(std::move(out));
+}
+
+}  // namespace mnc

@@ -1,0 +1,58 @@
+// Adapter exposing the MNC sketch (src/mnc/core) through the common
+// SparsityEstimator interface, in the full (Algorithm 1 with extension
+// vectors and bounds) and "MNC Basic" (Figures 10/13) variants. Supports
+// every SparsEst operation and full sketch propagation.
+
+#ifndef MNC_ESTIMATORS_MNC_ADAPTER_H_
+#define MNC_ESTIMATORS_MNC_ADAPTER_H_
+
+#include "mnc/core/mnc_propagation.h"
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/estimators/sparsity_estimator.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+
+class MncSynopsis final : public EstimatorSynopsis {
+ public:
+  explicit MncSynopsis(MncSketch sketch)
+      : EstimatorSynopsis(sketch.rows(), sketch.cols()),
+        sketch_(std::move(sketch)) {}
+
+  const MncSketch& sketch() const { return sketch_; }
+  int64_t SizeBytes() const override { return sketch_.SizeBytes(); }
+
+ private:
+  MncSketch sketch_;
+};
+
+class MncEstimator final : public SparsityEstimator {
+ public:
+  // `basic` selects the MNC Basic variant (no extension vectors, no bounds).
+  // `rounding` selects the propagation rounding policy (§3.3; deterministic
+  // exists for the ablation study).
+  explicit MncEstimator(bool basic = false, uint64_t seed = 42,
+                        RoundingMode rounding = RoundingMode::kProbabilistic);
+
+  std::string Name() const override { return basic_ ? "MNC Basic" : "MNC"; }
+  bool SupportsOp(OpKind) const override { return true; }
+  bool SupportsChains() const override { return true; }
+  SynopsisPtr Build(const Matrix& a) override;
+  double EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                          const SynopsisPtr& b, int64_t out_rows,
+                          int64_t out_cols) override;
+  SynopsisPtr Propagate(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
+                        int64_t out_rows, int64_t out_cols) override;
+
+ private:
+  MncSketch Derive(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
+                   int64_t out_rows, int64_t out_cols);
+
+  bool basic_;
+  Rng rng_;
+  RoundingMode rounding_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_ESTIMATORS_MNC_ADAPTER_H_

@@ -1,0 +1,107 @@
+// Sampling-based estimators (§2.3, Eq. 5, and Appendix A, Eq. 16).
+//
+// These draw a uniform sample S of columns of A (and aligned rows of B) at
+// estimation time — no synopsis is materialized, so construction is free
+// (Fig. 7(b)). Two variants:
+//   - Biased (E_smpl of MatFast [65], Eq. 5): the sparsity of the largest
+//     sampled outer product; a strict lower bound that does not converge.
+//     Applies to single operations only.
+//   - Unbiased (Appendix A, Eq. 16): treats unsampled outer products as
+//     drawn from the empirical distribution of the sampled ones. Supports
+//     chains of matrix products via the Appendix-A rule: for an
+//     intermediate M(j) with sparsity estimate s_j, per-column counts are
+//     taken as nnz(M(j):k) = m_j * s_j (uniformity).
+// Both provide a column-sampled exact-intersection estimate for
+// element-wise multiplication (the B2.5-style use cases).
+
+#ifndef MNC_ESTIMATORS_SAMPLING_ESTIMATOR_H_
+#define MNC_ESTIMATORS_SAMPLING_ESTIMATOR_H_
+
+#include <optional>
+
+#include "mnc/estimators/sparsity_estimator.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+
+// Synopsis: a shared handle to the matrix itself (samples are drawn
+// lazily). Also used by the hash estimator.
+class MatrixHandleSynopsis final : public EstimatorSynopsis {
+ public:
+  explicit MatrixHandleSynopsis(Matrix m)
+      : EstimatorSynopsis(m.rows(), m.cols()), matrix_(std::move(m)) {}
+
+  const Matrix& matrix() const { return matrix_; }
+  // The sample is not materialized; the synopsis itself is just a handle.
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(sizeof(MatrixHandleSynopsis));
+  }
+
+ private:
+  Matrix matrix_;
+};
+
+// Sampling synopsis: a matrix handle for base inputs, or just the shape and
+// the propagated sparsity estimate for chain intermediates (Appendix A).
+class SamplingSynopsis final : public EstimatorSynopsis {
+ public:
+  explicit SamplingSynopsis(Matrix m)
+      : EstimatorSynopsis(m.rows(), m.cols()),
+        sparsity_(m.Sparsity()),
+        matrix_(std::move(m)) {}
+
+  SamplingSynopsis(int64_t rows, int64_t cols, double sparsity)
+      : EstimatorSynopsis(rows, cols), sparsity_(sparsity) {}
+
+  bool has_matrix() const { return matrix_.has_value(); }
+  const Matrix& matrix() const {
+    MNC_CHECK(matrix_.has_value());
+    return *matrix_;
+  }
+  double sparsity() const { return sparsity_; }
+
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(sizeof(SamplingSynopsis));
+  }
+
+ private:
+  double sparsity_;
+  std::optional<Matrix> matrix_;
+};
+
+class SamplingEstimator final : public SparsityEstimator {
+ public:
+  static constexpr double kDefaultSampleFraction = 0.05;
+
+  // `unbiased` switches between Eq. 5 (false) and Eq. 16 (true).
+  SamplingEstimator(bool unbiased,
+                    double sample_fraction = kDefaultSampleFraction,
+                    uint64_t seed = 42);
+
+  std::string Name() const override {
+    return unbiased_ ? "Sample(unbiased)" : "Sample";
+  }
+  bool SupportsOp(OpKind op) const override;
+  // Only the unbiased variant propagates (product chains, Appendix A).
+  bool SupportsChains() const override { return unbiased_; }
+  SynopsisPtr Build(const Matrix& a) override;
+  double EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                          const SynopsisPtr& b, int64_t out_rows,
+                          int64_t out_cols) override;
+  SynopsisPtr Propagate(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
+                        int64_t out_rows, int64_t out_cols) override;
+
+ private:
+  double EstimateProduct(const SamplingSynopsis& a,
+                         const SamplingSynopsis& b);
+  double EstimateEWiseMult(const SamplingSynopsis& a,
+                           const SamplingSynopsis& b);
+
+  bool unbiased_;
+  double sample_fraction_;
+  Rng rng_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_ESTIMATORS_SAMPLING_ESTIMATOR_H_

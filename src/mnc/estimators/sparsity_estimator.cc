@@ -1,0 +1,88 @@
+#include "mnc/estimators/sparsity_estimator.h"
+
+namespace mnc {
+
+const char* OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kMatMul:
+      return "MatMul";
+    case OpKind::kEWiseAdd:
+      return "EWiseAdd";
+    case OpKind::kEWiseMult:
+      return "EWiseMult";
+    case OpKind::kTranspose:
+      return "Transpose";
+    case OpKind::kReshape:
+      return "Reshape";
+    case OpKind::kDiag:
+      return "Diag";
+    case OpKind::kRBind:
+      return "RBind";
+    case OpKind::kCBind:
+      return "CBind";
+    case OpKind::kNotEqualZero:
+      return "NotEqualZero";
+    case OpKind::kEqualZero:
+      return "EqualZero";
+    case OpKind::kEWiseMin:
+      return "EWiseMin";
+    case OpKind::kEWiseMax:
+      return "EWiseMax";
+    case OpKind::kScale:
+      return "Scale";
+    case OpKind::kRowSums:
+      return "RowSums";
+    case OpKind::kColSums:
+      return "ColSums";
+  }
+  return "Unknown";
+}
+
+Shape InferOutputShape(OpKind op, Shape a, const Shape* b,
+                       int64_t reshape_rows, int64_t reshape_cols) {
+  switch (op) {
+    case OpKind::kMatMul:
+      MNC_CHECK(b != nullptr);
+      MNC_CHECK_EQ(a.cols, b->rows);
+      return {a.rows, b->cols};
+    case OpKind::kEWiseAdd:
+    case OpKind::kEWiseMult:
+    case OpKind::kEWiseMin:
+    case OpKind::kEWiseMax:
+      MNC_CHECK(b != nullptr);
+      MNC_CHECK_EQ(a.rows, b->rows);
+      MNC_CHECK_EQ(a.cols, b->cols);
+      return a;
+    case OpKind::kTranspose:
+      return {a.cols, a.rows};
+    case OpKind::kReshape:
+      MNC_CHECK_GE(reshape_rows, 0);
+      MNC_CHECK_GE(reshape_cols, 0);
+      MNC_CHECK_EQ(a.rows * a.cols, reshape_rows * reshape_cols);
+      return {reshape_rows, reshape_cols};
+    case OpKind::kDiag:
+      if (a.cols == 1) return {a.rows, a.rows};
+      MNC_CHECK_EQ(a.rows, a.cols);
+      return {a.rows, 1};
+    case OpKind::kRBind:
+      MNC_CHECK(b != nullptr);
+      MNC_CHECK_EQ(a.cols, b->cols);
+      return {a.rows + b->rows, a.cols};
+    case OpKind::kCBind:
+      MNC_CHECK(b != nullptr);
+      MNC_CHECK_EQ(a.rows, b->rows);
+      return {a.rows, a.cols + b->cols};
+    case OpKind::kNotEqualZero:
+    case OpKind::kEqualZero:
+    case OpKind::kScale:
+      return a;
+    case OpKind::kRowSums:
+      return {a.rows, 1};
+    case OpKind::kColSums:
+      return {1, a.cols};
+  }
+  MNC_CHECK_MSG(false, "unreachable");
+  return a;
+}
+
+}  // namespace mnc

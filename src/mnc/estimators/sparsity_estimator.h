@@ -1,0 +1,125 @@
+// Common interface for sparsity estimators (§2 of the paper).
+//
+// Every estimator follows the same life cycle the paper measures:
+//   1. Build(): construct a synopsis from a base matrix ("construction"
+//      in Figures 7(b)/8(b)),
+//   2. EstimateSparsity(): estimate the output sparsity of one operation
+//      from input synopses ("estimation" in Figures 7(c)/8(c)),
+//   3. Propagate(): derive a synopsis for the operation's output so that
+//      chains/DAGs can be estimated recursively (§3.3).
+// Estimators report which operations they support: e.g., the sampling-based
+// estimator applies to single matrix products only, and the layered graph
+// supports product chains but no element-wise operations — exactly the
+// applicability matrix of Table 1 and §6.6.
+
+#ifndef MNC_ESTIMATORS_SPARSITY_ESTIMATOR_H_
+#define MNC_ESTIMATORS_SPARSITY_ESTIMATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mnc/matrix/matrix.h"
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+// Operations covered by the SparsEst benchmark (§4/§5), plus the
+// "additional operations" extension of §8: element-wise min/max (pattern
+// intersection/union for non-negative inputs), scalar scaling, and row/
+// column aggregations.
+enum class OpKind {
+  kMatMul,
+  kEWiseAdd,
+  kEWiseMult,
+  kEWiseMin,
+  kEWiseMax,
+  kTranspose,
+  kReshape,
+  kDiag,
+  kRBind,
+  kCBind,
+  kNotEqualZero,
+  kEqualZero,
+  kScale,    // alpha * A with alpha != 0 (structure-preserving)
+  kRowSums,  // m x 1 aggregation
+  kColSums,  // 1 x n aggregation
+};
+
+// Human-readable name ("MatMul", "EWiseAdd", ...).
+const char* OpKindName(OpKind op);
+
+// Opaque, estimator-specific synopsis of one (possibly intermediate) matrix.
+class EstimatorSynopsis {
+ public:
+  EstimatorSynopsis(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {}
+  virtual ~EstimatorSynopsis() = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  // In-memory footprint of the synopsis (Fig. 9).
+  virtual int64_t SizeBytes() const = 0;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+};
+
+using SynopsisPtr = std::shared_ptr<const EstimatorSynopsis>;
+
+class SparsityEstimator {
+ public:
+  virtual ~SparsityEstimator() = default;
+
+  virtual std::string Name() const = 0;
+
+  // True if the estimator defines EstimateSparsity/Propagate for `op`.
+  virtual bool SupportsOp(OpKind op) const = 0;
+
+  // True if synopses can be propagated through supported ops (column ® of
+  // Table 1); false for single-operation estimators like sampling.
+  virtual bool SupportsChains() const = 0;
+
+  // Builds a synopsis from a base matrix.
+  virtual SynopsisPtr Build(const Matrix& a) = 0;
+
+  // Estimates the output sparsity of `op` applied to the inputs summarized
+  // by `a` (and `b` for binary ops; pass nullptr for unary ops). out_rows/
+  // out_cols give the output shape (needed for reshape; redundant but
+  // convenient elsewhere). Requires SupportsOp(op).
+  virtual double EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                                  const SynopsisPtr& b, int64_t out_rows,
+                                  int64_t out_cols) = 0;
+
+  // Derives the output synopsis of `op` (same contract as EstimateSparsity).
+  // Requires SupportsOp(op) and SupportsChains().
+  virtual SynopsisPtr Propagate(OpKind op, const SynopsisPtr& a,
+                                const SynopsisPtr& b, int64_t out_rows,
+                                int64_t out_cols) = 0;
+
+ protected:
+  // Downcast helper with a checked type assumption: synopses passed back
+  // into an estimator must have been produced by that estimator.
+  template <typename T>
+  static const T& As(const SynopsisPtr& s) {
+    MNC_CHECK(s != nullptr);
+    const T* typed = dynamic_cast<const T*>(s.get());
+    MNC_CHECK_MSG(typed != nullptr, "synopsis type mismatch");
+    return *typed;
+  }
+};
+
+// Output shape of `op` for inputs of the given shapes. reshape_rows/cols are
+// only read for kReshape. Aborts on dimension mismatch — the same
+// shape-inference rules the IR uses.
+struct Shape {
+  int64_t rows;
+  int64_t cols;
+};
+Shape InferOutputShape(OpKind op, Shape a, const Shape* b,
+                       int64_t reshape_rows = -1, int64_t reshape_cols = -1);
+
+}  // namespace mnc
+
+#endif  // MNC_ESTIMATORS_SPARSITY_ESTIMATOR_H_

@@ -1,0 +1,92 @@
+#include "mnc/ir/evaluator.h"
+
+#include <vector>
+
+#include "mnc/matrix/ops_ewise.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/matrix/ops_reorg.h"
+
+namespace mnc {
+
+Matrix Evaluator::Evaluate(const ExprPtr& root) {
+  MNC_CHECK(root != nullptr);
+  pinned_roots_.push_back(root);
+  // Iterative post-order to keep deep chains off the call stack.
+  std::vector<const ExprNode*> stack = {root.get()};
+  while (!stack.empty()) {
+    const ExprNode* node = stack.back();
+    if (cache_.contains(node)) {
+      stack.pop_back();
+      continue;
+    }
+    if (node->is_leaf()) {
+      cache_.emplace(node, node->matrix());
+      stack.pop_back();
+      continue;
+    }
+    const ExprNode* left = node->left().get();
+    const ExprNode* right =
+        node->right() != nullptr ? node->right().get() : nullptr;
+    const bool left_ready = cache_.contains(left);
+    const bool right_ready = right == nullptr || cache_.contains(right);
+    if (!left_ready || !right_ready) {
+      if (!left_ready) stack.push_back(left);
+      if (!right_ready) stack.push_back(right);
+      continue;
+    }
+    const Matrix& a = cache_.at(left);
+    Matrix result = Matrix::Sparse(CsrMatrix(0, 0));
+    switch (node->op()) {
+      case OpKind::kMatMul:
+        result = Multiply(a, cache_.at(right), pool_);
+        break;
+      case OpKind::kEWiseAdd:
+        result = Add(a, cache_.at(right));
+        break;
+      case OpKind::kEWiseMult:
+        result = MultiplyEWise(a, cache_.at(right));
+        break;
+      case OpKind::kTranspose:
+        result = Transpose(a);
+        break;
+      case OpKind::kReshape:
+        result = Reshape(a, node->rows(), node->cols());
+        break;
+      case OpKind::kDiag:
+        result = Diag(a);
+        break;
+      case OpKind::kRBind:
+        result = RBind(a, cache_.at(right));
+        break;
+      case OpKind::kCBind:
+        result = CBind(a, cache_.at(right));
+        break;
+      case OpKind::kNotEqualZero:
+        result = NotEqualZero(a);
+        break;
+      case OpKind::kEqualZero:
+        result = EqualZero(a);
+        break;
+      case OpKind::kEWiseMin:
+        result = MinEWise(a, cache_.at(right));
+        break;
+      case OpKind::kEWiseMax:
+        result = MaxEWise(a, cache_.at(right));
+        break;
+      case OpKind::kScale:
+        result = Scale(a, node->scale_alpha());
+        break;
+      case OpKind::kRowSums:
+        result = RowSums(a);
+        break;
+      case OpKind::kColSums:
+        result = ColSums(a);
+        break;
+    }
+    cache_.emplace(node, std::move(result));
+    stack.pop_back();
+  }
+  return cache_.at(root.get());
+}
+
+}  // namespace mnc

@@ -1,0 +1,46 @@
+// Ground-truth evaluation of expression DAGs.
+//
+// Executes the DAG with the FP64 engine (dense/sparse dispatch per
+// operation), memoizing shared subexpressions by node identity. The measured
+// output sparsities are the ground truth against which the SparsEst
+// benchmark computes relative errors, and the execution itself is the
+// runtime baseline "MM" in Figures 7(a)/8(a).
+
+#ifndef MNC_IR_EVALUATOR_H_
+#define MNC_IR_EVALUATOR_H_
+
+#include <unordered_map>
+
+#include "mnc/ir/expr.h"
+#include "mnc/util/thread_pool.h"
+
+namespace mnc {
+
+class Evaluator {
+ public:
+  // pool (optional, not owned) parallelizes dense matrix products.
+  explicit Evaluator(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  // Evaluates the DAG rooted at `root`. Results of shared subexpressions are
+  // cached for the lifetime of the Evaluator, so evaluating several related
+  // roots (e.g., all intermediates of a chain) reuses work.
+  Matrix Evaluate(const ExprPtr& root);
+
+  // Drops all cached intermediates.
+  void ClearCache() {
+    cache_.clear();
+    pinned_roots_.clear();
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::unordered_map<const ExprNode*, Matrix> cache_;
+  // The cache keys on node identity, so every evaluated root is pinned to
+  // keep its DAG alive — otherwise a freed node's address could be reused
+  // by a new node and alias a stale cache entry.
+  std::vector<ExprPtr> pinned_roots_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_IR_EVALUATOR_H_

@@ -1,0 +1,198 @@
+#include "mnc/ir/expr.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mnc/matrix/ops_reorg.h"
+
+namespace mnc {
+
+ExprPtr ExprNode::Leaf(Matrix m, std::string name) {
+  auto node = std::shared_ptr<ExprNode>(new ExprNode());
+  node->is_leaf_ = true;
+  node->rows_ = m.rows();
+  node->cols_ = m.cols();
+  node->matrix_ = std::move(m);
+  node->name_ = std::move(name);
+  return node;
+}
+
+ExprPtr ExprNode::MakeUnary(OpKind op, ExprPtr a, int64_t out_rows,
+                            int64_t out_cols, double alpha) {
+  MNC_CHECK(a != nullptr);
+  auto node = std::shared_ptr<ExprNode>(new ExprNode());
+  node->op_ = op;
+  node->scale_alpha_ = alpha;
+  const Shape out = InferOutputShape(op, {a->rows(), a->cols()}, nullptr,
+                                     out_rows, out_cols);
+  node->rows_ = out.rows;
+  node->cols_ = out.cols;
+  node->left_ = std::move(a);
+  return node;
+}
+
+ExprPtr ExprNode::MakeBinary(OpKind op, ExprPtr a, ExprPtr b) {
+  MNC_CHECK(a != nullptr);
+  MNC_CHECK(b != nullptr);
+  auto node = std::shared_ptr<ExprNode>(new ExprNode());
+  node->op_ = op;
+  const Shape shape_b{b->rows(), b->cols()};
+  const Shape out = InferOutputShape(op, {a->rows(), a->cols()}, &shape_b);
+  node->rows_ = out.rows;
+  node->cols_ = out.cols;
+  node->left_ = std::move(a);
+  node->right_ = std::move(b);
+  return node;
+}
+
+ExprPtr ExprNode::MatMul(ExprPtr a, ExprPtr b) {
+  return MakeBinary(OpKind::kMatMul, std::move(a), std::move(b));
+}
+ExprPtr ExprNode::EWiseAdd(ExprPtr a, ExprPtr b) {
+  return MakeBinary(OpKind::kEWiseAdd, std::move(a), std::move(b));
+}
+ExprPtr ExprNode::EWiseMult(ExprPtr a, ExprPtr b) {
+  return MakeBinary(OpKind::kEWiseMult, std::move(a), std::move(b));
+}
+ExprPtr ExprNode::Transpose(ExprPtr a) {
+  return MakeUnary(OpKind::kTranspose, std::move(a), -1, -1);
+}
+ExprPtr ExprNode::Reshape(ExprPtr a, int64_t rows, int64_t cols) {
+  return MakeUnary(OpKind::kReshape, std::move(a), rows, cols);
+}
+ExprPtr ExprNode::Diag(ExprPtr a) {
+  return MakeUnary(OpKind::kDiag, std::move(a), -1, -1);
+}
+ExprPtr ExprNode::RBind(ExprPtr a, ExprPtr b) {
+  return MakeBinary(OpKind::kRBind, std::move(a), std::move(b));
+}
+ExprPtr ExprNode::CBind(ExprPtr a, ExprPtr b) {
+  return MakeBinary(OpKind::kCBind, std::move(a), std::move(b));
+}
+ExprPtr ExprNode::NotEqualZero(ExprPtr a) {
+  return MakeUnary(OpKind::kNotEqualZero, std::move(a), -1, -1);
+}
+ExprPtr ExprNode::EqualZero(ExprPtr a) {
+  return MakeUnary(OpKind::kEqualZero, std::move(a), -1, -1);
+}
+ExprPtr ExprNode::EWiseMin(ExprPtr a, ExprPtr b) {
+  return MakeBinary(OpKind::kEWiseMin, std::move(a), std::move(b));
+}
+ExprPtr ExprNode::EWiseMax(ExprPtr a, ExprPtr b) {
+  return MakeBinary(OpKind::kEWiseMax, std::move(a), std::move(b));
+}
+ExprPtr ExprNode::Scale(ExprPtr a, double alpha) {
+  MNC_CHECK_MSG(alpha != 0.0, "zero scale collapses the expression");
+  return MakeUnary(OpKind::kScale, std::move(a), -1, -1, alpha);
+}
+ExprPtr ExprNode::RowSums(ExprPtr a) {
+  return MakeUnary(OpKind::kRowSums, std::move(a), -1, -1);
+}
+ExprPtr ExprNode::ColSums(ExprPtr a) {
+  return MakeUnary(OpKind::kColSums, std::move(a), -1, -1);
+}
+
+int64_t ExprNode::NumNodes() const {
+  std::unordered_set<const ExprNode*> visited;
+  std::vector<const ExprNode*> stack = {this};
+  while (!stack.empty()) {
+    const ExprNode* node = stack.back();
+    stack.pop_back();
+    if (!visited.insert(node).second) continue;
+    if (node->left_ != nullptr) stack.push_back(node->left_.get());
+    if (node->right_ != nullptr) stack.push_back(node->right_.get());
+  }
+  return static_cast<int64_t>(visited.size());
+}
+
+std::string ExprNode::ToString() const {
+  if (is_leaf_) {
+    return name_.empty() ? "Leaf" : name_;
+  }
+  std::string out = OpKindName(op_);
+  out += "(";
+  out += left_->ToString();
+  if (right_ != nullptr) {
+    out += ", ";
+    out += right_->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+
+ExprPtr RebuildWithChildren(const ExprPtr& node, ExprPtr left,
+                            ExprPtr right) {
+  MNC_CHECK(node != nullptr);
+  if (node->is_leaf()) return node;
+  if (left == node->left() && right == node->right()) return node;
+  switch (node->op()) {
+    case OpKind::kMatMul:
+      return ExprNode::MatMul(std::move(left), std::move(right));
+    case OpKind::kEWiseAdd:
+      return ExprNode::EWiseAdd(std::move(left), std::move(right));
+    case OpKind::kEWiseMult:
+      return ExprNode::EWiseMult(std::move(left), std::move(right));
+    case OpKind::kEWiseMin:
+      return ExprNode::EWiseMin(std::move(left), std::move(right));
+    case OpKind::kEWiseMax:
+      return ExprNode::EWiseMax(std::move(left), std::move(right));
+    case OpKind::kTranspose:
+      return ExprNode::Transpose(std::move(left));
+    case OpKind::kReshape:
+      return ExprNode::Reshape(std::move(left), node->rows(), node->cols());
+    case OpKind::kDiag:
+      return ExprNode::Diag(std::move(left));
+    case OpKind::kRBind:
+      return ExprNode::RBind(std::move(left), std::move(right));
+    case OpKind::kCBind:
+      return ExprNode::CBind(std::move(left), std::move(right));
+    case OpKind::kNotEqualZero:
+      return ExprNode::NotEqualZero(std::move(left));
+    case OpKind::kEqualZero:
+      return ExprNode::EqualZero(std::move(left));
+    case OpKind::kScale:
+      return ExprNode::Scale(std::move(left), node->scale_alpha());
+    case OpKind::kRowSums:
+      return ExprNode::RowSums(std::move(left));
+    case OpKind::kColSums:
+      return ExprNode::ColSums(std::move(left));
+  }
+  MNC_CHECK_MSG(false, "unreachable");
+  return node;
+}
+
+namespace {
+
+ExprPtr FoldImpl(const ExprPtr& node,
+                 std::unordered_map<const ExprNode*, ExprPtr>& memo) {
+  auto it = memo.find(node.get());
+  if (it != memo.end()) return it->second;
+
+  ExprPtr result;
+  if (node->is_leaf()) {
+    result = node;
+  } else if (node->op() == OpKind::kTranspose && node->left()->is_leaf()) {
+    result = ExprNode::Leaf(mnc::Transpose(node->left()->matrix()),
+                            node->left()->name().empty()
+                                ? ""
+                                : node->left()->name() + "^T");
+  } else {
+    const ExprPtr left = FoldImpl(node->left(), memo);
+    const ExprPtr right =
+        node->right() != nullptr ? FoldImpl(node->right(), memo) : nullptr;
+    result = RebuildWithChildren(node, left, right);
+  }
+  memo.emplace(node.get(), result);
+  return result;
+}
+
+}  // namespace
+
+ExprPtr FoldTransposedLeaves(const ExprPtr& root) {
+  MNC_CHECK(root != nullptr);
+  std::unordered_map<const ExprNode*, ExprPtr> memo;
+  return FoldImpl(root, memo);
+}
+
+}  // namespace mnc

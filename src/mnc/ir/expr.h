@@ -1,0 +1,116 @@
+// Expression DAG (intermediate representation) of linear-algebra programs.
+//
+// Nodes are input matrices (leaves) or operations; edges are data
+// dependencies (§3.3 "Implementation Details"). Shapes are inferred at
+// construction. Nodes are immutable and shared — the same subexpression can
+// be referenced from multiple parents, and evaluation/propagation memoize by
+// node identity.
+
+#ifndef MNC_IR_EXPR_H_
+#define MNC_IR_EXPR_H_
+
+#include <memory>
+#include <string>
+
+#include "mnc/estimators/sparsity_estimator.h"
+#include "mnc/matrix/matrix.h"
+
+namespace mnc {
+
+class ExprNode;
+using ExprPtr = std::shared_ptr<const ExprNode>;
+
+class ExprNode {
+ public:
+  // Leaf (input matrix) constructors.
+  static ExprPtr Leaf(Matrix m, std::string name = "");
+
+  // Operation constructors; shapes are checked eagerly.
+  static ExprPtr MatMul(ExprPtr a, ExprPtr b);
+  static ExprPtr EWiseAdd(ExprPtr a, ExprPtr b);
+  static ExprPtr EWiseMult(ExprPtr a, ExprPtr b);
+  static ExprPtr Transpose(ExprPtr a);
+  static ExprPtr Reshape(ExprPtr a, int64_t rows, int64_t cols);
+  static ExprPtr Diag(ExprPtr a);
+  static ExprPtr RBind(ExprPtr a, ExprPtr b);
+  static ExprPtr CBind(ExprPtr a, ExprPtr b);
+  static ExprPtr NotEqualZero(ExprPtr a);
+  static ExprPtr EqualZero(ExprPtr a);
+
+  // §8 "additional operations" extension.
+  static ExprPtr EWiseMin(ExprPtr a, ExprPtr b);
+  static ExprPtr EWiseMax(ExprPtr a, ExprPtr b);
+  // alpha must be non-zero (a zero scale collapses the expression; fold it
+  // to an empty leaf instead).
+  static ExprPtr Scale(ExprPtr a, double alpha);
+  static ExprPtr RowSums(ExprPtr a);
+  static ExprPtr ColSums(ExprPtr a);
+
+  bool is_leaf() const { return is_leaf_; }
+
+  // Operation kind; only valid for non-leaf nodes.
+  OpKind op() const {
+    MNC_CHECK(!is_leaf_);
+    return op_;
+  }
+
+  // The input matrix; only valid for leaves.
+  const Matrix& matrix() const {
+    MNC_CHECK(is_leaf_);
+    return matrix_;
+  }
+
+  const std::string& name() const { return name_; }
+
+  // Scalar factor; only valid for kScale nodes.
+  double scale_alpha() const {
+    MNC_CHECK(!is_leaf_ && op_ == OpKind::kScale);
+    return scale_alpha_;
+  }
+
+  // Children; right() is null for unary operations and leaves.
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  // Number of nodes in the DAG reachable from this node (distinct).
+  int64_t NumNodes() const;
+
+  // Readable rendering, e.g. "MatMul(X, Transpose(W))".
+  std::string ToString() const;
+
+ private:
+  ExprNode() : matrix_(Matrix::Sparse(CsrMatrix(0, 0))) {}
+
+  static ExprPtr MakeUnary(OpKind op, ExprPtr a, int64_t out_rows,
+                           int64_t out_cols, double alpha = 1.0);
+  static ExprPtr MakeBinary(OpKind op, ExprPtr a, ExprPtr b);
+
+  bool is_leaf_ = false;
+  OpKind op_ = OpKind::kMatMul;
+  double scale_alpha_ = 1.0;
+  Matrix matrix_;
+  std::string name_;
+  ExprPtr left_;
+  ExprPtr right_;
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+};
+
+// Rebuilds a non-leaf node with new children, preserving the operation and
+// its parameters (reshape dims, scale factor). Returns `node` itself when
+// the children are unchanged, and for leaves. Used by rewrite passes.
+ExprPtr RebuildWithChildren(const ExprPtr& node, ExprPtr left, ExprPtr right);
+
+// Rewrites Transpose(Leaf(M)) into Leaf(M^T) everywhere in the DAG. This is
+// the "leaf node reorganizations" simplification of §6.6: estimators that
+// only understand matrix products (layered graph) can then handle
+// expressions like G G^T or S^T X^T ... as pure product chains. The
+// transposed matrices are materialized once.
+ExprPtr FoldTransposedLeaves(const ExprPtr& root);
+
+}  // namespace mnc
+
+#endif  // MNC_IR_EXPR_H_

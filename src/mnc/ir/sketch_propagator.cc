@@ -1,0 +1,73 @@
+#include "mnc/ir/sketch_propagator.h"
+
+#include <vector>
+
+namespace mnc {
+
+bool SketchPropagator::Supports(const ExprPtr& root) const {
+  MNC_CHECK(root != nullptr);
+  if (root->is_leaf()) return true;
+  std::vector<std::pair<const ExprNode*, bool>> stack = {
+      {root.get(), /*is_root=*/true}};
+  while (!stack.empty()) {
+    const auto [node, is_root] = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) continue;
+    if (!estimator_->SupportsOp(node->op())) return false;
+    // A non-root operation's output must be propagated as a synopsis.
+    if (!is_root && !estimator_->SupportsChains()) return false;
+    stack.push_back({node->left().get(), false});
+    if (node->right() != nullptr) {
+      stack.push_back({node->right().get(), false});
+    }
+  }
+  return true;
+}
+
+SynopsisPtr SketchPropagator::Synopsis(const ExprPtr& node) {
+  MNC_CHECK(node != nullptr);
+  pinned_roots_.push_back(node);
+  auto it = cache_.find(node.get());
+  if (it != cache_.end()) return it->second;
+
+  SynopsisPtr result;
+  if (node->is_leaf()) {
+    result = estimator_->Build(node->matrix());
+  } else {
+    if (!estimator_->SupportsOp(node->op()) ||
+        !estimator_->SupportsChains()) {
+      return nullptr;
+    }
+    const SynopsisPtr left = Synopsis(node->left());
+    if (left == nullptr) return nullptr;
+    SynopsisPtr right;
+    if (node->right() != nullptr) {
+      right = Synopsis(node->right());
+      if (right == nullptr) return nullptr;
+    }
+    result = estimator_->Propagate(node->op(), left, right, node->rows(),
+                                   node->cols());
+  }
+  cache_.emplace(node.get(), result);
+  return result;
+}
+
+std::optional<double> SketchPropagator::EstimateSparsity(
+    const ExprPtr& root) {
+  MNC_CHECK(root != nullptr);
+  if (!Supports(root)) return std::nullopt;
+  if (root->is_leaf()) return root->matrix().Sparsity();
+
+  // Children are propagated; the root itself is estimated directly.
+  const SynopsisPtr left = Synopsis(root->left());
+  if (left == nullptr) return std::nullopt;
+  SynopsisPtr right;
+  if (root->right() != nullptr) {
+    right = Synopsis(root->right());
+    if (right == nullptr) return std::nullopt;
+  }
+  return estimator_->EstimateSparsity(root->op(), left, right, root->rows(),
+                                      root->cols());
+}
+
+}  // namespace mnc

@@ -1,0 +1,57 @@
+// Estimator-driven synopsis propagation over expression DAGs (§3.3).
+//
+// Walks the DAG bottom-up with a given sparsity estimator: leaf synopses are
+// built from the input matrices, intermediate synopses are memoized (nodes
+// may be reachable over multiple paths), and the root sparsity is estimated
+// directly without materializing the root synopsis — the three
+// "implementation details" of §3.3.
+
+#ifndef MNC_IR_SKETCH_PROPAGATOR_H_
+#define MNC_IR_SKETCH_PROPAGATOR_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "mnc/estimators/sparsity_estimator.h"
+#include "mnc/ir/expr.h"
+
+namespace mnc {
+
+class SketchPropagator {
+ public:
+  // `estimator` is borrowed (not owned) and must outlive the propagator.
+  explicit SketchPropagator(SparsityEstimator* estimator)
+      : estimator_(estimator) {
+    MNC_CHECK(estimator != nullptr);
+  }
+
+  // Whether `estimator` can estimate the DAG rooted at `root`: every
+  // operation must be supported, and any operation above another operation
+  // requires chain support.
+  bool Supports(const ExprPtr& root) const;
+
+  // Estimated sparsity of the root, or std::nullopt if unsupported.
+  // Leaf synopses and propagated intermediate synopses are cached across
+  // calls, so estimating all intermediates of a chain reuses work.
+  std::optional<double> EstimateSparsity(const ExprPtr& root);
+
+  // The synopsis of a (non-root) node, building/propagating if needed.
+  // Returns nullptr if unsupported.
+  SynopsisPtr Synopsis(const ExprPtr& node);
+
+  void ClearCache() {
+    cache_.clear();
+    pinned_roots_.clear();
+  }
+
+ private:
+  SparsityEstimator* estimator_;
+  std::unordered_map<const ExprNode*, SynopsisPtr> cache_;
+  // Keeps every node whose synopsis is cached alive; the cache keys on node
+  // identity, and address reuse after node destruction would alias entries.
+  std::vector<ExprPtr> pinned_roots_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_IR_SKETCH_PROPAGATOR_H_

@@ -1,0 +1,421 @@
+#include "mnc/lang/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace mnc {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kPlus,
+  kStar,
+  kMatMul,  // %*%
+  kLParen,
+  kRParen,
+  kComma,
+  kNeq,       // !=
+  kEq,        // ==
+  kAssign,    // =
+  kSemicolon, // ;
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  double number = 0.0;
+  size_t position = 0;
+};
+
+// Splits `source` into tokens; returns false with `error` set on bad input.
+bool Tokenize(const std::string& source, std::vector<Token>& tokens,
+              std::string& error) {
+  size_t i = 0;
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[j])) ||
+              source[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back({TokenKind::kIdent, source.substr(i, j - i), 0.0, i});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      size_t j = i;
+      while (j < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[j])) ||
+              source[j] == '.' || source[j] == 'e' || source[j] == 'E' ||
+              ((source[j] == '+' || source[j] == '-') && j > i &&
+               (source[j - 1] == 'e' || source[j - 1] == 'E')))) {
+        ++j;
+      }
+      const std::string text = source.substr(i, j - i);
+      tokens.push_back(
+          {TokenKind::kNumber, text, std::atof(text.c_str()), i});
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '+':
+        tokens.push_back({TokenKind::kPlus, "+", 0.0, i});
+        ++i;
+        continue;
+      case '*':
+        tokens.push_back({TokenKind::kStar, "*", 0.0, i});
+        ++i;
+        continue;
+      case '(':
+        tokens.push_back({TokenKind::kLParen, "(", 0.0, i});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back({TokenKind::kRParen, ")", 0.0, i});
+        ++i;
+        continue;
+      case ',':
+        tokens.push_back({TokenKind::kComma, ",", 0.0, i});
+        ++i;
+        continue;
+      case ';':
+        tokens.push_back({TokenKind::kSemicolon, ";", 0.0, i});
+        ++i;
+        continue;
+      case '%':
+        if (source.compare(i, 3, "%*%") == 0) {
+          tokens.push_back({TokenKind::kMatMul, "%*%", 0.0, i});
+          i += 3;
+          continue;
+        }
+        error = "unexpected '%' at position " + std::to_string(i) +
+                " (did you mean %*%?)";
+        return false;
+      case '!':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          tokens.push_back({TokenKind::kNeq, "!=", 0.0, i});
+          i += 2;
+          continue;
+        }
+        error = "unexpected '!' at position " + std::to_string(i);
+        return false;
+      case '=':
+        if (i + 1 < source.size() && source[i + 1] == '=') {
+          tokens.push_back({TokenKind::kEq, "==", 0.0, i});
+          i += 2;
+          continue;
+        }
+        tokens.push_back({TokenKind::kAssign, "=", 0.0, i});
+        ++i;
+        continue;
+      default:
+        error = std::string("unexpected character '") + c +
+                "' at position " + std::to_string(i);
+        return false;
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, "", 0.0, source.size()});
+  return true;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens,
+         const std::map<std::string, Matrix>& bindings)
+      : tokens_(std::move(tokens)), bindings_(bindings) {}
+
+  ParseResult Run() {
+    ExprPtr expr = ParseCmp();
+    if (expr != nullptr && Peek().kind != TokenKind::kEnd) {
+      return Fail("unexpected trailing input starting with '" +
+                  Peek().text + "'");
+    }
+    if (expr == nullptr) return {nullptr, error_};
+    return {expr, ""};
+  }
+
+  ParseResult RunProgram() {
+    ExprPtr last;
+    for (;;) {
+      // Optional "IDENT =" assignment prefix (two-token lookahead).
+      std::string target;
+      if (Peek().kind == TokenKind::kIdent &&
+          tokens_[index_ + 1].kind == TokenKind::kAssign) {
+        target = Advance().text;
+        ++index_;  // consume '='
+      }
+      ExprPtr expr = ParseCmp();
+      if (expr == nullptr) return {nullptr, error_};
+      if (!target.empty()) {
+        env_[target] = expr;  // shadows matrices and earlier assignments
+      }
+      last = expr;
+      if (Match(TokenKind::kSemicolon)) {
+        if (Peek().kind == TokenKind::kEnd) break;  // trailing ';'
+        continue;
+      }
+      if (Peek().kind == TokenKind::kEnd) break;
+      return Fail("expected ';' or end of script, got '" + Peek().text +
+                  "'");
+    }
+    return {last, ""};
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Advance() { return tokens_[index_++]; }
+  bool Match(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  ParseResult Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " (at position " +
+               std::to_string(Peek().position) + ")";
+    }
+    return {nullptr, error_};
+  }
+  ExprPtr FailExpr(const std::string& message) {
+    (void)Fail(message);
+    return nullptr;
+  }
+
+  // Comparisons bind loosest (R semantics): A %*% B != 0 means
+  // (A %*% B) != 0.
+  ExprPtr ParseCmp() {
+    ExprPtr expr = ParseAdd();
+    while (expr != nullptr && (Peek().kind == TokenKind::kNeq ||
+                               Peek().kind == TokenKind::kEq)) {
+      const bool neq = Peek().kind == TokenKind::kNeq;
+      ++index_;
+      if (Peek().kind != TokenKind::kNumber || Peek().number != 0.0) {
+        return FailExpr(
+            "only comparisons against 0 are supported (A != 0, A == 0)");
+      }
+      ++index_;
+      expr = neq ? ExprNode::NotEqualZero(expr) : ExprNode::EqualZero(expr);
+    }
+    return expr;
+  }
+
+  ExprPtr ParseAdd() {
+    ExprPtr left = ParseEMul();
+    while (left != nullptr && Match(TokenKind::kPlus)) {
+      ExprPtr right = ParseEMul();
+      if (right == nullptr) return nullptr;
+      if (left->rows() != right->rows() || left->cols() != right->cols()) {
+        return FailExpr("shape mismatch for '+': " + Shape(left) + " vs " +
+                        Shape(right));
+      }
+      left = ExprNode::EWiseAdd(left, right);
+    }
+    return left;
+  }
+
+  ExprPtr ParseEMul() {
+    ExprPtr left = ParseMatMul();
+    while (left != nullptr && Match(TokenKind::kStar)) {
+      ExprPtr right = ParseMatMul();
+      if (right == nullptr) return nullptr;
+      if (left->rows() != right->rows() || left->cols() != right->cols()) {
+        return FailExpr("shape mismatch for '*': " + Shape(left) + " vs " +
+                        Shape(right));
+      }
+      left = ExprNode::EWiseMult(left, right);
+    }
+    return left;
+  }
+
+  ExprPtr ParseMatMul() {
+    ExprPtr left = ParsePrimary();
+    while (left != nullptr && Match(TokenKind::kMatMul)) {
+      ExprPtr right = ParsePrimary();
+      if (right == nullptr) return nullptr;
+      if (left->cols() != right->rows()) {
+        return FailExpr("inner dimension mismatch for '%*%': " +
+                        Shape(left) + " vs " + Shape(right));
+      }
+      left = ExprNode::MatMul(left, right);
+    }
+    return left;
+  }
+
+  ExprPtr ParsePrimary() {
+    if (Peek().kind == TokenKind::kNumber) {
+      // Scalar scaling: NUMBER '*' primary.
+      const double alpha = Advance().number;
+      if (!Match(TokenKind::kStar)) {
+        return FailExpr("a number must be followed by '*' (scalar scaling)");
+      }
+      if (alpha == 0.0) {
+        return FailExpr("scaling by 0 collapses the expression");
+      }
+      ExprPtr inner = ParsePrimary();
+      if (inner == nullptr) return nullptr;
+      return ExprNode::Scale(inner, alpha);
+    }
+    if (Match(TokenKind::kLParen)) {
+      ExprPtr inner = ParseCmp();
+      if (inner == nullptr) return nullptr;
+      if (!Match(TokenKind::kRParen)) {
+        return FailExpr("expected ')'");
+      }
+      return inner;
+    }
+    if (Peek().kind == TokenKind::kIdent) {
+      const std::string name = Advance().text;
+      if (Peek().kind == TokenKind::kLParen) {
+        return ParseCall(name);
+      }
+      auto bound = env_.find(name);
+      if (bound != env_.end()) return bound->second;
+      auto it = bindings_.find(name);
+      if (it == bindings_.end()) {
+        return FailExpr("unknown matrix '" + name + "'");
+      }
+      // Leaves are cached so repeated references share one DAG node (and
+      // downstream synopsis/evaluation memoization applies).
+      ExprPtr leaf = ExprNode::Leaf(it->second, name);
+      env_.emplace(name, leaf);
+      return leaf;
+    }
+    return FailExpr("expected a matrix name, number, or '('");
+  }
+
+  // FUNC '(' ... ')' with per-function arity and shape validation.
+  ExprPtr ParseCall(const std::string& func) {
+    if (!Match(TokenKind::kLParen)) {
+      return FailExpr("expected '(' after '" + func + "'");
+    }
+
+    if (func == "reshape") {
+      ExprPtr arg = ParseCmp();
+      if (arg == nullptr) return nullptr;
+      int64_t rows = 0;
+      int64_t cols = 0;
+      if (!ParseIntArg(&rows) || !ParseIntArg(&cols)) return nullptr;
+      if (!Match(TokenKind::kRParen)) return FailExpr("expected ')'");
+      if (arg->rows() * arg->cols() != rows * cols) {
+        return FailExpr("reshape size mismatch: " + Shape(arg) + " to " +
+                        std::to_string(rows) + "x" + std::to_string(cols));
+      }
+      return ExprNode::Reshape(arg, rows, cols);
+    }
+
+    ExprPtr first = ParseCmp();
+    if (first == nullptr) return nullptr;
+
+    if (func == "t" || func == "diag" || func == "rowSums" ||
+        func == "colSums") {
+      if (!Match(TokenKind::kRParen)) return FailExpr("expected ')'");
+      if (func == "t") return ExprNode::Transpose(first);
+      if (func == "rowSums") return ExprNode::RowSums(first);
+      if (func == "colSums") return ExprNode::ColSums(first);
+      // diag
+      if (first->cols() != 1 && first->rows() != first->cols()) {
+        return FailExpr("diag expects a column vector or a square matrix");
+      }
+      return ExprNode::Diag(first);
+    }
+
+    if (func == "rbind" || func == "cbind" || func == "min" ||
+        func == "max") {
+      if (!Match(TokenKind::kComma)) {
+        return FailExpr("'" + func + "' expects two arguments");
+      }
+      ExprPtr second = ParseCmp();
+      if (second == nullptr) return nullptr;
+      if (!Match(TokenKind::kRParen)) return FailExpr("expected ')'");
+      if (func == "rbind") {
+        if (first->cols() != second->cols()) {
+          return FailExpr("rbind column mismatch: " + Shape(first) + " vs " +
+                          Shape(second));
+        }
+        return ExprNode::RBind(first, second);
+      }
+      if (func == "cbind") {
+        if (first->rows() != second->rows()) {
+          return FailExpr("cbind row mismatch: " + Shape(first) + " vs " +
+                          Shape(second));
+        }
+        return ExprNode::CBind(first, second);
+      }
+      if (first->rows() != second->rows() ||
+          first->cols() != second->cols()) {
+        return FailExpr("shape mismatch for '" + func + "': " +
+                        Shape(first) + " vs " + Shape(second));
+      }
+      return func == "min" ? ExprNode::EWiseMin(first, second)
+                           : ExprNode::EWiseMax(first, second);
+    }
+
+    return FailExpr("unknown function '" + func + "'");
+  }
+
+  bool ParseIntArg(int64_t* out) {
+    if (!Match(TokenKind::kComma)) {
+      (void)Fail("expected ',' before a dimension argument");
+      return false;
+    }
+    if (Peek().kind != TokenKind::kNumber) {
+      (void)Fail("expected a numeric dimension argument");
+      return false;
+    }
+    *out = static_cast<int64_t>(Advance().number);
+    if (*out <= 0) {
+      (void)Fail("dimension arguments must be positive");
+      return false;
+    }
+    return true;
+  }
+
+  static std::string Shape(const ExprPtr& e) {
+    return std::to_string(e->rows()) + "x" + std::to_string(e->cols());
+  }
+
+  std::vector<Token> tokens_;
+  const std::map<std::string, Matrix>& bindings_;
+  std::map<std::string, ExprPtr> env_;
+  size_t index_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult ParseExpression(const std::string& source,
+                            const std::map<std::string, Matrix>& bindings) {
+  std::vector<Token> tokens;
+  std::string error;
+  if (!Tokenize(source, tokens, error)) {
+    return {nullptr, error};
+  }
+  Parser parser(std::move(tokens), bindings);
+  return parser.Run();
+}
+
+ParseResult ParseProgram(const std::string& source,
+                         const std::map<std::string, Matrix>& bindings) {
+  std::vector<Token> tokens;
+  std::string error;
+  if (!Tokenize(source, tokens, error)) {
+    return {nullptr, error};
+  }
+  Parser parser(std::move(tokens), bindings);
+  return parser.RunProgram();
+}
+
+}  // namespace mnc

@@ -1,0 +1,69 @@
+// A small DML/R-like expression language front end.
+//
+// ML systems compile linear-algebra scripts into operator DAGs and estimate
+// sparsity during that compilation (§1). This parser provides the same
+// entry point for the library: a textual expression over named matrices is
+// parsed into the mnc IR, ready for estimation, propagation, and execution.
+//
+// Grammar (precedence low to high):
+//   expr     := add
+//   add      := emul ( '+' emul )*
+//   emul     := matmul ( '*' matmul )*                 element-wise multiply
+//   matmul   := postfix ( '%*%' postfix )*             matrix product
+//   postfix  := primary ( "!=" "0" | "==" "0" )*
+//   primary  := NUMBER '*' primary                     scalar scaling
+//            |  IDENT
+//            |  FUNC '(' expr ( ',' expr | ',' NUMBER )* ')'
+//            |  '(' expr ')'
+//   FUNC     := t | reshape | diag | rbind | cbind | min | max
+//            |  rowSums | colSums
+//
+// Examples:
+//   "X %*% W"
+//   "reshape(X %*% W, 2000, 12000)"
+//   "(P %*% X != 0) * (P %*% L %*% t(R))"
+//   "X * ((R * S + T) != 0)"
+//   "0.5 * rowSums(A + B)"
+
+#ifndef MNC_LANG_PARSER_H_
+#define MNC_LANG_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "mnc/ir/expr.h"
+
+namespace mnc {
+
+struct ParseResult {
+  ExprPtr expr;        // null on failure
+  std::string error;   // human-readable message on failure
+
+  bool ok() const { return expr != nullptr; }
+};
+
+// Parses `source` into an expression DAG. Identifiers resolve against
+// `bindings`; unknown identifiers, syntax errors, and shape mismatches
+// produce a ParseResult with a descriptive error (shape checks are
+// performed during construction, reported as errors rather than aborts).
+ParseResult ParseExpression(const std::string& source,
+                            const std::map<std::string, Matrix>& bindings);
+
+// Parses a multi-statement script:
+//
+//   Y = X %*% W;
+//   M = Y != 0;
+//   M * Y
+//
+// Statements are ';'-separated; `name = expr` binds an intermediate that
+// later statements reference *by DAG node* (shared subexpressions evaluate
+// once), mirroring how ML systems compile scripts into operator DAGs. The
+// value of the script is the final statement's expression (a bare
+// expression, or the last assignment's right-hand side). Assignments may
+// shadow matrix bindings and earlier assignments.
+ParseResult ParseProgram(const std::string& source,
+                         const std::map<std::string, Matrix>& bindings);
+
+}  // namespace mnc
+
+#endif  // MNC_LANG_PARSER_H_

@@ -1,0 +1,68 @@
+#include "mnc/matrix/coo_matrix.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+CooMatrix::CooMatrix(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
+  MNC_CHECK_GE(rows, 0);
+  MNC_CHECK_GE(cols, 0);
+}
+
+void CooMatrix::Add(int64_t i, int64_t j, double v) {
+  MNC_CHECK(i >= 0 && i < rows_);
+  MNC_CHECK(j >= 0 && j < cols_);
+  if (v == 0.0) return;
+  rows_idx_.push_back(i);
+  cols_idx_.push_back(j);
+  values_.push_back(v);
+}
+
+void CooMatrix::Reserve(int64_t n) {
+  rows_idx_.reserve(static_cast<size_t>(n));
+  cols_idx_.reserve(static_cast<size_t>(n));
+  values_.reserve(static_cast<size_t>(n));
+}
+
+CsrMatrix CooMatrix::ToCsr() const {
+  const size_t n = rows_idx_.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    if (rows_idx_[a] != rows_idx_[b]) return rows_idx_[a] < rows_idx_[b];
+    return cols_idx_[a] < cols_idx_[b];
+  });
+
+  std::vector<int64_t> row_ptr(static_cast<size_t>(rows_) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(n);
+  values.reserve(n);
+
+  size_t k = 0;
+  while (k < n) {
+    const int64_t r = rows_idx_[order[k]];
+    const int64_t c = cols_idx_[order[k]];
+    double sum = 0.0;
+    while (k < n && rows_idx_[order[k]] == r && cols_idx_[order[k]] == c) {
+      sum += values_[order[k]];
+      ++k;
+    }
+    if (sum != 0.0) {
+      col_idx.push_back(c);
+      values.push_back(sum);
+      ++row_ptr[static_cast<size_t>(r) + 1];
+    }
+  }
+  for (size_t r = 0; r < static_cast<size_t>(rows_); ++r) {
+    row_ptr[r + 1] += row_ptr[r];
+  }
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace mnc

@@ -1,0 +1,47 @@
+// Coordinate-format (COO) matrix builder.
+//
+// COO is the ingestion format: generators and readers append (row, col,
+// value) triples in any order, then convert to CSR. Duplicate coordinates
+// are summed during conversion; zero values are dropped (assumption A1).
+
+#ifndef MNC_MATRIX_COO_MATRIX_H_
+#define MNC_MATRIX_COO_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mnc {
+
+class CsrMatrix;
+
+class CooMatrix {
+ public:
+  CooMatrix(int64_t rows, int64_t cols);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  // Number of triples added so far (before deduplication).
+  int64_t NumEntries() const { return static_cast<int64_t>(rows_idx_.size()); }
+
+  // Appends one triple. Zero values are silently ignored.
+  void Add(int64_t i, int64_t j, double v);
+
+  // Reserves space for n triples.
+  void Reserve(int64_t n);
+
+  // Converts to CSR: sorts by (row, col), sums duplicates, drops entries
+  // that sum to zero.
+  CsrMatrix ToCsr() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> rows_idx_;
+  std::vector<int64_t> cols_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_MATRIX_COO_MATRIX_H_

@@ -1,0 +1,129 @@
+#include "mnc/matrix/csc_matrix.h"
+
+#include <algorithm>
+
+#include "mnc/matrix/csr_matrix.h"
+
+namespace mnc {
+
+CscMatrix::CscMatrix(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
+  MNC_CHECK_GE(rows, 0);
+  MNC_CHECK_GE(cols, 0);
+  col_ptr_.assign(static_cast<size_t>(cols) + 1, 0);
+}
+
+CscMatrix::CscMatrix(int64_t rows, int64_t cols, std::vector<int64_t> col_ptr,
+                     std::vector<int64_t> row_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      col_ptr_(std::move(col_ptr)),
+      row_idx_(std::move(row_idx)),
+      values_(std::move(values)) {
+  CheckInvariants();
+}
+
+double CscMatrix::Sparsity() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(NumNonZeros()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+double CscMatrix::At(int64_t i, int64_t j) const {
+  MNC_DCHECK(i >= 0 && i < rows_);
+  MNC_DCHECK(j >= 0 && j < cols_);
+  const auto idx = ColIndices(j);
+  const auto it = std::lower_bound(idx.begin(), idx.end(), i);
+  if (it == idx.end() || *it != i) return 0.0;
+  return ColValues(j)[static_cast<size_t>(it - idx.begin())];
+}
+
+std::vector<int64_t> CscMatrix::NnzPerRow() const {
+  std::vector<int64_t> counts(static_cast<size_t>(rows_), 0);
+  for (int64_t i : row_idx_) ++counts[static_cast<size_t>(i)];
+  return counts;
+}
+
+std::vector<int64_t> CscMatrix::NnzPerCol() const {
+  std::vector<int64_t> counts(static_cast<size_t>(cols_));
+  for (int64_t j = 0; j < cols_; ++j) {
+    counts[static_cast<size_t>(j)] = ColNnz(j);
+  }
+  return counts;
+}
+
+CscMatrix CscMatrix::FromCsr(const CsrMatrix& csr) {
+  const int64_t m = csr.rows();
+  const int64_t n = csr.cols();
+  const int64_t nnz = csr.NumNonZeros();
+
+  std::vector<int64_t> col_ptr(static_cast<size_t>(n) + 1, 0);
+  for (int64_t j : csr.col_idx()) ++col_ptr[static_cast<size_t>(j) + 1];
+  for (size_t j = 0; j < static_cast<size_t>(n); ++j) {
+    col_ptr[j + 1] += col_ptr[j];
+  }
+  std::vector<int64_t> row_idx(static_cast<size_t>(nnz));
+  std::vector<double> values(static_cast<size_t>(nnz));
+  std::vector<int64_t> next = col_ptr;
+  for (int64_t i = 0; i < m; ++i) {
+    const auto idx = csr.RowIndices(i);
+    const auto val = csr.RowValues(i);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const int64_t pos = next[static_cast<size_t>(idx[k])]++;
+      row_idx[static_cast<size_t>(pos)] = i;
+      values[static_cast<size_t>(pos)] = val[k];
+    }
+  }
+  return CscMatrix(m, n, std::move(col_ptr), std::move(row_idx),
+                   std::move(values));
+}
+
+CsrMatrix CscMatrix::ToCsr() const {
+  const int64_t nnz = NumNonZeros();
+  std::vector<int64_t> row_ptr(static_cast<size_t>(rows_) + 1, 0);
+  for (int64_t i : row_idx_) ++row_ptr[static_cast<size_t>(i) + 1];
+  for (size_t i = 0; i < static_cast<size_t>(rows_); ++i) {
+    row_ptr[i + 1] += row_ptr[i];
+  }
+  std::vector<int64_t> col_idx(static_cast<size_t>(nnz));
+  std::vector<double> values(static_cast<size_t>(nnz));
+  std::vector<int64_t> next = row_ptr;
+  for (int64_t j = 0; j < cols_; ++j) {
+    const auto idx = ColIndices(j);
+    const auto val = ColValues(j);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const int64_t pos = next[static_cast<size_t>(idx[k])]++;
+      col_idx[static_cast<size_t>(pos)] = j;
+      values[static_cast<size_t>(pos)] = val[k];
+    }
+  }
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+bool CscMatrix::Equals(const CscMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         col_ptr_ == other.col_ptr_ && row_idx_ == other.row_idx_ &&
+         values_ == other.values_;
+}
+
+void CscMatrix::CheckInvariants() const {
+  MNC_CHECK_EQ(static_cast<int64_t>(col_ptr_.size()), cols_ + 1);
+  MNC_CHECK_EQ(col_ptr_.front(), 0);
+  MNC_CHECK_EQ(col_ptr_.back(), static_cast<int64_t>(row_idx_.size()));
+  MNC_CHECK_EQ(row_idx_.size(), values_.size());
+  for (size_t j = 0; j < static_cast<size_t>(cols_); ++j) {
+    MNC_CHECK_LE(col_ptr_[j], col_ptr_[j + 1]);
+    for (int64_t k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      const int64_t i = row_idx_[static_cast<size_t>(k)];
+      MNC_CHECK(i >= 0 && i < rows_);
+      if (k > col_ptr_[j]) {
+        MNC_CHECK_MSG(row_idx_[static_cast<size_t>(k) - 1] < i,
+                      "row indices must be strictly increasing per column");
+      }
+      MNC_CHECK_MSG(values_[static_cast<size_t>(k)] != 0.0,
+                    "stored values must be non-zero");
+    }
+  }
+}
+
+}  // namespace mnc

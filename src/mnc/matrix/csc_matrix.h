@@ -1,0 +1,80 @@
+// Compressed sparse column (CSC) matrix.
+//
+// The column-major counterpart of CsrMatrix, for pipelines whose access
+// pattern is per-column (feature-wise preprocessing, column sampling,
+// right-hand sides of products). Invariants mirror CSR: col_ptr has cols+1
+// monotone entries, row indices are strictly increasing within each column,
+// stored values are non-zero.
+
+#ifndef MNC_MATRIX_CSC_MATRIX_H_
+#define MNC_MATRIX_CSC_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+class CsrMatrix;
+
+class CscMatrix {
+ public:
+  // Creates an empty (all-zero) rows x cols matrix.
+  CscMatrix(int64_t rows, int64_t cols);
+
+  // Creates a CSC matrix from raw arrays; validates the invariants.
+  CscMatrix(int64_t rows, int64_t cols, std::vector<int64_t> col_ptr,
+            std::vector<int64_t> row_idx, std::vector<double> values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t NumNonZeros() const { return static_cast<int64_t>(values_.size()); }
+  double Sparsity() const;
+
+  int64_t ColNnz(int64_t j) const {
+    MNC_DCHECK(j >= 0 && j < cols_);
+    return col_ptr_[static_cast<size_t>(j) + 1] -
+           col_ptr_[static_cast<size_t>(j)];
+  }
+
+  std::span<const int64_t> ColIndices(int64_t j) const {
+    MNC_DCHECK(j >= 0 && j < cols_);
+    return {row_idx_.data() + col_ptr_[static_cast<size_t>(j)],
+            static_cast<size_t>(ColNnz(j))};
+  }
+  std::span<const double> ColValues(int64_t j) const {
+    MNC_DCHECK(j >= 0 && j < cols_);
+    return {values_.data() + col_ptr_[static_cast<size_t>(j)],
+            static_cast<size_t>(ColNnz(j))};
+  }
+
+  // Value at (i, j); 0.0 if not stored. O(log ColNnz(j)).
+  double At(int64_t i, int64_t j) const;
+
+  const std::vector<int64_t>& col_ptr() const { return col_ptr_; }
+  const std::vector<int64_t>& row_idx() const { return row_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  std::vector<int64_t> NnzPerRow() const;
+  std::vector<int64_t> NnzPerCol() const;
+
+  // Conversions (O(nnz + m + n) counting sort).
+  static CscMatrix FromCsr(const CsrMatrix& csr);
+  CsrMatrix ToCsr() const;
+
+  bool Equals(const CscMatrix& other) const;
+  void CheckInvariants() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> col_ptr_;
+  std::vector<int64_t> row_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_MATRIX_CSC_MATRIX_H_

@@ -1,0 +1,119 @@
+#include "mnc/matrix/csr_matrix.h"
+
+#include <algorithm>
+
+#include "mnc/matrix/dense_matrix.h"
+
+namespace mnc {
+
+CsrMatrix::CsrMatrix(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
+  MNC_CHECK_GE(rows, 0);
+  MNC_CHECK_GE(cols, 0);
+  row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+}
+
+CsrMatrix::CsrMatrix(int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
+                     std::vector<int64_t> col_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  CheckInvariants();
+}
+
+double CsrMatrix::Sparsity() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(NumNonZeros()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+double CsrMatrix::At(int64_t i, int64_t j) const {
+  MNC_DCHECK(i >= 0 && i < rows_);
+  MNC_DCHECK(j >= 0 && j < cols_);
+  const auto idx = RowIndices(i);
+  const auto it = std::lower_bound(idx.begin(), idx.end(), j);
+  if (it == idx.end() || *it != j) return 0.0;
+  return RowValues(i)[static_cast<size_t>(it - idx.begin())];
+}
+
+std::vector<int64_t> CsrMatrix::NnzPerRow() const {
+  std::vector<int64_t> counts(static_cast<size_t>(rows_));
+  for (int64_t i = 0; i < rows_; ++i) counts[static_cast<size_t>(i)] = RowNnz(i);
+  return counts;
+}
+
+std::vector<int64_t> CsrMatrix::NnzPerCol() const {
+  std::vector<int64_t> counts(static_cast<size_t>(cols_), 0);
+  for (int64_t j : col_idx_) ++counts[static_cast<size_t>(j)];
+  return counts;
+}
+
+bool CsrMatrix::IsFullyDiagonal() const {
+  if (rows_ != cols_) return false;
+  if (NumNonZeros() != rows_) return false;
+  for (int64_t i = 0; i < rows_; ++i) {
+    const auto idx = RowIndices(i);
+    if (idx.size() != 1 || idx[0] != i) return false;
+  }
+  return true;
+}
+
+DenseMatrix CsrMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const auto idx = RowIndices(i);
+    const auto val = RowValues(i);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      out.Set(i, idx[k], val[k]);
+    }
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::FromDense(const DenseMatrix& dense) {
+  std::vector<int64_t> row_ptr(static_cast<size_t>(dense.rows()) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  for (int64_t i = 0; i < dense.rows(); ++i) {
+    const double* r = dense.row(i);
+    for (int64_t j = 0; j < dense.cols(); ++j) {
+      if (r[j] != 0.0) {
+        col_idx.push_back(j);
+        values.push_back(r[j]);
+      }
+    }
+    row_ptr[static_cast<size_t>(i) + 1] =
+        static_cast<int64_t>(col_idx.size());
+  }
+  return CsrMatrix(dense.rows(), dense.cols(), std::move(row_ptr),
+                   std::move(col_idx), std::move(values));
+}
+
+bool CsrMatrix::Equals(const CsrMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_ &&
+         values_ == other.values_;
+}
+
+void CsrMatrix::CheckInvariants() const {
+  MNC_CHECK_EQ(static_cast<int64_t>(row_ptr_.size()), rows_ + 1);
+  MNC_CHECK_EQ(row_ptr_.front(), 0);
+  MNC_CHECK_EQ(row_ptr_.back(), static_cast<int64_t>(col_idx_.size()));
+  MNC_CHECK_EQ(col_idx_.size(), values_.size());
+  for (size_t r = 0; r < static_cast<size_t>(rows_); ++r) {
+    MNC_CHECK_LE(row_ptr_[r], row_ptr_[r + 1]);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const int64_t j = col_idx_[static_cast<size_t>(k)];
+      MNC_CHECK(j >= 0 && j < cols_);
+      if (k > row_ptr_[r]) {
+        MNC_CHECK_MSG(col_idx_[static_cast<size_t>(k) - 1] < j,
+                      "column indices must be strictly increasing per row");
+      }
+      MNC_CHECK_MSG(values_[static_cast<size_t>(k)] != 0.0,
+                    "stored values must be non-zero");
+    }
+  }
+}
+
+}  // namespace mnc

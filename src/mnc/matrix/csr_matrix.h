@@ -1,0 +1,98 @@
+// Compressed sparse row (CSR) matrix — the canonical sparse format.
+//
+// Invariants: row_ptr has rows+1 monotone entries; column indices are
+// strictly increasing within each row; stored values are non-zero. These are
+// the same invariants SystemML's SparseBlockCSR maintains and everything in
+// the library (kernels, sketches, estimators) relies on them.
+
+#ifndef MNC_MATRIX_CSR_MATRIX_H_
+#define MNC_MATRIX_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+class DenseMatrix;
+
+class CsrMatrix {
+ public:
+  // Creates an empty (all-zero) rows x cols matrix.
+  CsrMatrix(int64_t rows, int64_t cols);
+
+  // Creates a CSR matrix from raw arrays; validates the invariants above.
+  CsrMatrix(int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
+            std::vector<int64_t> col_idx, std::vector<double> values);
+
+  CsrMatrix(const CsrMatrix&) = default;
+  CsrMatrix& operator=(const CsrMatrix&) = default;
+  CsrMatrix(CsrMatrix&&) = default;
+  CsrMatrix& operator=(CsrMatrix&&) = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t NumNonZeros() const {
+    return static_cast<int64_t>(values_.size());
+  }
+  double Sparsity() const;
+
+  // Number of stored entries in row i.
+  int64_t RowNnz(int64_t i) const {
+    MNC_DCHECK(i >= 0 && i < rows_);
+    return row_ptr_[static_cast<size_t>(i) + 1] -
+           row_ptr_[static_cast<size_t>(i)];
+  }
+
+  // Column indices / values of row i, as contiguous spans.
+  std::span<const int64_t> RowIndices(int64_t i) const {
+    MNC_DCHECK(i >= 0 && i < rows_);
+    return {col_idx_.data() + row_ptr_[static_cast<size_t>(i)],
+            static_cast<size_t>(RowNnz(i))};
+  }
+  std::span<const double> RowValues(int64_t i) const {
+    MNC_DCHECK(i >= 0 && i < rows_);
+    return {values_.data() + row_ptr_[static_cast<size_t>(i)],
+            static_cast<size_t>(RowNnz(i))};
+  }
+
+  // Value at (i, j); 0.0 if not stored. O(log RowNnz(i)).
+  double At(int64_t i, int64_t j) const;
+
+  // Raw array access for kernels.
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  // Per-row / per-column non-zero counts (rowSums(A != 0), colSums(A != 0)).
+  std::vector<int64_t> NnzPerRow() const;
+  std::vector<int64_t> NnzPerCol() const;
+
+  // True if the matrix is square with an all-non-zero diagonal and no
+  // off-diagonal entries ("fully diagonal" in the sense of Eq. 12).
+  bool IsFullyDiagonal() const;
+
+  // Conversions.
+  DenseMatrix ToDense() const;
+  static CsrMatrix FromDense(const DenseMatrix& dense);
+
+  // Exact structural + value equality (used by tests).
+  bool Equals(const CsrMatrix& other) const;
+
+  // Validates the CSR invariants; aborts on violation. Cheap enough to call
+  // from tests after every kernel.
+  void CheckInvariants() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_MATRIX_CSR_MATRIX_H_

@@ -1,0 +1,43 @@
+#include "mnc/matrix/dense_matrix.h"
+
+#include "mnc/matrix/csr_matrix.h"
+
+namespace mnc {
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols) {
+  MNC_CHECK_GE(rows, 0);
+  MNC_CHECK_GE(cols, 0);
+  values_.assign(static_cast<size_t>(rows * cols), 0.0);
+}
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols,
+                         std::vector<double> values)
+    : rows_(rows), cols_(cols), values_(std::move(values)) {
+  MNC_CHECK_GE(rows, 0);
+  MNC_CHECK_GE(cols, 0);
+  MNC_CHECK_EQ(static_cast<int64_t>(values_.size()), rows * cols);
+}
+
+int64_t DenseMatrix::NumNonZeros() const {
+  int64_t nnz = 0;
+  for (double v : values_) {
+    if (v != 0.0) ++nnz;
+  }
+  return nnz;
+}
+
+double DenseMatrix::Sparsity() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(NumNonZeros()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+CsrMatrix DenseMatrix::ToCsr() const { return CsrMatrix::FromDense(*this); }
+
+bool DenseMatrix::Equals(const DenseMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         values_ == other.values_;
+}
+
+}  // namespace mnc

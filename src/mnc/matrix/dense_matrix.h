@@ -1,0 +1,84 @@
+// Row-major dense FP64 matrix.
+//
+// Used as the dense half of the engine's dense/sparse dispatch and as the
+// ground-truth representation in tests. Cells holding exactly 0.0 are
+// considered zero for sparsity purposes (assumptions A1/A2 of the paper: no
+// cancellation, no NaNs).
+
+#ifndef MNC_MATRIX_DENSE_MATRIX_H_
+#define MNC_MATRIX_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+class CsrMatrix;
+
+class DenseMatrix {
+ public:
+  // Creates a rows x cols matrix of zeros.
+  DenseMatrix(int64_t rows, int64_t cols);
+
+  // Creates a matrix from a row-major value buffer (size rows * cols).
+  DenseMatrix(int64_t rows, int64_t cols, std::vector<double> values);
+
+  DenseMatrix(const DenseMatrix&) = default;
+  DenseMatrix& operator=(const DenseMatrix&) = default;
+  DenseMatrix(DenseMatrix&&) = default;
+  DenseMatrix& operator=(DenseMatrix&&) = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  double At(int64_t i, int64_t j) const {
+    MNC_DCHECK(InBounds(i, j));
+    return values_[static_cast<size_t>(i * cols_ + j)];
+  }
+
+  void Set(int64_t i, int64_t j, double v) {
+    MNC_DCHECK(InBounds(i, j));
+    values_[static_cast<size_t>(i * cols_ + j)] = v;
+  }
+
+  // Direct access to the row-major buffer (for kernels).
+  const double* data() const { return values_.data(); }
+  double* data() { return values_.data(); }
+
+  const double* row(int64_t i) const {
+    MNC_DCHECK(i >= 0 && i < rows_);
+    return values_.data() + i * cols_;
+  }
+  double* row(int64_t i) {
+    MNC_DCHECK(i >= 0 && i < rows_);
+    return values_.data() + i * cols_;
+  }
+
+  // Number of cells with a non-zero value.
+  int64_t NumNonZeros() const;
+
+  // nnz / (rows * cols); 0 for an empty-shaped matrix.
+  double Sparsity() const;
+
+  // Converts to CSR, dropping zero cells.
+  CsrMatrix ToCsr() const;
+
+  // Exact element-wise equality (used by tests).
+  bool Equals(const DenseMatrix& other) const;
+
+ private:
+  bool InBounds(int64_t i, int64_t j) const {
+    return i >= 0 && i < rows_ && j >= 0 && j < cols_;
+  }
+
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> values_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_MATRIX_DENSE_MATRIX_H_

@@ -1,0 +1,189 @@
+#include "mnc/matrix/generate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+namespace {
+
+double RandomValue(Rng& rng) { return rng.Uniform(0.5, 1.5); }
+
+}  // namespace
+
+CsrMatrix GenerateUniformSparse(int64_t rows, int64_t cols, double sparsity,
+                                Rng& rng) {
+  MNC_CHECK_GE(sparsity, 0.0);
+  MNC_CHECK_LE(sparsity, 1.0);
+  const double cells = static_cast<double>(rows) * static_cast<double>(cols);
+  const int64_t target = static_cast<int64_t>(std::llround(sparsity * cells));
+  CooMatrix coo(rows, cols);
+  coo.Reserve(target);
+
+  if (target > static_cast<int64_t>(cells) / 2) {
+    // Dense-ish: per-cell Bernoulli with exact count via selection sampling
+    // over the linear index space.
+    int64_t remaining = target;
+    const int64_t total = rows * cols;
+    for (int64_t lin = 0; lin < total && remaining > 0; ++lin) {
+      if (rng.UniformInt(total - lin) < remaining) {
+        coo.Add(lin / cols, lin % cols, RandomValue(rng));
+        --remaining;
+      }
+    }
+  } else {
+    // Sparse: rejection-sample distinct linear cells.
+    std::unordered_set<int64_t> used;
+    used.reserve(static_cast<size_t>(target) * 2);
+    while (static_cast<int64_t>(used.size()) < target) {
+      const int64_t lin = rng.UniformInt(rows * cols);
+      if (used.insert(lin).second) {
+        coo.Add(lin / cols, lin % cols, RandomValue(rng));
+      }
+    }
+  }
+  return coo.ToCsr();
+}
+
+DenseMatrix GenerateDense(int64_t rows, int64_t cols, Rng& rng) {
+  DenseMatrix m(rows, cols);
+  double* p = m.data();
+  for (int64_t k = 0; k < m.size(); ++k) p[k] = RandomValue(rng);
+  return m;
+}
+
+DenseMatrix GenerateAlmostDense(int64_t rows, int64_t cols,
+                                double zero_fraction, Rng& rng) {
+  DenseMatrix m = GenerateDense(rows, cols, rng);
+  double* p = m.data();
+  for (int64_t k = 0; k < m.size(); ++k) {
+    if (rng.Bernoulli(zero_fraction)) p[k] = 0.0;
+  }
+  return m;
+}
+
+CsrMatrix GeneratePermutation(int64_t n, Rng& rng) {
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  rng.Shuffle(perm);
+  std::vector<int64_t> row_ptr(static_cast<size_t>(n) + 1);
+  for (int64_t i = 0; i <= n; ++i) row_ptr[static_cast<size_t>(i)] = i;
+  std::vector<double> ones(static_cast<size_t>(n), 1.0);
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(perm),
+                   std::move(ones));
+}
+
+CsrMatrix GenerateSelection(const std::vector<int64_t>& selected, int64_t n) {
+  const int64_t k = static_cast<int64_t>(selected.size());
+  std::vector<int64_t> row_ptr(static_cast<size_t>(k) + 1);
+  for (int64_t i = 0; i <= k; ++i) row_ptr[static_cast<size_t>(i)] = i;
+  std::vector<int64_t> col_idx = selected;
+  for (int64_t j : col_idx) MNC_CHECK(j >= 0 && j < n);
+  std::vector<double> ones(static_cast<size_t>(k), 1.0);
+  return CsrMatrix(k, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(ones));
+}
+
+CsrMatrix GenerateDiagonal(int64_t n, Rng& rng) {
+  std::vector<int64_t> row_ptr(static_cast<size_t>(n) + 1);
+  std::vector<int64_t> col_idx(static_cast<size_t>(n));
+  std::vector<double> values(static_cast<size_t>(n));
+  for (int64_t i = 0; i <= n; ++i) row_ptr[static_cast<size_t>(i)] = i;
+  for (int64_t i = 0; i < n; ++i) {
+    col_idx[static_cast<size_t>(i)] = i;
+    values[static_cast<size_t>(i)] = RandomValue(rng);
+  }
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix GenerateOneNnzPerRow(int64_t rows, int64_t cols,
+                               const ZipfDistribution& column_dist,
+                               Rng& rng) {
+  MNC_CHECK_LE(column_dist.n(), cols);
+  std::vector<int64_t> row_ptr(static_cast<size_t>(rows) + 1);
+  std::vector<int64_t> col_idx(static_cast<size_t>(rows));
+  std::vector<double> ones(static_cast<size_t>(rows), 1.0);
+  for (int64_t i = 0; i <= rows; ++i) row_ptr[static_cast<size_t>(i)] = i;
+  for (int64_t i = 0; i < rows; ++i) {
+    col_idx[static_cast<size_t>(i)] = column_dist(rng);
+  }
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(ones));
+}
+
+CsrMatrix GenerateWithColumnCounts(int64_t rows,
+                                   const std::vector<int64_t>& col_nnz,
+                                   Rng& rng) {
+  const int64_t cols = static_cast<int64_t>(col_nnz.size());
+  CooMatrix coo(rows, cols);
+  for (int64_t j = 0; j < cols; ++j) {
+    const int64_t count = col_nnz[static_cast<size_t>(j)];
+    MNC_CHECK_LE(count, rows);
+    for (int64_t i : rng.SampleWithoutReplacement(rows, count)) {
+      coo.Add(i, j, RandomValue(rng));
+    }
+  }
+  return coo.ToCsr();
+}
+
+CsrMatrix GenerateWithRowCounts(int64_t cols,
+                                const std::vector<int64_t>& row_nnz,
+                                Rng& rng) {
+  const int64_t rows = static_cast<int64_t>(row_nnz.size());
+  CooMatrix coo(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t count = row_nnz[static_cast<size_t>(i)];
+    MNC_CHECK_LE(count, cols);
+    for (int64_t j : rng.SampleWithoutReplacement(cols, count)) {
+      coo.Add(i, j, RandomValue(rng));
+    }
+  }
+  return coo.ToCsr();
+}
+
+CsrMatrix GenerateGraphAdjacency(int64_t n, double avg_degree, double skew,
+                                 Rng& rng) {
+  MNC_CHECK_GT(n, 0);
+  // Out-degree of node i ~ scaled Zipf rank; targets drawn Zipf over a
+  // random popularity ordering so hubs are not all low node ids.
+  ZipfDistribution target_dist(n, skew);
+  std::vector<int64_t> popularity(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) popularity[static_cast<size_t>(i)] = i;
+  rng.Shuffle(popularity);
+
+  CooMatrix coo(n, n);
+  const int64_t total_edges =
+      static_cast<int64_t>(std::llround(avg_degree * static_cast<double>(n)));
+  coo.Reserve(total_edges);
+  // Degree skew: node i gets degree proportional to 1/(rank+1)^(skew/2),
+  // normalized to hit total_edges overall.
+  std::vector<double> weight(static_cast<size_t>(n));
+  double wsum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    weight[static_cast<size_t>(i)] =
+        1.0 / std::pow(static_cast<double>(i + 1), skew / 2.0);
+    wsum += weight[static_cast<size_t>(i)];
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t degree = static_cast<int64_t>(std::llround(
+        weight[static_cast<size_t>(i)] / wsum *
+        static_cast<double>(total_edges)));
+    for (int64_t e = 0; e < degree; ++e) {
+      const int64_t j = popularity[static_cast<size_t>(target_dist(rng))];
+      coo.Add(i, j, 1.0);  // duplicate edges merge in ToCsr()
+    }
+  }
+  // Duplicate edges sum to >1 in COO conversion; renormalize to a 0/1
+  // adjacency matrix.
+  CsrMatrix merged = coo.ToCsr();
+  std::vector<double> ones(static_cast<size_t>(merged.NumNonZeros()), 1.0);
+  return CsrMatrix(merged.rows(), merged.cols(), merged.row_ptr(),
+                   merged.col_idx(), std::move(ones));
+}
+
+}  // namespace mnc

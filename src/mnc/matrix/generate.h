@@ -1,0 +1,72 @@
+// Random matrix generators.
+//
+// These are the generic primitives the SparsEst benchmark builds on:
+// uniformly sparse matrices, dense matrices, permutation/selection/diagonal
+// transformation matrices (§1 of the paper: the "sources of sparse
+// matrices"), and structured generators with prescribed per-row or per-column
+// non-zero distributions. All values are drawn from [0.5, 1.5] so that
+// assumption A1 (no cancellation) holds by construction.
+
+#ifndef MNC_MATRIX_GENERATE_H_
+#define MNC_MATRIX_GENERATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/matrix/dense_matrix.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+
+// Sparse rows x cols matrix with non-zeros placed uniformly at random so
+// that nnz == round(sparsity * rows * cols) exactly (sampling without
+// replacement over cells).
+CsrMatrix GenerateUniformSparse(int64_t rows, int64_t cols, double sparsity,
+                                Rng& rng);
+
+// Fully dense rows x cols matrix with values in [0.5, 1.5].
+DenseMatrix GenerateDense(int64_t rows, int64_t cols, Rng& rng);
+
+// Dense matrix where a fraction `zero_fraction` of cells, uniformly chosen,
+// is zero (e.g., sparsity 0.99 inputs for Fig. 7).
+DenseMatrix GenerateAlmostDense(int64_t rows, int64_t cols,
+                                double zero_fraction, Rng& rng);
+
+// n x n random permutation matrix (exactly one 1 per row and per column).
+CsrMatrix GeneratePermutation(int64_t n, Rng& rng);
+
+// k x n selection matrix extracting the given rows: P[i, selected[i]] = 1.
+// Multiplying P X picks rows `selected` of X.
+CsrMatrix GenerateSelection(const std::vector<int64_t>& selected, int64_t n);
+
+// n x n diagonal matrix with non-zero diagonal values.
+CsrMatrix GenerateDiagonal(int64_t n, Rng& rng);
+
+// rows x cols 0/1 matrix with exactly one non-zero per row; the column of
+// row i is drawn from `column_dist` (e.g., a Zipf distribution). This is the
+// shape of token-sequence, selection, and sampling matrices.
+CsrMatrix GenerateOneNnzPerRow(int64_t rows, int64_t cols,
+                               const ZipfDistribution& column_dist, Rng& rng);
+
+// Sparse matrix with a prescribed number of non-zeros per column
+// (col_nnz[j] <= rows); row positions are uniform without replacement.
+CsrMatrix GenerateWithColumnCounts(int64_t rows,
+                                   const std::vector<int64_t>& col_nnz,
+                                   Rng& rng);
+
+// Sparse matrix with a prescribed number of non-zeros per row
+// (row_nnz[i] <= cols); column positions are uniform without replacement.
+CsrMatrix GenerateWithRowCounts(int64_t cols,
+                                const std::vector<int64_t>& row_nnz,
+                                Rng& rng);
+
+// Directed-graph adjacency matrix (n x n) with ~avg_degree edges per node;
+// out-degrees and target popularity are Zipf(skew)-distributed, giving the
+// heavy-tailed degree profile of citation/email networks.
+CsrMatrix GenerateGraphAdjacency(int64_t n, double avg_degree, double skew,
+                                 Rng& rng);
+
+}  // namespace mnc
+
+#endif  // MNC_MATRIX_GENERATE_H_

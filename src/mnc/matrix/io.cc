@@ -1,0 +1,83 @@
+#include "mnc/matrix/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "mnc/matrix/coo_matrix.h"
+
+namespace mnc {
+
+void WriteMatrixMarket(const CsrMatrix& m, std::ostream& os) {
+  os.precision(17);  // round-trip-safe FP64 formatting
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << m.rows() << " " << m.cols() << " " << m.NumNonZeros() << "\n";
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const auto idx = m.RowIndices(i);
+    const auto val = m.RowValues(i);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      os << (i + 1) << " " << (idx[k] + 1) << " " << val[k] << "\n";
+    }
+  }
+}
+
+bool WriteMatrixMarketFile(const CsrMatrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteMatrixMarket(m, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<CsrMatrix> ReadMatrixMarket(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) return std::nullopt;
+  if (line.rfind("%%MatrixMarket", 0) != 0) return std::nullopt;
+
+  std::istringstream header(line);
+  std::string tag, object, format, field, symmetry;
+  header >> tag >> object >> format >> field >> symmetry;
+  if (object != "matrix" || format != "coordinate") return std::nullopt;
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+  if (!pattern && field != "real" && field != "integer") return std::nullopt;
+  if (!symmetric && symmetry != "general") return std::nullopt;
+
+  // Skip comments.
+  do {
+    if (!std::getline(is, line)) return std::nullopt;
+  } while (!line.empty() && line[0] == '%');
+
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t nnz = 0;
+  {
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> nnz)) return std::nullopt;
+    if (rows < 0 || cols < 0 || nnz < 0) return std::nullopt;
+  }
+
+  CooMatrix coo(rows, cols);
+  coo.Reserve(symmetric ? 2 * nnz : nnz);
+  for (int64_t e = 0; e < nnz; ++e) {
+    if (!std::getline(is, line)) return std::nullopt;
+    std::istringstream entry(line);
+    int64_t i = 0;
+    int64_t j = 0;
+    double v = 1.0;
+    if (!(entry >> i >> j)) return std::nullopt;
+    if (!pattern && !(entry >> v)) return std::nullopt;
+    if (i < 1 || i > rows || j < 1 || j > cols) return std::nullopt;
+    coo.Add(i - 1, j - 1, v);
+    if (symmetric && i != j) coo.Add(j - 1, i - 1, v);
+  }
+  return coo.ToCsr();
+}
+
+std::optional<CsrMatrix> ReadMatrixMarketFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadMatrixMarket(in);
+}
+
+}  // namespace mnc

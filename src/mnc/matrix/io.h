@@ -1,0 +1,31 @@
+// Matrix-Market (coordinate) I/O.
+//
+// Lets users bring the paper's original datasets (AMiner, Covertype, Email,
+// ...) when they have them on disk, instead of the synthetic stand-ins; also
+// used by tests for round-trip checks.
+
+#ifndef MNC_MATRIX_IO_H_
+#define MNC_MATRIX_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "mnc/matrix/csr_matrix.h"
+
+namespace mnc {
+
+// Writes `m` in MatrixMarket coordinate format ("%%MatrixMarket matrix
+// coordinate real general").
+void WriteMatrixMarket(const CsrMatrix& m, std::ostream& os);
+bool WriteMatrixMarketFile(const CsrMatrix& m, const std::string& path);
+
+// Reads a MatrixMarket coordinate file. Returns std::nullopt on malformed
+// input. Supports the "general" and "symmetric" storage schemes and the
+// "pattern" field (entries become 1.0).
+std::optional<CsrMatrix> ReadMatrixMarket(std::istream& is);
+std::optional<CsrMatrix> ReadMatrixMarketFile(const std::string& path);
+
+}  // namespace mnc
+
+#endif  // MNC_MATRIX_IO_H_

@@ -1,0 +1,65 @@
+#include "mnc/matrix/matrix.h"
+
+namespace mnc {
+
+Matrix Matrix::Dense(DenseMatrix dense) {
+  Matrix m;
+  m.dense_ = std::make_shared<const DenseMatrix>(std::move(dense));
+  return m;
+}
+
+Matrix Matrix::Sparse(CsrMatrix csr) {
+  Matrix m;
+  m.csr_ = std::make_shared<const CsrMatrix>(std::move(csr));
+  return m;
+}
+
+Matrix Matrix::AutoFromCsr(CsrMatrix csr) {
+  if (csr.Sparsity() >= kDenseDispatchThreshold) {
+    return Dense(csr.ToDense());
+  }
+  return Sparse(std::move(csr));
+}
+
+Matrix Matrix::AutoFromDense(DenseMatrix dense) {
+  if (dense.Sparsity() < kDenseDispatchThreshold) {
+    return Sparse(dense.ToCsr());
+  }
+  return Dense(std::move(dense));
+}
+
+int64_t Matrix::rows() const { return is_dense() ? dense_->rows() : csr_->rows(); }
+int64_t Matrix::cols() const { return is_dense() ? dense_->cols() : csr_->cols(); }
+
+int64_t Matrix::NumNonZeros() const {
+  return is_dense() ? dense_->NumNonZeros() : csr_->NumNonZeros();
+}
+
+double Matrix::Sparsity() const {
+  return is_dense() ? dense_->Sparsity() : csr_->Sparsity();
+}
+
+const DenseMatrix& Matrix::dense() const {
+  MNC_CHECK_MSG(dense_ != nullptr, "matrix is stored sparse");
+  return *dense_;
+}
+
+const CsrMatrix& Matrix::csr() const {
+  MNC_CHECK_MSG(csr_ != nullptr, "matrix is stored dense");
+  return *csr_;
+}
+
+CsrMatrix Matrix::AsCsr() const {
+  return is_dense() ? dense_->ToCsr() : *csr_;
+}
+
+DenseMatrix Matrix::AsDense() const {
+  return is_dense() ? *dense_ : csr_->ToDense();
+}
+
+bool Matrix::EqualsLogically(const Matrix& other) const {
+  if (rows() != other.rows() || cols() != other.cols()) return false;
+  return AsCsr().Equals(other.AsCsr());
+}
+
+}  // namespace mnc

@@ -1,0 +1,66 @@
+// Format-dispatching matrix facade.
+//
+// A Matrix holds either a DenseMatrix or a CsrMatrix behind shared,
+// immutable storage, mirroring how ML systems (SystemML, Julia, MLlib)
+// dispatch between dense and sparse physical operators. The dispatch
+// threshold follows footnote 3 of the paper: dense layout is used only when
+// sparsity >= 0.4.
+
+#ifndef MNC_MATRIX_MATRIX_H_
+#define MNC_MATRIX_MATRIX_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/matrix/dense_matrix.h"
+
+namespace mnc {
+
+// Sparsity at or above which dense layouts are preferred (SystemML default).
+inline constexpr double kDenseDispatchThreshold = 0.4;
+
+class Matrix {
+ public:
+  // Wraps a dense matrix without changing format.
+  static Matrix Dense(DenseMatrix dense);
+
+  // Wraps a CSR matrix without changing format.
+  static Matrix Sparse(CsrMatrix csr);
+
+  // Wraps a CSR matrix and converts it to dense if its sparsity is at or
+  // above kDenseDispatchThreshold.
+  static Matrix AutoFromCsr(CsrMatrix csr);
+
+  // Wraps a dense matrix and converts it to CSR if its sparsity is below
+  // kDenseDispatchThreshold.
+  static Matrix AutoFromDense(DenseMatrix dense);
+
+  bool is_dense() const { return dense_ != nullptr; }
+
+  int64_t rows() const;
+  int64_t cols() const;
+  int64_t NumNonZeros() const;
+  double Sparsity() const;
+
+  // Direct access; aborts if the matrix is stored in the other format.
+  const DenseMatrix& dense() const;
+  const CsrMatrix& csr() const;
+
+  // Format conversions (copying when the format differs).
+  CsrMatrix AsCsr() const;
+  DenseMatrix AsDense() const;
+
+  // Value-level equality irrespective of physical format.
+  bool EqualsLogically(const Matrix& other) const;
+
+ private:
+  Matrix() = default;
+
+  std::shared_ptr<const DenseMatrix> dense_;
+  std::shared_ptr<const CsrMatrix> csr_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_MATRIX_MATRIX_H_

@@ -1,0 +1,308 @@
+#include "mnc/matrix/ops_ewise.h"
+
+#include <algorithm>
+
+namespace mnc {
+
+namespace {
+
+void CheckSameShape(int64_t ar, int64_t ac, int64_t br, int64_t bc) {
+  MNC_CHECK_EQ(ar, br);
+  MNC_CHECK_EQ(ac, bc);
+}
+
+}  // namespace
+
+CsrMatrix AddSparseSparse(const CsrMatrix& a, const CsrMatrix& b) {
+  CheckSameShape(a.rows(), a.cols(), b.rows(), b.cols());
+  const int64_t m = a.rows();
+  std::vector<int64_t> row_ptr(static_cast<size_t>(m) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(static_cast<size_t>(a.NumNonZeros() + b.NumNonZeros()));
+  values.reserve(col_idx.capacity());
+
+  for (int64_t i = 0; i < m; ++i) {
+    const auto ai = a.RowIndices(i);
+    const auto av = a.RowValues(i);
+    const auto bi = b.RowIndices(i);
+    const auto bv = b.RowValues(i);
+    size_t ka = 0;
+    size_t kb = 0;
+    while (ka < ai.size() || kb < bi.size()) {
+      int64_t j;
+      double v;
+      if (kb >= bi.size() || (ka < ai.size() && ai[ka] < bi[kb])) {
+        j = ai[ka];
+        v = av[ka];
+        ++ka;
+      } else if (ka >= ai.size() || bi[kb] < ai[ka]) {
+        j = bi[kb];
+        v = bv[kb];
+        ++kb;
+      } else {
+        j = ai[ka];
+        v = av[ka] + bv[kb];
+        ++ka;
+        ++kb;
+      }
+      if (v != 0.0) {
+        col_idx.push_back(j);
+        values.push_back(v);
+      }
+    }
+    row_ptr[static_cast<size_t>(i) + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  return CsrMatrix(m, a.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix MultiplyEWiseSparseSparse(const CsrMatrix& a, const CsrMatrix& b) {
+  CheckSameShape(a.rows(), a.cols(), b.rows(), b.cols());
+  const int64_t m = a.rows();
+  std::vector<int64_t> row_ptr(static_cast<size_t>(m) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+
+  for (int64_t i = 0; i < m; ++i) {
+    const auto ai = a.RowIndices(i);
+    const auto av = a.RowValues(i);
+    const auto bi = b.RowIndices(i);
+    const auto bv = b.RowValues(i);
+    size_t ka = 0;
+    size_t kb = 0;
+    while (ka < ai.size() && kb < bi.size()) {
+      if (ai[ka] < bi[kb]) {
+        ++ka;
+      } else if (bi[kb] < ai[ka]) {
+        ++kb;
+      } else {
+        const double v = av[ka] * bv[kb];
+        if (v != 0.0) {
+          col_idx.push_back(ai[ka]);
+          values.push_back(v);
+        }
+        ++ka;
+        ++kb;
+      }
+    }
+    row_ptr[static_cast<size_t>(i) + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  return CsrMatrix(m, a.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+DenseMatrix AddDenseDense(const DenseMatrix& a, const DenseMatrix& b) {
+  CheckSameShape(a.rows(), a.cols(), b.rows(), b.cols());
+  DenseMatrix c(a.rows(), a.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c.data();
+  for (int64_t k = 0; k < a.size(); ++k) pc[k] = pa[k] + pb[k];
+  return c;
+}
+
+DenseMatrix MultiplyEWiseDenseDense(const DenseMatrix& a,
+                                    const DenseMatrix& b) {
+  CheckSameShape(a.rows(), a.cols(), b.rows(), b.cols());
+  DenseMatrix c(a.rows(), a.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c.data();
+  for (int64_t k = 0; k < a.size(); ++k) pc[k] = pa[k] * pb[k];
+  return c;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a.rows(), a.cols(), b.rows(), b.cols());
+  if (a.is_dense() && b.is_dense()) {
+    return Matrix::AutoFromDense(AddDenseDense(a.dense(), b.dense()));
+  }
+  // Mixed or sparse-sparse: a dense input dominates the output structure, so
+  // fall back to the sparse kernel only for sparse-sparse.
+  if (!a.is_dense() && !b.is_dense()) {
+    return Matrix::AutoFromCsr(AddSparseSparse(a.csr(), b.csr()));
+  }
+  return Matrix::AutoFromDense(AddDenseDense(a.AsDense(), b.AsDense()));
+}
+
+Matrix MultiplyEWise(const Matrix& a, const Matrix& b) {
+  CheckSameShape(a.rows(), a.cols(), b.rows(), b.cols());
+  if (a.is_dense() && b.is_dense()) {
+    return Matrix::AutoFromDense(
+        MultiplyEWiseDenseDense(a.dense(), b.dense()));
+  }
+  // Any sparse input makes the intersection at most as dense as it, so use
+  // the sparse kernel.
+  return Matrix::AutoFromCsr(MultiplyEWiseSparseSparse(a.AsCsr(), b.AsCsr()));
+}
+
+CsrMatrix NotEqualZeroSparse(const CsrMatrix& a) {
+  std::vector<double> ones(static_cast<size_t>(a.NumNonZeros()), 1.0);
+  return CsrMatrix(a.rows(), a.cols(), a.row_ptr(), a.col_idx(),
+                   std::move(ones));
+}
+
+Matrix NotEqualZero(const Matrix& a) {
+  if (a.is_dense()) {
+    DenseMatrix c(a.rows(), a.cols());
+    const double* pa = a.dense().data();
+    double* pc = c.data();
+    for (int64_t k = 0; k < c.size(); ++k) pc[k] = pa[k] != 0.0 ? 1.0 : 0.0;
+    return Matrix::AutoFromDense(std::move(c));
+  }
+  return Matrix::Sparse(NotEqualZeroSparse(a.csr()));
+}
+
+Matrix EqualZero(const Matrix& a) {
+  DenseMatrix c(a.rows(), a.cols());
+  double* pc = c.data();
+  for (int64_t k = 0; k < c.size(); ++k) pc[k] = 1.0;
+  if (a.is_dense()) {
+    const double* pa = a.dense().data();
+    for (int64_t k = 0; k < c.size(); ++k) pc[k] = pa[k] == 0.0 ? 1.0 : 0.0;
+  } else {
+    const CsrMatrix& s = a.csr();
+    for (int64_t i = 0; i < s.rows(); ++i) {
+      for (int64_t j : s.RowIndices(i)) c.Set(i, j, 0.0);
+    }
+  }
+  return Matrix::AutoFromDense(std::move(c));
+}
+
+namespace {
+
+// Shared sorted-merge kernel for element-wise min/max. `take_min` selects
+// the combiner; absent entries are treated as zero values.
+CsrMatrix MinMaxEWise(const CsrMatrix& a, const CsrMatrix& b, bool take_min) {
+  CheckSameShape(a.rows(), a.cols(), b.rows(), b.cols());
+  const int64_t m = a.rows();
+  std::vector<int64_t> row_ptr(static_cast<size_t>(m) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+
+  auto combine = [take_min](double x, double y) {
+    return take_min ? std::min(x, y) : std::max(x, y);
+  };
+  for (int64_t i = 0; i < m; ++i) {
+    const auto ai = a.RowIndices(i);
+    const auto av = a.RowValues(i);
+    const auto bi = b.RowIndices(i);
+    const auto bv = b.RowValues(i);
+    size_t ka = 0;
+    size_t kb = 0;
+    while (ka < ai.size() || kb < bi.size()) {
+      int64_t j;
+      double v;
+      if (kb >= bi.size() || (ka < ai.size() && ai[ka] < bi[kb])) {
+        j = ai[ka];
+        v = combine(av[ka], 0.0);
+        ++ka;
+      } else if (ka >= ai.size() || bi[kb] < ai[ka]) {
+        j = bi[kb];
+        v = combine(0.0, bv[kb]);
+        ++kb;
+      } else {
+        j = ai[ka];
+        v = combine(av[ka], bv[kb]);
+        ++ka;
+        ++kb;
+      }
+      if (v != 0.0) {
+        col_idx.push_back(j);
+        values.push_back(v);
+      }
+    }
+    row_ptr[static_cast<size_t>(i) + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  return CsrMatrix(m, a.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace
+
+CsrMatrix MinEWiseSparseSparse(const CsrMatrix& a, const CsrMatrix& b) {
+  return MinMaxEWise(a, b, /*take_min=*/true);
+}
+
+CsrMatrix MaxEWiseSparseSparse(const CsrMatrix& a, const CsrMatrix& b) {
+  return MinMaxEWise(a, b, /*take_min=*/false);
+}
+
+Matrix MinEWise(const Matrix& a, const Matrix& b) {
+  return Matrix::AutoFromCsr(MinEWiseSparseSparse(a.AsCsr(), b.AsCsr()));
+}
+
+Matrix MaxEWise(const Matrix& a, const Matrix& b) {
+  return Matrix::AutoFromCsr(MaxEWiseSparseSparse(a.AsCsr(), b.AsCsr()));
+}
+
+CsrMatrix ScaleSparse(const CsrMatrix& a, double alpha) {
+  if (alpha == 0.0) return CsrMatrix(a.rows(), a.cols());
+  std::vector<double> values = a.values();
+  for (double& v : values) v *= alpha;
+  return CsrMatrix(a.rows(), a.cols(), a.row_ptr(), a.col_idx(),
+                   std::move(values));
+}
+
+Matrix Scale(const Matrix& a, double alpha) {
+  if (a.is_dense()) {
+    DenseMatrix c(a.rows(), a.cols());
+    const double* pa = a.dense().data();
+    double* pc = c.data();
+    for (int64_t k = 0; k < c.size(); ++k) pc[k] = pa[k] * alpha;
+    return Matrix::AutoFromDense(std::move(c));
+  }
+  return Matrix::Sparse(ScaleSparse(a.csr(), alpha));
+}
+
+CsrMatrix RowSumsSparse(const CsrMatrix& a) {
+  const int64_t m = a.rows();
+  std::vector<int64_t> row_ptr(static_cast<size_t>(m) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  for (int64_t i = 0; i < m; ++i) {
+    double sum = 0.0;
+    for (double v : a.RowValues(i)) sum += v;
+    if (sum != 0.0) {
+      col_idx.push_back(0);
+      values.push_back(sum);
+    }
+    row_ptr[static_cast<size_t>(i) + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  return CsrMatrix(m, 1, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix ColSumsSparse(const CsrMatrix& a) {
+  std::vector<double> sums(static_cast<size_t>(a.cols()), 0.0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const auto idx = a.RowIndices(i);
+    const auto val = a.RowValues(i);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      sums[static_cast<size_t>(idx[k])] += val[k];
+    }
+  }
+  std::vector<int64_t> row_ptr = {0, 0};
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    if (sums[static_cast<size_t>(j)] != 0.0) {
+      col_idx.push_back(j);
+      values.push_back(sums[static_cast<size_t>(j)]);
+    }
+  }
+  row_ptr[1] = static_cast<int64_t>(col_idx.size());
+  return CsrMatrix(1, a.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+Matrix RowSums(const Matrix& a) {
+  return Matrix::AutoFromCsr(RowSumsSparse(a.AsCsr()));
+}
+
+Matrix ColSums(const Matrix& a) {
+  return Matrix::AutoFromCsr(ColSumsSparse(a.AsCsr()));
+}
+
+}  // namespace mnc

@@ -1,0 +1,60 @@
+// Element-wise operations: addition, multiplication (Hadamard), and the
+// zero-structure comparisons A != 0 / A == 0 from §4 of the paper.
+
+#ifndef MNC_MATRIX_OPS_EWISE_H_
+#define MNC_MATRIX_OPS_EWISE_H_
+
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/matrix/dense_matrix.h"
+#include "mnc/matrix/matrix.h"
+
+namespace mnc {
+
+// C = A + B (sparse kernel, sorted-merge per row).
+CsrMatrix AddSparseSparse(const CsrMatrix& a, const CsrMatrix& b);
+
+// C = A ⊙ B (sparse kernel, sorted-intersection per row).
+CsrMatrix MultiplyEWiseSparseSparse(const CsrMatrix& a, const CsrMatrix& b);
+
+// Dense kernels.
+DenseMatrix AddDenseDense(const DenseMatrix& a, const DenseMatrix& b);
+DenseMatrix MultiplyEWiseDenseDense(const DenseMatrix& a,
+                                    const DenseMatrix& b);
+
+// Format-dispatching entry points (inputs may be dense or sparse; the output
+// format is chosen from the actual output sparsity).
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix MultiplyEWise(const Matrix& a, const Matrix& b);
+
+// C = (A != 0): the 0/1 indicator of the non-zero structure. Preserves
+// sparsity, so the output keeps A's format.
+Matrix NotEqualZero(const Matrix& a);
+CsrMatrix NotEqualZeroSparse(const CsrMatrix& a);
+
+// C = (A == 0): the complement indicator; typically dense.
+Matrix EqualZero(const Matrix& a);
+
+// C = min(A, B) / C = max(A, B), element-wise. For non-negative inputs
+// (assumption A1 plus the library's positive-value generators), min behaves
+// like an intersection of patterns and max like a union — §6.6's B3.5 notes
+// max as the linear-algebra OR.
+CsrMatrix MinEWiseSparseSparse(const CsrMatrix& a, const CsrMatrix& b);
+CsrMatrix MaxEWiseSparseSparse(const CsrMatrix& a, const CsrMatrix& b);
+Matrix MinEWise(const Matrix& a, const Matrix& b);
+Matrix MaxEWise(const Matrix& a, const Matrix& b);
+
+// C = alpha * A (scalar multiply; structure-preserving for alpha != 0).
+CsrMatrix ScaleSparse(const CsrMatrix& a, double alpha);
+Matrix Scale(const Matrix& a, double alpha);
+
+// rowSums(A): m x 1 vector of row sums; colSums(A): 1 x n vector of column
+// sums. Under A1 (no cancellation) a row/column sum is non-zero exactly
+// when the row/column is non-empty.
+CsrMatrix RowSumsSparse(const CsrMatrix& a);
+CsrMatrix ColSumsSparse(const CsrMatrix& a);
+Matrix RowSums(const Matrix& a);
+Matrix ColSums(const Matrix& a);
+
+}  // namespace mnc
+
+#endif  // MNC_MATRIX_OPS_EWISE_H_

@@ -1,0 +1,173 @@
+#include "mnc/matrix/ops_product.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mnc {
+
+CsrMatrix MultiplySparseSparse(const CsrMatrix& a, const CsrMatrix& b,
+                               int64_t expected_nnz) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows();
+  const int64_t l = b.cols();
+
+  std::vector<int64_t> row_ptr(static_cast<size_t>(m) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  if (expected_nnz > 0) {
+    const int64_t cap = std::min(expected_nnz, m * l);
+    col_idx.reserve(static_cast<size_t>(cap));
+    values.reserve(static_cast<size_t>(cap));
+  }
+
+  // Gustavson: per output row, scatter-accumulate into a dense accumulator
+  // with an occupancy list, then gather in sorted column order.
+  std::vector<double> acc(static_cast<size_t>(l), 0.0);
+  std::vector<int64_t> occupied;
+  std::vector<char> seen(static_cast<size_t>(l), 0);
+
+  for (int64_t i = 0; i < m; ++i) {
+    occupied.clear();
+    const auto a_idx = a.RowIndices(i);
+    const auto a_val = a.RowValues(i);
+    for (size_t ka = 0; ka < a_idx.size(); ++ka) {
+      const int64_t k = a_idx[ka];
+      const double av = a_val[ka];
+      const auto b_idx = b.RowIndices(k);
+      const auto b_val = b.RowValues(k);
+      for (size_t kb = 0; kb < b_idx.size(); ++kb) {
+        const int64_t j = b_idx[kb];
+        if (!seen[static_cast<size_t>(j)]) {
+          seen[static_cast<size_t>(j)] = 1;
+          occupied.push_back(j);
+        }
+        acc[static_cast<size_t>(j)] += av * b_val[kb];
+      }
+    }
+    std::sort(occupied.begin(), occupied.end());
+    for (int64_t j : occupied) {
+      const double v = acc[static_cast<size_t>(j)];
+      if (v != 0.0) {
+        col_idx.push_back(j);
+        values.push_back(v);
+      }
+      acc[static_cast<size_t>(j)] = 0.0;
+      seen[static_cast<size_t>(j)] = 0;
+    }
+    row_ptr[static_cast<size_t>(i) + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  return CsrMatrix(m, l, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+DenseMatrix MultiplyDenseDense(const DenseMatrix& a, const DenseMatrix& b,
+                               ThreadPool* pool) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  const int64_t l = b.cols();
+  DenseMatrix c(m, l);
+
+  auto compute_rows = [&](int64_t begin, int64_t end) {
+    // i-k-j loop order: streams over B rows, vectorizes the inner j loop.
+    for (int64_t i = begin; i < end; ++i) {
+      double* ci = c.row(i);
+      const double* ai = a.row(i);
+      for (int64_t k = 0; k < n; ++k) {
+        const double av = ai[k];
+        if (av == 0.0) continue;
+        const double* bk = b.row(k);
+        for (int64_t j = 0; j < l; ++j) {
+          ci[j] += av * bk[j];
+        }
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(m, compute_rows);
+  } else {
+    compute_rows(0, m);
+  }
+  return c;
+}
+
+DenseMatrix MultiplySparseDense(const CsrMatrix& a, const DenseMatrix& b) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows();
+  const int64_t l = b.cols();
+  DenseMatrix c(m, l);
+  for (int64_t i = 0; i < m; ++i) {
+    double* ci = c.row(i);
+    const auto a_idx = a.RowIndices(i);
+    const auto a_val = a.RowValues(i);
+    for (size_t ka = 0; ka < a_idx.size(); ++ka) {
+      const double av = a_val[ka];
+      const double* bk = b.row(a_idx[ka]);
+      for (int64_t j = 0; j < l; ++j) {
+        ci[j] += av * bk[j];
+      }
+    }
+  }
+  return c;
+}
+
+DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const CsrMatrix& b) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  const int64_t l = b.cols();
+  DenseMatrix c(m, l);
+  for (int64_t i = 0; i < m; ++i) {
+    double* ci = c.row(i);
+    const double* ai = a.row(i);
+    for (int64_t k = 0; k < n; ++k) {
+      const double av = ai[k];
+      if (av == 0.0) continue;
+      const auto b_idx = b.RowIndices(k);
+      const auto b_val = b.RowValues(k);
+      for (size_t kb = 0; kb < b_idx.size(); ++kb) {
+        ci[b_idx[kb]] += av * b_val[kb];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b, ThreadPool* pool) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  if (a.is_dense() && b.is_dense()) {
+    return Matrix::AutoFromDense(MultiplyDenseDense(a.dense(), b.dense(), pool));
+  }
+  if (!a.is_dense() && !b.is_dense()) {
+    return Matrix::AutoFromCsr(MultiplySparseSparse(a.csr(), b.csr()));
+  }
+  if (!a.is_dense()) {
+    return Matrix::AutoFromDense(MultiplySparseDense(a.csr(), b.dense()));
+  }
+  return Matrix::AutoFromDense(MultiplyDenseSparse(a.dense(), b.csr()));
+}
+
+int64_t ProductNnzExact(const CsrMatrix& a, const CsrMatrix& b) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows();
+  const int64_t l = b.cols();
+  int64_t nnz = 0;
+  std::vector<char> seen(static_cast<size_t>(l), 0);
+  std::vector<int64_t> occupied;
+  for (int64_t i = 0; i < m; ++i) {
+    occupied.clear();
+    for (int64_t k : a.RowIndices(i)) {
+      for (int64_t j : b.RowIndices(k)) {
+        if (!seen[static_cast<size_t>(j)]) {
+          seen[static_cast<size_t>(j)] = 1;
+          occupied.push_back(j);
+        }
+      }
+    }
+    nnz += static_cast<int64_t>(occupied.size());
+    for (int64_t j : occupied) seen[static_cast<size_t>(j)] = 0;
+  }
+  return nnz;
+}
+
+}  // namespace mnc

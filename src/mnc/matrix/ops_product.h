@@ -1,0 +1,44 @@
+// Matrix-product kernels: sparse (Gustavson SpGEMM), dense (blocked GEMM),
+// mixed, and the format-dispatching Multiply() entry point that provides the
+// FP64 ground truth for the benchmark (§6.1: "we execute FP64 matrix
+// operations with internal dispatch of dense and sparse operations").
+
+#ifndef MNC_MATRIX_OPS_PRODUCT_H_
+#define MNC_MATRIX_OPS_PRODUCT_H_
+
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/matrix/dense_matrix.h"
+#include "mnc/matrix/matrix.h"
+#include "mnc/util/thread_pool.h"
+
+namespace mnc {
+
+// C = A B with both inputs sparse (row-wise Gustavson algorithm).
+// expected_nnz (optional, e.g. from an MNC estimate) preallocates the
+// output arrays — the "memory preallocation" use of sparsity estimates the
+// paper's introduction motivates. The result is identical either way.
+CsrMatrix MultiplySparseSparse(const CsrMatrix& a, const CsrMatrix& b,
+                               int64_t expected_nnz = -1);
+
+// C = A B with both inputs dense. If pool is non-null, rows of C are
+// computed in parallel.
+DenseMatrix MultiplyDenseDense(const DenseMatrix& a, const DenseMatrix& b,
+                               ThreadPool* pool = nullptr);
+
+// C = A B with sparse A, dense B (dense output).
+DenseMatrix MultiplySparseDense(const CsrMatrix& a, const DenseMatrix& b);
+
+// C = A B with dense A, sparse B (dense output).
+DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const CsrMatrix& b);
+
+// Format-dispatching product; the output format is chosen from the actual
+// output sparsity (AutoFrom*). Aborts if inner dimensions disagree.
+Matrix Multiply(const Matrix& a, const Matrix& b, ThreadPool* pool = nullptr);
+
+// Exact number of non-zeros of A B without materializing values — a boolean
+// ("pattern") SpGEMM. Used by tests as an independent ground-truth check.
+int64_t ProductNnzExact(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace mnc
+
+#endif  // MNC_MATRIX_OPS_PRODUCT_H_

@@ -1,0 +1,179 @@
+#include "mnc/matrix/ops_reorg.h"
+
+#include <vector>
+
+namespace mnc {
+
+CsrMatrix TransposeSparse(const CsrMatrix& a) {
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  const int64_t nnz = a.NumNonZeros();
+
+  // Counting sort by column index.
+  std::vector<int64_t> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (int64_t j : a.col_idx()) ++row_ptr[static_cast<size_t>(j) + 1];
+  for (size_t j = 0; j < static_cast<size_t>(n); ++j) {
+    row_ptr[j + 1] += row_ptr[j];
+  }
+  std::vector<int64_t> col_idx(static_cast<size_t>(nnz));
+  std::vector<double> values(static_cast<size_t>(nnz));
+  std::vector<int64_t> next = row_ptr;  // insertion cursor per output row
+  for (int64_t i = 0; i < m; ++i) {
+    const auto idx = a.RowIndices(i);
+    const auto val = a.RowValues(i);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const int64_t pos = next[static_cast<size_t>(idx[k])]++;
+      col_idx[static_cast<size_t>(pos)] = i;
+      values[static_cast<size_t>(pos)] = val[k];
+    }
+  }
+  return CsrMatrix(n, m, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+DenseMatrix TransposeDense(const DenseMatrix& a) {
+  DenseMatrix c(a.cols(), a.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      c.Set(j, i, a.At(i, j));
+    }
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  if (a.is_dense()) return Matrix::Dense(TransposeDense(a.dense()));
+  return Matrix::Sparse(TransposeSparse(a.csr()));
+}
+
+CsrMatrix ReshapeSparse(const CsrMatrix& a, int64_t k, int64_t l) {
+  MNC_CHECK_EQ(a.rows() * a.cols(), k * l);
+  const int64_t n = a.cols();
+  std::vector<int64_t> row_ptr(static_cast<size_t>(k) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(static_cast<size_t>(a.NumNonZeros()));
+  values.reserve(static_cast<size_t>(a.NumNonZeros()));
+
+  // Row-major linearization preserves entry order across a row-wise reshape,
+  // so a single pass in CSR order emits the output in CSR order too.
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const auto idx = a.RowIndices(i);
+    const auto val = a.RowValues(i);
+    for (size_t p = 0; p < idx.size(); ++p) {
+      const int64_t linear = i * n + idx[p];
+      const int64_t oi = linear / l;
+      const int64_t oj = linear % l;
+      col_idx.push_back(oj);
+      values.push_back(val[p]);
+      ++row_ptr[static_cast<size_t>(oi) + 1];
+    }
+  }
+  for (size_t r = 0; r < static_cast<size_t>(k); ++r) {
+    row_ptr[r + 1] += row_ptr[r];
+  }
+  return CsrMatrix(k, l, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+Matrix Reshape(const Matrix& a, int64_t k, int64_t l) {
+  if (a.is_dense()) {
+    MNC_CHECK_EQ(a.rows() * a.cols(), k * l);
+    // Row-major layout is reshape-invariant: reuse the buffer.
+    std::vector<double> buf(a.dense().data(),
+                            a.dense().data() + a.dense().size());
+    return Matrix::Dense(DenseMatrix(k, l, std::move(buf)));
+  }
+  return Matrix::Sparse(ReshapeSparse(a.csr(), k, l));
+}
+
+CsrMatrix DiagVectorToMatrix(const CsrMatrix& v) {
+  MNC_CHECK_EQ(v.cols(), 1);
+  const int64_t m = v.rows();
+  std::vector<int64_t> row_ptr(static_cast<size_t>(m) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  for (int64_t i = 0; i < m; ++i) {
+    const auto val = v.RowValues(i);
+    if (!val.empty()) {
+      col_idx.push_back(i);
+      values.push_back(val[0]);
+    }
+    row_ptr[static_cast<size_t>(i) + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  return CsrMatrix(m, m, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix DiagMatrixToVector(const CsrMatrix& a) {
+  MNC_CHECK_EQ(a.rows(), a.cols());
+  const int64_t m = a.rows();
+  std::vector<int64_t> row_ptr(static_cast<size_t>(m) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  for (int64_t i = 0; i < m; ++i) {
+    const double v = a.At(i, i);
+    if (v != 0.0) {
+      col_idx.push_back(0);
+      values.push_back(v);
+    }
+    row_ptr[static_cast<size_t>(i) + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  return CsrMatrix(m, 1, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+Matrix Diag(const Matrix& a) {
+  const CsrMatrix s = a.AsCsr();
+  if (s.cols() == 1) return Matrix::Sparse(DiagVectorToMatrix(s));
+  return Matrix::AutoFromCsr(DiagMatrixToVector(s));
+}
+
+CsrMatrix RBindSparse(const CsrMatrix& a, const CsrMatrix& b) {
+  MNC_CHECK_EQ(a.cols(), b.cols());
+  std::vector<int64_t> row_ptr = a.row_ptr();
+  row_ptr.reserve(row_ptr.size() + static_cast<size_t>(b.rows()));
+  const int64_t offset = a.NumNonZeros();
+  for (size_t r = 1; r < b.row_ptr().size(); ++r) {
+    row_ptr.push_back(b.row_ptr()[r] + offset);
+  }
+  std::vector<int64_t> col_idx = a.col_idx();
+  col_idx.insert(col_idx.end(), b.col_idx().begin(), b.col_idx().end());
+  std::vector<double> values = a.values();
+  values.insert(values.end(), b.values().begin(), b.values().end());
+  return CsrMatrix(a.rows() + b.rows(), a.cols(), std::move(row_ptr),
+                   std::move(col_idx), std::move(values));
+}
+
+Matrix RBind(const Matrix& a, const Matrix& b) {
+  return Matrix::AutoFromCsr(RBindSparse(a.AsCsr(), b.AsCsr()));
+}
+
+CsrMatrix CBindSparse(const CsrMatrix& a, const CsrMatrix& b) {
+  MNC_CHECK_EQ(a.rows(), b.rows());
+  const int64_t m = a.rows();
+  std::vector<int64_t> row_ptr(static_cast<size_t>(m) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(static_cast<size_t>(a.NumNonZeros() + b.NumNonZeros()));
+  values.reserve(col_idx.capacity());
+  for (int64_t i = 0; i < m; ++i) {
+    for (size_t k = 0; k < a.RowIndices(i).size(); ++k) {
+      col_idx.push_back(a.RowIndices(i)[k]);
+      values.push_back(a.RowValues(i)[k]);
+    }
+    for (size_t k = 0; k < b.RowIndices(i).size(); ++k) {
+      col_idx.push_back(b.RowIndices(i)[k] + a.cols());
+      values.push_back(b.RowValues(i)[k]);
+    }
+    row_ptr[static_cast<size_t>(i) + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  return CsrMatrix(m, a.cols() + b.cols(), std::move(row_ptr),
+                   std::move(col_idx), std::move(values));
+}
+
+Matrix CBind(const Matrix& a, const Matrix& b) {
+  return Matrix::AutoFromCsr(CBindSparse(a.AsCsr(), b.AsCsr()));
+}
+
+}  // namespace mnc

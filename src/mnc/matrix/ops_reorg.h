@@ -1,0 +1,42 @@
+// Reorganization operations from §4 of the paper: transpose, row-wise
+// reshape, diag (vector ↔ matrix diagonal), and rbind/cbind concatenation.
+
+#ifndef MNC_MATRIX_OPS_REORG_H_
+#define MNC_MATRIX_OPS_REORG_H_
+
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/matrix/dense_matrix.h"
+#include "mnc/matrix/matrix.h"
+
+namespace mnc {
+
+// C = A^T. O(nnz + m + n) counting-sort transpose.
+CsrMatrix TransposeSparse(const CsrMatrix& a);
+DenseMatrix TransposeDense(const DenseMatrix& a);
+Matrix Transpose(const Matrix& a);
+
+// Row-wise reshape of an m x n matrix into k x l with m*n == k*l: cell
+// (i, j) moves to linear position i*n + j read in row-major order.
+CsrMatrix ReshapeSparse(const CsrMatrix& a, int64_t k, int64_t l);
+Matrix Reshape(const Matrix& a, int64_t k, int64_t l);
+
+// diag(v): places an m x 1 column vector onto the diagonal of an m x m
+// matrix (the "Scale" transformation matrix of B1.2).
+CsrMatrix DiagVectorToMatrix(const CsrMatrix& v);
+
+// diag(A): extracts the diagonal of a square matrix as an m x 1 vector.
+CsrMatrix DiagMatrixToVector(const CsrMatrix& a);
+
+Matrix Diag(const Matrix& a);
+
+// rbind(A, B): stacks rows (requires equal column counts).
+CsrMatrix RBindSparse(const CsrMatrix& a, const CsrMatrix& b);
+Matrix RBind(const Matrix& a, const Matrix& b);
+
+// cbind(A, B): concatenates columns (requires equal row counts).
+CsrMatrix CBindSparse(const CsrMatrix& a, const CsrMatrix& b);
+Matrix CBind(const Matrix& a, const Matrix& b);
+
+}  // namespace mnc
+
+#endif  // MNC_MATRIX_OPS_REORG_H_

@@ -1,0 +1,62 @@
+// Umbrella header for the MNC library.
+//
+// MNC (Matrix Non-zero Count) is a count-based matrix synopsis for
+// structure-exploiting sparsity estimation of matrix expressions, as
+// published in:
+//
+//   Johanna Sommer, Matthias Boehm, Alexandre V. Evfimievski, Berthold
+//   Reinwald, Peter J. Haas. "MNC: Structure-Exploiting Sparsity Estimation
+//   for Matrix Expressions." SIGMOD 2019.
+//
+// Typical usage:
+//
+//   mnc::Rng rng(42);
+//   mnc::CsrMatrix a = mnc::GenerateUniformSparse(1000, 1000, 0.01, rng);
+//   mnc::CsrMatrix b = mnc::GenerateUniformSparse(1000, 1000, 0.01, rng);
+//   mnc::MncSketch ha = mnc::MncSketch::FromCsr(a);
+//   mnc::MncSketch hb = mnc::MncSketch::FromCsr(b);
+//   double s = mnc::EstimateProductSparsity(ha, hb);
+//
+// See README.md for the architecture overview and examples/ for runnable
+// end-to-end programs.
+
+#ifndef MNC_MNC_H_
+#define MNC_MNC_H_
+
+#include "mnc/core/mnc_estimator.h"
+#include "mnc/core/mnc_propagation.h"
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/core/mnc_sketch_io.h"
+#include "mnc/estimators/adaptive_density_map.h"
+#include "mnc/estimators/bitset_estimator.h"
+#include "mnc/estimators/density_map_estimator.h"
+#include "mnc/estimators/hash_estimator.h"
+#include "mnc/estimators/layered_graph_estimator.h"
+#include "mnc/estimators/meta_estimator.h"
+#include "mnc/estimators/mnc_adapter.h"
+#include "mnc/estimators/sampling_estimator.h"
+#include "mnc/estimators/sparsity_estimator.h"
+#include "mnc/ir/evaluator.h"
+#include "mnc/lang/parser.h"
+#include "mnc/ir/expr.h"
+#include "mnc/ir/sketch_propagator.h"
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/csc_matrix.h"
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/matrix/dense_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/io.h"
+#include "mnc/matrix/matrix.h"
+#include "mnc/matrix/ops_ewise.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/matrix/ops_reorg.h"
+#include "mnc/optimizer/mmchain.h"
+#include "mnc/optimizer/rewrites.h"
+#include "mnc/sparsest/datasets.h"
+#include "mnc/sparsest/metrics.h"
+#include "mnc/sparsest/usecases.h"
+#include "mnc/util/random.h"
+#include "mnc/util/stopwatch.h"
+#include "mnc/util/thread_pool.h"
+
+#endif  // MNC_MNC_H_

@@ -1,0 +1,344 @@
+#include "mnc/optimizer/mmchain.h"
+
+#include <limits>
+
+#include "mnc/core/mnc_propagation.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+std::unique_ptr<PlanNode> PlanNode::MakeLeaf(int index) {
+  MNC_CHECK_GE(index, 0);
+  auto node = std::make_unique<PlanNode>();
+  node->leaf = index;
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::MakeNode(std::unique_ptr<PlanNode> l,
+                                             std::unique_ptr<PlanNode> r) {
+  MNC_CHECK(l != nullptr);
+  MNC_CHECK(r != nullptr);
+  auto node = std::make_unique<PlanNode>();
+  node->left = std::move(l);
+  node->right = std::move(r);
+  return node;
+}
+
+std::string PlanToString(const PlanNode& plan) {
+  if (plan.is_leaf()) return "M" + std::to_string(plan.leaf);
+  return "(" + PlanToString(*plan.left) + " " + PlanToString(*plan.right) +
+         ")";
+}
+
+ExprPtr PlanToExpr(const PlanNode& plan, const std::vector<ExprPtr>& leaves) {
+  if (plan.is_leaf()) {
+    MNC_CHECK_LT(plan.leaf, static_cast<int>(leaves.size()));
+    return leaves[static_cast<size_t>(plan.leaf)];
+  }
+  return ExprNode::MatMul(PlanToExpr(*plan.left, leaves),
+                          PlanToExpr(*plan.right, leaves));
+}
+
+namespace {
+
+// Rebuilds the plan tree from a DP split table.
+std::unique_ptr<PlanNode> TreeFromSplits(
+    const std::vector<std::vector<int>>& split, int i, int j) {
+  if (i == j) return PlanNode::MakeLeaf(i);
+  const int k = split[static_cast<size_t>(i)][static_cast<size_t>(j)];
+  return PlanNode::MakeNode(TreeFromSplits(split, i, k),
+                            TreeFromSplits(split, k + 1, j));
+}
+
+}  // namespace
+
+MMChainResult OptimizeMMChainDense(const std::vector<Shape>& shapes) {
+  const int n = static_cast<int>(shapes.size());
+  MNC_CHECK_GT(n, 0);
+  for (int i = 0; i + 1 < n; ++i) {
+    MNC_CHECK_EQ(shapes[static_cast<size_t>(i)].cols,
+                 shapes[static_cast<size_t>(i) + 1].rows);
+  }
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), 0));
+  std::vector<std::vector<int>> split(
+      static_cast<size_t>(n), std::vector<int>(static_cast<size_t>(n), 0));
+
+  for (int len = 2; len <= n; ++len) {
+    for (int i = 0; i + len - 1 < n; ++i) {
+      const int j = i + len - 1;
+      double best = std::numeric_limits<double>::infinity();
+      int best_k = i;
+      for (int k = i; k < j; ++k) {
+        const double flops =
+            static_cast<double>(shapes[static_cast<size_t>(i)].rows) *
+            static_cast<double>(shapes[static_cast<size_t>(k)].cols) *
+            static_cast<double>(shapes[static_cast<size_t>(j)].cols);
+        const double c = cost[static_cast<size_t>(i)][static_cast<size_t>(k)] +
+                         cost[static_cast<size_t>(k) + 1]
+                             [static_cast<size_t>(j)] +
+                         flops;
+        if (c < best) {
+          best = c;
+          best_k = k;
+        }
+      }
+      cost[static_cast<size_t>(i)][static_cast<size_t>(j)] = best;
+      split[static_cast<size_t>(i)][static_cast<size_t>(j)] = best_k;
+    }
+  }
+  MMChainResult result;
+  result.cost = cost[0][static_cast<size_t>(n) - 1];
+  result.plan = TreeFromSplits(split, 0, n - 1);
+  return result;
+}
+
+namespace {
+
+// Number of multiply pairs of the product of two subchains, from their
+// sketches: hc(left) · hr(right) — the sparsity-aware cost of Eq. 17,
+// independent of the output sparsity [Cohen'98].
+double SparseProductCost(const MncSketch& left, const MncSketch& right) {
+  MNC_CHECK_EQ(left.cols(), right.rows());
+  double pairs = 0.0;
+  for (size_t k = 0; k < left.hc().size(); ++k) {
+    pairs += static_cast<double>(left.hc()[k]) *
+             static_cast<double>(right.hr()[k]);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+MMChainResult OptimizeMMChainSparse(const std::vector<MncSketch>& inputs,
+                                    uint64_t seed) {
+  const int n = static_cast<int>(inputs.size());
+  MNC_CHECK_GT(n, 0);
+  for (int i = 0; i + 1 < n; ++i) {
+    MNC_CHECK_EQ(inputs[static_cast<size_t>(i)].cols(),
+                 inputs[static_cast<size_t>(i) + 1].rows());
+  }
+  Rng rng(seed);
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), 0));
+  std::vector<std::vector<int>> split(
+      static_cast<size_t>(n), std::vector<int>(static_cast<size_t>(n), 0));
+  // E: sketches of optimal subchains (Appendix C); diagonal = inputs.
+  std::vector<std::vector<MncSketch>> sketch(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    sketch[static_cast<size_t>(i)].resize(static_cast<size_t>(n),
+                                          inputs[static_cast<size_t>(i)]);
+    sketch[static_cast<size_t>(i)][static_cast<size_t>(i)] =
+        inputs[static_cast<size_t>(i)];
+  }
+
+  for (int len = 2; len <= n; ++len) {
+    for (int i = 0; i + len - 1 < n; ++i) {
+      const int j = i + len - 1;
+      double best = std::numeric_limits<double>::infinity();
+      int best_k = i;
+      for (int k = i; k < j; ++k) {
+        const double c =
+            cost[static_cast<size_t>(i)][static_cast<size_t>(k)] +
+            cost[static_cast<size_t>(k) + 1][static_cast<size_t>(j)] +
+            SparseProductCost(
+                sketch[static_cast<size_t>(i)][static_cast<size_t>(k)],
+                sketch[static_cast<size_t>(k) + 1][static_cast<size_t>(j)]);
+        if (c < best) {
+          best = c;
+          best_k = k;
+        }
+      }
+      cost[static_cast<size_t>(i)][static_cast<size_t>(j)] = best;
+      split[static_cast<size_t>(i)][static_cast<size_t>(j)] = best_k;
+      // Memoize the sketch of the optimal subchain.
+      sketch[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          PropagateProduct(
+              sketch[static_cast<size_t>(i)][static_cast<size_t>(best_k)],
+              sketch[static_cast<size_t>(best_k) + 1][static_cast<size_t>(j)],
+              rng);
+    }
+  }
+  MMChainResult result;
+  result.cost = cost[0][static_cast<size_t>(n) - 1];
+  result.plan = TreeFromSplits(split, 0, n - 1);
+  return result;
+}
+
+MMChainResult OptimizeMMChainWithEstimator(
+    SparsityEstimator& estimator, const std::vector<Matrix>& inputs) {
+  const int n = static_cast<int>(inputs.size());
+  MNC_CHECK_GT(n, 0);
+  MNC_CHECK_MSG(estimator.SupportsOp(OpKind::kMatMul) &&
+                    estimator.SupportsChains(),
+                "estimator cannot optimize product chains");
+  for (int i = 0; i + 1 < n; ++i) {
+    MNC_CHECK_EQ(inputs[static_cast<size_t>(i)].cols(),
+                 inputs[static_cast<size_t>(i) + 1].rows());
+  }
+
+  // Synopses and sparsity estimates of optimal subchains.
+  std::vector<std::vector<SynopsisPtr>> synopsis(static_cast<size_t>(n));
+  std::vector<std::vector<double>> sparsity(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), 0));
+  for (int i = 0; i < n; ++i) {
+    synopsis[static_cast<size_t>(i)].resize(static_cast<size_t>(n));
+    synopsis[static_cast<size_t>(i)][static_cast<size_t>(i)] =
+        estimator.Build(inputs[static_cast<size_t>(i)]);
+    sparsity[static_cast<size_t>(i)][static_cast<size_t>(i)] =
+        inputs[static_cast<size_t>(i)].Sparsity();
+  }
+
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), 0));
+  std::vector<std::vector<int>> split(
+      static_cast<size_t>(n), std::vector<int>(static_cast<size_t>(n), 0));
+
+  auto rows_of = [&](int i) {
+    return static_cast<double>(inputs[static_cast<size_t>(i)].rows());
+  };
+  auto cols_of = [&](int i) {
+    return static_cast<double>(inputs[static_cast<size_t>(i)].cols());
+  };
+
+  for (int len = 2; len <= n; ++len) {
+    for (int i = 0; i + len - 1 < n; ++i) {
+      const int j = i + len - 1;
+      double best = std::numeric_limits<double>::infinity();
+      int best_k = i;
+      for (int k = i; k < j; ++k) {
+        // Pair count under uniformity: s_L s_R m n l (see header).
+        const double pairs =
+            sparsity[static_cast<size_t>(i)][static_cast<size_t>(k)] *
+            sparsity[static_cast<size_t>(k) + 1][static_cast<size_t>(j)] *
+            rows_of(i) * cols_of(k) * cols_of(j);
+        const double c =
+            cost[static_cast<size_t>(i)][static_cast<size_t>(k)] +
+            cost[static_cast<size_t>(k) + 1][static_cast<size_t>(j)] + pairs;
+        if (c < best) {
+          best = c;
+          best_k = k;
+        }
+      }
+      cost[static_cast<size_t>(i)][static_cast<size_t>(j)] = best;
+      split[static_cast<size_t>(i)][static_cast<size_t>(j)] = best_k;
+      const SynopsisPtr left =
+          synopsis[static_cast<size_t>(i)][static_cast<size_t>(best_k)];
+      const SynopsisPtr right =
+          synopsis[static_cast<size_t>(best_k) + 1][static_cast<size_t>(j)];
+      const int64_t out_rows = inputs[static_cast<size_t>(i)].rows();
+      const int64_t out_cols = inputs[static_cast<size_t>(j)].cols();
+      synopsis[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          estimator.Propagate(OpKind::kMatMul, left, right, out_rows,
+                              out_cols);
+      sparsity[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          estimator.EstimateSparsity(OpKind::kMatMul, left, right, out_rows,
+                                     out_cols);
+    }
+  }
+  MMChainResult result;
+  result.cost = cost[0][static_cast<size_t>(n) - 1];
+  result.plan = TreeFromSplits(split, 0, n - 1);
+  return result;
+}
+
+namespace {
+
+// Exact multiply-pair count of one product from the actual operands.
+double ExactPairCount(const Matrix& left, const Matrix& right) {
+  const MncSketch hl = MncSketch::FromMatrix(left);
+  const MncSketch hr = MncSketch::FromMatrix(right);
+  return SparseProductCost(hl, hr);
+}
+
+struct ExactCostResult {
+  Matrix value;
+  double cost;
+};
+
+ExactCostResult ExactCostRec(const PlanNode& plan,
+                             const std::vector<Matrix>& inputs) {
+  if (plan.is_leaf()) {
+    return {inputs[static_cast<size_t>(plan.leaf)], 0.0};
+  }
+  ExactCostResult left = ExactCostRec(*plan.left, inputs);
+  ExactCostResult right = ExactCostRec(*plan.right, inputs);
+  const double pairs = ExactPairCount(left.value, right.value);
+  Matrix product = Multiply(left.value, right.value);
+  return {std::move(product), left.cost + right.cost + pairs};
+}
+
+}  // namespace
+
+double ExactPlanCost(const PlanNode& plan,
+                     const std::vector<Matrix>& inputs) {
+  return ExactCostRec(plan, inputs).cost;
+}
+
+namespace {
+
+std::unique_ptr<PlanNode> RandomPlanRange(int i, int j, Rng& rng) {
+  if (i == j) return PlanNode::MakeLeaf(i);
+  const int k = i + static_cast<int>(rng.UniformInt(j - i));
+  return PlanNode::MakeNode(RandomPlanRange(i, k, rng),
+                            RandomPlanRange(k + 1, j, rng));
+}
+
+struct PlanCost {
+  MncSketch sketch;
+  double cost;
+};
+
+PlanCost EvaluateSparseRec(const PlanNode& plan,
+                           const std::vector<MncSketch>& inputs, Rng& rng) {
+  if (plan.is_leaf()) {
+    return {inputs[static_cast<size_t>(plan.leaf)], 0.0};
+  }
+  PlanCost left = EvaluateSparseRec(*plan.left, inputs, rng);
+  PlanCost right = EvaluateSparseRec(*plan.right, inputs, rng);
+  const double cost = left.cost + right.cost +
+                      SparseProductCost(left.sketch, right.sketch);
+  return {PropagateProduct(left.sketch, right.sketch, rng), cost};
+}
+
+struct DensePlanCost {
+  Shape shape;
+  double cost;
+};
+
+DensePlanCost EvaluateDenseRec(const PlanNode& plan,
+                               const std::vector<Shape>& shapes) {
+  if (plan.is_leaf()) {
+    return {shapes[static_cast<size_t>(plan.leaf)], 0.0};
+  }
+  DensePlanCost left = EvaluateDenseRec(*plan.left, shapes);
+  DensePlanCost right = EvaluateDenseRec(*plan.right, shapes);
+  MNC_CHECK_EQ(left.shape.cols, right.shape.rows);
+  const double flops = static_cast<double>(left.shape.rows) *
+                       static_cast<double>(left.shape.cols) *
+                       static_cast<double>(right.shape.cols);
+  return {{left.shape.rows, right.shape.cols},
+          left.cost + right.cost + flops};
+}
+
+}  // namespace
+
+std::unique_ptr<PlanNode> RandomMMChainPlan(int n, Rng& rng) {
+  MNC_CHECK_GT(n, 0);
+  return RandomPlanRange(0, n - 1, rng);
+}
+
+double EvaluatePlanCostSparse(const PlanNode& plan,
+                              const std::vector<MncSketch>& inputs,
+                              uint64_t seed) {
+  Rng rng(seed);
+  return EvaluateSparseRec(plan, inputs, rng).cost;
+}
+
+double EvaluatePlanCostDense(const PlanNode& plan,
+                             const std::vector<Shape>& shapes) {
+  return EvaluateDenseRec(plan, shapes).cost;
+}
+
+}  // namespace mnc

@@ -1,0 +1,88 @@
+// Matrix-multiplication chain optimization (Appendix C of the paper).
+//
+// Finds the optimal parenthesization of M1 M2 ... Mn via the textbook O(n^3)
+// dynamic program [Cormen et al.], in two cost models:
+//   - dense: FLOPs m * n * l per product (the sparsity-unaware default),
+//   - sparsity-aware (Eq. 17): the number of non-zero multiply pairs
+//     hc(left) · hr(right), with MNC sketches of optimal subchains memoized
+//     in an n x n table E — the paper's proposed dynamic rewrite.
+// Also provides random-plan generation and plan cost evaluation for the
+// Figure-16 experiment (optimized plan vs. 100,000 random plans).
+
+#ifndef MNC_OPTIMIZER_MMCHAIN_H_
+#define MNC_OPTIMIZER_MMCHAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/estimators/sparsity_estimator.h"
+#include "mnc/ir/expr.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+
+// Binary parenthesization tree over chain positions [0, n).
+struct PlanNode {
+  int leaf = -1;  // >= 0 for leaves; -1 for inner nodes
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+
+  static std::unique_ptr<PlanNode> MakeLeaf(int index);
+  static std::unique_ptr<PlanNode> MakeNode(std::unique_ptr<PlanNode> l,
+                                            std::unique_ptr<PlanNode> r);
+
+  bool is_leaf() const { return leaf >= 0; }
+};
+
+// Renders e.g. "((M0 M1) M2)".
+std::string PlanToString(const PlanNode& plan);
+
+// Builds the plan's expression DAG over the given leaf expressions.
+ExprPtr PlanToExpr(const PlanNode& plan, const std::vector<ExprPtr>& leaves);
+
+struct MMChainResult {
+  double cost = 0.0;
+  std::unique_ptr<PlanNode> plan;
+};
+
+// Textbook DP under the dense cost model; `shapes` are the n chain inputs.
+MMChainResult OptimizeMMChainDense(const std::vector<Shape>& shapes);
+
+// Sparsity-aware DP (Eq. 17) with sketch memoization across overlapping
+// subproblems. `inputs` are MNC sketches of the n chain inputs.
+MMChainResult OptimizeMMChainSparse(const std::vector<MncSketch>& inputs,
+                                    uint64_t seed = 42);
+
+// Sparsity-aware DP driven by an arbitrary estimator: subchain synopses are
+// derived with the estimator's own propagation, and the cost of joining two
+// subchains uses the uniformity approximation of the Eq.-17 pair count,
+// s_L s_R m n l, from the estimator's sparsity estimates. Lets the plan
+// quality of different estimators be compared head-to-head (§1: sparsity
+// estimates "affect decisions on ... matrix product chains").
+// Requires estimator.SupportsChains() and kMatMul support.
+MMChainResult OptimizeMMChainWithEstimator(
+    SparsityEstimator& estimator, const std::vector<Matrix>& inputs);
+
+// Exact number of multiply pairs executed by `plan` over the given inputs:
+// materializes every intermediate (FP64 engine) and sums the exact Eq.-17
+// pair counts. The ground-truth plan cost for plan-quality comparisons.
+double ExactPlanCost(const PlanNode& plan, const std::vector<Matrix>& inputs);
+
+// Uniformly random parenthesization of an n-matrix chain.
+std::unique_ptr<PlanNode> RandomMMChainPlan(int n, Rng& rng);
+
+// Cost of executing `plan` under the sparsity-aware model (Eq. 17), with
+// intermediate sketches derived by MNC propagation.
+double EvaluatePlanCostSparse(const PlanNode& plan,
+                              const std::vector<MncSketch>& inputs,
+                              uint64_t seed = 42);
+
+// Cost of executing `plan` under the dense FLOP model.
+double EvaluatePlanCostDense(const PlanNode& plan,
+                             const std::vector<Shape>& shapes);
+
+}  // namespace mnc
+
+#endif  // MNC_OPTIMIZER_MMCHAIN_H_

@@ -1,0 +1,158 @@
+#include "mnc/optimizer/rewrites.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "mnc/estimators/mnc_adapter.h"
+#include "mnc/ir/sketch_propagator.h"
+#include "mnc/optimizer/mmchain.h"
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+namespace {
+
+class Simplifier {
+ public:
+  ExprPtr Rewrite(const ExprPtr& node) {
+    auto it = memo_.find(node.get());
+    if (it != memo_.end()) return it->second;
+
+    ExprPtr result;
+    if (node->is_leaf()) {
+      result = node;
+    } else {
+      ExprPtr left = Rewrite(node->left());
+      ExprPtr right =
+          node->right() != nullptr ? Rewrite(node->right()) : nullptr;
+      result = Apply(node, std::move(left), std::move(right));
+    }
+    memo_.emplace(node.get(), result);
+    return result;
+  }
+
+ private:
+  static bool IsOp(const ExprPtr& e, OpKind op) {
+    return !e->is_leaf() && e->op() == op;
+  }
+
+  static ExprPtr Apply(const ExprPtr& node, ExprPtr left, ExprPtr right) {
+    switch (node->op()) {
+      case OpKind::kTranspose:
+        // t(t(X)) = X.
+        if (IsOp(left, OpKind::kTranspose)) return left->left();
+        break;
+      case OpKind::kScale:
+        // a * (b * X) = (a b) * X.
+        if (IsOp(left, OpKind::kScale)) {
+          return ExprNode::Scale(left->left(),
+                                 node->scale_alpha() * left->scale_alpha());
+        }
+        break;
+      case OpKind::kNotEqualZero:
+        // (X != 0) and (X == 0) are already 0/1 indicators: applying != 0
+        // again is the identity; scaling does not change the pattern.
+        if (IsOp(left, OpKind::kNotEqualZero) ||
+            IsOp(left, OpKind::kEqualZero)) {
+          return left;
+        }
+        if (IsOp(left, OpKind::kScale)) {
+          return ExprNode::NotEqualZero(left->left());
+        }
+        break;
+      case OpKind::kEqualZero:
+        // (X != 0) == 0 has the values of X == 0; (X == 0) == 0 has the
+        // values of X != 0 (both operands are 0/1 indicators).
+        if (IsOp(left, OpKind::kNotEqualZero)) {
+          return ExprNode::EqualZero(left->left());
+        }
+        if (IsOp(left, OpKind::kEqualZero)) {
+          return ExprNode::NotEqualZero(left->left());
+        }
+        if (IsOp(left, OpKind::kScale)) {
+          return ExprNode::EqualZero(left->left());
+        }
+        break;
+      default:
+        break;
+    }
+    return RebuildWithChildren(node, std::move(left), std::move(right));
+  }
+
+  std::unordered_map<const ExprNode*, ExprPtr> memo_;
+};
+
+class ChainReorderer {
+ public:
+  explicit ChainReorderer(uint64_t seed)
+      : estimator_(/*basic=*/false, seed),
+        propagator_(&estimator_),
+        seed_(seed) {}
+
+  ExprPtr Rewrite(const ExprPtr& node) {
+    auto it = memo_.find(node.get());
+    if (it != memo_.end()) return it->second;
+
+    ExprPtr result;
+    if (node->is_leaf()) {
+      result = node;
+    } else if (node->op() == OpKind::kMatMul) {
+      // Flatten the maximal product chain rooted here; factors are the
+      // non-MatMul frontier (rewritten recursively).
+      std::vector<ExprPtr> factors;
+      Flatten(node, factors);
+      if (factors.size() >= 3) {
+        std::vector<MncSketch> sketches;
+        sketches.reserve(factors.size());
+        for (const ExprPtr& factor : factors) {
+          const SynopsisPtr syn = propagator_.Synopsis(factor);
+          MNC_CHECK(syn != nullptr);  // MNC supports every operation
+          sketches.push_back(
+              dynamic_cast<const MncSynopsis&>(*syn).sketch());
+        }
+        MMChainResult optimal = OptimizeMMChainSparse(sketches, seed_);
+        result = PlanToExpr(*optimal.plan, factors);
+      } else {
+        result = RebuildWithChildren(node, factors[0], factors[1]);
+      }
+    } else {
+      ExprPtr left = Rewrite(node->left());
+      ExprPtr right =
+          node->right() != nullptr ? Rewrite(node->right()) : nullptr;
+      result = RebuildWithChildren(node, std::move(left), std::move(right));
+    }
+    memo_.emplace(node.get(), result);
+    return result;
+  }
+
+ private:
+  void Flatten(const ExprPtr& node, std::vector<ExprPtr>& factors) {
+    if (!node->is_leaf() && node->op() == OpKind::kMatMul) {
+      Flatten(node->left(), factors);
+      Flatten(node->right(), factors);
+    } else {
+      factors.push_back(Rewrite(node));
+    }
+  }
+
+  MncEstimator estimator_;
+  SketchPropagator propagator_;
+  uint64_t seed_;
+  std::unordered_map<const ExprNode*, ExprPtr> memo_;
+};
+
+}  // namespace
+
+ExprPtr SimplifyExpression(const ExprPtr& root) {
+  MNC_CHECK(root != nullptr);
+  Simplifier simplifier;
+  return simplifier.Rewrite(root);
+}
+
+ExprPtr ReorderProductChains(const ExprPtr& root, uint64_t seed) {
+  MNC_CHECK(root != nullptr);
+  ChainReorderer reorderer(seed);
+  return reorderer.Rewrite(root);
+}
+
+}  // namespace mnc

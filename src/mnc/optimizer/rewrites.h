@@ -1,0 +1,35 @@
+// Sparsity-aware DAG rewrites — the Appendix-C optimizer integration lifted
+// from isolated chains to whole expression DAGs ("interesting future work
+// (1): MNC sketches in advanced optimizers").
+//
+// Two passes:
+//   - SimplifyExpression: pure algebraic simplifications that preserve
+//     values exactly (t(t(X)) -> X, merged scalar scaling, idempotent
+//     zero-structure comparisons).
+//   - ReorderProductChains: finds maximal matrix-product chains embedded in
+//     the DAG, estimates per-factor MNC sketches (propagating through any
+//     non-product subexpressions feeding the chain), and re-parenthesizes
+//     each chain with the sparsity-aware dynamic program of Eq. 17.
+//
+// Both passes return a new DAG sharing unchanged subtrees with the input.
+// Note on floating point: re-association changes the order of FP additions,
+// so results may differ by round-off (the non-zero *structure* is preserved
+// under assumption A1).
+
+#ifndef MNC_OPTIMIZER_REWRITES_H_
+#define MNC_OPTIMIZER_REWRITES_H_
+
+#include "mnc/ir/expr.h"
+
+namespace mnc {
+
+// Value-preserving algebraic simplifications.
+ExprPtr SimplifyExpression(const ExprPtr& root);
+
+// Sparsity-aware re-association of product chains (>= 3 factors). `seed`
+// drives the probabilistic rounding in sketch propagation.
+ExprPtr ReorderProductChains(const ExprPtr& root, uint64_t seed = 42);
+
+}  // namespace mnc
+
+#endif  // MNC_OPTIMIZER_REWRITES_H_

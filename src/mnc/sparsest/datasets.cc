@@ -1,0 +1,174 @@
+#include "mnc/sparsest/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+CsrMatrix MakeTokenSequenceMatrix(int64_t rows, int64_t dict_size,
+                                  double unknown_fraction, double zipf_skew,
+                                  Rng& rng) {
+  MNC_CHECK_GT(dict_size, 0);
+  MNC_CHECK_GE(unknown_fraction, 0.0);
+  MNC_CHECK_LE(unknown_fraction, 1.0);
+  const int64_t cols = dict_size + 1;  // last column = unknown/pad
+  ZipfDistribution token_dist(dict_size, zipf_skew);
+
+  std::vector<int64_t> row_ptr(static_cast<size_t>(rows) + 1);
+  std::vector<int64_t> col_idx(static_cast<size_t>(rows));
+  std::vector<double> ones(static_cast<size_t>(rows), 1.0);
+  for (int64_t i = 0; i <= rows; ++i) row_ptr[static_cast<size_t>(i)] = i;
+  for (int64_t i = 0; i < rows; ++i) {
+    col_idx[static_cast<size_t>(i)] =
+        rng.Bernoulli(unknown_fraction) ? dict_size : token_dist(rng);
+  }
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(ones));
+}
+
+DenseMatrix MakeEmbeddingMatrix(int64_t dict_size, int64_t embed_dim,
+                                Rng& rng) {
+  DenseMatrix w = GenerateDense(dict_size + 1, embed_dim, rng);
+  // Empty last row: the unknown token maps to the zero vector.
+  double* last = w.row(dict_size);
+  for (int64_t j = 0; j < embed_dim; ++j) last[j] = 0.0;
+  return w;
+}
+
+CsrMatrix MakeCitationGraph(int64_t nodes, double avg_degree, Rng& rng) {
+  return GenerateGraphAdjacency(nodes, avg_degree, /*skew=*/1.1, rng);
+}
+
+CsrMatrix MakeEmailGraph(int64_t nodes, Rng& rng) {
+  // The Email-EuAll network is sparser (~1.6 edges/node) and more skewed
+  // (a few institutional hubs).
+  return GenerateGraphAdjacency(nodes, /*avg_degree=*/1.6, /*skew=*/1.4, rng);
+}
+
+CsrMatrix MakeCovertypeLike(int64_t rows, Rng& rng) {
+  constexpr int64_t kDenseCols = 10;
+  constexpr int64_t kWildernessCats = 4;
+  constexpr int64_t kSoilCats = 40;
+  const int64_t cols = kDenseCols + kWildernessCats + kSoilCats;  // 54
+
+  ZipfDistribution wilderness(kWildernessCats, 1.0);
+  ZipfDistribution soil(kSoilCats, 1.2);
+
+  CooMatrix coo(rows, cols);
+  coo.Reserve(rows * (kDenseCols + 2));
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < kDenseCols; ++j) {
+      coo.Add(i, j, rng.Uniform(0.5, 1.5));
+    }
+    coo.Add(i, kDenseCols + wilderness(rng), 1.0);
+    coo.Add(i, kDenseCols + kWildernessCats + soil(rng), 1.0);
+  }
+  return coo.ToCsr();
+}
+
+CsrMatrix MakeMnistLike(int64_t rows, Rng& rng) {
+  constexpr int64_t kDim = 28;
+  constexpr int64_t kCols = kDim * kDim;  // 784
+  constexpr double kTargetSparsity = 0.25;
+
+  // Radial probability profile around the image center, normalized so the
+  // mean probability equals the target sparsity.
+  std::vector<double> prob(static_cast<size_t>(kCols));
+  const double center = (static_cast<double>(kDim) - 1.0) / 2.0;
+  const double sigma = 5.0;
+  double total = 0.0;
+  for (int64_t r = 0; r < kDim; ++r) {
+    for (int64_t c = 0; c < kDim; ++c) {
+      const double dr = static_cast<double>(r) - center;
+      const double dc = static_cast<double>(c) - center;
+      const double p = std::exp(-(dr * dr + dc * dc) / (2.0 * sigma * sigma));
+      prob[static_cast<size_t>(r * kDim + c)] = p;
+      total += p;
+    }
+  }
+  const double scale =
+      kTargetSparsity * static_cast<double>(kCols) / total;
+  for (auto& p : prob) p = std::min(1.0, p * scale);
+
+  CooMatrix coo(rows, kCols);
+  coo.Reserve(static_cast<int64_t>(kTargetSparsity *
+                                   static_cast<double>(rows * kCols)));
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < kCols; ++j) {
+      if (rng.Bernoulli(prob[static_cast<size_t>(j)])) {
+        coo.Add(i, j, rng.Uniform(0.5, 1.5));
+      }
+    }
+  }
+  return coo.ToCsr();
+}
+
+CsrMatrix MakeCenterMask(int64_t rows, int64_t image_dim,
+                         int64_t center_dim) {
+  MNC_CHECK_LE(center_dim, image_dim);
+  const int64_t cols = image_dim * image_dim;
+  const int64_t offset = (image_dim - center_dim) / 2;
+
+  // One row's worth of mask columns, reused for every image.
+  std::vector<int64_t> mask_cols;
+  mask_cols.reserve(static_cast<size_t>(center_dim * center_dim));
+  for (int64_t r = offset; r < offset + center_dim; ++r) {
+    for (int64_t c = offset; c < offset + center_dim; ++c) {
+      mask_cols.push_back(r * image_dim + c);
+    }
+  }
+  std::sort(mask_cols.begin(), mask_cols.end());
+
+  const int64_t per_row = static_cast<int64_t>(mask_cols.size());
+  std::vector<int64_t> row_ptr(static_cast<size_t>(rows) + 1);
+  std::vector<int64_t> col_idx;
+  col_idx.reserve(static_cast<size_t>(rows * per_row));
+  for (int64_t i = 0; i < rows; ++i) {
+    row_ptr[static_cast<size_t>(i)] = i * per_row;
+    col_idx.insert(col_idx.end(), mask_cols.begin(), mask_cols.end());
+  }
+  row_ptr[static_cast<size_t>(rows)] = rows * per_row;
+  std::vector<double> ones(col_idx.size(), 1.0);
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(ones));
+}
+
+CsrMatrix MakeRatingsMatrix(int64_t users, int64_t items,
+                            double avg_ratings_per_user, Rng& rng) {
+  ZipfDistribution item_dist(items, 1.05);
+  // User activity: Zipf-ish via a scaled rank weight, at least one rating.
+  CooMatrix coo(users, items);
+  const double total = avg_ratings_per_user * static_cast<double>(users);
+  double weight_sum = 0.0;
+  std::vector<double> weight(static_cast<size_t>(users));
+  for (int64_t u = 0; u < users; ++u) {
+    weight[static_cast<size_t>(u)] =
+        1.0 / std::sqrt(static_cast<double>(u + 1));
+    weight_sum += weight[static_cast<size_t>(u)];
+  }
+  for (int64_t u = 0; u < users; ++u) {
+    const int64_t count = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               weight[static_cast<size_t>(u)] / weight_sum * total)));
+    for (int64_t e = 0; e < count; ++e) {
+      coo.Add(u, item_dist(rng), rng.Uniform(0.5, 1.5));
+    }
+  }
+  return coo.ToCsr();
+}
+
+CsrMatrix MakeScaleShiftMatrix(int64_t n, Rng& rng) {
+  CooMatrix coo(n, n);
+  coo.Reserve(2 * n);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i < n - 1) coo.Add(i, i, rng.Uniform(0.5, 1.5));  // scale factors
+    coo.Add(n - 1, i, rng.Uniform(0.5, 1.5));             // shift row
+  }
+  return coo.ToCsr();
+}
+
+}  // namespace mnc

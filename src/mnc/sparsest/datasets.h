@@ -1,0 +1,68 @@
+// Synthetic stand-ins for the real datasets of Table 3.
+//
+// The paper's original datasets (AMiner, Amazon, Covertype, Email-EuAll,
+// Mnist1m) are not redistributable/available offline; each generator below
+// reproduces the structural property the corresponding experiment exercises
+// (see DESIGN.md §3 for the per-dataset rationale). All take a scale
+// parameter so experiments run at laptop size; users with the original data
+// can substitute Matrix-Market files via mnc/matrix/io.h.
+
+#ifndef MNC_SPARSEST_DATASETS_H_
+#define MNC_SPARSEST_DATASETS_H_
+
+#include <cstdint>
+
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/matrix/dense_matrix.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+
+// AMin A stand-in: padded token-sequence matrix with exactly one non-zero
+// per row. A fraction (1 - unknown_fraction) of rows maps to a
+// Zipf-distributed dictionary token; the rest map to the last ("unknown")
+// column — pads and out-of-dictionary tokens, which dominate in the real
+// AMin A because sentences are padded to the maximum length.
+CsrMatrix MakeTokenSequenceMatrix(int64_t rows, int64_t dict_size,
+                                  double unknown_fraction, double zipf_skew,
+                                  Rng& rng);
+
+// Pre-trained word-embedding matrix W: (dict_size + 1) x embed_dim, dense
+// except an empty last row (the unknown token embeds to zero).
+DenseMatrix MakeEmbeddingMatrix(int64_t dict_size, int64_t embed_dim,
+                                Rng& rng);
+
+// AMin R / Email stand-in: heavy-tailed directed graph adjacency.
+CsrMatrix MakeCitationGraph(int64_t nodes, double avg_degree, Rng& rng);
+CsrMatrix MakeEmailGraph(int64_t nodes, Rng& rng);
+
+// Covertype stand-in: rows x 54 with 10 dense quantitative columns, a 4-way
+// one-hot block (wilderness area) and a 40-way one-hot block (soil type);
+// the categorical values are Zipf-distributed, giving columns of strongly
+// varying sparsity. Overall sparsity = 12/54 ≈ 0.22, matching Table 3.
+CsrMatrix MakeCovertypeLike(int64_t rows, Rng& rng);
+
+// Mnist1m stand-in: rows x 784 images (28 x 28 row-major); non-zeros
+// concentrate around the image center with radial falloff, overall sparsity
+// ~0.25. Values in (0.5, 1.5] play the role of pixel intensities.
+CsrMatrix MakeMnistLike(int64_t rows, Rng& rng);
+
+// The 28 x 28 center mask of B2.5: every row is the indicator of the
+// half_width x half_width center block (14 x 14 by default), replicated for
+// `rows` images.
+CsrMatrix MakeCenterMask(int64_t rows, int64_t image_dim = 28,
+                         int64_t center_dim = 14);
+
+// Amazon stand-in: ultra-sparse users x items rating matrix with Zipf user
+// activity and Zipf item popularity.
+CsrMatrix MakeRatingsMatrix(int64_t users, int64_t items,
+                            double avg_ratings_per_user, Rng& rng);
+
+// Scale-and-shift matrix S of B3.2: n x n with fully dense diagonal and
+// dense last row (deferred scaling/shifting of X with an appended column of
+// ones).
+CsrMatrix MakeScaleShiftMatrix(int64_t n, Rng& rng);
+
+}  // namespace mnc
+
+#endif  // MNC_SPARSEST_DATASETS_H_

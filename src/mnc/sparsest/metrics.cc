@@ -1,0 +1,20 @@
+#include "mnc/sparsest/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mnc {
+
+double RelativeError(double estimated, double actual) {
+  if (estimated == actual) return 1.0;  // covers the both-zero case
+  if (estimated <= 0.0 || actual <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(estimated, actual) / std::min(estimated, actual);
+}
+
+double RelativeErrorAggregator::Error() const {
+  return RelativeError(estimated_sum_, actual_sum_);
+}
+
+}  // namespace mnc

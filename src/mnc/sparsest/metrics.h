@@ -1,0 +1,42 @@
+// SparsEst benchmark metrics (§5).
+//
+// M1 accuracy uses the symmetric relative error
+//   max(est, actual) / min(est, actual)  in [1, +inf),
+// which, unlike the absolute ratio error, penalizes over- and
+// under-estimation equally. Multiple experiments aggregate additively over
+// estimated/actual non-zeros before the ratio is taken.
+
+#ifndef MNC_SPARSEST_METRICS_H_
+#define MNC_SPARSEST_METRICS_H_
+
+#include <cstdint>
+
+namespace mnc {
+
+// Symmetric relative error; 1.0 when both are zero; +inf when exactly one
+// is zero.
+double RelativeError(double estimated, double actual);
+
+// Additive aggregation over repetitions: sums estimated and actual
+// quantities (sparsities or non-zero counts) and reports the relative error
+// of the sums (§5, M1).
+class RelativeErrorAggregator {
+ public:
+  void Add(double estimated, double actual) {
+    estimated_sum_ += estimated;
+    actual_sum_ += actual;
+    ++count_;
+  }
+
+  int64_t count() const { return count_; }
+  double Error() const;
+
+ private:
+  double estimated_sum_ = 0.0;
+  double actual_sum_ = 0.0;
+  int64_t count_ = 0;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_SPARSEST_METRICS_H_

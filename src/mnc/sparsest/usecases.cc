@@ -1,0 +1,242 @@
+#include "mnc/sparsest/usecases.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_reorg.h"
+#include "mnc/sparsest/datasets.h"
+
+namespace mnc {
+
+namespace {
+
+ExprPtr SparseLeaf(CsrMatrix m, std::string name) {
+  return ExprNode::Leaf(Matrix::AutoFromCsr(std::move(m)), std::move(name));
+}
+
+ExprPtr DenseLeaf(DenseMatrix m, std::string name) {
+  return ExprNode::Leaf(Matrix::AutoFromDense(std::move(m)), std::move(name));
+}
+
+// Indices of the k rows with the most non-zeros (ties by lower index).
+std::vector<int64_t> TopKRowsByNnz(const CsrMatrix& m, int64_t k) {
+  std::vector<int64_t> order(static_cast<size_t>(m.rows()));
+  std::iota(order.begin(), order.end(), int64_t{0});
+  std::stable_sort(order.begin(), order.end(), [&m](int64_t a, int64_t b) {
+    return m.RowNnz(a) > m.RowNnz(b);
+  });
+  order.resize(static_cast<size_t>(std::min(k, m.rows())));
+  return order;
+}
+
+// n x n matrix whose column q is fully dense (B1.4/B1.5 "C").
+CsrMatrix SingleDenseColumn(int64_t n, int64_t q, Rng& rng) {
+  CooMatrix coo(n, n);
+  coo.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) coo.Add(i, q, rng.Uniform(0.5, 1.5));
+  return coo.ToCsr();
+}
+
+// n x n matrix whose row q is fully dense (B1.4/B1.5 "R").
+CsrMatrix SingleDenseRow(int64_t n, int64_t q, Rng& rng) {
+  CooMatrix coo(n, n);
+  coo.Reserve(n);
+  for (int64_t j = 0; j < n; ++j) coo.Add(q, j, rng.Uniform(0.5, 1.5));
+  return coo.ToCsr();
+}
+
+}  // namespace
+
+UseCase MakeB11Nlp(Rng& rng, int64_t rows, int64_t dict_size,
+                   int64_t embed_dim, double known_fraction) {
+  ExprPtr x = SparseLeaf(
+      MakeTokenSequenceMatrix(rows, dict_size,
+                              /*unknown_fraction=*/1.0 - known_fraction,
+                              /*zipf_skew=*/1.1, rng),
+      "X");
+  ExprPtr w = DenseLeaf(MakeEmbeddingMatrix(dict_size, embed_dim, rng), "W");
+  return {"B1.1", "NLP", ExprNode::MatMul(x, w), {}, {}};
+}
+
+UseCase MakeB12Scale(Rng& rng, int64_t n, int64_t cols, double sparsity) {
+  ExprPtr d = SparseLeaf(GenerateDiagonal(n, rng), "diag(lambda)");
+  ExprPtr x = SparseLeaf(GenerateUniformSparse(n, cols, sparsity, rng), "X");
+  return {"B1.2", "Scale", ExprNode::MatMul(d, x), {}, {}};
+}
+
+UseCase MakeB13Perm(Rng& rng, int64_t n, int64_t cols, double sparsity) {
+  ExprPtr p = SparseLeaf(GeneratePermutation(n, rng), "table(s1,s2)");
+  ExprPtr x = SparseLeaf(GenerateUniformSparse(n, cols, sparsity, rng), "X");
+  return {"B1.3", "Perm", ExprNode::MatMul(p, x), {}, {}};
+}
+
+UseCase MakeB14Outer(Rng& rng, int64_t n) {
+  const int64_t q = n / 2;
+  ExprPtr c = SparseLeaf(SingleDenseColumn(n, q, rng), "C");
+  ExprPtr r = SparseLeaf(SingleDenseRow(n, q, rng), "R");
+  return {"B1.4", "Outer", ExprNode::MatMul(c, r), {}, {}};
+}
+
+UseCase MakeB15Inner(Rng& rng, int64_t n) {
+  const int64_t q = n / 2;
+  ExprPtr r = SparseLeaf(SingleDenseRow(n, q, rng), "R");
+  ExprPtr c = SparseLeaf(SingleDenseColumn(n, q, rng), "C");
+  return {"B1.5", "Inner", ExprNode::MatMul(r, c), {}, {}};
+}
+
+UseCase MakeB21NlpReal(Rng& rng, int64_t rows, int64_t dict_size,
+                       int64_t embed_dim, double unknown_fraction) {
+  ExprPtr x = SparseLeaf(MakeTokenSequenceMatrix(rows, dict_size,
+                                                 unknown_fraction,
+                                                 /*zipf_skew=*/1.1, rng),
+                         "X");
+  ExprPtr w = DenseLeaf(MakeEmbeddingMatrix(dict_size, embed_dim, rng), "W");
+  return {"B2.1", "NLP", ExprNode::MatMul(x, w), {}, {}};
+}
+
+UseCase MakeB22Project(Rng& rng, int64_t rows) {
+  CsrMatrix cov = MakeCovertypeLike(rows, rng);
+  // Projection onto the dummy-coded columns [10, 50) (the paper's 1-based
+  // range [11, 50]): P is 54 x 40 with P[10 + t, t] = 1.
+  CooMatrix p(cov.cols(), 40);
+  for (int64_t t = 0; t < 40; ++t) p.Add(10 + t, t, 1.0);
+  ExprPtr x = SparseLeaf(std::move(cov), "X");
+  ExprPtr proj = SparseLeaf(p.ToCsr(), "P");
+  return {"B2.2", "Project", ExprNode::MatMul(x, proj), {}, {}};
+}
+
+UseCase MakeB23CoRefGraph(Rng& rng, int64_t nodes, double avg_degree) {
+  ExprPtr g = SparseLeaf(MakeCitationGraph(nodes, avg_degree, rng), "G");
+  return {"B2.3", "CoRefG", ExprNode::MatMul(g, ExprNode::Transpose(g)),
+          {},
+          {}};
+}
+
+UseCase MakeB24EmailGraph(Rng& rng, int64_t nodes) {
+  ExprPtr g = SparseLeaf(MakeEmailGraph(nodes, rng), "G");
+  return {"B2.4", "EmailG", ExprNode::MatMul(g, g), {}, {}};
+}
+
+UseCase MakeB25Mask(Rng& rng, int64_t rows) {
+  ExprPtr x = SparseLeaf(MakeMnistLike(rows, rng), "X");
+  ExprPtr m = SparseLeaf(MakeCenterMask(rows), "M");
+  return {"B2.5", "Mask", ExprNode::EWiseMult(m, x), {}, {}};
+}
+
+UseCase MakeB31NlpReshape(Rng& rng, int64_t sentences, int64_t max_len,
+                          int64_t dict_size, int64_t embed_dim,
+                          double unknown_fraction) {
+  const int64_t rows = sentences * max_len;
+  ExprPtr x = SparseLeaf(MakeTokenSequenceMatrix(rows, dict_size,
+                                                 unknown_fraction,
+                                                 /*zipf_skew=*/1.1, rng),
+                         "X");
+  ExprPtr w = DenseLeaf(MakeEmbeddingMatrix(dict_size, embed_dim, rng), "W");
+  ExprPtr product = ExprNode::MatMul(x, w);
+  return {"B3.1", "NLP",
+          ExprNode::Reshape(product, sentences, max_len * embed_dim),
+          {},
+          {}};
+}
+
+UseCase MakeB32ScaleShift(Rng& rng, int64_t rows, bool covertype) {
+  // X: Mnist-like (m x 784) or Covertype-like (m x 54) with an appended
+  // column of ones.
+  CsrMatrix x_raw =
+      covertype ? MakeCovertypeLike(rows, rng) : MakeMnistLike(rows, rng);
+  CooMatrix ones(rows, 1);
+  ones.Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) ones.Add(i, 0, 1.0);
+  CsrMatrix x = CBindSparse(x_raw, ones.ToCsr());
+  const int64_t n = x.cols();  // 785
+
+  CsrMatrix s = MakeScaleShiftMatrix(n, rng);
+  CsrMatrix w = GenerateDiagonal(rows, rng);  // diag(w), full weight diagonal
+  DenseMatrix b = GenerateDense(n, 2, rng);
+
+  // Transposed leaves are materialized up front (the §6.6 simplification),
+  // making the chain a pure 6-matrix product.
+  ExprPtr st = SparseLeaf(TransposeSparse(s), "S^T");
+  ExprPtr xt = SparseLeaf(TransposeSparse(x), "X^T");
+  ExprPtr dw = SparseLeaf(std::move(w), "diag(w)");
+  ExprPtr xl = SparseLeaf(std::move(x), "X");
+  ExprPtr sl = SparseLeaf(std::move(s), "S");
+  ExprPtr bl = DenseLeaf(std::move(b), "B");
+
+  UseCase uc;
+  uc.id = "B3.2";
+  uc.name = "S&S";
+  uc.chain_leaves = {st, xt, dw, xl, sl, bl};
+  ExprPtr acc = st;
+  for (size_t i = 1; i < uc.chain_leaves.size(); ++i) {
+    acc = ExprNode::MatMul(acc, uc.chain_leaves[i]);
+    uc.intermediates.push_back(acc);
+  }
+  uc.expr = acc;
+  return uc;
+}
+
+UseCase MakeB33GraphPowers(Rng& rng, int64_t nodes, double avg_degree,
+                           int64_t top_k) {
+  CsrMatrix g = MakeCitationGraph(nodes, avg_degree, rng);
+  const std::vector<int64_t> top = TopKRowsByNnz(g, top_k);
+  ExprPtr p = SparseLeaf(GenerateSelection(top, nodes), "P");
+  ExprPtr gl = SparseLeaf(std::move(g), "G");
+
+  UseCase uc;
+  uc.id = "B3.3";
+  uc.name = "Graph";
+  uc.chain_leaves = {p, gl, gl, gl, gl};
+  ExprPtr acc = ExprNode::MatMul(p, gl);  // PG
+  uc.intermediates.push_back(acc);
+  for (int hop = 0; hop < 3; ++hop) {
+    acc = ExprNode::MatMul(acc, gl);  // PGG, PGGG, PGGGG
+    uc.intermediates.push_back(acc);
+  }
+  uc.expr = acc;
+  return uc;
+}
+
+UseCase MakeB34Recommend(Rng& rng, int64_t users, int64_t items, int64_t rank,
+                         int64_t top_k) {
+  CsrMatrix x = MakeRatingsMatrix(users, items, /*avg_ratings_per_user=*/3.0,
+                                  rng);
+  const std::vector<int64_t> top = TopKRowsByNnz(x, top_k);
+  ExprPtr p = SparseLeaf(GenerateSelection(top, users), "P");
+  ExprPtr xl = SparseLeaf(std::move(x), "X");
+  // Low-rank factors with sparsity 0.95 / 0.85 (paper §6.6).
+  ExprPtr l = DenseLeaf(GenerateAlmostDense(users, rank, 0.05, rng), "L");
+  ExprPtr r = DenseLeaf(GenerateAlmostDense(items, rank, 0.15, rng), "R");
+
+  ExprPtr known = ExprNode::NotEqualZero(ExprNode::MatMul(p, xl));
+  ExprPtr predicted =
+      ExprNode::MatMul(ExprNode::MatMul(p, l), ExprNode::Transpose(r));
+  return {"B3.4", "Rec", ExprNode::EWiseMult(known, predicted), {}, {}};
+}
+
+UseCase MakeB35Predicate(Rng& rng, int64_t rows) {
+  CsrMatrix x = MakeMnistLike(rows, rng);
+  // T: data-dependent mask of high-intensity pixels (value > 1.4, ~10% of
+  // the non-zeros — the analogue of X == 255).
+  CooMatrix t_coo(rows, x.cols());
+  for (int64_t i = 0; i < rows; ++i) {
+    const auto idx = x.RowIndices(i);
+    const auto val = x.RowValues(i);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      if (val[k] > 1.4) t_coo.Add(i, idx[k], 1.0);
+    }
+  }
+  ExprPtr r = SparseLeaf(MakeCenterMask(rows), "R");
+  ExprPtr s = SparseLeaf(GenerateUniformSparse(rows, x.cols(), 0.1, rng),
+                         "S");
+  ExprPtr t = SparseLeaf(t_coo.ToCsr(), "T");
+  ExprPtr xl = SparseLeaf(std::move(x), "X");
+
+  ExprPtr mask = ExprNode::NotEqualZero(
+      ExprNode::EWiseAdd(ExprNode::EWiseMult(r, s), t));
+  return {"B3.5", "Pred", ExprNode::EWiseMult(xl, mask), {}, {}};
+}
+
+}  // namespace mnc

@@ -1,0 +1,113 @@
+// SparsEst benchmark use cases (§5, Table 2).
+//
+// Each builder constructs the inputs (synthetic per Table 2's "Data" column,
+// with the real datasets replaced by the stand-ins of datasets.h) and the
+// expression DAG of the use case. Dimensions default to laptop scale; the
+// paper-scale values are noted per builder.
+
+#ifndef MNC_SPARSEST_USECASES_H_
+#define MNC_SPARSEST_USECASES_H_
+
+#include <string>
+#include <vector>
+
+#include "mnc/ir/expr.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+
+struct UseCase {
+  std::string id;    // "B1.1"
+  std::string name;  // "NLP"
+  ExprPtr expr;      // the full expression
+
+  // For chain use cases: the prefix intermediates the paper reports
+  // individually (e.g., PG, PGG, PGGG, PGGGG for B3.3). Includes expr last.
+  std::vector<ExprPtr> intermediates;
+
+  // For B3.2-style all-subchain experiments: the chain inputs in order.
+  std::vector<ExprPtr> chain_leaves;
+};
+
+// ---- B1 Struct: synthetic structured matrix products (§6.3) ----
+
+// B1.1 NLP: X W — X one non-zero per row, power-law tokens, fraction
+// `known_fraction` of known tokens; W dense with empty last row. Output
+// sparsity is exactly known_fraction. Paper: 100K x 100K tokens, 300-dim.
+UseCase MakeB11Nlp(Rng& rng, int64_t rows = 10000, int64_t dict_size = 10000,
+                   int64_t embed_dim = 100, double known_fraction = 0.001);
+
+// B1.2 Scale: diag(lambda) X — fully diagonal left input. Paper: 100K diag,
+// 100K x 2K X with sparsity 0.01.
+UseCase MakeB12Scale(Rng& rng, int64_t n = 10000, int64_t cols = 2000,
+                     double sparsity = 0.01);
+
+// B1.3 Perm: table(s1, s2) X — random permutation times X. Paper: 100K
+// permutation, 100K x 2K X with sparsity 0.5.
+UseCase MakeB13Perm(Rng& rng, int64_t n = 10000, int64_t cols = 2000,
+                    double sparsity = 0.5);
+
+// B1.4 Outer: C R — C a single dense column, R the aligned dense row;
+// the product is fully dense. Paper: 100K x 100K.
+UseCase MakeB14Outer(Rng& rng, int64_t n = 2000);
+
+// B1.5 Inner: R C — the transposed special case; the product has a single
+// non-zero. Paper: 100K x 100K.
+UseCase MakeB15Inner(Rng& rng, int64_t n = 2000);
+
+// ---- B2 Real: operations over dataset stand-ins (§6.3/§6.4) ----
+
+// B2.1 NLP: X W over the AMin A stand-in (token sequences with pads).
+UseCase MakeB21NlpReal(Rng& rng, int64_t rows = 100000,
+                       int64_t dict_size = 20000, int64_t embed_dim = 100,
+                       double unknown_fraction = 0.85);
+
+// B2.2 Project: X P — column projection of Covertype's dummy-coded columns
+// [11, 50] (0-based 10..49).
+UseCase MakeB22Project(Rng& rng, int64_t rows = 50000);
+
+// B2.3 CoRefG: G G^T co-reference counting on the citation-graph stand-in.
+UseCase MakeB23CoRefGraph(Rng& rng, int64_t nodes = 20000,
+                          double avg_degree = 8.0);
+
+// B2.4 EmailG: G G on the email-graph stand-in.
+UseCase MakeB24EmailGraph(Rng& rng, int64_t nodes = 20000);
+
+// B2.5 Mask: M ⊙ X — image masking of Mnist-like data with the 14 x 14
+// center mask.
+UseCase MakeB25Mask(Rng& rng, int64_t rows = 20000);
+
+// ---- B3 Chain: matrix expressions (§6.6) ----
+
+// B3.1 NLP: reshape(X W) from token-embeddings to sentence-embeddings.
+UseCase MakeB31NlpReshape(Rng& rng, int64_t sentences = 2000,
+                          int64_t max_len = 40, int64_t dict_size = 20000,
+                          int64_t embed_dim = 50,
+                          double unknown_fraction = 0.85);
+
+// B3.2 S&S: S^T X^T diag(w) X S B — deferred scale & shift. Transposed
+// leaves are pre-folded so the chain is a pure 6-matrix product; the
+// chain_leaves field carries S^T, X^T, diag(w), X, S, B in order.
+// `covertype` switches X from the Mnist-like stand-in to the Covertype
+// stand-in (§6.6 reports both variants for Fig. 15).
+UseCase MakeB32ScaleShift(Rng& rng, int64_t rows = 20000,
+                          bool covertype = false);
+
+// B3.3 Graph: P G G G G — matrix powers of the citation graph with a top-k
+// selection matrix P; intermediates holds PG, PGG, PGGG, PGGGG.
+UseCase MakeB33GraphPowers(Rng& rng, int64_t nodes = 20000,
+                           double avg_degree = 8.0, int64_t top_k = 200);
+
+// B3.4 Rec: (P X != 0) ⊙ (P L R^T) — predicted recommendations for the
+// known ratings of the top-k most active users.
+UseCase MakeB34Recommend(Rng& rng, int64_t users = 10000,
+                         int64_t items = 2000, int64_t rank = 20,
+                         int64_t top_k = 1000);
+
+// B3.5 Pred: X ⊙ ((R ⊙ S + T) != 0) — boolean predicate mask over
+// Mnist-like images.
+UseCase MakeB35Predicate(Rng& rng, int64_t rows = 20000);
+
+}  // namespace mnc
+
+#endif  // MNC_SPARSEST_USECASES_H_

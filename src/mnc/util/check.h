@@ -1,0 +1,55 @@
+// Lightweight invariant-checking macros.
+//
+// The core library does not use exceptions (see DESIGN.md); violated
+// preconditions and internal invariants are programming errors and abort the
+// process with a source location and a readable message. MNC_CHECK* are
+// always on; MNC_DCHECK* compile away in NDEBUG builds and are meant for
+// hot-loop invariants.
+
+#ifndef MNC_UTIL_CHECK_H_
+#define MNC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mnc::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "MNC_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mnc::internal
+
+#define MNC_CHECK_MSG(cond, msg)                                  \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::mnc::internal::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                             \
+  } while (0)
+
+#define MNC_CHECK(cond) MNC_CHECK_MSG(cond, "")
+
+#define MNC_CHECK_EQ(a, b) MNC_CHECK((a) == (b))
+#define MNC_CHECK_NE(a, b) MNC_CHECK((a) != (b))
+#define MNC_CHECK_LT(a, b) MNC_CHECK((a) < (b))
+#define MNC_CHECK_LE(a, b) MNC_CHECK((a) <= (b))
+#define MNC_CHECK_GT(a, b) MNC_CHECK((a) > (b))
+#define MNC_CHECK_GE(a, b) MNC_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define MNC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define MNC_DCHECK(cond) MNC_CHECK(cond)
+#endif
+
+#define MNC_DCHECK_LT(a, b) MNC_DCHECK((a) < (b))
+#define MNC_DCHECK_LE(a, b) MNC_DCHECK((a) <= (b))
+#define MNC_DCHECK_GE(a, b) MNC_DCHECK((a) >= (b))
+
+#endif  // MNC_UTIL_CHECK_H_

@@ -1,0 +1,126 @@
+#include "mnc/util/random.h"
+
+#include <cmath>
+
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t n) {
+  MNC_CHECK_GT(n, 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  uint64_t x;
+  do {
+    x = Next();
+  } while (x >= limit);
+  return static_cast<int64_t>(x % un);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Rng::Exponential(double lambda) {
+  MNC_CHECK_GT(lambda, 0.0);
+  // Uniform() is in [0, 1); 1 - Uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - Uniform()) / lambda;
+}
+
+double Rng::Gaussian() {
+  double u1 = 1.0 - Uniform();
+  double u2 = Uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  MNC_CHECK_GE(n, 0);
+  MNC_CHECK_GE(k, 0);
+  MNC_CHECK_LE(k, n);
+  // Floyd's algorithm would avoid the O(n) vector, but k is usually a
+  // constant fraction of n in our use, so reservoir-style selection
+  // sampling keeps the output sorted without an extra sort.
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  int64_t remaining = k;
+  for (int64_t i = 0; i < n && remaining > 0; ++i) {
+    // P(select i) = remaining / (n - i).
+    if (UniformInt(n - i) < remaining) {
+      out.push_back(i);
+      --remaining;
+    }
+  }
+  return out;
+}
+
+ZipfDistribution::ZipfDistribution(int64_t n, double s) : n_(n), s_(s) {
+  MNC_CHECK_GT(n, 0);
+  cdf_.resize(static_cast<size_t>(n));
+  double acc = 0.0;
+  for (int64_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[static_cast<size_t>(k)] = acc;
+  }
+  const double total = acc;
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against round-off in the final bucket.
+}
+
+int64_t ZipfDistribution::operator()(Rng& rng) const {
+  const double u = rng.Uniform();
+  // Binary search for the first bucket with cdf >= u.
+  int64_t lo = 0;
+  int64_t hi = n_ - 1;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (cdf_[static_cast<size_t>(mid)] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace mnc

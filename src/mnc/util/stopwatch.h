@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the benchmark harness.
+
+#ifndef MNC_UTIL_STOPWATCH_H_
+#define MNC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mnc {
+
+// Measures elapsed wall-clock time; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Restart(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_UTIL_STOPWATCH_H_

@@ -1,0 +1,80 @@
+#include "mnc/util/thread_pool.h"
+
+#include <atomic>
+
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 2;
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MNC_CHECK(!stop_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int64_t num_chunks =
+      std::min<int64_t>(n, static_cast<int64_t>(workers_.size()));
+  if (num_chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::atomic<int64_t> remaining{num_chunks};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  const int64_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t begin = c * chunk;
+    const int64_t end = std::min(n, begin + chunk);
+    Submit([&, begin, end] {
+      fn(begin, end);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+}  // namespace mnc

@@ -1,0 +1,52 @@
+// A minimal fixed-size thread pool with a parallel-for helper.
+//
+// Used only where the paper uses multi-threading: the FP64 ground-truth
+// matrix multiply and the Appendix-B multi-threaded bitset estimator. All
+// sparsity estimators default to single-threaded execution, matching the
+// experimental setup in §6.1 of the paper.
+
+#ifndef MNC_UTIL_THREAD_POOL_H_
+#define MNC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mnc {
+
+class ThreadPool {
+ public:
+  // Creates a pool with num_threads workers; num_threads <= 0 selects the
+  // hardware concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(begin, end) over [0, n) split into roughly equal contiguous
+  // ranges, one per worker, and blocks until all ranges complete. Safe to
+  // call with n == 0 (no-op).
+  void ParallelFor(int64_t n,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_UTIL_THREAD_POOL_H_

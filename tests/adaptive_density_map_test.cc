@@ -1,0 +1,154 @@
+#include "mnc/estimators/adaptive_density_map.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/sparsest/metrics.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(AdaptiveDensityMapTest, OverallSparsityExact) {
+  Rng rng(1);
+  CsrMatrix m = GenerateUniformSparse(500, 400, 0.03, rng);
+  AdaptiveDensityMap map = AdaptiveDensityMap::FromCsr(m);
+  EXPECT_NEAR(map.OverallSparsity(), m.Sparsity(), 1e-6);
+}
+
+TEST(AdaptiveDensityMapTest, EmptyMatrixSingleNode) {
+  AdaptiveDensityMap map = AdaptiveDensityMap::FromCsr(CsrMatrix(1000, 1000));
+  EXPECT_EQ(map.NumNodes(), 1);
+  EXPECT_EQ(map.OverallSparsity(), 0.0);
+  EXPECT_EQ(map.QueryRegion(10, 10, 100, 100), 0.0);
+}
+
+TEST(AdaptiveDensityMapTest, QueryRegionMatchesBruteForce) {
+  Rng rng(2);
+  CsrMatrix m = GenerateUniformSparse(200, 160, 0.05, rng);
+  AdaptiveDensityMap::Options fine;
+  fine.min_cells = 16;  // deep tree -> near-exact queries
+  AdaptiveDensityMap map = AdaptiveDensityMap::FromCsr(m, fine);
+
+  Rng query_rng(3);
+  const DenseMatrix dense = m.ToDense();
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t r0 = query_rng.UniformInt(150);
+    const int64_t c0 = query_rng.UniformInt(120);
+    const int64_t h = 1 + query_rng.UniformInt(50);
+    const int64_t w = 1 + query_rng.UniformInt(40);
+    int64_t count = 0;
+    for (int64_t i = r0; i < std::min<int64_t>(r0 + h, 200); ++i) {
+      for (int64_t j = c0; j < std::min<int64_t>(c0 + w, 160); ++j) {
+        if (dense.At(i, j) != 0.0) ++count;
+      }
+    }
+    const double expected =
+        static_cast<double>(count) /
+        (static_cast<double>(h) * static_cast<double>(w));
+    // With min_cells = 16, leaves cover at most 16 cells; the query is
+    // area-weighted so small boundary effects remain.
+    EXPECT_NEAR(map.QueryRegion(r0, c0, h, w), expected, 0.15)
+        << "trial " << trial;
+  }
+}
+
+TEST(AdaptiveDensityMapTest, StorageAdaptsToOccupiedArea) {
+  // An ultra-sparse matrix whose non-zeros sit in one corner: the adaptive
+  // map must be far smaller than the fixed map of the same granularity.
+  const int64_t n = 4096;
+  Rng rng(4);
+  CooMatrix coo(n, n);
+  for (int k = 0; k < 500; ++k) {
+    coo.Add(rng.UniformInt(256), rng.UniformInt(256), 1.0);
+  }
+  CsrMatrix m = coo.ToCsr();
+
+  AdaptiveDensityMap::Options opts;
+  opts.min_cells = 64 * 64;
+  AdaptiveDensityMap adaptive = AdaptiveDensityMap::FromCsr(m, opts);
+  const DensityMap fixed = DensityMap::FromMatrix(Matrix::Sparse(m), 64);
+  // Fixed: (4096/64)^2 = 4096 blocks x 8 B = 32 KB. Adaptive: a handful of
+  // nodes on the path to the occupied corner.
+  EXPECT_LT(adaptive.SizeBytes(), fixed.SizeBytes() / 10);
+}
+
+TEST(AdaptiveDensityMapTest, UniformDenseCollapsesToOneNode) {
+  Rng rng(5);
+  CsrMatrix m = CsrMatrix::FromDense(GenerateDense(300, 300, rng));
+  AdaptiveDensityMap map = AdaptiveDensityMap::FromCsr(m);
+  EXPECT_EQ(map.NumNodes(), 1);  // fully dense root is a leaf
+  EXPECT_EQ(map.OverallSparsity(), 1.0);
+}
+
+TEST(AdaptiveDensityMapTest, RasterizeMatchesDirectMap) {
+  Rng rng(6);
+  CsrMatrix m = GenerateUniformSparse(300, 260, 0.04, rng);
+  AdaptiveDensityMap::Options fine;
+  fine.min_cells = 4;
+  fine.max_depth = 20;
+  AdaptiveDensityMap adaptive = AdaptiveDensityMap::FromCsr(m, fine);
+  const DensityMap raster = adaptive.Rasterize(64);
+  const DensityMap direct = DensityMap::FromMatrix(Matrix::Sparse(m), 64);
+  for (int64_t bi = 0; bi < direct.block_rows(); ++bi) {
+    for (int64_t bj = 0; bj < direct.block_cols(); ++bj) {
+      // Degenerate 1-row/1-column leaves average across block boundaries,
+      // so the rasterization is near- but not bit-exact.
+      EXPECT_NEAR(raster.BlockSparsity(bi, bj),
+                  direct.BlockSparsity(bi, bj), 5e-3)
+          << bi << "," << bj;
+    }
+  }
+}
+
+TEST(AdaptiveDensityMapEstimatorTest, ProductAccuracyMatchesFixedMap) {
+  Rng rng(7);
+  CsrMatrix a = GenerateUniformSparse(400, 300, 0.02, rng);
+  CsrMatrix b = GenerateUniformSparse(300, 350, 0.02, rng);
+  const double truth = static_cast<double>(ProductNnzExact(a, b)) /
+                       (400.0 * 350.0);
+
+  AdaptiveDensityMap::Options fine;
+  fine.min_cells = 4;
+  fine.max_depth = 24;
+  AdaptiveDensityMapEstimator adaptive(64, fine);
+  DensityMapEstimator fixed(64);
+
+  const double s_adaptive = adaptive.EstimateSparsity(
+      OpKind::kMatMul, adaptive.Build(Matrix::Sparse(a)),
+      adaptive.Build(Matrix::Sparse(b)), 400, 350);
+  const double s_fixed = fixed.EstimateSparsity(
+      OpKind::kMatMul, fixed.Build(Matrix::Sparse(a)),
+      fixed.Build(Matrix::Sparse(b)), 400, 350);
+  EXPECT_NEAR(s_adaptive, s_fixed, 0.1 * s_fixed + 1e-6);
+  EXPECT_LT(RelativeError(s_adaptive, truth), 1.5);
+}
+
+TEST(AdaptiveDensityMapEstimatorTest, ChainPropagation) {
+  Rng rng(8);
+  CsrMatrix a = GenerateUniformSparse(100, 100, 0.05, rng);
+  AdaptiveDensityMapEstimator est(32);
+  SynopsisPtr s = est.Build(Matrix::Sparse(a));
+  SynopsisPtr aa = est.Propagate(OpKind::kMatMul, s, s, 100, 100);
+  ASSERT_NE(aa, nullptr);
+  // Mixed adaptive (leaf) and fixed (intermediate) synopses work together.
+  const double sparsity = est.EstimateSparsity(OpKind::kMatMul, aa, s, 100,
+                                               100);
+  EXPECT_GE(sparsity, 0.0);
+  EXPECT_LE(sparsity, 1.0);
+}
+
+TEST(AdaptiveDensityMapEstimatorTest, SupportsSameOpsAsFixed) {
+  AdaptiveDensityMapEstimator adaptive;
+  DensityMapEstimator fixed;
+  for (OpKind op : {OpKind::kMatMul, OpKind::kEWiseAdd, OpKind::kReshape,
+                    OpKind::kRowSums, OpKind::kEqualZero}) {
+    EXPECT_EQ(adaptive.SupportsOp(op), fixed.SupportsOp(op));
+  }
+  EXPECT_TRUE(adaptive.SupportsChains());
+}
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,158 @@
+#include "mnc/estimators/bitset_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_ewise.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/matrix/ops_reorg.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(BitMatrixTest, SetGetPopCount) {
+  BitMatrix bits(3, 100);
+  EXPECT_FALSE(bits.Get(0, 63));
+  bits.Set(0, 63);
+  bits.Set(0, 64);
+  bits.Set(2, 99);
+  EXPECT_TRUE(bits.Get(0, 63));
+  EXPECT_TRUE(bits.Get(0, 64));
+  EXPECT_TRUE(bits.Get(2, 99));
+  EXPECT_EQ(bits.PopCount(), 3);
+}
+
+TEST(BitMatrixTest, NotClearsPadding) {
+  BitMatrix bits(2, 70);  // 6 padding bits in the last word
+  BitMatrix inverted = bits.Not();
+  EXPECT_EQ(inverted.PopCount(), 140);
+}
+
+TEST(BitMatrixTest, FromMatrixMatchesPattern) {
+  Rng rng(1);
+  CsrMatrix m = GenerateUniformSparse(20, 90, 0.1, rng);
+  BitMatrix bits = BitMatrix::FromMatrix(Matrix::Sparse(m));
+  EXPECT_EQ(bits.PopCount(), m.NumNonZeros());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (int64_t j : m.RowIndices(i)) {
+      EXPECT_TRUE(bits.Get(i, j));
+    }
+  }
+}
+
+TEST(BitsetEstimatorTest, ProductExact) {
+  Rng rng(2);
+  CsrMatrix a = GenerateUniformSparse(40, 70, 0.08, rng);
+  CsrMatrix b = GenerateUniformSparse(70, 50, 0.08, rng);
+  BitsetEstimator est;
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, est.Build(Matrix::Sparse(a)),
+      est.Build(Matrix::Sparse(b)), 40, 50);
+  const double truth =
+      static_cast<double>(ProductNnzExact(a, b)) / (40.0 * 50.0);
+  EXPECT_DOUBLE_EQ(sparsity, truth);
+}
+
+TEST(BitsetEstimatorTest, MultiThreadedProductExact) {
+  Rng rng(3);
+  CsrMatrix a = GenerateUniformSparse(64, 96, 0.1, rng);
+  CsrMatrix b = GenerateUniformSparse(96, 80, 0.1, rng);
+  ThreadPool pool(4);
+  BitsetEstimator st;
+  BitsetEstimator mt(&pool);
+  const double s1 = st.EstimateSparsity(OpKind::kMatMul,
+                                        st.Build(Matrix::Sparse(a)),
+                                        st.Build(Matrix::Sparse(b)), 64, 80);
+  const double s2 = mt.EstimateSparsity(OpKind::kMatMul,
+                                        mt.Build(Matrix::Sparse(a)),
+                                        mt.Build(Matrix::Sparse(b)), 64, 80);
+  EXPECT_DOUBLE_EQ(s1, s2);
+}
+
+TEST(BitsetEstimatorTest, AllOpsExact) {
+  Rng rng(4);
+  CsrMatrix a = GenerateUniformSparse(24, 36, 0.2, rng);
+  CsrMatrix b = GenerateUniformSparse(24, 36, 0.25, rng);
+  BitsetEstimator est;
+  const SynopsisPtr sa = est.Build(Matrix::Sparse(a));
+  const SynopsisPtr sb = est.Build(Matrix::Sparse(b));
+
+  EXPECT_DOUBLE_EQ(
+      est.EstimateSparsity(OpKind::kEWiseAdd, sa, sb, 24, 36),
+      AddSparseSparse(a, b).Sparsity());
+  EXPECT_DOUBLE_EQ(
+      est.EstimateSparsity(OpKind::kEWiseMult, sa, sb, 24, 36),
+      MultiplyEWiseSparseSparse(a, b).Sparsity());
+  EXPECT_DOUBLE_EQ(
+      est.EstimateSparsity(OpKind::kTranspose, sa, nullptr, 36, 24),
+      a.Sparsity());
+  EXPECT_DOUBLE_EQ(
+      est.EstimateSparsity(OpKind::kReshape, sa, nullptr, 48, 18),
+      a.Sparsity());
+  EXPECT_DOUBLE_EQ(
+      est.EstimateSparsity(OpKind::kEqualZero, sa, nullptr, 24, 36),
+      1.0 - a.Sparsity());
+  EXPECT_DOUBLE_EQ(
+      est.EstimateSparsity(OpKind::kRBind, sa, sb, 48, 36),
+      RBindSparse(a, b).Sparsity());
+  EXPECT_DOUBLE_EQ(
+      est.EstimateSparsity(OpKind::kCBind, sa, sb, 24, 72),
+      CBindSparse(a, b).Sparsity());
+}
+
+TEST(BitsetEstimatorTest, DiagOpsExact) {
+  Rng rng(5);
+  CsrMatrix v = GenerateUniformSparse(30, 1, 0.4, rng);
+  BitsetEstimator est;
+  EXPECT_DOUBLE_EQ(est.EstimateSparsity(OpKind::kDiag,
+                                        est.Build(Matrix::Sparse(v)),
+                                        nullptr, 30, 30),
+                   DiagVectorToMatrix(v).Sparsity());
+}
+
+TEST(BitsetEstimatorTest, ChainPropagationExact) {
+  Rng rng(6);
+  CsrMatrix a = GenerateUniformSparse(30, 30, 0.1, rng);
+  CsrMatrix b = GenerateUniformSparse(30, 30, 0.1, rng);
+  CsrMatrix c = GenerateUniformSparse(30, 30, 0.1, rng);
+  BitsetEstimator est;
+  SynopsisPtr ab = est.Propagate(OpKind::kMatMul,
+                                 est.Build(Matrix::Sparse(a)),
+                                 est.Build(Matrix::Sparse(b)), 30, 30);
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, ab, est.Build(Matrix::Sparse(c)), 30, 30);
+  const CsrMatrix truth =
+      MultiplySparseSparse(MultiplySparseSparse(a, b), c);
+  EXPECT_DOUBLE_EQ(sparsity, truth.Sparsity());
+}
+
+TEST(BitsetEstimatorTest, MemoryBudgetFailsBuild) {
+  Rng rng(7);
+  CsrMatrix big = GenerateUniformSparse(1000, 1000, 0.001, rng);
+  BitsetEstimator est(nullptr, /*max_synopsis_bytes=*/1024);
+  EXPECT_EQ(est.Build(Matrix::Sparse(big)), nullptr);
+  BitsetEstimator unlimited;
+  EXPECT_NE(unlimited.Build(Matrix::Sparse(big)), nullptr);
+}
+
+// Exactness sweep over formats and sparsities.
+class BitsetSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BitsetSweepTest, ProductExactAcrossSparsities) {
+  Rng rng(8);
+  CsrMatrix a = GenerateUniformSparse(33, 65, GetParam(), rng);
+  CsrMatrix b = GenerateUniformSparse(65, 47, GetParam(), rng);
+  BitsetEstimator est;
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, est.Build(Matrix::Sparse(a)),
+      est.Build(Matrix::Sparse(b)), 33, 47);
+  EXPECT_DOUBLE_EQ(sparsity, static_cast<double>(ProductNnzExact(a, b)) /
+                                 (33.0 * 47.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, BitsetSweepTest,
+                         ::testing::Values(0.0, 0.02, 0.1, 0.5, 1.0));
+
+}  // namespace
+}  // namespace mnc

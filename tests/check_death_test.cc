@@ -1,0 +1,82 @@
+// Precondition death tests: MNC_CHECK violations must abort with a readable
+// message rather than proceed into undefined behavior.
+
+#include <gtest/gtest.h>
+
+#include "mnc/mnc.h"
+
+namespace mnc {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, CheckMacroAborts) {
+  EXPECT_DEATH(MNC_CHECK(1 == 2), "MNC_CHECK failed");
+  EXPECT_DEATH(MNC_CHECK_MSG(false, "context message"), "context message");
+}
+
+TEST(CheckDeathTest, ProductDimensionMismatch) {
+  Rng rng(1);
+  CsrMatrix a = GenerateUniformSparse(4, 5, 0.5, rng);
+  CsrMatrix b = GenerateUniformSparse(4, 5, 0.5, rng);
+  EXPECT_DEATH(MultiplySparseSparse(a, b), "MNC_CHECK failed");
+}
+
+TEST(CheckDeathTest, EWiseShapeMismatch) {
+  Rng rng(2);
+  CsrMatrix a = GenerateUniformSparse(4, 5, 0.5, rng);
+  CsrMatrix b = GenerateUniformSparse(5, 4, 0.5, rng);
+  EXPECT_DEATH(AddSparseSparse(a, b), "MNC_CHECK failed");
+}
+
+TEST(CheckDeathTest, InvalidCsrRejected) {
+  // Unsorted column indices within a row violate the CSR invariant.
+  EXPECT_DEATH(CsrMatrix(1, 4, {0, 2}, {3, 1}, {1.0, 1.0}),
+               "strictly increasing");
+  // Stored zero values are forbidden.
+  EXPECT_DEATH(CsrMatrix(1, 4, {0, 1}, {0}, {0.0}), "non-zero");
+}
+
+TEST(CheckDeathTest, ReshapeSizeMismatch) {
+  Rng rng(3);
+  CsrMatrix a = GenerateUniformSparse(4, 4, 0.5, rng);
+  EXPECT_DEATH(ReshapeSparse(a, 3, 4), "MNC_CHECK failed");
+}
+
+TEST(CheckDeathTest, EstimatorSketchDimensionMismatch) {
+  Rng rng(4);
+  MncSketch a = MncSketch::FromCsr(GenerateUniformSparse(4, 5, 0.5, rng));
+  MncSketch b = MncSketch::FromCsr(GenerateUniformSparse(4, 5, 0.5, rng));
+  EXPECT_DEATH(EstimateProductSparsity(a, b), "MNC_CHECK failed");
+}
+
+TEST(CheckDeathTest, ZeroScaleExpressionRejected) {
+  Rng rng(5);
+  ExprPtr leaf = ExprNode::Leaf(
+      Matrix::Sparse(GenerateUniformSparse(4, 4, 0.5, rng)));
+  EXPECT_DEATH(ExprNode::Scale(leaf, 0.0), "zero scale");
+}
+
+TEST(CheckDeathTest, SynopsisTypeMismatchRejected) {
+  // Passing one estimator's synopsis into another must abort, not
+  // misinterpret memory.
+  Rng rng(6);
+  Matrix m = Matrix::Sparse(GenerateUniformSparse(8, 8, 0.3, rng));
+  MetaAcEstimator meta;
+  MncEstimator mnc_est;
+  const SynopsisPtr meta_syn = meta.Build(m);
+  const SynopsisPtr mnc_syn = mnc_est.Build(m);
+  EXPECT_DEATH(
+      mnc_est.EstimateSparsity(OpKind::kMatMul, meta_syn, mnc_syn, 8, 8),
+      "synopsis type mismatch");
+}
+
+TEST(CheckDeathTest, RngInvalidArguments) {
+  Rng rng(7);
+  EXPECT_DEATH(rng.UniformInt(0), "MNC_CHECK failed");
+  EXPECT_DEATH(rng.Exponential(0.0), "MNC_CHECK failed");
+  EXPECT_DEATH(rng.SampleWithoutReplacement(3, 5), "MNC_CHECK failed");
+}
+
+}  // namespace
+}  // namespace mnc

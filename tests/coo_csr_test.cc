@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/matrix/dense_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(CooMatrixTest, BuildsSortedCsr) {
+  CooMatrix coo(3, 3);
+  coo.Add(2, 1, 3.0);
+  coo.Add(0, 2, 1.0);
+  coo.Add(0, 0, 2.0);
+  CsrMatrix csr = coo.ToCsr();
+  csr.CheckInvariants();
+  EXPECT_EQ(csr.NumNonZeros(), 3);
+  EXPECT_EQ(csr.At(0, 0), 2.0);
+  EXPECT_EQ(csr.At(0, 2), 1.0);
+  EXPECT_EQ(csr.At(2, 1), 3.0);
+}
+
+TEST(CooMatrixTest, SumsDuplicates) {
+  CooMatrix coo(2, 2);
+  coo.Add(1, 1, 2.0);
+  coo.Add(1, 1, 3.0);
+  CsrMatrix csr = coo.ToCsr();
+  EXPECT_EQ(csr.NumNonZeros(), 1);
+  EXPECT_EQ(csr.At(1, 1), 5.0);
+}
+
+TEST(CooMatrixTest, DropsExplicitZeros) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 0, 0.0);
+  EXPECT_EQ(coo.NumEntries(), 0);
+  EXPECT_EQ(coo.ToCsr().NumNonZeros(), 0);
+}
+
+TEST(CooMatrixTest, DropsCancellingDuplicates) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 1, 2.0);
+  coo.Add(0, 1, -2.0);
+  CsrMatrix csr = coo.ToCsr();
+  EXPECT_EQ(csr.NumNonZeros(), 0);
+  csr.CheckInvariants();
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrMatrix m(4, 5);
+  m.CheckInvariants();
+  EXPECT_EQ(m.NumNonZeros(), 0);
+  EXPECT_EQ(m.Sparsity(), 0.0);
+  EXPECT_EQ(m.RowNnz(2), 0);
+  EXPECT_TRUE(m.RowIndices(0).empty());
+}
+
+TEST(CsrMatrixTest, AtBinarySearch) {
+  CooMatrix coo(1, 10);
+  coo.Add(0, 2, 1.0);
+  coo.Add(0, 5, 2.0);
+  coo.Add(0, 9, 3.0);
+  CsrMatrix m = coo.ToCsr();
+  EXPECT_EQ(m.At(0, 2), 1.0);
+  EXPECT_EQ(m.At(0, 5), 2.0);
+  EXPECT_EQ(m.At(0, 9), 3.0);
+  EXPECT_EQ(m.At(0, 0), 0.0);
+  EXPECT_EQ(m.At(0, 6), 0.0);
+}
+
+TEST(CsrMatrixTest, NnzPerRowAndCol) {
+  CooMatrix coo(3, 3);
+  coo.Add(0, 0, 1.0);
+  coo.Add(0, 2, 1.0);
+  coo.Add(2, 2, 1.0);
+  CsrMatrix m = coo.ToCsr();
+  EXPECT_EQ(m.NnzPerRow(), (std::vector<int64_t>{2, 0, 1}));
+  EXPECT_EQ(m.NnzPerCol(), (std::vector<int64_t>{1, 0, 2}));
+}
+
+TEST(CsrMatrixTest, IsFullyDiagonal) {
+  Rng rng(1);
+  EXPECT_TRUE(GenerateDiagonal(5, rng).IsFullyDiagonal());
+
+  // Missing one diagonal element.
+  CooMatrix coo(3, 3);
+  coo.Add(0, 0, 1.0);
+  coo.Add(1, 1, 1.0);
+  EXPECT_FALSE(coo.ToCsr().IsFullyDiagonal());
+
+  // Off-diagonal entry.
+  CooMatrix coo2(2, 2);
+  coo2.Add(0, 0, 1.0);
+  coo2.Add(0, 1, 1.0);
+  coo2.Add(1, 1, 1.0);
+  EXPECT_FALSE(coo2.ToCsr().IsFullyDiagonal());
+
+  // Non-square.
+  EXPECT_FALSE(CsrMatrix(2, 3).IsFullyDiagonal());
+}
+
+TEST(CsrMatrixTest, DenseRoundTrip) {
+  Rng rng(2);
+  CsrMatrix m = GenerateUniformSparse(20, 30, 0.15, rng);
+  CsrMatrix round = CsrMatrix::FromDense(m.ToDense());
+  EXPECT_TRUE(m.Equals(round));
+}
+
+TEST(CsrMatrixTest, EqualsDistinguishesValues) {
+  CooMatrix coo(2, 2);
+  coo.Add(0, 0, 1.0);
+  CsrMatrix a = coo.ToCsr();
+  CooMatrix coo2(2, 2);
+  coo2.Add(0, 0, 2.0);
+  CsrMatrix b = coo2.ToCsr();
+  EXPECT_FALSE(a.Equals(b));
+  EXPECT_TRUE(a.Equals(a));
+}
+
+// Round-trip property over a sweep of sparsities.
+class CsrRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CsrRoundTripTest, CooDenseCsrAgree) {
+  Rng rng(42);
+  CsrMatrix m = GenerateUniformSparse(50, 40, GetParam(), rng);
+  m.CheckInvariants();
+  DenseMatrix d = m.ToDense();
+  EXPECT_EQ(d.NumNonZeros(), m.NumNonZeros());
+  EXPECT_TRUE(CsrMatrix::FromDense(d).Equals(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, CsrRoundTripTest,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.1, 0.5, 0.9,
+                                           1.0));
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,97 @@
+#include "mnc/matrix/csc_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(CscMatrixTest, EmptyMatrix) {
+  CscMatrix m(4, 5);
+  m.CheckInvariants();
+  EXPECT_EQ(m.NumNonZeros(), 0);
+  EXPECT_EQ(m.ColNnz(3), 0);
+  EXPECT_TRUE(m.ColIndices(0).empty());
+}
+
+TEST(CscMatrixTest, FromCsrKnownValues) {
+  DenseMatrix d(3, 3, {1, 0, 2, 0, 3, 0, 4, 0, 5});
+  CscMatrix c = CscMatrix::FromCsr(d.ToCsr());
+  c.CheckInvariants();
+  EXPECT_EQ(c.NumNonZeros(), 5);
+  EXPECT_EQ(c.At(0, 0), 1.0);
+  EXPECT_EQ(c.At(2, 0), 4.0);
+  EXPECT_EQ(c.At(1, 1), 3.0);
+  EXPECT_EQ(c.At(0, 2), 2.0);
+  EXPECT_EQ(c.At(2, 2), 5.0);
+  EXPECT_EQ(c.At(1, 0), 0.0);
+  // Column access.
+  EXPECT_EQ(c.ColNnz(0), 2);
+  EXPECT_EQ(c.ColIndices(0)[0], 0);
+  EXPECT_EQ(c.ColIndices(0)[1], 2);
+}
+
+TEST(CscMatrixTest, RoundTripThroughCsr) {
+  Rng rng(1);
+  for (double s : {0.0, 0.05, 0.3, 1.0}) {
+    CsrMatrix csr = GenerateUniformSparse(23, 31, s, rng);
+    CscMatrix csc = CscMatrix::FromCsr(csr);
+    csc.CheckInvariants();
+    EXPECT_TRUE(csc.ToCsr().Equals(csr)) << "sparsity " << s;
+  }
+}
+
+TEST(CscMatrixTest, NnzPerRowColAgreeWithCsr) {
+  Rng rng(2);
+  CsrMatrix csr = GenerateUniformSparse(20, 15, 0.2, rng);
+  CscMatrix csc = CscMatrix::FromCsr(csr);
+  EXPECT_EQ(csc.NnzPerRow(), csr.NnzPerRow());
+  EXPECT_EQ(csc.NnzPerCol(), csr.NnzPerCol());
+}
+
+TEST(CscMatrixTest, EqualsComparesStorage) {
+  Rng rng(3);
+  CsrMatrix csr = GenerateUniformSparse(10, 10, 0.3, rng);
+  CscMatrix a = CscMatrix::FromCsr(csr);
+  CscMatrix b = CscMatrix::FromCsr(csr);
+  EXPECT_TRUE(a.Equals(b));
+  CscMatrix c = CscMatrix::FromCsr(GenerateUniformSparse(10, 10, 0.3, rng));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(CscMatrixTest, SketchFromCscMatchesFromCsr) {
+  Rng rng(4);
+  for (double s : {0.02, 0.2}) {
+    CsrMatrix csr = GenerateUniformSparse(40, 30, s, rng);
+    MncSketch from_csr = MncSketch::FromCsr(csr);
+    MncSketch from_csc = MncSketch::FromCsc(CscMatrix::FromCsr(csr));
+    EXPECT_EQ(from_csc.hr(), from_csr.hr());
+    EXPECT_EQ(from_csc.hc(), from_csr.hc());
+    EXPECT_EQ(from_csc.her(), from_csr.her());
+    EXPECT_EQ(from_csc.hec(), from_csr.hec());
+    EXPECT_EQ(from_csc.is_diagonal(), from_csr.is_diagonal());
+  }
+}
+
+TEST(CscMatrixTest, SketchFromCscDiagonalFlag) {
+  Rng rng(5);
+  CscMatrix diag = CscMatrix::FromCsr(GenerateDiagonal(12, rng));
+  EXPECT_TRUE(MncSketch::FromCsc(diag).is_diagonal());
+  CscMatrix perm = CscMatrix::FromCsr(GeneratePermutation(12, rng));
+  EXPECT_FALSE(MncSketch::FromCsc(perm).is_diagonal());
+}
+
+TEST(CscMatrixTest, InvalidInputsRejected) {
+  // Unsorted row indices within a column.
+  EXPECT_DEATH(CscMatrix(4, 1, {0, 2}, {3, 1}, {1.0, 1.0}),
+               "strictly increasing");
+  // Stored zero.
+  EXPECT_DEATH(CscMatrix(2, 1, {0, 1}, {0}, {0.0}), "non-zero");
+}
+
+}  // namespace
+}  // namespace mnc

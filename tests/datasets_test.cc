@@ -1,0 +1,137 @@
+#include "mnc/sparsest/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace mnc {
+namespace {
+
+TEST(DatasetsTest, TokenSequenceOneNnzPerRow) {
+  Rng rng(1);
+  CsrMatrix x = MakeTokenSequenceMatrix(1000, 200, 0.8, 1.1, rng);
+  x.CheckInvariants();
+  EXPECT_EQ(x.cols(), 201);
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    EXPECT_EQ(x.RowNnz(i), 1);
+  }
+}
+
+TEST(DatasetsTest, TokenSequenceUnknownFraction) {
+  Rng rng(2);
+  CsrMatrix x = MakeTokenSequenceMatrix(5000, 100, 0.8, 1.1, rng);
+  const std::vector<int64_t> col_counts = x.NnzPerCol();
+  const double unknown =
+      static_cast<double>(col_counts[100]) / static_cast<double>(x.rows());
+  EXPECT_NEAR(unknown, 0.8, 0.03);
+}
+
+TEST(DatasetsTest, TokenSequenceColumnSkew) {
+  Rng rng(3);
+  CsrMatrix x = MakeTokenSequenceMatrix(20000, 500, 0.0, 1.2, rng);
+  const std::vector<int64_t> col_counts = x.NnzPerCol();
+  // The most frequent token dominates mid-rank tokens (power law).
+  EXPECT_GT(col_counts[0], 10 * std::max<int64_t>(col_counts[100], 1));
+}
+
+TEST(DatasetsTest, EmbeddingMatrixEmptyLastRow) {
+  Rng rng(4);
+  DenseMatrix w = MakeEmbeddingMatrix(50, 16, rng);
+  EXPECT_EQ(w.rows(), 51);
+  EXPECT_EQ(w.cols(), 16);
+  for (int64_t j = 0; j < 16; ++j) {
+    EXPECT_EQ(w.At(50, j), 0.0);
+  }
+  // All other rows fully dense.
+  EXPECT_EQ(w.NumNonZeros(), 50 * 16);
+}
+
+TEST(DatasetsTest, CovertypeShapeAndSparsity) {
+  Rng rng(5);
+  CsrMatrix cov = MakeCovertypeLike(2000, rng);
+  EXPECT_EQ(cov.cols(), 54);
+  // Exactly 12 non-zeros per row: 10 dense + 2 one-hot.
+  for (int64_t i = 0; i < cov.rows(); ++i) {
+    EXPECT_EQ(cov.RowNnz(i), 12);
+  }
+  EXPECT_NEAR(cov.Sparsity(), 12.0 / 54.0, 1e-9);
+}
+
+TEST(DatasetsTest, CovertypeOneHotBlocks) {
+  Rng rng(6);
+  CsrMatrix cov = MakeCovertypeLike(3000, rng);
+  const std::vector<int64_t> col_counts = cov.NnzPerCol();
+  // Dense columns are full.
+  for (int64_t j = 0; j < 10; ++j) {
+    EXPECT_EQ(col_counts[static_cast<size_t>(j)], 3000);
+  }
+  // One-hot blocks each sum to the row count.
+  int64_t wilderness = 0;
+  for (int64_t j = 10; j < 14; ++j) {
+    wilderness += col_counts[static_cast<size_t>(j)];
+  }
+  EXPECT_EQ(wilderness, 3000);
+  int64_t soil = 0;
+  for (int64_t j = 14; j < 54; ++j) soil += col_counts[static_cast<size_t>(j)];
+  EXPECT_EQ(soil, 3000);
+  // Varying sparsity: the top soil category dominates the tail.
+  EXPECT_GT(col_counts[14], 5 * std::max<int64_t>(col_counts[53], 1));
+}
+
+TEST(DatasetsTest, MnistLikeSparsityAndCenterBias) {
+  Rng rng(7);
+  CsrMatrix x = MakeMnistLike(2000, rng);
+  EXPECT_EQ(x.cols(), 784);
+  EXPECT_NEAR(x.Sparsity(), 0.25, 0.02);
+  const std::vector<int64_t> col_counts = x.NnzPerCol();
+  // Center pixel (13, 13) -> column 13*28+13; corner pixel -> column 0.
+  EXPECT_GT(col_counts[13 * 28 + 13], 50 * std::max<int64_t>(col_counts[0], 1));
+}
+
+TEST(DatasetsTest, CenterMaskPattern) {
+  CsrMatrix mask = MakeCenterMask(10);
+  EXPECT_EQ(mask.cols(), 784);
+  EXPECT_EQ(mask.NumNonZeros(), 10 * 14 * 14);
+  // Every row identical; (7,7) and (20,20) inside, (0,0) and (6,6) outside.
+  for (int64_t i : {int64_t{0}, int64_t{9}}) {
+    EXPECT_EQ(mask.At(i, 7 * 28 + 7), 1.0);
+    EXPECT_EQ(mask.At(i, 20 * 28 + 20), 1.0);
+    EXPECT_EQ(mask.At(i, 0), 0.0);
+    EXPECT_EQ(mask.At(i, 6 * 28 + 6), 0.0);
+    EXPECT_EQ(mask.At(i, 21 * 28 + 21), 0.0);
+  }
+}
+
+TEST(DatasetsTest, RatingsMatrixSkewAndCoverage) {
+  Rng rng(8);
+  CsrMatrix x = MakeRatingsMatrix(2000, 500, 3.0, rng);
+  // Every user has at least one rating.
+  for (int64_t u = 0; u < x.rows(); ++u) {
+    EXPECT_GE(x.RowNnz(u), 1);
+  }
+  // Head users rate much more than tail users.
+  EXPECT_GT(x.RowNnz(0), 3 * x.RowNnz(1999));
+}
+
+TEST(DatasetsTest, ScaleShiftStructure) {
+  Rng rng(9);
+  CsrMatrix s = MakeScaleShiftMatrix(20, rng);
+  s.CheckInvariants();
+  // Diagonal dense except the last row handles both scale and shift.
+  for (int64_t i = 0; i < 19; ++i) {
+    EXPECT_NE(s.At(i, i), 0.0);
+    EXPECT_EQ(s.RowNnz(i), 1);
+  }
+  EXPECT_EQ(s.RowNnz(19), 20);  // dense last row
+  EXPECT_EQ(s.NumNonZeros(), 19 + 20);
+}
+
+TEST(DatasetsTest, GraphsHaveExpectedScale) {
+  Rng rng(10);
+  CsrMatrix cite = MakeCitationGraph(1000, 8.0, rng);
+  EXPECT_EQ(cite.rows(), 1000);
+  EXPECT_GT(cite.NumNonZeros(), 1000);
+  CsrMatrix email = MakeEmailGraph(1000, rng);
+  EXPECT_LT(email.Sparsity(), cite.Sparsity());
+}
+
+}  // namespace
+}  // namespace mnc

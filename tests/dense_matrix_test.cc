@@ -1,0 +1,79 @@
+#include "mnc/matrix/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/csr_matrix.h"
+
+namespace mnc {
+namespace {
+
+TEST(DenseMatrixTest, ZeroInitialized) {
+  DenseMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(m.At(i, j), 0.0);
+    }
+  }
+  EXPECT_EQ(m.NumNonZeros(), 0);
+  EXPECT_EQ(m.Sparsity(), 0.0);
+}
+
+TEST(DenseMatrixTest, SetGet) {
+  DenseMatrix m(2, 3);
+  m.Set(0, 1, 5.0);
+  m.Set(1, 2, -2.5);
+  EXPECT_EQ(m.At(0, 1), 5.0);
+  EXPECT_EQ(m.At(1, 2), -2.5);
+  EXPECT_EQ(m.NumNonZeros(), 2);
+  EXPECT_DOUBLE_EQ(m.Sparsity(), 2.0 / 6.0);
+}
+
+TEST(DenseMatrixTest, ConstructFromBuffer) {
+  DenseMatrix m(2, 2, {1.0, 0.0, 3.0, 4.0});
+  EXPECT_EQ(m.At(0, 0), 1.0);
+  EXPECT_EQ(m.At(0, 1), 0.0);
+  EXPECT_EQ(m.At(1, 0), 3.0);
+  EXPECT_EQ(m.At(1, 1), 4.0);
+  EXPECT_EQ(m.NumNonZeros(), 3);
+}
+
+TEST(DenseMatrixTest, RowPointerIsRowMajor) {
+  DenseMatrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const double* r1 = m.row(1);
+  EXPECT_EQ(r1[0], 4.0);
+  EXPECT_EQ(r1[2], 6.0);
+}
+
+TEST(DenseMatrixTest, EqualsComparesValuesAndShape) {
+  DenseMatrix a(2, 2, {1, 2, 3, 4});
+  DenseMatrix b(2, 2, {1, 2, 3, 4});
+  DenseMatrix c(2, 2, {1, 2, 3, 5});
+  DenseMatrix d(4, 1, {1, 2, 3, 4});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_FALSE(a.Equals(d));
+}
+
+TEST(DenseMatrixTest, ToCsrDropsZeros) {
+  DenseMatrix m(2, 3, {0, 1, 0, 2, 0, 3});
+  CsrMatrix s = m.ToCsr();
+  EXPECT_EQ(s.NumNonZeros(), 3);
+  EXPECT_EQ(s.At(0, 1), 1.0);
+  EXPECT_EQ(s.At(1, 0), 2.0);
+  EXPECT_EQ(s.At(1, 2), 3.0);
+  EXPECT_EQ(s.At(0, 0), 0.0);
+}
+
+TEST(DenseMatrixTest, EmptyShapes) {
+  DenseMatrix m(0, 5);
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_EQ(m.Sparsity(), 0.0);
+  DenseMatrix n(5, 0);
+  EXPECT_EQ(n.NumNonZeros(), 0);
+}
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,176 @@
+#include "mnc/estimators/density_map_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/estimators/meta_estimator.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/sparsest/metrics.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(DensityMapTest, FromMatrixBlockSparsities) {
+  // 4 x 4 matrix, block size 2: block (0,0) fully dense, rest empty.
+  DenseMatrix d(4, 4);
+  d.Set(0, 0, 1.0);
+  d.Set(0, 1, 1.0);
+  d.Set(1, 0, 1.0);
+  d.Set(1, 1, 1.0);
+  DensityMap map = DensityMap::FromMatrix(Matrix::Dense(d), 2);
+  EXPECT_EQ(map.block_rows(), 2);
+  EXPECT_EQ(map.block_cols(), 2);
+  EXPECT_DOUBLE_EQ(map.BlockSparsity(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(map.BlockSparsity(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(map.BlockSparsity(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(map.OverallSparsity(), 0.25);
+}
+
+TEST(DensityMapTest, PartialEdgeBlocks) {
+  Rng rng(1);
+  CsrMatrix m = GenerateUniformSparse(10, 7, 0.3, rng);
+  DensityMap map = DensityMap::FromMatrix(Matrix::Sparse(m), 4);
+  EXPECT_EQ(map.block_rows(), 3);
+  EXPECT_EQ(map.block_cols(), 2);
+  EXPECT_EQ(map.BlockRowExtent(2), 2);
+  EXPECT_EQ(map.BlockColExtent(1), 3);
+  EXPECT_NEAR(map.TotalNnz(), static_cast<double>(m.NumNonZeros()), 1e-9);
+}
+
+TEST(DensityMapTest, BlockSizeOneIsExactLikeBitset) {
+  // §2.2: for b = 1 the density map degenerates to the (exact) bitset
+  // estimator.
+  Rng rng(2);
+  CsrMatrix a = GenerateUniformSparse(20, 30, 0.1, rng);
+  CsrMatrix b = GenerateUniformSparse(30, 25, 0.1, rng);
+  DensityMapEstimator est(1);
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, est.Build(Matrix::Sparse(a)),
+      est.Build(Matrix::Sparse(b)), 20, 25);
+  EXPECT_NEAR(sparsity,
+              static_cast<double>(ProductNnzExact(a, b)) / (20.0 * 25.0),
+              1e-9);
+}
+
+TEST(DensityMapTest, BlockSizeDimEqualsMetaAc) {
+  // §2.2: for b = d the density map degenerates to the average-case
+  // metadata estimator.
+  Rng rng(3);
+  CsrMatrix a = GenerateUniformSparse(40, 40, 0.1, rng);
+  CsrMatrix b = GenerateUniformSparse(40, 40, 0.15, rng);
+  DensityMapEstimator dm(40);
+  MetaAcEstimator ac;
+  const double s_dm = dm.EstimateSparsity(
+      OpKind::kMatMul, dm.Build(Matrix::Sparse(a)),
+      dm.Build(Matrix::Sparse(b)), 40, 40);
+  const double s_ac = ac.EstimateSparsity(
+      OpKind::kMatMul, ac.Build(Matrix::Sparse(a)),
+      ac.Build(Matrix::Sparse(b)), 40, 40);
+  EXPECT_NEAR(s_dm, s_ac, 1e-9);
+}
+
+TEST(DensityMapTest, EWiseOpsPerBlock) {
+  Rng rng(4);
+  CsrMatrix a = GenerateUniformSparse(16, 16, 0.25, rng);
+  CsrMatrix b = GenerateUniformSparse(16, 16, 0.5, rng);
+  DensityMapEstimator est(16);  // single block
+  const SynopsisPtr sa = est.Build(Matrix::Sparse(a));
+  const SynopsisPtr sb = est.Build(Matrix::Sparse(b));
+  EXPECT_NEAR(est.EstimateSparsity(OpKind::kEWiseMult, sa, sb, 16, 16),
+              0.25 * 0.5, 1e-9);
+  EXPECT_NEAR(est.EstimateSparsity(OpKind::kEWiseAdd, sa, sb, 16, 16),
+              0.25 + 0.5 - 0.125, 1e-9);
+}
+
+TEST(DensityMapTest, TransposeExactTotal) {
+  Rng rng(5);
+  CsrMatrix a = GenerateUniformSparse(30, 20, 0.2, rng);
+  DensityMapEstimator est(8);
+  EXPECT_NEAR(est.EstimateSparsity(OpKind::kTranspose,
+                                   est.Build(Matrix::Sparse(a)), nullptr, 20,
+                                   30),
+              a.Sparsity(), 1e-9);
+}
+
+TEST(DensityMapTest, EqualZeroComplement) {
+  Rng rng(6);
+  CsrMatrix a = GenerateUniformSparse(24, 24, 0.3, rng);
+  DensityMapEstimator est(8);
+  EXPECT_NEAR(est.EstimateSparsity(OpKind::kEqualZero,
+                                   est.Build(Matrix::Sparse(a)), nullptr, 24,
+                                   24),
+              1.0 - a.Sparsity(), 1e-9);
+}
+
+TEST(DensityMapTest, StructuredColumnSkewNeedsSmallBlocks) {
+  // The B2.2 lesson (Fig. 12d): with a coarse block the map misses column
+  // skew; with fine blocks it captures it. Build a matrix with one dense and
+  // many empty columns.
+  Rng rng(7);
+  std::vector<int64_t> col_nnz(64, 0);
+  col_nnz[0] = 64;
+  CsrMatrix a = GenerateWithColumnCounts(64, col_nnz, rng);
+  CsrMatrix b = GenerateWithColumnCounts(64, std::vector<int64_t>(64, 8),
+                                         rng);
+  const double truth =
+      static_cast<double>(ProductNnzExact(a, b)) / (64.0 * 64.0);
+
+  DensityMapEstimator coarse(64);
+  DensityMapEstimator fine(4);
+  const double e_coarse = RelativeError(
+      coarse.EstimateSparsity(OpKind::kMatMul,
+                              coarse.Build(Matrix::Sparse(a)),
+                              coarse.Build(Matrix::Sparse(b)), 64, 64),
+      truth);
+  const double e_fine = RelativeError(
+      fine.EstimateSparsity(OpKind::kMatMul, fine.Build(Matrix::Sparse(a)),
+                            fine.Build(Matrix::Sparse(b)), 64, 64),
+      truth);
+  EXPECT_LT(e_fine, e_coarse);
+}
+
+TEST(DensityMapTest, SynopsisSizeShrinksQuadraticallyWithBlockSize) {
+  Rng rng(8);
+  Matrix m = Matrix::Sparse(GenerateUniformSparse(256, 256, 0.1, rng));
+  DensityMapEstimator b16(16);
+  DensityMapEstimator b64(64);
+  // 4x the block size -> 16x fewer blocks.
+  EXPECT_EQ(b16.Build(m)->SizeBytes(), 16 * b64.Build(m)->SizeBytes());
+}
+
+TEST(DensityMapTest, ChainPropagation) {
+  Rng rng(9);
+  CsrMatrix a = GenerateUniformSparse(32, 32, 0.1, rng);
+  DensityMapEstimator est(8);
+  SynopsisPtr s = est.Build(Matrix::Sparse(a));
+  SynopsisPtr aa = est.Propagate(OpKind::kMatMul, s, s, 32, 32);
+  ASSERT_NE(aa, nullptr);
+  const double sparsity =
+      est.EstimateSparsity(OpKind::kMatMul, aa, s, 32, 32);
+  EXPECT_GE(sparsity, 0.0);
+  EXPECT_LE(sparsity, 1.0);
+}
+
+// Accuracy sweep on uniform data: density map should be close to the truth
+// regardless of block size when the distribution is uniform.
+class DensityMapBlockTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DensityMapBlockTest, UniformDataAccuracy) {
+  Rng rng(10);
+  CsrMatrix a = GenerateUniformSparse(100, 100, 0.05, rng);
+  CsrMatrix b = GenerateUniformSparse(100, 100, 0.05, rng);
+  DensityMapEstimator est(GetParam());
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, est.Build(Matrix::Sparse(a)),
+      est.Build(Matrix::Sparse(b)), 100, 100);
+  const double truth =
+      static_cast<double>(ProductNnzExact(a, b)) / (100.0 * 100.0);
+  EXPECT_LT(RelativeError(sparsity, truth), 1.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, DensityMapBlockTest,
+                         ::testing::Values(4, 16, 50, 100));
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,133 @@
+#include "mnc/ir/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_ewise.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/matrix/ops_reorg.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(EvaluatorTest, LeafEvaluatesToItself) {
+  Rng rng(1);
+  CsrMatrix m = GenerateUniformSparse(5, 5, 0.3, rng);
+  Evaluator eval;
+  EXPECT_TRUE(
+      eval.Evaluate(ExprNode::Leaf(Matrix::Sparse(m))).AsCsr().Equals(m));
+}
+
+TEST(EvaluatorTest, ProductMatchesKernel) {
+  Rng rng(2);
+  CsrMatrix a = GenerateUniformSparse(10, 12, 0.2, rng);
+  CsrMatrix b = GenerateUniformSparse(12, 8, 0.2, rng);
+  Evaluator eval;
+  Matrix c = eval.Evaluate(ExprNode::MatMul(
+      ExprNode::Leaf(Matrix::Sparse(a)), ExprNode::Leaf(Matrix::Sparse(b))));
+  EXPECT_TRUE(c.AsCsr().Equals(MultiplySparseSparse(a, b)));
+}
+
+TEST(EvaluatorTest, AllOpsCompose) {
+  Rng rng(3);
+  CsrMatrix a = GenerateUniformSparse(6, 6, 0.3, rng);
+  CsrMatrix b = GenerateUniformSparse(6, 6, 0.3, rng);
+  ExprPtr la = ExprNode::Leaf(Matrix::Sparse(a));
+  ExprPtr lb = ExprNode::Leaf(Matrix::Sparse(b));
+
+  // ((A + B) ⊙ A)^T != 0, reshaped and rebound.
+  ExprPtr expr = ExprNode::NotEqualZero(
+      ExprNode::Transpose(ExprNode::EWiseMult(ExprNode::EWiseAdd(la, lb),
+                                              la)));
+  Evaluator eval;
+  Matrix result = eval.Evaluate(expr);
+  CsrMatrix expected = NotEqualZeroSparse(TransposeSparse(
+      MultiplyEWiseSparseSparse(AddSparseSparse(a, b), a)));
+  EXPECT_TRUE(result.AsCsr().Equals(expected));
+}
+
+TEST(EvaluatorTest, SharedSubexpressionEvaluatedOnce) {
+  Rng rng(4);
+  CsrMatrix g = GenerateUniformSparse(20, 20, 0.1, rng);
+  ExprPtr lg = ExprNode::Leaf(Matrix::Sparse(g));
+  ExprPtr gg = ExprNode::MatMul(lg, lg);
+  // Both parents reference gg; the evaluator must reuse the cached result —
+  // verified behaviorally by value equality of the two paths.
+  ExprPtr left = ExprNode::MatMul(gg, lg);
+  ExprPtr right = ExprNode::MatMul(gg, lg);
+  Evaluator eval;
+  Matrix l = eval.Evaluate(left);
+  Matrix r = eval.Evaluate(right);
+  EXPECT_TRUE(l.EqualsLogically(r));
+}
+
+TEST(EvaluatorTest, CachePersistsAcrossRoots) {
+  Rng rng(5);
+  CsrMatrix g = GenerateUniformSparse(15, 15, 0.15, rng);
+  ExprPtr lg = ExprNode::Leaf(Matrix::Sparse(g));
+  ExprPtr gg = ExprNode::MatMul(lg, lg);
+  ExprPtr ggg = ExprNode::MatMul(gg, lg);
+  Evaluator eval;
+  Matrix first = eval.Evaluate(gg);
+  Matrix second = eval.Evaluate(ggg);  // reuses cached gg
+  EXPECT_TRUE(second.AsCsr().Equals(
+      MultiplySparseSparse(first.AsCsr(), g)));
+}
+
+TEST(EvaluatorTest, DeepLeftChainIterative) {
+  // A 200-product chain of permutations — exercises the iterative
+  // post-order (no stack overflow) and exactness.
+  Rng rng(6);
+  CsrMatrix p = GeneratePermutation(50, rng);
+  ExprPtr lp = ExprNode::Leaf(Matrix::Sparse(p));
+  Rng rng2(7);
+  CsrMatrix x = GenerateUniformSparse(50, 20, 0.2, rng2);
+  ExprPtr acc = ExprNode::Leaf(Matrix::Sparse(x));
+  for (int i = 0; i < 200; ++i) {
+    acc = ExprNode::MatMul(lp, acc);
+  }
+  Evaluator eval;
+  Matrix result = eval.Evaluate(acc);
+  EXPECT_EQ(result.NumNonZeros(), x.NumNonZeros());
+}
+
+TEST(EvaluatorTest, CacheSurvivesNodeChurn) {
+  // Regression test: cached results key on node identity; short-lived
+  // expression nodes from earlier Evaluate() calls must not alias new nodes
+  // allocated at recycled addresses. Build and evaluate many transient
+  // chains against one long-lived Evaluator.
+  Rng rng(9);
+  std::vector<ExprPtr> leaves;
+  for (int i = 0; i < 4; ++i) {
+    leaves.push_back(ExprNode::Leaf(
+        Matrix::Sparse(GenerateUniformSparse(12, 12, 0.3, rng))));
+  }
+  Evaluator eval;
+  for (int round = 0; round < 50; ++round) {
+    // Fresh left-deep chain over varying windows each round.
+    const size_t start = static_cast<size_t>(round % 3);
+    ExprPtr acc = leaves[start];
+    for (size_t k = start + 1; k < leaves.size(); ++k) {
+      acc = ExprNode::MatMul(acc, leaves[k]);
+    }
+    const Matrix got = eval.Evaluate(acc);
+    // Independent fresh evaluation must agree.
+    Evaluator fresh;
+    EXPECT_TRUE(got.EqualsLogically(fresh.Evaluate(acc))) << round;
+  }
+}
+
+TEST(EvaluatorTest, ReshapeAndDiag) {
+  Rng rng(8);
+  CsrMatrix v = GenerateUniformSparse(9, 1, 0.5, rng);
+  ExprPtr diag = ExprNode::Diag(ExprNode::Leaf(Matrix::Sparse(v)));
+  ExprPtr reshaped = ExprNode::Reshape(diag, 27, 3);
+  Evaluator eval;
+  Matrix result = eval.Evaluate(reshaped);
+  EXPECT_TRUE(result.AsCsr().Equals(
+      ReshapeSparse(DiagVectorToMatrix(v), 27, 3)));
+}
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,122 @@
+#include "mnc/ir/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_reorg.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+ExprPtr RandomLeaf(int64_t rows, int64_t cols, uint64_t seed,
+                   std::string name = "") {
+  Rng rng(seed);
+  return ExprNode::Leaf(
+      Matrix::Sparse(GenerateUniformSparse(rows, cols, 0.1, rng)),
+      std::move(name));
+}
+
+TEST(ExprTest, LeafProperties) {
+  ExprPtr leaf = RandomLeaf(5, 7, 1, "A");
+  EXPECT_TRUE(leaf->is_leaf());
+  EXPECT_EQ(leaf->rows(), 5);
+  EXPECT_EQ(leaf->cols(), 7);
+  EXPECT_EQ(leaf->name(), "A");
+  EXPECT_EQ(leaf->NumNodes(), 1);
+}
+
+TEST(ExprTest, MatMulShapeInference) {
+  ExprPtr p = ExprNode::MatMul(RandomLeaf(4, 6, 1), RandomLeaf(6, 9, 2));
+  EXPECT_EQ(p->rows(), 4);
+  EXPECT_EQ(p->cols(), 9);
+  EXPECT_EQ(p->op(), OpKind::kMatMul);
+}
+
+TEST(ExprTest, TransposeAndReshapeShapes) {
+  ExprPtr a = RandomLeaf(4, 6, 1);
+  EXPECT_EQ(ExprNode::Transpose(a)->rows(), 6);
+  EXPECT_EQ(ExprNode::Transpose(a)->cols(), 4);
+  ExprPtr r = ExprNode::Reshape(a, 8, 3);
+  EXPECT_EQ(r->rows(), 8);
+  EXPECT_EQ(r->cols(), 3);
+}
+
+TEST(ExprTest, DiagShapes) {
+  ExprPtr v = RandomLeaf(5, 1, 1);
+  ExprPtr d = ExprNode::Diag(v);
+  EXPECT_EQ(d->rows(), 5);
+  EXPECT_EQ(d->cols(), 5);
+  ExprPtr m = RandomLeaf(5, 5, 2);
+  ExprPtr back = ExprNode::Diag(m);
+  EXPECT_EQ(back->rows(), 5);
+  EXPECT_EQ(back->cols(), 1);
+}
+
+TEST(ExprTest, BindShapes) {
+  ExprPtr a = RandomLeaf(3, 4, 1);
+  ExprPtr b = RandomLeaf(2, 4, 2);
+  ExprPtr c = RandomLeaf(3, 5, 3);
+  EXPECT_EQ(ExprNode::RBind(a, b)->rows(), 5);
+  EXPECT_EQ(ExprNode::CBind(a, c)->cols(), 9);
+}
+
+TEST(ExprTest, SharedSubexpressionCountsOnce) {
+  ExprPtr g = RandomLeaf(4, 4, 1, "G");
+  ExprPtr gg = ExprNode::MatMul(g, g);
+  EXPECT_EQ(gg->NumNodes(), 2);  // G shared
+  ExprPtr ggg = ExprNode::MatMul(gg, g);
+  EXPECT_EQ(ggg->NumNodes(), 3);
+}
+
+TEST(ExprTest, ToStringReadable) {
+  ExprPtr x = RandomLeaf(4, 4, 1, "X");
+  ExprPtr w = RandomLeaf(4, 4, 2, "W");
+  EXPECT_EQ(ExprNode::MatMul(x, ExprNode::Transpose(w))->ToString(),
+            "MatMul(X, Transpose(W))");
+}
+
+TEST(ExprTest, FoldTransposedLeaves) {
+  ExprPtr g = RandomLeaf(4, 6, 1, "G");
+  ExprPtr expr = ExprNode::MatMul(RandomLeaf(3, 6, 2, "P"),
+                                  ExprNode::Transpose(g));
+  ExprPtr folded = FoldTransposedLeaves(expr);
+  // Transpose(Leaf) becomes a Leaf with materialized transposed matrix.
+  ASSERT_FALSE(folded->is_leaf());
+  EXPECT_TRUE(folded->right()->is_leaf());
+  EXPECT_EQ(folded->right()->rows(), 6);
+  EXPECT_EQ(folded->right()->cols(), 4);
+  EXPECT_EQ(folded->right()->name(), "G^T");
+  // The folded leaf holds G^T's values.
+  EXPECT_TRUE(folded->right()->matrix().AsCsr().Equals(
+      TransposeSparse(g->matrix().csr())));
+}
+
+TEST(ExprTest, FoldPreservesUnrelatedNodes) {
+  ExprPtr a = RandomLeaf(4, 4, 1, "A");
+  ExprPtr expr = ExprNode::MatMul(a, a);
+  // No transposed leaves: the same DAG object comes back.
+  EXPECT_EQ(FoldTransposedLeaves(expr), expr);
+}
+
+TEST(ExprTest, FoldKeepsInnerTranspose) {
+  // Transpose of a non-leaf must remain.
+  ExprPtr a = RandomLeaf(4, 4, 1, "A");
+  ExprPtr inner = ExprNode::MatMul(a, a);
+  ExprPtr expr = ExprNode::Transpose(inner);
+  ExprPtr folded = FoldTransposedLeaves(expr);
+  ASSERT_FALSE(folded->is_leaf());
+  EXPECT_EQ(folded->op(), OpKind::kTranspose);
+}
+
+TEST(ExprTest, FoldIsStableForSharedNodes) {
+  ExprPtr g = RandomLeaf(4, 4, 1, "G");
+  ExprPtr gt = ExprNode::Transpose(g);
+  ExprPtr expr = ExprNode::MatMul(gt, gt);  // G^T shared twice
+  ExprPtr folded = FoldTransposedLeaves(expr);
+  // Both children fold to the same node (memoized).
+  EXPECT_EQ(folded->left().get(), folded->right().get());
+}
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,229 @@
+// Tests for the "additional operations" extension (§8 future work):
+// element-wise min/max, scalar scaling, and row/column aggregations, across
+// the engine kernels, the IR, and every estimator that supports them.
+
+#include <gtest/gtest.h>
+
+#include "mnc/core/mnc_propagation.h"
+#include "mnc/estimators/bitset_estimator.h"
+#include "mnc/estimators/density_map_estimator.h"
+#include "mnc/estimators/meta_estimator.h"
+#include "mnc/estimators/mnc_adapter.h"
+#include "mnc/ir/evaluator.h"
+#include "mnc/ir/sketch_propagator.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_ewise.h"
+#include "mnc/sparsest/metrics.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(ExtendedOpsKernelTest, MinMaxKnownValues) {
+  DenseMatrix a(1, 4, {2.0, 0.0, 3.0, 1.0});
+  DenseMatrix b(1, 4, {1.0, 5.0, 0.0, 1.0});
+  CsrMatrix mn = MinEWiseSparseSparse(a.ToCsr(), b.ToCsr());
+  CsrMatrix mx = MaxEWiseSparseSparse(a.ToCsr(), b.ToCsr());
+  // min: [1, 0, 0, 1] (absent entries are zeros)
+  EXPECT_EQ(mn.At(0, 0), 1.0);
+  EXPECT_EQ(mn.At(0, 1), 0.0);
+  EXPECT_EQ(mn.At(0, 2), 0.0);
+  EXPECT_EQ(mn.At(0, 3), 1.0);
+  // max: [2, 5, 3, 1]
+  EXPECT_EQ(mx.At(0, 0), 2.0);
+  EXPECT_EQ(mx.At(0, 1), 5.0);
+  EXPECT_EQ(mx.At(0, 2), 3.0);
+  EXPECT_EQ(mx.At(0, 3), 1.0);
+}
+
+TEST(ExtendedOpsKernelTest, MinMaxAgainstDenseReference) {
+  Rng rng(1);
+  CsrMatrix a = GenerateUniformSparse(20, 15, 0.3, rng);
+  CsrMatrix b = GenerateUniformSparse(20, 15, 0.4, rng);
+  CsrMatrix mn = MinEWiseSparseSparse(a, b);
+  CsrMatrix mx = MaxEWiseSparseSparse(a, b);
+  mn.CheckInvariants();
+  mx.CheckInvariants();
+  for (int64_t i = 0; i < 20; ++i) {
+    for (int64_t j = 0; j < 15; ++j) {
+      EXPECT_EQ(mn.At(i, j), std::min(a.At(i, j), b.At(i, j)));
+      EXPECT_EQ(mx.At(i, j), std::max(a.At(i, j), b.At(i, j)));
+    }
+  }
+}
+
+TEST(ExtendedOpsKernelTest, MinWithNegativeValues) {
+  // min(0, -5) = -5: the kernel handles signed values correctly even though
+  // the estimators assume non-negative inputs.
+  DenseMatrix a(1, 2, {0.0, 2.0});
+  DenseMatrix b(1, 2, {-5.0, 3.0});
+  CsrMatrix mn = MinEWiseSparseSparse(a.ToCsr(), b.ToCsr());
+  EXPECT_EQ(mn.At(0, 0), -5.0);
+  EXPECT_EQ(mn.At(0, 1), 2.0);
+}
+
+TEST(ExtendedOpsKernelTest, RowColSums) {
+  DenseMatrix a(3, 3, {1, 2, 0, 0, 0, 0, 0, 4, 5});
+  CsrMatrix rs = RowSumsSparse(a.ToCsr());
+  EXPECT_EQ(rs.rows(), 3);
+  EXPECT_EQ(rs.cols(), 1);
+  EXPECT_EQ(rs.At(0, 0), 3.0);
+  EXPECT_EQ(rs.At(1, 0), 0.0);
+  EXPECT_EQ(rs.At(2, 0), 9.0);
+
+  CsrMatrix cs = ColSumsSparse(a.ToCsr());
+  EXPECT_EQ(cs.rows(), 1);
+  EXPECT_EQ(cs.At(0, 0), 1.0);
+  EXPECT_EQ(cs.At(0, 1), 6.0);
+  EXPECT_EQ(cs.At(0, 2), 5.0);
+}
+
+TEST(ExtendedOpsKernelTest, ScaleFacade) {
+  Rng rng(2);
+  CsrMatrix a = GenerateUniformSparse(10, 10, 0.3, rng);
+  Matrix scaled = Scale(Matrix::Sparse(a), 2.0);
+  EXPECT_EQ(scaled.NumNonZeros(), a.NumNonZeros());
+  EXPECT_EQ(scaled.AsCsr().At(0, a.RowIndices(0).empty() ? 0
+                                                         : a.RowIndices(0)[0]),
+            2.0 * a.At(0, a.RowIndices(0).empty() ? 0 : a.RowIndices(0)[0]));
+}
+
+TEST(ExtendedOpsPropagationTest, RowColSumsExact) {
+  Rng rng(3);
+  CsrMatrix a = GenerateUniformSparse(40, 30, 0.1, rng);
+  MncSketch h = MncSketch::FromCsr(a);
+  MncSketch rs = PropagateRowSums(h);
+  MncSketch expected_rs = MncSketch::FromCsr(RowSumsSparse(a));
+  EXPECT_EQ(rs.hr(), expected_rs.hr());
+  EXPECT_EQ(rs.hc(), expected_rs.hc());
+
+  MncSketch cs = PropagateColSums(h);
+  MncSketch expected_cs = MncSketch::FromCsr(ColSumsSparse(a));
+  EXPECT_EQ(cs.hr(), expected_cs.hr());
+  EXPECT_EQ(cs.hc(), expected_cs.hc());
+}
+
+TEST(ExtendedOpsPropagationTest, ScaleIdentity) {
+  Rng rng(4);
+  MncSketch h = MncSketch::FromCsr(GenerateUniformSparse(20, 20, 0.2, rng));
+  MncSketch s = PropagateScale(h);
+  EXPECT_EQ(s.hr(), h.hr());
+  EXPECT_EQ(s.hc(), h.hc());
+  EXPECT_EQ(s.her(), h.her());
+}
+
+TEST(ExtendedOpsIrTest, ExprShapesAndEvaluation) {
+  Rng rng(5);
+  CsrMatrix a = GenerateUniformSparse(12, 8, 0.3, rng);
+  CsrMatrix b = GenerateUniformSparse(12, 8, 0.3, rng);
+  ExprPtr la = ExprNode::Leaf(Matrix::Sparse(a));
+  ExprPtr lb = ExprNode::Leaf(Matrix::Sparse(b));
+
+  ExprPtr rs = ExprNode::RowSums(ExprNode::EWiseMax(la, lb));
+  EXPECT_EQ(rs->rows(), 12);
+  EXPECT_EQ(rs->cols(), 1);
+  ExprPtr cs = ExprNode::ColSums(ExprNode::Scale(ExprNode::EWiseMin(la, lb),
+                                                 3.0));
+  EXPECT_EQ(cs->rows(), 1);
+  EXPECT_EQ(cs->cols(), 8);
+
+  Evaluator eval;
+  const Matrix rs_val = eval.Evaluate(rs);
+  EXPECT_TRUE(rs_val.AsCsr().Equals(
+      RowSumsSparse(MaxEWiseSparseSparse(a, b))));
+  const Matrix cs_val = eval.Evaluate(cs);
+  EXPECT_TRUE(cs_val.AsCsr().Equals(
+      ColSumsSparse(ScaleSparse(MinEWiseSparseSparse(a, b), 3.0))));
+}
+
+TEST(ExtendedOpsIrTest, ToStringCoversNewOps) {
+  Rng rng(6);
+  ExprPtr a = ExprNode::Leaf(
+      Matrix::Sparse(GenerateUniformSparse(4, 4, 0.5, rng)), "A");
+  EXPECT_EQ(ExprNode::RowSums(a)->ToString(), "RowSums(A)");
+  EXPECT_EQ(ExprNode::EWiseMin(a, a)->ToString(), "EWiseMin(A, A)");
+}
+
+TEST(ExtendedOpsEstimatorTest, MncRowSumsExactThroughDag) {
+  Rng rng(7);
+  CsrMatrix a = GenerateUniformSparse(200, 100, 0.02, rng);
+  ExprPtr expr =
+      ExprNode::RowSums(ExprNode::Leaf(Matrix::Sparse(a)));
+  MncEstimator est;
+  SketchPropagator prop(&est);
+  const auto sparsity = prop.EstimateSparsity(expr);
+  ASSERT_TRUE(sparsity.has_value());
+  Evaluator eval;
+  EXPECT_DOUBLE_EQ(*sparsity, eval.Evaluate(expr).Sparsity());
+}
+
+TEST(ExtendedOpsEstimatorTest, BitsetExactOnAllNewOps) {
+  Rng rng(8);
+  CsrMatrix a = GenerateUniformSparse(24, 20, 0.25, rng);
+  CsrMatrix b = GenerateUniformSparse(24, 20, 0.3, rng);
+  ExprPtr la = ExprNode::Leaf(Matrix::Sparse(a));
+  ExprPtr lb = ExprNode::Leaf(Matrix::Sparse(b));
+  BitsetEstimator bitset;
+  Evaluator eval;
+  for (const ExprPtr& expr :
+       {ExprNode::EWiseMin(la, lb), ExprNode::EWiseMax(la, lb),
+        ExprNode::Scale(la, 0.5), ExprNode::RowSums(la),
+        ExprNode::ColSums(la),
+        ExprNode::ColSums(ExprNode::EWiseMax(la, lb))}) {
+    SketchPropagator prop(&bitset);
+    const auto sparsity = prop.EstimateSparsity(expr);
+    ASSERT_TRUE(sparsity.has_value()) << expr->ToString();
+    EXPECT_DOUBLE_EQ(*sparsity, eval.Evaluate(expr).Sparsity())
+        << expr->ToString();
+  }
+}
+
+TEST(ExtendedOpsEstimatorTest, MetaAndDMapReasonable) {
+  Rng rng(9);
+  CsrMatrix a = GenerateUniformSparse(100, 80, 0.05, rng);
+  ExprPtr expr = ExprNode::RowSums(ExprNode::Leaf(Matrix::Sparse(a)));
+  Evaluator eval;
+  const double truth = eval.Evaluate(expr).Sparsity();
+
+  MetaAcEstimator ac;
+  DensityMapEstimator dmap(16);
+  for (SparsityEstimator* est :
+       std::vector<SparsityEstimator*>{&ac, &dmap}) {
+    SketchPropagator prop(est);
+    const auto sparsity = prop.EstimateSparsity(expr);
+    ASSERT_TRUE(sparsity.has_value()) << est->Name();
+    EXPECT_LT(RelativeError(*sparsity, truth), 1.3) << est->Name();
+  }
+}
+
+TEST(ExtendedOpsEstimatorTest, MinMaxEstimatesMatchMultAdd) {
+  // For non-negative inputs the min/max estimates must coincide with the
+  // mult/add pattern estimates.
+  Rng rng(10);
+  CsrMatrix a = GenerateUniformSparse(60, 60, 0.2, rng);
+  CsrMatrix b = GenerateUniformSparse(60, 60, 0.2, rng);
+  MncEstimator est;
+  const SynopsisPtr sa = est.Build(Matrix::Sparse(a));
+  const SynopsisPtr sb = est.Build(Matrix::Sparse(b));
+  EXPECT_DOUBLE_EQ(
+      est.EstimateSparsity(OpKind::kEWiseMin, sa, sb, 60, 60),
+      est.EstimateSparsity(OpKind::kEWiseMult, sa, sb, 60, 60));
+  EXPECT_DOUBLE_EQ(
+      est.EstimateSparsity(OpKind::kEWiseMax, sa, sb, 60, 60),
+      est.EstimateSparsity(OpKind::kEWiseAdd, sa, sb, 60, 60));
+}
+
+TEST(ExtendedOpsIrTest, FoldTransposedLeavesThroughNewOps) {
+  Rng rng(11);
+  CsrMatrix g = GenerateUniformSparse(10, 6, 0.3, rng);
+  ExprPtr lg = ExprNode::Leaf(Matrix::Sparse(g), "G");
+  ExprPtr expr = ExprNode::RowSums(ExprNode::Transpose(lg));
+  ExprPtr folded = FoldTransposedLeaves(expr);
+  ASSERT_FALSE(folded->is_leaf());
+  EXPECT_EQ(folded->op(), OpKind::kRowSums);
+  EXPECT_TRUE(folded->left()->is_leaf());
+  EXPECT_EQ(folded->left()->rows(), 6);
+}
+
+}  // namespace
+}  // namespace mnc

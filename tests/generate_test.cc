@@ -1,0 +1,137 @@
+#include "mnc/matrix/generate.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mnc {
+namespace {
+
+TEST(GenerateTest, UniformSparseExactNnz) {
+  Rng rng(1);
+  CsrMatrix m = GenerateUniformSparse(100, 50, 0.1, rng);
+  m.CheckInvariants();
+  EXPECT_EQ(m.NumNonZeros(), 500);
+  EXPECT_DOUBLE_EQ(m.Sparsity(), 0.1);
+}
+
+TEST(GenerateTest, UniformSparseDensePath) {
+  Rng rng(2);
+  CsrMatrix m = GenerateUniformSparse(30, 30, 0.9, rng);
+  EXPECT_EQ(m.NumNonZeros(), 810);
+}
+
+TEST(GenerateTest, UniformSparseExtremes) {
+  Rng rng(3);
+  EXPECT_EQ(GenerateUniformSparse(20, 20, 0.0, rng).NumNonZeros(), 0);
+  EXPECT_EQ(GenerateUniformSparse(20, 20, 1.0, rng).NumNonZeros(), 400);
+}
+
+TEST(GenerateTest, ValuesArePositive) {
+  Rng rng(4);
+  CsrMatrix m = GenerateUniformSparse(50, 50, 0.2, rng);
+  for (double v : m.values()) {
+    EXPECT_GE(v, 0.5);
+    EXPECT_LT(v, 1.5);
+  }
+}
+
+TEST(GenerateTest, DenseAllNonZero) {
+  Rng rng(5);
+  DenseMatrix m = GenerateDense(20, 10, rng);
+  EXPECT_EQ(m.NumNonZeros(), 200);
+}
+
+TEST(GenerateTest, AlmostDenseFraction) {
+  Rng rng(6);
+  DenseMatrix m = GenerateAlmostDense(100, 100, 0.25, rng);
+  EXPECT_NEAR(m.Sparsity(), 0.75, 0.02);
+}
+
+TEST(GenerateTest, PermutationIsPermutation) {
+  Rng rng(7);
+  CsrMatrix p = GeneratePermutation(50, rng);
+  p.CheckInvariants();
+  EXPECT_EQ(p.NumNonZeros(), 50);
+  std::set<int64_t> cols;
+  for (int64_t i = 0; i < 50; ++i) {
+    const auto idx = p.RowIndices(i);
+    ASSERT_EQ(idx.size(), 1u);
+    cols.insert(idx[0]);
+    EXPECT_EQ(p.RowValues(i)[0], 1.0);
+  }
+  EXPECT_EQ(cols.size(), 50u);  // every column hit exactly once
+}
+
+TEST(GenerateTest, SelectionExtractsRows) {
+  CsrMatrix p = GenerateSelection({3, 1, 4}, 6);
+  EXPECT_EQ(p.rows(), 3);
+  EXPECT_EQ(p.cols(), 6);
+  EXPECT_EQ(p.At(0, 3), 1.0);
+  EXPECT_EQ(p.At(1, 1), 1.0);
+  EXPECT_EQ(p.At(2, 4), 1.0);
+  EXPECT_EQ(p.NumNonZeros(), 3);
+}
+
+TEST(GenerateTest, DiagonalIsFullyDiagonal) {
+  Rng rng(8);
+  CsrMatrix d = GenerateDiagonal(40, rng);
+  EXPECT_TRUE(d.IsFullyDiagonal());
+}
+
+TEST(GenerateTest, OneNnzPerRow) {
+  Rng rng(9);
+  ZipfDistribution dist(100, 1.1);
+  CsrMatrix m = GenerateOneNnzPerRow(500, 100, dist, rng);
+  for (int64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(m.RowNnz(i), 1);
+  }
+  EXPECT_EQ(m.NumNonZeros(), 500);
+}
+
+TEST(GenerateTest, WithColumnCountsExact) {
+  Rng rng(10);
+  const std::vector<int64_t> counts = {0, 5, 10, 1, 20};
+  CsrMatrix m = GenerateWithColumnCounts(30, counts, rng);
+  EXPECT_EQ(m.NnzPerCol(), counts);
+}
+
+TEST(GenerateTest, WithRowCountsExact) {
+  Rng rng(11);
+  const std::vector<int64_t> counts = {3, 0, 7, 12};
+  CsrMatrix m = GenerateWithRowCounts(15, counts, rng);
+  EXPECT_EQ(m.NnzPerRow(), counts);
+}
+
+TEST(GenerateTest, GraphAdjacencyIsZeroOne) {
+  Rng rng(12);
+  CsrMatrix g = GenerateGraphAdjacency(200, 4.0, 1.1, rng);
+  g.CheckInvariants();
+  for (double v : g.values()) EXPECT_EQ(v, 1.0);
+  // Roughly the requested edge count (duplicates merge, so <=).
+  EXPECT_GT(g.NumNonZeros(), 200);
+  EXPECT_LE(g.NumNonZeros(), 850);
+}
+
+TEST(GenerateTest, GraphDegreeSkew) {
+  Rng rng(13);
+  CsrMatrix g = GenerateGraphAdjacency(500, 6.0, 1.3, rng);
+  const std::vector<int64_t> out = g.NnzPerRow();
+  // Low-rank nodes must have substantially higher out-degree than the tail.
+  int64_t head = 0;
+  int64_t tail = 0;
+  for (int64_t i = 0; i < 10; ++i) head += out[static_cast<size_t>(i)];
+  for (int64_t i = 490; i < 500; ++i) tail += out[static_cast<size_t>(i)];
+  EXPECT_GT(head, 3 * std::max<int64_t>(tail, 1));
+}
+
+TEST(GenerateTest, ReproducibleWithSameSeed) {
+  Rng a(99);
+  Rng b(99);
+  EXPECT_TRUE(GenerateUniformSparse(40, 40, 0.1, a)
+                  .Equals(GenerateUniformSparse(40, 40, 0.1, b)));
+}
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,103 @@
+#include "mnc/estimators/hash_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/sparsest/metrics.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+double TrueProductSparsity(const CsrMatrix& a, const CsrMatrix& b) {
+  return static_cast<double>(ProductNnzExact(a, b)) /
+         (static_cast<double>(a.rows()) * static_cast<double>(b.cols()));
+}
+
+TEST(HashEstimatorTest, AccurateOnRandomProduct) {
+  Rng rng(1);
+  CsrMatrix a = GenerateUniformSparse(200, 150, 0.05, rng);
+  CsrMatrix b = GenerateUniformSparse(150, 200, 0.05, rng);
+  HashEstimator est;
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, est.Build(Matrix::Sparse(a)),
+      est.Build(Matrix::Sparse(b)), 200, 200);
+  EXPECT_LT(RelativeError(sparsity, TrueProductSparsity(a, b)), 1.3);
+}
+
+TEST(HashEstimatorTest, ExactWhenPairCountSmall) {
+  // With few total pairs the threshold stays at 1 and the KMV buffer holds
+  // every distinct pair -> exact count.
+  Rng rng(2);
+  CsrMatrix a = GenerateUniformSparse(50, 40, 0.02, rng);
+  CsrMatrix b = GenerateUniformSparse(40, 50, 0.02, rng);
+  HashEstimator est;
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, est.Build(Matrix::Sparse(a)),
+      est.Build(Matrix::Sparse(b)), 50, 50);
+  EXPECT_DOUBLE_EQ(sparsity, TrueProductSparsity(a, b));
+}
+
+TEST(HashEstimatorTest, CatchesDenseOuterProduct) {
+  // Table 4: unlike sampling, hashing sees every common index, so the B1.4
+  // pattern (one dense outer product) is estimated well.
+  const int64_t n = 150;
+  CooMatrix c(n, n);
+  CooMatrix r(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    c.Add(i, 42, 1.0);
+    r.Add(42, i, 1.0);
+  }
+  HashEstimator est;
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, est.Build(Matrix::Sparse(c.ToCsr())),
+      est.Build(Matrix::Sparse(r.ToCsr())), n, n);
+  EXPECT_LT(RelativeError(sparsity, 1.0), 1.5);
+}
+
+TEST(HashEstimatorTest, EmptyProduct) {
+  HashEstimator est;
+  Matrix a = Matrix::Sparse(CsrMatrix(20, 20));
+  EXPECT_EQ(est.EstimateSparsity(OpKind::kMatMul, est.Build(a), est.Build(a),
+                                 20, 20),
+            0.0);
+}
+
+TEST(HashEstimatorTest, SupportsOnlyProducts) {
+  HashEstimator est;
+  EXPECT_FALSE(est.SupportsChains());
+  EXPECT_TRUE(est.SupportsOp(OpKind::kMatMul));
+  EXPECT_FALSE(est.SupportsOp(OpKind::kEWiseMult));
+}
+
+TEST(HashEstimatorTest, SamplingPathStillReasonable) {
+  // Force the adaptive threshold below 1 with a tiny pair budget.
+  Rng rng(3);
+  CsrMatrix a = GenerateUniformSparse(300, 200, 0.05, rng);
+  CsrMatrix b = GenerateUniformSparse(200, 300, 0.05, rng);
+  HashEstimator est(HashEstimator::kDefaultMinValues, /*pair_budget=*/20000);
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, est.Build(Matrix::Sparse(a)),
+      est.Build(Matrix::Sparse(b)), 300, 300);
+  EXPECT_LT(RelativeError(sparsity, TrueProductSparsity(a, b)), 2.0);
+}
+
+TEST(HashEstimatorTest, DeterministicForSameSeed) {
+  Rng rng(4);
+  CsrMatrix a = GenerateUniformSparse(100, 100, 0.05, rng);
+  CsrMatrix b = GenerateUniformSparse(100, 100, 0.05, rng);
+  HashEstimator e1(1024, 1 << 21, /*seed=*/7);
+  HashEstimator e2(1024, 1 << 21, /*seed=*/7);
+  const double s1 = e1.EstimateSparsity(OpKind::kMatMul,
+                                        e1.Build(Matrix::Sparse(a)),
+                                        e1.Build(Matrix::Sparse(b)), 100, 100);
+  const double s2 = e2.EstimateSparsity(OpKind::kMatMul,
+                                        e2.Build(Matrix::Sparse(a)),
+                                        e2.Build(Matrix::Sparse(b)), 100, 100);
+  EXPECT_DOUBLE_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace mnc

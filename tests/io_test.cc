@@ -1,0 +1,115 @@
+#include "mnc/matrix/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(IoTest, RoundTrip) {
+  Rng rng(1);
+  CsrMatrix m = GenerateUniformSparse(20, 30, 0.1, rng);
+  std::stringstream ss;
+  WriteMatrixMarket(m, ss);
+  auto back = ReadMatrixMarket(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->Equals(m));
+}
+
+TEST(IoTest, RoundTripEmptyMatrix) {
+  CsrMatrix m(5, 7);
+  std::stringstream ss;
+  WriteMatrixMarket(m, ss);
+  auto back = ReadMatrixMarket(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->Equals(m));
+}
+
+TEST(IoTest, ReadsPatternFormat) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "1 2\n"
+      "3 1\n");
+  auto m = ReadMatrixMarket(ss);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->NumNonZeros(), 2);
+  EXPECT_EQ(m->At(0, 1), 1.0);
+  EXPECT_EQ(m->At(2, 0), 1.0);
+}
+
+TEST(IoTest, ReadsSymmetricFormat) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 7.0\n");
+  auto m = ReadMatrixMarket(ss);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->NumNonZeros(), 3);  // (1,0), (0,1) mirrored, (2,2) diagonal
+  EXPECT_EQ(m->At(1, 0), 5.0);
+  EXPECT_EQ(m->At(0, 1), 5.0);
+  EXPECT_EQ(m->At(2, 2), 7.0);
+}
+
+TEST(IoTest, SkipsComments) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "% another\n"
+      "2 2 1\n"
+      "1 1 4.0\n");
+  auto m = ReadMatrixMarket(ss);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->At(0, 0), 4.0);
+}
+
+TEST(IoTest, RejectsMissingHeader) {
+  std::stringstream ss("2 2 1\n1 1 4.0\n");
+  EXPECT_FALSE(ReadMatrixMarket(ss).has_value());
+}
+
+TEST(IoTest, RejectsOutOfRangeIndices) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 4.0\n");
+  EXPECT_FALSE(ReadMatrixMarket(ss).has_value());
+}
+
+TEST(IoTest, RejectsTruncatedEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 4.0\n");
+  EXPECT_FALSE(ReadMatrixMarket(ss).has_value());
+}
+
+TEST(IoTest, RejectsUnsupportedFormat) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n1\n2\n3\n4\n");
+  EXPECT_FALSE(ReadMatrixMarket(ss).has_value());
+}
+
+TEST(IoTest, FileRoundTrip) {
+  Rng rng(2);
+  CsrMatrix m = GenerateUniformSparse(10, 10, 0.3, rng);
+  const std::string path = ::testing::TempDir() + "/mnc_io_test.mtx";
+  ASSERT_TRUE(WriteMatrixMarketFile(m, path));
+  auto back = ReadMatrixMarketFile(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->Equals(m));
+}
+
+TEST(IoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadMatrixMarketFile("/nonexistent/path.mtx").has_value());
+}
+
+}  // namespace
+}  // namespace mnc

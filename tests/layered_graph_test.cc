@@ -1,0 +1,104 @@
+#include "mnc/estimators/layered_graph_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/sparsest/metrics.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+double TrueProductSparsity(const CsrMatrix& a, const CsrMatrix& b) {
+  return static_cast<double>(ProductNnzExact(a, b)) /
+         (static_cast<double>(a.rows()) * static_cast<double>(b.cols()));
+}
+
+TEST(LayeredGraphTest, AccurateOnRandomProduct) {
+  Rng rng(1);
+  CsrMatrix a = GenerateUniformSparse(150, 120, 0.05, rng);
+  CsrMatrix b = GenerateUniformSparse(120, 150, 0.05, rng);
+  LayeredGraphEstimator est(64);
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, est.Build(Matrix::Sparse(a)),
+      est.Build(Matrix::Sparse(b)), 150, 150);
+  EXPECT_LT(RelativeError(sparsity, TrueProductSparsity(a, b)), 1.4);
+}
+
+TEST(LayeredGraphTest, ExactZeroForEmptyProduct) {
+  LayeredGraphEstimator est;
+  Matrix empty = Matrix::Sparse(CsrMatrix(30, 30));
+  EXPECT_EQ(est.EstimateSparsity(OpKind::kMatMul, est.Build(empty),
+                                 est.Build(empty), 30, 30),
+            0.0);
+}
+
+TEST(LayeredGraphTest, HandlesStructuredOneNnzPerRow) {
+  // The estimator is structure-aware by construction: the min-propagation
+  // tracks actual reachability. B1.1-style inputs should estimate well.
+  Rng rng(2);
+  ZipfDistribution dist(80, 1.1);
+  CsrMatrix x = GenerateOneNnzPerRow(400, 80, dist, rng);
+  CsrMatrix w = CsrMatrix::FromDense(GenerateDense(80, 30, rng));
+  LayeredGraphEstimator est(64);
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, est.Build(Matrix::Sparse(x)),
+      est.Build(Matrix::Sparse(w)), 400, 30);
+  EXPECT_LT(RelativeError(sparsity, TrueProductSparsity(x, w)), 1.3);
+}
+
+TEST(LayeredGraphTest, ChainPropagation) {
+  Rng rng(3);
+  CsrMatrix a = GenerateUniformSparse(100, 100, 0.05, rng);
+  CsrMatrix b = GenerateUniformSparse(100, 100, 0.05, rng);
+  CsrMatrix c = GenerateUniformSparse(100, 100, 0.05, rng);
+  LayeredGraphEstimator est(64);
+  SynopsisPtr ab = est.Propagate(OpKind::kMatMul,
+                                 est.Build(Matrix::Sparse(a)),
+                                 est.Build(Matrix::Sparse(b)), 100, 100);
+  ASSERT_NE(ab, nullptr);
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, ab, est.Build(Matrix::Sparse(c)), 100, 100);
+  const CsrMatrix truth =
+      MultiplySparseSparse(MultiplySparseSparse(a, b), c);
+  EXPECT_LT(RelativeError(sparsity, truth.Sparsity()), 1.5);
+}
+
+TEST(LayeredGraphTest, SupportsProductsOnly) {
+  LayeredGraphEstimator est;
+  EXPECT_TRUE(est.SupportsChains());
+  EXPECT_TRUE(est.SupportsOp(OpKind::kMatMul));
+  EXPECT_FALSE(est.SupportsOp(OpKind::kEWiseMult));
+  EXPECT_FALSE(est.SupportsOp(OpKind::kReshape));
+}
+
+TEST(LayeredGraphTest, SizeGrowsWithNnz) {
+  // Table 1: O(r d + nnz) — unlike MNC, the synopsis includes the edges.
+  Rng rng(4);
+  LayeredGraphEstimator est;
+  Matrix sparse = Matrix::Sparse(GenerateUniformSparse(200, 200, 0.01, rng));
+  Matrix denser = Matrix::Sparse(GenerateUniformSparse(200, 200, 0.2, rng));
+  EXPECT_LT(est.Build(sparse)->SizeBytes(), est.Build(denser)->SizeBytes());
+}
+
+// Accuracy improves (in expectation) with more rounds — verify the error at
+// r = 128 is not worse than at r = 4 on a fixed workload.
+TEST(LayeredGraphTest, MoreRoundsMoreAccurate) {
+  Rng rng(5);
+  CsrMatrix a = GenerateUniformSparse(200, 200, 0.03, rng);
+  CsrMatrix b = GenerateUniformSparse(200, 200, 0.03, rng);
+  const double truth = TrueProductSparsity(a, b);
+
+  auto error_at = [&](int rounds) {
+    LayeredGraphEstimator est(rounds, /*seed=*/99);
+    return RelativeError(
+        est.EstimateSparsity(OpKind::kMatMul, est.Build(Matrix::Sparse(a)),
+                             est.Build(Matrix::Sparse(b)), 200, 200),
+        truth);
+  };
+  EXPECT_LE(error_at(128), error_at(4) + 0.05);
+}
+
+}  // namespace
+}  // namespace mnc

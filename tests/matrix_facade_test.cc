@@ -1,0 +1,99 @@
+#include "mnc/matrix/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_ewise.h"
+#include "mnc/matrix/ops_reorg.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(MatrixFacadeTest, DenseWrapper) {
+  DenseMatrix d(2, 2, {1, 2, 3, 4});
+  Matrix m = Matrix::Dense(d);
+  EXPECT_TRUE(m.is_dense());
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_EQ(m.NumNonZeros(), 4);
+  EXPECT_DOUBLE_EQ(m.Sparsity(), 1.0);
+}
+
+TEST(MatrixFacadeTest, SparseWrapper) {
+  Rng rng(1);
+  CsrMatrix s = GenerateUniformSparse(10, 10, 0.1, rng);
+  Matrix m = Matrix::Sparse(s);
+  EXPECT_FALSE(m.is_dense());
+  EXPECT_EQ(m.NumNonZeros(), s.NumNonZeros());
+}
+
+TEST(MatrixFacadeTest, AutoFromCsrDispatchesByThreshold) {
+  Rng rng(2);
+  // Below threshold: stays sparse.
+  Matrix sparse = Matrix::AutoFromCsr(GenerateUniformSparse(20, 20, 0.1, rng));
+  EXPECT_FALSE(sparse.is_dense());
+  // At/above threshold (0.4): becomes dense.
+  Matrix dense = Matrix::AutoFromCsr(GenerateUniformSparse(20, 20, 0.6, rng));
+  EXPECT_TRUE(dense.is_dense());
+}
+
+TEST(MatrixFacadeTest, AutoFromDenseDispatchesByThreshold) {
+  Rng rng(3);
+  Matrix dense = Matrix::AutoFromDense(GenerateDense(10, 10, rng));
+  EXPECT_TRUE(dense.is_dense());
+  Matrix sparse =
+      Matrix::AutoFromDense(GenerateAlmostDense(20, 20, 0.9, rng));
+  EXPECT_FALSE(sparse.is_dense());
+}
+
+TEST(MatrixFacadeTest, ConversionsPreserveValues) {
+  Rng rng(4);
+  CsrMatrix s = GenerateUniformSparse(15, 15, 0.2, rng);
+  Matrix m = Matrix::Sparse(s);
+  EXPECT_TRUE(m.AsCsr().Equals(s));
+  EXPECT_TRUE(CsrMatrix::FromDense(m.AsDense()).Equals(s));
+}
+
+TEST(MatrixFacadeTest, LogicalEqualityAcrossFormats) {
+  Rng rng(5);
+  CsrMatrix s = GenerateUniformSparse(8, 8, 0.3, rng);
+  Matrix sparse = Matrix::Sparse(s);
+  Matrix dense = Matrix::Dense(s.ToDense());
+  EXPECT_TRUE(sparse.EqualsLogically(dense));
+  EXPECT_TRUE(dense.EqualsLogically(sparse));
+
+  Matrix other = Matrix::Sparse(GenerateUniformSparse(8, 8, 0.3, rng));
+  EXPECT_FALSE(sparse.EqualsLogically(other));
+}
+
+TEST(MatrixFacadeTest, ThresholdBoundaryIsDense) {
+  // Exactly at the 0.4 threshold the dense layout is chosen (>=).
+  DenseMatrix d(10, 10);
+  for (int64_t k = 0; k < 40; ++k) d.Set(k / 10, k % 10, 1.0);
+  EXPECT_TRUE(Matrix::AutoFromCsr(d.ToCsr()).is_dense());
+  EXPECT_TRUE(Matrix::AutoFromDense(d).is_dense());
+  // One non-zero below the threshold stays sparse.
+  d.Set(3, 9, 0.0);
+  EXPECT_FALSE(Matrix::AutoFromCsr(d.ToCsr()).is_dense());
+}
+
+TEST(MatrixFacadeTest, ReorgOpsAcceptDenseInputs) {
+  Rng rng(7);
+  DenseMatrix d = GenerateDense(6, 6, rng);
+  const Matrix m = Matrix::Dense(d);
+  EXPECT_TRUE(Diag(m).AsCsr().Equals(DiagMatrixToVector(d.ToCsr())));
+  EXPECT_TRUE(RBind(m, m).AsCsr().Equals(RBindSparse(d.ToCsr(), d.ToCsr())));
+  EXPECT_TRUE(CBind(m, m).AsCsr().Equals(CBindSparse(d.ToCsr(), d.ToCsr())));
+  EXPECT_TRUE(RowSums(m).AsCsr().Equals(RowSumsSparse(d.ToCsr())));
+}
+
+TEST(MatrixFacadeTest, CopiesShareStorage) {
+  Rng rng(6);
+  Matrix a = Matrix::Sparse(GenerateUniformSparse(100, 100, 0.1, rng));
+  Matrix b = a;  // cheap shared copy
+  EXPECT_EQ(&a.csr(), &b.csr());
+}
+
+}  // namespace
+}  // namespace mnc

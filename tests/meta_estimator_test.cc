@@ -1,0 +1,165 @@
+#include "mnc/estimators/meta_estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/generate.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+Matrix RandomSparse(int64_t rows, int64_t cols, double s, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Sparse(GenerateUniformSparse(rows, cols, s, rng));
+}
+
+TEST(MetaEstimatorTest, BuildCapturesSparsity) {
+  MetaAcEstimator ac;
+  Matrix m = RandomSparse(50, 40, 0.1, 1);
+  SynopsisPtr s = ac.Build(m);
+  EXPECT_EQ(s->rows(), 50);
+  EXPECT_EQ(s->cols(), 40);
+}
+
+TEST(MetaEstimatorTest, AcProductFormula) {
+  MetaAcEstimator ac;
+  Matrix a = RandomSparse(100, 60, 0.1, 2);
+  Matrix b = RandomSparse(60, 80, 0.2, 3);
+  const double est = ac.EstimateSparsity(OpKind::kMatMul, ac.Build(a),
+                                         ac.Build(b), 100, 80);
+  const double expected =
+      1.0 - std::pow(1.0 - a.Sparsity() * b.Sparsity(), 60.0);
+  EXPECT_NEAR(est, expected, 1e-12);
+}
+
+TEST(MetaEstimatorTest, WcProductFormula) {
+  MetaWcEstimator wc;
+  Matrix a = RandomSparse(100, 60, 0.005, 4);
+  Matrix b = RandomSparse(60, 80, 0.008, 5);
+  const double est = wc.EstimateSparsity(OpKind::kMatMul, wc.Build(a),
+                                         wc.Build(b), 100, 80);
+  const double expected = std::min(1.0, a.Sparsity() * 60.0) *
+                          std::min(1.0, b.Sparsity() * 60.0);
+  EXPECT_NEAR(est, expected, 1e-12);
+}
+
+TEST(MetaEstimatorTest, WcUpperBoundsAc) {
+  // The worst-case estimate is designed as an upper bound for memory
+  // budgeting; it must dominate the average case on identical inputs.
+  MetaAcEstimator ac;
+  MetaWcEstimator wc;
+  for (double s : {0.001, 0.01, 0.1, 0.5}) {
+    Matrix a = RandomSparse(100, 100, s, 6);
+    Matrix b = RandomSparse(100, 100, s, 7);
+    const double e_ac = ac.EstimateSparsity(OpKind::kMatMul, ac.Build(a),
+                                            ac.Build(b), 100, 100);
+    const double e_wc = wc.EstimateSparsity(OpKind::kMatMul, wc.Build(a),
+                                            wc.Build(b), 100, 100);
+    EXPECT_GE(e_wc, e_ac - 1e-12) << "sparsity " << s;
+  }
+}
+
+TEST(MetaEstimatorTest, ReorgSparsityExact) {
+  MetaAcEstimator ac;
+  Matrix a = RandomSparse(30, 20, 0.15, 8);
+  SynopsisPtr s = ac.Build(a);
+  EXPECT_DOUBLE_EQ(
+      ac.EstimateSparsity(OpKind::kTranspose, s, nullptr, 20, 30),
+      a.Sparsity());
+  EXPECT_DOUBLE_EQ(ac.EstimateSparsity(OpKind::kReshape, s, nullptr, 60, 10),
+                   a.Sparsity());
+  EXPECT_DOUBLE_EQ(
+      ac.EstimateSparsity(OpKind::kNotEqualZero, s, nullptr, 30, 20),
+      a.Sparsity());
+  EXPECT_DOUBLE_EQ(
+      ac.EstimateSparsity(OpKind::kEqualZero, s, nullptr, 30, 20),
+      1.0 - a.Sparsity());
+}
+
+TEST(MetaEstimatorTest, BindSparsityExact) {
+  MetaAcEstimator ac;
+  Matrix a = RandomSparse(30, 20, 0.2, 9);
+  Matrix b = RandomSparse(10, 20, 0.4, 10);
+  const double est = ac.EstimateSparsity(OpKind::kRBind, ac.Build(a),
+                                         ac.Build(b), 40, 20);
+  const double expected =
+      static_cast<double>(a.NumNonZeros() + b.NumNonZeros()) / (40.0 * 20.0);
+  EXPECT_DOUBLE_EQ(est, expected);
+}
+
+TEST(MetaEstimatorTest, DiagVectorExact) {
+  MetaAcEstimator ac;
+  Matrix v = RandomSparse(50, 1, 0.3, 11);
+  const double est =
+      ac.EstimateSparsity(OpKind::kDiag, ac.Build(v), nullptr, 50, 50);
+  EXPECT_DOUBLE_EQ(est,
+                   static_cast<double>(v.NumNonZeros()) / (50.0 * 50.0));
+}
+
+TEST(MetaEstimatorTest, PropagationChainsSupported) {
+  MetaAcEstimator ac;
+  Matrix a = RandomSparse(40, 40, 0.1, 12);
+  SynopsisPtr s = ac.Build(a);
+  SynopsisPtr ab = ac.Propagate(OpKind::kMatMul, s, s, 40, 40);
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab->rows(), 40);
+  // Propagated synopsis feeds the next estimate without error.
+  const double est = ac.EstimateSparsity(OpKind::kMatMul, ab, s, 40, 40);
+  EXPECT_GE(est, 0.0);
+  EXPECT_LE(est, 1.0);
+}
+
+TEST(MetaEstimatorTest, SupportsEverythingAndChains) {
+  MetaAcEstimator ac;
+  EXPECT_TRUE(ac.SupportsChains());
+  for (OpKind op :
+       {OpKind::kMatMul, OpKind::kEWiseAdd, OpKind::kEWiseMult,
+        OpKind::kTranspose, OpKind::kReshape, OpKind::kDiag, OpKind::kRBind,
+        OpKind::kCBind, OpKind::kNotEqualZero, OpKind::kEqualZero}) {
+    EXPECT_TRUE(ac.SupportsOp(op));
+  }
+}
+
+TEST(MetaEstimatorTest, UltraSparseApproximatesAcForSparseInputs) {
+  // Footnote 2: s_A s_B n is the first-order expansion of Eq. 1, so the two
+  // agree closely for ultra-sparse inputs and diverge for dense ones.
+  MetaAcEstimator ac;
+  MetaUltraSparseEstimator us;
+  Matrix sparse = RandomSparse(200, 200, 0.001, 20);
+  const double e_ac = ac.EstimateSparsity(OpKind::kMatMul, ac.Build(sparse),
+                                          ac.Build(sparse), 200, 200);
+  const double e_us = us.EstimateSparsity(OpKind::kMatMul, us.Build(sparse),
+                                          us.Build(sparse), 200, 200);
+  EXPECT_NEAR(e_us, e_ac, 0.02 * e_ac + 1e-12);
+
+  // At moderate sparsity the linear formula overshoots the average case
+  // (1 - (1 - x)^n <= n x, strictly below saturation).
+  Matrix moderate = RandomSparse(200, 200, 0.05, 21);
+  const double d_ac = ac.EstimateSparsity(OpKind::kMatMul,
+                                          ac.Build(moderate),
+                                          ac.Build(moderate), 200, 200);
+  const double d_us = us.EstimateSparsity(OpKind::kMatMul,
+                                          us.Build(moderate),
+                                          us.Build(moderate), 200, 200);
+  EXPECT_GT(d_us, d_ac);
+}
+
+TEST(MetaEstimatorTest, UltraSparseClampedAtOne) {
+  MetaUltraSparseEstimator us;
+  Matrix dense = RandomSparse(100, 100, 0.9, 22);
+  const double e = us.EstimateSparsity(OpKind::kMatMul, us.Build(dense),
+                                       us.Build(dense), 100, 100);
+  EXPECT_LE(e, 1.0);
+}
+
+TEST(MetaEstimatorTest, SynopsisSizeConstant) {
+  MetaAcEstimator ac;
+  Matrix small = RandomSparse(10, 10, 0.1, 13);
+  Matrix large = RandomSparse(1000, 1000, 0.001, 14);
+  EXPECT_EQ(ac.Build(small)->SizeBytes(), ac.Build(large)->SizeBytes());
+}
+
+}  // namespace
+}  // namespace mnc

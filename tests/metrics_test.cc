@@ -1,0 +1,49 @@
+#include "mnc/sparsest/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace mnc {
+namespace {
+
+TEST(MetricsTest, PerfectEstimateIsOne) {
+  EXPECT_EQ(RelativeError(0.5, 0.5), 1.0);
+  EXPECT_EQ(RelativeError(0.0, 0.0), 1.0);
+}
+
+TEST(MetricsTest, SymmetricInOverAndUnderEstimation) {
+  EXPECT_DOUBLE_EQ(RelativeError(0.2, 0.1), RelativeError(0.1, 0.2));
+  EXPECT_DOUBLE_EQ(RelativeError(0.2, 0.1), 2.0);
+}
+
+TEST(MetricsTest, AlwaysAtLeastOne) {
+  EXPECT_GE(RelativeError(0.001, 0.9), 1.0);
+  EXPECT_GE(RelativeError(0.9, 0.001), 1.0);
+}
+
+TEST(MetricsTest, ZeroMismatchIsInfinite) {
+  EXPECT_TRUE(std::isinf(RelativeError(0.0, 0.5)));
+  EXPECT_TRUE(std::isinf(RelativeError(0.5, 0.0)));
+}
+
+TEST(MetricsTest, AggregatorSumsBeforeRatio) {
+  RelativeErrorAggregator agg;
+  // Individual errors are 2x each, but in opposite directions: the
+  // aggregate (sum-based) error is exactly 1.
+  agg.Add(0.2, 0.1);
+  agg.Add(0.1, 0.2);
+  EXPECT_EQ(agg.count(), 2);
+  EXPECT_DOUBLE_EQ(agg.Error(), 1.0);
+}
+
+TEST(MetricsTest, AggregatorConsistentBias) {
+  RelativeErrorAggregator agg;
+  agg.Add(0.2, 0.1);
+  agg.Add(0.4, 0.2);
+  EXPECT_DOUBLE_EQ(agg.Error(), 2.0);
+}
+
+}  // namespace
+}  // namespace mnc

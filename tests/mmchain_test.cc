@@ -1,0 +1,222 @@
+#include "mnc/optimizer/mmchain.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/estimators/meta_estimator.h"
+#include "mnc/estimators/mnc_adapter.h"
+#include "mnc/estimators/sampling_estimator.h"
+#include "mnc/ir/evaluator.h"
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(MMChainTest, SingleMatrixPlan) {
+  MMChainResult result = OptimizeMMChainDense({{10, 20}});
+  EXPECT_EQ(result.cost, 0.0);
+  ASSERT_TRUE(result.plan->is_leaf());
+  EXPECT_EQ(result.plan->leaf, 0);
+}
+
+TEST(MMChainTest, TextbookExample) {
+  // CLRS example: dimensions 30x35, 35x15, 15x5, 5x10, 10x20, 20x25 has
+  // optimal cost 15125 with plan ((M0 (M1 M2)) ((M3 M4) M5)).
+  const std::vector<Shape> shapes = {{30, 35}, {35, 15}, {15, 5},
+                                     {5, 10},  {10, 20}, {20, 25}};
+  MMChainResult result = OptimizeMMChainDense(shapes);
+  EXPECT_DOUBLE_EQ(result.cost, 15125.0);
+  EXPECT_EQ(PlanToString(*result.plan),
+            "((M0 (M1 M2)) ((M3 M4) M5))");
+}
+
+TEST(MMChainTest, DenseDpBeatsAllRandomPlans) {
+  const std::vector<Shape> shapes = {{50, 10}, {10, 80}, {80, 5},
+                                     {5, 100}, {100, 20}};
+  MMChainResult best = OptimizeMMChainDense(shapes);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    auto plan = RandomMMChainPlan(static_cast<int>(shapes.size()), rng);
+    EXPECT_GE(EvaluatePlanCostDense(*plan, shapes), best.cost - 1e-9);
+  }
+}
+
+TEST(MMChainTest, PlanCostDenseConsistentWithDp) {
+  const std::vector<Shape> shapes = {{30, 35}, {35, 15}, {15, 5}, {5, 10}};
+  MMChainResult result = OptimizeMMChainDense(shapes);
+  EXPECT_DOUBLE_EQ(EvaluatePlanCostDense(*result.plan, shapes), result.cost);
+}
+
+TEST(MMChainTest, RandomPlanIsValidParenthesization) {
+  Rng rng(2);
+  for (int n : {1, 2, 3, 7, 20}) {
+    auto plan = RandomMMChainPlan(n, rng);
+    // In-order traversal of leaves must be 0..n-1.
+    std::vector<int> leaves;
+    std::function<void(const PlanNode&)> walk = [&](const PlanNode& p) {
+      if (p.is_leaf()) {
+        leaves.push_back(p.leaf);
+      } else {
+        walk(*p.left);
+        walk(*p.right);
+      }
+    };
+    walk(*plan);
+    ASSERT_EQ(leaves.size(), static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) EXPECT_EQ(leaves[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(MMChainTest, SparseOptimizerExploitsSparsity) {
+  // Chain: D (dense-ish) * U (ultra-sparse) * D2 (dense-ish). Dense costs
+  // are symmetric, but sparsity makes one association far cheaper; the
+  // sparse DP must find a plan at least as cheap as the dense-optimal one
+  // under the sparse cost model.
+  Rng rng(3);
+  std::vector<MncSketch> sketches;
+  std::vector<Shape> shapes;
+  auto add = [&](const CsrMatrix& m) {
+    sketches.push_back(MncSketch::FromCsr(m));
+    shapes.push_back({m.rows(), m.cols()});
+  };
+  add(GenerateUniformSparse(40, 40, 0.5, rng));
+  add(GenerateUniformSparse(40, 40, 0.005, rng));
+  add(GenerateUniformSparse(40, 40, 0.5, rng));
+  add(GenerateUniformSparse(40, 40, 0.005, rng));
+
+  MMChainResult sparse = OptimizeMMChainSparse(sketches, /*seed=*/7);
+  MMChainResult dense = OptimizeMMChainDense(shapes);
+  const double sparse_plan_cost =
+      EvaluatePlanCostSparse(*sparse.plan, sketches, /*seed=*/7);
+  const double dense_plan_cost =
+      EvaluatePlanCostSparse(*dense.plan, sketches, /*seed=*/7);
+  EXPECT_LE(sparse_plan_cost, dense_plan_cost * 1.05);
+}
+
+TEST(MMChainTest, SparseOptimizerNotWorseThanRandomPlans) {
+  Rng rng(4);
+  std::vector<MncSketch> sketches;
+  for (int i = 0; i < 6; ++i) {
+    const double s = (i % 3 == 0) ? 0.002 : 0.2;
+    sketches.push_back(
+        MncSketch::FromCsr(GenerateUniformSparse(30, 30, s, rng)));
+  }
+  MMChainResult best = OptimizeMMChainSparse(sketches, /*seed=*/5);
+  Rng plan_rng(6);
+  int wins = 0;
+  const int trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    auto plan = RandomMMChainPlan(6, plan_rng);
+    // Sketch propagation is probabilistic, so allow a small tolerance.
+    if (EvaluatePlanCostSparse(*plan, sketches, /*seed=*/5) >=
+        best.cost * 0.9) {
+      ++wins;
+    }
+  }
+  EXPECT_GE(wins, trials * 9 / 10);
+}
+
+TEST(MMChainTest, ExactPlanCostMatchesManualCount) {
+  Rng rng(8);
+  std::vector<Matrix> inputs = {
+      Matrix::Sparse(GenerateUniformSparse(10, 12, 0.3, rng)),
+      Matrix::Sparse(GenerateUniformSparse(12, 8, 0.3, rng)),
+      Matrix::Sparse(GenerateUniformSparse(8, 15, 0.3, rng)),
+  };
+  // Left-deep plan (M0 M1) M2: pairs(M0, M1) + pairs(M0M1, M2) with exact
+  // per-column/row counts.
+  auto pairs = [](const CsrMatrix& a, const CsrMatrix& b) {
+    const std::vector<int64_t> hc = a.NnzPerCol();
+    double acc = 0.0;
+    for (int64_t k = 0; k < a.cols(); ++k) {
+      acc += static_cast<double>(hc[static_cast<size_t>(k)]) *
+             static_cast<double>(b.RowNnz(k));
+    }
+    return acc;
+  };
+  const CsrMatrix m01 =
+      MultiplySparseSparse(inputs[0].csr(), inputs[1].csr());
+  const double expected = pairs(inputs[0].csr(), inputs[1].csr()) +
+                          pairs(m01, inputs[2].csr());
+
+  auto plan = PlanNode::MakeNode(
+      PlanNode::MakeNode(PlanNode::MakeLeaf(0), PlanNode::MakeLeaf(1)),
+      PlanNode::MakeLeaf(2));
+  EXPECT_DOUBLE_EQ(ExactPlanCost(*plan, inputs), expected);
+}
+
+TEST(MMChainTest, EstimatorDrivenOptimizerAvoidsBlowup) {
+  // The B1.4 trap: C R is fully dense although both are ultra-sparse. An
+  // MNC-driven optimizer must avoid materializing it mid-chain; the exact
+  // cost of its plan must beat the MetaAC-driven plan's.
+  const int64_t n = 120;
+  Rng rng(9);
+  CooMatrix c(n, n);
+  CooMatrix r(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    c.Add(i, n / 2, 1.0);
+    r.Add(n / 2, i, 1.0);
+  }
+  std::vector<Matrix> inputs = {
+      Matrix::Sparse(c.ToCsr()),
+      Matrix::Sparse(r.ToCsr()),
+      Matrix::Sparse(GenerateUniformSparse(n, n, 0.4, rng)),
+      Matrix::Sparse(GenerateUniformSparse(n, n, 0.01, rng)),
+  };
+  MncEstimator mnc_est;
+  MetaAcEstimator meta_ac;
+  const MMChainResult by_mnc = OptimizeMMChainWithEstimator(mnc_est, inputs);
+  const MMChainResult by_meta =
+      OptimizeMMChainWithEstimator(meta_ac, inputs);
+  EXPECT_LE(ExactPlanCost(*by_mnc.plan, inputs),
+            ExactPlanCost(*by_meta.plan, inputs));
+}
+
+TEST(MMChainTest, EstimatorDrivenOptimizerRejectsNonChainEstimators) {
+  Rng rng(10);
+  std::vector<Matrix> inputs = {
+      Matrix::Sparse(GenerateUniformSparse(5, 5, 0.5, rng)),
+      Matrix::Sparse(GenerateUniformSparse(5, 5, 0.5, rng)),
+  };
+  SamplingEstimator biased(false);
+  EXPECT_DEATH(OptimizeMMChainWithEstimator(biased, inputs),
+               "cannot optimize product chains");
+}
+
+TEST(MMChainTest, PlanToExprEvaluatesCorrectly) {
+  Rng rng(7);
+  std::vector<CsrMatrix> mats;
+  std::vector<ExprPtr> leaves;
+  std::vector<Shape> shapes;
+  for (int i = 0; i < 4; ++i) {
+    mats.push_back(GenerateUniformSparse(20, 20, 0.2, rng));
+    leaves.push_back(ExprNode::Leaf(Matrix::Sparse(mats.back())));
+    shapes.push_back({20, 20});
+  }
+  MMChainResult result = OptimizeMMChainDense(shapes);
+  ExprPtr expr = PlanToExpr(*result.plan, leaves);
+  // Any parenthesization computes the same product; compare to left-deep.
+  ExprPtr left_deep = leaves[0];
+  for (int i = 1; i < 4; ++i) {
+    left_deep = ExprNode::MatMul(left_deep, leaves[static_cast<size_t>(i)]);
+  }
+  Evaluator eval;
+  Matrix a = eval.Evaluate(expr);
+  Matrix b = eval.Evaluate(left_deep);
+  // Compare patterns and values with tolerance (different association
+  // orders produce tiny FP differences).
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  const DenseMatrix da = a.AsDense();
+  const DenseMatrix db = b.AsDense();
+  for (int64_t i = 0; i < da.rows(); ++i) {
+    for (int64_t j = 0; j < da.cols(); ++j) {
+      EXPECT_NEAR(da.At(i, j), db.At(i, j), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,273 @@
+#include "mnc/core/mnc_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_ewise.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/sparsest/metrics.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+double TrueProductSparsity(const CsrMatrix& a, const CsrMatrix& b) {
+  return static_cast<double>(ProductNnzExact(a, b)) /
+         (static_cast<double>(a.rows()) * static_cast<double>(b.cols()));
+}
+
+TEST(MncEstimatorTest, ExactForSingleNnzRows) {
+  // Theorem 3.1: max(hr_A) <= 1 makes the estimate exact.
+  Rng rng(1);
+  ZipfDistribution dist(50, 1.1);
+  CsrMatrix a = GenerateOneNnzPerRow(200, 50, dist, rng);
+  CsrMatrix b = GenerateUniformSparse(50, 80, 0.2, rng);
+  const double est = EstimateProductSparsity(MncSketch::FromCsr(a),
+                                             MncSketch::FromCsr(b));
+  EXPECT_DOUBLE_EQ(est, TrueProductSparsity(a, b));
+}
+
+TEST(MncEstimatorTest, ExactForSingleNnzColumns) {
+  // Theorem 3.1 via max(hc_B) <= 1 (B a permutation).
+  Rng rng(2);
+  CsrMatrix a = GenerateUniformSparse(60, 40, 0.15, rng);
+  CsrMatrix b = GeneratePermutation(40, rng);
+  const double est = EstimateProductSparsity(MncSketch::FromCsr(a),
+                                             MncSketch::FromCsr(b));
+  EXPECT_DOUBLE_EQ(est, TrueProductSparsity(a, b));
+}
+
+TEST(MncEstimatorTest, ExactForDiagonalTimesMatrix) {
+  Rng rng(3);
+  CsrMatrix d = GenerateDiagonal(50, rng);
+  CsrMatrix x = GenerateUniformSparse(50, 30, 0.1, rng);
+  const double est = EstimateProductSparsity(MncSketch::FromCsr(d),
+                                             MncSketch::FromCsr(x));
+  EXPECT_DOUBLE_EQ(est, x.Sparsity());
+}
+
+TEST(MncEstimatorTest, OuterProductFullyDense) {
+  // B1.4: single dense column times aligned dense row -> fully dense.
+  const int64_t n = 100;
+  CooMatrix c(n, n);
+  CooMatrix r(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    c.Add(i, 42, 1.0);
+    r.Add(42, i, 1.0);
+  }
+  const double est = EstimateProductSparsity(MncSketch::FromCsr(c.ToCsr()),
+                                             MncSketch::FromCsr(r.ToCsr()));
+  EXPECT_DOUBLE_EQ(est, 1.0);
+}
+
+TEST(MncEstimatorTest, InnerProductSingleNonZero) {
+  // B1.5: dense row times dense column -> exactly one non-zero; MNC gets
+  // this exactly via the upper bound nnz(hr_A) * nnz(hc_B).
+  const int64_t n = 100;
+  CooMatrix r(n, n);
+  CooMatrix c(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    r.Add(42, i, 1.0);
+    c.Add(i, 42, 1.0);
+  }
+  const double est = EstimateProductSparsity(MncSketch::FromCsr(r.ToCsr()),
+                                             MncSketch::FromCsr(c.ToCsr()));
+  EXPECT_DOUBLE_EQ(est, 1.0 / (static_cast<double>(n) * n));
+}
+
+TEST(MncEstimatorTest, LowerBoundFromHalfFullRows) {
+  // Dense A and dense B: every (row, column) pair is half-full, so the
+  // Theorem-3.2 lower bound forces a fully dense estimate.
+  Rng rng(4);
+  CsrMatrix a = CsrMatrix::FromDense(GenerateDense(20, 30, rng));
+  CsrMatrix b = CsrMatrix::FromDense(GenerateDense(30, 25, rng));
+  const double est = EstimateProductSparsity(MncSketch::FromCsr(a),
+                                             MncSketch::FromCsr(b));
+  EXPECT_DOUBLE_EQ(est, 1.0);
+}
+
+TEST(MncEstimatorTest, EmptyInputsGiveZero) {
+  MncSketch a = MncSketch::FromCsr(CsrMatrix(10, 10));
+  Rng rng(5);
+  MncSketch b = MncSketch::FromCsr(GenerateUniformSparse(10, 10, 0.5, rng));
+  EXPECT_EQ(EstimateProductSparsity(a, b), 0.0);
+  EXPECT_EQ(EstimateProductSparsity(b, a), 0.0);
+  EXPECT_EQ(EstimateProductNnzBasic(a, b), 0.0);
+}
+
+TEST(MncEstimatorTest, EstimateWithinBounds) {
+  Rng rng(6);
+  CsrMatrix a = GenerateUniformSparse(80, 60, 0.08, rng);
+  CsrMatrix b = GenerateUniformSparse(60, 70, 0.12, rng);
+  MncSketch ha = MncSketch::FromCsr(a);
+  MncSketch hb = MncSketch::FromCsr(b);
+  const double nnz = EstimateProductNnz(ha, hb);
+  EXPECT_GE(nnz, 0.0);
+  EXPECT_LE(nnz, static_cast<double>(ha.non_empty_rows()) *
+                     static_cast<double>(hb.non_empty_cols()));
+}
+
+TEST(MncEstimatorTest, BasicVariantIgnoresBounds) {
+  // MNC Basic must not apply the upper bound: on B1.5-style inputs it
+  // overestimates instead of being exact.
+  const int64_t n = 50;
+  CooMatrix r(n, n);
+  CooMatrix c(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    r.Add(42, i, 1.0);
+    c.Add(i, 42, 1.0);
+  }
+  MncSketch hr = MncSketch::FromCsr(r.ToCsr()).ToBasic();
+  MncSketch hc = MncSketch::FromCsr(c.ToCsr()).ToBasic();
+  const double basic = EstimateProductNnzBasic(hr, hc);
+  EXPECT_GT(basic, 1.0);  // full estimator nails it at exactly 1
+}
+
+TEST(MncEstimatorTest, EWiseMultExactForAlignedPatterns) {
+  // A ⊙ A has exactly A's pattern; lambda-based estimate should be close
+  // for a column-regular matrix and exact in total when patterns align
+  // trivially (single column).
+  Rng rng(7);
+  CsrMatrix a = GenerateWithColumnCounts(100, {50}, rng);
+  MncSketch h = MncSketch::FromCsr(a);
+  EXPECT_NEAR(EstimateEWiseMultNnz(h, h), 50.0, 1e-9);
+}
+
+TEST(MncEstimatorTest, EWiseMultDisjointColumnsGivesZero) {
+  // A occupies column 0 only, B occupies column 1 only: lambda = 0.
+  Rng rng(8);
+  CsrMatrix a = GenerateWithColumnCounts(50, {30, 0}, rng);
+  CsrMatrix b = GenerateWithColumnCounts(50, {0, 30}, rng);
+  EXPECT_EQ(EstimateEWiseMultNnz(MncSketch::FromCsr(a),
+                                 MncSketch::FromCsr(b)),
+            0.0);
+}
+
+TEST(MncEstimatorTest, EWiseAddUpperBoundedBySum) {
+  Rng rng(9);
+  CsrMatrix a = GenerateUniformSparse(40, 40, 0.2, rng);
+  CsrMatrix b = GenerateUniformSparse(40, 40, 0.3, rng);
+  MncSketch ha = MncSketch::FromCsr(a);
+  MncSketch hb = MncSketch::FromCsr(b);
+  const double est = EstimateEWiseAddNnz(ha, hb);
+  EXPECT_LE(est, static_cast<double>(a.NumNonZeros() + b.NumNonZeros()));
+  EXPECT_GE(est, static_cast<double>(
+                     std::max(a.NumNonZeros(), b.NumNonZeros())));
+}
+
+TEST(MncEstimatorTest, EWiseAddDenseInputs) {
+  Rng rng(10);
+  CsrMatrix a = CsrMatrix::FromDense(GenerateDense(20, 20, rng));
+  MncSketch h = MncSketch::FromCsr(a);
+  EXPECT_DOUBLE_EQ(EstimateEWiseAddSparsity(h, h), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateEWiseMultSparsity(h, h), 1.0);
+}
+
+TEST(MncIntervalTest, ExactCaseIsDegenerate) {
+  Rng rng(20);
+  CsrMatrix d = GenerateDiagonal(40, rng);
+  CsrMatrix x = GenerateUniformSparse(40, 30, 0.1, rng);
+  const SparsityInterval iv = EstimateProductSparsityInterval(
+      MncSketch::FromCsr(d), MncSketch::FromCsr(x));
+  EXPECT_TRUE(iv.exact);
+  EXPECT_EQ(iv.lower, iv.estimate);
+  EXPECT_EQ(iv.upper, iv.estimate);
+  EXPECT_DOUBLE_EQ(iv.estimate, x.Sparsity());
+}
+
+TEST(MncIntervalTest, EmptyInputExact) {
+  Rng rng(21);
+  const SparsityInterval iv = EstimateProductSparsityInterval(
+      MncSketch::FromCsr(CsrMatrix(10, 10)),
+      MncSketch::FromCsr(GenerateUniformSparse(10, 10, 0.5, rng)));
+  EXPECT_TRUE(iv.exact);
+  EXPECT_EQ(iv.estimate, 0.0);
+}
+
+TEST(MncIntervalTest, OrderingAndCenter) {
+  Rng rng(22);
+  CsrMatrix a = GenerateUniformSparse(80, 60, 0.1, rng);
+  CsrMatrix b = GenerateUniformSparse(60, 70, 0.1, rng);
+  const SparsityInterval iv = EstimateProductSparsityInterval(
+      MncSketch::FromCsr(a), MncSketch::FromCsr(b));
+  EXPECT_FALSE(iv.exact);
+  EXPECT_LE(iv.lower, iv.estimate);
+  EXPECT_GE(iv.upper, iv.estimate);
+  EXPECT_LT(iv.lower, iv.upper);  // non-degenerate for probabilistic cases
+}
+
+TEST(MncIntervalTest, WiderForLargerZ) {
+  Rng rng(23);
+  CsrMatrix a = GenerateUniformSparse(80, 60, 0.1, rng);
+  CsrMatrix b = GenerateUniformSparse(60, 70, 0.1, rng);
+  MncSketch ha = MncSketch::FromCsr(a);
+  MncSketch hb = MncSketch::FromCsr(b);
+  const SparsityInterval narrow =
+      EstimateProductSparsityInterval(ha, hb, 1.0);
+  const SparsityInterval wide = EstimateProductSparsityInterval(ha, hb, 3.0);
+  EXPECT_LE(wide.lower, narrow.lower);
+  EXPECT_GE(wide.upper, narrow.upper);
+}
+
+TEST(MncIntervalTest, CoverageOnUniformData) {
+  // Over many independent uniform workloads, the 2-sigma interval should
+  // contain the true sparsity in a clear majority of cases (the binomial
+  // model is approximate, so we assert a loose 70% floor).
+  int covered = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(100 + static_cast<uint64_t>(t));
+    CsrMatrix a = GenerateUniformSparse(100, 80, 0.08, rng);
+    CsrMatrix b = GenerateUniformSparse(80, 90, 0.08, rng);
+    const SparsityInterval iv = EstimateProductSparsityInterval(
+        MncSketch::FromCsr(a), MncSketch::FromCsr(b), 2.0);
+    const double truth =
+        static_cast<double>(ProductNnzExact(a, b)) / (100.0 * 90.0);
+    if (truth >= iv.lower && truth <= iv.upper) ++covered;
+  }
+  EXPECT_GE(covered, trials * 7 / 10);
+}
+
+// Accuracy property: for uniformly random products the estimate should be
+// within a modest relative error of the truth across a sparsity sweep.
+class MncAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MncAccuracyTest, ProductEstimateClose) {
+  const auto [sa, sb] = GetParam();
+  Rng rng(11);
+  CsrMatrix a = GenerateUniformSparse(150, 120, sa, rng);
+  CsrMatrix b = GenerateUniformSparse(120, 140, sb, rng);
+  const double est = EstimateProductSparsity(MncSketch::FromCsr(a),
+                                             MncSketch::FromCsr(b));
+  const double truth = TrueProductSparsity(a, b);
+  EXPECT_LT(RelativeError(est, truth), 1.5)
+      << "est=" << est << " truth=" << truth;
+}
+
+TEST_P(MncAccuracyTest, EWiseEstimatesClose) {
+  const auto [sa, sb] = GetParam();
+  Rng rng(12);
+  CsrMatrix a = GenerateUniformSparse(150, 120, sa, rng);
+  CsrMatrix b = GenerateUniformSparse(150, 120, sb, rng);
+  MncSketch ha = MncSketch::FromCsr(a);
+  MncSketch hb = MncSketch::FromCsr(b);
+
+  const double mult_truth =
+      static_cast<double>(MultiplyEWiseSparseSparse(a, b).NumNonZeros());
+  const double add_truth =
+      static_cast<double>(AddSparseSparse(a, b).NumNonZeros());
+  if (mult_truth > 0) {
+    EXPECT_LT(RelativeError(EstimateEWiseMultNnz(ha, hb), mult_truth), 2.0);
+  }
+  EXPECT_LT(RelativeError(EstimateEWiseAddNnz(ha, hb), add_truth), 1.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SparsitySweep, MncAccuracyTest,
+    ::testing::Combine(::testing::Values(0.02, 0.1, 0.3),
+                       ::testing::Values(0.02, 0.1, 0.3)));
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,129 @@
+#include "mnc/core/mnc_sketch_io.h"
+
+#include <cstring>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/generate.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+void ExpectSketchesEqual(const MncSketch& a, const MncSketch& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(a.hr(), b.hr());
+  EXPECT_EQ(a.hc(), b.hc());
+  EXPECT_EQ(a.her(), b.her());
+  EXPECT_EQ(a.hec(), b.hec());
+  EXPECT_EQ(a.is_diagonal(), b.is_diagonal());
+  EXPECT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.max_hr(), b.max_hr());
+  EXPECT_EQ(a.single_nnz_cols(), b.single_nnz_cols());
+}
+
+TEST(SketchIoTest, RoundTripWithExtensions) {
+  Rng rng(1);
+  MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(30, 20, 0.2, rng));
+  ASSERT_TRUE(s.has_extended());
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSketch(s, ss));
+  auto back = ReadSketch(ss);
+  ASSERT_TRUE(back.has_value());
+  ExpectSketchesEqual(s, *back);
+}
+
+TEST(SketchIoTest, RoundTripWithoutExtensions) {
+  Rng rng(2);
+  MncSketch s = MncSketch::FromCsr(GeneratePermutation(25, rng));
+  ASSERT_FALSE(s.has_extended());
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSketch(s, ss));
+  auto back = ReadSketch(ss);
+  ASSERT_TRUE(back.has_value());
+  ExpectSketchesEqual(s, *back);
+}
+
+TEST(SketchIoTest, RoundTripDiagonalFlag) {
+  Rng rng(3);
+  MncSketch s = MncSketch::FromCsr(GenerateDiagonal(16, rng));
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSketch(s, ss));
+  auto back = ReadSketch(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->is_diagonal());
+}
+
+TEST(SketchIoTest, RoundTripEmptyMatrix) {
+  MncSketch s = MncSketch::FromCsr(CsrMatrix(5, 8));
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSketch(s, ss));
+  auto back = ReadSketch(ss);
+  ASSERT_TRUE(back.has_value());
+  ExpectSketchesEqual(s, *back);
+}
+
+TEST(SketchIoTest, FileRoundTrip) {
+  Rng rng(4);
+  MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(40, 40, 0.1, rng));
+  const std::string path = ::testing::TempDir() + "/sketch_io_test.mncs";
+  ASSERT_TRUE(WriteSketchFile(s, path));
+  auto back = ReadSketchFile(path);
+  ASSERT_TRUE(back.has_value());
+  ExpectSketchesEqual(s, *back);
+}
+
+TEST(SketchIoTest, RejectsBadMagic) {
+  std::stringstream ss("XXXX garbage");
+  EXPECT_FALSE(ReadSketch(ss).has_value());
+}
+
+TEST(SketchIoTest, RejectsTruncated) {
+  Rng rng(5);
+  MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(20, 20, 0.2, rng));
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSketch(s, ss));
+  const std::string full = ss.str();
+  for (size_t cut : {size_t{3}, size_t{10}, full.size() / 2,
+                     full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_FALSE(ReadSketch(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(SketchIoTest, RejectsOutOfRangeCounts) {
+  // Hand-craft a payload with a row count exceeding the column dimension.
+  MncSketch s = MncSketch::FromCounts(2, 3, {1, 2}, {1, 1, 1});
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSketch(s, ss));
+  std::string bytes = ss.str();
+  // hr starts after magic(4)+version(1)+diag(1)+rows(8)+cols(8)+len(8).
+  int64_t bad = 99;
+  std::memcpy(bytes.data() + 4 + 1 + 1 + 8 + 8 + 8, &bad, sizeof(bad));
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(ReadSketch(corrupted).has_value());
+}
+
+TEST(SketchIoTest, DistributedWorkflow) {
+  // Workers sketch row partitions and serialize; the driver deserializes,
+  // merges, and estimates — end-to-end §3.1 story.
+  Rng rng(6);
+  CsrMatrix part1 = GenerateUniformSparse(30, 50, 0.1, rng);
+  CsrMatrix part2 = GenerateUniformSparse(20, 50, 0.2, rng);
+
+  std::stringstream wire1, wire2;
+  ASSERT_TRUE(WriteSketch(MncSketch::FromCsr(part1), wire1));
+  ASSERT_TRUE(WriteSketch(MncSketch::FromCsr(part2), wire2));
+
+  auto s1 = ReadSketch(wire1);
+  auto s2 = ReadSketch(wire2);
+  ASSERT_TRUE(s1.has_value() && s2.has_value());
+  MncSketch merged = MncSketch::MergeRowPartitions({*s1, *s2});
+  EXPECT_EQ(merged.rows(), 50);
+  EXPECT_EQ(merged.nnz(), part1.NumNonZeros() + part2.NumNonZeros());
+}
+
+}  // namespace
+}  // namespace mnc

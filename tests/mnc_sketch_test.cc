@@ -1,0 +1,257 @@
+#include "mnc/core/mnc_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+// The running-example matrix A from Figure 5 of the paper (9 x 9):
+// row counts hr = [1,2,3,0,1,1,2,3,1], col counts hc = [0,1,1,0,0,0,1,1,1]
+// are not literally reproduced here (the figure is hand-drawn); instead we
+// verify the definitions directly on a small matrix.
+CsrMatrix SmallExample() {
+  // 4 x 4:
+  //   [ 1 0 0 2 ]
+  //   [ 0 3 0 0 ]
+  //   [ 0 4 5 0 ]
+  //   [ 0 0 0 0 ]
+  CooMatrix coo(4, 4);
+  coo.Add(0, 0, 1.0);
+  coo.Add(0, 3, 2.0);
+  coo.Add(1, 1, 3.0);
+  coo.Add(2, 1, 4.0);
+  coo.Add(2, 2, 5.0);
+  return coo.ToCsr();
+}
+
+TEST(MncSketchTest, CountVectors) {
+  MncSketch s = MncSketch::FromCsr(SmallExample());
+  EXPECT_EQ(s.hr(), (std::vector<int64_t>{2, 1, 2, 0}));
+  EXPECT_EQ(s.hc(), (std::vector<int64_t>{1, 2, 1, 1}));
+  EXPECT_EQ(s.nnz(), 5);
+  EXPECT_DOUBLE_EQ(s.Sparsity(), 5.0 / 16.0);
+}
+
+TEST(MncSketchTest, ExtensionVectors) {
+  // her_i = # non-zeros of row i that lie in columns with a single non-zero.
+  // Columns with hc == 1: {0, 2, 3}.
+  //   row 0 has entries in cols {0, 3} -> 2; row 1 in col {1} -> 0;
+  //   row 2 in cols {1, 2} -> 1; row 3 empty -> 0.
+  // hec_j = # non-zeros of column j that lie in rows with a single non-zero.
+  // Rows with hr == 1: {1}. Column 1 holds its entry -> hec = [0,1,0,0].
+  MncSketch s = MncSketch::FromCsr(SmallExample());
+  ASSERT_TRUE(s.has_extended());
+  EXPECT_EQ(s.her(), (std::vector<int64_t>{2, 0, 1, 0}));
+  EXPECT_EQ(s.hec(), (std::vector<int64_t>{0, 1, 0, 0}));
+}
+
+TEST(MncSketchTest, SummaryStatistics) {
+  MncSketch s = MncSketch::FromCsr(SmallExample());
+  EXPECT_EQ(s.max_hr(), 2);
+  EXPECT_EQ(s.max_hc(), 2);
+  EXPECT_EQ(s.non_empty_rows(), 3);
+  EXPECT_EQ(s.non_empty_cols(), 4);
+  EXPECT_EQ(s.single_nnz_rows(), 1);
+  EXPECT_EQ(s.single_nnz_cols(), 3);
+  // half-full: hr > n/2 = 2 -> none; hc > m/2 = 2 -> none.
+  EXPECT_EQ(s.half_full_rows(), 0);
+  EXPECT_EQ(s.half_full_cols(), 0);
+  EXPECT_FALSE(s.is_diagonal());
+}
+
+TEST(MncSketchTest, HalfFullCounts) {
+  // 2 x 4 matrix with a row of 3 non-zeros (> 4/2).
+  CooMatrix coo(2, 4);
+  coo.Add(0, 0, 1.0);
+  coo.Add(0, 1, 1.0);
+  coo.Add(0, 2, 1.0);
+  MncSketch s = MncSketch::FromCsr(coo.ToCsr());
+  EXPECT_EQ(s.half_full_rows(), 1);
+  // Columns have 1 of 2 cells: 1 > 2/2 is false.
+  EXPECT_EQ(s.half_full_cols(), 0);
+}
+
+TEST(MncSketchTest, NoExtensionVectorsWhenAllSingle) {
+  Rng rng(1);
+  // Permutation: max(hr) == max(hc) == 1 -> extensions carry no info.
+  MncSketch s = MncSketch::FromCsr(GeneratePermutation(10, rng));
+  EXPECT_FALSE(s.has_extended());
+  EXPECT_EQ(s.max_hr(), 1);
+  EXPECT_EQ(s.max_hc(), 1);
+}
+
+TEST(MncSketchTest, DiagonalFlag) {
+  Rng rng(2);
+  EXPECT_TRUE(MncSketch::FromCsr(GenerateDiagonal(8, rng)).is_diagonal());
+  EXPECT_FALSE(
+      MncSketch::FromCsr(GeneratePermutation(8, rng)).is_diagonal());
+}
+
+TEST(MncSketchTest, FromDenseMatchesFromCsr) {
+  Rng rng(3);
+  CsrMatrix m = GenerateUniformSparse(20, 15, 0.3, rng);
+  MncSketch a = MncSketch::FromCsr(m);
+  MncSketch b = MncSketch::FromDense(m.ToDense());
+  EXPECT_EQ(a.hr(), b.hr());
+  EXPECT_EQ(a.hc(), b.hc());
+  EXPECT_EQ(a.her(), b.her());
+  EXPECT_EQ(a.hec(), b.hec());
+}
+
+TEST(MncSketchTest, ToBasicStripsExtensions) {
+  MncSketch s = MncSketch::FromCsr(SmallExample());
+  MncSketch basic = s.ToBasic();
+  EXPECT_FALSE(basic.has_extended());
+  EXPECT_EQ(basic.hr(), s.hr());
+  EXPECT_EQ(basic.hc(), s.hc());
+  EXPECT_FALSE(basic.is_diagonal());
+}
+
+TEST(MncSketchTest, FromCountsRecomputesSummary) {
+  MncSketch s = MncSketch::FromCounts(3, 4, {2, 0, 4}, {1, 2, 2, 1});
+  EXPECT_EQ(s.nnz(), 6);
+  EXPECT_EQ(s.max_hr(), 4);
+  EXPECT_EQ(s.non_empty_rows(), 2);
+  EXPECT_EQ(s.half_full_rows(), 1);  // 4 > 4/2
+  EXPECT_EQ(s.single_nnz_cols(), 2);
+}
+
+TEST(MncSketchTest, SizeIsLinearInDimensions) {
+  Rng rng(4);
+  MncSketch small = MncSketch::FromCsr(GenerateUniformSparse(100, 100, 0.3, rng));
+  MncSketch large = MncSketch::FromCsr(GenerateUniformSparse(1000, 1000, 0.3, rng));
+  // 10x the dimensions -> ~10x the size, independent of nnz (100x here).
+  EXPECT_LT(large.SizeBytes(), 15 * small.SizeBytes());
+}
+
+TEST(MncSketchTest, ConsistentRowColumnTotals) {
+  Rng rng(5);
+  CsrMatrix m = GenerateUniformSparse(50, 80, 0.1, rng);
+  MncSketch s = MncSketch::FromCsr(m);
+  int64_t hc_total = 0;
+  for (int64_t c : s.hc()) hc_total += c;
+  EXPECT_EQ(hc_total, s.nnz());
+  EXPECT_EQ(s.nnz(), m.NumNonZeros());
+}
+
+namespace {
+
+// Extracts rows [begin, end) as a standalone CSR partition.
+CsrMatrix RowSlice(const CsrMatrix& m, int64_t begin, int64_t end) {
+  CooMatrix coo(end - begin, m.cols());
+  for (int64_t i = begin; i < end; ++i) {
+    const auto idx = m.RowIndices(i);
+    const auto val = m.RowValues(i);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      coo.Add(i - begin, idx[k], val[k]);
+    }
+  }
+  return coo.ToCsr();
+}
+
+}  // namespace
+
+TEST(MncSketchTest, MergeRowPartitionsMatchesDirect) {
+  Rng rng(7);
+  CsrMatrix m = GenerateUniformSparse(90, 40, 0.1, rng);
+  std::vector<MncSketch> parts;
+  parts.push_back(MncSketch::FromCsr(RowSlice(m, 0, 30)));
+  parts.push_back(MncSketch::FromCsr(RowSlice(m, 30, 70)));
+  parts.push_back(MncSketch::FromCsr(RowSlice(m, 70, 90)));
+  MncSketch merged = MncSketch::MergeRowPartitions(parts);
+  MncSketch direct = MncSketch::FromCsr(m);
+  EXPECT_EQ(merged.hr(), direct.hr());
+  EXPECT_EQ(merged.hc(), direct.hc());
+  EXPECT_EQ(merged.nnz(), direct.nnz());
+  EXPECT_EQ(merged.max_hr(), direct.max_hr());
+  // Extension vectors are not mergeable and must be absent.
+  EXPECT_FALSE(merged.has_extended());
+}
+
+TEST(MncSketchTest, MergeColPartitionsMatchesDirect) {
+  Rng rng(8);
+  CsrMatrix m = GenerateUniformSparse(40, 60, 0.15, rng);
+  // Column slices via transpose + row slices + transpose of counts: build
+  // directly from per-column count vectors instead.
+  MncSketch direct = MncSketch::FromCsr(m);
+  // Split columns [0, 25) and [25, 60).
+  auto slice_counts = [&](int64_t c0, int64_t c1) {
+    std::vector<int64_t> hr(static_cast<size_t>(m.rows()), 0);
+    std::vector<int64_t> hc;
+    for (int64_t j = c0; j < c1; ++j) {
+      hc.push_back(direct.hc()[static_cast<size_t>(j)]);
+    }
+    for (int64_t i = 0; i < m.rows(); ++i) {
+      for (int64_t j : m.RowIndices(i)) {
+        if (j >= c0 && j < c1) ++hr[static_cast<size_t>(i)];
+      }
+    }
+    return MncSketch::FromCounts(m.rows(), c1 - c0, std::move(hr),
+                                 std::move(hc));
+  };
+  MncSketch merged = MncSketch::MergeColPartitions(
+      {slice_counts(0, 25), slice_counts(25, 60)});
+  EXPECT_EQ(merged.hr(), direct.hr());
+  EXPECT_EQ(merged.hc(), direct.hc());
+}
+
+TEST(MncSketchTest, ParallelConstructionEqualsSequential) {
+  Rng rng(9);
+  ThreadPool pool(4);
+  for (double s : {0.01, 0.1, 0.4}) {
+    CsrMatrix m = GenerateUniformSparse(500, 300, s, rng);
+    MncSketch seq = MncSketch::FromCsr(m);
+    MncSketch par = MncSketch::FromCsrParallel(m, pool);
+    EXPECT_EQ(par.hr(), seq.hr());
+    EXPECT_EQ(par.hc(), seq.hc());
+    EXPECT_EQ(par.her(), seq.her());
+    EXPECT_EQ(par.hec(), seq.hec());
+    EXPECT_EQ(par.is_diagonal(), seq.is_diagonal());
+  }
+}
+
+TEST(MncSketchTest, ParallelConstructionDiagonal) {
+  Rng rng(10);
+  ThreadPool pool(3);
+  CsrMatrix d = GenerateDiagonal(64, rng);
+  EXPECT_TRUE(MncSketch::FromCsrParallel(d, pool).is_diagonal());
+}
+
+// Extension-vector definitional property over random matrices: summing hec
+// counts non-zeros in single-nnz rows; summing her counts non-zeros in
+// single-nnz columns.
+class MncSketchPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MncSketchPropertyTest, ExtensionTotalsMatchDefinition) {
+  Rng rng(6);
+  CsrMatrix m = GenerateUniformSparse(60, 40, GetParam(), rng);
+  MncSketch s = MncSketch::FromCsr(m);
+  if (!s.has_extended()) return;
+
+  int64_t hec_total = 0;
+  for (int64_t c : s.hec()) hec_total += c;
+  int64_t expect_hec = 0;
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    if (m.RowNnz(i) == 1) ++expect_hec;
+  }
+  EXPECT_EQ(hec_total, expect_hec);
+
+  int64_t her_total = 0;
+  for (int64_t c : s.her()) her_total += c;
+  int64_t expect_her = 0;
+  const std::vector<int64_t> col_counts = m.NnzPerCol();
+  for (int64_t j = 0; j < m.cols(); ++j) {
+    if (col_counts[static_cast<size_t>(j)] == 1) ++expect_her;
+  }
+  EXPECT_EQ(her_total, expect_her);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, MncSketchPropertyTest,
+                         ::testing::Values(0.005, 0.02, 0.1, 0.4));
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,102 @@
+#include "mnc/matrix/ops_ewise.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/generate.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(EWiseTest, AddKnownValues) {
+  DenseMatrix a(2, 2, {1, 0, 3, 0});
+  DenseMatrix b(2, 2, {0, 2, 1, 0});
+  CsrMatrix c = AddSparseSparse(a.ToCsr(), b.ToCsr());
+  EXPECT_EQ(c.At(0, 0), 1.0);
+  EXPECT_EQ(c.At(0, 1), 2.0);
+  EXPECT_EQ(c.At(1, 0), 4.0);
+  EXPECT_EQ(c.At(1, 1), 0.0);
+  EXPECT_EQ(c.NumNonZeros(), 3);
+}
+
+TEST(EWiseTest, AddCancellationDropsEntry) {
+  DenseMatrix a(1, 2, {2.0, 1.0});
+  DenseMatrix b(1, 2, {-2.0, 1.0});
+  CsrMatrix c = AddSparseSparse(a.ToCsr(), b.ToCsr());
+  c.CheckInvariants();
+  EXPECT_EQ(c.NumNonZeros(), 1);
+  EXPECT_EQ(c.At(0, 1), 2.0);
+}
+
+TEST(EWiseTest, MultIntersectsPatterns) {
+  DenseMatrix a(2, 2, {1, 2, 0, 3});
+  DenseMatrix b(2, 2, {4, 0, 5, 6});
+  CsrMatrix c = MultiplyEWiseSparseSparse(a.ToCsr(), b.ToCsr());
+  EXPECT_EQ(c.NumNonZeros(), 2);
+  EXPECT_EQ(c.At(0, 0), 4.0);
+  EXPECT_EQ(c.At(1, 1), 18.0);
+}
+
+TEST(EWiseTest, NotEqualZeroSparse) {
+  DenseMatrix a(2, 2, {0.5, 0, -3, 0});
+  CsrMatrix ind = NotEqualZeroSparse(a.ToCsr());
+  EXPECT_EQ(ind.NumNonZeros(), 2);
+  EXPECT_EQ(ind.At(0, 0), 1.0);
+  EXPECT_EQ(ind.At(1, 0), 1.0);
+}
+
+TEST(EWiseTest, EqualZeroComplementsPattern) {
+  Rng rng(1);
+  CsrMatrix a = GenerateUniformSparse(10, 10, 0.2, rng);
+  Matrix z = EqualZero(Matrix::Sparse(a));
+  EXPECT_EQ(z.NumNonZeros(), 100 - a.NumNonZeros());
+  // Complement of the complement restores the pattern.
+  Matrix zz = EqualZero(z);
+  EXPECT_TRUE(
+      zz.AsCsr().Equals(NotEqualZeroSparse(a)));
+}
+
+TEST(EWiseTest, ScaleSparse) {
+  DenseMatrix a(1, 3, {1, 0, 2});
+  CsrMatrix s = ScaleSparse(a.ToCsr(), 2.5);
+  EXPECT_EQ(s.At(0, 0), 2.5);
+  EXPECT_EQ(s.At(0, 2), 5.0);
+  EXPECT_EQ(ScaleSparse(a.ToCsr(), 0.0).NumNonZeros(), 0);
+}
+
+TEST(EWiseTest, FacadeMixedFormats) {
+  Rng rng(2);
+  CsrMatrix a = GenerateUniformSparse(12, 12, 0.3, rng);
+  DenseMatrix b = GenerateDense(12, 12, rng);
+  Matrix sum = Add(Matrix::Sparse(a), Matrix::Dense(b));
+  Matrix prod = MultiplyEWise(Matrix::Sparse(a), Matrix::Dense(b));
+
+  // Compare against all-dense computation.
+  DenseMatrix expected_sum = AddDenseDense(a.ToDense(), b);
+  DenseMatrix expected_prod = MultiplyEWiseDenseDense(a.ToDense(), b);
+  EXPECT_TRUE(sum.AsDense().Equals(expected_sum));
+  EXPECT_TRUE(prod.AsCsr().Equals(expected_prod.ToCsr()));
+}
+
+// Property sweep: sparse kernels agree with dense kernels.
+class EWiseSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(EWiseSweepTest, SparseAgreesWithDense) {
+  const auto [sa, sb] = GetParam();
+  Rng rng(3);
+  CsrMatrix a = GenerateUniformSparse(25, 19, sa, rng);
+  CsrMatrix b = GenerateUniformSparse(25, 19, sb, rng);
+  EXPECT_TRUE(AddSparseSparse(a, b).Equals(
+      AddDenseDense(a.ToDense(), b.ToDense()).ToCsr()));
+  EXPECT_TRUE(MultiplyEWiseSparseSparse(a, b).Equals(
+      MultiplyEWiseDenseDense(a.ToDense(), b.ToDense()).ToCsr()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SparsitySweep, EWiseSweepTest,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.5, 1.0),
+                       ::testing::Values(0.0, 0.1, 0.5, 1.0)));
+
+}  // namespace
+}  // namespace mnc

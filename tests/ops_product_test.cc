@@ -1,0 +1,140 @@
+#include "mnc/matrix/ops_product.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/generate.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+// Reference O(mnl) product on dense matrices.
+DenseMatrix ReferenceProduct(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < a.cols(); ++k) {
+        acc += a.At(i, k) * b.At(k, j);
+      }
+      c.Set(i, j, acc);
+    }
+  }
+  return c;
+}
+
+TEST(ProductTest, SmallKnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  DenseMatrix a(2, 2, {1, 2, 3, 4});
+  DenseMatrix b(2, 2, {5, 6, 7, 8});
+  DenseMatrix c = MultiplyDenseDense(a, b);
+  EXPECT_EQ(c.At(0, 0), 19.0);
+  EXPECT_EQ(c.At(0, 1), 22.0);
+  EXPECT_EQ(c.At(1, 0), 43.0);
+  EXPECT_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(ProductTest, IdentityIsNeutral) {
+  Rng rng(1);
+  CsrMatrix x = GenerateUniformSparse(10, 10, 0.3, rng);
+  CsrMatrix id = GenerateSelection({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 10);
+  EXPECT_TRUE(MultiplySparseSparse(id, x).Equals(x));
+  EXPECT_TRUE(MultiplySparseSparse(x, id).Equals(x));
+}
+
+TEST(ProductTest, RectangularShapes) {
+  Rng rng(2);
+  DenseMatrix a = GenerateDense(3, 7, rng);
+  DenseMatrix b = GenerateDense(7, 5, rng);
+  DenseMatrix c = MultiplyDenseDense(a, b);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 5);
+  EXPECT_TRUE(c.Equals(ReferenceProduct(a, b)));
+}
+
+TEST(ProductTest, MultiThreadedMatchesSingleThreaded) {
+  Rng rng(3);
+  DenseMatrix a = GenerateDense(37, 23, rng);
+  DenseMatrix b = GenerateDense(23, 41, rng);
+  ThreadPool pool(4);
+  DenseMatrix st = MultiplyDenseDense(a, b);
+  DenseMatrix mt = MultiplyDenseDense(a, b, &pool);
+  EXPECT_TRUE(st.Equals(mt));
+}
+
+TEST(ProductTest, EmptyOperands) {
+  CsrMatrix a(3, 4);
+  CsrMatrix b(4, 2);
+  CsrMatrix c = MultiplySparseSparse(a, b);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_EQ(c.NumNonZeros(), 0);
+}
+
+TEST(ProductTest, ProductNnzExactMatchesProduct) {
+  Rng rng(4);
+  CsrMatrix a = GenerateUniformSparse(30, 40, 0.1, rng);
+  CsrMatrix b = GenerateUniformSparse(40, 25, 0.1, rng);
+  CsrMatrix c = MultiplySparseSparse(a, b);
+  EXPECT_EQ(ProductNnzExact(a, b), c.NumNonZeros());
+}
+
+TEST(ProductTest, NnzHintDoesNotChangeResult) {
+  Rng rng(9);
+  CsrMatrix a = GenerateUniformSparse(40, 40, 0.1, rng);
+  CsrMatrix b = GenerateUniformSparse(40, 40, 0.1, rng);
+  const CsrMatrix plain = MultiplySparseSparse(a, b);
+  // Hints below, at, and above the true count all yield identical results.
+  for (int64_t hint : {int64_t{1}, plain.NumNonZeros(),
+                       plain.NumNonZeros() * 4, int64_t{1} << 40}) {
+    EXPECT_TRUE(MultiplySparseSparse(a, b, hint).Equals(plain)) << hint;
+  }
+}
+
+TEST(ProductTest, FacadeDispatchChoosesOutputFormat) {
+  Rng rng(5);
+  // Ultra-sparse x ultra-sparse stays sparse.
+  Matrix a = Matrix::Sparse(GenerateUniformSparse(50, 50, 0.01, rng));
+  Matrix b = Matrix::Sparse(GenerateUniformSparse(50, 50, 0.01, rng));
+  EXPECT_FALSE(Multiply(a, b).is_dense());
+  // Dense x dense is dense.
+  Matrix c = Matrix::Dense(GenerateDense(20, 20, rng));
+  Matrix d = Matrix::Dense(GenerateDense(20, 20, rng));
+  EXPECT_TRUE(Multiply(c, d).is_dense());
+}
+
+// All four kernels must agree with the reference product for every format
+// pairing and a sweep of sparsities.
+struct KernelCase {
+  double sparsity_a;
+  double sparsity_b;
+};
+
+class ProductKernelTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ProductKernelTest, AllKernelsAgree) {
+  const auto [sa, sb] = GetParam();
+  Rng rng(7);
+  CsrMatrix a = GenerateUniformSparse(23, 31, sa, rng);
+  CsrMatrix b = GenerateUniformSparse(31, 17, sb, rng);
+  DenseMatrix da = a.ToDense();
+  DenseMatrix db = b.ToDense();
+  const DenseMatrix expected = ReferenceProduct(da, db);
+
+  EXPECT_TRUE(MultiplyDenseDense(da, db).Equals(expected));
+  EXPECT_TRUE(MultiplySparseDense(a, db).Equals(expected));
+  EXPECT_TRUE(MultiplyDenseSparse(da, b).Equals(expected));
+  // Sparse-sparse output may drop numerically-cancelled entries; values here
+  // are positive so results match exactly as CSR.
+  EXPECT_TRUE(
+      MultiplySparseSparse(a, b).Equals(CsrMatrix::FromDense(expected)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SparsitySweep, ProductKernelTest,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.3, 1.0),
+                       ::testing::Values(0.0, 0.05, 0.3, 1.0)));
+
+}  // namespace
+}  // namespace mnc

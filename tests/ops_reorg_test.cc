@@ -1,0 +1,140 @@
+#include "mnc/matrix/ops_reorg.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(ReorgTest, TransposeKnown) {
+  DenseMatrix a(2, 3, {1, 2, 0, 0, 3, 4});
+  CsrMatrix t = TransposeSparse(a.ToCsr());
+  t.CheckInvariants();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.At(0, 0), 1.0);
+  EXPECT_EQ(t.At(1, 0), 2.0);
+  EXPECT_EQ(t.At(1, 1), 3.0);
+  EXPECT_EQ(t.At(2, 1), 4.0);
+}
+
+TEST(ReorgTest, TransposeInvolution) {
+  Rng rng(1);
+  CsrMatrix a = GenerateUniformSparse(17, 29, 0.2, rng);
+  EXPECT_TRUE(TransposeSparse(TransposeSparse(a)).Equals(a));
+}
+
+TEST(ReorgTest, TransposeDenseMatchesSparse) {
+  Rng rng(2);
+  CsrMatrix a = GenerateUniformSparse(11, 13, 0.4, rng);
+  EXPECT_TRUE(
+      TransposeDense(a.ToDense()).ToCsr().Equals(TransposeSparse(a)));
+}
+
+TEST(ReorgTest, ReshapeRowMajorOrderPreserved) {
+  // 2x6 -> 4x3: linear positions are preserved.
+  DenseMatrix a(2, 6, {1, 0, 2, 0, 0, 3, 0, 4, 0, 0, 5, 0});
+  CsrMatrix r = ReshapeSparse(a.ToCsr(), 4, 3);
+  r.CheckInvariants();
+  EXPECT_EQ(r.At(0, 0), 1.0);  // linear 0
+  EXPECT_EQ(r.At(0, 2), 2.0);  // linear 2
+  EXPECT_EQ(r.At(1, 2), 3.0);  // linear 5
+  EXPECT_EQ(r.At(2, 1), 4.0);  // linear 7
+  EXPECT_EQ(r.At(3, 1), 5.0);  // linear 10
+}
+
+TEST(ReorgTest, ReshapeRoundTrip) {
+  Rng rng(3);
+  CsrMatrix a = GenerateUniformSparse(12, 10, 0.25, rng);
+  CsrMatrix r = ReshapeSparse(ReshapeSparse(a, 24, 5), 12, 10);
+  EXPECT_TRUE(r.Equals(a));
+}
+
+TEST(ReorgTest, ReshapePreservesNnz) {
+  Rng rng(4);
+  CsrMatrix a = GenerateUniformSparse(8, 9, 0.3, rng);
+  EXPECT_EQ(ReshapeSparse(a, 36, 2).NumNonZeros(), a.NumNonZeros());
+}
+
+TEST(ReorgTest, DiagVectorToMatrix) {
+  CooMatrix v(4, 1);
+  v.Add(0, 0, 2.0);
+  v.Add(2, 0, 3.0);
+  CsrMatrix d = DiagVectorToMatrix(v.ToCsr());
+  EXPECT_EQ(d.rows(), 4);
+  EXPECT_EQ(d.cols(), 4);
+  EXPECT_EQ(d.NumNonZeros(), 2);
+  EXPECT_EQ(d.At(0, 0), 2.0);
+  EXPECT_EQ(d.At(2, 2), 3.0);
+}
+
+TEST(ReorgTest, DiagMatrixToVector) {
+  DenseMatrix a(3, 3, {1, 9, 9, 9, 0, 9, 9, 9, 5});
+  CsrMatrix v = DiagMatrixToVector(a.ToCsr());
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_EQ(v.cols(), 1);
+  EXPECT_EQ(v.At(0, 0), 1.0);
+  EXPECT_EQ(v.At(1, 0), 0.0);
+  EXPECT_EQ(v.At(2, 0), 5.0);
+}
+
+TEST(ReorgTest, DiagRoundTrip) {
+  Rng rng(5);
+  CsrMatrix diag = GenerateDiagonal(6, rng);
+  CsrMatrix v = DiagMatrixToVector(diag);
+  EXPECT_TRUE(DiagVectorToMatrix(v).Equals(diag));
+}
+
+TEST(ReorgTest, RBindStacksRows) {
+  Rng rng(6);
+  CsrMatrix a = GenerateUniformSparse(3, 5, 0.4, rng);
+  CsrMatrix b = GenerateUniformSparse(2, 5, 0.4, rng);
+  CsrMatrix c = RBindSparse(a, b);
+  c.CheckInvariants();
+  EXPECT_EQ(c.rows(), 5);
+  EXPECT_EQ(c.NumNonZeros(), a.NumNonZeros() + b.NumNonZeros());
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 5; ++j) EXPECT_EQ(c.At(i, j), a.At(i, j));
+  }
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 5; ++j) EXPECT_EQ(c.At(3 + i, j), b.At(i, j));
+  }
+}
+
+TEST(ReorgTest, CBindConcatenatesColumns) {
+  Rng rng(7);
+  CsrMatrix a = GenerateUniformSparse(4, 3, 0.5, rng);
+  CsrMatrix b = GenerateUniformSparse(4, 2, 0.5, rng);
+  CsrMatrix c = CBindSparse(a, b);
+  c.CheckInvariants();
+  EXPECT_EQ(c.cols(), 5);
+  EXPECT_EQ(c.NumNonZeros(), a.NumNonZeros() + b.NumNonZeros());
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 3; ++j) EXPECT_EQ(c.At(i, j), a.At(i, j));
+    for (int64_t j = 0; j < 2; ++j) EXPECT_EQ(c.At(i, 3 + j), b.At(i, j));
+  }
+}
+
+TEST(ReorgTest, RBindWithEmpty) {
+  Rng rng(8);
+  CsrMatrix a = GenerateUniformSparse(3, 4, 0.5, rng);
+  CsrMatrix empty(0, 4);
+  EXPECT_TRUE(RBindSparse(a, empty).Equals(a));
+  EXPECT_TRUE(RBindSparse(empty, a).Equals(a));
+}
+
+TEST(ReorgTest, DenseReshapeReusesBuffer) {
+  Rng rng(9);
+  DenseMatrix d = GenerateDense(4, 6, rng);
+  Matrix r = Reshape(Matrix::Dense(d), 8, 3);
+  EXPECT_TRUE(r.is_dense());
+  EXPECT_EQ(r.AsCsr().NumNonZeros(), d.NumNonZeros());
+  // Spot-check linearization.
+  EXPECT_EQ(r.dense().At(1, 0), d.At(0, 3));
+}
+
+}  // namespace
+}  // namespace mnc

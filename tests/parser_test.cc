@@ -1,0 +1,250 @@
+#include "mnc/lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/ir/evaluator.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_ewise.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/matrix/ops_reorg.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() {
+    Rng rng(1);
+    a_ = GenerateUniformSparse(6, 6, 0.4, rng);
+    b_ = GenerateUniformSparse(6, 6, 0.4, rng);
+    r_ = GenerateUniformSparse(6, 4, 0.4, rng);
+    v_ = GenerateUniformSparse(6, 1, 0.6, rng);
+    bindings_ = {
+        {"A", Matrix::Sparse(a_)},
+        {"B", Matrix::Sparse(b_)},
+        {"R", Matrix::Sparse(r_)},
+        {"v", Matrix::Sparse(v_)},
+    };
+  }
+
+  Matrix Eval(const std::string& source) {
+    ParseResult result = ParseExpression(source, bindings_);
+    EXPECT_TRUE(result.ok()) << result.error;
+    Evaluator eval;
+    return eval.Evaluate(result.expr);
+  }
+
+  CsrMatrix a_{0, 0}, b_{0, 0}, r_{0, 0}, v_{0, 0};
+  std::map<std::string, Matrix> bindings_;
+};
+
+TEST_F(ParserTest, SingleIdentifier) {
+  EXPECT_TRUE(Eval("A").AsCsr().Equals(a_));
+}
+
+TEST_F(ParserTest, MatMul) {
+  EXPECT_TRUE(Eval("A %*% B").AsCsr().Equals(MultiplySparseSparse(a_, b_)));
+}
+
+TEST_F(ParserTest, MatMulLeftAssociative) {
+  ParseResult result = ParseExpression("A %*% B %*% R", bindings_);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.expr->ToString(), "MatMul(MatMul(A, B), R)");
+}
+
+TEST_F(ParserTest, PrecedenceMatMulOverEWise) {
+  // '*' binds looser than '%*%': A * B %*% B == A * (B %*% B).
+  ParseResult result = ParseExpression("A * B %*% B", bindings_);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.expr->ToString(), "EWiseMult(A, MatMul(B, B))");
+}
+
+TEST_F(ParserTest, PrecedenceEWiseOverAdd) {
+  ParseResult result = ParseExpression("A + B * A", bindings_);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.expr->ToString(), "EWiseAdd(A, EWiseMult(B, A))");
+}
+
+TEST_F(ParserTest, ParenthesesOverridePrecedence) {
+  ParseResult result = ParseExpression("(A + B) * A", bindings_);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.expr->ToString(), "EWiseMult(EWiseAdd(A, B), A)");
+}
+
+TEST_F(ParserTest, TransposeFunction) {
+  EXPECT_TRUE(Eval("t(R)").AsCsr().Equals(TransposeSparse(r_)));
+}
+
+TEST_F(ParserTest, ReshapeFunction) {
+  EXPECT_TRUE(
+      Eval("reshape(R, 8, 3)").AsCsr().Equals(ReshapeSparse(r_, 8, 3)));
+}
+
+TEST_F(ParserTest, DiagVector) {
+  EXPECT_TRUE(Eval("diag(v)").AsCsr().Equals(DiagVectorToMatrix(v_)));
+}
+
+TEST_F(ParserTest, BindFunctions) {
+  EXPECT_TRUE(Eval("rbind(A, B)").AsCsr().Equals(RBindSparse(a_, b_)));
+  EXPECT_TRUE(Eval("cbind(A, R)").AsCsr().Equals(CBindSparse(a_, r_)));
+}
+
+TEST_F(ParserTest, MinMaxFunctions) {
+  EXPECT_TRUE(
+      Eval("min(A, B)").AsCsr().Equals(MinEWiseSparseSparse(a_, b_)));
+  EXPECT_TRUE(
+      Eval("max(A, B)").AsCsr().Equals(MaxEWiseSparseSparse(a_, b_)));
+}
+
+TEST_F(ParserTest, Aggregations) {
+  EXPECT_TRUE(Eval("rowSums(A)").AsCsr().Equals(RowSumsSparse(a_)));
+  EXPECT_TRUE(Eval("colSums(A)").AsCsr().Equals(ColSumsSparse(a_)));
+}
+
+TEST_F(ParserTest, ComparisonBindsLoosest) {
+  // R semantics: A %*% B != 0 means (A %*% B) != 0.
+  ParseResult result = ParseExpression("A %*% B != 0", bindings_);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.expr->ToString(), "NotEqualZero(MatMul(A, B))");
+}
+
+TEST_F(ParserTest, Comparisons) {
+  EXPECT_TRUE(
+      Eval("A != 0").AsCsr().Equals(NotEqualZeroSparse(a_)));
+  ParseResult result = ParseExpression("(A == 0)", bindings_);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.expr->op(), OpKind::kEqualZero);
+}
+
+TEST_F(ParserTest, ScalarScaling) {
+  EXPECT_TRUE(Eval("2.5 * A").AsCsr().Equals(ScaleSparse(a_, 2.5)));
+}
+
+TEST_F(ParserTest, B35StyleExpression) {
+  // The B3.5 predicate shape parses and evaluates.
+  ParseResult result =
+      ParseExpression("A * ((B * A + B) != 0)", bindings_);
+  ASSERT_TRUE(result.ok()) << result.error;
+  Evaluator eval;
+  const Matrix got = eval.Evaluate(result.expr);
+  const Matrix expected = eval.Evaluate(ExprNode::EWiseMult(
+      ExprNode::Leaf(Matrix::Sparse(a_)),
+      ExprNode::NotEqualZero(ExprNode::EWiseAdd(
+          ExprNode::EWiseMult(ExprNode::Leaf(Matrix::Sparse(b_)),
+                              ExprNode::Leaf(Matrix::Sparse(a_))),
+          ExprNode::Leaf(Matrix::Sparse(b_))))));
+  EXPECT_TRUE(got.EqualsLogically(expected));
+}
+
+// -------- programs (multi-statement scripts) --------
+
+TEST_F(ParserTest, ProgramWithAssignments) {
+  ParseResult result = ParseProgram(
+      "Y = A %*% B; M = Y != 0; M * Y", bindings_);
+  ASSERT_TRUE(result.ok()) << result.error;
+  Evaluator eval;
+  const Matrix got = eval.Evaluate(result.expr);
+  const CsrMatrix y = MultiplySparseSparse(a_, b_);
+  const CsrMatrix expected =
+      MultiplyEWiseSparseSparse(NotEqualZeroSparse(y), y);
+  EXPECT_TRUE(got.AsCsr().Equals(expected));
+}
+
+TEST_F(ParserTest, ProgramSharesAssignedSubexpressions) {
+  // Y is referenced twice; both references must be the same DAG node.
+  ParseResult result = ParseProgram("Y = A %*% B; Y * Y", bindings_);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.expr->left().get(), result.expr->right().get());
+  // 2 leaves + 1 product + 1 ewise = 4 distinct nodes.
+  EXPECT_EQ(result.expr->NumNodes(), 4);
+}
+
+TEST_F(ParserTest, RepeatedIdentifiersShareLeaves) {
+  ParseResult result = ParseExpression("A %*% A", bindings_);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.expr->left().get(), result.expr->right().get());
+}
+
+TEST_F(ParserTest, ProgramAssignmentShadowsBinding) {
+  ParseResult result = ParseProgram("A = A != 0; A", bindings_);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.expr->op(), OpKind::kNotEqualZero);
+}
+
+TEST_F(ParserTest, ProgramTrailingSemicolonOk) {
+  ParseResult result = ParseProgram("Y = A + B; Y;", bindings_);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.expr->op(), OpKind::kEWiseAdd);
+}
+
+TEST_F(ParserTest, ProgramErrors) {
+  EXPECT_FALSE(ParseProgram("Y = ; Y", bindings_).ok());
+  EXPECT_FALSE(ParseProgram("A %*% B A", bindings_).ok());
+  EXPECT_FALSE(ParseProgram("Y = A; Z", bindings_).ok());  // unknown Z... Y ok
+  EXPECT_TRUE(ParseProgram("Y = A; Y", bindings_).ok());
+}
+
+TEST_F(ParserTest, SingleEqualsIsAssignmentOnlyAtStatementStart) {
+  // "A = 0" parses the '=' as assignment of the expression "0..." which is
+  // invalid — comparisons need '=='.
+  EXPECT_FALSE(ParseProgram("B = (A = 0); B", bindings_).ok());
+}
+
+// -------- error handling --------
+
+TEST_F(ParserTest, UnknownIdentifier) {
+  ParseResult result = ParseExpression("A %*% Z", bindings_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("unknown matrix 'Z'"), std::string::npos);
+}
+
+TEST_F(ParserTest, InnerDimensionMismatch) {
+  ParseResult result = ParseExpression("R %*% A", bindings_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("inner dimension mismatch"),
+            std::string::npos);
+}
+
+TEST_F(ParserTest, EWiseShapeMismatch) {
+  EXPECT_FALSE(ParseExpression("A + R", bindings_).ok());
+  EXPECT_FALSE(ParseExpression("A * R", bindings_).ok());
+  EXPECT_FALSE(ParseExpression("min(A, R)", bindings_).ok());
+}
+
+TEST_F(ParserTest, ReshapeSizeMismatch) {
+  EXPECT_FALSE(ParseExpression("reshape(A, 5, 5)", bindings_).ok());
+}
+
+TEST_F(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseExpression("A %*", bindings_).ok());
+  EXPECT_FALSE(ParseExpression("A +", bindings_).ok());
+  EXPECT_FALSE(ParseExpression("(A", bindings_).ok());
+  EXPECT_FALSE(ParseExpression("A)", bindings_).ok());
+  EXPECT_FALSE(ParseExpression("", bindings_).ok());
+  EXPECT_FALSE(ParseExpression("A @ B", bindings_).ok());
+  EXPECT_FALSE(ParseExpression("foo(A)", bindings_).ok());
+}
+
+TEST_F(ParserTest, ComparisonOnlyAgainstZero) {
+  EXPECT_FALSE(ParseExpression("A != 1", bindings_).ok());
+}
+
+TEST_F(ParserTest, ZeroScaleRejected) {
+  ParseResult result = ParseExpression("0 * A", bindings_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("collapses"), std::string::npos);
+}
+
+TEST_F(ParserTest, NumberWithoutStarRejected) {
+  EXPECT_FALSE(ParseExpression("2.5 A", bindings_).ok());
+  EXPECT_FALSE(ParseExpression("A + 3", bindings_).ok());
+}
+
+TEST_F(ParserTest, DiagShapeValidation) {
+  EXPECT_FALSE(ParseExpression("diag(R)", bindings_).ok());  // 6x4
+  EXPECT_TRUE(ParseExpression("diag(A)", bindings_).ok());   // square
+}
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,200 @@
+// Randomized-DAG integration tests ("fuzzing" the full stack).
+//
+// Generates random expression DAGs over random sparse leaves and checks,
+// for every estimator:
+//   - Supports() never lies: a supported DAG must produce an estimate,
+//   - estimates are valid sparsities in [0, 1],
+//   - the bitset estimator is *exact* on every supported DAG (it evaluates
+//     boolean algebra, so any mismatch against the FP64 evaluator indicates
+//     a bug in either the kernels or the bitset),
+//   - propagated synopsis shapes match the IR's inferred shapes.
+
+#include <gtest/gtest.h>
+
+#include "mnc/mnc.h"
+
+namespace mnc {
+namespace {
+
+// Random structured leaf: uniform, diagonal, permutation, one-nnz-per-row,
+// single dense row/column — the structural archetypes the estimators
+// specialize on.
+ExprPtr RandomStructuredLeaf(Rng& rng, int64_t dim) {
+  switch (rng.UniformInt(6)) {
+    case 0:
+      return ExprNode::Leaf(Matrix::AutoFromCsr(
+          GenerateUniformSparse(dim, dim, rng.Uniform(0.05, 0.5), rng)));
+    case 1:
+      return ExprNode::Leaf(Matrix::Sparse(GenerateDiagonal(dim, rng)));
+    case 2:
+      return ExprNode::Leaf(Matrix::Sparse(GeneratePermutation(dim, rng)));
+    case 3: {
+      ZipfDistribution dist(dim, 1.1);
+      return ExprNode::Leaf(
+          Matrix::Sparse(GenerateOneNnzPerRow(dim, dim, dist, rng)));
+    }
+    case 4: {
+      CooMatrix coo(dim, dim);
+      const int64_t q = rng.UniformInt(dim);
+      for (int64_t i = 0; i < dim; ++i) coo.Add(i, q, 1.0);  // dense column
+      return ExprNode::Leaf(Matrix::Sparse(coo.ToCsr()));
+    }
+    default: {
+      CooMatrix coo(dim, dim);
+      const int64_t q = rng.UniformInt(dim);
+      for (int64_t j = 0; j < dim; ++j) coo.Add(q, j, 1.0);  // dense row
+      return ExprNode::Leaf(Matrix::Sparse(coo.ToCsr()));
+    }
+  }
+}
+
+// Random DAG builder: combines a pool of subexpressions with random ops
+// until a target node count is reached.
+ExprPtr RandomDag(Rng& rng, int num_ops) {
+  std::vector<ExprPtr> pool;
+  const int64_t dim = 12;  // uniform square/compatible shapes keep ops legal
+  for (int i = 0; i < 3; ++i) {
+    pool.push_back(RandomStructuredLeaf(rng, dim));
+  }
+
+  for (int step = 0; step < num_ops; ++step) {
+    const ExprPtr a = pool[static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(pool.size())))];
+    const ExprPtr b = pool[static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(pool.size())))];
+    ExprPtr node;
+    switch (rng.UniformInt(10)) {
+      case 0:
+        if (a->cols() == b->rows()) node = ExprNode::MatMul(a, b);
+        break;
+      case 1:
+        if (a->rows() == b->rows() && a->cols() == b->cols()) {
+          node = ExprNode::EWiseAdd(a, b);
+        }
+        break;
+      case 2:
+        if (a->rows() == b->rows() && a->cols() == b->cols()) {
+          node = ExprNode::EWiseMult(a, b);
+        }
+        break;
+      case 3:
+        if (a->rows() == b->rows() && a->cols() == b->cols()) {
+          node = ExprNode::EWiseMax(a, b);
+        }
+        break;
+      case 4:
+        node = ExprNode::Transpose(a);
+        break;
+      case 5:
+        node = ExprNode::NotEqualZero(a);
+        break;
+      case 6:
+        node = ExprNode::EqualZero(a);
+        break;
+      case 7:
+        node = ExprNode::Scale(a, rng.Uniform(0.5, 2.0));
+        break;
+      case 8:
+        if (a->rows() == b->rows() && a->cols() == b->cols()) {
+          node = ExprNode::EWiseMin(a, b);
+        }
+        break;
+      case 9:
+        node = ExprNode::Reshape(a, a->cols(), a->rows());
+        break;
+    }
+    if (node != nullptr) pool.push_back(node);
+  }
+  return pool.back();
+}
+
+class RandomDagTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagTest, BitsetIsExactOnEveryDag) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const ExprPtr root = RandomDag(rng, 12);
+  BitsetEstimator bitset;
+  SketchPropagator prop(&bitset);
+  ASSERT_TRUE(prop.Supports(root));
+  const auto est = prop.EstimateSparsity(root);
+  ASSERT_TRUE(est.has_value());
+  Evaluator eval;
+  EXPECT_DOUBLE_EQ(*est, eval.Evaluate(root).Sparsity())
+      << root->ToString();
+}
+
+TEST_P(RandomDagTest, AllEstimatorsProduceValidSparsities) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  const ExprPtr root = RandomDag(rng, 10);
+
+  MetaAcEstimator ac;
+  MetaWcEstimator wc;
+  MncEstimator mnc_full;
+  MncEstimator mnc_basic(true);
+  DensityMapEstimator dmap(8);
+  BitsetEstimator bitset;
+  SamplingEstimator sample(true);
+  LayeredGraphEstimator lgraph;
+  for (SparsityEstimator* est : std::vector<SparsityEstimator*>{
+           &ac, &wc, &mnc_full, &mnc_basic, &dmap, &bitset, &sample,
+           &lgraph}) {
+    SketchPropagator prop(est);
+    const bool supported = prop.Supports(root);
+    const auto sparsity = prop.EstimateSparsity(root);
+    // Supports() and EstimateSparsity() must agree (the only extra failure
+    // source is the bitset memory budget, which is unlimited here).
+    EXPECT_EQ(supported, sparsity.has_value()) << est->Name();
+    if (sparsity.has_value()) {
+      EXPECT_GE(*sparsity, 0.0) << est->Name() << " " << root->ToString();
+      EXPECT_LE(*sparsity, 1.0) << est->Name() << " " << root->ToString();
+    }
+  }
+}
+
+TEST_P(RandomDagTest, MncSynopsisShapesMatchIr) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 1);
+  const ExprPtr root = RandomDag(rng, 10);
+  MncEstimator est;
+  SketchPropagator prop(&est);
+  // Walk every node and compare synopsis shape with the IR shape.
+  std::vector<ExprPtr> stack = {root};
+  std::vector<ExprPtr> all;
+  while (!stack.empty()) {
+    ExprPtr node = stack.back();
+    stack.pop_back();
+    all.push_back(node);
+    if (node->left() != nullptr) stack.push_back(node->left());
+    if (node->right() != nullptr) stack.push_back(node->right());
+  }
+  for (const ExprPtr& node : all) {
+    const SynopsisPtr syn = prop.Synopsis(node);
+    ASSERT_NE(syn, nullptr);
+    EXPECT_EQ(syn->rows(), node->rows()) << node->ToString();
+    EXPECT_EQ(syn->cols(), node->cols()) << node->ToString();
+  }
+}
+
+TEST_P(RandomDagTest, MncNnzTotalsConsistent) {
+  // Propagated sketches must keep row and column totals loosely in sync
+  // (both approximate the same nnz estimate).
+  Rng rng(static_cast<uint64_t>(GetParam()) * 13 + 3);
+  const ExprPtr root = RandomDag(rng, 8);
+  MncEstimator est;
+  SketchPropagator prop(&est);
+  const SynopsisPtr syn = prop.Synopsis(root);
+  ASSERT_NE(syn, nullptr);
+  const MncSketch& sketch =
+      dynamic_cast<const MncSynopsis&>(*syn).sketch();
+  int64_t hc_total = 0;
+  for (int64_t c : sketch.hc()) hc_total += c;
+  const double cells = static_cast<double>(sketch.rows()) *
+                       static_cast<double>(sketch.cols());
+  // Totals agree within 25% of the matrix size (probabilistic rounding).
+  EXPECT_NEAR(static_cast<double>(sketch.nnz()),
+              static_cast<double>(hc_total), 0.25 * cells + 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace mnc

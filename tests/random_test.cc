@@ -1,0 +1,184 @@
+#include "mnc/util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mnc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const int64_t v = rng.UniformInt(10);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 5000, 400);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);  // mean = 1/lambda
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  Rng rng(23);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  // Distinct, ascending, in range.
+  for (size_t i = 0; i < sample.size(); ++i) {
+    ASSERT_GE(sample[i], 0);
+    ASSERT_LT(sample[i], 100);
+    if (i > 0) ASSERT_LT(sample[i - 1], sample[i]);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(29);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(sample[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementEmpty) {
+  Rng rng(31);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+  EXPECT_TRUE(rng.SampleWithoutReplacement(0, 0).empty());
+}
+
+TEST(ZipfTest, InRangeAndSkewed) {
+  Rng rng(37);
+  ZipfDistribution zipf(1000, 1.1);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t v = zipf(rng);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 1000);
+    ++counts[static_cast<size_t>(v)];
+  }
+  // Rank 0 must dominate rank 100 substantially.
+  EXPECT_GT(counts[0], 10 * counts[100]);
+}
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  Rng rng(41);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[static_cast<size_t>(zipf(rng))];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 400);
+}
+
+TEST(ZipfTest, SingleBucket) {
+  Rng rng(43);
+  ZipfDistribution zipf(1, 2.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf(rng), 0);
+}
+
+// Property sweep: the empirical Zipf frequency ratio between ranks 1 and 2
+// approaches 2^s for various skews.
+class ZipfSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewTest, RankRatioMatchesSkew) {
+  const double s = GetParam();
+  Rng rng(47);
+  ZipfDistribution zipf(100, s);
+  int64_t rank0 = 0;
+  int64_t rank1 = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const int64_t v = zipf(rng);
+    if (v == 0) ++rank0;
+    if (v == 1) ++rank1;
+  }
+  const double ratio =
+      static_cast<double>(rank0) / static_cast<double>(rank1);
+  EXPECT_NEAR(ratio, std::pow(2.0, s), 0.25 * std::pow(2.0, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewTest,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace mnc

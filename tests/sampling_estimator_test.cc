@@ -1,0 +1,154 @@
+#include "mnc/estimators/sampling_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_ewise.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/sparsest/metrics.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+double TrueProductSparsity(const CsrMatrix& a, const CsrMatrix& b) {
+  return static_cast<double>(ProductNnzExact(a, b)) /
+         (static_cast<double>(a.rows()) * static_cast<double>(b.cols()));
+}
+
+TEST(SamplingEstimatorTest, BiasedIsLowerBoundAtFullSample) {
+  // With |S| = n the biased estimator equals the largest outer product,
+  // which is a strict lower bound of the true output sparsity (§2.3).
+  Rng rng(1);
+  CsrMatrix a = GenerateUniformSparse(60, 50, 0.1, rng);
+  CsrMatrix b = GenerateUniformSparse(50, 60, 0.1, rng);
+  SamplingEstimator biased(false, /*sample_fraction=*/1.0);
+  const double est = biased.EstimateSparsity(
+      OpKind::kMatMul, biased.Build(Matrix::Sparse(a)),
+      biased.Build(Matrix::Sparse(b)), 60, 60);
+  EXPECT_LE(est, TrueProductSparsity(a, b) + 1e-12);
+}
+
+TEST(SamplingEstimatorTest, BiasedFullSampleMatchesMaxOuterProduct) {
+  Rng rng(2);
+  CsrMatrix a = GenerateUniformSparse(40, 30, 0.15, rng);
+  CsrMatrix b = GenerateUniformSparse(30, 40, 0.15, rng);
+  SamplingEstimator biased(false, 1.0);
+  const double est = biased.EstimateSparsity(
+      OpKind::kMatMul, biased.Build(Matrix::Sparse(a)),
+      biased.Build(Matrix::Sparse(b)), 40, 40);
+
+  const std::vector<int64_t> ca = a.NnzPerCol();
+  double best = 0.0;
+  for (int64_t k = 0; k < 30; ++k) {
+    best = std::max(best, static_cast<double>(ca[static_cast<size_t>(k)]) *
+                              static_cast<double>(b.RowNnz(k)));
+  }
+  EXPECT_DOUBLE_EQ(est, best / (40.0 * 40.0));
+}
+
+TEST(SamplingEstimatorTest, UnbiasedCloseOnUniformData) {
+  Rng rng(3);
+  CsrMatrix a = GenerateUniformSparse(150, 100, 0.05, rng);
+  CsrMatrix b = GenerateUniformSparse(100, 150, 0.05, rng);
+  SamplingEstimator unbiased(true, 0.2);
+  const double est = unbiased.EstimateSparsity(
+      OpKind::kMatMul, unbiased.Build(Matrix::Sparse(a)),
+      unbiased.Build(Matrix::Sparse(b)), 150, 150);
+  EXPECT_LT(RelativeError(est, TrueProductSparsity(a, b)), 1.3);
+}
+
+TEST(SamplingEstimatorTest, UnbiasedBeatsBiasedOnSkewedData) {
+  // Appendix A/Table 4: the biased variant massively underestimates when
+  // outer products overlap; the unbiased variant does not.
+  Rng rng(4);
+  CsrMatrix a = GenerateUniformSparse(100, 200, 0.1, rng);
+  CsrMatrix b = GenerateUniformSparse(200, 100, 0.1, rng);
+  const double truth = TrueProductSparsity(a, b);
+
+  SamplingEstimator biased(false, 0.1);
+  SamplingEstimator unbiased(true, 0.1);
+  const double e_biased = RelativeError(
+      biased.EstimateSparsity(OpKind::kMatMul,
+                              biased.Build(Matrix::Sparse(a)),
+                              biased.Build(Matrix::Sparse(b)), 100, 100),
+      truth);
+  const double e_unbiased = RelativeError(
+      unbiased.EstimateSparsity(OpKind::kMatMul,
+                                unbiased.Build(Matrix::Sparse(a)),
+                                unbiased.Build(Matrix::Sparse(b)), 100, 100),
+      truth);
+  EXPECT_LT(e_unbiased, e_biased);
+}
+
+TEST(SamplingEstimatorTest, MissesRareDenseOuterProduct) {
+  // The B1.4 failure mode: a single dense outer product at one common index
+  // is missed by most small samples, so the biased estimate collapses.
+  const int64_t n = 200;
+  CooMatrix c(n, n);
+  CooMatrix r(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    c.Add(i, 42, 1.0);
+    r.Add(42, i, 1.0);
+  }
+  SamplingEstimator biased(false, 0.05, /*seed=*/1234);
+  const double est = biased.EstimateSparsity(
+      OpKind::kMatMul, biased.Build(Matrix::Sparse(c.ToCsr())),
+      biased.Build(Matrix::Sparse(r.ToCsr())), n, n);
+  // True sparsity is 1.0; a 5% sample almost surely misses index 42.
+  EXPECT_LT(est, 0.5);
+}
+
+TEST(SamplingEstimatorTest, EWiseMultColumnSampling) {
+  Rng rng(5);
+  CsrMatrix a = GenerateUniformSparse(200, 50, 0.3, rng);
+  CsrMatrix b = GenerateUniformSparse(200, 50, 0.3, rng);
+  SamplingEstimator est(false, 0.3);
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kEWiseMult, est.Build(Matrix::Sparse(a)),
+      est.Build(Matrix::Sparse(b)), 200, 50);
+  const double truth = MultiplyEWiseSparseSparse(a, b).Sparsity();
+  EXPECT_LT(RelativeError(sparsity, truth), 1.5);
+}
+
+TEST(SamplingEstimatorTest, BiasedSupportsOnlySingleOps) {
+  SamplingEstimator est(false);
+  EXPECT_FALSE(est.SupportsChains());
+  EXPECT_TRUE(est.SupportsOp(OpKind::kMatMul));
+  EXPECT_TRUE(est.SupportsOp(OpKind::kEWiseMult));
+  EXPECT_FALSE(est.SupportsOp(OpKind::kTranspose));
+  EXPECT_FALSE(est.SupportsOp(OpKind::kEWiseAdd));
+}
+
+TEST(SamplingEstimatorTest, UnbiasedSupportsProductChains) {
+  // Appendix A: "For a chain of matrix products, we take nnz(M(j):k) =
+  // m_j s_j when computing s_{j+1}."
+  SamplingEstimator est(true, 0.3);
+  EXPECT_TRUE(est.SupportsChains());
+
+  Rng rng(6);
+  CsrMatrix a = GenerateUniformSparse(100, 100, 0.05, rng);
+  CsrMatrix b = GenerateUniformSparse(100, 100, 0.05, rng);
+  CsrMatrix c = GenerateUniformSparse(100, 100, 0.05, rng);
+  SynopsisPtr ab = est.Propagate(OpKind::kMatMul,
+                                 est.Build(Matrix::Sparse(a)),
+                                 est.Build(Matrix::Sparse(b)), 100, 100);
+  ASSERT_NE(ab, nullptr);
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, ab, est.Build(Matrix::Sparse(c)), 100, 100);
+  const CsrMatrix truth =
+      MultiplySparseSparse(MultiplySparseSparse(a, b), c);
+  EXPECT_LT(RelativeError(sparsity, truth.Sparsity()), 1.8);
+}
+
+TEST(SamplingEstimatorTest, EmptyInputs) {
+  SamplingEstimator est(true);
+  Matrix a = Matrix::Sparse(CsrMatrix(10, 10));
+  const double sparsity = est.EstimateSparsity(
+      OpKind::kMatMul, est.Build(a), est.Build(a), 10, 10);
+  EXPECT_EQ(sparsity, 0.0);
+}
+
+}  // namespace
+}  // namespace mnc

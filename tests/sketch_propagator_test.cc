@@ -1,0 +1,134 @@
+#include "mnc/ir/sketch_propagator.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/estimators/bitset_estimator.h"
+#include "mnc/estimators/layered_graph_estimator.h"
+#include "mnc/estimators/meta_estimator.h"
+#include "mnc/estimators/mnc_adapter.h"
+#include "mnc/estimators/sampling_estimator.h"
+#include "mnc/ir/evaluator.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/sparsest/metrics.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+ExprPtr RandomLeaf(int64_t rows, int64_t cols, double s, uint64_t seed) {
+  Rng rng(seed);
+  return ExprNode::Leaf(
+      Matrix::Sparse(GenerateUniformSparse(rows, cols, s, rng)));
+}
+
+TEST(SketchPropagatorTest, LeafSparsityDirect) {
+  ExprPtr leaf = RandomLeaf(20, 20, 0.25, 1);
+  MncEstimator est;
+  SketchPropagator prop(&est);
+  auto sparsity = prop.EstimateSparsity(leaf);
+  ASSERT_TRUE(sparsity.has_value());
+  EXPECT_DOUBLE_EQ(*sparsity, leaf->matrix().Sparsity());
+}
+
+TEST(SketchPropagatorTest, SingleProductSupportedByAll) {
+  ExprPtr expr =
+      ExprNode::MatMul(RandomLeaf(30, 25, 0.1, 1), RandomLeaf(25, 30, 0.1, 2));
+  MncEstimator mnc_est;
+  MetaAcEstimator ac;
+  BitsetEstimator bitset;
+  SamplingEstimator sample(false);
+  LayeredGraphEstimator lgraph;
+  for (SparsityEstimator* est :
+       std::vector<SparsityEstimator*>{&mnc_est, &ac, &bitset, &sample,
+                                       &lgraph}) {
+    SketchPropagator prop(est);
+    EXPECT_TRUE(prop.Supports(expr)) << est->Name();
+    auto sparsity = prop.EstimateSparsity(expr);
+    ASSERT_TRUE(sparsity.has_value()) << est->Name();
+    EXPECT_GE(*sparsity, 0.0);
+    EXPECT_LE(*sparsity, 1.0);
+  }
+}
+
+TEST(SketchPropagatorTest, ChainUnsupportedForSampling) {
+  ExprPtr chain = ExprNode::MatMul(
+      ExprNode::MatMul(RandomLeaf(20, 20, 0.1, 1), RandomLeaf(20, 20, 0.1, 2)),
+      RandomLeaf(20, 20, 0.1, 3));
+  SamplingEstimator sample(false);
+  SketchPropagator prop(&sample);
+  EXPECT_FALSE(prop.Supports(chain));
+  EXPECT_FALSE(prop.EstimateSparsity(chain).has_value());
+}
+
+TEST(SketchPropagatorTest, EWiseUnsupportedForLayeredGraph) {
+  ExprPtr expr = ExprNode::EWiseMult(RandomLeaf(20, 20, 0.2, 1),
+                                     RandomLeaf(20, 20, 0.2, 2));
+  LayeredGraphEstimator lgraph;
+  SketchPropagator prop(&lgraph);
+  EXPECT_FALSE(prop.Supports(expr));
+}
+
+TEST(SketchPropagatorTest, BitsetOverBudgetReportsUnsupported) {
+  ExprPtr expr =
+      ExprNode::MatMul(RandomLeaf(100, 100, 0.05, 1),
+                       RandomLeaf(100, 100, 0.05, 2));
+  BitsetEstimator bitset(nullptr, /*max_synopsis_bytes=*/64);
+  SketchPropagator prop(&bitset);
+  EXPECT_TRUE(prop.Supports(expr));  // op-wise supported...
+  EXPECT_FALSE(prop.EstimateSparsity(expr).has_value());  // ...but OOM
+}
+
+TEST(SketchPropagatorTest, BitsetExactOnMixedDag) {
+  ExprPtr a = RandomLeaf(16, 16, 0.2, 1);
+  ExprPtr b = RandomLeaf(16, 16, 0.2, 2);
+  ExprPtr expr = ExprNode::EWiseMult(
+      ExprNode::NotEqualZero(ExprNode::MatMul(a, b)),
+      ExprNode::Transpose(ExprNode::EWiseAdd(a, b)));
+  BitsetEstimator bitset;
+  SketchPropagator prop(&bitset);
+  auto est = prop.EstimateSparsity(expr);
+  ASSERT_TRUE(est.has_value());
+  Evaluator eval;
+  EXPECT_DOUBLE_EQ(*est, eval.Evaluate(expr).Sparsity());
+}
+
+TEST(SketchPropagatorTest, MncCloseOnMixedDag) {
+  ExprPtr a = RandomLeaf(60, 60, 0.1, 3);
+  ExprPtr b = RandomLeaf(60, 60, 0.1, 4);
+  ExprPtr expr = ExprNode::EWiseAdd(ExprNode::MatMul(a, b),
+                                    ExprNode::EWiseMult(a, b));
+  MncEstimator est;
+  SketchPropagator prop(&est);
+  auto sparsity = prop.EstimateSparsity(expr);
+  ASSERT_TRUE(sparsity.has_value());
+  Evaluator eval;
+  const double truth = eval.Evaluate(expr).Sparsity();
+  EXPECT_LT(RelativeError(*sparsity, truth), 2.0);
+}
+
+TEST(SketchPropagatorTest, SynopsisMemoizedAcrossCalls) {
+  ExprPtr g = RandomLeaf(30, 30, 0.1, 5);
+  ExprPtr gg = ExprNode::MatMul(g, g);
+  ExprPtr ggg = ExprNode::MatMul(gg, g);
+  MncEstimator est;
+  SketchPropagator prop(&est);
+  const SynopsisPtr first = prop.Synopsis(gg);
+  const SynopsisPtr second = prop.Synopsis(gg);
+  EXPECT_EQ(first.get(), second.get());  // same cached object
+  // And the deeper chain reuses it (no crash, sane result).
+  auto sparsity = prop.EstimateSparsity(ggg);
+  ASSERT_TRUE(sparsity.has_value());
+}
+
+TEST(SketchPropagatorTest, RootEstimatedDirectlyForSingleOpEstimators) {
+  // Sampling cannot propagate, but a root-level product over leaves works.
+  ExprPtr expr = ExprNode::MatMul(RandomLeaf(40, 40, 0.1, 6),
+                                  RandomLeaf(40, 40, 0.1, 7));
+  SamplingEstimator sample(true, 0.5);
+  SketchPropagator prop(&sample);
+  EXPECT_TRUE(prop.Supports(expr));
+  EXPECT_TRUE(prop.EstimateSparsity(expr).has_value());
+}
+
+}  // namespace
+}  // namespace mnc

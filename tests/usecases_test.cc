@@ -1,0 +1,172 @@
+#include "mnc/sparsest/usecases.h"
+
+#include <gtest/gtest.h>
+
+#include "mnc/ir/evaluator.h"
+
+namespace mnc {
+namespace {
+
+// Use-case builders at reduced scale so ground-truth evaluation stays fast.
+
+TEST(UseCasesTest, B11OutputSparsityEqualsKnownFraction) {
+  Rng rng(1);
+  UseCase uc = MakeB11Nlp(rng, /*rows=*/2000, /*dict_size=*/500,
+                          /*embed_dim=*/16, /*known_fraction=*/0.1);
+  EXPECT_EQ(uc.id, "B1.1");
+  Evaluator eval;
+  const double sparsity = eval.Evaluate(uc.expr).Sparsity();
+  // Known rows are fully dense in the output; unknown rows are empty, so
+  // the output sparsity equals the empirical known fraction.
+  EXPECT_NEAR(sparsity, 0.1, 0.03);
+}
+
+TEST(UseCasesTest, B12ScalePreservesSparsity) {
+  Rng rng(2);
+  UseCase uc = MakeB12Scale(rng, 500, 100, 0.05);
+  Evaluator eval;
+  EXPECT_NEAR(eval.Evaluate(uc.expr).Sparsity(), 0.05, 1e-9);
+}
+
+TEST(UseCasesTest, B13PermPreservesSparsity) {
+  Rng rng(3);
+  UseCase uc = MakeB13Perm(rng, 400, 80, 0.5);
+  Evaluator eval;
+  EXPECT_NEAR(eval.Evaluate(uc.expr).Sparsity(), 0.5, 1e-9);
+}
+
+TEST(UseCasesTest, B14OuterIsFullyDense) {
+  Rng rng(4);
+  UseCase uc = MakeB14Outer(rng, 200);
+  Evaluator eval;
+  EXPECT_DOUBLE_EQ(eval.Evaluate(uc.expr).Sparsity(), 1.0);
+}
+
+TEST(UseCasesTest, B15InnerHasSingleNonZero) {
+  Rng rng(5);
+  UseCase uc = MakeB15Inner(rng, 200);
+  Evaluator eval;
+  EXPECT_EQ(eval.Evaluate(uc.expr).NumNonZeros(), 1);
+}
+
+TEST(UseCasesTest, B22ProjectExtractsUltraSparseColumns) {
+  Rng rng(6);
+  UseCase uc = MakeB22Project(rng, 1000);
+  EXPECT_EQ(uc.expr->cols(), 40);
+  Evaluator eval;
+  const Matrix result = eval.Evaluate(uc.expr);
+  // Up to 2 of 40 projected cells per row are non-zero (the two one-hot
+  // positions; rows whose soil category falls outside the projected range
+  // keep only the wilderness bit).
+  EXPECT_LE(result.Sparsity(), 2.0 / 40.0 + 1e-9);
+  EXPECT_NEAR(result.Sparsity(), 2.0 / 40.0, 0.005);
+}
+
+TEST(UseCasesTest, B23CoRefShapes) {
+  Rng rng(7);
+  UseCase uc = MakeB23CoRefGraph(rng, 500, 4.0);
+  EXPECT_EQ(uc.expr->rows(), 500);
+  EXPECT_EQ(uc.expr->cols(), 500);
+  Evaluator eval;
+  const Matrix result = eval.Evaluate(uc.expr);
+  EXPECT_GT(result.NumNonZeros(), 0);
+}
+
+TEST(UseCasesTest, B25MaskIntersectsWithCenter) {
+  Rng rng(8);
+  UseCase uc = MakeB25Mask(rng, 500);
+  Evaluator eval;
+  const Matrix result = eval.Evaluate(uc.expr);
+  // Masked result keeps only center pixels: sparsity strictly between 0 and
+  // the input sparsity (~0.25).
+  EXPECT_GT(result.Sparsity(), 0.0);
+  EXPECT_LT(result.Sparsity(), 0.25);
+}
+
+TEST(UseCasesTest, B31ReshapePreservesNnz) {
+  Rng rng(9);
+  UseCase uc = MakeB31NlpReshape(rng, /*sentences=*/100, /*max_len=*/10,
+                                 /*dict_size=*/300, /*embed_dim=*/8,
+                                 /*unknown_fraction=*/0.7);
+  EXPECT_EQ(uc.expr->rows(), 100);
+  EXPECT_EQ(uc.expr->cols(), 80);
+  Evaluator eval;
+  const Matrix reshaped = eval.Evaluate(uc.expr);
+  const Matrix product = eval.Evaluate(uc.expr->left());
+  EXPECT_EQ(reshaped.NumNonZeros(), product.NumNonZeros());
+}
+
+TEST(UseCasesTest, B32ChainStructure) {
+  Rng rng(10);
+  UseCase uc = MakeB32ScaleShift(rng, /*rows=*/500);
+  ASSERT_EQ(uc.chain_leaves.size(), 6u);
+  ASSERT_EQ(uc.intermediates.size(), 5u);
+  // Chain dimensions line up.
+  for (size_t i = 0; i + 1 < uc.chain_leaves.size(); ++i) {
+    EXPECT_EQ(uc.chain_leaves[i]->cols(), uc.chain_leaves[i + 1]->rows());
+  }
+  // Final output: n x 2 (small and dense, §6.6).
+  EXPECT_EQ(uc.expr->rows(), 785);
+  EXPECT_EQ(uc.expr->cols(), 2);
+  Evaluator eval;
+  const Matrix result = eval.Evaluate(uc.expr);
+  EXPECT_GT(result.Sparsity(), 0.9);
+}
+
+TEST(UseCasesTest, B33PowersDensify) {
+  Rng rng(11);
+  UseCase uc = MakeB33GraphPowers(rng, /*nodes=*/1000, /*avg_degree=*/6.0,
+                                  /*top_k=*/50);
+  ASSERT_EQ(uc.intermediates.size(), 4u);
+  Evaluator eval;
+  double prev = 0.0;
+  for (const ExprPtr& inter : uc.intermediates) {
+    EXPECT_EQ(inter->rows(), 50);
+    const double s = eval.Evaluate(inter).Sparsity();
+    EXPECT_GE(s, prev * 0.5);  // powers densify (roughly monotone)
+    prev = s;
+  }
+  EXPECT_GT(prev, eval.Evaluate(uc.intermediates[0]).Sparsity());
+}
+
+TEST(UseCasesTest, B34RecommendAlignedMask) {
+  Rng rng(12);
+  UseCase uc = MakeB34Recommend(rng, /*users=*/1000, /*items=*/300,
+                                /*rank=*/8, /*top_k=*/100);
+  Evaluator eval;
+  const Matrix result = eval.Evaluate(uc.expr);
+  // The element-wise product selects predictions at known-rating positions;
+  // the output is at most as dense as the known-ratings mask.
+  const Matrix known = eval.Evaluate(uc.expr->left());
+  EXPECT_LE(result.NumNonZeros(), known.NumNonZeros());
+  EXPECT_GT(result.NumNonZeros(), 0);
+}
+
+TEST(UseCasesTest, B35PredicateSelectsSubset) {
+  Rng rng(13);
+  UseCase uc = MakeB35Predicate(rng, /*rows=*/500);
+  Evaluator eval;
+  const Matrix result = eval.Evaluate(uc.expr);
+  const Matrix x = eval.Evaluate(uc.expr->left());
+  EXPECT_GT(result.NumNonZeros(), 0);
+  EXPECT_LT(result.NumNonZeros(), x.NumNonZeros());
+}
+
+TEST(UseCasesTest, B21TokenMatrixUltraSparse) {
+  Rng rng(14);
+  UseCase uc = MakeB21NlpReal(rng, /*rows=*/5000, /*dict_size=*/1000,
+                              /*embed_dim=*/16, /*unknown_fraction=*/0.85);
+  Evaluator eval;
+  const double sparsity = eval.Evaluate(uc.expr).Sparsity();
+  EXPECT_NEAR(sparsity, 0.15, 0.03);
+}
+
+TEST(UseCasesTest, B24SelfProductSharesLeaf) {
+  Rng rng(15);
+  UseCase uc = MakeB24EmailGraph(rng, 500);
+  // G G: two children are the same node object.
+  EXPECT_EQ(uc.expr->left().get(), uc.expr->right().get());
+}
+
+}  // namespace
+}  // namespace mnc

@@ -1,13 +1,18 @@
 // Distributed sketching workflow (§3.1: "the sketch can be computed via
 // distributed operations and subsequently collected and used in the driver
-// for compilation").
+// for compilation") — with fault tolerance.
 //
 // Simulates a row-partitioned matrix on a set of workers:
 //   1. each worker sketches its partition locally (in parallel),
-//   2. serializes the sketch to its "wire" (a byte buffer here),
-//   3. the driver deserializes the per-partition sketches, merges them, and
+//   2. serializes the sketch (format v2, per-section CRC32) to its "wire"
+//      (a byte buffer here),
+//   3. the driver deserializes the per-partition sketches, merges, and
 //      estimates — with a confidence interval — the sparsity of a product
 //      against a second matrix, without ever shipping matrix data.
+// Then the failure path: one wire arrives corrupted (a flipped byte, caught
+// by the section CRC) and the driver degrades gracefully with
+// MergeRowPartitionsTolerant — it merges the healthy partitions, reports the
+// loss, and scales the estimate by the surviving coverage.
 
 #include <cstdio>
 #include <sstream>
@@ -42,8 +47,9 @@ int main() {
           const mnc::MncSketch sketch =
               mnc::MncSketch::FromCsr(partitions[static_cast<size_t>(w)]);
           std::ostringstream wire;
-          mnc::WriteSketch(sketch, wire);
-          wires[static_cast<size_t>(w)] = wire.str();
+          if (mnc::WriteSketch(sketch, wire).ok()) {
+            wires[static_cast<size_t>(w)] = wire.str();
+          }
         }
       });
   const double sketch_ms = watch.ElapsedMillis();
@@ -58,26 +64,29 @@ int main() {
               static_cast<long long>(cols), sketch_ms,
               static_cast<long long>(wire_bytes));
 
-  // Driver: deserialize, merge, estimate.
-  std::vector<mnc::MncSketch> collected;
+  // Driver, happy path: deserialize, merge, estimate.
+  std::vector<mnc::StatusOr<mnc::MncSketch>> collected;
   for (const std::string& wire : wires) {
     std::istringstream in(wire);
-    auto sketch = mnc::ReadSketch(in);
-    if (!sketch.has_value()) {
-      std::fprintf(stderr, "error: corrupt sketch wire\n");
-      return 1;
-    }
-    collected.push_back(std::move(*sketch));
+    collected.push_back(mnc::ReadSketch(in));
   }
-  const mnc::MncSketch merged = mnc::MncSketch::MergeRowPartitions(collected);
+  mnc::PartitionMergeReport report;
+  auto merged = mnc::MncSketch::MergeRowPartitionsTolerant(collected, &report);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "merge failed: %s\n",
+                 merged.status().ToString().c_str());
+    return 1;
+  }
 
   const mnc::CsrMatrix w_local =
       mnc::GenerateUniformSparse(cols, 500, 0.01, rng);
   const mnc::MncSketch hw = mnc::MncSketch::FromCsr(w_local);
   const mnc::SparsityInterval interval =
-      mnc::EstimateProductSparsityInterval(merged, hw);
-  std::printf("driver estimate for X W: %.6g  [%.6g, %.6g]\n",
-              interval.estimate, interval.lower, interval.upper);
+      mnc::EstimateProductSparsityInterval(*merged, hw);
+  std::printf("driver estimate for X W: %.6g  [%.6g, %.6g]  (coverage "
+              "%.0f%%)\n",
+              interval.estimate, interval.lower, interval.upper,
+              100.0 * report.coverage());
 
   // Verify against the exact product (the driver normally never does this).
   mnc::CsrMatrix x(0, cols);
@@ -90,5 +99,34 @@ int main() {
   std::printf("actual sparsity:         %.6g (inside interval: %s)\n", actual,
               actual >= interval.lower && actual <= interval.upper ? "yes"
                                                                    : "no");
+
+  // Failure path: worker 2's wire loses a byte to the network. The v2 CRC
+  // catches it and the driver proceeds on the remaining partitions.
+  std::vector<std::string> damaged_wires = wires;
+  damaged_wires[2][damaged_wires[2].size() / 2] ^= 0x40;
+
+  std::vector<mnc::StatusOr<mnc::MncSketch>> damaged;
+  for (const std::string& wire : damaged_wires) {
+    std::istringstream in(wire);
+    damaged.push_back(mnc::ReadSketch(in));
+  }
+  mnc::PartitionMergeReport partial_report;
+  auto partial =
+      mnc::MncSketch::MergeRowPartitionsTolerant(damaged, &partial_report);
+  if (!partial.ok()) {
+    std::fprintf(stderr, "tolerant merge failed: %s\n",
+                 partial.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwith a corrupted wire, %zu/%d partitions survived:\n",
+              partial_report.merged_partitions.size(), num_workers);
+  for (const auto& [index, status] : partial_report.failed_partitions) {
+    std::printf("  lost partition %d: %s\n", index,
+                status.ToString().c_str());
+  }
+  const mnc::SparsityInterval partial_interval =
+      mnc::EstimateProductSparsityInterval(*partial, hw);
+  std::printf("degraded estimate (from %.0f%% of rows): %.6g\n",
+              100.0 * partial_report.coverage(), partial_interval.estimate);
   return 0;
 }

@@ -33,7 +33,9 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mnc/mnc.h"
@@ -55,10 +57,10 @@ int Usage() {
   return 2;
 }
 
-std::optional<mnc::CsrMatrix> Load(const char* path) {
+mnc::StatusOr<mnc::CsrMatrix> Load(const char* path) {
   auto m = mnc::ReadMatrixMarketFile(path);
-  if (!m.has_value()) {
-    std::fprintf(stderr, "error: cannot read Matrix-Market file %s\n", path);
+  if (!m.ok()) {
+    std::fprintf(stderr, "error: %s\n", m.status().ToString().c_str());
   }
   return m;
 }
@@ -88,8 +90,8 @@ int CmdGenerate(int argc, char** argv) {
   } else {
     return Usage();
   }
-  if (!mnc::WriteMatrixMarketFile(m, out)) {
-    std::fprintf(stderr, "error: cannot write %s\n", out);
+  if (const mnc::Status s = mnc::WriteMatrixMarketFile(m, out); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
   }
   std::printf("wrote %s: %lld x %lld, %lld non-zeros (sparsity %.3g)\n", out,
@@ -102,7 +104,7 @@ int CmdGenerate(int argc, char** argv) {
 int CmdSketch(int argc, char** argv) {
   if (argc < 3) return Usage();
   const auto m = Load(argv[2]);
-  if (!m.has_value()) return 1;
+  if (!m.ok()) return 1;
   const char* out = nullptr;
   for (int i = 3; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
@@ -134,8 +136,8 @@ int CmdSketch(int argc, char** argv) {
               h.is_diagonal() ? "yes" : "no",
               h.has_extended() ? "yes" : "no");
   if (out != nullptr) {
-    if (!mnc::WriteSketchFile(h, out)) {
-      std::fprintf(stderr, "error: cannot write sketch to %s\n", out);
+    if (const mnc::Status s = mnc::WriteSketchFile(h, out); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
     }
     std::printf("sketch written to %s\n", out);
@@ -147,8 +149,12 @@ int CmdEstimateSketches(int argc, char** argv) {
   if (argc < 4) return Usage();
   const auto a = mnc::ReadSketchFile(argv[2]);
   const auto b = mnc::ReadSketchFile(argv[3]);
-  if (!a.has_value() || !b.has_value()) {
-    std::fprintf(stderr, "error: cannot read sketch files\n");
+  if (!a.ok()) {
+    std::fprintf(stderr, "error: %s\n", a.status().ToString().c_str());
+    return 1;
+  }
+  if (!b.ok()) {
+    std::fprintf(stderr, "error: %s\n", b.status().ToString().c_str());
     return 1;
   }
   if (a->cols() != b->rows()) {
@@ -248,11 +254,26 @@ int CmdEstimate(int argc, char** argv) {
   if (files.size() != (binary ? 2u : 1u)) return Usage();
 
   const auto a = Load(files[0]);
-  if (!a.has_value()) return 1;
+  if (!a.ok()) return 1;
   std::optional<mnc::CsrMatrix> b;
   if (binary) {
-    b = Load(files[1]);
-    if (!b.has_value()) return 1;
+    auto loaded = Load(files[1]);
+    if (!loaded.ok()) return 1;
+    b = std::move(loaded).value();
+  }
+
+  // Validate shape compatibility before building the expression: the files
+  // are untrusted input, so a mismatch is a clean error, not an abort.
+  {
+    const mnc::Shape shape_a{a->rows(), a->cols()};
+    std::optional<mnc::Shape> shape_b;
+    if (binary) shape_b = mnc::Shape{b->rows(), b->cols()};
+    const auto out = mnc::TryInferOutputShape(
+        op, shape_a, shape_b ? &*shape_b : nullptr);
+    if (!out.ok()) {
+      std::fprintf(stderr, "error: %s\n", out.status().ToString().c_str());
+      return 1;
+    }
   }
 
   mnc::ExprPtr expr_a =
@@ -319,7 +340,7 @@ int CmdExpr(int argc, char** argv) {
         return 2;
       }
       const auto m = Load(spec.substr(eq + 1).c_str());
-      if (!m.has_value()) return 1;
+      if (!m.ok()) return 1;
       bindings.emplace(spec.substr(0, eq), mnc::Matrix::AutoFromCsr(*m));
       continue;
     }
@@ -346,7 +367,7 @@ int CmdChain(int argc, char** argv) {
   std::vector<mnc::Shape> shapes;
   for (int i = 2; i < argc; ++i) {
     const auto m = Load(argv[i]);
-    if (!m.has_value()) return 1;
+    if (!m.ok()) return 1;
     if (!sketches.empty() && sketches.back().cols() != m->rows()) {
       std::fprintf(stderr, "error: chain dimension mismatch at %s\n",
                    argv[i]);

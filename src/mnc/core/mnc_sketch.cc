@@ -174,6 +174,60 @@ MncSketch MncSketch::MergeRowPartitions(const std::vector<MncSketch>& parts) {
   return FromCounts(rows, cols, std::move(hr), std::move(hc));
 }
 
+StatusOr<MncSketch> MncSketch::MergeRowPartitionsTolerant(
+    const std::vector<StatusOr<MncSketch>>& parts,
+    PartitionMergeReport* report) {
+  PartitionMergeReport local;
+  PartitionMergeReport& rep = report != nullptr ? *report : local;
+  rep = PartitionMergeReport();
+  rep.total_partitions = static_cast<int>(parts.size());
+
+  if (parts.empty()) {
+    return Status::InvalidArgument("no partitions to merge");
+  }
+
+  int64_t cols = -1;
+  std::vector<const MncSketch*> healthy;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const int idx = static_cast<int>(p);
+    if (!parts[p].ok()) {
+      rep.failed_partitions.emplace_back(
+          idx, parts[p].status().WithContext("partition " +
+                                             std::to_string(idx)));
+      continue;
+    }
+    const MncSketch& sketch = *parts[p];
+    if (cols == -1) {
+      cols = sketch.cols();
+    } else if (sketch.cols() != cols) {
+      return Status::InvalidArgument(
+          "partition " + std::to_string(idx) + " has " +
+          std::to_string(sketch.cols()) + " columns but earlier healthy "
+          "partitions have " + std::to_string(cols));
+    }
+    rep.merged_partitions.push_back(idx);
+    rep.merged_rows += sketch.rows();
+    healthy.push_back(&sketch);
+  }
+
+  if (healthy.empty()) {
+    Status cause = rep.failed_partitions.front().second;
+    return std::move(cause).WithContext(
+        "all " + std::to_string(parts.size()) + " partitions failed; first "
+        "cause");
+  }
+
+  std::vector<int64_t> hr;
+  hr.reserve(static_cast<size_t>(rep.merged_rows));
+  std::vector<int64_t> hc(static_cast<size_t>(cols), 0);
+  for (const MncSketch* part : healthy) {
+    hr.insert(hr.end(), part->hr().begin(), part->hr().end());
+    for (size_t j = 0; j < hc.size(); ++j) hc[j] += part->hc()[j];
+  }
+  const int64_t rows = static_cast<int64_t>(hr.size());
+  return FromCounts(rows, cols, std::move(hr), std::move(hc));
+}
+
 MncSketch MncSketch::MergeColPartitions(const std::vector<MncSketch>& parts) {
   MNC_CHECK(!parts.empty());
   const int64_t rows = parts.front().rows();

@@ -16,15 +16,36 @@
 #define MNC_CORE_MNC_SKETCH_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "mnc/matrix/csc_matrix.h"
 #include "mnc/matrix/csr_matrix.h"
 #include "mnc/matrix/dense_matrix.h"
 #include "mnc/matrix/matrix.h"
+#include "mnc/util/status.h"
 #include "mnc/util/thread_pool.h"
 
 namespace mnc {
+
+// Outcome of a tolerant driver-side partition merge: which worker partitions
+// made it into the merged sketch and which were missing or corrupt (and why).
+struct PartitionMergeReport {
+  int total_partitions = 0;
+  std::vector<int> merged_partitions;                    // indices, in order
+  std::vector<std::pair<int, Status>> failed_partitions; // index -> cause
+  int64_t merged_rows = 0;  // rows covered by the merged sketch
+
+  bool complete() const { return failed_partitions.empty(); }
+  // Fraction of partitions that arrived intact; callers can scale estimates
+  // by coverage or re-request the missing workers.
+  double coverage() const {
+    return total_partitions == 0
+               ? 0.0
+               : static_cast<double>(merged_partitions.size()) /
+                     static_cast<double>(total_partitions);
+  }
+};
 
 class MncSketch {
  public:
@@ -89,6 +110,17 @@ class MncSketch {
 
   // Symmetric merge of vertical (column-range) partitions.
   static MncSketch MergeColPartitions(const std::vector<MncSketch>& parts);
+
+  // Fault-tolerant driver-side merge: each entry is a worker's deserialized
+  // sketch or the Status explaining why it is missing/corrupt. Healthy row
+  // partitions are merged in order; failures are recorded in `report`
+  // (optional) instead of sinking the whole merge. Returns an error only
+  // when no partition is usable or the healthy partitions disagree on the
+  // column dimension. The merged sketch covers merged_rows rows — callers
+  // can scale estimates by report->coverage() or re-request the rest.
+  static StatusOr<MncSketch> MergeRowPartitionsTolerant(
+      const std::vector<StatusOr<MncSketch>>& parts,
+      PartitionMergeReport* report = nullptr);
 
   // Multi-threaded construction: partitions the matrix into row ranges,
   // sketches them on the pool, merges, and then reconstructs the extension

@@ -1,110 +1,311 @@
 #include "mnc/core/mnc_sketch_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+
+#include "mnc/util/crc32.h"
+#include "mnc/util/fail_point.h"
 
 namespace mnc {
 
 namespace {
 
 constexpr char kMagic[4] = {'M', 'N', 'C', 'S'};
-constexpr uint8_t kVersion = 1;
+constexpr uint8_t kVersionV1 = 1;
+constexpr uint8_t kVersionV2 = 2;
 
-// Sanity cap against corrupted headers allocating huge vectors.
+// Sanity cap against corrupted headers declaring absurd dimensions.
 constexpr int64_t kMaxDimension = int64_t{1} << 40;
 
-void WriteInt64(std::ostream& os, int64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+// Chunked-read granularity: a corrupt length can never force an allocation
+// larger than the bytes actually present in the stream plus one chunk.
+constexpr int64_t kReadChunkElems = 8192;
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+// Accumulates a CRC32 over everything written through it.
+class ChecksummingWriter {
+ public:
+  explicit ChecksummingWriter(std::ostream& os) : os_(os) {}
+
+  void Write(const void* data, size_t len) {
+    os_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(len));
+    crc_ = Crc32Update(crc_, data, len);
+  }
+  void WriteInt64(int64_t v) { Write(&v, sizeof(v)); }
+  void WriteByte(uint8_t v) { Write(&v, 1); }
+
+  // Emits the running CRC32 (not itself checksummed) and restarts the sum.
+  void EmitCrcAndRestart() {
+    const uint32_t crc = crc_;
+    os_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    crc_ = 0;
+  }
+
+  bool stream_ok() const { return static_cast<bool>(os_); }
+
+ private:
+  std::ostream& os_;
+  uint32_t crc_ = 0;
+};
+
+void WriteVectorSection(ChecksummingWriter& w, const std::vector<int64_t>& v,
+                        bool with_crc) {
+  w.WriteInt64(static_cast<int64_t>(v.size()));
+  w.Write(v.data(), v.size() * sizeof(int64_t));
+  if (with_crc) w.EmitCrcAndRestart();
 }
 
-bool ReadInt64(std::istream& is, int64_t* v) {
-  is.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(is);
+Status WriteSketchImpl(const MncSketch& sketch, std::ostream& os,
+                       uint8_t version) {
+  const bool v2 = version >= kVersionV2;
+  ChecksummingWriter w(os);
+  w.Write(kMagic, sizeof(kMagic));
+  w.WriteByte(version);
+  w.WriteByte(sketch.is_diagonal() ? 1 : 0);
+  w.WriteInt64(sketch.rows());
+
+  if (MncFailPointArmed("sketch_io.write_truncate")) {
+    os.flush();
+    return Status::DataLoss(
+        "fail point sketch_io.write_truncate: simulated mid-write truncation "
+        "after sketch header");
+  }
+
+  w.WriteInt64(sketch.cols());
+  if (v2) w.EmitCrcAndRestart();
+  WriteVectorSection(w, sketch.hr(), v2);
+  WriteVectorSection(w, sketch.hc(), v2);
+  WriteVectorSection(w, sketch.her(), v2);
+  WriteVectorSection(w, sketch.hec(), v2);
+  if (!w.stream_ok()) {
+    return Status::DataLoss("stream write failure while serializing sketch");
+  }
+  return Status::Ok();
 }
 
-void WriteVector(std::ostream& os, const std::vector<int64_t>& v) {
-  WriteInt64(os, static_cast<int64_t>(v.size()));
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(int64_t)));
-}
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
 
-bool ReadVector(std::istream& is, int64_t expected_size,
-                std::vector<int64_t>* v) {
+// Tracks the byte offset and a running CRC32 so errors can name the exact
+// position and v2 sections can be verified incrementally.
+class ChecksummingReader {
+ public:
+  explicit ChecksummingReader(std::istream& is) : is_(is) {}
+
+  Status Read(void* data, size_t len, const char* what) {
+    if (len > 0 && MncFailPointArmed("sketch_io.read_short")) {
+      return Status::DataLoss(
+          std::string("fail point sketch_io.read_short: simulated short read "
+                      "of ") +
+          what + " at offset " + std::to_string(offset_));
+    }
+    is_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+    if (static_cast<size_t>(is_.gcount()) != len) {
+      return Status::DataLoss(
+          std::string("unexpected end of stream reading ") + what +
+          " at offset " + std::to_string(offset_) + " (wanted " +
+          std::to_string(len) + " bytes, got " +
+          std::to_string(is_.gcount()) + ")");
+    }
+    crc_ = Crc32Update(crc_, data, len);
+    offset_ += static_cast<int64_t>(len);
+    return Status::Ok();
+  }
+
+  Status ReadInt64(int64_t* v, const char* what) {
+    return Read(v, sizeof(*v), what);
+  }
+
+  // Reads the stored CRC32 (not itself checksummed), compares it against the
+  // running sum, and restarts the sum.
+  Status VerifyCrcAndRestart(const char* section) {
+    const uint32_t computed = crc_;
+    uint32_t stored = 0;
+    is_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (static_cast<size_t>(is_.gcount()) != sizeof(stored)) {
+      return Status::DataLoss(std::string("unexpected end of stream reading ") +
+                              section + " checksum at offset " +
+                              std::to_string(offset_));
+    }
+    offset_ += static_cast<int64_t>(sizeof(stored));
+    crc_ = 0;
+    if (stored != computed) {
+      return Status::DataLoss(std::string("CRC32 mismatch in section ") +
+                              section + " ending at offset " +
+                              std::to_string(offset_) + " (stored " +
+                              std::to_string(stored) + ", computed " +
+                              std::to_string(computed) + ")");
+    }
+    return Status::Ok();
+  }
+
+  int64_t offset() const { return offset_; }
+
+ private:
+  std::istream& is_;
+  int64_t offset_ = 0;
+  uint32_t crc_ = 0;
+};
+
+// Reads one length-prefixed vector section. `expected_size` is the size the
+// surrounding header implies; -1 means "no constraint". Empty vectors are
+// always legal (extension vectors are optional). The payload is read in
+// bounded chunks so a corrupt length cannot force a huge allocation.
+Status ReadVectorSection(ChecksummingReader& r, const char* section,
+                         int64_t expected_size, bool with_crc,
+                         std::vector<int64_t>* v) {
   int64_t size = 0;
-  if (!ReadInt64(is, &size)) return false;
-  if (size < 0 || size > kMaxDimension) return false;
-  if (expected_size >= 0 && size != 0 && size != expected_size) return false;
-  v->resize(static_cast<size_t>(size));
-  is.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(v->size() * sizeof(int64_t)));
-  return static_cast<bool>(is) || size == 0;
+  MNC_RETURN_IF_ERROR(
+      r.ReadInt64(&size, (std::string(section) + " length").c_str()));
+  if (size < 0 || size > kMaxDimension) {
+    return Status::OutOfRange(std::string("section ") + section +
+                              ": declared length " + std::to_string(size) +
+                              " outside [0, 2^40]");
+  }
+  if (expected_size >= 0 && size != 0 && size != expected_size) {
+    return Status::DataLoss(std::string("section ") + section +
+                            ": declared length " + std::to_string(size) +
+                            " does not match header dimension " +
+                            std::to_string(expected_size));
+  }
+  v->clear();
+  // Pre-reserve only up to one chunk; growth past that is paid for by bytes
+  // actually present in the stream.
+  v->reserve(static_cast<size_t>(std::min(size, kReadChunkElems)));
+  int64_t remaining = size;
+  while (remaining > 0) {
+    const int64_t take = std::min(remaining, kReadChunkElems);
+    const size_t old = v->size();
+    v->resize(old + static_cast<size_t>(take));
+    MNC_RETURN_IF_ERROR(r.Read(v->data() + old,
+                               static_cast<size_t>(take) * sizeof(int64_t),
+                               (std::string(section) + " payload").c_str()));
+    remaining -= take;
+  }
+  if (with_crc) MNC_RETURN_IF_ERROR(r.VerifyCrcAndRestart(section));
+  return Status::Ok();
+}
+
+StatusOr<MncSketch> ReadSketchImpl(std::istream& is) {
+  ChecksummingReader r(is);
+
+  char magic[4];
+  MNC_RETURN_IF_ERROR(r.Read(magic, sizeof(magic), "magic"));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("bad magic at offset 0: not an MNC sketch file");
+  }
+  uint8_t version = 0;
+  MNC_RETURN_IF_ERROR(r.Read(&version, 1, "version"));
+  if (version != kVersionV1 && version != kVersionV2) {
+    return Status::InvalidArgument(
+        "unsupported sketch format version " + std::to_string(version) +
+        " (this reader supports v1 and v2)");
+  }
+  const bool v2 = version == kVersionV2;
+
+  uint8_t flags = 0;
+  MNC_RETURN_IF_ERROR(r.Read(&flags, 1, "flags"));
+  if (flags > 1) {
+    return Status::DataLoss("flags byte at offset 5 has unknown bits set (" +
+                            std::to_string(flags) + ")");
+  }
+  const bool diagonal = (flags & 1) != 0;
+
+  int64_t rows = 0;
+  int64_t cols = 0;
+  MNC_RETURN_IF_ERROR(r.ReadInt64(&rows, "header rows"));
+  MNC_RETURN_IF_ERROR(r.ReadInt64(&cols, "header cols"));
+  if (rows < 0 || cols < 0 || rows > kMaxDimension || cols > kMaxDimension) {
+    return Status::OutOfRange("header dimensions " + std::to_string(rows) +
+                              " x " + std::to_string(cols) +
+                              " outside [0, 2^40]");
+  }
+  if (v2) MNC_RETURN_IF_ERROR(r.VerifyCrcAndRestart("header"));
+
+  std::vector<int64_t> hr, hc, her, hec;
+  MNC_RETURN_IF_ERROR(ReadVectorSection(r, "hr", rows, v2, &hr));
+  MNC_RETURN_IF_ERROR(ReadVectorSection(r, "hc", cols, v2, &hc));
+  MNC_RETURN_IF_ERROR(ReadVectorSection(r, "her", rows, v2, &her));
+  MNC_RETURN_IF_ERROR(ReadVectorSection(r, "hec", cols, v2, &hec));
+
+  if (static_cast<int64_t>(hr.size()) != rows ||
+      static_cast<int64_t>(hc.size()) != cols) {
+    return Status::DataLoss(
+        "hr/hc sections are empty but header declares non-zero dimensions");
+  }
+  // Counts must be within [0, dim].
+  for (size_t i = 0; i < hr.size(); ++i) {
+    if (hr[i] < 0 || hr[i] > cols) {
+      return Status::DataLoss("section hr: count " + std::to_string(hr[i]) +
+                              " at index " + std::to_string(i) +
+                              " outside [0, cols=" + std::to_string(cols) +
+                              "]");
+    }
+  }
+  for (size_t j = 0; j < hc.size(); ++j) {
+    if (hc[j] < 0 || hc[j] > rows) {
+      return Status::DataLoss("section hc: count " + std::to_string(hc[j]) +
+                              " at index " + std::to_string(j) +
+                              " outside [0, rows=" + std::to_string(rows) +
+                              "]");
+    }
+  }
+  // Extension counts are sub-counts of hr/hc.
+  for (size_t i = 0; i < her.size(); ++i) {
+    if (her[i] < 0 || her[i] > hr[i]) {
+      return Status::DataLoss("section her: count " + std::to_string(her[i]) +
+                              " at index " + std::to_string(i) +
+                              " exceeds hr[" + std::to_string(i) + "]=" +
+                              std::to_string(hr[i]));
+    }
+  }
+  for (size_t j = 0; j < hec.size(); ++j) {
+    if (hec[j] < 0 || hec[j] > hc[j]) {
+      return Status::DataLoss("section hec: count " + std::to_string(hec[j]) +
+                              " at index " + std::to_string(j) +
+                              " exceeds hc[" + std::to_string(j) + "]=" +
+                              std::to_string(hc[j]));
+    }
+  }
+  return MncSketch::FromCountsExtended(rows, cols, std::move(hr),
+                                       std::move(hc), std::move(her),
+                                       std::move(hec), diagonal);
 }
 
 }  // namespace
 
-bool WriteSketch(const MncSketch& sketch, std::ostream& os) {
-  os.write(kMagic, sizeof(kMagic));
-  os.put(static_cast<char>(kVersion));
-  os.put(sketch.is_diagonal() ? 1 : 0);
-  WriteInt64(os, sketch.rows());
-  WriteInt64(os, sketch.cols());
-  WriteVector(os, sketch.hr());
-  WriteVector(os, sketch.hc());
-  WriteVector(os, sketch.her());
-  WriteVector(os, sketch.hec());
-  return static_cast<bool>(os);
+Status WriteSketch(const MncSketch& sketch, std::ostream& os) {
+  return WriteSketchImpl(sketch, os, kVersionV2);
 }
 
-bool WriteSketchFile(const MncSketch& sketch, const std::string& path) {
+Status WriteSketchV1(const MncSketch& sketch, std::ostream& os) {
+  return WriteSketchImpl(sketch, os, kVersionV1);
+}
+
+Status WriteSketchFile(const MncSketch& sketch, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  return WriteSketch(sketch, out);
+  if (!out) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  return WriteSketch(sketch, out).WithContext("writing " + path);
 }
 
-std::optional<MncSketch> ReadSketch(std::istream& is) {
-  char magic[4];
-  is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return std::nullopt;
-  }
-  const int version = is.get();
-  if (version != kVersion) return std::nullopt;
-  const int diagonal = is.get();
-  if (diagonal != 0 && diagonal != 1) return std::nullopt;
+StatusOr<MncSketch> ReadSketch(std::istream& is) { return ReadSketchImpl(is); }
 
-  int64_t rows = 0;
-  int64_t cols = 0;
-  if (!ReadInt64(is, &rows) || !ReadInt64(is, &cols)) return std::nullopt;
-  if (rows < 0 || cols < 0 || rows > kMaxDimension || cols > kMaxDimension) {
-    return std::nullopt;
-  }
-  std::vector<int64_t> hr, hc, her, hec;
-  if (!ReadVector(is, rows, &hr) || !ReadVector(is, cols, &hc) ||
-      !ReadVector(is, rows, &her) || !ReadVector(is, cols, &hec)) {
-    return std::nullopt;
-  }
-  if (static_cast<int64_t>(hr.size()) != rows ||
-      static_cast<int64_t>(hc.size()) != cols) {
-    return std::nullopt;
-  }
-  // Counts must be within [0, dim].
-  for (int64_t c : hr) {
-    if (c < 0 || c > cols) return std::nullopt;
-  }
-  for (int64_t c : hc) {
-    if (c < 0 || c > rows) return std::nullopt;
-  }
-  return MncSketch::FromCountsExtended(rows, cols, std::move(hr),
-                                       std::move(hc), std::move(her),
-                                       std::move(hec), diagonal == 1);
-}
-
-std::optional<MncSketch> ReadSketchFile(const std::string& path) {
+StatusOr<MncSketch> ReadSketchFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  return ReadSketch(in);
+  if (!in) {
+    return Status::NotFound("cannot open sketch file " + path);
+  }
+  return ReadSketchImpl(in).AddContext("reading " + path);
 }
 
 }  // namespace mnc

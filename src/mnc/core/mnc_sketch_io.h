@@ -2,27 +2,55 @@
 //
 // Supports the distributed workflow of §3.1: workers sketch their
 // partitions, serialize, and the driver deserializes, merges
-// (MncSketch::MergeRowPartitions), and estimates. The format is a compact
-// little-endian binary layout with a magic header and version byte.
+// (MncSketch::MergeRowPartitions*), and estimates. Because the wire crosses
+// process and machine boundaries, every read returns Status/StatusOr with a
+// precise description of what was wrong (section, offset, expected vs. seen)
+// instead of aborting or silently returning nothing.
+//
+// Binary format v2 (little-endian):
+//
+//   magic   "MNCS"                                          4 bytes
+//   version u8 = 2                                          1 byte
+//   flags   u8 (bit0 = diagonal; other bits must be zero)   1 byte
+//   header  rows i64, cols i64,
+//           crc32 u32 over [magic .. cols]                  20 bytes
+//   4 vector sections (hr, hc, her, hec), each:
+//           len i64, payload len*8 bytes,
+//           crc32 u32 over [len | payload]
+//
+// Version negotiation: v2 readers also accept v1 streams (same layout
+// without the CRC32 fields); writers emit v2 unless WriteSketchV1 is called
+// explicitly. Declared lengths are validated against sanity bounds and the
+// stream is read in bounded chunks, so a corrupt or adversarial header can
+// never cause a huge allocation.
 
 #ifndef MNC_CORE_MNC_SKETCH_IO_H_
 #define MNC_CORE_MNC_SKETCH_IO_H_
 
 #include <iosfwd>
-#include <optional>
 #include <string>
 
 #include "mnc/core/mnc_sketch.h"
+#include "mnc/util/status.h"
 
 namespace mnc {
 
-// Writes `sketch` to `os`. Returns false on stream failure.
-bool WriteSketch(const MncSketch& sketch, std::ostream& os);
-bool WriteSketchFile(const MncSketch& sketch, const std::string& path);
+// Current wire version emitted by WriteSketch.
+inline constexpr int kSketchFormatVersion = 2;
 
-// Reads a sketch; std::nullopt on malformed input or stream failure.
-std::optional<MncSketch> ReadSketch(std::istream& is);
-std::optional<MncSketch> ReadSketchFile(const std::string& path);
+// Writes `sketch` to `os` in format v2. Fail point "sketch_io.write_truncate"
+// simulates a mid-write truncation (partial header is emitted, then error).
+Status WriteSketch(const MncSketch& sketch, std::ostream& os);
+Status WriteSketchFile(const MncSketch& sketch, const std::string& path);
+
+// Writes the legacy v1 format (no checksums). Kept for compatibility tests
+// and for talking to pre-v2 readers.
+Status WriteSketchV1(const MncSketch& sketch, std::ostream& os);
+
+// Reads a sketch in format v1 or v2. Errors name the offending section and
+// byte offset. Fail point "sketch_io.read_short" simulates a short read.
+StatusOr<MncSketch> ReadSketch(std::istream& is);
+StatusOr<MncSketch> ReadSketchFile(const std::string& path);
 
 }  // namespace mnc
 

@@ -1,0 +1,178 @@
+#include "mnc/estimators/fallback_estimator.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "mnc/estimators/density_map_estimator.h"
+#include "mnc/estimators/meta_estimator.h"
+#include "mnc/estimators/mnc_adapter.h"
+#include "mnc/util/fail_point.h"
+
+namespace mnc {
+
+namespace {
+
+// "MNC Basic" -> "estimator.mncbasic", "MetaAC" -> "estimator.metaac".
+std::string TierFailPointName(const std::string& estimator_name) {
+  std::string name = "estimator.";
+  for (char c : estimator_name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      name.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return name;
+}
+
+bool SaneSparsity(double s) { return std::isfinite(s) && s >= 0.0 && s <= 1.0; }
+
+}  // namespace
+
+FallbackEstimator::FallbackEstimator() {
+  std::vector<TierConfig> tiers;
+  tiers.push_back({std::make_unique<MncEstimator>(), -1});
+  tiers.push_back({std::make_unique<DensityMapEstimator>(), -1});
+  tiers.push_back({std::make_unique<MetaAcEstimator>(), -1});
+  tiers_ = std::move(tiers);
+  for (const TierConfig& tier : tiers_) {
+    TierStats s;
+    s.name = tier.estimator->Name();
+    s.fail_point = TierFailPointName(s.name);
+    stats_.push_back(std::move(s));
+  }
+}
+
+FallbackEstimator::FallbackEstimator(std::vector<TierConfig> tiers)
+    : tiers_(std::move(tiers)) {
+  MNC_CHECK_MSG(!tiers_.empty(), "fallback chain needs at least one tier");
+  for (const TierConfig& tier : tiers_) {
+    MNC_CHECK(tier.estimator != nullptr);
+    TierStats s;
+    s.name = tier.estimator->Name();
+    s.fail_point = TierFailPointName(s.name);
+    stats_.push_back(std::move(s));
+  }
+}
+
+bool FallbackEstimator::SupportsOp(OpKind op) const {
+  for (const TierConfig& tier : tiers_) {
+    if (tier.estimator->SupportsOp(op)) return true;
+  }
+  return false;
+}
+
+bool FallbackEstimator::SupportsChains() const {
+  for (const TierConfig& tier : tiers_) {
+    if (tier.estimator->SupportsChains()) return true;
+  }
+  return false;
+}
+
+SynopsisPtr FallbackEstimator::Build(const Matrix& a) {
+  std::vector<SynopsisPtr> slots;
+  slots.reserve(tiers_.size());
+  for (size_t t = 0; t < tiers_.size(); ++t) {
+    if (MncFailPointArmed(stats_[t].fail_point.c_str())) {
+      ++stats_[t].build_failures;
+      slots.push_back(nullptr);
+      continue;
+    }
+    SynopsisPtr syn = tiers_[t].estimator->Build(a);
+    const int64_t budget = tiers_[t].synopsis_budget_bytes;
+    if (syn != nullptr && budget >= 0 && syn->SizeBytes() > budget) {
+      ++stats_[t].build_failures;
+      syn = nullptr;  // over budget: degrade this matrix to later tiers
+    }
+    slots.push_back(std::move(syn));
+  }
+  return std::make_shared<FallbackSynopsis>(a.rows(), a.cols(),
+                                            std::move(slots));
+}
+
+StatusOr<FallbackEstimator::TieredEstimate>
+FallbackEstimator::TryEstimateSparsity(OpKind op, const SynopsisPtr& a,
+                                       const SynopsisPtr& b, int64_t out_rows,
+                                       int64_t out_cols) {
+  last_serving_tier_.clear();
+  last_serving_tier_index_ = -1;
+  const FallbackSynopsis& fa = As<FallbackSynopsis>(a);
+  const FallbackSynopsis* fb =
+      b != nullptr ? &As<FallbackSynopsis>(b) : nullptr;
+
+  std::string failures;
+  for (size_t t = 0; t < tiers_.size(); ++t) {
+    auto skip = [&](const char* why) {
+      ++stats_[t].estimate_failures;
+      if (!failures.empty()) failures += "; ";
+      failures += stats_[t].name;
+      failures += ": ";
+      failures += why;
+    };
+    if (MncFailPointArmed(stats_[t].fail_point.c_str())) {
+      skip("disabled by fail point");
+      continue;
+    }
+    if (!tiers_[t].estimator->SupportsOp(op)) {
+      skip("operation not supported");
+      continue;
+    }
+    const SynopsisPtr& sa = fa.tiers()[t];
+    const SynopsisPtr sb = fb != nullptr ? fb->tiers()[t] : nullptr;
+    if (sa == nullptr || (fb != nullptr && sb == nullptr)) {
+      skip("synopsis unavailable");
+      continue;
+    }
+    const double estimate =
+        tiers_[t].estimator->EstimateSparsity(op, sa, sb, out_rows, out_cols);
+    if (!SaneSparsity(estimate)) {
+      skip("estimate failed the sanity invariant");
+      continue;
+    }
+    ++stats_[t].serves;
+    last_serving_tier_ = stats_[t].name;
+    last_serving_tier_index_ = static_cast<int>(t);
+    return TieredEstimate{estimate, static_cast<int>(t), stats_[t].name};
+  }
+  return Status::Unavailable("no fallback tier could serve " +
+                             std::string(OpKindName(op)) + " (" + failures +
+                             ")");
+}
+
+double FallbackEstimator::EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                                           const SynopsisPtr& b,
+                                           int64_t out_rows,
+                                           int64_t out_cols) {
+  StatusOr<TieredEstimate> estimate =
+      TryEstimateSparsity(op, a, b, out_rows, out_cols);
+  // All tiers down: the only safe answer left is the worst-case bound.
+  if (!estimate.ok()) return 1.0;
+  return estimate->sparsity;
+}
+
+SynopsisPtr FallbackEstimator::Propagate(OpKind op, const SynopsisPtr& a,
+                                         const SynopsisPtr& b,
+                                         int64_t out_rows, int64_t out_cols) {
+  const FallbackSynopsis& fa = As<FallbackSynopsis>(a);
+  const FallbackSynopsis* fb =
+      b != nullptr ? &As<FallbackSynopsis>(b) : nullptr;
+  std::vector<SynopsisPtr> slots;
+  slots.reserve(tiers_.size());
+  for (size_t t = 0; t < tiers_.size(); ++t) {
+    SparsityEstimator& est = *tiers_[t].estimator;
+    const SynopsisPtr& sa = fa.tiers()[t];
+    const SynopsisPtr sb = fb != nullptr ? fb->tiers()[t] : nullptr;
+    // A tier without inputs, chain support, or op support stays degraded
+    // downstream; later tiers keep the chain alive.
+    if (MncFailPointArmed(stats_[t].fail_point.c_str()) ||
+        !est.SupportsChains() || !est.SupportsOp(op) || sa == nullptr ||
+        (fb != nullptr && sb == nullptr)) {
+      slots.push_back(nullptr);
+      continue;
+    }
+    slots.push_back(est.Propagate(op, sa, sb, out_rows, out_cols));
+  }
+  return std::make_shared<FallbackSynopsis>(out_rows, out_cols,
+                                            std::move(slots));
+}
+
+}  // namespace mnc

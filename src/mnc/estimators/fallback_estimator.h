@@ -1,0 +1,114 @@
+// Graceful-degradation estimator chain.
+//
+// Production deployments cannot assume the precise synopsis path is always
+// available: a sketch may fail to deserialize, a tier may be disabled by a
+// fault (simulated here via fail points "estimator.<tier>"), or a synopsis
+// may exceed its memory budget on a huge matrix. FallbackEstimator wraps an
+// ordered chain of estimators — by default MNC -> DensityMap -> MetaAC,
+// precise-and-structural down to O(1) metadata — and serves every request
+// from the first tier that (a) has synopses for all inputs, (b) supports the
+// operation, and (c) produces an estimate passing the sanity invariant
+// (finite, in [0, 1]). Which tier served each estimate is recorded for
+// observability, and per-tier counters expose build/estimate failures.
+
+#ifndef MNC_ESTIMATORS_FALLBACK_ESTIMATOR_H_
+#define MNC_ESTIMATORS_FALLBACK_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mnc/estimators/sparsity_estimator.h"
+#include "mnc/util/status.h"
+
+namespace mnc {
+
+// Composite synopsis: one slot per tier, aligned with the chain. A null slot
+// means that tier could not summarize this matrix (disabled at build time,
+// over budget, or lost during propagation) and is skipped at estimation.
+class FallbackSynopsis final : public EstimatorSynopsis {
+ public:
+  FallbackSynopsis(int64_t rows, int64_t cols, std::vector<SynopsisPtr> tiers)
+      : EstimatorSynopsis(rows, cols), tiers_(std::move(tiers)) {}
+
+  const std::vector<SynopsisPtr>& tiers() const { return tiers_; }
+
+  int64_t SizeBytes() const override {
+    int64_t total = 0;
+    for (const SynopsisPtr& t : tiers_) {
+      if (t != nullptr) total += t->SizeBytes();
+    }
+    return total;
+  }
+
+ private:
+  std::vector<SynopsisPtr> tiers_;
+};
+
+class FallbackEstimator final : public SparsityEstimator {
+ public:
+  struct TierConfig {
+    std::unique_ptr<SparsityEstimator> estimator;
+    // Per-matrix synopsis budget in bytes; < 0 means unlimited. A built
+    // synopsis above budget is dropped, degrading that matrix to later
+    // tiers.
+    int64_t synopsis_budget_bytes = -1;
+  };
+
+  // Per-tier observability counters.
+  struct TierStats {
+    std::string name;        // tier estimator name
+    std::string fail_point;  // "estimator.<name lowercased>"
+    int64_t serves = 0;             // estimates served by this tier
+    int64_t build_failures = 0;     // disabled or over-budget at Build
+    int64_t estimate_failures = 0;  // skipped or failed sanity at estimate
+  };
+
+  // An estimate together with the tier that produced it.
+  struct TieredEstimate {
+    double sparsity = 1.0;
+    int tier_index = -1;
+    std::string tier_name;
+  };
+
+  // Default chain: MNC -> DensityMap -> MetaAC.
+  FallbackEstimator();
+  explicit FallbackEstimator(std::vector<TierConfig> tiers);
+
+  std::string Name() const override { return "Fallback"; }
+  bool SupportsOp(OpKind op) const override;     // true if any tier supports
+  bool SupportsChains() const override;          // true if any tier chains
+  SynopsisPtr Build(const Matrix& a) override;
+  double EstimateSparsity(OpKind op, const SynopsisPtr& a,
+                          const SynopsisPtr& b, int64_t out_rows,
+                          int64_t out_cols) override;
+  SynopsisPtr Propagate(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
+                        int64_t out_rows, int64_t out_cols) override;
+
+  // Status-returning twin of EstimateSparsity: reports which tier served, or
+  // kUnavailable when every tier was disabled, missing a synopsis, or failed
+  // the sanity invariant. (EstimateSparsity itself degrades to the
+  // conservative 1.0 upper bound in that case.)
+  StatusOr<TieredEstimate> TryEstimateSparsity(OpKind op, const SynopsisPtr& a,
+                                               const SynopsisPtr& b,
+                                               int64_t out_rows,
+                                               int64_t out_cols);
+
+  int num_tiers() const { return static_cast<int>(tiers_.size()); }
+  const std::vector<TierStats>& tier_stats() const { return stats_; }
+
+  // Tier that served the most recent estimate ("" / -1 when the last
+  // request degraded to the conservative bound).
+  const std::string& last_serving_tier() const { return last_serving_tier_; }
+  int last_serving_tier_index() const { return last_serving_tier_index_; }
+
+ private:
+  std::vector<TierConfig> tiers_;
+  std::vector<TierStats> stats_;
+  std::string last_serving_tier_;
+  int last_serving_tier_index_ = -1;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_ESTIMATORS_FALLBACK_ESTIMATOR_H_

@@ -40,49 +40,89 @@ const char* OpKindName(OpKind op) {
 
 Shape InferOutputShape(OpKind op, Shape a, const Shape* b,
                        int64_t reshape_rows, int64_t reshape_cols) {
+  StatusOr<Shape> shape =
+      TryInferOutputShape(op, a, b, reshape_rows, reshape_cols);
+  MNC_CHECK_MSG(shape.ok(), "shape inference failed");
+  return *shape;
+}
+
+StatusOr<Shape> TryInferOutputShape(OpKind op, Shape a, const Shape* b,
+                                    int64_t reshape_rows,
+                                    int64_t reshape_cols) {
+  const std::string name = OpKindName(op);
+  auto shape_str = [](const Shape& s) {
+    return std::to_string(s.rows) + " x " + std::to_string(s.cols);
+  };
+  auto missing_b = [&]() {
+    return Status::InvalidArgument(name + " needs a second operand");
+  };
   switch (op) {
     case OpKind::kMatMul:
-      MNC_CHECK(b != nullptr);
-      MNC_CHECK_EQ(a.cols, b->rows);
-      return {a.rows, b->cols};
+      if (b == nullptr) return missing_b();
+      if (a.cols != b->rows) {
+        return Status::InvalidArgument(
+            name + ": inner dimensions disagree (" + shape_str(a) + " vs " +
+            shape_str(*b) + ")");
+      }
+      return Shape{a.rows, b->cols};
     case OpKind::kEWiseAdd:
     case OpKind::kEWiseMult:
     case OpKind::kEWiseMin:
     case OpKind::kEWiseMax:
-      MNC_CHECK(b != nullptr);
-      MNC_CHECK_EQ(a.rows, b->rows);
-      MNC_CHECK_EQ(a.cols, b->cols);
+      if (b == nullptr) return missing_b();
+      if (a.rows != b->rows || a.cols != b->cols) {
+        return Status::InvalidArgument(name + ": operand shapes disagree (" +
+                                       shape_str(a) + " vs " + shape_str(*b) +
+                                       ")");
+      }
       return a;
     case OpKind::kTranspose:
-      return {a.cols, a.rows};
+      return Shape{a.cols, a.rows};
     case OpKind::kReshape:
-      MNC_CHECK_GE(reshape_rows, 0);
-      MNC_CHECK_GE(reshape_cols, 0);
-      MNC_CHECK_EQ(a.rows * a.cols, reshape_rows * reshape_cols);
-      return {reshape_rows, reshape_cols};
+      if (reshape_rows < 0 || reshape_cols < 0) {
+        return Status::InvalidArgument(name + ": negative target shape");
+      }
+      if (a.rows * a.cols != reshape_rows * reshape_cols) {
+        return Status::InvalidArgument(
+            name + ": cell count changes from " + shape_str(a) + " to " +
+            std::to_string(reshape_rows) + " x " +
+            std::to_string(reshape_cols));
+      }
+      return Shape{reshape_rows, reshape_cols};
     case OpKind::kDiag:
-      if (a.cols == 1) return {a.rows, a.rows};
-      MNC_CHECK_EQ(a.rows, a.cols);
-      return {a.rows, 1};
+      if (a.cols == 1) return Shape{a.rows, a.rows};
+      if (a.rows != a.cols) {
+        return Status::InvalidArgument(
+            name + ": input must be square or a column vector, got " +
+            shape_str(a));
+      }
+      return Shape{a.rows, 1};
     case OpKind::kRBind:
-      MNC_CHECK(b != nullptr);
-      MNC_CHECK_EQ(a.cols, b->cols);
-      return {a.rows + b->rows, a.cols};
+      if (b == nullptr) return missing_b();
+      if (a.cols != b->cols) {
+        return Status::InvalidArgument(name + ": column counts disagree (" +
+                                       shape_str(a) + " vs " + shape_str(*b) +
+                                       ")");
+      }
+      return Shape{a.rows + b->rows, a.cols};
     case OpKind::kCBind:
-      MNC_CHECK(b != nullptr);
-      MNC_CHECK_EQ(a.rows, b->rows);
-      return {a.rows, a.cols + b->cols};
+      if (b == nullptr) return missing_b();
+      if (a.rows != b->rows) {
+        return Status::InvalidArgument(name + ": row counts disagree (" +
+                                       shape_str(a) + " vs " + shape_str(*b) +
+                                       ")");
+      }
+      return Shape{a.rows, a.cols + b->cols};
     case OpKind::kNotEqualZero:
     case OpKind::kEqualZero:
     case OpKind::kScale:
       return a;
     case OpKind::kRowSums:
-      return {a.rows, 1};
+      return Shape{a.rows, 1};
     case OpKind::kColSums:
-      return {1, a.cols};
+      return Shape{1, a.cols};
   }
-  MNC_CHECK_MSG(false, "unreachable");
-  return a;
+  return Status::InvalidArgument("unknown operation kind");
 }
 
 }  // namespace mnc

@@ -21,6 +21,7 @@
 
 #include "mnc/matrix/matrix.h"
 #include "mnc/util/check.h"
+#include "mnc/util/status.h"
 
 namespace mnc {
 
@@ -119,6 +120,13 @@ struct Shape {
 };
 Shape InferOutputShape(OpKind op, Shape a, const Shape* b,
                        int64_t reshape_rows = -1, int64_t reshape_cols = -1);
+
+// Recoverable twin of InferOutputShape for untrusted expressions (e.g.
+// parsed from user input): returns InvalidArgument naming the operation and
+// the disagreeing dimensions instead of aborting.
+StatusOr<Shape> TryInferOutputShape(OpKind op, Shape a, const Shape* b,
+                                    int64_t reshape_rows = -1,
+                                    int64_t reshape_cols = -1);
 
 }  // namespace mnc
 

@@ -1,7 +1,10 @@
 #include "mnc/ir/evaluator.h"
 
+#include <exception>
+#include <string>
 #include <vector>
 
+#include "mnc/estimators/sparsity_estimator.h"
 #include "mnc/matrix/ops_ewise.h"
 #include "mnc/matrix/ops_product.h"
 #include "mnc/matrix/ops_reorg.h"
@@ -87,6 +90,59 @@ Matrix Evaluator::Evaluate(const ExprPtr& root) {
     stack.pop_back();
   }
   return cache_.at(root.get());
+}
+
+Status Evaluator::ValidateDag(const ExprPtr& root) const {
+  if (root == nullptr) {
+    return Status::InvalidArgument("null expression root");
+  }
+  std::vector<const ExprNode*> stack = {root.get()};
+  std::unordered_map<const ExprNode*, bool> visited;
+  while (!stack.empty()) {
+    const ExprNode* node = stack.back();
+    stack.pop_back();
+    if (visited.contains(node)) continue;
+    visited.emplace(node, true);
+    if (node->is_leaf()) continue;
+
+    const ExprNode* left = node->left().get();
+    const ExprNode* right =
+        node->right() != nullptr ? node->right().get() : nullptr;
+    if (left == nullptr) {
+      return Status::InvalidArgument("node " + node->ToString() +
+                                     " has no left operand");
+    }
+    const Shape a{left->rows(), left->cols()};
+    const Shape b_shape{right != nullptr ? right->rows() : 0,
+                        right != nullptr ? right->cols() : 0};
+    StatusOr<Shape> out = TryInferOutputShape(
+        node->op(), a, right != nullptr ? &b_shape : nullptr, node->rows(),
+        node->cols());
+    if (!out.ok()) {
+      return out.status().WithContext("node " + node->ToString());
+    }
+    if (out->rows != node->rows() || out->cols != node->cols()) {
+      return Status::InvalidArgument(
+          "node " + node->ToString() + " declares " +
+          std::to_string(node->rows()) + " x " + std::to_string(node->cols()) +
+          " but its operands imply " + std::to_string(out->rows) + " x " +
+          std::to_string(out->cols));
+    }
+    stack.push_back(left);
+    if (right != nullptr) stack.push_back(right);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Matrix> Evaluator::TryEvaluate(const ExprPtr& root) {
+  MNC_RETURN_IF_ERROR(ValidateDag(root));
+  try {
+    return Evaluate(root);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("evaluation failed: ") + e.what());
+  } catch (...) {
+    return Status::Internal("evaluation failed with an unknown exception");
+  }
 }
 
 }  // namespace mnc

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "mnc/ir/expr.h"
+#include "mnc/util/status.h"
 #include "mnc/util/thread_pool.h"
 
 namespace mnc {
@@ -25,6 +26,16 @@ class Evaluator {
   // cached for the lifetime of the Evaluator, so evaluating several related
   // roots (e.g., all intermediates of a chain) reuses work.
   Matrix Evaluate(const ExprPtr& root);
+
+  // Recoverable boundary for untrusted DAGs: validates the root and every
+  // node's operand shapes up front (InvalidArgument naming the node), and
+  // converts execution-time worker failures — e.g. a thread-pool task
+  // killed by the "threadpool.task" fail point — into kInternal instead of
+  // propagating an exception.
+  StatusOr<Matrix> TryEvaluate(const ExprPtr& root);
+
+  // Shape-consistency sweep over the DAG without executing it.
+  Status ValidateDag(const ExprPtr& root) const;
 
   // Drops all cached intermediates.
   void ClearCache() {

@@ -6,8 +6,41 @@
 #include <sstream>
 
 #include "mnc/matrix/coo_matrix.h"
+#include "mnc/util/fail_point.h"
 
 namespace mnc {
+
+namespace {
+
+// Sanity cap against corrupted headers declaring absurd dimensions.
+constexpr int64_t kMaxDimension = int64_t{1} << 40;
+
+// The smallest syntactically possible coordinate entry is "i j\n" — at least
+// four bytes. Used to pre-validate a declared nnz against the bytes actually
+// remaining in a seekable stream.
+constexpr int64_t kMinBytesPerEntry = 4;
+
+// Entries reserved up front when the stream size is unknown (non-seekable);
+// beyond this the vectors grow geometrically, paid for by real input.
+constexpr int64_t kUnknownSizeReserveCap = int64_t{1} << 20;
+
+// Remaining bytes from the current position, or -1 if the stream is not
+// seekable. Restores the read position.
+int64_t RemainingBytes(std::istream& is) {
+  const std::istream::pos_type pos = is.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) {
+    is.clear();
+    is.seekg(pos);
+    return -1;
+  }
+  return static_cast<int64_t>(end - pos);
+}
+
+}  // namespace
 
 void WriteMatrixMarket(const CsrMatrix& m, std::ostream& os) {
   os.precision(17);  // round-trip-safe FP64 formatting
@@ -22,30 +55,61 @@ void WriteMatrixMarket(const CsrMatrix& m, std::ostream& os) {
   }
 }
 
-bool WriteMatrixMarketFile(const CsrMatrix& m, const std::string& path) {
+Status WriteMatrixMarketFile(const CsrMatrix& m, const std::string& path) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
   WriteMatrixMarket(m, out);
-  return static_cast<bool>(out);
+  if (!out) {
+    return Status::DataLoss("stream write failure writing " + path);
+  }
+  return Status::Ok();
 }
 
-std::optional<CsrMatrix> ReadMatrixMarket(std::istream& is) {
+StatusOr<CsrMatrix> ReadMatrixMarket(std::istream& is) {
+  if (MncFailPointArmed("mm.read_fail")) {
+    return Status::DataLoss(
+        "fail point mm.read_fail: simulated short read of Matrix-Market "
+        "stream");
+  }
+
+  int64_t line_no = 1;
   std::string line;
-  if (!std::getline(is, line)) return std::nullopt;
-  if (line.rfind("%%MatrixMarket", 0) != 0) return std::nullopt;
+  if (!std::getline(is, line)) {
+    return Status::DataLoss("empty stream: missing %%MatrixMarket banner");
+  }
+  if (line.rfind("%%MatrixMarket", 0) != 0) {
+    return Status::InvalidArgument(
+        "line 1: expected a %%MatrixMarket banner, got \"" +
+        line.substr(0, 40) + "\"");
+  }
 
   std::istringstream header(line);
   std::string tag, object, format, field, symmetry;
   header >> tag >> object >> format >> field >> symmetry;
-  if (object != "matrix" || format != "coordinate") return std::nullopt;
+  if (object != "matrix" || format != "coordinate") {
+    return Status::Unimplemented(
+        "line 1: only \"matrix coordinate\" files are supported, got \"" +
+        object + " " + format + "\"");
+  }
   const bool pattern = field == "pattern";
   const bool symmetric = symmetry == "symmetric";
-  if (!pattern && field != "real" && field != "integer") return std::nullopt;
-  if (!symmetric && symmetry != "general") return std::nullopt;
+  if (!pattern && field != "real" && field != "integer") {
+    return Status::Unimplemented("line 1: unsupported field type \"" + field +
+                                 "\" (real, integer, or pattern)");
+  }
+  if (!symmetric && symmetry != "general") {
+    return Status::Unimplemented("line 1: unsupported symmetry \"" + symmetry +
+                                 "\" (general or symmetric)");
+  }
 
   // Skip comments.
   do {
-    if (!std::getline(is, line)) return std::nullopt;
+    if (!std::getline(is, line)) {
+      return Status::DataLoss("unexpected end of stream before the size line");
+    }
+    ++line_no;
   } while (!line.empty() && line[0] == '%');
 
   int64_t rows = 0;
@@ -53,31 +117,88 @@ std::optional<CsrMatrix> ReadMatrixMarket(std::istream& is) {
   int64_t nnz = 0;
   {
     std::istringstream sizes(line);
-    if (!(sizes >> rows >> cols >> nnz)) return std::nullopt;
-    if (rows < 0 || cols < 0 || nnz < 0) return std::nullopt;
+    if (!(sizes >> rows >> cols >> nnz)) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) +
+          ": malformed size line (expected \"rows cols nnz\"): \"" +
+          line.substr(0, 40) + "\"");
+    }
+    if (rows < 0 || cols < 0 || nnz < 0) {
+      return Status::OutOfRange("line " + std::to_string(line_no) +
+                                ": negative dimension or nnz in size line");
+    }
+    if (rows > kMaxDimension || cols > kMaxDimension) {
+      return Status::OutOfRange("line " + std::to_string(line_no) +
+                                ": dimensions " + std::to_string(rows) +
+                                " x " + std::to_string(cols) +
+                                " exceed the 2^40 sanity bound");
+    }
+    // Division form of nnz > rows * cols; the product itself can overflow.
+    if (rows > 0 && cols > 0 &&
+        (nnz / cols > rows || (nnz / cols == rows && nnz % cols > 0))) {
+      return Status::OutOfRange("line " + std::to_string(line_no) +
+                                ": declared nnz " + std::to_string(nnz) +
+                                " exceeds rows * cols");
+    }
+  }
+
+  // Pre-validate the declared nnz against the bytes actually remaining:
+  // every entry needs at least kMinBytesPerEntry bytes of text, so a header
+  // promising more entries than the stream can hold is rejected before any
+  // allocation happens.
+  const int64_t remaining = RemainingBytes(is);
+  if (remaining >= 0 && nnz > remaining / kMinBytesPerEntry) {
+    return Status::OutOfRange(
+        "size line declares " + std::to_string(nnz) + " entries but only " +
+        std::to_string(remaining) + " bytes remain in the stream (needs >= " +
+        std::to_string(nnz * kMinBytesPerEntry) + ")");
   }
 
   CooMatrix coo(rows, cols);
-  coo.Reserve(symmetric ? 2 * nnz : nnz);
+  const int64_t logical_nnz = symmetric ? 2 * nnz : nnz;
+  coo.Reserve(remaining >= 0 ? logical_nnz
+                             : std::min(logical_nnz, kUnknownSizeReserveCap));
   for (int64_t e = 0; e < nnz; ++e) {
-    if (!std::getline(is, line)) return std::nullopt;
+    if (!std::getline(is, line)) {
+      return Status::DataLoss("unexpected end of stream at entry " +
+                              std::to_string(e + 1) + " of " +
+                              std::to_string(nnz) + " (line " +
+                              std::to_string(line_no + 1) + ")");
+    }
+    ++line_no;
     std::istringstream entry(line);
     int64_t i = 0;
     int64_t j = 0;
     double v = 1.0;
-    if (!(entry >> i >> j)) return std::nullopt;
-    if (!pattern && !(entry >> v)) return std::nullopt;
-    if (i < 1 || i > rows || j < 1 || j > cols) return std::nullopt;
+    if (!(entry >> i >> j)) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": malformed entry \"" +
+                                     line.substr(0, 40) + "\"");
+    }
+    if (!pattern && !(entry >> v)) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": entry is missing its value: \"" +
+                                     line.substr(0, 40) + "\"");
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      return Status::OutOfRange(
+          "line " + std::to_string(line_no) + ": coordinate (" +
+          std::to_string(i) + ", " + std::to_string(j) +
+          ") outside the declared " + std::to_string(rows) + " x " +
+          std::to_string(cols) + " shape");
+    }
     coo.Add(i - 1, j - 1, v);
     if (symmetric && i != j) coo.Add(j - 1, i - 1, v);
   }
   return coo.ToCsr();
 }
 
-std::optional<CsrMatrix> ReadMatrixMarketFile(const std::string& path) {
+StatusOr<CsrMatrix> ReadMatrixMarketFile(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return ReadMatrixMarket(in);
+  if (!in) {
+    return Status::NotFound("cannot open Matrix-Market file " + path);
+  }
+  return ReadMatrixMarket(in).AddContext("reading " + path);
 }
 
 }  // namespace mnc

@@ -3,28 +3,34 @@
 // Lets users bring the paper's original datasets (AMiner, Covertype, Email,
 // ...) when they have them on disk, instead of the synthetic stand-ins; also
 // used by tests for round-trip checks.
+//
+// Matrix-Market files are untrusted input: readers return StatusOr with a
+// descriptive, line-numbered error on malformed content, and pre-validate
+// declared dimensions/nnz against the stream's remaining size so a corrupt
+// header can never force a huge allocation.
 
 #ifndef MNC_MATRIX_IO_H_
 #define MNC_MATRIX_IO_H_
 
 #include <iosfwd>
-#include <optional>
 #include <string>
 
 #include "mnc/matrix/csr_matrix.h"
+#include "mnc/util/status.h"
 
 namespace mnc {
 
 // Writes `m` in MatrixMarket coordinate format ("%%MatrixMarket matrix
 // coordinate real general").
 void WriteMatrixMarket(const CsrMatrix& m, std::ostream& os);
-bool WriteMatrixMarketFile(const CsrMatrix& m, const std::string& path);
+Status WriteMatrixMarketFile(const CsrMatrix& m, const std::string& path);
 
-// Reads a MatrixMarket coordinate file. Returns std::nullopt on malformed
-// input. Supports the "general" and "symmetric" storage schemes and the
-// "pattern" field (entries become 1.0).
-std::optional<CsrMatrix> ReadMatrixMarket(std::istream& is);
-std::optional<CsrMatrix> ReadMatrixMarketFile(const std::string& path);
+// Reads a MatrixMarket coordinate file. Supports the "general" and
+// "symmetric" storage schemes and the "pattern" field (entries become 1.0).
+// Errors name the offending line. Fail point "mm.read_fail" simulates a
+// short read.
+StatusOr<CsrMatrix> ReadMatrixMarket(std::istream& is);
+StatusOr<CsrMatrix> ReadMatrixMarketFile(const std::string& path);
 
 }  // namespace mnc
 

@@ -30,6 +30,7 @@
 #include "mnc/estimators/adaptive_density_map.h"
 #include "mnc/estimators/bitset_estimator.h"
 #include "mnc/estimators/density_map_estimator.h"
+#include "mnc/estimators/fallback_estimator.h"
 #include "mnc/estimators/hash_estimator.h"
 #include "mnc/estimators/layered_graph_estimator.h"
 #include "mnc/estimators/meta_estimator.h"
@@ -40,6 +41,7 @@
 #include "mnc/lang/parser.h"
 #include "mnc/ir/expr.h"
 #include "mnc/ir/sketch_propagator.h"
+#include "mnc/matrix/checked_ops.h"
 #include "mnc/matrix/coo_matrix.h"
 #include "mnc/matrix/csc_matrix.h"
 #include "mnc/matrix/csr_matrix.h"
@@ -55,7 +57,10 @@
 #include "mnc/sparsest/datasets.h"
 #include "mnc/sparsest/metrics.h"
 #include "mnc/sparsest/usecases.h"
+#include "mnc/util/crc32.h"
+#include "mnc/util/fail_point.h"
 #include "mnc/util/random.h"
+#include "mnc/util/status.h"
 #include "mnc/util/stopwatch.h"
 #include "mnc/util/thread_pool.h"
 

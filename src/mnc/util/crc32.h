@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used by the sketch binary
+// format v2 to detect corruption of individual sections. Table-driven,
+// incremental: Crc32Update lets writers checksum a section as it streams.
+
+#ifndef MNC_UTIL_CRC32_H_
+#define MNC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mnc {
+
+// Incremental update: pass the previous return value (or 0 to start) and the
+// next chunk of bytes.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+// One-shot checksum of a buffer.
+inline uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Update(0, data, len);
+}
+
+}  // namespace mnc
+
+#endif  // MNC_UTIL_CRC32_H_

@@ -1,0 +1,122 @@
+#include "mnc/util/fail_point.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace mnc {
+
+struct FailPointRegistry::Impl {
+  struct Point {
+    bool armed = false;
+    int64_t skip = 0;
+    int64_t count = -1;
+    int64_t hits = 0;  // hits since last Arm/Reset
+  };
+  mutable std::mutex mu;
+  std::map<std::string, Point> points;
+};
+
+FailPointRegistry::FailPointRegistry() : impl_(new Impl) {
+  const char* env = std::getenv("MNC_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') ArmFromSpec(env);
+}
+
+FailPointRegistry& FailPointRegistry::Instance() {
+  static FailPointRegistry* registry = new FailPointRegistry();
+  return *registry;
+}
+
+void FailPointRegistry::Arm(const std::string& name, int64_t skip,
+                            int64_t count) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Impl::Point& p = impl_->points[name];
+  p.armed = true;
+  p.skip = skip;
+  p.count = count;
+  p.hits = 0;
+}
+
+void FailPointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  if (it != impl_->points.end()) it->second.armed = false;
+}
+
+void FailPointRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->points.clear();
+}
+
+bool FailPointRegistry::ShouldFail(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  if (it == impl_->points.end()) {
+    // Track hits at unarmed sites too, so tests can assert coverage.
+    impl_->points[name].hits = 1;
+    return false;
+  }
+  Impl::Point& p = it->second;
+  const int64_t hit = p.hits++;
+  if (!p.armed) return false;
+  if (hit < p.skip) return false;
+  if (p.count >= 0 && hit >= p.skip + p.count) return false;
+  return true;
+}
+
+int64_t FailPointRegistry::HitCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  return it == impl_->points.end() ? 0 : it->second.hits;
+}
+
+bool FailPointRegistry::IsArmed(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->points.find(name);
+  return it != impl_->points.end() && it->second.armed;
+}
+
+std::vector<std::string> FailPointRegistry::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> names;
+  for (const auto& [name, p] : impl_->points) {
+    if (p.armed) names.push_back(name);
+  }
+  return names;
+}
+
+int FailPointRegistry::ArmFromSpec(const std::string& spec) {
+  int armed = 0;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t sep = spec.find(';', pos);
+    const std::string entry =
+        spec.substr(pos, sep == std::string::npos ? sep : sep - pos);
+    pos = sep == std::string::npos ? spec.size() + 1 : sep + 1;
+    if (entry.empty()) continue;
+
+    std::string name = entry;
+    int64_t skip = 0;
+    int64_t count = -1;
+    const size_t eq = entry.find('=');
+    if (eq != std::string::npos) {
+      name = entry.substr(0, eq);
+      const std::string params = entry.substr(eq + 1);
+      char* end = nullptr;
+      skip = std::strtoll(params.c_str(), &end, 10);
+      if (end == params.c_str()) continue;  // malformed number
+      if (*end == ':') {
+        const char* count_str = end + 1;
+        count = std::strtoll(count_str, &end, 10);
+        if (end == count_str) continue;
+      }
+      if (*end != '\0') continue;
+    }
+    if (name.empty()) continue;
+    Arm(name, skip, count);
+    ++armed;
+  }
+  return armed;
+}
+
+}  // namespace mnc

@@ -1,0 +1,96 @@
+// Named fault-injection points for deterministic failure testing.
+//
+// A fail point is a named site in library code that tests (or operators, via
+// the MNC_FAILPOINTS environment variable) can arm to simulate a failure:
+// mid-write truncation in sketch serialization, short reads in Matrix-Market
+// parsing, worker-task failures in the thread pool, or a disabled estimator
+// tier in the fallback chain. Points are inert (one branch on an atomic
+// counter) unless armed.
+//
+// Programmatic use in tests:
+//
+//   ScopedFailPoint fp("sketch_io.write_truncate");        // always fire
+//   ScopedFailPoint fp("threadpool.task", /*skip=*/2,      // fire on hits
+//                      /*count=*/1);                       // 3 only
+//
+// Environment use (armed at first registry access):
+//
+//   MNC_FAILPOINTS="sketch_io.write_truncate;threadpool.task=2:1"
+//
+// Library-side sites call MncFailPointArmed("name"), which also counts hits
+// so tests can assert a site was actually reached.
+
+#ifndef MNC_UTIL_FAIL_POINT_H_
+#define MNC_UTIL_FAIL_POINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnc {
+
+class FailPointRegistry {
+ public:
+  // Global registry; parses MNC_FAILPOINTS on first access.
+  static FailPointRegistry& Instance();
+
+  // Arms `name`: after `skip` non-firing hits, the next `count` hits fire
+  // (count < 0 means "fire forever"). Re-arming resets the hit counter.
+  void Arm(const std::string& name, int64_t skip = 0, int64_t count = -1);
+
+  // Disarms `name`; hits no longer fire (hit counting continues).
+  void Disarm(const std::string& name);
+
+  // Disarms everything and zeroes all hit counters.
+  void Reset();
+
+  // Called at the instrumented site. Counts the hit and returns true if the
+  // point is armed and its skip/count window says to fire. Thread-safe.
+  bool ShouldFail(const std::string& name);
+
+  // Total hits (firing or not) observed at `name` since the last Reset/Arm.
+  int64_t HitCount(const std::string& name) const;
+
+  // True if `name` is currently armed (regardless of skip/count window).
+  bool IsArmed(const std::string& name) const;
+
+  // Names of all currently armed points (for diagnostics).
+  std::vector<std::string> ArmedPoints() const;
+
+  // Parses a spec like "a;b=skip:count;c=skip" and arms each entry.
+  // Returns the number of points armed. Malformed entries are skipped.
+  int ArmFromSpec(const std::string& spec);
+
+ private:
+  FailPointRegistry();
+  struct Impl;
+  Impl* impl_;  // intentionally leaked singleton state
+};
+
+// Site-side helper: true if the named fail point should fire now.
+inline bool MncFailPointArmed(const char* name) {
+  return FailPointRegistry::Instance().ShouldFail(name);
+}
+
+// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFailPoint {
+ public:
+  explicit ScopedFailPoint(std::string name, int64_t skip = 0,
+                           int64_t count = -1)
+      : name_(std::move(name)) {
+    FailPointRegistry::Instance().Arm(name_, skip, count);
+  }
+  ~ScopedFailPoint() { FailPointRegistry::Instance().Disarm(name_); }
+
+  ScopedFailPoint(const ScopedFailPoint&) = delete;
+  ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_UTIL_FAIL_POINT_H_

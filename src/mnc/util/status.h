@@ -1,0 +1,193 @@
+// Recoverable-error substrate: Status, StatusOr<T>, and propagation macros.
+//
+// The library distinguishes two failure classes (see DESIGN.md, "Error
+// handling policy"):
+//   - programming errors (violated invariants/preconditions) abort via
+//     MNC_CHECK — they indicate a bug, not bad data;
+//   - untrusted-input and environment failures (corrupt files, truncated
+//     wires, missing worker partitions, over-budget synopses) are reported
+//     as Status/StatusOr so callers can recover, retry, or degrade.
+// No exceptions cross library boundaries: Status is the only error channel
+// for recoverable failures.
+
+#ifndef MNC_UTIL_STATUS_H_
+#define MNC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // malformed request or input value
+  kNotFound,            // file/resource does not exist
+  kDataLoss,            // corruption detected (bad magic, CRC mismatch, ...)
+  kOutOfRange,          // declared sizes exceed sane/available bounds
+  kFailedPrecondition,  // operation not applicable in the current state
+  kResourceExhausted,   // a budget (bytes, tiers) was exceeded
+  kUnavailable,         // transient: missing partition, failed worker
+  kUnimplemented,       // operation not supported by this component
+  kInternal,            // invariant said to hold by a dependency did not
+};
+
+// Human-readable code name ("DATA_LOSS", ...).
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  // OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Context chaining: prepends "<context>: " to the message, preserving the
+  // code. Lets each layer of a failing call stack name its contribution,
+  // e.g. "merge partition 3: section hr: CRC mismatch at offset 54".
+  Status& AddContext(const std::string& context) {
+    if (!ok()) message_ = context + ": " + message_;
+    return *this;
+  }
+  Status WithContext(const std::string& context) const& {
+    Status s = *this;
+    s.AddContext(context);
+    return s;
+  }
+  Status WithContext(const std::string& context) && {
+    AddContext(context);
+    return std::move(*this);
+  }
+
+  // "OK" or "DATA_LOSS: section hr: CRC mismatch".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Value-or-error result. Accessing the value of a non-OK StatusOr is a
+// programming error (aborts); callers must test ok() first or use the
+// MNC_ASSIGN_OR_RETURN macro.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Intentionally implicit so `return MakeSketch(...);` and
+  // `return Status::DataLoss(...);` both work as StatusOr returns.
+  StatusOr(T value) : value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    MNC_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  bool has_value() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MNC_CHECK_MSG(ok(), "StatusOr::value() called on error status");
+    return *value_;
+  }
+  T& value() & {
+    MNC_CHECK_MSG(ok(), "StatusOr::value() called on error status");
+    return *value_;
+  }
+  T&& value() && {
+    MNC_CHECK_MSG(ok(), "StatusOr::value() called on error status");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // value_or-style escape hatch for optional degradation paths.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  StatusOr& AddContext(const std::string& context) {
+    status_.AddContext(context);
+    return *this;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+// MNC_ASSIGN_OR_RETURN helper: extracts the Status from either a Status or a
+// StatusOr<T> expression.
+inline const Status& ToStatus(const Status& s) { return s; }
+template <typename T>
+const Status& ToStatus(const StatusOr<T>& s) {
+  return s.status();
+}
+}  // namespace internal
+
+}  // namespace mnc
+
+// Propagates a non-OK Status from `expr` out of the enclosing function.
+#define MNC_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::mnc::Status mnc_status_ = (expr);              \
+    if (!mnc_status_.ok()) return mnc_status_;       \
+  } while (0)
+
+#define MNC_STATUS_CONCAT_INNER_(a, b) a##b
+#define MNC_STATUS_CONCAT_(a, b) MNC_STATUS_CONCAT_INNER_(a, b)
+
+// Evaluates a StatusOr<T> expression; on success assigns the value to `lhs`
+// (which may be a declaration), on error returns the Status.
+#define MNC_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  MNC_ASSIGN_OR_RETURN_IMPL_(                                               \
+      MNC_STATUS_CONCAT_(mnc_statusor_, __COUNTER__), lhs, expr)
+
+#define MNC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)                          \
+  auto tmp = (expr);                                                        \
+  if (!tmp.ok()) return ::mnc::internal::ToStatus(tmp);                     \
+  lhs = std::move(tmp).value()
+
+#endif  // MNC_UTIL_STATUS_H_

@@ -1,10 +1,28 @@
 #include "mnc/util/thread_pool.h"
 
 #include <atomic>
+#include <stdexcept>
+#include <utility>
 
 #include "mnc/util/check.h"
+#include "mnc/util/fail_point.h"
 
 namespace mnc {
+
+namespace {
+
+// Best-effort human-readable description of a captured task failure.
+std::string DescribeException(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception type";
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -35,6 +53,16 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+Status ThreadPool::TakeFirstTaskError() {
+  std::exception_ptr e;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    e = std::exchange(first_task_error_, nullptr);
+  }
+  if (e == nullptr) return Status::Ok();
+  return Status::Internal("worker task failed: " + DescribeException(e));
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -45,28 +73,59 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A task failure must never escape into the worker thread — that would
+    // std::terminate the process. ParallelFor chunks capture their own
+    // failures; this is the backstop for detached Submit() tasks.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_task_error_ == nullptr) {
+        first_task_error_ = std::current_exception();
+      }
+    }
   }
 }
 
-void ThreadPool::ParallelFor(int64_t n,
-                             const std::function<void(int64_t, int64_t)>& fn) {
-  if (n <= 0) return;
+std::exception_ptr ThreadPool::RunChunks(
+    int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return nullptr;
+
+  // Shared state for this call's chunks: completion count and the first
+  // captured failure.
+  std::atomic<int64_t> remaining{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+
+  auto run_chunk = [&](int64_t begin, int64_t end) {
+    try {
+      if (MncFailPointArmed("threadpool.task")) {
+        throw std::runtime_error(
+            "fail point threadpool.task: simulated worker-task failure for "
+            "chunk [" + std::to_string(begin) + ", " + std::to_string(end) +
+            ")");
+      }
+      fn(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  };
+
   const int64_t num_chunks =
       std::min<int64_t>(n, static_cast<int64_t>(workers_.size()));
   if (num_chunks <= 1) {
-    fn(0, n);
-    return;
+    run_chunk(0, n);
+    return first_error;
   }
-  std::atomic<int64_t> remaining{num_chunks};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  remaining.store(num_chunks);
   const int64_t chunk = (n + num_chunks - 1) / num_chunks;
   for (int64_t c = 0; c < num_chunks; ++c) {
     const int64_t begin = c * chunk;
     const int64_t end = std::min(n, begin + chunk);
     Submit([&, begin, end] {
-      fn(begin, end);
+      run_chunk(begin, end);
       if (remaining.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(done_mu);
         done_cv.notify_one();
@@ -75,6 +134,20 @@ void ThreadPool::ParallelFor(int64_t n,
   }
   std::unique_lock<std::mutex> lock(done_mu);
   done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  return first_error;
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  std::exception_ptr e = RunChunks(n, fn);
+  if (e != nullptr) std::rethrow_exception(e);
+}
+
+Status ThreadPool::TryParallelFor(
+    int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+  std::exception_ptr e = RunChunks(n, fn);
+  if (e == nullptr) return Status::Ok();
+  return Status::Internal("worker task failed: " + DescribeException(e));
 }
 
 }  // namespace mnc

@@ -4,17 +4,27 @@
 // matrix multiply and the Appendix-B multi-threaded bitset estimator. All
 // sparsity estimators default to single-threaded execution, matching the
 // experimental setup in §6.1 of the paper.
+//
+// Failure semantics: an exception escaping a task never reaches the worker
+// thread (which would std::terminate). ParallelFor captures the first chunk
+// failure and rethrows it to the waiter once all chunks have finished;
+// TryParallelFor reports it as a Status instead. Fail point
+// "threadpool.task" simulates a worker-task failure. Destroying the pool
+// with tasks still queued drains them (every submitted task runs).
 
 #ifndef MNC_UTIL_THREAD_POOL_H_
 #define MNC_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "mnc/util/status.h"
 
 namespace mnc {
 
@@ -30,21 +40,39 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  // Enqueues one detached task. An exception thrown by `task` is captured
+  // (instead of terminating the worker); the first such failure is
+  // retrievable via TakeFirstTaskError().
+  void Submit(std::function<void()> task);
+
   // Runs fn(begin, end) over [0, n) split into roughly equal contiguous
   // ranges, one per worker, and blocks until all ranges complete. Safe to
-  // call with n == 0 (no-op).
+  // call with n == 0 (no-op). If a chunk throws, the first exception is
+  // rethrown here, in the waiting thread, after all chunks finish.
   void ParallelFor(int64_t n,
                    const std::function<void(int64_t, int64_t)>& fn);
 
+  // Like ParallelFor, but converts the first chunk failure into a Status
+  // (kInternal, carrying the exception message) instead of rethrowing.
+  Status TryParallelFor(int64_t n,
+                        const std::function<void(int64_t, int64_t)>& fn);
+
+  // First failure captured from a Submit()ed task since the last call, as a
+  // Status (OK if none). Clears the stored failure.
+  Status TakeFirstTaskError();
+
  private:
-  void Submit(std::function<void()> task);
   void WorkerLoop();
+  // Shared chunked execution; returns the first chunk failure (or nullptr).
+  std::exception_ptr RunChunks(int64_t n,
+                               const std::function<void(int64_t, int64_t)>& fn);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::exception_ptr first_task_error_;  // from detached Submit() tasks
 };
 
 }  // namespace mnc

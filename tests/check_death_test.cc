@@ -1,5 +1,11 @@
 // Precondition death tests: MNC_CHECK violations must abort with a readable
 // message rather than proceed into undefined behavior.
+//
+// The second half pins down the error-taxonomy boundary: APIs that consume
+// untrusted input (files, wires, user expressions) must return Status and
+// are exercised here with hostile inputs to prove they never abort.
+
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -76,6 +82,89 @@ TEST(CheckDeathTest, RngInvalidArguments) {
   EXPECT_DEATH(rng.UniformInt(0), "MNC_CHECK failed");
   EXPECT_DEATH(rng.Exponential(0.0), "MNC_CHECK failed");
   EXPECT_DEATH(rng.SampleWithoutReplacement(3, 5), "MNC_CHECK failed");
+}
+
+// --- Status-boundary APIs: hostile input returns Status, never aborts. ---
+// These run in the parent process: if any call aborted, the whole test
+// binary would die and the suite would fail loudly.
+
+using StatusBoundaryTest = ::testing::Test;
+
+TEST(StatusBoundaryTest, CorruptSketchWireDoesNotAbort) {
+  for (const std::string& wire :
+       {std::string(), std::string("MNCS"), std::string("garbage data here"),
+        std::string(200, '\xff')}) {
+    std::stringstream ss(wire);
+    auto result = ReadSketch(ss);
+    EXPECT_FALSE(result.ok());
+    EXPECT_FALSE(result.status().message().empty());
+  }
+}
+
+TEST(StatusBoundaryTest, CorruptMatrixMarketDoesNotAbort) {
+  for (const std::string& text :
+       {std::string(), std::string("not a matrix"),
+        std::string("%%MatrixMarket matrix coordinate real general\n9 9"),
+        std::string("%%MatrixMarket matrix coordinate real general\n"
+                    "5 5 99999999999999\n1 1 1\n")}) {
+    std::stringstream ss(text);
+    auto result = ReadMatrixMarket(ss);
+    EXPECT_FALSE(result.ok());
+    EXPECT_FALSE(result.status().message().empty());
+  }
+}
+
+TEST(StatusBoundaryTest, CheckedOpsShapeMismatchDoesNotAbort) {
+  Rng rng(8);
+  Matrix a = Matrix::Sparse(GenerateUniformSparse(4, 5, 0.5, rng));
+  Matrix b = Matrix::Sparse(GenerateUniformSparse(4, 5, 0.5, rng));
+  // The unchecked path aborts (ProductDimensionMismatch above); the Try
+  // facade reports instead.
+  auto product = TryMultiply(a, b);
+  ASSERT_FALSE(product.ok());
+  EXPECT_EQ(product.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(TryAdd(a, Matrix::Sparse(GenerateUniformSparse(5, 4, 0.5, rng)))
+                   .ok());
+  EXPECT_FALSE(TryReshape(a, 3, 3).ok());
+  EXPECT_FALSE(TryScale(a, 0.0).ok());
+}
+
+TEST(CheckDeathTest, ExprConstructionShapeMismatchAborts) {
+  // ExprNode construction is an internal invariant boundary: code that
+  // assembles a DAG programmatically must already hold valid shapes. User
+  // input reaches DAGs only through validated paths (parser, Try* facade).
+  Rng rng(9);
+  ExprPtr a = ExprNode::Leaf(
+      Matrix::Sparse(GenerateUniformSparse(4, 5, 0.5, rng)));
+  ExprPtr b = ExprNode::Leaf(
+      Matrix::Sparse(GenerateUniformSparse(4, 5, 0.5, rng)));
+  EXPECT_DEATH(ExprNode::MatMul(a, b), "shape inference failed");
+}
+
+TEST(StatusBoundaryTest, TryInferOutputShapeReportsInsteadOfAborting) {
+  // The StatusOr twin of InferOutputShape handles the same mismatch that
+  // aborts above.
+  const Shape a{4, 5};
+  const Shape b{4, 5};
+  auto shape = TryInferOutputShape(OpKind::kMatMul, a, &b);
+  ASSERT_FALSE(shape.ok());
+  EXPECT_EQ(shape.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(shape.status().message().empty());
+}
+
+TEST(StatusBoundaryTest, EvaluatorValidatesAndEvaluatesWellFormedDag) {
+  Rng rng(10);
+  ExprPtr a = ExprNode::Leaf(
+      Matrix::Sparse(GenerateUniformSparse(4, 5, 0.5, rng)));
+  ExprPtr b = ExprNode::Leaf(
+      Matrix::Sparse(GenerateUniformSparse(4, 5, 0.5, rng)));
+  Evaluator eval;
+  ExprPtr good = ExprNode::EWiseMult(a, b);
+  EXPECT_TRUE(eval.ValidateDag(good).ok());
+  auto result = eval.TryEvaluate(good);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows(), 4);
+  EXPECT_EQ(result->cols(), 5);
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+// Randomized corruption corpus: every mutation of a valid serialized input
+// (byte flips and truncations at sampled offsets) must yield either a clean
+// success (the mutation landed somewhere semantically inert, possible only
+// for text inputs) or a Status failure with a non-empty message — never a
+// crash, hang, abort, or huge allocation.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/core/mnc_sketch_io.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/io.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+// Offsets are strided to keep the corpus fast while still covering every
+// region (header, lengths, payloads, trailing checksums) of the input.
+constexpr size_t kOffsetStride = 3;
+
+// Bit patterns chosen to hit sign bits, low bits, and full-byte swaps.
+constexpr unsigned char kFlipMasks[] = {0x01, 0x80, 0xff};
+
+template <typename ReadFn>
+void RunByteFlipCorpus(const std::string& good, const char* what,
+                       const ReadFn& read) {
+  for (size_t offset = 0; offset < good.size(); offset += kOffsetStride) {
+    for (unsigned char mask : kFlipMasks) {
+      std::string bad = good;
+      bad[offset] = static_cast<char>(bad[offset] ^ mask);
+      if (bad == good) continue;
+      SCOPED_TRACE(std::string(what) + ": flip mask " + std::to_string(mask) +
+                   " at offset " + std::to_string(offset));
+      read(bad);  // must not crash; failure contract asserted inside
+    }
+  }
+}
+
+template <typename ReadFn>
+void RunTruncationCorpus(const std::string& good, const char* what,
+                         const ReadFn& read) {
+  for (size_t len = 0; len < good.size(); len += kOffsetStride) {
+    SCOPED_TRACE(std::string(what) + ": truncated to " + std::to_string(len) +
+                 " bytes");
+    read(good.substr(0, len));
+  }
+}
+
+std::string SerializeSketch(int version, uint64_t seed) {
+  Rng rng(seed);
+  const MncSketch s =
+      MncSketch::FromCsr(GenerateUniformSparse(17, 13, 0.25, rng));
+  std::ostringstream os;
+  const Status status =
+      version == 1 ? WriteSketchV1(s, os) : WriteSketch(s, os);
+  EXPECT_TRUE(status.ok());
+  return os.str();
+}
+
+void ReadSketchExpectingFailure(const std::string& bytes) {
+  std::istringstream is(bytes);
+  auto result = ReadSketch(is);
+  // v2 guarantees detection of any single corruption; v1 and truncations
+  // must at minimum never crash, and when they do fail, fail descriptively.
+  if (!result.ok()) {
+    EXPECT_FALSE(result.status().message().empty());
+  }
+}
+
+void ReadSketchV2ExpectingDetection(const std::string& bytes) {
+  std::istringstream is(bytes);
+  auto result = ReadSketch(is);
+  ASSERT_FALSE(result.ok()) << "corruption went undetected";
+  EXPECT_FALSE(result.status().message().empty());
+}
+
+TEST(CorruptionCorpusTest, SketchV2ByteFlipsAllDetected) {
+  const std::string good = SerializeSketch(2, 100);
+  RunByteFlipCorpus(good, "sketch v2", ReadSketchV2ExpectingDetection);
+}
+
+TEST(CorruptionCorpusTest, SketchV2TruncationsNeverCrash) {
+  const std::string good = SerializeSketch(2, 101);
+  RunTruncationCorpus(good, "sketch v2", ReadSketchV2ExpectingDetection);
+}
+
+TEST(CorruptionCorpusTest, SketchV1ByteFlipsNeverCrash) {
+  // v1 has no checksums, so some flips (e.g. in count payloads) can slip
+  // through semantically — but none may crash or abort.
+  const std::string good = SerializeSketch(1, 102);
+  RunByteFlipCorpus(good, "sketch v1", ReadSketchExpectingFailure);
+}
+
+TEST(CorruptionCorpusTest, SketchV1TruncationsNeverCrash) {
+  const std::string good = SerializeSketch(1, 103);
+  RunTruncationCorpus(good, "sketch v1", [](const std::string& bytes) {
+    std::istringstream is(bytes);
+    auto result = ReadSketch(is);
+    ASSERT_FALSE(result.ok());  // a prefix of a sketch is never a sketch
+    EXPECT_FALSE(result.status().message().empty());
+  });
+}
+
+std::string SerializeMatrixMarket(uint64_t seed) {
+  Rng rng(seed);
+  const CsrMatrix m = GenerateUniformSparse(11, 9, 0.3, rng);
+  std::ostringstream os;
+  WriteMatrixMarket(m, os);
+  return os.str();
+}
+
+void ReadMatrixMarketNeverCrashes(const std::string& text) {
+  std::istringstream is(text);
+  auto result = ReadMatrixMarket(is);
+  // Text mutations can stay parseable (e.g. a digit changed inside a
+  // value); the contract is no crash, and failures carry a message.
+  if (!result.ok()) {
+    EXPECT_FALSE(result.status().message().empty());
+  }
+}
+
+TEST(CorruptionCorpusTest, MatrixMarketByteFlipsNeverCrash) {
+  const std::string good = SerializeMatrixMarket(104);
+  RunByteFlipCorpus(good, "matrix market", ReadMatrixMarketNeverCrashes);
+}
+
+TEST(CorruptionCorpusTest, MatrixMarketTruncationsNeverCrash) {
+  const std::string good = SerializeMatrixMarket(105);
+  RunTruncationCorpus(good, "matrix market", ReadMatrixMarketNeverCrashes);
+}
+
+TEST(CorruptionCorpusTest, RandomGarbageNeverCrashes) {
+  Rng rng(106);
+  for (int round = 0; round < 200; ++round) {
+    const int64_t len = rng.UniformInt(400);
+    std::string garbage;
+    garbage.reserve(static_cast<size_t>(len));
+    for (int64_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.UniformInt(256)));
+    }
+    {
+      std::istringstream is(garbage);
+      auto result = ReadSketch(is);
+      ASSERT_FALSE(result.ok());
+      EXPECT_FALSE(result.status().message().empty());
+    }
+    {
+      std::istringstream is(garbage);
+      auto result = ReadMatrixMarket(is);
+      if (!result.ok()) {
+        EXPECT_FALSE(result.status().message().empty());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,135 @@
+#include "mnc/util/fail_point.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mnc {
+namespace {
+
+// Each test uses distinct point names; the registry is process-global and
+// tests in this binary may run in any order.
+
+TEST(FailPointTest, UnarmedPointNeverFires) {
+  auto& reg = FailPointRegistry::Instance();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(reg.ShouldFail("fp_test.unarmed"));
+  }
+  EXPECT_EQ(reg.HitCount("fp_test.unarmed"), 5);
+  EXPECT_FALSE(reg.IsArmed("fp_test.unarmed"));
+}
+
+TEST(FailPointTest, ArmFiresUntilDisarm) {
+  auto& reg = FailPointRegistry::Instance();
+  reg.Arm("fp_test.basic");
+  EXPECT_TRUE(reg.IsArmed("fp_test.basic"));
+  EXPECT_TRUE(reg.ShouldFail("fp_test.basic"));
+  EXPECT_TRUE(reg.ShouldFail("fp_test.basic"));
+  reg.Disarm("fp_test.basic");
+  EXPECT_FALSE(reg.IsArmed("fp_test.basic"));
+  EXPECT_FALSE(reg.ShouldFail("fp_test.basic"));
+}
+
+TEST(FailPointTest, SkipAndCountWindow) {
+  auto& reg = FailPointRegistry::Instance();
+  // Skip the first 2 hits, then fire exactly 3 times.
+  reg.Arm("fp_test.window", /*skip=*/2, /*count=*/3);
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(reg.ShouldFail("fp_test.window"));
+  const std::vector<bool> expected = {false, false, true, true,
+                                      true,  false, false, false};
+  EXPECT_EQ(fired, expected);
+  reg.Disarm("fp_test.window");
+}
+
+TEST(FailPointTest, RearmResetsTheWindow) {
+  auto& reg = FailPointRegistry::Instance();
+  reg.Arm("fp_test.rearm", /*skip=*/0, /*count=*/1);
+  EXPECT_TRUE(reg.ShouldFail("fp_test.rearm"));
+  EXPECT_FALSE(reg.ShouldFail("fp_test.rearm"));  // count exhausted
+  reg.Arm("fp_test.rearm", /*skip=*/0, /*count=*/1);
+  EXPECT_TRUE(reg.ShouldFail("fp_test.rearm"));  // window restarted
+  reg.Disarm("fp_test.rearm");
+}
+
+TEST(FailPointTest, HitCountTracksFiringAndNonFiringHits) {
+  auto& reg = FailPointRegistry::Instance();
+  reg.Arm("fp_test.hits", /*skip=*/1, /*count=*/1);
+  (void)reg.ShouldFail("fp_test.hits");
+  (void)reg.ShouldFail("fp_test.hits");
+  (void)reg.ShouldFail("fp_test.hits");
+  EXPECT_EQ(reg.HitCount("fp_test.hits"), 3);
+  reg.Disarm("fp_test.hits");
+}
+
+TEST(FailPointTest, ArmedPointsListsActiveOnes) {
+  auto& reg = FailPointRegistry::Instance();
+  reg.Arm("fp_test.list_a");
+  reg.Arm("fp_test.list_b");
+  const std::vector<std::string> armed = reg.ArmedPoints();
+  EXPECT_NE(std::find(armed.begin(), armed.end(), "fp_test.list_a"),
+            armed.end());
+  EXPECT_NE(std::find(armed.begin(), armed.end(), "fp_test.list_b"),
+            armed.end());
+  reg.Disarm("fp_test.list_a");
+  reg.Disarm("fp_test.list_b");
+  const std::vector<std::string> after = reg.ArmedPoints();
+  EXPECT_EQ(std::find(after.begin(), after.end(), "fp_test.list_a"),
+            after.end());
+}
+
+TEST(FailPointTest, ArmFromSpecParsesNamesAndWindows) {
+  auto& reg = FailPointRegistry::Instance();
+  const int armed =
+      reg.ArmFromSpec("fp_test.spec_a;fp_test.spec_b=2:1;fp_test.spec_c=1");
+  EXPECT_EQ(armed, 3);
+  EXPECT_TRUE(reg.IsArmed("fp_test.spec_a"));
+  EXPECT_TRUE(reg.IsArmed("fp_test.spec_b"));
+  EXPECT_TRUE(reg.IsArmed("fp_test.spec_c"));
+  // spec_b: skip 2 then fire once.
+  EXPECT_FALSE(reg.ShouldFail("fp_test.spec_b"));
+  EXPECT_FALSE(reg.ShouldFail("fp_test.spec_b"));
+  EXPECT_TRUE(reg.ShouldFail("fp_test.spec_b"));
+  EXPECT_FALSE(reg.ShouldFail("fp_test.spec_b"));
+  // spec_c: skip 1 then fire forever.
+  EXPECT_FALSE(reg.ShouldFail("fp_test.spec_c"));
+  EXPECT_TRUE(reg.ShouldFail("fp_test.spec_c"));
+  EXPECT_TRUE(reg.ShouldFail("fp_test.spec_c"));
+  reg.Disarm("fp_test.spec_a");
+  reg.Disarm("fp_test.spec_b");
+  reg.Disarm("fp_test.spec_c");
+}
+
+TEST(FailPointTest, ArmFromSpecSkipsMalformedEntries) {
+  auto& reg = FailPointRegistry::Instance();
+  EXPECT_EQ(reg.ArmFromSpec(";;=1:2;"), 0);
+  EXPECT_EQ(reg.ArmFromSpec(""), 0);
+  EXPECT_EQ(reg.ArmFromSpec("fp_test.spec_ok;=bad"), 1);
+  reg.Disarm("fp_test.spec_ok");
+}
+
+TEST(FailPointTest, ScopedFailPointDisarmsOnDestruction) {
+  auto& reg = FailPointRegistry::Instance();
+  {
+    ScopedFailPoint fp("fp_test.scoped");
+    EXPECT_TRUE(reg.IsArmed("fp_test.scoped"));
+    EXPECT_TRUE(MncFailPointArmed("fp_test.scoped"));
+  }
+  EXPECT_FALSE(reg.IsArmed("fp_test.scoped"));
+  EXPECT_FALSE(MncFailPointArmed("fp_test.scoped"));
+}
+
+TEST(FailPointTest, ResetDisarmsEverythingAndZeroesCounters) {
+  auto& reg = FailPointRegistry::Instance();
+  reg.Arm("fp_test.reset_a");
+  (void)reg.ShouldFail("fp_test.reset_a");
+  reg.Reset();
+  EXPECT_FALSE(reg.IsArmed("fp_test.reset_a"));
+  EXPECT_EQ(reg.HitCount("fp_test.reset_a"), 0);
+  EXPECT_TRUE(reg.ArmedPoints().empty());
+}
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,220 @@
+#include "mnc/estimators/fallback_estimator.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mnc/estimators/density_map_estimator.h"
+#include "mnc/estimators/meta_estimator.h"
+#include "mnc/estimators/mnc_adapter.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/matrix.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/util/fail_point.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+Matrix TestMatrix(int64_t rows, int64_t cols, double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Sparse(GenerateUniformSparse(rows, cols, sparsity, rng));
+}
+
+TEST(FallbackEstimatorTest, DefaultChainServesFromMncTier) {
+  FallbackEstimator est;
+  ASSERT_EQ(est.num_tiers(), 3);
+  Matrix a = TestMatrix(50, 40, 0.1, 1);
+  Matrix b = TestMatrix(40, 30, 0.1, 2);
+  const SynopsisPtr sa = est.Build(a);
+  const SynopsisPtr sb = est.Build(b);
+  auto result = est.TryEstimateSparsity(OpKind::kMatMul, sa, sb, 50, 30);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tier_index, 0);
+  EXPECT_EQ(result->tier_name, "MNC");
+  EXPECT_EQ(est.last_serving_tier(), "MNC");
+  EXPECT_EQ(est.last_serving_tier_index(), 0);
+  EXPECT_GE(result->sparsity, 0.0);
+  EXPECT_LE(result->sparsity, 1.0);
+  EXPECT_EQ(est.tier_stats()[0].serves, 1);
+}
+
+TEST(FallbackEstimatorTest, FailPointDisablesMncTierNextTierServes) {
+  FallbackEstimator est;
+  Matrix a = TestMatrix(50, 40, 0.1, 3);
+  Matrix b = TestMatrix(40, 30, 0.1, 4);
+  const SynopsisPtr sa = est.Build(a);
+  const SynopsisPtr sb = est.Build(b);
+  ScopedFailPoint fp("estimator.mnc");
+  auto result = est.TryEstimateSparsity(OpKind::kMatMul, sa, sb, 50, 30);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tier_index, 1);
+  EXPECT_EQ(result->tier_name, "DMap");
+  EXPECT_EQ(est.last_serving_tier(), "DMap");
+  EXPECT_EQ(est.tier_stats()[0].estimate_failures, 1);
+  EXPECT_EQ(est.tier_stats()[1].serves, 1);
+}
+
+TEST(FallbackEstimatorTest, TwoTiersDownMetadataTierServes) {
+  FallbackEstimator est;
+  Matrix a = TestMatrix(50, 40, 0.1, 5);
+  Matrix b = TestMatrix(40, 30, 0.1, 6);
+  const SynopsisPtr sa = est.Build(a);
+  const SynopsisPtr sb = est.Build(b);
+  ScopedFailPoint fp1("estimator.mnc");
+  ScopedFailPoint fp2("estimator.dmap");
+  auto result = est.TryEstimateSparsity(OpKind::kMatMul, sa, sb, 50, 30);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tier_index, 2);
+  EXPECT_EQ(result->tier_name, "MetaAC");
+}
+
+TEST(FallbackEstimatorTest, AllTiersDownReturnsUnavailable) {
+  FallbackEstimator est;
+  Matrix a = TestMatrix(20, 20, 0.2, 7);
+  Matrix b = TestMatrix(20, 20, 0.2, 8);
+  const SynopsisPtr sa = est.Build(a);
+  const SynopsisPtr sb = est.Build(b);
+  ScopedFailPoint fp1("estimator.mnc");
+  ScopedFailPoint fp2("estimator.dmap");
+  ScopedFailPoint fp3("estimator.metaac");
+  auto result = est.TryEstimateSparsity(OpKind::kMatMul, sa, sb, 20, 20);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  // The message enumerates per-tier skip reasons.
+  EXPECT_NE(result.status().message().find("disabled by fail point"),
+            std::string::npos);
+  EXPECT_EQ(est.last_serving_tier(), "");
+  EXPECT_EQ(est.last_serving_tier_index(), -1);
+  // The plain interface degrades to the conservative worst case instead.
+  EXPECT_EQ(est.EstimateSparsity(OpKind::kMatMul, sa, sb, 20, 20), 1.0);
+}
+
+TEST(FallbackEstimatorTest, BuildFailureDegradesOnlyThatMatrix) {
+  FallbackEstimator est;
+  Matrix a = TestMatrix(50, 40, 0.1, 9);
+  Matrix b = TestMatrix(40, 30, 0.1, 10);
+  SynopsisPtr sa;
+  {
+    // MNC tier down while building a's synopsis only.
+    ScopedFailPoint fp("estimator.mnc");
+    sa = est.Build(a);
+  }
+  const SynopsisPtr sb = est.Build(b);
+  EXPECT_EQ(est.tier_stats()[0].build_failures, 1);
+  // a has no MNC synopsis, so the pair is served by the DMap tier.
+  auto result = est.TryEstimateSparsity(OpKind::kMatMul, sa, sb, 50, 30);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tier_name, "DMap");
+}
+
+TEST(FallbackEstimatorTest, SynopsisBudgetDropsOversizedTier) {
+  // A 1-byte budget forces the MNC synopsis over budget at Build.
+  std::vector<FallbackEstimator::TierConfig> tiers;
+  tiers.push_back({std::make_unique<MncEstimator>(), /*budget=*/1});
+  tiers.push_back({std::make_unique<MetaAcEstimator>(), /*budget=*/-1});
+  FallbackEstimator est(std::move(tiers));
+  Matrix a = TestMatrix(50, 40, 0.1, 11);
+  Matrix b = TestMatrix(40, 30, 0.1, 12);
+  const SynopsisPtr sa = est.Build(a);
+  const SynopsisPtr sb = est.Build(b);
+  EXPECT_EQ(est.tier_stats()[0].build_failures, 2);
+  auto result = est.TryEstimateSparsity(OpKind::kMatMul, sa, sb, 50, 30);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->tier_name, "MetaAC");
+}
+
+TEST(FallbackEstimatorTest, EstimateAccuracyOrderedByTier) {
+  // The headline property of the chain: degradation trades accuracy, never
+  // correctness. Every tier's estimate stays in [0, 1] for the same inputs.
+  FallbackEstimator est;
+  Rng rng(13);
+  CsrMatrix ca = GenerateUniformSparse(80, 60, 0.05, rng);
+  CsrMatrix cb = GenerateUniformSparse(60, 70, 0.05, rng);
+  Matrix a = Matrix::Sparse(ca);
+  Matrix b = Matrix::Sparse(cb);
+  const SynopsisPtr sa = est.Build(a);
+  const SynopsisPtr sb = est.Build(b);
+
+  const double actual =
+      static_cast<double>(ProductNnzExact(ca, cb)) / (80.0 * 70.0);
+  std::vector<double> estimates;
+  {
+    auto r = est.TryEstimateSparsity(OpKind::kMatMul, sa, sb, 80, 70);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->tier_index, 0);
+    estimates.push_back(r->sparsity);
+  }
+  {
+    ScopedFailPoint fp("estimator.mnc");
+    auto r = est.TryEstimateSparsity(OpKind::kMatMul, sa, sb, 80, 70);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->tier_index, 1);
+    estimates.push_back(r->sparsity);
+  }
+  {
+    ScopedFailPoint fp1("estimator.mnc");
+    ScopedFailPoint fp2("estimator.dmap");
+    auto r = est.TryEstimateSparsity(OpKind::kMatMul, sa, sb, 80, 70);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->tier_index, 2);
+    estimates.push_back(r->sparsity);
+  }
+  // Degradation trades accuracy for availability but never breaks the
+  // contract: every tier's answer is a valid sparsity in the truth's
+  // ballpark. (Which tier is closest varies per instance, so no ordering
+  // is asserted.)
+  for (double e : estimates) {
+    EXPECT_TRUE(std::isfinite(e));
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+    EXPECT_NEAR(e, actual, 0.05);
+  }
+}
+
+TEST(FallbackEstimatorTest, PropagateKeepsHealthyTiersAlive) {
+  FallbackEstimator est;
+  Matrix a = TestMatrix(30, 30, 0.1, 14);
+  Matrix b = TestMatrix(30, 30, 0.1, 15);
+  const SynopsisPtr sa = est.Build(a);
+  const SynopsisPtr sb = est.Build(b);
+  const SynopsisPtr ab =
+      est.Propagate(OpKind::kMatMul, sa, sb, 30, 30);
+  ASSERT_NE(ab, nullptr);
+  // The propagated synopsis can serve a follow-up estimate (chain usage).
+  const SynopsisPtr sc = est.Build(TestMatrix(30, 30, 0.1, 16));
+  auto result = est.TryEstimateSparsity(OpKind::kMatMul, ab, sc, 30, 30);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(FallbackEstimatorTest, PropagateUnderFaultDegradesTier) {
+  FallbackEstimator est;
+  Matrix a = TestMatrix(30, 30, 0.1, 17);
+  Matrix b = TestMatrix(30, 30, 0.1, 18);
+  const SynopsisPtr sa = est.Build(a);
+  const SynopsisPtr sb = est.Build(b);
+  SynopsisPtr ab;
+  {
+    ScopedFailPoint fp("estimator.mnc");
+    ab = est.Propagate(OpKind::kMatMul, sa, sb, 30, 30);
+  }
+  ASSERT_NE(ab, nullptr);
+  // MNC slot was lost during propagation; the next estimate falls through
+  // to a later tier even with no fail point armed anymore.
+  const SynopsisPtr sc = est.Build(TestMatrix(30, 30, 0.1, 19));
+  auto result = est.TryEstimateSparsity(OpKind::kMatMul, ab, sc, 30, 30);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->tier_index, 0);
+}
+
+TEST(FallbackEstimatorTest, SupportsOpIsUnionOfTiers) {
+  FallbackEstimator est;
+  EXPECT_TRUE(est.SupportsOp(OpKind::kMatMul));
+  EXPECT_TRUE(est.SupportsChains());
+}
+
+}  // namespace
+}  // namespace mnc

@@ -6,6 +6,7 @@
 
 #include "mnc/matrix/coo_matrix.h"
 #include "mnc/matrix/generate.h"
+#include "mnc/util/fail_point.h"
 #include "mnc/util/random.h"
 
 namespace mnc {
@@ -71,7 +72,10 @@ TEST(IoTest, SkipsComments) {
 
 TEST(IoTest, RejectsMissingHeader) {
   std::stringstream ss("2 2 1\n1 1 4.0\n");
-  EXPECT_FALSE(ReadMatrixMarket(ss).has_value());
+  auto m = ReadMatrixMarket(ss);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(m.status().message().empty());
 }
 
 TEST(IoTest, RejectsOutOfRangeIndices) {
@@ -79,7 +83,11 @@ TEST(IoTest, RejectsOutOfRangeIndices) {
       "%%MatrixMarket matrix coordinate real general\n"
       "2 2 1\n"
       "3 1 4.0\n");
-  EXPECT_FALSE(ReadMatrixMarket(ss).has_value());
+  auto m = ReadMatrixMarket(ss);
+  ASSERT_FALSE(m.ok());
+  // Error names the offending line for debuggability.
+  EXPECT_NE(m.status().message().find("line 3"), std::string::npos)
+      << m.status().ToString();
 }
 
 TEST(IoTest, RejectsTruncatedEntries) {
@@ -87,28 +95,88 @@ TEST(IoTest, RejectsTruncatedEntries) {
       "%%MatrixMarket matrix coordinate real general\n"
       "2 2 2\n"
       "1 1 4.0\n");
-  EXPECT_FALSE(ReadMatrixMarket(ss).has_value());
+  auto m = ReadMatrixMarket(ss);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(IoTest, RejectsUnsupportedFormat) {
   std::stringstream ss(
       "%%MatrixMarket matrix array real general\n"
       "2 2\n1\n2\n3\n4\n");
-  EXPECT_FALSE(ReadMatrixMarket(ss).has_value());
+  auto m = ReadMatrixMarket(ss);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(IoTest, RejectsNnzExceedingDims) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 5\n"
+      "1 1 1.0\n1 2 1.0\n2 1 1.0\n2 2 1.0\n1 1 2.0\n");
+  auto m = ReadMatrixMarket(ss);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(IoTest, RejectsNnzExceedingStreamBytes) {
+  // Declared nnz of a billion entries cannot fit in a few bytes of stream;
+  // the reader must refuse before reserving memory for them.
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "100000 100000 1000000000\n"
+      "1 1 4.0\n");
+  auto m = ReadMatrixMarket(ss);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(m.status().message().find("1000000000"), std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(IoTest, RejectsNegativeDims) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "-2 2 1\n"
+      "1 1 4.0\n");
+  EXPECT_FALSE(ReadMatrixMarket(ss).ok());
+}
+
+TEST(IoTest, ReadFailPoint) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 4.0\n");
+  ScopedFailPoint fp("mm.read_fail");
+  auto m = ReadMatrixMarket(ss);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(m.status().message().find("mm.read_fail"), std::string::npos);
 }
 
 TEST(IoTest, FileRoundTrip) {
   Rng rng(2);
   CsrMatrix m = GenerateUniformSparse(10, 10, 0.3, rng);
   const std::string path = ::testing::TempDir() + "/mnc_io_test.mtx";
-  ASSERT_TRUE(WriteMatrixMarketFile(m, path));
+  ASSERT_TRUE(WriteMatrixMarketFile(m, path).ok());
   auto back = ReadMatrixMarketFile(path);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_TRUE(back->Equals(m));
 }
 
-TEST(IoTest, MissingFileReturnsNullopt) {
-  EXPECT_FALSE(ReadMatrixMarketFile("/nonexistent/path.mtx").has_value());
+TEST(IoTest, MissingFileIsNotFound) {
+  auto m = ReadMatrixMarketFile("/nonexistent/path.mtx");
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kNotFound);
+  // The path is part of the message so callers can log it directly.
+  EXPECT_NE(m.status().message().find("/nonexistent/path.mtx"),
+            std::string::npos);
+}
+
+TEST(IoTest, WriteToUnwritablePathFails) {
+  CsrMatrix m(2, 2);
+  const Status s = WriteMatrixMarketFile(m, "/nonexistent/dir/out.mtx");
+  ASSERT_FALSE(s.ok());
+  EXPECT_FALSE(s.message().empty());
 }
 
 }  // namespace

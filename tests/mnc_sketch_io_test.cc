@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "mnc/matrix/generate.h"
+#include "mnc/util/fail_point.h"
 #include "mnc/util/random.h"
 
 namespace mnc {
@@ -29,9 +30,9 @@ TEST(SketchIoTest, RoundTripWithExtensions) {
   MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(30, 20, 0.2, rng));
   ASSERT_TRUE(s.has_extended());
   std::stringstream ss;
-  ASSERT_TRUE(WriteSketch(s, ss));
+  ASSERT_TRUE(WriteSketch(s, ss).ok());
   auto back = ReadSketch(ss);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
   ExpectSketchesEqual(s, *back);
 }
 
@@ -40,9 +41,9 @@ TEST(SketchIoTest, RoundTripWithoutExtensions) {
   MncSketch s = MncSketch::FromCsr(GeneratePermutation(25, rng));
   ASSERT_FALSE(s.has_extended());
   std::stringstream ss;
-  ASSERT_TRUE(WriteSketch(s, ss));
+  ASSERT_TRUE(WriteSketch(s, ss).ok());
   auto back = ReadSketch(ss);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
   ExpectSketchesEqual(s, *back);
 }
 
@@ -50,18 +51,18 @@ TEST(SketchIoTest, RoundTripDiagonalFlag) {
   Rng rng(3);
   MncSketch s = MncSketch::FromCsr(GenerateDiagonal(16, rng));
   std::stringstream ss;
-  ASSERT_TRUE(WriteSketch(s, ss));
+  ASSERT_TRUE(WriteSketch(s, ss).ok());
   auto back = ReadSketch(ss);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok());
   EXPECT_TRUE(back->is_diagonal());
 }
 
 TEST(SketchIoTest, RoundTripEmptyMatrix) {
   MncSketch s = MncSketch::FromCsr(CsrMatrix(5, 8));
   std::stringstream ss;
-  ASSERT_TRUE(WriteSketch(s, ss));
+  ASSERT_TRUE(WriteSketch(s, ss).ok());
   auto back = ReadSketch(ss);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok());
   ExpectSketchesEqual(s, *back);
 }
 
@@ -69,41 +70,167 @@ TEST(SketchIoTest, FileRoundTrip) {
   Rng rng(4);
   MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(40, 40, 0.1, rng));
   const std::string path = ::testing::TempDir() + "/sketch_io_test.mncs";
-  ASSERT_TRUE(WriteSketchFile(s, path));
+  ASSERT_TRUE(WriteSketchFile(s, path).ok());
   auto back = ReadSketchFile(path);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
   ExpectSketchesEqual(s, *back);
+}
+
+TEST(SketchIoTest, WriterEmitsV2) {
+  Rng rng(20);
+  MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(10, 10, 0.3, rng));
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSketch(s, ss).ok());
+  const std::string bytes = ss.str();
+  ASSERT_GE(bytes.size(), size_t{5});
+  EXPECT_EQ(bytes[4], 2);  // version byte
+}
+
+TEST(SketchIoTest, ReadsLegacyV1) {
+  // A v2 reader must accept v1 streams unchanged (version negotiation).
+  Rng rng(21);
+  MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(30, 20, 0.2, rng));
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSketchV1(s, ss).ok());
+  EXPECT_EQ(ss.str()[4], 1);  // version byte
+  auto back = ReadSketch(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSketchesEqual(s, *back);
+}
+
+TEST(SketchIoTest, V2IsV1PlusChecksums) {
+  // 5 sections gain a u32 CRC each.
+  Rng rng(22);
+  MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(12, 7, 0.4, rng));
+  std::stringstream v1, v2;
+  ASSERT_TRUE(WriteSketchV1(s, v1).ok());
+  ASSERT_TRUE(WriteSketch(s, v2).ok());
+  EXPECT_EQ(v2.str().size(), v1.str().size() + 5 * sizeof(uint32_t));
+}
+
+TEST(SketchIoTest, DetectsEveryFlippedByteInV2) {
+  Rng rng(23);
+  MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(9, 11, 0.3, rng));
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSketch(s, ss).ok());
+  const std::string good = ss.str();
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] ^= 0x04;
+    std::stringstream corrupted(bad);
+    auto result = ReadSketch(corrupted);
+    EXPECT_FALSE(result.ok()) << "flip at offset " << i << " went undetected";
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
 }
 
 TEST(SketchIoTest, RejectsBadMagic) {
   std::stringstream ss("XXXX garbage");
-  EXPECT_FALSE(ReadSketch(ss).has_value());
+  auto result = ReadSketch(ss);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(result.status().message().find("magic"), std::string::npos);
+}
+
+TEST(SketchIoTest, RejectsUnknownVersion) {
+  Rng rng(24);
+  MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(6, 6, 0.3, rng));
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSketch(s, ss).ok());
+  std::string bytes = ss.str();
+  bytes[4] = 9;  // future version
+  std::stringstream in(bytes);
+  auto result = ReadSketch(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
 }
 
 TEST(SketchIoTest, RejectsTruncated) {
   Rng rng(5);
   MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(20, 20, 0.2, rng));
   std::stringstream ss;
-  ASSERT_TRUE(WriteSketch(s, ss));
+  ASSERT_TRUE(WriteSketch(s, ss).ok());
   const std::string full = ss.str();
   for (size_t cut : {size_t{3}, size_t{10}, full.size() / 2,
                      full.size() - 1}) {
     std::stringstream truncated(full.substr(0, cut));
-    EXPECT_FALSE(ReadSketch(truncated).has_value()) << "cut=" << cut;
+    auto result = ReadSketch(truncated);
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty()) << "cut=" << cut;
+    }
   }
 }
 
 TEST(SketchIoTest, RejectsOutOfRangeCounts) {
-  // Hand-craft a payload with a row count exceeding the column dimension.
+  // Hand-craft a v1 payload (no CRC to fix up) with a row count exceeding
+  // the column dimension.
   MncSketch s = MncSketch::FromCounts(2, 3, {1, 2}, {1, 1, 1});
   std::stringstream ss;
-  ASSERT_TRUE(WriteSketch(s, ss));
+  ASSERT_TRUE(WriteSketchV1(s, ss).ok());
   std::string bytes = ss.str();
   // hr starts after magic(4)+version(1)+diag(1)+rows(8)+cols(8)+len(8).
   int64_t bad = 99;
   std::memcpy(bytes.data() + 4 + 1 + 1 + 8 + 8 + 8, &bad, sizeof(bad));
   std::stringstream corrupted(bytes);
-  EXPECT_FALSE(ReadSketch(corrupted).has_value());
+  auto result = ReadSketch(corrupted);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("hr"), std::string::npos);
+}
+
+TEST(SketchIoTest, RejectsHugeDeclaredLengthWithoutAllocating) {
+  // A header declaring ~2^40 rows must be rejected by the stream running
+  // dry, not by attempting a terabyte allocation.
+  MncSketch s = MncSketch::FromCounts(2, 3, {1, 2}, {1, 1, 1});
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSketchV1(s, ss).ok());
+  std::string bytes = ss.str();
+  int64_t huge = (int64_t{1} << 40) - 1;
+  std::memcpy(bytes.data() + 4 + 1 + 1, &huge, sizeof(huge));  // rows
+  std::memcpy(bytes.data() + 4 + 1 + 1 + 8 + 8, &huge, sizeof(huge));  // |hr|
+  std::stringstream corrupted(bytes);
+  auto result = ReadSketch(corrupted);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("end of stream"),
+            std::string::npos);
+}
+
+TEST(SketchIoTest, MissingFileIsNotFound) {
+  auto result = ReadSketchFile("/nonexistent/sketch.mncs");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SketchIoTest, WriteTruncationFailPoint) {
+  Rng rng(25);
+  MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(8, 8, 0.4, rng));
+  std::stringstream ss;
+  {
+    ScopedFailPoint fp("sketch_io.write_truncate");
+    const Status status = WriteSketch(s, ss);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("sketch_io.write_truncate"),
+              std::string::npos);
+  }
+  // The partial wire must be rejected cleanly by the reader.
+  auto result = ReadSketch(ss);
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(result.status().message().empty());
+}
+
+TEST(SketchIoTest, ShortReadFailPoint) {
+  Rng rng(26);
+  MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(8, 8, 0.4, rng));
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSketch(s, ss).ok());
+  ScopedFailPoint fp("sketch_io.read_short", /*skip=*/3, /*count=*/1);
+  auto result = ReadSketch(ss);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("sketch_io.read_short"),
+            std::string::npos);
 }
 
 TEST(SketchIoTest, DistributedWorkflow) {
@@ -114,15 +241,69 @@ TEST(SketchIoTest, DistributedWorkflow) {
   CsrMatrix part2 = GenerateUniformSparse(20, 50, 0.2, rng);
 
   std::stringstream wire1, wire2;
-  ASSERT_TRUE(WriteSketch(MncSketch::FromCsr(part1), wire1));
-  ASSERT_TRUE(WriteSketch(MncSketch::FromCsr(part2), wire2));
+  ASSERT_TRUE(WriteSketch(MncSketch::FromCsr(part1), wire1).ok());
+  ASSERT_TRUE(WriteSketch(MncSketch::FromCsr(part2), wire2).ok());
 
   auto s1 = ReadSketch(wire1);
   auto s2 = ReadSketch(wire2);
-  ASSERT_TRUE(s1.has_value() && s2.has_value());
+  ASSERT_TRUE(s1.ok() && s2.ok());
   MncSketch merged = MncSketch::MergeRowPartitions({*s1, *s2});
   EXPECT_EQ(merged.rows(), 50);
   EXPECT_EQ(merged.nnz(), part1.NumNonZeros() + part2.NumNonZeros());
+}
+
+TEST(SketchIoTest, TolerantMergeSurvivesCorruptPartition) {
+  Rng rng(7);
+  CsrMatrix part1 = GenerateUniformSparse(30, 50, 0.1, rng);
+  CsrMatrix part2 = GenerateUniformSparse(20, 50, 0.2, rng);
+  CsrMatrix part3 = GenerateUniformSparse(10, 50, 0.3, rng);
+
+  std::vector<std::string> wires;
+  for (const CsrMatrix* part : {&part1, &part2, &part3}) {
+    std::stringstream wire;
+    ASSERT_TRUE(WriteSketch(MncSketch::FromCsr(*part), wire).ok());
+    wires.push_back(wire.str());
+  }
+  wires[1][wires[1].size() / 2] ^= 0x10;  // corrupt worker 1's payload
+
+  std::vector<StatusOr<MncSketch>> collected;
+  for (const std::string& wire : wires) {
+    std::istringstream in(wire);
+    collected.push_back(ReadSketch(in));
+  }
+  PartitionMergeReport report;
+  auto merged = MncSketch::MergeRowPartitionsTolerant(collected, &report);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(report.total_partitions, 3);
+  ASSERT_EQ(report.failed_partitions.size(), size_t{1});
+  EXPECT_EQ(report.failed_partitions[0].first, 1);
+  EXPECT_FALSE(report.failed_partitions[0].second.message().empty());
+  EXPECT_EQ(report.merged_rows, 40);
+  EXPECT_NEAR(report.coverage(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(merged->rows(), 40);
+  EXPECT_EQ(merged->nnz(), part1.NumNonZeros() + part3.NumNonZeros());
+}
+
+TEST(SketchIoTest, TolerantMergeAllPartitionsDead) {
+  std::vector<StatusOr<MncSketch>> collected;
+  collected.push_back(Status::DataLoss("wire 0 gone"));
+  collected.push_back(Status::DataLoss("wire 1 gone"));
+  PartitionMergeReport report;
+  auto merged = MncSketch::MergeRowPartitionsTolerant(collected, &report);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("all 2 partitions failed"),
+            std::string::npos);
+  EXPECT_EQ(report.failed_partitions.size(), size_t{2});
+}
+
+TEST(SketchIoTest, TolerantMergeRejectsColumnMismatch) {
+  Rng rng(8);
+  std::vector<StatusOr<MncSketch>> collected;
+  collected.push_back(MncSketch::FromCsr(GenerateUniformSparse(5, 10, 0.2, rng)));
+  collected.push_back(MncSketch::FromCsr(GenerateUniformSparse(5, 11, 0.2, rng)));
+  auto merged = MncSketch::MergeRowPartitionsTolerant(collected);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -1,0 +1,194 @@
+#include "mnc/util/status.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mnc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  const std::vector<std::pair<Status, StatusCode>> cases = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::DataLoss("c"), StatusCode::kDataLoss},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition},
+      {Status::ResourceExhausted("f"), StatusCode::kResourceExhausted},
+      {Status::Unavailable("g"), StatusCode::kUnavailable},
+      {Status::Unimplemented("h"), StatusCode::kUnimplemented},
+      {Status::Internal("i"), StatusCode::kInternal},
+  };
+  for (const auto& [status, code] : cases) {
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), code);
+    EXPECT_FALSE(status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringNamesTheCode) {
+  EXPECT_EQ(Status::DataLoss("CRC mismatch").ToString(),
+            "DATA_LOSS: CRC mismatch");
+  EXPECT_EQ(Status::InvalidArgument("bad shape").ToString(),
+            "INVALID_ARGUMENT: bad shape");
+  EXPECT_EQ(Status::Unavailable("worker down").ToString(),
+            "UNAVAILABLE: worker down");
+}
+
+TEST(StatusTest, AddContextPrependsAndPreservesCode) {
+  Status s = Status::DataLoss("CRC mismatch at offset 54");
+  s.AddContext("section hr").AddContext("merge partition 3");
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(),
+            "merge partition 3: section hr: CRC mismatch at offset 54");
+}
+
+TEST(StatusTest, AddContextOnOkIsNoop) {
+  Status s = Status::Ok();
+  s.AddContext("should not appear");
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, WithContextLeavesOriginalIntact) {
+  const Status s = Status::NotFound("no file");
+  const Status wrapped = s.WithContext("loading sketch");
+  EXPECT_EQ(s.message(), "no file");
+  EXPECT_EQ(wrapped.message(), "loading sketch: no file");
+  EXPECT_EQ(wrapped.code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::DataLoss("x"), Status::DataLoss("x"));
+  EXPECT_FALSE(Status::DataLoss("x") == Status::DataLoss("y"));
+  EXPECT_FALSE(Status::DataLoss("x") == Status::NotFound("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.has_value());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), size_t{5});
+}
+
+TEST(StatusOrTest, ValueOr) {
+  StatusOr<int> good = 3;
+  StatusOr<int> bad = Status::Unavailable("down");
+  EXPECT_EQ(good.value_or(-1), 3);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, AddContextThreadsThrough) {
+  StatusOr<int> r = Status::DataLoss("bad byte");
+  r.AddContext("reading wire");
+  EXPECT_EQ(r.status().message(), "reading wire: bad byte");
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> r = Status::Internal("oops");
+  EXPECT_DEATH(r.value(), "StatusOr::value\\(\\) called on error status");
+}
+
+TEST(StatusOrDeathTest, ConstructionFromOkStatusAborts) {
+  EXPECT_DEATH(StatusOr<int>(Status::Ok()),
+               "StatusOr constructed from OK status");
+}
+
+// --- Macro behavior ---
+
+Status FailIf(bool fail) {
+  if (fail) return Status::InvalidArgument("asked to fail");
+  return Status::Ok();
+}
+
+Status Propagates(bool fail, bool* reached_end) {
+  MNC_RETURN_IF_ERROR(FailIf(fail));
+  *reached_end = true;
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  bool reached = false;
+  const Status failed = Propagates(true, &reached);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_FALSE(reached);
+  const Status succeeded = Propagates(false, &reached);
+  EXPECT_TRUE(succeeded.ok());
+  EXPECT_TRUE(reached);
+}
+
+StatusOr<int> ParseEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd input");
+  return x;
+}
+
+Status SumOfEvens(int a, int b, int* out) {
+  MNC_ASSIGN_OR_RETURN(const int va, ParseEven(a));
+  MNC_ASSIGN_OR_RETURN(const int vb, ParseEven(b));
+  *out = va + vb;
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, AssignOrReturnAssignsAndPropagates) {
+  int sum = 0;
+  EXPECT_TRUE(SumOfEvens(2, 4, &sum).ok());
+  EXPECT_EQ(sum, 6);
+  sum = -1;
+  const Status s = SumOfEvens(2, 3, &sum);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "odd input");
+  EXPECT_EQ(sum, -1);  // untouched on failure
+}
+
+TEST(StatusTest, CodeNamesAreUnique) {
+  const std::vector<StatusCode> codes = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kDataLoss,
+      StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
+      StatusCode::kResourceExhausted, StatusCode::kUnavailable,
+      StatusCode::kUnimplemented, StatusCode::kInternal,
+  };
+  std::vector<std::string> names;
+  for (StatusCode c : codes) names.emplace_back(StatusCodeName(c));
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mnc

@@ -1,10 +1,17 @@
 #include "mnc/util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "mnc/util/fail_point.h"
 
 namespace mnc {
 namespace {
@@ -63,6 +70,103 @@ TEST(ThreadPoolTest, ReusableAcrossCalls) {
 TEST(ThreadPoolTest, DefaultThreadCountPositive) {
   ThreadPool pool;
   EXPECT_GT(pool.num_threads(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsChunkExceptionToWaiter) {
+  // A throwing chunk must surface in the waiting thread, not
+  // std::terminate a worker.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](int64_t begin, int64_t) {
+                         if (begin == 0) {
+                           throw std::runtime_error("chunk zero failed");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool is still usable afterwards.
+  std::atomic<int> count{0};
+  pool.ParallelFor(50, [&](int64_t begin, int64_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, AllChunksRunEvenWhenOneThrows) {
+  // The first failure is captured, but remaining chunks still execute:
+  // no partial, silently-skipped work.
+  ThreadPool pool(4);
+  std::atomic<int> touched{0};
+  const Status s = pool.TryParallelFor(1000, [&](int64_t begin, int64_t end) {
+    touched.fetch_add(static_cast<int>(end - begin));
+    if (begin == 0) throw std::runtime_error("boom");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(touched.load(), 1000);
+}
+
+TEST(ThreadPoolTest, TryParallelForConvertsToStatus) {
+  ThreadPool pool(2);
+  const Status s = pool.TryParallelFor(10, [&](int64_t, int64_t) {
+    throw std::runtime_error("worker task exploded");
+  });
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("worker task exploded"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, TryParallelForOkOnSuccess) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.TryParallelFor(10, [](int64_t, int64_t) {}).ok());
+}
+
+TEST(ThreadPoolTest, TaskFailPointSurfacesAsStatus) {
+  ThreadPool pool(2);
+  ScopedFailPoint fp("threadpool.task");
+  const Status s = pool.TryParallelFor(100, [](int64_t, int64_t) {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("threadpool.task"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, SubmitExceptionCapturedNotTerminating) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  pool.Submit([&] {
+    ran.store(true);
+    throw std::runtime_error("detached task failed");
+  });
+  for (int i = 0; i < 1000 && !ran.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(ran.load());
+  // Give the worker a moment to store the captured exception.
+  Status s = Status::Ok();
+  for (int i = 0; i < 1000 && s.ok(); ++i) {
+    s = pool.TakeFirstTaskError();
+    if (s.ok()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("detached task failed"), std::string::npos);
+  // The error was consumed; a second take reports OK.
+  EXPECT_TRUE(pool.TakeFirstTaskError().ok());
+}
+
+TEST(ThreadPoolTest, ShutdownWithPendingTasksDrainsThemAll) {
+  // Destroying the pool while tasks are still queued must run every task,
+  // not drop or deadlock on them.
+  std::atomic<int> completed{0};
+  const int kTasks = 64;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        completed.fetch_add(1);
+      });
+    }
+    // Destructor runs here with most tasks still pending.
+  }
+  EXPECT_EQ(completed.load(), kTasks);
 }
 
 }  // namespace

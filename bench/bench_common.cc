@@ -33,6 +33,89 @@ int64_t ArgInt(int argc, char** argv, const std::string& name,
   return value != nullptr ? std::atoll(value) : default_value;
 }
 
+std::string ArgString(int argc, char** argv, const std::string& name,
+                      const std::string& default_value) {
+  const char* value = FindArg(argc, argv, name);
+  return value != nullptr ? value : default_value;
+}
+
+bool ArgFlag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonReport::Add(const std::string& key, double value) {
+  char buf[64];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");  // JSON has no inf/nan
+  }
+  fields_.emplace_back(key, buf);
+}
+
+void JsonReport::Add(const std::string& key, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  fields_.emplace_back(key, buf);
+}
+
+void JsonReport::Add(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+std::string JsonReport::ToJson() const {
+  std::string out = "{\"name\": \"" + JsonEscape(name_) + "\"";
+  for (const auto& [key, rendered] : fields_) {
+    out += ", \"" + JsonEscape(key) + "\": " + rendered;
+  }
+  out += "}\n";
+  return out;
+}
+
+bool JsonReport::WriteToFile(const std::string& path) const {
+  const std::string target = path.empty() ? "BENCH_" + name_ + ".json" : path;
+  std::FILE* f = std::fopen(target.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", target.c_str());
+    return false;
+  }
+  const std::string body = ToJson();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (ok) std::printf("wrote %s\n", target.c_str());
+  return ok;
+}
+
 std::vector<EstimatorEntry> MakeAllEstimators(uint64_t seed) {
   std::vector<EstimatorEntry> out;
   out.push_back({"MetaWC", std::make_unique<mnc::MetaWcEstimator>()});

@@ -29,6 +29,34 @@ double ArgDouble(int argc, char** argv, const std::string& name,
                  double default_value);
 int64_t ArgInt(int argc, char** argv, const std::string& name,
                int64_t default_value);
+std::string ArgString(int argc, char** argv, const std::string& name,
+                      const std::string& default_value);
+// Valueless boolean flag: true when --name appears anywhere on the line.
+bool ArgFlag(int argc, char** argv, const std::string& name);
+
+// Machine-readable benchmark output: a flat JSON object written next to the
+// working directory as BENCH_<name>.json (or a caller-chosen path), so CI
+// and scripts/run_bench.sh can diff runs without scraping stdout. Fields
+// render in insertion order.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value);
+  void Add(const std::string& key, int64_t value);
+  void Add(const std::string& key, const std::string& value);
+
+  // {"name": "<name>", "k1": v1, ...}
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`; empty selects "BENCH_<name>.json". Returns
+  // false (after printing a warning) when the file cannot be written.
+  bool WriteToFile(const std::string& path = "") const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;  // pre-rendered
+};
 
 // The full estimator lineup of §6 in the paper's ordering, with default
 // parameters (density map b = 256, layered graph r = 32, sample f = 0.05).

@@ -1,0 +1,166 @@
+// Warm-vs-cold benchmark for the estimation service memo cache.
+//
+// Registers a chain of base matrices, then estimates the same product chain
+// repeatedly with freshly built (and differently parenthesized) expression
+// nodes. The first query propagates sketches through every node (cold); the
+// repeats canonicalize, hash, and answer from the root memo entry (warm).
+// The service amortizes exactly like the paper's integration in SystemDS:
+// sketches are built once and reused across the optimizer's repeated
+// what-if estimates.
+//
+// Flags:
+//   --dim <n>          matrix dimension (default 4096)
+//   --chain <k>        number of chain factors (default 10)
+//   --sparsity <f>     base matrix sparsity (default 0.01)
+//   --reps <n>         warm repetitions to average (default 50)
+//   --budget-mb <m>    memo budget in MB (default 64)
+//   --json             also write BENCH_service.json
+//   --check            exit non-zero unless warm is >= --min-speedup faster
+//                      and the memo stayed within budget (used by ctest)
+//   --min-speedup <x>  threshold for --check (default 10)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+// A fresh right-deep spelling of M0 %*% M1 %*% ... %*% Mk-1; the service
+// canonicalizes it to the shared left-deep form, so every build still maps
+// to one memo entry despite the new nodes and parenthesization.
+mnc::ExprPtr BuildChain(const std::vector<mnc::ExprPtr>& leaves) {
+  mnc::ExprPtr expr = leaves.back();
+  for (size_t i = leaves.size() - 1; i-- > 0;) {
+    expr = mnc::ExprNode::MatMul(leaves[i], expr);
+  }
+  return expr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t dim = mncbench::ArgInt(argc, argv, "dim", 4096);
+  const int64_t chain = mncbench::ArgInt(argc, argv, "chain", 10);
+  const double sparsity = mncbench::ArgDouble(argc, argv, "sparsity", 0.01);
+  const int64_t reps = mncbench::ArgInt(argc, argv, "reps", 50);
+  const int64_t budget_mb = mncbench::ArgInt(argc, argv, "budget-mb", 64);
+  const bool json = mncbench::ArgFlag(argc, argv, "json");
+  const bool check = mncbench::ArgFlag(argc, argv, "check");
+  const double min_speedup =
+      mncbench::ArgDouble(argc, argv, "min-speedup", 10.0);
+
+  mnc::EstimationServiceOptions options;
+  options.memo_budget_bytes = budget_mb << 20;
+  mnc::EstimationService service(options);
+
+  // Register the chain factors (sketch construction, once per matrix).
+  mnc::Rng rng(42);
+  std::vector<mnc::ExprPtr> leaves;
+  mnc::Stopwatch watch;
+  for (int64_t i = 0; i < chain; ++i) {
+    mnc::Matrix m = mnc::Matrix::Sparse(
+        mnc::GenerateUniformSparse(dim, dim, sparsity, rng));
+    auto leaf = service.RegisterMatrix("M" + std::to_string(i), m);
+    if (!leaf.ok()) {
+      std::fprintf(stderr, "register failed: %s\n",
+                   leaf.status().ToString().c_str());
+      return 1;
+    }
+    leaves.push_back(*leaf);
+  }
+  const double register_seconds = watch.ElapsedSeconds();
+
+  // Cold: empty memo, every node propagated.
+  watch.Restart();
+  auto cold = service.Estimate(BuildChain(leaves));
+  const double cold_seconds = watch.ElapsedSeconds();
+  if (!cold.ok()) {
+    std::fprintf(stderr, "cold estimate failed: %s\n",
+                 cold.status().ToString().c_str());
+    return 1;
+  }
+
+  // Warm: fresh nodes each rep; all should hit the root memo entry.
+  int64_t warm_hits = 0;
+  watch.Restart();
+  for (int64_t r = 0; r < reps; ++r) {
+    auto warm = service.Estimate(BuildChain(leaves));
+    if (!warm.ok()) {
+      std::fprintf(stderr, "warm estimate failed: %s\n",
+                   warm.status().ToString().c_str());
+      return 1;
+    }
+    if (warm->memo_hit) ++warm_hits;
+  }
+  const double warm_seconds = watch.ElapsedSeconds() / static_cast<double>(reps);
+
+  const mnc::ServiceStats stats = service.stats();
+  const double speedup = warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+  const bool within_budget = stats.memo.bytes_used <= options.memo_budget_bytes;
+
+  std::printf("service_cache: dim=%lld chain=%lld sparsity=%g budget=%lld MB\n",
+              static_cast<long long>(dim), static_cast<long long>(chain),
+              sparsity, static_cast<long long>(budget_mb));
+  std::printf("  register (sketch build):  %10.3f ms total\n",
+              register_seconds * 1e3);
+  std::printf("  cold estimate:            %10.3f ms\n", cold_seconds * 1e3);
+  std::printf("  warm estimate (avg/%lld): %10.3f ms\n",
+              static_cast<long long>(reps), warm_seconds * 1e3);
+  std::printf("  speedup (cold/warm):      %10.1fx\n", speedup);
+  std::printf("  estimate: %.3e  warm memo hits: %lld/%lld\n", cold->sparsity,
+              static_cast<long long>(warm_hits),
+              static_cast<long long>(reps));
+  std::printf("  memo: %lld entries, %lld/%lld bytes, %lld hits, "
+              "%lld misses, %lld evictions\n",
+              static_cast<long long>(stats.memo.entries),
+              static_cast<long long>(stats.memo.bytes_used),
+              static_cast<long long>(stats.memo.budget_bytes),
+              static_cast<long long>(stats.memo.hits),
+              static_cast<long long>(stats.memo.misses),
+              static_cast<long long>(stats.memo.evictions));
+
+  if (json) {
+    mncbench::JsonReport report("service");
+    report.Add("dim", dim);
+    report.Add("chain", chain);
+    report.Add("sparsity", sparsity);
+    report.Add("reps", reps);
+    report.Add("budget_bytes", options.memo_budget_bytes);
+    report.Add("register_seconds", register_seconds);
+    report.Add("cold_seconds", cold_seconds);
+    report.Add("warm_seconds", warm_seconds);
+    report.Add("speedup", speedup);
+    report.Add("estimate", cold->sparsity);
+    report.Add("warm_memo_hits", warm_hits);
+    report.Add("memo_entries", stats.memo.entries);
+    report.Add("memo_bytes_used", stats.memo.bytes_used);
+    report.Add("memo_hits", stats.memo.hits);
+    report.Add("memo_misses", stats.memo.misses);
+    report.Add("memo_evictions", stats.memo.evictions);
+    report.WriteToFile();
+  }
+
+  if (check) {
+    if (!within_budget) {
+      std::fprintf(stderr, "CHECK FAILED: memo bytes %lld exceed budget\n",
+                   static_cast<long long>(stats.memo.bytes_used));
+      return 1;
+    }
+    if (warm_hits != reps) {
+      std::fprintf(stderr, "CHECK FAILED: only %lld/%lld warm memo hits\n",
+                   static_cast<long long>(warm_hits),
+                   static_cast<long long>(reps));
+      return 1;
+    }
+    if (speedup < min_speedup) {
+      std::fprintf(stderr, "CHECK FAILED: speedup %.1fx < %.1fx\n", speedup,
+                   min_speedup);
+      return 1;
+    }
+    std::printf("CHECK PASSED: warm %.1fx faster, budget held\n", speedup);
+  }
+  return 0;
+}

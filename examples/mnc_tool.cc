@@ -17,6 +17,16 @@
 //   chain <m1.mtx> <m2.mtx> [...]
 //       Optimizes the multiplication chain, comparing the dimension-only
 //       and the sparsity-aware (MNC) dynamic programs.
+//   serve [--budget-mb <m>] [--threads <n>] [--exec "cmd; cmd; ..."]
+//       Runs a long-lived estimation service: matrices are registered once
+//       (sketch catalog with content dedup), and repeated queries are
+//       answered from the canonicalized-expression memo cache. Commands,
+//       one per stdin line (or ';'-separated via --exec):
+//         register <name> <file.mtx>   build/reuse the sketch of a matrix
+//         estimate <expression>        estimate a DML-like expression
+//         stats                        print catalog/memo/query counters
+//         clear                        drop all memoized sub-expressions
+//         quit                         exit
 //   expr "<expression-or-script>" --bind NAME=file.mtx [--bind ...]
 //       [--exact]
 //       Parses a DML-like expression or multi-statement script (%*%, *, +,
@@ -32,6 +42,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <string>
@@ -53,7 +64,9 @@ int Usage() {
                "rowsums|colsums> <a.mtx> [b.mtx] [--exact]\n"
                "  mnc_tool chain <m1.mtx> <m2.mtx> [...]\n"
                "  mnc_tool expr \"<expression>\" --bind NAME=file.mtx"
-               " [--bind ...] [--exact]\n");
+               " [--bind ...] [--exact]\n"
+               "  mnc_tool serve [--budget-mb <m>] [--threads <n>]"
+               " [--exec \"cmd; cmd; ...\"]\n");
   return 2;
 }
 
@@ -391,6 +404,160 @@ int CmdChain(int argc, char** argv) {
   return 0;
 }
 
+// --- serve: long-lived estimation service over stdin/--exec commands. ---
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Handles one serve command; returns 0 on success, 1 on a command error,
+// and -1 for quit.
+int ServeCommand(mnc::EstimationService& service, const std::string& raw) {
+  const std::string line = Trim(raw);
+  if (line.empty() || line[0] == '#') return 0;
+
+  const size_t space = line.find_first_of(" \t");
+  const std::string verb = line.substr(0, space);
+  const std::string rest =
+      space == std::string::npos ? "" : Trim(line.substr(space + 1));
+
+  if (verb == "quit" || verb == "exit") return -1;
+
+  if (verb == "register") {
+    const size_t sep = rest.find_first_of(" \t");
+    if (sep == std::string::npos) {
+      std::fprintf(stderr, "error: register <name> <file.mtx>\n");
+      return 1;
+    }
+    const std::string name = rest.substr(0, sep);
+    const std::string file = Trim(rest.substr(sep + 1));
+    const auto m = Load(file.c_str());
+    if (!m.ok()) return 1;
+    const int64_t dedup_before = service.stats().register_dedup_hits;
+    mnc::Stopwatch watch;
+    const auto leaf =
+        service.RegisterMatrix(name, mnc::Matrix::AutoFromCsr(*m));
+    if (!leaf.ok()) {
+      std::fprintf(stderr, "error: %s\n", leaf.status().ToString().c_str());
+      return 1;
+    }
+    const bool reused = service.stats().register_dedup_hits > dedup_before;
+    std::printf("registered %s: %lld x %lld, sparsity %.6g, %s (%.3f ms)\n",
+                name.c_str(), static_cast<long long>((*leaf)->rows()),
+                static_cast<long long>((*leaf)->cols()),
+                (*leaf)->matrix().Sparsity(),
+                reused ? "reused existing sketch" : "sketch built",
+                watch.ElapsedMillis());
+    return 0;
+  }
+
+  if (verb == "estimate") {
+    if (rest.empty()) {
+      std::fprintf(stderr, "error: estimate <expression>\n");
+      return 1;
+    }
+    mnc::Stopwatch watch;
+    const auto result = service.EstimateSource(rest);
+    const double ms = watch.ElapsedMillis();
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("sparsity %.6g (%lld x %lld output, served by %s%s, "
+                "%.3f ms)\n",
+                result->sparsity, static_cast<long long>(result->rows),
+                static_cast<long long>(result->cols),
+                result->served_by.c_str(), result->memo_hit ? ", memo hit" : "",
+                ms);
+    return 0;
+  }
+
+  if (verb == "stats") {
+    const mnc::ServiceStats s = service.stats();
+    std::printf("catalog: %lld names, %lld sketches, %lld dedup hits, "
+                "%lld leaf hits, %lld leaf misses\n",
+                static_cast<long long>(s.registered_names),
+                static_cast<long long>(s.registered_sketches),
+                static_cast<long long>(s.register_dedup_hits),
+                static_cast<long long>(s.catalog_hits),
+                static_cast<long long>(s.catalog_misses));
+    std::printf("queries: %lld estimates (%lld batch), %lld fallback, "
+                "%lld failed\n",
+                static_cast<long long>(s.estimates),
+                static_cast<long long>(s.batch_queries),
+                static_cast<long long>(s.fallback_estimates),
+                static_cast<long long>(s.failed_estimates));
+    std::printf("memo: %lld entries, %lld/%lld bytes, %lld hits, "
+                "%lld misses, %lld evictions, %lld poisoned dropped\n",
+                static_cast<long long>(s.memo.entries),
+                static_cast<long long>(s.memo.bytes_used),
+                static_cast<long long>(s.memo.budget_bytes),
+                static_cast<long long>(s.memo.hits),
+                static_cast<long long>(s.memo.misses),
+                static_cast<long long>(s.memo.evictions),
+                static_cast<long long>(s.memo.poisoned_dropped));
+    return 0;
+  }
+
+  if (verb == "clear") {
+    service.ClearMemo();
+    std::printf("memo cleared\n");
+    return 0;
+  }
+
+  std::fprintf(stderr,
+               "error: unknown command '%s' "
+               "(register/estimate/stats/clear/quit)\n",
+               verb.c_str());
+  return 1;
+}
+
+int CmdServe(int argc, char** argv) {
+  mnc::EstimationServiceOptions options;
+  const char* exec = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget-mb") == 0 && i + 1 < argc) {
+      options.memo_budget_bytes = std::atoll(argv[++i]) << 20;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--exec") == 0 && i + 1 < argc) {
+      exec = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+
+  mnc::EstimationService service(options);
+  bool had_error = false;
+
+  if (exec != nullptr) {
+    std::string script = exec;
+    size_t start = 0;
+    while (start <= script.size()) {
+      const size_t end = script.find(';', start);
+      const std::string cmd = script.substr(
+          start, end == std::string::npos ? std::string::npos : end - start);
+      const int rc = ServeCommand(service, cmd);
+      if (rc < 0) break;
+      if (rc != 0) had_error = true;
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    return had_error ? 1 : 0;
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const int rc = ServeCommand(service, line);
+    if (rc < 0) break;
+    if (rc != 0) had_error = true;
+  }
+  return had_error ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -402,5 +569,6 @@ int main(int argc, char** argv) {
   if (cmd == "estimate") return CmdEstimate(argc, argv);
   if (cmd == "expr") return CmdExpr(argc, argv);
   if (cmd == "chain") return CmdChain(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
   return Usage();
 }

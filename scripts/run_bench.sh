@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the benchmarks that support machine-readable output and collects
+# their BENCH_<name>.json reports into one directory, so CI (or a laptop)
+# can diff runs without scraping stdout tables.
+#
+# Usage: scripts/run_bench.sh [build-dir] [out-dir]
+#
+# Currently JSON-enabled: service_cache (estimation service warm/cold memo
+# benchmark). Benches grow a --json flag via mncbench::JsonReport; add them
+# to JSON_BENCHES below as they do.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_results}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+
+# name:extra-flags pairs; each run writes BENCH_<report-name>.json in cwd.
+JSON_BENCHES=(
+  "service_cache:--json"
+)
+
+for spec in "${JSON_BENCHES[@]}"; do
+  bench="${spec%%:*}"
+  flags="${spec#*:}"
+  bin="$BUILD_DIR/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "skipping $bench (not built)" >&2
+    continue
+  fi
+  echo "===== $bench ====="
+  # shellcheck disable=SC2086  # flags are intentionally word-split
+  (cd "$OUT_DIR" && "$ROOT/$bin" $flags)
+done
+
+echo "JSON reports in $OUT_DIR/:"
+ls -l "$OUT_DIR"/BENCH_*.json

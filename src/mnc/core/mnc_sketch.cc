@@ -321,6 +321,13 @@ int64_t MncSketch::SizeBytes() const {
   return vectors + static_cast<int64_t>(sizeof(MncSketch));
 }
 
+int64_t MncSketch::MemoryBytes() const {
+  const int64_t allocated = static_cast<int64_t>(
+      (hr_.capacity() + hc_.capacity() + her_.capacity() + hec_.capacity()) *
+      sizeof(int64_t));
+  return allocated + static_cast<int64_t>(sizeof(MncSketch));
+}
+
 void MncSketch::RecomputeSummary() {
   nnz_ = std::accumulate(hr_.begin(), hr_.end(), int64_t{0});
   const int64_t nnz_by_cols =

@@ -127,8 +127,15 @@ class MncSketch {
   // vectors in one extra scan (so the result equals FromCsr exactly).
   static MncSketch FromCsrParallel(const CsrMatrix& a, ThreadPool& pool);
 
-  // Approximate in-memory footprint in bytes (Fig. 9 size analysis).
+  // Approximate in-memory footprint in bytes (Fig. 9 size analysis):
+  // counts the elements the vectors hold.
   int64_t SizeBytes() const;
+
+  // Measured in-memory footprint in bytes: the object itself plus the
+  // *allocated* (capacity) vector storage. This is what the sketch actually
+  // occupies on the heap and is the unit the estimation service's memo
+  // budget is accounted in; always >= SizeBytes().
+  int64_t MemoryBytes() const;
 
  private:
   MncSketch() = default;

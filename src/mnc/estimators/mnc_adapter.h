@@ -44,6 +44,14 @@ class MncEstimator final : public SparsityEstimator {
   SynopsisPtr Propagate(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
                         int64_t out_rows, int64_t out_cols) override;
 
+  // Measured footprint (vector capacities + object) rather than the logical
+  // SizeBytes, so byte budgets account for what is actually allocated.
+  int64_t SynopsisBytes(const SynopsisPtr& s) const override {
+    const auto* m = dynamic_cast<const MncSynopsis*>(s.get());
+    return m != nullptr ? m->sketch().MemoryBytes()
+                        : SparsityEstimator::SynopsisBytes(s);
+  }
+
  private:
   MncSketch Derive(OpKind op, const SynopsisPtr& a, const SynopsisPtr& b,
                    int64_t out_rows, int64_t out_cols);

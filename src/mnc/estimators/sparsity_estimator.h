@@ -99,6 +99,15 @@ class SparsityEstimator {
                                 const SynopsisPtr& b, int64_t out_rows,
                                 int64_t out_cols) = 0;
 
+  // Bytes occupied by `s` (0 for null). The default defers to the
+  // synopsis's own SizeBytes(); estimators with out-of-synopsis state (e.g.
+  // shared dictionaries) can override to account for it. Memory budgets
+  // (fallback tier budgets, the estimation service's memo budget) and the
+  // Fig. 9 measured-size report charge synopses through this method.
+  virtual int64_t SynopsisBytes(const SynopsisPtr& s) const {
+    return s == nullptr ? 0 : s->SizeBytes();
+  }
+
  protected:
   // Downcast helper with a checked type assumption: synopses passed back
   // into an estimator must have been produced by that estimator.

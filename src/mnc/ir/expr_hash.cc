@@ -1,0 +1,226 @@
+#include "mnc/ir/expr_hash.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace mnc {
+
+namespace {
+
+// splitmix64 finalizer — the same mixer the Rng seeds with.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Combine(uint64_t h, uint64_t v) {
+  return Mix(h ^ (v * 0xFF51AFD7ED558CCDULL));
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+uint64_t LeafFingerprint(const ExprNode& node, const LeafFingerprintFn& fn) {
+  return fn != nullptr ? fn(node) : MatrixFingerprint(node.matrix());
+}
+
+// Tag separating leaf hashes from operation hashes; operations use
+// 2 + static_cast<int>(op).
+constexpr uint64_t kLeafTag = 1;
+
+bool IsCommutative(OpKind op) {
+  return op == OpKind::kEWiseAdd || op == OpKind::kEWiseMult ||
+         op == OpKind::kEWiseMin || op == OpKind::kEWiseMax;
+}
+
+bool IsMatMul(const ExprPtr& n) {
+  return !n->is_leaf() && n->op() == OpKind::kMatMul;
+}
+
+}  // namespace
+
+uint64_t ExprHasher::Hash(const ExprPtr& node) {
+  MNC_CHECK(node != nullptr);
+  auto it = memo_.find(node.get());
+  if (it != memo_.end()) return it->second;
+
+  uint64_t h;
+  if (node->is_leaf()) {
+    h = Combine(kLeafTag, LeafFingerprint(*node, leaf_fp_));
+  } else {
+    h = 2 + static_cast<uint64_t>(node->op());
+    if (node->op() == OpKind::kScale) {
+      h = Combine(h, DoubleBits(node->scale_alpha()));
+    }
+    h = Combine(h, Hash(node->left()));
+    h = Combine(h, node->right() != nullptr ? Hash(node->right()) : 0);
+  }
+  // Shape folds in reshape targets and disambiguates fingerprint-colliding
+  // leaves of different dimensions.
+  h = Combine(h, static_cast<uint64_t>(node->rows()));
+  h = Combine(h, static_cast<uint64_t>(node->cols()));
+  memo_.emplace(node.get(), h);
+  return h;
+}
+
+uint64_t StructuralHash(const ExprPtr& root, const LeafFingerprintFn& leaf_fp) {
+  ExprHasher hasher(leaf_fp);
+  return hasher.Hash(root);
+}
+
+namespace {
+
+struct PtrPairHash {
+  size_t operator()(const std::pair<const ExprNode*, const ExprNode*>& p)
+      const {
+    return static_cast<size_t>(
+        Combine(reinterpret_cast<uintptr_t>(p.first),
+                reinterpret_cast<uintptr_t>(p.second)));
+  }
+};
+
+class Equality {
+ public:
+  explicit Equality(const LeafFingerprintFn& leaf_fp) : leaf_fp_(leaf_fp) {}
+
+  bool Equal(const ExprPtr& a, const ExprPtr& b) {
+    if (a.get() == b.get()) return true;
+    if (a->rows() != b->rows() || a->cols() != b->cols()) return false;
+    if (a->is_leaf() != b->is_leaf()) return false;
+    if (a->is_leaf()) return Fingerprint(a) == Fingerprint(b);
+    if (a->op() != b->op()) return false;
+    if (a->op() == OpKind::kScale && a->scale_alpha() != b->scale_alpha()) {
+      return false;
+    }
+    const auto key = std::make_pair(a.get(), b.get());
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    bool eq = Equal(a->left(), b->left());
+    if (eq) {
+      if ((a->right() == nullptr) != (b->right() == nullptr)) {
+        eq = false;
+      } else if (a->right() != nullptr) {
+        eq = Equal(a->right(), b->right());
+      }
+    }
+    memo_.emplace(key, eq);
+    return eq;
+  }
+
+ private:
+  uint64_t Fingerprint(const ExprPtr& leaf) {
+    auto it = fp_memo_.find(leaf.get());
+    if (it != fp_memo_.end()) return it->second;
+    const uint64_t fp = LeafFingerprint(*leaf, leaf_fp_);
+    fp_memo_.emplace(leaf.get(), fp);
+    return fp;
+  }
+
+  const LeafFingerprintFn& leaf_fp_;
+  std::unordered_map<std::pair<const ExprNode*, const ExprNode*>, bool,
+                     PtrPairHash>
+      memo_;
+  std::unordered_map<const ExprNode*, uint64_t> fp_memo_;
+};
+
+class Canonicalizer {
+ public:
+  explicit Canonicalizer(const LeafFingerprintFn& leaf_fp)
+      : hasher_(leaf_fp) {}
+
+  ExprPtr Canon(const ExprPtr& node) {
+    auto it = memo_.find(node.get());
+    if (it != memo_.end()) return it->second;
+
+    ExprPtr result;
+    if (node->is_leaf()) {
+      result = node;
+    } else {
+      switch (node->op()) {
+        case OpKind::kTranspose: {
+          const ExprPtr child = Canon(node->left());
+          if (!child->is_leaf() && child->op() == OpKind::kTranspose) {
+            result = child->left();  // t(t(X)) -> X
+          } else if (child == node->left()) {
+            result = node;
+          } else {
+            result = ExprNode::Transpose(child);
+          }
+          break;
+        }
+        case OpKind::kMatMul: {
+          // Re-associate the product chain left-deep: the canonical left
+          // child is already left-deep, so only the right side's factors
+          // need folding in.
+          const ExprPtr left = Canon(node->left());
+          std::vector<ExprPtr> rfactors;
+          Flatten(Canon(node->right()), rfactors);
+          if (left == node->left() && rfactors.size() == 1 &&
+              rfactors[0] == node->right()) {
+            result = node;  // already canonical
+          } else {
+            ExprPtr acc = left;
+            for (ExprPtr& f : rfactors) {
+              acc = ExprNode::MatMul(std::move(acc), std::move(f));
+            }
+            result = acc;
+          }
+          break;
+        }
+        default: {
+          ExprPtr left = Canon(node->left());
+          ExprPtr right =
+              node->right() != nullptr ? Canon(node->right()) : nullptr;
+          if (IsCommutative(node->op()) &&
+              hasher_.Hash(left) > hasher_.Hash(right)) {
+            std::swap(left, right);
+          }
+          result = RebuildWithChildren(node, std::move(left),
+                                       std::move(right));
+          break;
+        }
+      }
+    }
+    memo_.emplace(node.get(), result);
+    return result;
+  }
+
+ private:
+  // Collects the factors of an already-canonical product subtree in order.
+  static void Flatten(const ExprPtr& node, std::vector<ExprPtr>& out) {
+    if (IsMatMul(node)) {
+      Flatten(node->left(), out);
+      Flatten(node->right(), out);
+    } else {
+      out.push_back(node);
+    }
+  }
+
+  ExprHasher hasher_;
+  std::unordered_map<const ExprNode*, ExprPtr> memo_;
+};
+
+}  // namespace
+
+bool StructuralEqual(const ExprPtr& a, const ExprPtr& b,
+                     const LeafFingerprintFn& leaf_fp) {
+  MNC_CHECK(a != nullptr);
+  MNC_CHECK(b != nullptr);
+  Equality eq(leaf_fp);
+  return eq.Equal(a, b);
+}
+
+ExprPtr CanonicalizeExpr(const ExprPtr& root,
+                         const LeafFingerprintFn& leaf_fp) {
+  MNC_CHECK(root != nullptr);
+  Canonicalizer canon(leaf_fp);
+  return canon.Canon(root);
+}
+
+}  // namespace mnc

@@ -1,0 +1,79 @@
+// DAG canonicalization and structural hashing for common-subexpression
+// detection across *separately constructed* expression DAGs.
+//
+// The IR memoizes by node identity (pointer), which is enough inside one
+// DAG but useless across queries: a service answering repeated estimation
+// traffic sees the same logical subexpression built from fresh nodes every
+// time. This module provides the value-level identity the estimation
+// service keys its memo table on:
+//
+//   - CanonicalizeExpr: value-preserving normalizations that map equivalent
+//     spellings to one representative — transpose-of-transpose elimination
+//     (t(t(X)) -> X), re-association of matrix-product chains to the
+//     canonical left-deep parenthesization (((A B) C) D), and ordering of
+//     commutative element-wise operands by structural hash. Two
+//     differently-parenthesized but equivalent mmchains therefore share one
+//     canonical form (and one memo entry).
+//   - ExprHasher / StructuralHash: a 64-bit recursive hash over the
+//     canonical structure. Leaves hash by shape + content fingerprint
+//     (MatrixFingerprint), operations by kind, parameters, and child
+//     hashes.
+//   - StructuralEqual: recursive equality used to verify hash hits (leaves
+//     compare by fingerprint, so equality is content-level, not
+//     pointer-level).
+//
+// Leaf fingerprinting is O(nnz); callers that already know a leaf's
+// fingerprint (the service's sketch catalog pins registered matrices)
+// supply a LeafFingerprintFn to skip the rescan.
+
+#ifndef MNC_IR_EXPR_HASH_H_
+#define MNC_IR_EXPR_HASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "mnc/ir/expr.h"
+
+namespace mnc {
+
+// Resolves the content fingerprint of a leaf's matrix. When null, callers
+// fall back to MatrixFingerprint (an O(nnz) scan per distinct leaf node).
+using LeafFingerprintFn = std::function<uint64_t(const ExprNode&)>;
+
+// Structural hasher with per-instance memoization by node identity. Reuse
+// one instance across the nodes of a DAG walk so shared subtrees hash once;
+// instances are cheap and not thread-safe (use one per query).
+class ExprHasher {
+ public:
+  explicit ExprHasher(LeafFingerprintFn leaf_fp = nullptr)
+      : leaf_fp_(std::move(leaf_fp)) {}
+
+  uint64_t Hash(const ExprPtr& node);
+
+ private:
+  LeafFingerprintFn leaf_fp_;
+  std::unordered_map<const ExprNode*, uint64_t> memo_;
+};
+
+// One-shot structural hash of a DAG.
+uint64_t StructuralHash(const ExprPtr& root,
+                        const LeafFingerprintFn& leaf_fp = nullptr);
+
+// Structural (value-level) equality: same shape of operations, parameters,
+// and leaf content fingerprints. Memoizes node pairs, so shared-subtree
+// DAGs compare in time linear in the number of distinct pairs.
+bool StructuralEqual(const ExprPtr& a, const ExprPtr& b,
+                     const LeafFingerprintFn& leaf_fp = nullptr);
+
+// Rewrites the DAG into its canonical form (see file comment). The result
+// shares unchanged subtrees with the input, computes the same value
+// (modulo FP round-off from product re-association, which preserves the
+// non-zero structure under assumption A1), and is the form the estimation
+// service hashes for memo keys.
+ExprPtr CanonicalizeExpr(const ExprPtr& root,
+                         const LeafFingerprintFn& leaf_fp = nullptr);
+
+}  // namespace mnc
+
+#endif  // MNC_IR_EXPR_HASH_H_

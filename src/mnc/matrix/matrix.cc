@@ -1,5 +1,7 @@
 #include "mnc/matrix/matrix.h"
 
+#include "mnc/util/crc32.h"
+
 namespace mnc {
 
 Matrix Matrix::Dense(DenseMatrix dense) {
@@ -60,6 +62,40 @@ DenseMatrix Matrix::AsDense() const {
 bool Matrix::EqualsLogically(const Matrix& other) const {
   if (rows() != other.rows() || cols() != other.cols()) return false;
   return AsCsr().Equals(other.AsCsr());
+}
+
+uint64_t MatrixFingerprint(const Matrix& m) {
+  const int64_t dims[2] = {m.rows(), m.cols()};
+  uint32_t structure = Crc32(dims, sizeof(dims));
+  uint32_t values = 0;
+  // Feed every stored non-zero as ((i, j) -> structure, value -> values) in
+  // row-major order, which is identical for the dense and CSR layouts of the
+  // same logical matrix (CSR columns are strictly increasing per row, and
+  // CSR never stores zeros).
+  if (m.is_dense()) {
+    const DenseMatrix& d = m.dense();
+    for (int64_t i = 0; i < d.rows(); ++i) {
+      for (int64_t j = 0; j < d.cols(); ++j) {
+        const double v = d.At(i, j);
+        if (v == 0.0) continue;
+        const int64_t coord[2] = {i, j};
+        structure = Crc32Update(structure, coord, sizeof(coord));
+        values = Crc32Update(values, &v, sizeof(v));
+      }
+    }
+  } else {
+    const CsrMatrix& c = m.csr();
+    for (int64_t i = 0; i < c.rows(); ++i) {
+      const auto idx = c.RowIndices(i);
+      const auto val = c.RowValues(i);
+      for (size_t k = 0; k < idx.size(); ++k) {
+        const int64_t coord[2] = {i, idx[k]};
+        structure = Crc32Update(structure, coord, sizeof(coord));
+        values = Crc32Update(values, &val[k], sizeof(val[k]));
+      }
+    }
+  }
+  return (static_cast<uint64_t>(structure) << 32) | values;
 }
 
 }  // namespace mnc

@@ -54,12 +54,32 @@ class Matrix {
   // Value-level equality irrespective of physical format.
   bool EqualsLogically(const Matrix& other) const;
 
+  // Identity of the shared, immutable storage block. Two Matrix values that
+  // copy-share the same underlying DenseMatrix/CsrMatrix return the same
+  // key, which lets long-lived caches (the estimation service) map storage
+  // to a content fingerprint without rescanning the data. The key is only
+  // meaningful while some Matrix still pins the storage alive.
+  const void* storage_key() const {
+    return dense_ != nullptr ? static_cast<const void*>(dense_.get())
+                             : static_cast<const void*>(csr_.get());
+  }
+
  private:
   Matrix() = default;
 
   std::shared_ptr<const DenseMatrix> dense_;
   std::shared_ptr<const CsrMatrix> csr_;
 };
+
+// 64-bit content fingerprint of the logical matrix: a CRC32 over the
+// non-zero structure (dims plus every stored (i, j) coordinate) paired with
+// a CRC32 over the non-zero values, independent of physical format — the
+// dense and sparse representations of the same logical matrix fingerprint
+// identically. Used by the estimation service's sketch catalog to detect
+// re-registration of identical data. Not cryptographic: collisions are
+// possible in principle (~2^-64 for unrelated inputs) and acceptable for
+// cache identity.
+uint64_t MatrixFingerprint(const Matrix& m);
 
 }  // namespace mnc
 

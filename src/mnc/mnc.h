@@ -40,7 +40,10 @@
 #include "mnc/ir/evaluator.h"
 #include "mnc/lang/parser.h"
 #include "mnc/ir/expr.h"
+#include "mnc/ir/expr_hash.h"
 #include "mnc/ir/sketch_propagator.h"
+#include "mnc/service/estimation_service.h"
+#include "mnc/service/sketch_cache.h"
 #include "mnc/matrix/checked_ops.h"
 #include "mnc/matrix/coo_matrix.h"
 #include "mnc/matrix/csc_matrix.h"

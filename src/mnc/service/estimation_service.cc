@@ -1,0 +1,346 @@
+#include "mnc/service/estimation_service.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "mnc/estimators/fallback_estimator.h"
+#include "mnc/ir/sketch_propagator.h"
+#include "mnc/lang/parser.h"
+#include "mnc/util/fail_point.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+
+namespace {
+
+// Fail point poisoning sketch construction (RegisterMatrix and on-the-fly
+// leaf sketching inside queries).
+constexpr char kSketchBuildFailPoint[] = "service.sketch_build";
+// Fail point corrupting the sparsity stored with a memo entry; the cache's
+// sanity check drops such entries on the next lookup.
+constexpr char kMemoPoisonFailPoint[] = "service.memo_poison";
+
+}  // namespace
+
+EstimationService::EstimationService(EstimationServiceOptions options)
+    : options_(options),
+      memo_(options.memo_budget_bytes),
+      pool_(options.num_threads) {}
+
+LeafFingerprintFn EstimationService::MakeResolver() const {
+  // Per-query storage-key cache: one query's hasher, equality checks, and
+  // memo lookups may all ask for the same leaf's fingerprint.
+  auto cache = std::make_shared<std::unordered_map<const void*, uint64_t>>();
+  return [this, cache](const ExprNode& leaf) -> uint64_t {
+    const void* key = leaf.matrix().storage_key();
+    if (auto it = cache->find(key); it != cache->end()) return it->second;
+    uint64_t fp = 0;
+    bool found = false;
+    {
+      std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+      if (auto it = storage_fp_.find(key); it != storage_fp_.end()) {
+        fp = it->second;
+        found = true;
+      }
+    }
+    if (!found) fp = MatrixFingerprint(leaf.matrix());
+    cache->emplace(key, fp);
+    return fp;
+  };
+}
+
+StatusOr<ExprPtr> EstimationService::RegisterMatrix(const std::string& name,
+                                                    const Matrix& m) {
+  const uint64_t fp = MatrixFingerprint(m);
+
+  std::shared_ptr<const CatalogEntry> entry;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    if (auto it = by_fp_.find(fp); it != by_fp_.end()) entry = it->second;
+  }
+
+  std::shared_ptr<const CatalogEntry> fresh;
+  if (entry == nullptr) {
+    if (MncFailPointArmed(kSketchBuildFailPoint)) {
+      return Status::Unavailable("fail point " +
+                                 std::string(kSketchBuildFailPoint) +
+                                 ": sketch construction failed")
+          .WithContext("register '" + name + "'");
+    }
+    auto built = std::make_shared<CatalogEntry>();
+    built->first_name = name;
+    built->fingerprint = fp;
+    built->leaf = ExprNode::Leaf(m, name);
+    built->sketch = std::make_shared<const MncSketch>(MncSketch::FromMatrix(m));
+    fresh = std::move(built);
+  }
+
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    if (auto it = by_fp_.find(fp); it != by_fp_.end()) {
+      // Found first time around, or a racing registration beat us.
+      entry = it->second;
+      register_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      entry = fresh;
+      by_fp_.emplace(fp, entry);
+    }
+    by_name_[name] = entry;
+    // Only the entry's own leaf pins its storage; a deduplicated caller
+    // matrix may be freed after this call, so its storage key must not be
+    // remembered (the address could be recycled by an unrelated matrix).
+    storage_fp_[entry->leaf->matrix().storage_key()] = entry->fingerprint;
+  }
+  return entry->leaf;
+}
+
+ExprPtr EstimationService::LookupLeaf(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  auto it = by_name_.find(name);
+  return it != by_name_.end() ? it->second->leaf : nullptr;
+}
+
+StatusOr<std::shared_ptr<const MncSketch>> EstimationService::ComputeSketch(
+    const ExprPtr& node, QueryCtx& ctx) {
+  if (auto it = ctx.local.find(node.get()); it != ctx.local.end()) {
+    return it->second;
+  }
+
+  std::shared_ptr<const MncSketch> sketch;
+  if (node->is_leaf()) {
+    const uint64_t fp = ctx.resolver(*node);
+    {
+      std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+      if (auto it = by_fp_.find(fp); it != by_fp_.end()) {
+        sketch = it->second->sketch;
+      }
+    }
+    if (sketch != nullptr) {
+      catalog_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      catalog_misses_.fetch_add(1, std::memory_order_relaxed);
+      // Unregistered leaves are memoized like any sub-expression, so a
+      // repeated ad-hoc query still skips the O(nnz) sketch build.
+      const uint64_t h = ctx.hasher.Hash(node);
+      if (auto hit = memo_.Lookup(h, node, ctx.resolver)) {
+        sketch = hit->sketch;
+      } else {
+        if (MncFailPointArmed(kSketchBuildFailPoint)) {
+          return Status::Unavailable(
+              "fail point " + std::string(kSketchBuildFailPoint) +
+              ": sketch construction failed for leaf '" + node->name() + "'");
+        }
+        sketch = std::make_shared<const MncSketch>(
+            MncSketch::FromMatrix(node->matrix()));
+        InsertMemo(h, node, sketch);
+      }
+    }
+  } else {
+    const uint64_t h = ctx.hasher.Hash(node);
+    if (auto hit = memo_.Lookup(h, node, ctx.resolver)) {
+      sketch = hit->sketch;
+    } else {
+      MNC_ASSIGN_OR_RETURN(std::shared_ptr<const MncSketch> left,
+                           ComputeSketch(node->left(), ctx));
+      std::shared_ptr<const MncSketch> right;
+      if (node->right() != nullptr) {
+        MNC_ASSIGN_OR_RETURN(right, ComputeSketch(node->right(), ctx));
+      }
+      sketch = std::make_shared<const MncSketch>(
+          PropagateNode(node, h, *left, right.get()));
+      InsertMemo(h, node, sketch);
+    }
+  }
+
+  ctx.local.emplace(node.get(), sketch);
+  return sketch;
+}
+
+void EstimationService::InsertMemo(
+    uint64_t hash, const ExprPtr& canonical,
+    const std::shared_ptr<const MncSketch>& sketch) {
+  SketchMemoCache::Entry entry;
+  entry.canonical = canonical;
+  entry.sketch = sketch;
+  entry.sparsity = sketch->Sparsity();
+  if (MncFailPointArmed(kMemoPoisonFailPoint)) {
+    entry.sparsity = std::nan("");
+  }
+  memo_.Insert(hash, std::move(entry));
+}
+
+MncSketch EstimationService::PropagateNode(const ExprPtr& node,
+                                           uint64_t node_hash,
+                                           const MncSketch& left,
+                                           const MncSketch* right) const {
+  // Seeding from the structural hash makes propagation a pure function of
+  // the canonical node: repeated/concurrent queries agree with each other
+  // and with whatever the memo table holds.
+  Rng rng(node_hash ^ options_.seed);
+  const RoundingMode mode = options_.rounding;
+  switch (node->op()) {
+    case OpKind::kMatMul:
+      return PropagateProduct(left, *right, rng, /*basic=*/false, mode);
+    case OpKind::kEWiseAdd:
+      return PropagateEWiseAdd(left, *right, rng, mode);
+    case OpKind::kEWiseMult:
+      return PropagateEWiseMult(left, *right, rng, mode);
+    case OpKind::kEWiseMin:
+      return PropagateEWiseMin(left, *right, rng, mode);
+    case OpKind::kEWiseMax:
+      return PropagateEWiseMax(left, *right, rng, mode);
+    case OpKind::kTranspose:
+      return PropagateTranspose(left);
+    case OpKind::kReshape:
+      return PropagateReshape(left, node->rows(), node->cols(), rng, mode);
+    case OpKind::kDiag:
+      return PropagateDiag(left, rng, mode);
+    case OpKind::kRBind:
+      return PropagateRBind(left, *right);
+    case OpKind::kCBind:
+      return PropagateCBind(left, *right);
+    case OpKind::kNotEqualZero:
+      return PropagateNotEqualZero(left);
+    case OpKind::kEqualZero:
+      return PropagateEqualZero(left);
+    case OpKind::kScale:
+      return PropagateScale(left);
+    case OpKind::kRowSums:
+      return PropagateRowSums(left);
+    case OpKind::kColSums:
+      return PropagateColSums(left);
+  }
+  MNC_CHECK_MSG(false, "unhandled operation in PropagateNode");
+  return left;  // unreachable
+}
+
+StatusOr<EstimateResult> EstimationService::Estimate(const ExprPtr& root) {
+  estimates_.fetch_add(1, std::memory_order_relaxed);
+  if (root == nullptr) {
+    failed_estimates_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("Estimate called with a null expression");
+  }
+
+  QueryCtx ctx(MakeResolver());
+  const ExprPtr canonical = CanonicalizeExpr(root, ctx.resolver);
+
+  EstimateResult result;
+  result.rows = canonical->rows();
+  result.cols = canonical->cols();
+
+  if (canonical->is_leaf()) {
+    auto sketch = ComputeSketch(canonical, ctx);
+    if (!sketch.ok()) return EstimateDegraded(canonical, sketch.status());
+    result.sparsity = (*sketch)->Sparsity();
+    result.served_by = "mnc";
+    return result;
+  }
+
+  // Root fast path: a repeated query is answered from the memo entry's
+  // stored estimate without touching any sketch.
+  const uint64_t root_hash = ctx.hasher.Hash(canonical);
+  if (auto hit = memo_.Lookup(root_hash, canonical, ctx.resolver)) {
+    result.sparsity = hit->sparsity;
+    result.memo_hit = true;
+    result.served_by = "memo";
+    return result;
+  }
+
+  auto left = ComputeSketch(canonical->left(), ctx);
+  if (!left.ok()) return EstimateDegraded(canonical, left.status());
+  std::shared_ptr<const MncSketch> right;
+  if (canonical->right() != nullptr) {
+    auto r = ComputeSketch(canonical->right(), ctx);
+    if (!r.ok()) return EstimateDegraded(canonical, r.status());
+    right = *r;
+  }
+
+  auto root_sketch = std::make_shared<const MncSketch>(
+      PropagateNode(canonical, root_hash, **left, right.get()));
+  result.sparsity = root_sketch->Sparsity();
+  result.served_by = "mnc";
+  InsertMemo(root_hash, canonical, root_sketch);
+  return result;
+}
+
+StatusOr<EstimateResult> EstimationService::EstimateDegraded(
+    const ExprPtr& canonical, const Status& cause) {
+  if (options_.enable_fallback) {
+    // Per-call estimator: FallbackEstimator carries mutable per-request
+    // state, so sharing one across threads would race. Degraded results are
+    // deliberately NOT memoized — once the fault clears, the precise path
+    // repopulates the cache.
+    FallbackEstimator fallback;
+    SketchPropagator propagator(&fallback);
+    const std::optional<double> sparsity =
+        propagator.EstimateSparsity(canonical);
+    if (sparsity.has_value() && std::isfinite(*sparsity) && *sparsity >= 0.0 &&
+        *sparsity <= 1.0) {
+      fallback_estimates_.fetch_add(1, std::memory_order_relaxed);
+      EstimateResult result;
+      result.sparsity = *sparsity;
+      result.rows = canonical->rows();
+      result.cols = canonical->cols();
+      result.served_by = fallback.last_serving_tier().empty()
+                             ? "fallback"
+                             : fallback.last_serving_tier();
+      return result;
+    }
+  }
+  failed_estimates_.fetch_add(1, std::memory_order_relaxed);
+  return cause.WithContext(options_.enable_fallback
+                               ? "MNC path failed and fallback was unusable"
+                               : "MNC path failed and fallback is disabled");
+}
+
+StatusOr<EstimateResult> EstimationService::EstimateSource(
+    const std::string& source) {
+  std::map<std::string, Matrix> bindings;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    for (const auto& [name, entry] : by_name_) {
+      bindings.emplace(name, entry->leaf->matrix());
+    }
+  }
+  const ParseResult parsed = ParseProgram(source, bindings);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("parse error: " + parsed.error);
+  }
+  return Estimate(parsed.expr);
+}
+
+std::vector<StatusOr<EstimateResult>> EstimationService::EstimateBatch(
+    const std::vector<ExprPtr>& roots) {
+  const int64_t n = static_cast<int64_t>(roots.size());
+  batch_queries_.fetch_add(n, std::memory_order_relaxed);
+  std::vector<StatusOr<EstimateResult>> results(
+      roots.size(), StatusOr<EstimateResult>(
+                        Status::Internal("batch entry not computed")));
+  pool_.ParallelFor(n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      results[static_cast<size_t>(i)] = Estimate(roots[static_cast<size_t>(i)]);
+    }
+  });
+  return results;
+}
+
+ServiceStats EstimationService::stats() const {
+  ServiceStats s;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    s.registered_names = static_cast<int64_t>(by_name_.size());
+    s.registered_sketches = static_cast<int64_t>(by_fp_.size());
+  }
+  s.register_dedup_hits = register_dedup_hits_.load(std::memory_order_relaxed);
+  s.catalog_hits = catalog_hits_.load(std::memory_order_relaxed);
+  s.catalog_misses = catalog_misses_.load(std::memory_order_relaxed);
+  s.estimates = estimates_.load(std::memory_order_relaxed);
+  s.batch_queries = batch_queries_.load(std::memory_order_relaxed);
+  s.fallback_estimates = fallback_estimates_.load(std::memory_order_relaxed);
+  s.failed_estimates = failed_estimates_.load(std::memory_order_relaxed);
+  s.memo = memo_.stats();
+  return s;
+}
+
+}  // namespace mnc

@@ -1,0 +1,212 @@
+// EstimationService — a thread-safe, long-lived front end for repeated
+// sparsity-estimation traffic.
+//
+// The paper's premise is that MNC sketches are cheap to build once and
+// reusable across many estimation queries (§3.3, §5); inside SystemDS the
+// optimizer exploits exactly this reuse. This service provides the same
+// amortization as a standalone subsystem:
+//
+//   - Sketch catalog: RegisterMatrix stores the MncSketch of a base matrix
+//     keyed by its content fingerprint (CRC32-based, MatrixFingerprint), so
+//     re-registering identical data — under the same or another name — is a
+//     hit that reuses the existing sketch. Catalog entries are permanent
+//     (no eviction).
+//   - Memoized propagation: every query DAG is canonicalized
+//     (CanonicalizeExpr) and each sub-expression's propagated sketch is
+//     memoized in a SketchMemoCache keyed by structural hash, with LRU
+//     eviction under a configurable byte budget (accounted via
+//     MncSketch::MemoryBytes). Two differently-parenthesized but equivalent
+//     product chains share one memo entry; a repeated query is answered
+//     from the root entry without propagating anything.
+//   - Graceful degradation: sketch construction poisoned by the
+//     "service.sketch_build" fail point (or any other failure of the MNC
+//     path) degrades the query to the PR-1 FallbackEstimator chain
+//     (MNC -> DMap -> MetaAC) instead of failing; a poisoned cache entry
+//     (simulated by "service.memo_poison") is dropped on lookup and
+//     recomputed. Only when the fallback is disabled or unusable does
+//     Estimate return an error Status.
+//   - Batch/concurrent API: Estimate is safe to call from many threads
+//     concurrently (catalog and memo take shared locks on the read path;
+//     all per-query estimator state is call-local); EstimateBatch fans a
+//     batch out over an internal thread pool and returns per-query
+//     StatusOr results in order.
+//
+// Determinism: propagation uses the configured rounding mode with an Rng
+// seeded per node from the node's structural hash, so a given canonical
+// expression always propagates to the same sketch regardless of thread
+// interleaving or cache state — memoization never changes answers.
+
+#ifndef MNC_SERVICE_ESTIMATION_SERVICE_H_
+#define MNC_SERVICE_ESTIMATION_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mnc/core/mnc_propagation.h"
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/ir/expr.h"
+#include "mnc/ir/expr_hash.h"
+#include "mnc/service/sketch_cache.h"
+#include "mnc/util/status.h"
+#include "mnc/util/thread_pool.h"
+
+namespace mnc {
+
+struct EstimationServiceOptions {
+  // Memo-table budget in bytes; <= 0 disables sub-expression memoization
+  // (the catalog still works).
+  int64_t memo_budget_bytes = 8LL << 20;  // 8 MB
+
+  // Threads for EstimateBatch; <= 0 selects the hardware concurrency.
+  int num_threads = 0;
+
+  // Degrade to the FallbackEstimator chain when the MNC path fails; when
+  // false such queries return an error Status instead.
+  bool enable_fallback = true;
+
+  // Seed mixed into the per-node propagation Rngs.
+  uint64_t seed = 42;
+
+  // Rounding for propagated count vectors (§3.3). Probabilistic rounding is
+  // the paper's choice; determinism across repeated queries is preserved
+  // anyway because the Rng is re-seeded per node from the structural hash.
+  RoundingMode rounding = RoundingMode::kProbabilistic;
+};
+
+struct EstimateResult {
+  double sparsity = 1.0;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  // True when the root answer came straight from the memo table (or the
+  // catalog, for a bare leaf query) without any propagation.
+  bool memo_hit = false;
+  // "mnc" for the precise path, "memo" for a root cache hit, otherwise the
+  // fallback tier that served ("DMap", "MetaAC", ...).
+  std::string served_by;
+};
+
+struct ServiceStats {
+  // Catalog.
+  int64_t registered_names = 0;
+  int64_t registered_sketches = 0;  // distinct fingerprints
+  int64_t register_dedup_hits = 0;  // RegisterMatrix found existing content
+  int64_t catalog_hits = 0;         // query leaves served from the catalog
+  int64_t catalog_misses = 0;       // query leaves sketched on the fly
+  // Queries.
+  int64_t estimates = 0;
+  int64_t batch_queries = 0;
+  int64_t fallback_estimates = 0;
+  int64_t failed_estimates = 0;
+  // Memo table.
+  SketchMemoStats memo;
+};
+
+class EstimationService {
+ public:
+  explicit EstimationService(EstimationServiceOptions options = {});
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  // Registers `m` under `name`, building its MNC sketch unless a matrix
+  // with identical content is already cataloged (then the existing sketch
+  // and leaf are reused and the name becomes an alias). Returns the catalog
+  // leaf to build query expressions from. Re-registering an existing name
+  // rebinds it. Fails (kUnavailable) when sketch construction is poisoned
+  // by the "service.sketch_build" fail point.
+  StatusOr<ExprPtr> RegisterMatrix(const std::string& name, const Matrix& m);
+
+  // The catalog leaf registered under `name`, or null when absent.
+  ExprPtr LookupLeaf(const std::string& name) const;
+
+  // Estimates the output sparsity of the DAG rooted at `root`. Leaves need
+  // not be registered (unregistered leaves are fingerprinted and sketched
+  // per query, and their sketches memoized like any sub-expression).
+  StatusOr<EstimateResult> Estimate(const ExprPtr& root);
+
+  // Parses `source` (expression or multi-statement script, see
+  // mnc/lang/parser.h) over the registered matrices and estimates it.
+  StatusOr<EstimateResult> EstimateSource(const std::string& source);
+
+  // Estimates a batch concurrently on the internal pool; results align with
+  // `roots` (null roots yield kInvalidArgument entries).
+  std::vector<StatusOr<EstimateResult>> EstimateBatch(
+      const std::vector<ExprPtr>& roots);
+
+  ServiceStats stats() const;
+  void ClearMemo() { memo_.Clear(); }
+
+  const EstimationServiceOptions& options() const { return options_; }
+
+ private:
+  struct CatalogEntry {
+    std::string first_name;  // first name this content was registered under
+    uint64_t fingerprint = 0;
+    ExprPtr leaf;
+    std::shared_ptr<const MncSketch> sketch;
+  };
+
+  struct QueryCtx {
+    ExprHasher hasher;
+    LeafFingerprintFn resolver;
+    // Per-query pointer-keyed cache so shared subtrees resolve once.
+    std::unordered_map<const ExprNode*, std::shared_ptr<const MncSketch>>
+        local;
+
+    explicit QueryCtx(LeafFingerprintFn fn)
+        : hasher(fn), resolver(std::move(fn)) {}
+  };
+
+  LeafFingerprintFn MakeResolver() const;
+
+  // Sketch of `node`, via catalog/memo or by building/propagating.
+  StatusOr<std::shared_ptr<const MncSketch>> ComputeSketch(
+      const ExprPtr& node, QueryCtx& ctx);
+
+  // Stores a computed sketch in the memo table under `hash`; the
+  // "service.memo_poison" fail point corrupts the stored estimate so tests
+  // can exercise the cache's poisoned-entry drop path.
+  void InsertMemo(uint64_t hash, const ExprPtr& canonical,
+                  const std::shared_ptr<const MncSketch>& sketch);
+
+  // Derives the sketch of a non-leaf canonical node from its children's
+  // sketches (deterministic per node: Rng seeded from the structural hash).
+  MncSketch PropagateNode(const ExprPtr& node, uint64_t node_hash,
+                          const MncSketch& left,
+                          const MncSketch* right) const;
+
+  StatusOr<EstimateResult> EstimateDegraded(const ExprPtr& canonical,
+                                            const Status& cause);
+
+  const EstimationServiceOptions options_;
+
+  mutable std::shared_mutex catalog_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const CatalogEntry>> by_fp_;
+  std::unordered_map<std::string, std::shared_ptr<const CatalogEntry>>
+      by_name_;
+  // Storage-block identity -> fingerprint for registered matrices: lets
+  // query leaves that share storage with a cataloged matrix (e.g. parser
+  // bindings) skip the O(nnz) fingerprint rescan. Keys stay valid because
+  // catalog entries pin the storage.
+  std::unordered_map<const void*, uint64_t> storage_fp_;
+
+  SketchMemoCache memo_;
+  ThreadPool pool_;
+
+  mutable std::atomic<int64_t> register_dedup_hits_{0};
+  mutable std::atomic<int64_t> catalog_hits_{0};
+  mutable std::atomic<int64_t> catalog_misses_{0};
+  mutable std::atomic<int64_t> estimates_{0};
+  mutable std::atomic<int64_t> batch_queries_{0};
+  mutable std::atomic<int64_t> fallback_estimates_{0};
+  mutable std::atomic<int64_t> failed_estimates_{0};
+};
+
+}  // namespace mnc
+
+#endif  // MNC_SERVICE_ESTIMATION_SERVICE_H_

@@ -1,0 +1,132 @@
+#include "mnc/service/sketch_cache.h"
+
+#include <cmath>
+#include <utility>
+
+namespace mnc {
+
+namespace {
+// Charged per entry on top of the sketch: the slot, the pinned expression
+// handle, and amortized hash-map node overhead.
+constexpr int64_t kEntryOverheadBytes = 128;
+}  // namespace
+
+int64_t SketchMemoCache::EntryBytes(const Entry& entry) {
+  const int64_t sketch_bytes =
+      entry.sketch != nullptr ? entry.sketch->MemoryBytes() : 0;
+  return sketch_bytes + kEntryOverheadBytes;
+}
+
+bool SketchMemoCache::Sane(double sparsity) {
+  return std::isfinite(sparsity) && sparsity >= 0.0 && sparsity <= 1.0;
+}
+
+std::optional<SketchMemoCache::Entry> SketchMemoCache::Lookup(
+    uint64_t hash, const ExprPtr& canonical,
+    const LeafFingerprintFn& leaf_fp) {
+  bool poisoned = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = map_.find(hash);
+    if (it != map_.end()) {
+      const Entry& entry = it->second->entry;
+      if (!Sane(entry.sparsity)) {
+        poisoned = true;  // drop below, under the exclusive lock
+      } else if (StructuralEqual(entry.canonical, canonical, leaf_fp)) {
+        it->second->last_used.store(
+            tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return entry;
+      }
+    }
+  }
+  if (poisoned) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = map_.find(hash);
+    if (it != map_.end() && !Sane(it->second->entry.sparsity)) {
+      poisoned_dropped_.fetch_add(1, std::memory_order_relaxed);
+      RemoveLocked(it);
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void SketchMemoCache::Insert(uint64_t hash, Entry entry) {
+  const int64_t bytes = EntryBytes(entry);
+  if (bytes > budget_bytes_) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return;  // can never fit; inserting would break the budget invariant
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (auto it = map_.find(hash); it != map_.end()) {
+    // Replace (hash collision with a different expression, or a racing
+    // recomputation of the same one).
+    RemoveLocked(it);
+  }
+  // Make room *before* charging the new entry: stats() reads bytes_used_
+  // without taking mu_, so the budget invariant must hold at every atomic
+  // step, not just at lock release. Evicting an empty map is impossible to
+  // need — bytes <= budget_bytes_ was checked above.
+  while (bytes_used_.load(std::memory_order_relaxed) + bytes >
+         budget_bytes_) {
+    auto victim = map_.end();
+    uint64_t oldest = UINT64_MAX;
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      const uint64_t used = it->second->last_used.load(
+          std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = it;
+      }
+    }
+    if (victim == map_.end()) break;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    RemoveLocked(victim);
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->entry = std::move(entry);
+  slot->bytes = bytes;
+  slot->last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  map_.emplace(hash, std::move(slot));
+  bytes_used_.fetch_add(bytes, std::memory_order_relaxed);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SketchMemoCache::Erase(uint64_t hash) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (auto it = map_.find(hash); it != map_.end()) RemoveLocked(it);
+}
+
+void SketchMemoCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  map_.clear();
+  bytes_used_.store(0, std::memory_order_relaxed);
+}
+
+void SketchMemoCache::RemoveLocked(
+    std::unordered_map<uint64_t, std::unique_ptr<Slot>>::iterator it) {
+  bytes_used_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+  map_.erase(it);
+}
+
+SketchMemoStats SketchMemoCache::stats() const {
+  SketchMemoStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.poisoned_dropped = poisoned_dropped_.load(std::memory_order_relaxed);
+  s.bytes_used = bytes_used_.load(std::memory_order_relaxed);
+  s.budget_bytes = budget_bytes_;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    s.entries = static_cast<int64_t>(map_.size());
+  }
+  return s;
+}
+
+}  // namespace mnc

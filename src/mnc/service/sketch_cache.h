@@ -1,0 +1,110 @@
+// Memoized propagation cache: canonical sub-expression hash -> propagated
+// MNC sketch + sparsity estimate, with LRU eviction under a byte budget.
+//
+// The estimation service consults this table for every node of every query
+// DAG, so the common case (hit) must admit concurrent readers: lookups take
+// a shared lock and stamp a per-entry atomic recency tick; inserts and
+// evictions take the exclusive lock. Recency under concurrency is therefore
+// approximate LRU (ticks race benignly); under serial use it is exact, which
+// is what the eviction-order tests pin down.
+//
+// Byte accounting charges each entry its sketch's measured MemoryBytes()
+// plus fixed bookkeeping overhead. The invariant "bytes_used <= budget"
+// holds whenever no exclusive operation is in flight: Insert evicts before
+// returning, and an entry that alone exceeds the budget is rejected
+// outright. A cached estimate that fails the sanity invariant (finite, in
+// [0, 1]) is treated as poisoned: the lookup drops it and reports a miss so
+// the caller recomputes — the cache degrades, it never serves garbage.
+
+#ifndef MNC_SERVICE_SKETCH_CACHE_H_
+#define MNC_SERVICE_SKETCH_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/ir/expr_hash.h"
+
+namespace mnc {
+
+struct SketchMemoStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t inserts = 0;
+  int64_t evictions = 0;         // includes over-budget rejections
+  int64_t poisoned_dropped = 0;  // entries failing the sanity invariant
+  int64_t bytes_used = 0;
+  int64_t entries = 0;
+  int64_t budget_bytes = 0;
+};
+
+class SketchMemoCache {
+ public:
+  struct Entry {
+    // Pinned canonical expression: verifies hash hits structurally and
+    // keeps leaf matrices alive for fingerprint comparison.
+    ExprPtr canonical;
+    std::shared_ptr<const MncSketch> sketch;
+    double sparsity = 1.0;
+  };
+
+  // budget_bytes <= 0 disables caching entirely (every lookup misses).
+  explicit SketchMemoCache(int64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  SketchMemoCache(const SketchMemoCache&) = delete;
+  SketchMemoCache& operator=(const SketchMemoCache&) = delete;
+
+  // Returns the entry stored under `hash` if it structurally matches
+  // `canonical` and passes the sanity invariant; nullopt otherwise. A
+  // poisoned entry is erased as a side effect.
+  std::optional<Entry> Lookup(uint64_t hash, const ExprPtr& canonical,
+                              const LeafFingerprintFn& leaf_fp = nullptr);
+
+  // Inserts (or replaces) the entry under `hash`, then evicts
+  // least-recently-used entries until the byte budget holds. An entry
+  // larger than the whole budget is rejected (counted as an eviction).
+  void Insert(uint64_t hash, Entry entry);
+
+  void Erase(uint64_t hash);
+  void Clear();
+
+  SketchMemoStats stats() const;
+  int64_t bytes_used() const {
+    return bytes_used_.load(std::memory_order_relaxed);
+  }
+  int64_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct Slot {
+    Entry entry;
+    int64_t bytes = 0;
+    std::atomic<uint64_t> last_used{0};
+  };
+
+  static int64_t EntryBytes(const Entry& entry);
+  static bool Sane(double sparsity);
+
+  // Must hold mu_ exclusively. Removes `it` and updates accounting.
+  void RemoveLocked(std::unordered_map<uint64_t, std::unique_ptr<Slot>>::
+                        iterator it);
+
+  const int64_t budget_bytes_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Slot>> map_;
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<int64_t> bytes_used_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> inserts_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> poisoned_dropped_{0};
+};
+
+}  // namespace mnc
+
+#endif  // MNC_SERVICE_SKETCH_CACHE_H_

@@ -1,0 +1,358 @@
+#include "mnc/service/estimation_service.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mnc/ir/expr.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/matrix.h"
+#include "mnc/util/fail_point.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+Matrix TestMatrix(int64_t rows, int64_t cols, double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Sparse(GenerateUniformSparse(rows, cols, sparsity, rng));
+}
+
+TEST(EstimationServiceTest, RegisterDedupesIdenticalContent) {
+  EstimationService service;
+  Matrix m = TestMatrix(30, 40, 0.1, 1);
+  Matrix same = TestMatrix(30, 40, 0.1, 1);  // identical data, new storage
+  Matrix other = TestMatrix(30, 40, 0.1, 2);
+
+  auto a = service.RegisterMatrix("A", m);
+  ASSERT_TRUE(a.ok());
+  auto alias = service.RegisterMatrix("A_alias", same);
+  ASSERT_TRUE(alias.ok());
+  auto b = service.RegisterMatrix("B", other);
+  ASSERT_TRUE(b.ok());
+
+  // The alias reuses the first registration's leaf and sketch.
+  EXPECT_EQ(a->get(), alias->get());
+  EXPECT_NE(a->get(), b->get());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.registered_names, 3);
+  EXPECT_EQ(stats.registered_sketches, 2);
+  EXPECT_EQ(stats.register_dedup_hits, 1);
+
+  EXPECT_EQ(service.LookupLeaf("A").get(), a->get());
+  EXPECT_EQ(service.LookupLeaf("A_alias").get(), a->get());
+  EXPECT_EQ(service.LookupLeaf("missing"), nullptr);
+}
+
+TEST(EstimationServiceTest, EstimateLeafAndOperators) {
+  EstimationService service;
+  Matrix x = TestMatrix(50, 60, 0.1, 1);
+  auto leaf = service.RegisterMatrix("X", x);
+  ASSERT_TRUE(leaf.ok());
+
+  auto r = service.Estimate(*leaf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->sparsity, x.Sparsity(), 1e-12);
+  EXPECT_EQ(r->rows, 50);
+  EXPECT_EQ(r->cols, 60);
+  EXPECT_EQ(r->served_by, "mnc");
+
+  auto t = service.Estimate(ExprNode::Transpose(*leaf));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows, 60);
+  EXPECT_EQ(t->cols, 50);
+  EXPECT_NEAR(t->sparsity, x.Sparsity(), 1e-12);
+}
+
+TEST(EstimationServiceTest, RepeatQueryIsAMemoHitWithSameAnswer) {
+  EstimationService service;
+  auto x = service.RegisterMatrix("X", TestMatrix(40, 50, 0.1, 1));
+  auto w = service.RegisterMatrix("W", TestMatrix(50, 30, 0.1, 2));
+  ASSERT_TRUE(x.ok() && w.ok());
+
+  // Fresh nodes each time: pointer identity cannot help.
+  auto first = service.Estimate(ExprNode::MatMul(*x, *w));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->memo_hit);
+
+  auto second = service.Estimate(ExprNode::MatMul(*x, *w));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->memo_hit);
+  EXPECT_EQ(second->served_by, "memo");
+  EXPECT_DOUBLE_EQ(second->sparsity, first->sparsity);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.memo.hits, 1);
+  EXPECT_EQ(stats.catalog_hits, 2);  // only the first query touched leaves
+}
+
+TEST(EstimationServiceTest, DifferentParenthesizationsShareOneMemoEntry) {
+  EstimationService service;
+  auto a = service.RegisterMatrix("A", TestMatrix(20, 30, 0.2, 1));
+  auto b = service.RegisterMatrix("B", TestMatrix(30, 25, 0.2, 2));
+  auto c = service.RegisterMatrix("C", TestMatrix(25, 15, 0.2, 3));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+  auto left_deep =
+      service.Estimate(ExprNode::MatMul(ExprNode::MatMul(*a, *b), *c));
+  ASSERT_TRUE(left_deep.ok());
+  auto right_deep =
+      service.Estimate(ExprNode::MatMul(*a, ExprNode::MatMul(*b, *c)));
+  ASSERT_TRUE(right_deep.ok());
+
+  // The second spelling canonicalizes to the first one's root entry.
+  EXPECT_TRUE(right_deep->memo_hit);
+  EXPECT_DOUBLE_EQ(right_deep->sparsity, left_deep->sparsity);
+}
+
+TEST(EstimationServiceTest, DoubleTransposeHitsTheLeafPath) {
+  EstimationService service;
+  Matrix x = TestMatrix(25, 35, 0.15, 1);
+  auto leaf = service.RegisterMatrix("X", x);
+  ASSERT_TRUE(leaf.ok());
+
+  auto r = service.Estimate(
+      ExprNode::Transpose(ExprNode::Transpose(*leaf)));
+  ASSERT_TRUE(r.ok());
+  // t(t(X)) canonicalizes to the bare leaf: exact sparsity, right shape.
+  EXPECT_NEAR(r->sparsity, x.Sparsity(), 1e-12);
+  EXPECT_EQ(r->rows, 25);
+  EXPECT_EQ(r->cols, 35);
+  EXPECT_EQ(service.stats().catalog_hits, 1);
+}
+
+TEST(EstimationServiceTest, UnregisteredLeavesAreSketchedAndMemoized) {
+  EstimationService service;
+  Matrix x = TestMatrix(30, 30, 0.1, 1);
+  Matrix y = TestMatrix(30, 30, 0.1, 2);
+
+  auto build = [&] {
+    return ExprNode::EWiseMult(ExprNode::Leaf(x), ExprNode::Leaf(y));
+  };
+  auto first = service.Estimate(build());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(service.stats().catalog_misses, 2);
+
+  auto second = service.Estimate(build());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->memo_hit);
+  EXPECT_DOUBLE_EQ(second->sparsity, first->sparsity);
+}
+
+TEST(EstimationServiceTest, DeterministicAcrossServiceInstances) {
+  Matrix x = TestMatrix(40, 50, 0.1, 1);
+  Matrix w = TestMatrix(50, 40, 0.1, 2);
+  double results[2];
+  for (int i = 0; i < 2; ++i) {
+    EstimationService service;
+    auto r = service.Estimate(
+        ExprNode::MatMul(ExprNode::Leaf(x), ExprNode::Leaf(w)));
+    ASSERT_TRUE(r.ok());
+    results[i] = r->sparsity;
+  }
+  EXPECT_DOUBLE_EQ(results[0], results[1]);
+}
+
+TEST(EstimationServiceTest, MemoRespectsByteBudget) {
+  EstimationServiceOptions options;
+  options.memo_budget_bytes = 16 << 10;  // 16 KB: forces eviction
+  EstimationService service(options);
+
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Matrix m = TestMatrix(64, 64, 0.1, 100 + seed);
+    auto r = service.Estimate(
+        ExprNode::NotEqualZero(ExprNode::Leaf(m)));
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(service.stats().memo.bytes_used, options.memo_budget_bytes);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.memo.evictions, 0);
+  EXPECT_LE(stats.memo.bytes_used, options.memo_budget_bytes);
+}
+
+TEST(EstimationServiceTest, ZeroBudgetDisablesMemoButStillAnswers) {
+  EstimationServiceOptions options;
+  options.memo_budget_bytes = 0;
+  EstimationService service(options);
+  auto x = service.RegisterMatrix("X", TestMatrix(30, 30, 0.2, 1));
+  ASSERT_TRUE(x.ok());
+
+  auto first = service.Estimate(ExprNode::NotEqualZero(*x));
+  auto second = service.Estimate(ExprNode::NotEqualZero(*x));
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_FALSE(second->memo_hit);
+  EXPECT_DOUBLE_EQ(first->sparsity, second->sparsity);  // per-node Rng seeds
+  EXPECT_EQ(service.stats().memo.entries, 0);
+}
+
+TEST(EstimationServiceTest, RegisterFailsUnderSketchBuildFailPoint) {
+  EstimationService service;
+  ScopedFailPoint fp("service.sketch_build");
+  auto r = service.RegisterMatrix("X", TestMatrix(10, 10, 0.2, 1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(EstimationServiceTest, PoisonedMemoEntryIsDroppedAndRecomputed) {
+  EstimationService service;
+  auto x = service.RegisterMatrix("X", TestMatrix(40, 40, 0.1, 1));
+  auto w = service.RegisterMatrix("W", TestMatrix(40, 40, 0.1, 2));
+  ASSERT_TRUE(x.ok() && w.ok());
+  ExprPtr expr = ExprNode::MatMul(*x, *w);
+
+  double clean_sparsity;
+  {
+    ScopedFailPoint fp("service.memo_poison");
+    auto r = service.Estimate(expr);
+    ASSERT_TRUE(r.ok());  // the answer itself is computed before poisoning
+    clean_sparsity = r->sparsity;
+    EXPECT_TRUE(std::isfinite(clean_sparsity));
+  }
+
+  // The stored entry is garbage; the next query must drop it and recompute
+  // instead of serving NaN.
+  auto r = service.Estimate(ExprNode::MatMul(*x, *w));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->memo_hit);
+  EXPECT_DOUBLE_EQ(r->sparsity, clean_sparsity);
+  EXPECT_GE(service.stats().memo.poisoned_dropped, 1);
+
+  // Now the cache is healthy again.
+  auto r2 = service.Estimate(ExprNode::MatMul(*x, *w));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->memo_hit);
+}
+
+TEST(EstimationServiceTest, SketchBuildFaultDegradesToFallback) {
+  EstimationService service;
+  Matrix x = TestMatrix(40, 50, 0.1, 1);
+  Matrix w = TestMatrix(50, 30, 0.1, 2);
+  ExprPtr expr = ExprNode::MatMul(ExprNode::Leaf(x), ExprNode::Leaf(w));
+
+  // Leaves are unregistered, so the MNC path must sketch them — which the
+  // fail point poisons. The fallback chain's own builders still work.
+  ScopedFailPoint fp("service.sketch_build");
+  auto r = service.Estimate(expr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->served_by.empty());
+  EXPECT_NE(r->served_by, "mnc");
+  EXPECT_NE(r->served_by, "memo");
+  EXPECT_GE(r->sparsity, 0.0);
+  EXPECT_LE(r->sparsity, 1.0);
+  EXPECT_EQ(service.stats().fallback_estimates, 1);
+}
+
+TEST(EstimationServiceTest, FallbackDisabledReturnsError) {
+  EstimationServiceOptions options;
+  options.enable_fallback = false;
+  EstimationService service(options);
+  Matrix x = TestMatrix(20, 20, 0.1, 1);
+
+  ScopedFailPoint fp("service.sketch_build");
+  auto r = service.Estimate(ExprNode::NotEqualZero(ExprNode::Leaf(x)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.stats().failed_estimates, 1);
+}
+
+TEST(EstimationServiceTest, DegradedResultsAreNotMemoized) {
+  EstimationService service;
+  Matrix x = TestMatrix(30, 30, 0.1, 1);
+  Matrix w = TestMatrix(30, 30, 0.1, 2);
+  auto build = [&] {
+    return ExprNode::MatMul(ExprNode::Leaf(x), ExprNode::Leaf(w));
+  };
+
+  {
+    ScopedFailPoint fp("service.sketch_build");
+    auto degraded = service.Estimate(build());
+    ASSERT_TRUE(degraded.ok());
+  }
+
+  // Fault cleared: the precise path runs (no stale degraded cache entry).
+  auto precise = service.Estimate(build());
+  ASSERT_TRUE(precise.ok());
+  EXPECT_FALSE(precise->memo_hit);
+  EXPECT_EQ(precise->served_by, "mnc");
+}
+
+TEST(EstimationServiceTest, NullAndBatchQueries) {
+  EstimationService service;
+  auto x = service.RegisterMatrix("X", TestMatrix(30, 40, 0.1, 1));
+  auto w = service.RegisterMatrix("W", TestMatrix(40, 20, 0.1, 2));
+  ASSERT_TRUE(x.ok() && w.ok());
+
+  auto null_result = service.Estimate(nullptr);
+  ASSERT_FALSE(null_result.ok());
+  EXPECT_EQ(null_result.status().code(), StatusCode::kInvalidArgument);
+
+  std::vector<ExprPtr> batch = {
+      ExprNode::MatMul(*x, *w),
+      nullptr,
+      ExprNode::Transpose(*x),
+      ExprNode::MatMul(*x, *w),  // duplicate of [0]
+  };
+  auto results = service.EstimateBatch(batch);
+  ASSERT_EQ(results.size(), 4u);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  ASSERT_TRUE(results[2].ok());
+  ASSERT_TRUE(results[3].ok());
+  EXPECT_DOUBLE_EQ(results[0]->sparsity, results[3]->sparsity);
+  EXPECT_EQ(results[2]->rows, 40);
+  EXPECT_EQ(service.stats().batch_queries, 4);
+}
+
+TEST(EstimationServiceTest, EstimateSourceSharesMemoWithExprQueries) {
+  EstimationService service;
+  auto x = service.RegisterMatrix("X", TestMatrix(40, 50, 0.1, 1));
+  auto w = service.RegisterMatrix("W", TestMatrix(50, 30, 0.1, 2));
+  ASSERT_TRUE(x.ok() && w.ok());
+
+  auto from_source = service.EstimateSource("X %*% W");
+  ASSERT_TRUE(from_source.ok()) << from_source.status().ToString();
+
+  // The same query built as an expression hits the memo entry the source
+  // query populated: parser bindings share storage with the catalog, so the
+  // leaves fingerprint identically without rescanning.
+  auto from_expr = service.Estimate(ExprNode::MatMul(*x, *w));
+  ASSERT_TRUE(from_expr.ok());
+  EXPECT_TRUE(from_expr->memo_hit);
+  EXPECT_DOUBLE_EQ(from_expr->sparsity, from_source->sparsity);
+
+  auto bad = service.EstimateSource("X %*% Unknown");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  // Multi-statement scripts work too.
+  auto script = service.EstimateSource("Y = X %*% W; Y != 0");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+}
+
+TEST(EstimationServiceTest, SubexpressionReuseAcrossDifferentRoots) {
+  EstimationService service;
+  auto a = service.RegisterMatrix("A", TestMatrix(30, 30, 0.15, 1));
+  auto b = service.RegisterMatrix("B", TestMatrix(30, 30, 0.15, 2));
+  auto c = service.RegisterMatrix("C", TestMatrix(30, 30, 0.15, 3));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+  auto r1 = service.Estimate(ExprNode::MatMul(*a, *b));
+  ASSERT_TRUE(r1.ok());
+  const int64_t misses_before =
+      service.stats().memo.misses;
+
+  // (A B) C reuses the A B sub-entry: exactly one new memo miss (the root).
+  auto r2 = service.Estimate(ExprNode::MatMul(ExprNode::MatMul(*a, *b), *c));
+  ASSERT_TRUE(r2.ok());
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.memo.hits, 1);
+  // Exactly one new miss: the root fast-path lookup (the root is then
+  // computed inline, and the A B sub-entry and both leaves all hit).
+  EXPECT_EQ(stats.memo.misses - misses_before, 1);
+}
+
+}  // namespace
+}  // namespace mnc

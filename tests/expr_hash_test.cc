@@ -1,0 +1,211 @@
+#include "mnc/ir/expr_hash.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/matrix.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+Matrix TestMatrix(int64_t rows, int64_t cols, double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Sparse(GenerateUniformSparse(rows, cols, sparsity, rng));
+}
+
+TEST(MatrixFingerprintTest, ContentLevelIdentity) {
+  Matrix a = TestMatrix(20, 30, 0.2, 7);
+  Matrix a_copy = TestMatrix(20, 30, 0.2, 7);     // same generator, same data
+  Matrix different = TestMatrix(20, 30, 0.2, 8);  // different data
+  EXPECT_EQ(MatrixFingerprint(a), MatrixFingerprint(a_copy));
+  EXPECT_NE(MatrixFingerprint(a), MatrixFingerprint(different));
+}
+
+TEST(MatrixFingerprintTest, FormatIndependent) {
+  Matrix sparse = TestMatrix(15, 15, 0.3, 3);
+  Matrix dense = Matrix::Dense(sparse.AsDense());
+  EXPECT_EQ(MatrixFingerprint(sparse), MatrixFingerprint(dense));
+}
+
+TEST(MatrixFingerprintTest, DistinguishesShapeOfSameValues) {
+  // Same non-zero values, different dimensions.
+  DenseMatrix a(2, 3);
+  DenseMatrix b(3, 2);
+  a.Set(0, 0, 1.0);
+  b.Set(0, 0, 1.0);
+  a.Set(1, 2, 2.0);
+  b.Set(2, 1, 2.0);
+  EXPECT_NE(MatrixFingerprint(Matrix::Dense(a)),
+            MatrixFingerprint(Matrix::Dense(b)));
+}
+
+TEST(StructuralHashTest, SeparatelyBuiltDagsAgree) {
+  Matrix x = TestMatrix(10, 12, 0.2, 1);
+  Matrix w = TestMatrix(12, 8, 0.2, 2);
+  ExprPtr a = ExprNode::MatMul(ExprNode::Leaf(x), ExprNode::Leaf(w));
+  ExprPtr b = ExprNode::MatMul(ExprNode::Leaf(x), ExprNode::Leaf(w));
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(StructuralHash(a), StructuralHash(b));
+  EXPECT_TRUE(StructuralEqual(a, b));
+}
+
+TEST(StructuralHashTest, DiscriminatesOps) {
+  Matrix x = TestMatrix(10, 10, 0.2, 1);
+  Matrix y = TestMatrix(10, 10, 0.2, 2);
+  ExprPtr lx = ExprNode::Leaf(x);
+  ExprPtr ly = ExprNode::Leaf(y);
+  ExprPtr add = ExprNode::EWiseAdd(lx, ly);
+  ExprPtr mul = ExprNode::EWiseMult(lx, ly);
+  ExprPtr mm = ExprNode::MatMul(lx, ly);
+  EXPECT_NE(StructuralHash(add), StructuralHash(mul));
+  EXPECT_NE(StructuralHash(add), StructuralHash(mm));
+  EXPECT_FALSE(StructuralEqual(add, mul));
+}
+
+TEST(StructuralHashTest, DiscriminatesScaleAlphaAndReshapeDims) {
+  Matrix x = TestMatrix(10, 12, 0.2, 1);
+  ExprPtr leaf = ExprNode::Leaf(x);
+  EXPECT_NE(StructuralHash(ExprNode::Scale(leaf, 2.0)),
+            StructuralHash(ExprNode::Scale(leaf, 3.0)));
+  EXPECT_NE(StructuralHash(ExprNode::Reshape(leaf, 6, 20)),
+            StructuralHash(ExprNode::Reshape(leaf, 20, 6)));
+}
+
+TEST(StructuralHashTest, LeafContentMatters) {
+  ExprPtr a = ExprNode::Leaf(TestMatrix(10, 10, 0.2, 1));
+  ExprPtr b = ExprNode::Leaf(TestMatrix(10, 10, 0.2, 2));
+  EXPECT_NE(StructuralHash(a), StructuralHash(b));
+  EXPECT_FALSE(StructuralEqual(a, b));
+  // Identical content in a fresh node: equal.
+  ExprPtr a2 = ExprNode::Leaf(TestMatrix(10, 10, 0.2, 1));
+  EXPECT_TRUE(StructuralEqual(a, a2));
+}
+
+TEST(StructuralHashTest, CustomLeafResolverIsUsed) {
+  ExprPtr a = ExprNode::Leaf(TestMatrix(10, 10, 0.2, 1), "A");
+  ExprPtr b = ExprNode::Leaf(TestMatrix(10, 10, 0.2, 2), "B");
+  // A resolver that collapses every leaf to one fingerprint makes the two
+  // leaves (and DAGs over them) structurally identical.
+  LeafFingerprintFn constant = [](const ExprNode&) { return uint64_t{42}; };
+  EXPECT_EQ(StructuralHash(a, constant), StructuralHash(b, constant));
+  EXPECT_TRUE(StructuralEqual(a, b, constant));
+}
+
+TEST(CanonicalizeTest, DoubleTransposeEliminated) {
+  ExprPtr x = ExprNode::Leaf(TestMatrix(10, 12, 0.2, 1));
+  ExprPtr tt = ExprNode::Transpose(ExprNode::Transpose(x));
+  ExprPtr canon = CanonicalizeExpr(tt);
+  EXPECT_EQ(canon.get(), x.get());
+}
+
+TEST(CanonicalizeTest, QuadrupleTransposeEliminated) {
+  ExprPtr x = ExprNode::Leaf(TestMatrix(10, 12, 0.2, 1));
+  ExprPtr t4 = ExprNode::Transpose(ExprNode::Transpose(
+      ExprNode::Transpose(ExprNode::Transpose(x))));
+  EXPECT_EQ(CanonicalizeExpr(t4).get(), x.get());
+}
+
+TEST(CanonicalizeTest, SingleTransposePreserved) {
+  ExprPtr x = ExprNode::Leaf(TestMatrix(10, 12, 0.2, 1));
+  ExprPtr t = ExprNode::Transpose(x);
+  ExprPtr canon = CanonicalizeExpr(t);
+  EXPECT_EQ(canon.get(), t.get());  // already canonical: node reused
+}
+
+TEST(CanonicalizeTest, MatMulChainsShareOneCanonicalForm) {
+  Matrix ma = TestMatrix(6, 8, 0.3, 1);
+  Matrix mb = TestMatrix(8, 10, 0.3, 2);
+  Matrix mc = TestMatrix(10, 4, 0.3, 3);
+  Matrix md = TestMatrix(4, 7, 0.3, 4);
+  ExprPtr a = ExprNode::Leaf(ma);
+  ExprPtr b = ExprNode::Leaf(mb);
+  ExprPtr c = ExprNode::Leaf(mc);
+  ExprPtr d = ExprNode::Leaf(md);
+
+  // ((A B) C) D  vs  A (B (C D))  vs  (A B) (C D).
+  ExprPtr left_deep = ExprNode::MatMul(
+      ExprNode::MatMul(ExprNode::MatMul(a, b), c), d);
+  ExprPtr right_deep = ExprNode::MatMul(
+      a, ExprNode::MatMul(b, ExprNode::MatMul(c, d)));
+  ExprPtr balanced =
+      ExprNode::MatMul(ExprNode::MatMul(a, b), ExprNode::MatMul(c, d));
+
+  ExprPtr canon_ld = CanonicalizeExpr(left_deep);
+  ExprPtr canon_rd = CanonicalizeExpr(right_deep);
+  ExprPtr canon_bal = CanonicalizeExpr(balanced);
+
+  // Left-deep input is already canonical (node reuse, no rebuild).
+  EXPECT_EQ(canon_ld.get(), left_deep.get());
+  EXPECT_EQ(StructuralHash(canon_ld), StructuralHash(canon_rd));
+  EXPECT_EQ(StructuralHash(canon_ld), StructuralHash(canon_bal));
+  EXPECT_TRUE(StructuralEqual(canon_ld, canon_rd));
+  EXPECT_TRUE(StructuralEqual(canon_rd, canon_bal));
+  // Shapes survive re-association.
+  EXPECT_EQ(canon_rd->rows(), 6);
+  EXPECT_EQ(canon_rd->cols(), 7);
+}
+
+TEST(CanonicalizeTest, CommutativeOperandsOrdered) {
+  ExprPtr a = ExprNode::Leaf(TestMatrix(10, 10, 0.2, 1));
+  ExprPtr b = ExprNode::Leaf(TestMatrix(10, 10, 0.2, 2));
+  ExprPtr ab = CanonicalizeExpr(ExprNode::EWiseAdd(a, b));
+  ExprPtr ba = CanonicalizeExpr(ExprNode::EWiseAdd(b, a));
+  EXPECT_EQ(StructuralHash(ab), StructuralHash(ba));
+  EXPECT_TRUE(StructuralEqual(ab, ba));
+  // MatMul is NOT commutative: A B and B A stay distinct.
+  ExprPtr mm_ab = CanonicalizeExpr(ExprNode::MatMul(a, b));
+  ExprPtr mm_ba = CanonicalizeExpr(ExprNode::MatMul(b, a));
+  EXPECT_NE(StructuralHash(mm_ab), StructuralHash(mm_ba));
+}
+
+TEST(CanonicalizeTest, TransposeOfProductReassociates) {
+  // t(t(A %*% B)) -> the matmul itself, which then participates in chain
+  // flattening: (t(t(A %*% B))) %*% C == ((A B) C).
+  ExprPtr a = ExprNode::Leaf(TestMatrix(5, 6, 0.3, 1));
+  ExprPtr b = ExprNode::Leaf(TestMatrix(6, 7, 0.3, 2));
+  ExprPtr c = ExprNode::Leaf(TestMatrix(7, 3, 0.3, 3));
+  ExprPtr wrapped = ExprNode::MatMul(
+      ExprNode::Transpose(ExprNode::Transpose(ExprNode::MatMul(a, b))), c);
+  ExprPtr plain = ExprNode::MatMul(ExprNode::MatMul(a, b), c);
+  EXPECT_EQ(StructuralHash(CanonicalizeExpr(wrapped)),
+            StructuralHash(CanonicalizeExpr(plain)));
+}
+
+TEST(CanonicalizeTest, DiagNodesCanonicalizeAndDiscriminate) {
+  // diag of a vector (m x 1 -> m x m) vs diag of a square matrix
+  // (m x m -> m x 1): different shapes, different hashes (Eq. 12 cases).
+  Matrix vec = TestMatrix(8, 1, 0.5, 1);
+  Matrix sq = TestMatrix(8, 8, 0.3, 2);
+  ExprPtr dv = ExprNode::Diag(ExprNode::Leaf(vec));
+  ExprPtr ds = ExprNode::Diag(ExprNode::Leaf(sq));
+  EXPECT_EQ(dv->rows(), 8);
+  EXPECT_EQ(dv->cols(), 8);
+  EXPECT_EQ(ds->cols(), 1);
+  EXPECT_NE(StructuralHash(dv), StructuralHash(ds));
+  // diag(t(t(v))) canonicalizes to the same node as diag(v).
+  ExprPtr dv2 = ExprNode::Diag(
+      ExprNode::Transpose(ExprNode::Transpose(ExprNode::Leaf(vec))));
+  EXPECT_EQ(StructuralHash(CanonicalizeExpr(dv2)),
+            StructuralHash(CanonicalizeExpr(dv)));
+  EXPECT_TRUE(StructuralEqual(CanonicalizeExpr(dv2), CanonicalizeExpr(dv)));
+}
+
+TEST(CanonicalizeTest, SharedSubtreesHandledOnce) {
+  // A DAG where one subexpression feeds both sides; canonicalization must
+  // terminate quickly and preserve sharing.
+  ExprPtr x = ExprNode::Leaf(TestMatrix(10, 10, 0.2, 1));
+  ExprPtr shared = ExprNode::MatMul(x, x);
+  ExprPtr node = shared;
+  for (int i = 0; i < 30; ++i) {
+    node = ExprNode::EWiseAdd(node, node);  // 2^30 paths, 32 distinct nodes
+  }
+  ExprPtr canon = CanonicalizeExpr(node);
+  EXPECT_EQ(canon->NumNodes(), node->NumNodes());
+  EXPECT_TRUE(StructuralEqual(canon, node));
+}
+
+}  // namespace
+}  // namespace mnc

@@ -216,5 +216,24 @@ TEST(FallbackEstimatorTest, SupportsOpIsUnionOfTiers) {
   EXPECT_TRUE(est.SupportsChains());
 }
 
+TEST(SynopsisBytesTest, DefaultReportsLogicalSizeAndNullIsFree) {
+  MetaAcEstimator est;
+  Matrix a = TestMatrix(40, 30, 0.1, 21);
+  const SynopsisPtr s = est.Build(a);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(est.SynopsisBytes(s), s->SizeBytes());
+  EXPECT_EQ(est.SynopsisBytes(nullptr), 0);
+}
+
+TEST(SynopsisBytesTest, MncReportsMeasuredFootprint) {
+  MncEstimator est;
+  Matrix a = TestMatrix(100, 80, 0.1, 22);
+  const SynopsisPtr s = est.Build(a);
+  ASSERT_NE(s, nullptr);
+  // Measured bytes cover at least the logical synopsis plus the object.
+  EXPECT_GE(est.SynopsisBytes(s), s->SizeBytes());
+  EXPECT_EQ(est.SynopsisBytes(nullptr), 0);
+}
+
 }  // namespace
 }  // namespace mnc

@@ -128,6 +128,27 @@ TEST(MncSketchTest, SizeIsLinearInDimensions) {
   EXPECT_LT(large.SizeBytes(), 15 * small.SizeBytes());
 }
 
+TEST(MncSketchTest, MemoryBytesDominatesSizeBytes) {
+  // MemoryBytes is the measured heap footprint (capacities + object), the
+  // unit of the service memo budget; SizeBytes is the logical synopsis size.
+  Rng rng(6);
+  MncSketch s = MncSketch::FromCsr(GenerateUniformSparse(200, 150, 0.2, rng));
+  EXPECT_GE(s.MemoryBytes(), s.SizeBytes());
+  EXPECT_GE(s.MemoryBytes(),
+            static_cast<int64_t>((200 + 150) * sizeof(int64_t)));
+}
+
+TEST(MncSketchTest, MemoryBytesTracksExtensionVectors) {
+  // A sketch without extension vectors allocates only hr/hc.
+  Rng rng(7);
+  MncSketch dense_s =
+      MncSketch::FromCsr(GenerateUniformSparse(300, 300, 0.5, rng));
+  MncSketch diag_s = MncSketch::FromCsr(GenerateDiagonal(300, rng));
+  // Diagonal: every row/col has exactly one non-zero, so her/hec are
+  // dropped; the denser sketch carries all four vectors.
+  EXPECT_LT(diag_s.MemoryBytes(), dense_s.MemoryBytes());
+}
+
 TEST(MncSketchTest, ConsistentRowColumnTotals) {
   Rng rng(5);
   CsrMatrix m = GenerateUniformSparse(50, 80, 0.1, rng);

@@ -1,0 +1,161 @@
+#include "mnc/service/sketch_cache.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/ir/expr.h"
+#include "mnc/ir/expr_hash.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/matrix.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+Matrix TestMatrix(int64_t rows, int64_t cols, double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Sparse(GenerateUniformSparse(rows, cols, sparsity, rng));
+}
+
+SketchMemoCache::Entry MakeEntry(uint64_t seed, int64_t dim = 32) {
+  Matrix m = TestMatrix(dim, dim, 0.2, seed);
+  SketchMemoCache::Entry entry;
+  entry.canonical = ExprNode::Leaf(m);
+  entry.sketch = std::make_shared<const MncSketch>(MncSketch::FromMatrix(m));
+  entry.sparsity = entry.sketch->Sparsity();
+  return entry;
+}
+
+// Bytes one MakeEntry-style entry is charged, measured through the cache.
+int64_t ProbeEntryBytes() {
+  SketchMemoCache probe(/*budget_bytes=*/1 << 30);
+  probe.Insert(1, MakeEntry(999));
+  return probe.bytes_used();
+}
+
+TEST(SketchMemoCacheTest, HitRequiresStructuralMatch) {
+  SketchMemoCache cache(1 << 20);
+  SketchMemoCache::Entry entry = MakeEntry(1);
+  cache.Insert(42, entry);
+
+  auto hit = cache.Lookup(42, entry.canonical);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->sparsity, entry.sparsity);
+
+  // Same hash bucket but a different expression: verified and rejected.
+  SketchMemoCache::Entry other = MakeEntry(2);
+  EXPECT_FALSE(cache.Lookup(42, other.canonical).has_value());
+  // Absent hash.
+  EXPECT_FALSE(cache.Lookup(43, entry.canonical).has_value());
+
+  const SketchMemoStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.inserts, 1);
+}
+
+TEST(SketchMemoCacheTest, ContentLevelHitAcrossFreshNodes) {
+  SketchMemoCache cache(1 << 20);
+  cache.Insert(7, MakeEntry(5));
+  // A separately constructed leaf over identical data matches.
+  SketchMemoCache::Entry twin = MakeEntry(5);
+  EXPECT_TRUE(cache.Lookup(7, twin.canonical).has_value());
+}
+
+TEST(SketchMemoCacheTest, BudgetNeverExceededAndLruEvicts) {
+  const int64_t per_entry = ProbeEntryBytes();
+  ASSERT_GT(per_entry, 0);
+  // Room for two entries, not three.
+  SketchMemoCache cache(2 * per_entry + per_entry / 2);
+
+  SketchMemoCache::Entry e1 = MakeEntry(1);
+  SketchMemoCache::Entry e2 = MakeEntry(2);
+  SketchMemoCache::Entry e3 = MakeEntry(3);
+  cache.Insert(1, e1);
+  cache.Insert(2, e2);
+  EXPECT_LE(cache.bytes_used(), cache.budget_bytes());
+  EXPECT_EQ(cache.stats().entries, 2);
+
+  // Refresh e1 so e2 is the LRU victim.
+  ASSERT_TRUE(cache.Lookup(1, e1.canonical).has_value());
+  cache.Insert(3, e3);
+
+  EXPECT_LE(cache.bytes_used(), cache.budget_bytes());
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_TRUE(cache.Lookup(1, e1.canonical).has_value());
+  EXPECT_FALSE(cache.Lookup(2, e2.canonical).has_value());  // evicted
+  EXPECT_TRUE(cache.Lookup(3, e3.canonical).has_value());
+}
+
+TEST(SketchMemoCacheTest, OversizedEntryRejected) {
+  const int64_t per_entry = ProbeEntryBytes();
+  SketchMemoCache cache(per_entry - 1);  // nothing fits
+  SketchMemoCache::Entry e = MakeEntry(1);
+  cache.Insert(1, e);
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.bytes_used(), 0);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_FALSE(cache.Lookup(1, e.canonical).has_value());
+}
+
+TEST(SketchMemoCacheTest, ZeroBudgetDisablesCaching) {
+  SketchMemoCache cache(0);
+  SketchMemoCache::Entry e = MakeEntry(1);
+  cache.Insert(1, e);
+  EXPECT_FALSE(cache.Lookup(1, e.canonical).has_value());
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
+TEST(SketchMemoCacheTest, PoisonedEntryDroppedOnLookup) {
+  SketchMemoCache cache(1 << 20);
+  SketchMemoCache::Entry e = MakeEntry(1);
+  e.sparsity = std::nan("");
+  cache.Insert(9, e);
+  EXPECT_EQ(cache.stats().entries, 1);
+
+  // The poisoned entry is a miss and is erased as a side effect.
+  EXPECT_FALSE(cache.Lookup(9, e.canonical).has_value());
+  const SketchMemoStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.poisoned_dropped, 1);
+  EXPECT_EQ(stats.bytes_used, 0);
+
+  // Out-of-range estimates are poison too.
+  e.sparsity = 1.5;
+  cache.Insert(9, e);
+  EXPECT_FALSE(cache.Lookup(9, e.canonical).has_value());
+  EXPECT_EQ(cache.stats().poisoned_dropped, 2);
+}
+
+TEST(SketchMemoCacheTest, ReplaceUnderSameHashAccountsBytes) {
+  SketchMemoCache cache(1 << 20);
+  cache.Insert(5, MakeEntry(1, /*dim=*/16));
+  const int64_t small_bytes = cache.bytes_used();
+  cache.Insert(5, MakeEntry(2, /*dim=*/64));
+  EXPECT_GT(cache.bytes_used(), small_bytes);
+  EXPECT_EQ(cache.stats().entries, 1);
+  // Replacing back shrinks the accounting again (no leak).
+  cache.Insert(5, MakeEntry(1, /*dim=*/16));
+  EXPECT_EQ(cache.bytes_used(), small_bytes);
+}
+
+TEST(SketchMemoCacheTest, EraseAndClear) {
+  SketchMemoCache cache(1 << 20);
+  SketchMemoCache::Entry e1 = MakeEntry(1);
+  cache.Insert(1, e1);
+  cache.Insert(2, MakeEntry(2));
+  cache.Erase(1);
+  EXPECT_FALSE(cache.Lookup(1, e1.canonical).has_value());
+  EXPECT_EQ(cache.stats().entries, 1);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.bytes_used(), 0);
+}
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,201 @@
+// Thread-scaling benchmark for the row-partitioned parallel kernels: sketch
+// construction from CSR, Algorithm 1 product estimation + Eq. 11
+// propagation, and the two-pass Gustavson SpGEMM. Every parallel result is
+// cross-checked against the sequential kernel before any timing is
+// reported, so a speedup here is a speedup of the *same* answer.
+//
+// Flags:
+//   --dim <n>          square matrix dimension (default 10000)
+//   --sparsity <f>     input sparsity (default 1e-3)
+//   --threads <t>      worker threads for the parallel runs (default 8)
+//   --grain <r>        rows per deterministic block (default 512)
+//   --reps <n>         repetitions; the median is reported (default 3)
+//   --json             also write BENCH_par.json
+//   --check            exit non-zero unless the end-to-end speedup clears
+//                      the threshold (used by ctest). The threshold adapts
+//                      to the machine: max(0.5, min(--min-speedup,
+//                      0.45 * min(threads, hardware cores))) — on a
+//                      single-core CI box the check degrades to "parallel
+//                      is not catastrophically slower".
+//   --min-speedup <x>  target speedup on a wide machine (default 3)
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "mnc/util/parallel.h"
+#include "mnc/util/stopwatch.h"
+#include "mnc/util/thread_pool.h"
+
+namespace {
+
+// Median-of-reps wall time of fn(), in seconds.
+template <typename Fn>
+double MedianSeconds(int64_t reps, const Fn& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int64_t r = 0; r < reps; ++r) {
+    mnc::Stopwatch watch;
+    fn();
+    times.push_back(watch.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+bool SketchesEqual(const mnc::MncSketch& a, const mnc::MncSketch& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() && a.nnz() == b.nnz() &&
+         a.hr() == b.hr() && a.hc() == b.hc() && a.her() == b.her() &&
+         a.hec() == b.hec();
+}
+
+double Speedup(double sequential, double parallel) {
+  return parallel > 0.0 ? sequential / parallel : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t dim = mncbench::ArgInt(argc, argv, "dim", 10000);
+  const double sparsity = mncbench::ArgDouble(argc, argv, "sparsity", 1e-3);
+  const int64_t threads = mncbench::ArgInt(argc, argv, "threads", 8);
+  const int64_t grain = mncbench::ArgInt(argc, argv, "grain", 512);
+  const int64_t reps = mncbench::ArgInt(argc, argv, "reps", 3);
+  const bool json = mncbench::ArgFlag(argc, argv, "json");
+  const bool check = mncbench::ArgFlag(argc, argv, "check");
+  const double min_speedup =
+      mncbench::ArgDouble(argc, argv, "min-speedup", 3.0);
+
+  mnc::ParallelConfig config;
+  config.num_threads = static_cast<int>(threads);
+  config.min_rows_per_task = grain;
+  config.deterministic = true;
+  mnc::ThreadPool pool(config.ResolvedThreads());
+
+  // The sequential baseline uses the same blocked kernels at one thread
+  // (bit-identical by the determinism contract), so the comparison isolates
+  // the scheduling win from any algorithmic difference.
+  mnc::ParallelConfig seq = config;
+  seq.num_threads = 1;
+
+  mnc::Rng rng(42);
+  const mnc::CsrMatrix a =
+      mnc::GenerateUniformSparse(dim, dim, sparsity, rng);
+  const mnc::CsrMatrix b =
+      mnc::GenerateUniformSparse(dim, dim, sparsity, rng);
+
+  // --- Stage 1: MNC sketch construction from CSR. ---
+  const mnc::MncSketch sketch_a = mnc::MncSketch::FromCsr(a);
+  const mnc::MncSketch sketch_b = mnc::MncSketch::FromCsr(b);
+  const mnc::MncSketch sketch_par = mnc::MncSketch::FromCsr(a, config, &pool);
+  if (!SketchesEqual(sketch_a, sketch_par)) {
+    std::fprintf(stderr, "FAIL: parallel sketch differs from sequential\n");
+    return 1;
+  }
+  const double sketch_seq_s =
+      MedianSeconds(reps, [&] { mnc::MncSketch::FromCsr(a); });
+  const double sketch_par_s = MedianSeconds(
+      reps, [&] { mnc::MncSketch::FromCsr(a, config, &pool); });
+
+  // --- Stage 2: Algorithm 1 estimate + Eq. 11 product propagation. ---
+  constexpr uint64_t kSeed = 0xb5297a4d;
+  const double est_seq =
+      mnc::EstimateProductNnz(sketch_a, sketch_b, seq, nullptr);
+  const double est_par =
+      mnc::EstimateProductNnz(sketch_a, sketch_b, config, &pool);
+  const mnc::MncSketch prop_seq =
+      mnc::PropagateProduct(sketch_a, sketch_b, kSeed, seq, nullptr);
+  const mnc::MncSketch prop_par =
+      mnc::PropagateProduct(sketch_a, sketch_b, kSeed, config, &pool);
+  if (est_seq != est_par || !SketchesEqual(prop_seq, prop_par)) {
+    std::fprintf(stderr, "FAIL: parallel estimate/propagation differs\n");
+    return 1;
+  }
+  const double estimate_seq_s = MedianSeconds(reps, [&] {
+    mnc::EstimateProductNnz(sketch_a, sketch_b, seq, nullptr);
+    mnc::PropagateProduct(sketch_a, sketch_b, kSeed, seq, nullptr);
+  });
+  const double estimate_par_s = MedianSeconds(reps, [&] {
+    mnc::EstimateProductNnz(sketch_a, sketch_b, config, &pool);
+    mnc::PropagateProduct(sketch_a, sketch_b, kSeed, config, &pool);
+  });
+
+  // --- Stage 3: Gustavson SpGEMM (two-pass parallel vs sequential). ---
+  const mnc::CsrMatrix product_seq = mnc::MultiplySparseSparse(a, b);
+  const mnc::CsrMatrix product_par =
+      mnc::MultiplySparseSparse(a, b, config, &pool);
+  if (!product_seq.Equals(product_par)) {
+    std::fprintf(stderr, "FAIL: parallel SpGEMM differs from sequential\n");
+    return 1;
+  }
+  const double spgemm_seq_s =
+      MedianSeconds(reps, [&] { mnc::MultiplySparseSparse(a, b); });
+  const double spgemm_par_s = MedianSeconds(
+      reps, [&] { mnc::MultiplySparseSparse(a, b, config, &pool); });
+
+  const double total_seq_s = sketch_seq_s + estimate_seq_s + spgemm_seq_s;
+  const double total_par_s = sketch_par_s + estimate_par_s + spgemm_par_s;
+  const double speedup = Speedup(total_seq_s, total_par_s);
+
+  const int hardware =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int effective = std::min(config.ResolvedThreads(), hardware);
+  const double required =
+      std::max(0.5, std::min(min_speedup, 0.45 * effective));
+
+  std::printf("par_scaling: dim=%lld sparsity=%g threads=%d (cores=%d) "
+              "grain=%lld reps=%lld\n",
+              static_cast<long long>(dim), sparsity, config.ResolvedThreads(),
+              hardware, static_cast<long long>(grain),
+              static_cast<long long>(reps));
+  std::printf("  sketch build:    seq %9.3f ms  par %9.3f ms  %6.2fx\n",
+              sketch_seq_s * 1e3, sketch_par_s * 1e3,
+              Speedup(sketch_seq_s, sketch_par_s));
+  std::printf("  estimate+prop:   seq %9.3f ms  par %9.3f ms  %6.2fx\n",
+              estimate_seq_s * 1e3, estimate_par_s * 1e3,
+              Speedup(estimate_seq_s, estimate_par_s));
+  std::printf("  spgemm:          seq %9.3f ms  par %9.3f ms  %6.2fx\n",
+              spgemm_seq_s * 1e3, spgemm_par_s * 1e3,
+              Speedup(spgemm_seq_s, spgemm_par_s));
+  std::printf("  total:           seq %9.3f ms  par %9.3f ms  %6.2fx\n",
+              total_seq_s * 1e3, total_par_s * 1e3, speedup);
+  std::printf("  estimate %.6e  product nnz %lld\n", est_seq,
+              static_cast<long long>(product_seq.NumNonZeros()));
+
+  if (json) {
+    mncbench::JsonReport report("par");
+    report.Add("dim", dim);
+    report.Add("sparsity", sparsity);
+    report.Add("threads", static_cast<int64_t>(config.ResolvedThreads()));
+    report.Add("hardware_threads", static_cast<int64_t>(hardware));
+    report.Add("grain", grain);
+    report.Add("reps", reps);
+    report.Add("sketch_seq_seconds", sketch_seq_s);
+    report.Add("sketch_par_seconds", sketch_par_s);
+    report.Add("estimate_seq_seconds", estimate_seq_s);
+    report.Add("estimate_par_seconds", estimate_par_s);
+    report.Add("spgemm_seq_seconds", spgemm_seq_s);
+    report.Add("spgemm_par_seconds", spgemm_par_s);
+    report.Add("total_seq_seconds", total_seq_s);
+    report.Add("total_par_seconds", total_par_s);
+    report.Add("speedup", speedup);
+    report.Add("estimate", est_seq);
+    report.Add("product_nnz", product_seq.NumNonZeros());
+    report.WriteToFile();
+  }
+
+  if (check) {
+    if (speedup < required) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: speedup %.2fx < required %.2fx "
+                   "(threads=%d cores=%d)\n",
+                   speedup, required, config.ResolvedThreads(), hardware);
+      return 1;
+    }
+    std::printf("CHECK PASSED: %.2fx >= %.2fx, parallel == sequential\n",
+                speedup, required);
+  }
+  return 0;
+}

@@ -522,7 +522,11 @@ int CmdServe(int argc, char** argv) {
     if (std::strcmp(argv[i], "--budget-mb") == 0 && i + 1 < argc) {
       options.memo_budget_bytes = std::atoll(argv[++i]) << 20;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      // Sizes the batch pool AND enables the parallel kernels (sketch
+      // construction, Algorithm 1, Eq. 11 propagation) at the same width;
+      // deterministic blocking keeps answers thread-count-independent.
       options.num_threads = std::atoi(argv[++i]);
+      options.parallel.num_threads = options.num_threads;
     } else if (std::strcmp(argv[i], "--exec") == 0 && i + 1 < argc) {
       exec = argv[++i];
     } else {

@@ -44,27 +44,102 @@ double DensityMapCombine(const std::vector<int64_t>& u,
 
 namespace {
 
+// Optional parallel execution context for the Algorithm-1 reductions. When
+// absent, loops run in their original scalar form; when present, they run as
+// blocked reductions whose per-block partials combine in block order (the
+// determinism contract of mnc/util/parallel.h).
+struct ParExec {
+  const ParallelConfig* config = nullptr;
+  ThreadPool* pool = nullptr;
+  bool blocked() const { return config != nullptr; }
+};
+
 // Dot product over aligned count vectors.
-double Dot(const std::vector<int64_t>& u, const std::vector<int64_t>& v) {
+double Dot(const std::vector<int64_t>& u, const std::vector<int64_t>& v,
+           const ParExec& par = {}) {
   MNC_CHECK_EQ(u.size(), v.size());
-  double acc = 0.0;
-  for (size_t k = 0; k < u.size(); ++k) {
-    acc += static_cast<double>(u[k]) * static_cast<double>(v[k]);
-  }
-  return acc;
+  const int64_t n = static_cast<int64_t>(u.size());
+  auto block_sum = [&](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t k = lo; k < hi; ++k) {
+      acc += static_cast<double>(u[static_cast<size_t>(k)]) *
+             static_cast<double>(v[static_cast<size_t>(k)]);
+    }
+    return acc;
+  };
+  if (!par.blocked()) return block_sum(0, n);
+  return BlockedSum(par.pool, *par.config, n, block_sum);
 }
 
 // Dot of (u - du) with v.
 double DotDiffLeft(const std::vector<int64_t>& u,
                    const std::vector<int64_t>& du,
-                   const std::vector<int64_t>& v) {
+                   const std::vector<int64_t>& v, const ParExec& par = {}) {
   MNC_CHECK_EQ(u.size(), v.size());
   MNC_CHECK_EQ(du.size(), v.size());
-  double acc = 0.0;
-  for (size_t k = 0; k < u.size(); ++k) {
-    acc += static_cast<double>(u[k] - du[k]) * static_cast<double>(v[k]);
+  const int64_t n = static_cast<int64_t>(u.size());
+  auto block_sum = [&](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t k = lo; k < hi; ++k) {
+      acc += static_cast<double>(u[static_cast<size_t>(k)] -
+                                 du[static_cast<size_t>(k)]) *
+             static_cast<double>(v[static_cast<size_t>(k)]);
+    }
+    return acc;
+  };
+  if (!par.blocked()) return block_sum(0, n);
+  return BlockedSum(par.pool, *par.config, n, block_sum);
+}
+
+// Blocked variant of DensityMapCombine: per-block log-space partial products
+// combined in block order; a certain hit in any block forces s = 1 exactly
+// like the scalar early exit.
+double DensityMapCombinePar(const std::vector<int64_t>& u,
+                            const std::vector<int64_t>& du,
+                            const std::vector<int64_t>& v,
+                            const std::vector<int64_t>& dv, double p,
+                            const ParExec& par) {
+  MNC_CHECK_EQ(u.size(), v.size());
+  if (p <= 0.0) return 0.0;
+  const int64_t n = static_cast<int64_t>(u.size());
+  const int64_t num_blocks = par.config->NumBlocks(n);
+  std::vector<double> partial(static_cast<size_t>(num_blocks), 0.0);
+  std::vector<char> certain(static_cast<size_t>(num_blocks), 0);
+  ParallelForBlocks(par.pool, *par.config, n,
+                    [&](int64_t block, int64_t lo, int64_t hi) {
+    double log_zero_prob = 0.0;
+    for (int64_t k = lo; k < hi; ++k) {
+      double uk = static_cast<double>(u[static_cast<size_t>(k)]);
+      double vk = static_cast<double>(v[static_cast<size_t>(k)]);
+      if (!du.empty()) uk -= static_cast<double>(du[static_cast<size_t>(k)]);
+      if (!dv.empty()) vk -= static_cast<double>(dv[static_cast<size_t>(k)]);
+      if (uk <= 0.0 || vk <= 0.0) continue;
+      const double cell_prob = std::min(1.0, uk * vk / p);
+      if (cell_prob >= 1.0) {
+        certain[static_cast<size_t>(block)] = 1;
+        break;
+      }
+      log_zero_prob += std::log1p(-cell_prob);
+    }
+    partial[static_cast<size_t>(block)] = log_zero_prob;
+  });
+  double log_zero_prob = 0.0;
+  bool certain_hit = false;
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    if (certain[static_cast<size_t>(b)]) certain_hit = true;
+    log_zero_prob += partial[static_cast<size_t>(b)];
   }
-  return acc;
+  const double s = certain_hit ? 1.0 : 1.0 - std::exp(log_zero_prob);
+  return std::clamp(s, 0.0, 1.0);
+}
+
+double CombineDensityMap(const std::vector<int64_t>& u,
+                         const std::vector<int64_t>& du,
+                         const std::vector<int64_t>& v,
+                         const std::vector<int64_t>& dv, double p,
+                         const ParExec& par) {
+  if (!par.blocked()) return DensityMapCombine(u, du, v, dv, p);
+  return DensityMapCombinePar(u, du, v, dv, p, par);
 }
 
 // Decomposition of the product estimate into an exactly-known part and a
@@ -82,7 +157,8 @@ struct ProductEstimateParts {
 ProductEstimateParts EstimateProductParts(const MncSketch& a,
                                           const MncSketch& b,
                                           bool use_extensions,
-                                          bool use_bounds) {
+                                          bool use_bounds,
+                                          const ParExec& par = {}) {
   MNC_CHECK_EQ(a.cols(), b.rows());
   ProductEstimateParts parts;
   const double m = static_cast<double>(a.rows());
@@ -97,7 +173,7 @@ ProductEstimateParts EstimateProductParts(const MncSketch& a,
   double nnz = 0.0;
   if (a.max_hr() <= 1 || b.max_hc() <= 1) {
     // Theorem 3.1: exact under A1/A2.
-    nnz = Dot(a.hc(), b.hr());
+    nnz = Dot(a.hc(), b.hr(), par);
     parts.exact_nnz = nnz;
     parts.exact = true;
   } else if (use_extensions && (!a.hec().empty() || !b.her().empty())) {
@@ -115,13 +191,12 @@ ProductEstimateParts EstimateProductParts(const MncSketch& a,
       her_storage.assign(static_cast<size_t>(b.rows()), 0);
       her_b = &her_storage;
     }
-    nnz = Dot(*hec_a, b.hr()) + DotDiffLeft(a.hc(), *hec_a, *her_b);
+    nnz = Dot(*hec_a, b.hr(), par) + DotDiffLeft(a.hc(), *hec_a, *her_b, par);
     parts.exact_nnz = nnz;
     const double p =
         static_cast<double>(a.non_empty_rows() - a.single_nnz_rows()) *
         static_cast<double>(b.non_empty_cols() - b.single_nnz_cols());
-    const double s =
-        internal::DensityMapCombine(a.hc(), *hec_a, b.hr(), *her_b, p);
+    const double s = CombineDensityMap(a.hc(), *hec_a, b.hr(), *her_b, p, par);
     parts.p = p;
     parts.s = s;
     nnz += s * p;
@@ -131,7 +206,9 @@ ProductEstimateParts EstimateProductParts(const MncSketch& a,
     double p = static_cast<double>(a.non_empty_rows()) *
                static_cast<double>(b.non_empty_cols());
     if (!use_bounds) p = m * l;
-    const double s = internal::DensityMapCombine(a.hc(), b.hr(), p);
+    static const std::vector<int64_t> kNoOffsets;
+    const double s =
+        CombineDensityMap(a.hc(), kNoOffsets, b.hr(), kNoOffsets, p, par);
     parts.p = p;
     parts.s = s;
     nnz = s * p;
@@ -155,8 +232,9 @@ ProductEstimateParts EstimateProductParts(const MncSketch& a,
 }
 
 double EstimateProductNnzImpl(const MncSketch& a, const MncSketch& b,
-                              bool use_extensions, bool use_bounds) {
-  return EstimateProductParts(a, b, use_extensions, use_bounds).nnz;
+                              bool use_extensions, bool use_bounds,
+                              const ParExec& par = {}) {
+  return EstimateProductParts(a, b, use_extensions, use_bounds, par).nnz;
 }
 
 }  // namespace
@@ -166,6 +244,28 @@ double EstimateProductNnzImpl(const MncSketch& a, const MncSketch& b,
 double EstimateProductNnz(const MncSketch& a, const MncSketch& b) {
   return internal::EstimateProductNnzImpl(a, b, /*use_extensions=*/true,
                                           /*use_bounds=*/true);
+}
+
+double EstimateProductNnz(const MncSketch& a, const MncSketch& b,
+                          const ParallelConfig& config, ThreadPool* pool) {
+  return internal::EstimateProductNnzImpl(a, b, /*use_extensions=*/true,
+                                          /*use_bounds=*/true,
+                                          internal::ParExec{&config, pool});
+}
+
+double EstimateProductNnzBasic(const MncSketch& a, const MncSketch& b,
+                               const ParallelConfig& config, ThreadPool* pool) {
+  return internal::EstimateProductNnzImpl(a, b, /*use_extensions=*/false,
+                                          /*use_bounds=*/false,
+                                          internal::ParExec{&config, pool});
+}
+
+double EstimateProductSparsity(const MncSketch& a, const MncSketch& b,
+                               const ParallelConfig& config, ThreadPool* pool) {
+  const double cells =
+      static_cast<double>(a.rows()) * static_cast<double>(b.cols());
+  if (cells == 0.0) return 0.0;
+  return EstimateProductNnz(a, b, config, pool) / cells;
 }
 
 double EstimateProductSparsity(const MncSketch& a, const MncSketch& b) {

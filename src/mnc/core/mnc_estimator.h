@@ -13,12 +13,27 @@
 #include <cstdint>
 
 #include "mnc/core/mnc_sketch.h"
+#include "mnc/util/parallel.h"
 
 namespace mnc {
 
 // Estimated number of non-zeros of the product A B. Full MNC estimator
 // (Algorithm 1). Aborts if a.cols() != b.rows().
 double EstimateProductNnz(const MncSketch& a, const MncSketch& b);
+
+// Parallel Algorithm 1: the O(n) dot-product and density-map loops over the
+// common dimension run as blocked reductions on `pool`. Per-block partial
+// sums combine in block order, so with config.deterministic the result is a
+// pure function of (a, b, config.min_rows_per_task) — bit-identical at any
+// thread count, including num_threads == 1 running the same blocks
+// sequentially. It may differ from the scalar EstimateProductNnz in the
+// last float bits (different summation association), never more.
+double EstimateProductNnz(const MncSketch& a, const MncSketch& b,
+                          const ParallelConfig& config, ThreadPool* pool);
+double EstimateProductNnzBasic(const MncSketch& a, const MncSketch& b,
+                               const ParallelConfig& config, ThreadPool* pool);
+double EstimateProductSparsity(const MncSketch& a, const MncSketch& b,
+                               const ParallelConfig& config, ThreadPool* pool);
 
 // Confidence interval around the product estimate ("interesting future
 // work (2)" of §8). The estimator decomposes into an exactly-known part

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 
 #include "mnc/core/mnc_estimator.h"
 #include "mnc/util/check.h"
@@ -51,6 +53,73 @@ double Lambda(const std::vector<int64_t>& u, const std::vector<int64_t>& v,
   return acc / (nnz_a * nnz_b);
 }
 
+// Blocked Lambda: per-block partial dot products combine in block order.
+double LambdaPar(const std::vector<int64_t>& u, const std::vector<int64_t>& v,
+                 double nnz_a, double nnz_b, const ParallelConfig& config,
+                 ThreadPool* pool) {
+  if (nnz_a <= 0.0 || nnz_b <= 0.0) return 0.0;
+  const double acc = BlockedSum(
+      pool, config, static_cast<int64_t>(u.size()),
+      [&](int64_t lo, int64_t hi) {
+        double s = 0.0;
+        for (int64_t k = lo; k < hi; ++k) {
+          s += static_cast<double>(u[static_cast<size_t>(k)]) *
+               static_cast<double>(v[static_cast<size_t>(k)]);
+        }
+        return s;
+      });
+  return acc / (nnz_a * nnz_b);
+}
+
+// PRNG stream identifiers for the parallel propagation overloads: the output
+// hr vector rounds on stream 0, the output hc vector on stream 1.
+constexpr uint64_t kStreamHr = 0;
+constexpr uint64_t kStreamHc = 1;
+
+// Parallel Eq. 11: like ScaleCounts, but every fixed-size block rounds with
+// its own Rng seeded from (seed, stream, block index), so the output is a
+// pure function of the inputs and config.min_rows_per_task — independent of
+// the thread count.
+std::vector<int64_t> ScaleCountsPar(const std::vector<int64_t>& counts,
+                                    double source_nnz, double target_nnz,
+                                    int64_t cap, uint64_t seed, uint64_t stream,
+                                    const ParallelConfig& config,
+                                    ThreadPool* pool, RoundingMode mode) {
+  std::vector<int64_t> out(counts.size(), 0);
+  if (source_nnz <= 0.0 || target_nnz <= 0.0) return out;
+  const double scale = target_nnz / source_nnz;
+  const uint64_t stream_seed = MixSeed(seed, stream);
+  ParallelForBlocks(pool, config, static_cast<int64_t>(counts.size()),
+                    [&](int64_t block, int64_t lo, int64_t hi) {
+    Rng rng(MixSeed(stream_seed, static_cast<uint64_t>(block)));
+    for (int64_t i = lo; i < hi; ++i) {
+      const double scaled =
+          static_cast<double>(counts[static_cast<size_t>(i)]) * scale;
+      out[static_cast<size_t>(i)] =
+          std::clamp<int64_t>(RoundCount(scaled, mode, rng), 0, cap);
+    }
+  });
+  return out;
+}
+
+// Parallel Eq. 15 materialization: applies `est` per index and rounds with
+// per-block PRNG streams (same determinism contract as ScaleCountsPar).
+std::vector<int64_t> RoundEstimatesPar(
+    int64_t n, uint64_t seed, uint64_t stream, const ParallelConfig& config,
+    ThreadPool* pool, RoundingMode mode,
+    const std::function<double(int64_t)>& est) {
+  std::vector<int64_t> out(static_cast<size_t>(n), 0);
+  const uint64_t stream_seed = MixSeed(seed, stream);
+  ParallelForBlocks(pool, config, n,
+                    [&](int64_t block, int64_t lo, int64_t hi) {
+    Rng rng(MixSeed(stream_seed, static_cast<uint64_t>(block)));
+    for (int64_t i = lo; i < hi; ++i) {
+      out[static_cast<size_t>(i)] = RoundCount(est(i), mode, rng);
+    }
+  });
+  return out;
+}
+
 }  // namespace
 
 MncSketch PropagateProduct(const MncSketch& a, const MncSketch& b, Rng& rng,
@@ -98,6 +167,89 @@ MncSketch PropagateEWiseAdd(const MncSketch& a, const MncSketch& b, Rng& rng,
                                   static_cast<double>(a.rows()));
     hc[j] = RoundCount(est, mode, rng);
   }
+  return MncSketch::FromCounts(a.rows(), a.cols(), std::move(hr),
+                               std::move(hc));
+}
+
+MncSketch PropagateProduct(const MncSketch& a, const MncSketch& b,
+                           uint64_t seed, const ParallelConfig& config,
+                           ThreadPool* pool, bool basic, RoundingMode mode) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  if (!basic) {
+    // Eq. 12: a fully diagonal square input leaves the other side unchanged.
+    if (a.is_diagonal() && a.rows() == a.cols()) return b;
+    if (b.is_diagonal() && b.rows() == b.cols()) return a;
+  }
+  const double nnz_c = basic ? EstimateProductNnzBasic(a, b, config, pool)
+                             : EstimateProductNnz(a, b, config, pool);
+  std::vector<int64_t> hr =
+      ScaleCountsPar(a.hr(), static_cast<double>(a.nnz()), nnz_c, b.cols(),
+                     seed, kStreamHr, config, pool, mode);
+  std::vector<int64_t> hc =
+      ScaleCountsPar(b.hc(), static_cast<double>(b.nnz()), nnz_c, a.rows(),
+                     seed, kStreamHc, config, pool, mode);
+  return MncSketch::FromCounts(a.rows(), b.cols(), std::move(hr),
+                               std::move(hc));
+}
+
+MncSketch PropagateEWiseAdd(const MncSketch& a, const MncSketch& b,
+                            uint64_t seed, const ParallelConfig& config,
+                            ThreadPool* pool, RoundingMode mode) {
+  MNC_CHECK_EQ(a.rows(), b.rows());
+  MNC_CHECK_EQ(a.cols(), b.cols());
+  const double nnz_a = static_cast<double>(a.nnz());
+  const double nnz_b = static_cast<double>(b.nnz());
+  const double lambda_r = LambdaPar(a.hr(), b.hr(), nnz_a, nnz_b, config,
+                                    pool);
+  const double lambda_c = LambdaPar(a.hc(), b.hc(), nnz_a, nnz_b, config,
+                                    pool);
+
+  std::vector<int64_t> hr = RoundEstimatesPar(
+      a.rows(), seed, kStreamHr, config, pool, mode, [&](int64_t i) {
+        const double ha = static_cast<double>(a.hr()[static_cast<size_t>(i)]);
+        const double hb = static_cast<double>(b.hr()[static_cast<size_t>(i)]);
+        const double collisions =
+            std::min(ha * hb * lambda_c, std::min(ha, hb));
+        return std::clamp(ha + hb - collisions, std::max(ha, hb),
+                          static_cast<double>(a.cols()));
+      });
+  std::vector<int64_t> hc = RoundEstimatesPar(
+      a.cols(), seed, kStreamHc, config, pool, mode, [&](int64_t j) {
+        const double ha = static_cast<double>(a.hc()[static_cast<size_t>(j)]);
+        const double hb = static_cast<double>(b.hc()[static_cast<size_t>(j)]);
+        const double collisions =
+            std::min(ha * hb * lambda_r, std::min(ha, hb));
+        return std::clamp(ha + hb - collisions, std::max(ha, hb),
+                          static_cast<double>(a.rows()));
+      });
+  return MncSketch::FromCounts(a.rows(), a.cols(), std::move(hr),
+                               std::move(hc));
+}
+
+MncSketch PropagateEWiseMult(const MncSketch& a, const MncSketch& b,
+                             uint64_t seed, const ParallelConfig& config,
+                             ThreadPool* pool, RoundingMode mode) {
+  MNC_CHECK_EQ(a.rows(), b.rows());
+  MNC_CHECK_EQ(a.cols(), b.cols());
+  const double nnz_a = static_cast<double>(a.nnz());
+  const double nnz_b = static_cast<double>(b.nnz());
+  const double lambda_r = LambdaPar(a.hr(), b.hr(), nnz_a, nnz_b, config,
+                                    pool);
+  const double lambda_c = LambdaPar(a.hc(), b.hc(), nnz_a, nnz_b, config,
+                                    pool);
+
+  std::vector<int64_t> hr = RoundEstimatesPar(
+      a.rows(), seed, kStreamHr, config, pool, mode, [&](int64_t i) {
+        const double ha = static_cast<double>(a.hr()[static_cast<size_t>(i)]);
+        const double hb = static_cast<double>(b.hr()[static_cast<size_t>(i)]);
+        return std::min(ha * hb * lambda_c, std::min(ha, hb));
+      });
+  std::vector<int64_t> hc = RoundEstimatesPar(
+      a.cols(), seed, kStreamHc, config, pool, mode, [&](int64_t j) {
+        const double ha = static_cast<double>(a.hc()[static_cast<size_t>(j)]);
+        const double hb = static_cast<double>(b.hc()[static_cast<size_t>(j)]);
+        return std::min(ha * hb * lambda_r, std::min(ha, hb));
+      });
   return MncSketch::FromCounts(a.rows(), a.cols(), std::move(hr),
                                std::move(hc));
 }

@@ -47,6 +47,29 @@ MncSketch PropagateEWiseAdd(const MncSketch& a, const MncSketch& b, Rng& rng,
 MncSketch PropagateEWiseMult(const MncSketch& a, const MncSketch& b, Rng& rng,
                              RoundingMode mode = RoundingMode::kProbabilistic);
 
+// Parallel propagation. These take a `seed` instead of a shared Rng: each
+// fixed-size row/column block draws from its own PRNG stream seeded as
+// MixSeed(MixSeed(seed, stream), block_index), where stream 0 covers the
+// output hr vector and stream 1 the output hc vector. No Rng state is ever
+// shared across tasks, and because blocks are a function of
+// config.min_rows_per_task alone (not the thread count) the result is
+// bit-identical at any num_threads in deterministic mode — including
+// num_threads == 1 running the same blocks inline. The sequence of draws
+// differs from the shared-Rng overloads above, so results are distribution-
+// equal but not draw-for-draw equal to them.
+MncSketch PropagateProduct(const MncSketch& a, const MncSketch& b,
+                           uint64_t seed, const ParallelConfig& config,
+                           ThreadPool* pool, bool basic = false,
+                           RoundingMode mode = RoundingMode::kProbabilistic);
+MncSketch PropagateEWiseAdd(const MncSketch& a, const MncSketch& b,
+                            uint64_t seed, const ParallelConfig& config,
+                            ThreadPool* pool,
+                            RoundingMode mode = RoundingMode::kProbabilistic);
+MncSketch PropagateEWiseMult(const MncSketch& a, const MncSketch& b,
+                             uint64_t seed, const ParallelConfig& config,
+                             ThreadPool* pool,
+                             RoundingMode mode = RoundingMode::kProbabilistic);
+
 // Reorganizations (Eq. 14).
 MncSketch PropagateTranspose(const MncSketch& a);
 MncSketch PropagateNotEqualZero(const MncSketch& a);

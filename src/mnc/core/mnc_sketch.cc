@@ -1,8 +1,8 @@
 #include "mnc/core/mnc_sketch.h"
 
 #include <algorithm>
-#include <atomic>
 #include <numeric>
+#include <optional>
 
 #include "mnc/util/check.h"
 
@@ -242,44 +242,45 @@ MncSketch MncSketch::MergeColPartitions(const std::vector<MncSketch>& parts) {
   return FromCounts(rows, cols, std::move(hr), std::move(hc));
 }
 
-MncSketch MncSketch::FromCsrParallel(const CsrMatrix& a, ThreadPool& pool) {
-  MncSketch s;
-  s.rows_ = a.rows();
-  s.cols_ = a.cols();
-  s.hr_.assign(static_cast<size_t>(a.rows()), 0);
+MncSketch MncSketch::FromCsr(const CsrMatrix& a, const ParallelConfig& config,
+                             ThreadPool* pool) {
+  const int64_t num_blocks = config.NumBlocks(a.rows());
+  if (!config.enabled() || pool == nullptr || num_blocks <= 1) {
+    return FromCsr(a);
+  }
 
-  // Per-worker column counts, merged after the parallel scan (row counts
-  // write to disjoint ranges and need no merge).
-  const int workers = std::max(1, pool.num_threads());
-  std::vector<std::vector<int64_t>> hc_parts(
-      static_cast<size_t>(workers),
-      std::vector<int64_t>(static_cast<size_t>(a.cols()), 0));
-  std::atomic<int> next_part{0};
-  pool.ParallelFor(a.rows(), [&](int64_t begin, int64_t end) {
-    std::vector<int64_t>& hc =
-        hc_parts[static_cast<size_t>(next_part.fetch_add(1) % workers)];
+  // Per-block sub-sketches of the row partitions (§3.1's distributed
+  // construction run in-process): hr slices concatenate, hc partials add —
+  // both order-insensitive integer merges, so the merged sketch equals the
+  // sequential one exactly.
+  std::vector<std::optional<MncSketch>> blocks(
+      static_cast<size_t>(num_blocks));
+  ParallelForBlocks(pool, config, a.rows(),
+                    [&](int64_t block, int64_t begin, int64_t end) {
+    std::vector<int64_t> hr(static_cast<size_t>(end - begin), 0);
+    std::vector<int64_t> hc(static_cast<size_t>(a.cols()), 0);
     for (int64_t i = begin; i < end; ++i) {
-      s.hr_[static_cast<size_t>(i)] = a.RowNnz(i);
+      hr[static_cast<size_t>(i - begin)] = a.RowNnz(i);
       for (int64_t j : a.RowIndices(i)) ++hc[static_cast<size_t>(j)];
     }
+    blocks[static_cast<size_t>(block)] =
+        FromCounts(end - begin, a.cols(), std::move(hr), std::move(hc));
   });
-  s.hc_.assign(static_cast<size_t>(a.cols()), 0);
-  for (const auto& part : hc_parts) {
-    for (size_t j = 0; j < part.size(); ++j) s.hc_[j] += part[j];
-  }
-  s.RecomputeSummary();
+  std::vector<MncSketch> parts;
+  parts.reserve(blocks.size());
+  for (auto& block : blocks) parts.push_back(std::move(*block));
+  MncSketch s = MergeRowPartitions(parts);
 
-  // Extension vectors in a second parallel scan (row-disjoint writes for
-  // her; hec needs per-worker accumulation like hc).
+  // Extension vectors in a second parallel scan: her writes to disjoint row
+  // ranges; hec needs per-block accumulation like hc.
   if (s.max_hr_ > 1 || s.max_hc_ > 1) {
     s.her_.assign(static_cast<size_t>(s.rows_), 0);
     std::vector<std::vector<int64_t>> hec_parts(
-        static_cast<size_t>(workers),
-        std::vector<int64_t>(static_cast<size_t>(a.cols()), 0));
-    std::atomic<int> next{0};
-    pool.ParallelFor(a.rows(), [&](int64_t begin, int64_t end) {
-      std::vector<int64_t>& hec =
-          hec_parts[static_cast<size_t>(next.fetch_add(1) % workers)];
+        static_cast<size_t>(num_blocks));
+    ParallelForBlocks(pool, config, a.rows(),
+                      [&](int64_t block, int64_t begin, int64_t end) {
+      std::vector<int64_t>& hec = hec_parts[static_cast<size_t>(block)];
+      hec.assign(static_cast<size_t>(a.cols()), 0);
       for (int64_t i = begin; i < end; ++i) {
         const bool single_row = s.hr_[static_cast<size_t>(i)] == 1;
         for (int64_t j : a.RowIndices(i)) {
@@ -298,6 +299,20 @@ MncSketch MncSketch::FromCsrParallel(const CsrMatrix& a, ThreadPool& pool) {
 
   s.diagonal_ = a.IsFullyDiagonal();
   return s;
+}
+
+MncSketch MncSketch::FromMatrix(const Matrix& a, const ParallelConfig& config,
+                                ThreadPool* pool) {
+  if (a.is_dense()) return FromDense(a.dense());
+  return FromCsr(a.csr(), config, pool);
+}
+
+MncSketch MncSketch::FromCsrParallel(const CsrMatrix& a, ThreadPool& pool) {
+  ParallelConfig config;
+  config.num_threads = std::max(2, pool.num_threads());
+  config.min_rows_per_task = 1;  // legacy behavior: always fan out
+  config.deterministic = false;
+  return FromCsr(a, config, &pool);
 }
 
 double MncSketch::Sparsity() const {

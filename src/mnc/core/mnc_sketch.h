@@ -23,6 +23,7 @@
 #include "mnc/matrix/csr_matrix.h"
 #include "mnc/matrix/dense_matrix.h"
 #include "mnc/matrix/matrix.h"
+#include "mnc/util/parallel.h"
 #include "mnc/util/status.h"
 #include "mnc/util/thread_pool.h"
 
@@ -122,9 +123,20 @@ class MncSketch {
       const std::vector<StatusOr<MncSketch>>& parts,
       PartitionMergeReport* report = nullptr);
 
-  // Multi-threaded construction: partitions the matrix into row ranges,
-  // sketches them on the pool, merges, and then reconstructs the extension
-  // vectors in one extra scan (so the result equals FromCsr exactly).
+  // Multi-threaded construction behind the ParallelConfig knob: partitions
+  // the matrix into row blocks, sketches each block, merges via the
+  // MergeRowPartitions path, and reconstructs the extension vectors in one
+  // extra parallel scan. The result equals FromCsr bit-for-bit at any thread
+  // count (all merges are integer sums over disjoint or commutative data).
+  static MncSketch FromCsr(const CsrMatrix& a, const ParallelConfig& config,
+                           ThreadPool* pool);
+
+  // Format dispatch with the parallel CSR path (dense falls back to the
+  // sequential scan).
+  static MncSketch FromMatrix(const Matrix& a, const ParallelConfig& config,
+                              ThreadPool* pool);
+
+  // Legacy entry point: FromCsr with a config sized to the pool.
   static MncSketch FromCsrParallel(const CsrMatrix& a, ThreadPool& pool);
 
   // Approximate in-memory footprint in bytes (Fig. 9 size analysis):

@@ -69,7 +69,10 @@ BitMatrix BitMatrix::MultiplyBool(const BitMatrix& other,
     }
   };
   if (pool != nullptr) {
-    pool->ParallelFor(rows_, compute_rows);
+    // Grain-based chunking (up to 4 chunks per worker) absorbs row skew —
+    // popcount cost varies with row density — better than one fixed chunk
+    // per worker; chunk failures propagate here as exceptions.
+    pool->ParallelFor(0, rows_, /*grain=*/16, compute_rows);
   } else {
     compute_rows(0, rows_);
   }

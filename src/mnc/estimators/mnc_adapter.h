@@ -57,6 +57,12 @@ class MncEstimator final : public SparsityEstimator {
                    int64_t out_rows, int64_t out_cols);
 
   bool basic_;
+  // Mutable PRNG state: one MncEstimator instance must not be shared across
+  // threads. Multi-threaded callers either create one instance per thread
+  // (the FallbackEstimator chain is built per call in EstimationService for
+  // exactly this reason) or use the seed-based parallel propagation
+  // overloads in mnc/core/mnc_propagation.h, which never share Rng state
+  // across tasks.
   Rng rng_;
   RoundingMode rounding_;
 };

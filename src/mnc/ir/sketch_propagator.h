@@ -17,6 +17,12 @@
 
 namespace mnc {
 
+// Threading audit: a SketchPropagator owns no PRNG, but its borrowed
+// estimator may (MncEstimator holds a mutable Rng), and the synopsis cache
+// below is unsynchronized — so one propagator instance must stay confined to
+// one task. Concurrent callers construct a propagator (and estimator) per
+// call, as EstimationService::EstimateDegraded does; PRNG state is then
+// never shared across tasks.
 class SketchPropagator {
  public:
   // `estimator` is borrowed (not owned) and must outlive the propagator.

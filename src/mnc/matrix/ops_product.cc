@@ -60,6 +60,137 @@ CsrMatrix MultiplySparseSparse(const CsrMatrix& a, const CsrMatrix& b,
                    std::move(values));
 }
 
+namespace {
+
+// Symbolic pass shared by the parallel SpGEMM and the parallel exact nnz:
+// fills row_nnz[i] with the number of non-zero columns reachable in output
+// row i (pattern only — no values, so explicit numeric cancellation is not
+// detected here; the fill pass below compacts cancelled entries the same way
+// the sequential kernel does, by value). For pattern counting the two passes
+// agree because ProductNnzExact is also pattern-based.
+void SymbolicRowCounts(const CsrMatrix& a, const CsrMatrix& b,
+                       const ParallelConfig& config, ThreadPool* pool,
+                       std::vector<int64_t>& row_nnz) {
+  const int64_t m = a.rows();
+  const int64_t l = b.cols();
+  row_nnz.assign(static_cast<size_t>(m), 0);
+  ParallelForBlocks(pool, config, m,
+                    [&](int64_t /*block*/, int64_t lo, int64_t hi) {
+    std::vector<char> seen(static_cast<size_t>(l), 0);
+    std::vector<int64_t> occupied;
+    for (int64_t i = lo; i < hi; ++i) {
+      occupied.clear();
+      for (int64_t k : a.RowIndices(i)) {
+        for (int64_t j : b.RowIndices(k)) {
+          if (!seen[static_cast<size_t>(j)]) {
+            seen[static_cast<size_t>(j)] = 1;
+            occupied.push_back(j);
+          }
+        }
+      }
+      row_nnz[static_cast<size_t>(i)] = static_cast<int64_t>(occupied.size());
+      for (int64_t j : occupied) seen[static_cast<size_t>(j)] = 0;
+    }
+  });
+}
+
+}  // namespace
+
+CsrMatrix MultiplySparseSparse(const CsrMatrix& a, const CsrMatrix& b,
+                               const ParallelConfig& config, ThreadPool* pool) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  if (!config.enabled() || pool == nullptr) {
+    return MultiplySparseSparse(a, b);
+  }
+  const int64_t m = a.rows();
+  const int64_t l = b.cols();
+
+  // Pass 1 (symbolic): per-row pattern counts, in parallel.
+  std::vector<int64_t> pattern_nnz;
+  SymbolicRowCounts(a, b, config, pool, pattern_nnz);
+
+  // Exclusive scan: row i's entries may occupy [scan[i], scan[i+1]). The
+  // pattern count is an upper bound on the numeric count (values that cancel
+  // to exactly 0.0 are dropped by the fill pass, as in the sequential
+  // kernel), so rows are filled into provisional slices and compacted after.
+  std::vector<int64_t> scan(static_cast<size_t>(m) + 1, 0);
+  for (int64_t i = 0; i < m; ++i) {
+    scan[static_cast<size_t>(i) + 1] =
+        scan[static_cast<size_t>(i)] + pattern_nnz[static_cast<size_t>(i)];
+  }
+  const int64_t pattern_total = scan[static_cast<size_t>(m)];
+
+  std::vector<int64_t> col_idx(static_cast<size_t>(pattern_total));
+  std::vector<double> values(static_cast<size_t>(pattern_total));
+  std::vector<int64_t> row_nnz(static_cast<size_t>(m), 0);
+
+  // Pass 2 (fill): each block scatters into a thread-local accumulator and
+  // gathers sorted entries into its rows' disjoint slices — identical
+  // per-row arithmetic to the sequential kernel.
+  ParallelForBlocks(pool, config, m,
+                    [&](int64_t /*block*/, int64_t lo, int64_t hi) {
+    std::vector<double> acc(static_cast<size_t>(l), 0.0);
+    std::vector<char> seen(static_cast<size_t>(l), 0);
+    std::vector<int64_t> occupied;
+    for (int64_t i = lo; i < hi; ++i) {
+      occupied.clear();
+      const auto a_idx = a.RowIndices(i);
+      const auto a_val = a.RowValues(i);
+      for (size_t ka = 0; ka < a_idx.size(); ++ka) {
+        const int64_t k = a_idx[ka];
+        const double av = a_val[ka];
+        const auto b_idx = b.RowIndices(k);
+        const auto b_val = b.RowValues(k);
+        for (size_t kb = 0; kb < b_idx.size(); ++kb) {
+          const int64_t j = b_idx[kb];
+          if (!seen[static_cast<size_t>(j)]) {
+            seen[static_cast<size_t>(j)] = 1;
+            occupied.push_back(j);
+          }
+          acc[static_cast<size_t>(j)] += av * b_val[kb];
+        }
+      }
+      std::sort(occupied.begin(), occupied.end());
+      int64_t out = scan[static_cast<size_t>(i)];
+      for (int64_t j : occupied) {
+        const double v = acc[static_cast<size_t>(j)];
+        if (v != 0.0) {
+          col_idx[static_cast<size_t>(out)] = j;
+          values[static_cast<size_t>(out)] = v;
+          ++out;
+        }
+        acc[static_cast<size_t>(j)] = 0.0;
+        seen[static_cast<size_t>(j)] = 0;
+      }
+      row_nnz[static_cast<size_t>(i)] = out - scan[static_cast<size_t>(i)];
+    }
+  });
+
+  // Compact the provisional slices into final CSR (cheap sequential copy;
+  // no-op-sized when nothing cancelled).
+  std::vector<int64_t> row_ptr(static_cast<size_t>(m) + 1, 0);
+  for (int64_t i = 0; i < m; ++i) {
+    row_ptr[static_cast<size_t>(i) + 1] =
+        row_ptr[static_cast<size_t>(i)] + row_nnz[static_cast<size_t>(i)];
+  }
+  const int64_t total = row_ptr[static_cast<size_t>(m)];
+  if (total != pattern_total) {
+    std::vector<int64_t> packed_idx(static_cast<size_t>(total));
+    std::vector<double> packed_val(static_cast<size_t>(total));
+    for (int64_t i = 0; i < m; ++i) {
+      const int64_t src = scan[static_cast<size_t>(i)];
+      const int64_t dst = row_ptr[static_cast<size_t>(i)];
+      const int64_t cnt = row_nnz[static_cast<size_t>(i)];
+      std::copy_n(col_idx.begin() + src, cnt, packed_idx.begin() + dst);
+      std::copy_n(values.begin() + src, cnt, packed_val.begin() + dst);
+    }
+    col_idx = std::move(packed_idx);
+    values = std::move(packed_val);
+  }
+  return CsrMatrix(m, l, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
 DenseMatrix MultiplyDenseDense(const DenseMatrix& a, const DenseMatrix& b,
                                ThreadPool* pool) {
   MNC_CHECK_EQ(a.cols(), b.rows());
@@ -139,6 +270,14 @@ Matrix Multiply(const Matrix& a, const Matrix& b, ThreadPool* pool) {
     return Matrix::AutoFromDense(MultiplyDenseDense(a.dense(), b.dense(), pool));
   }
   if (!a.is_dense() && !b.is_dense()) {
+    if (pool != nullptr && pool->num_threads() > 1) {
+      // The parallel kernel is bit-identical to the sequential one, so the
+      // dispatch may use it whenever a pool is offered.
+      ParallelConfig config;
+      config.num_threads = pool->num_threads();
+      return Matrix::AutoFromCsr(
+          MultiplySparseSparse(a.csr(), b.csr(), config, pool));
+    }
     return Matrix::AutoFromCsr(MultiplySparseSparse(a.csr(), b.csr()));
   }
   if (!a.is_dense()) {
@@ -167,6 +306,17 @@ int64_t ProductNnzExact(const CsrMatrix& a, const CsrMatrix& b) {
     nnz += static_cast<int64_t>(occupied.size());
     for (int64_t j : occupied) seen[static_cast<size_t>(j)] = 0;
   }
+  return nnz;
+}
+
+int64_t ProductNnzExact(const CsrMatrix& a, const CsrMatrix& b,
+                        const ParallelConfig& config, ThreadPool* pool) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  if (!config.enabled() || pool == nullptr) return ProductNnzExact(a, b);
+  std::vector<int64_t> row_nnz;
+  SymbolicRowCounts(a, b, config, pool, row_nnz);
+  int64_t nnz = 0;
+  for (int64_t c : row_nnz) nnz += c;
   return nnz;
 }
 

@@ -9,6 +9,7 @@
 #include "mnc/matrix/csr_matrix.h"
 #include "mnc/matrix/dense_matrix.h"
 #include "mnc/matrix/matrix.h"
+#include "mnc/util/parallel.h"
 #include "mnc/util/thread_pool.h"
 
 namespace mnc {
@@ -19,6 +20,15 @@ namespace mnc {
 // paper's introduction motivates. The result is identical either way.
 CsrMatrix MultiplySparseSparse(const CsrMatrix& a, const CsrMatrix& b,
                                int64_t expected_nnz = -1);
+
+// Parallel two-pass Gustavson SpGEMM behind the ParallelConfig knob: a
+// symbolic pass counts each output row's non-zeros, an exclusive scan over
+// the counts builds row_ptr, and a fill pass writes every row block into its
+// disjoint output slice. Each row accumulates in the same scatter/sort
+// order as the sequential kernel, so the result equals MultiplySparseSparse
+// bit-for-bit at any thread count.
+CsrMatrix MultiplySparseSparse(const CsrMatrix& a, const CsrMatrix& b,
+                               const ParallelConfig& config, ThreadPool* pool);
 
 // C = A B with both inputs dense. If pool is non-null, rows of C are
 // computed in parallel.
@@ -38,6 +48,10 @@ Matrix Multiply(const Matrix& a, const Matrix& b, ThreadPool* pool = nullptr);
 // Exact number of non-zeros of A B without materializing values — a boolean
 // ("pattern") SpGEMM. Used by tests as an independent ground-truth check.
 int64_t ProductNnzExact(const CsrMatrix& a, const CsrMatrix& b);
+
+// Parallel pattern SpGEMM: the symbolic pass of the parallel kernel alone.
+int64_t ProductNnzExact(const CsrMatrix& a, const CsrMatrix& b,
+                        const ParallelConfig& config, ThreadPool* pool);
 
 }  // namespace mnc
 

@@ -72,7 +72,8 @@ StatusOr<ExprPtr> EstimationService::RegisterMatrix(const std::string& name,
     built->first_name = name;
     built->fingerprint = fp;
     built->leaf = ExprNode::Leaf(m, name);
-    built->sketch = std::make_shared<const MncSketch>(MncSketch::FromMatrix(m));
+    built->sketch = std::make_shared<const MncSketch>(
+        MncSketch::FromMatrix(m, options_.parallel, &pool_));
     fresh = std::move(built);
   }
 
@@ -132,7 +133,7 @@ StatusOr<std::shared_ptr<const MncSketch>> EstimationService::ComputeSketch(
               ": sketch construction failed for leaf '" + node->name() + "'");
         }
         sketch = std::make_shared<const MncSketch>(
-            MncSketch::FromMatrix(node->matrix()));
+            MncSketch::FromMatrix(node->matrix(), options_.parallel, &pool_));
         InsertMemo(h, node, sketch);
       }
     }
@@ -176,20 +177,39 @@ MncSketch EstimationService::PropagateNode(const ExprPtr& node,
                                            const MncSketch* right) const {
   // Seeding from the structural hash makes propagation a pure function of
   // the canonical node: repeated/concurrent queries agree with each other
-  // and with whatever the memo table holds.
-  Rng rng(node_hash ^ options_.seed);
+  // and with whatever the memo table holds. The parallel overloads keep the
+  // same property: the seed (not an Rng) crosses the API boundary and each
+  // block derives its own stream from it, so no PRNG state is ever shared
+  // between tasks.
+  const uint64_t seed = node_hash ^ options_.seed;
+  Rng rng(seed);
   const RoundingMode mode = options_.rounding;
+  const bool parallel = options_.parallel.enabled();
   switch (node->op()) {
     case OpKind::kMatMul:
+      if (parallel) {
+        return PropagateProduct(left, *right, seed, options_.parallel, &pool_,
+                                /*basic=*/false, mode);
+      }
       return PropagateProduct(left, *right, rng, /*basic=*/false, mode);
     case OpKind::kEWiseAdd:
-      return PropagateEWiseAdd(left, *right, rng, mode);
-    case OpKind::kEWiseMult:
-      return PropagateEWiseMult(left, *right, rng, mode);
-    case OpKind::kEWiseMin:
-      return PropagateEWiseMin(left, *right, rng, mode);
     case OpKind::kEWiseMax:
-      return PropagateEWiseMax(left, *right, rng, mode);
+      if (parallel) {
+        return PropagateEWiseAdd(left, *right, seed, options_.parallel, &pool_,
+                                 mode);
+      }
+      return node->op() == OpKind::kEWiseAdd
+                 ? PropagateEWiseAdd(left, *right, rng, mode)
+                 : PropagateEWiseMax(left, *right, rng, mode);
+    case OpKind::kEWiseMult:
+    case OpKind::kEWiseMin:
+      if (parallel) {
+        return PropagateEWiseMult(left, *right, seed, options_.parallel,
+                                  &pool_, mode);
+      }
+      return node->op() == OpKind::kEWiseMult
+                 ? PropagateEWiseMult(left, *right, rng, mode)
+                 : PropagateEWiseMin(left, *right, rng, mode);
     case OpKind::kTranspose:
       return PropagateTranspose(left);
     case OpKind::kReshape:
@@ -317,7 +337,10 @@ std::vector<StatusOr<EstimateResult>> EstimationService::EstimateBatch(
   std::vector<StatusOr<EstimateResult>> results(
       roots.size(), StatusOr<EstimateResult>(
                         Status::Internal("batch entry not computed")));
-  pool_.ParallelFor(n, [&](int64_t begin, int64_t end) {
+  // Grain-1 chunking over-decomposes the batch (up to 4 chunks per worker)
+  // so one slow query does not serialize the tail; the helping waiter in
+  // ParallelFor keeps nested parallel kernels on the same pool deadlock-free.
+  pool_.ParallelFor(0, n, /*grain=*/1, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       results[static_cast<size_t>(i)] = Estimate(roots[static_cast<size_t>(i)]);
     }

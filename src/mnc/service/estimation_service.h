@@ -52,6 +52,7 @@
 #include "mnc/ir/expr.h"
 #include "mnc/ir/expr_hash.h"
 #include "mnc/service/sketch_cache.h"
+#include "mnc/util/parallel.h"
 #include "mnc/util/status.h"
 #include "mnc/util/thread_pool.h"
 
@@ -76,6 +77,16 @@ struct EstimationServiceOptions {
   // the paper's choice; determinism across repeated queries is preserved
   // anyway because the Rng is re-seeded per node from the structural hash.
   RoundingMode rounding = RoundingMode::kProbabilistic;
+
+  // Intra-query parallelism. The default (num_threads == 1) runs every
+  // kernel sequentially and reproduces the historical estimates exactly.
+  // With num_threads != 1, sketch construction, Algorithm 1 estimation and
+  // Eq. 11/15 propagation run on the internal pool; propagation then draws
+  // from per-block PRNG streams seeded from (node_hash ^ seed), so results
+  // stay deterministic at any thread count (see mnc/util/parallel.h) but
+  // are distribution-equal — not draw-for-draw equal — to the sequential
+  // default.
+  ParallelConfig parallel;
 };
 
 struct EstimateResult {
@@ -196,7 +207,9 @@ class EstimationService {
   std::unordered_map<const void*, uint64_t> storage_fp_;
 
   SketchMemoCache memo_;
-  ThreadPool pool_;
+  // mutable: the pool carries no logical service state, and const query
+  // paths (PropagateNode) schedule work on it.
+  mutable ThreadPool pool_;
 
   mutable std::atomic<int64_t> register_dedup_hits_{0};
   mutable std::atomic<int64_t> catalog_hits_{0};

@@ -1,0 +1,65 @@
+#include "mnc/util/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+int ParallelConfig::ResolvedThreads() const {
+  if (num_threads > 0) return num_threads;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 2;
+}
+
+int64_t ParallelConfig::BlockSize(int64_t n) const {
+  const int64_t grain = std::max<int64_t>(1, min_rows_per_task);
+  if (deterministic) return grain;
+  // Thread-count-sized blocks, never smaller than the grain.
+  const int64_t threads = static_cast<int64_t>(ResolvedThreads());
+  return std::max(grain, (n + threads - 1) / threads);
+}
+
+int64_t ParallelConfig::NumBlocks(int64_t n) const {
+  if (n <= 0) return 0;
+  const int64_t bs = BlockSize(n);
+  return (n + bs - 1) / bs;
+}
+
+void ParallelForBlocks(
+    ThreadPool* pool, const ParallelConfig& config, int64_t n,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int64_t bs = config.BlockSize(n);
+  const int64_t num_blocks = (n + bs - 1) / bs;
+
+  auto run_range = [&](int64_t first_block, int64_t last_block) {
+    for (int64_t b = first_block; b < last_block; ++b) {
+      fn(b, b * bs, std::min(n, (b + 1) * bs));
+    }
+  };
+
+  if (pool == nullptr || !config.enabled() || num_blocks <= 1) {
+    run_range(0, num_blocks);
+    return;
+  }
+  pool->ParallelFor(0, num_blocks, /*grain=*/1, run_range);
+}
+
+double BlockedSum(ThreadPool* pool, const ParallelConfig& config, int64_t n,
+                  const std::function<double(int64_t, int64_t)>& block_sum) {
+  if (n <= 0) return 0.0;
+  std::vector<double> partial(static_cast<size_t>(config.NumBlocks(n)), 0.0);
+  ParallelForBlocks(pool, config, n,
+                    [&](int64_t block, int64_t begin, int64_t end) {
+                      partial[static_cast<size_t>(block)] =
+                          block_sum(begin, end);
+                    });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+}  // namespace mnc

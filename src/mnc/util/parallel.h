@@ -1,0 +1,74 @@
+// Shared configuration and block-partitioning helpers for the parallel
+// kernels (sketch construction, Algorithm 1 estimation, Eq. 11 propagation,
+// SpGEMM).
+//
+// The determinism contract: in deterministic mode the row range is cut into
+// FIXED-SIZE blocks of `min_rows_per_task` rows. The block layout — and the
+// per-block PRNG stream seeded from (seed, stream, block_index) — depends
+// only on the problem size and the config, never on the thread count or the
+// scheduling order. A kernel that (a) confines every random draw and every
+// floating-point accumulation to one block and (b) combines per-block
+// partial results in block order therefore produces bit-identical output at
+// 1, 2, 7, or 16 threads. Non-deterministic mode trades this away for fewer,
+// larger blocks sized by the thread count.
+//
+// Blocks are the determinism unit, not the scheduling unit: ParallelForBlocks
+// hands contiguous runs of blocks to the pool's chunked ParallelFor, so many
+// small blocks do not mean many small tasks.
+
+#ifndef MNC_UTIL_PARALLEL_H_
+#define MNC_UTIL_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "mnc/util/thread_pool.h"
+
+namespace mnc {
+
+struct ParallelConfig {
+  // 1 (default) runs every kernel sequentially (no pool needed); <= 0
+  // selects the hardware concurrency; anything else uses the given pool
+  // with this many logical streams.
+  int num_threads = 1;
+
+  // Minimum rows per task — also the fixed block size that defines the
+  // deterministic partitioning and the per-block PRNG streams.
+  int64_t min_rows_per_task = 1024;
+
+  // Fixed-size blocks independent of the thread count (bit-reproducible at
+  // any parallelism) vs. thread-count-sized blocks (less partition overhead,
+  // results vary with num_threads).
+  bool deterministic = true;
+
+  // Number of worker threads this config resolves to (>= 1).
+  int ResolvedThreads() const;
+
+  // True when kernels should run on a pool at all.
+  bool enabled() const { return num_threads != 1; }
+
+  // Size of one partition block for a problem of n rows (>= 1).
+  int64_t BlockSize(int64_t n) const;
+
+  // Number of partition blocks for a problem of n rows (0 when n == 0).
+  int64_t NumBlocks(int64_t n) const;
+};
+
+// Runs fn(block_index, begin, end) for every partition block of [0, n).
+// Sequential (in ascending block order) when `pool` is null, the config is
+// sequential, or there is only one block; otherwise blocks are distributed
+// over the pool, each block still executing as one indivisible unit.
+// Exceptions propagate to the caller like ThreadPool::ParallelFor.
+void ParallelForBlocks(
+    ThreadPool* pool, const ParallelConfig& config, int64_t n,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn);
+
+// Deterministic blocked sum reduction: partial[b] accumulates sequentially
+// inside block b, partials combine in ascending block order. The result is a
+// pure function of (values, config) — identical at any thread count.
+double BlockedSum(ThreadPool* pool, const ParallelConfig& config, int64_t n,
+                  const std::function<double(int64_t, int64_t)>& block_sum);
+
+}  // namespace mnc
+
+#endif  // MNC_UTIL_PARALLEL_H_

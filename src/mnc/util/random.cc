@@ -20,6 +20,11 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  uint64_t state = a + 0x9E3779B97F4A7C15ULL * (b + 0x632BE59BD9B4E019ULL);
+  return SplitMix64(state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(sm);

@@ -15,6 +15,11 @@
 
 namespace mnc {
 
+// Mixes two 64-bit values into a well-distributed derived seed (splitmix64
+// finalizer). Used to derive independent per-block PRNG streams from a base
+// seed and a stream/block index: Rng(MixSeed(MixSeed(seed, stream), block)).
+uint64_t MixSeed(uint64_t a, uint64_t b);
+
 // A small, fast, explicitly seeded PRNG (xoshiro256**).
 class Rng {
  public:

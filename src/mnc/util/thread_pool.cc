@@ -1,6 +1,5 @@
 #include "mnc/util/thread_pool.h"
 
-#include <atomic>
 #include <stdexcept>
 #include <utility>
 
@@ -88,14 +87,20 @@ void ThreadPool::WorkerLoop() {
 }
 
 std::exception_ptr ThreadPool::RunChunks(
-    int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+    int64_t range_begin, int64_t range_end, int64_t max_chunks,
+    const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t n = range_end - range_begin;
   if (n <= 0) return nullptr;
 
-  // Shared state for this call's chunks: completion count and the first
-  // captured failure.
-  std::atomic<int64_t> remaining{0};
+  // Shared state for this call's chunks, all guarded by done_mu. The count
+  // is a plain integer on purpose: the last worker's decrement-and-notify
+  // and the waiter's exit check must form one critical section, so the
+  // worker has fully released done_mu before the waiter can return and
+  // destroy it (an atomic count lets the waiter observe zero while the
+  // worker still touches the condition variable — a use-after-scope race).
   std::mutex done_mu;
   std::condition_variable done_cv;
+  int64_t remaining = 0;
   std::exception_ptr first_error;
 
   auto run_chunk = [&](int64_t begin, int64_t end) {
@@ -113,39 +118,85 @@ std::exception_ptr ThreadPool::RunChunks(
     }
   };
 
-  const int64_t num_chunks =
-      std::min<int64_t>(n, static_cast<int64_t>(workers_.size()));
+  const int64_t num_chunks = std::min(n, std::max<int64_t>(1, max_chunks));
   if (num_chunks <= 1) {
-    run_chunk(0, n);
+    run_chunk(range_begin, range_end);
     return first_error;
   }
-  remaining.store(num_chunks);
+  remaining = num_chunks;
   const int64_t chunk = (n + num_chunks - 1) / num_chunks;
   for (int64_t c = 0; c < num_chunks; ++c) {
-    const int64_t begin = c * chunk;
-    const int64_t end = std::min(n, begin + chunk);
+    const int64_t begin = range_begin + c * chunk;
+    const int64_t end = std::min(range_end, begin + chunk);
     Submit([&, begin, end] {
       run_chunk(begin, end);
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_one();
-      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_all();
     });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+
+  // Helping wait: drain queued tasks (this call's chunks or anyone else's)
+  // instead of blocking, so a nested ParallelFor issued from inside a pool
+  // task always makes progress even with every worker occupied.
+  auto done = [&] {
+    std::lock_guard<std::mutex> lock(done_mu);
+    return remaining == 0;
+  };
+  while (!done()) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+    }
+    if (task) {
+      // A stolen task may be an unrelated Submit() task; give it the same
+      // failure backstop the worker loop provides.
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (first_task_error_ == nullptr) {
+          first_task_error_ = std::current_exception();
+        }
+      }
+      continue;
+    }
+    // Queue empty: every outstanding chunk is in flight on a worker, so
+    // there is nothing left to help with — sleep until the last one lands.
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
   return first_error;
 }
 
 void ThreadPool::ParallelFor(int64_t n,
                              const std::function<void(int64_t, int64_t)>& fn) {
-  std::exception_ptr e = RunChunks(n, fn);
+  std::exception_ptr e =
+      RunChunks(0, n, static_cast<int64_t>(workers_.size()), fn);
+  if (e != nullptr) std::rethrow_exception(e);
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  // At least `grain` elements per chunk, at most 4 chunks per worker (over-
+  // decomposition absorbs skew; the helping waiter keeps it deadlock-free).
+  const int64_t by_grain = n / std::max<int64_t>(1, grain);
+  const int64_t max_chunks =
+      std::min(std::max<int64_t>(1, by_grain),
+               4 * static_cast<int64_t>(workers_.size()));
+  std::exception_ptr e = RunChunks(begin, end, max_chunks, fn);
   if (e != nullptr) std::rethrow_exception(e);
 }
 
 Status ThreadPool::TryParallelFor(
     int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
-  std::exception_ptr e = RunChunks(n, fn);
+  std::exception_ptr e =
+      RunChunks(0, n, static_cast<int64_t>(workers_.size()), fn);
   if (e == nullptr) return Status::Ok();
   return Status::Internal("worker task failed: " + DescribeException(e));
 }

@@ -1,9 +1,11 @@
-// A minimal fixed-size thread pool with a parallel-for helper.
+// A minimal fixed-size thread pool with parallel-for helpers.
 //
-// Used only where the paper uses multi-threading: the FP64 ground-truth
-// matrix multiply and the Appendix-B multi-threaded bitset estimator. All
-// sparsity estimators default to single-threaded execution, matching the
-// experimental setup in §6.1 of the paper.
+// Backs every multi-threaded path in the library: the FP64 ground-truth
+// matrix multiply, the Appendix-B multi-threaded bitset estimator, and the
+// ParallelConfig-gated kernels (parallel sketch construction, Algorithm 1
+// estimation, Eq. 11 propagation, SpGEMM — see mnc/util/parallel.h).
+// Estimators still default to single-threaded execution, matching §6.1 of
+// the paper.
 //
 // Failure semantics: an exception escaping a task never reaches the worker
 // thread (which would std::terminate). ParallelFor captures the first chunk
@@ -11,6 +13,12 @@
 // TryParallelFor reports it as a Status instead. Fail point
 // "threadpool.task" simulates a worker-task failure. Destroying the pool
 // with tasks still queued drains them (every submitted task runs).
+//
+// Nesting: a ParallelFor waiter does not block idly — it executes queued
+// tasks itself until its own chunks are done. Calling ParallelFor from
+// inside a pool task (e.g. EstimateBatch entries that themselves fan out
+// over the same pool) therefore always makes progress instead of
+// deadlocking with every worker parked on a nested wait.
 
 #ifndef MNC_UTIL_THREAD_POOL_H_
 #define MNC_UTIL_THREAD_POOL_H_
@@ -52,6 +60,13 @@ class ThreadPool {
   void ParallelFor(int64_t n,
                    const std::function<void(int64_t, int64_t)>& fn);
 
+  // Runs fn(lo, hi) over contiguous subranges of [begin, end), each at least
+  // `grain` elements (except possibly the last), with up to 4 chunks per
+  // worker for load balance on skewed work. Same completion and exception
+  // semantics as ParallelFor(n, fn). grain <= 0 behaves like grain == 1.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
   // Like ParallelFor, but converts the first chunk failure into a Status
   // (kInternal, carrying the exception message) instead of rethrowing.
   Status TryParallelFor(int64_t n,
@@ -63,8 +78,10 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  // Shared chunked execution; returns the first chunk failure (or nullptr).
-  std::exception_ptr RunChunks(int64_t n,
+  // Shared chunked execution over [begin, end) with at most `max_chunks`
+  // chunks; returns the first chunk failure (or nullptr). The caller thread
+  // helps execute queued tasks while it waits (see "Nesting" above).
+  std::exception_ptr RunChunks(int64_t begin, int64_t end, int64_t max_chunks,
                                const std::function<void(int64_t, int64_t)>& fn);
 
   std::vector<std::thread> workers_;

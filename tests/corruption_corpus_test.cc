@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "differential_harness.h"
 #include "mnc/core/mnc_sketch.h"
 #include "mnc/core/mnc_sketch_io.h"
 #include "mnc/matrix/generate.h"
@@ -104,6 +105,25 @@ TEST(CorruptionCorpusTest, SketchV1TruncationsNeverCrash) {
     ASSERT_FALSE(result.ok());  // a prefix of a sketch is never a sketch
     EXPECT_FALSE(result.status().message().empty());
   });
+}
+
+// Structured seed corpus (differential_harness archetypes: diagonal,
+// permutation, single-nnz, half-full, empty...): every generated sketch must
+// round-trip v2 bit-for-bit, and every single-byte corruption of its v2
+// serialization must be detected.
+TEST(CorruptionCorpusTest, HarnessSketchCorpusRoundTripsAndDetectsFlips) {
+  Rng rng(900);
+  for (int round = 0; round < 8; ++round) {
+    const MncSketch s = difftest::RandomSketch(rng);
+    ASSERT_TRUE(difftest::RoundTripsExactly(s)) << "round=" << round;
+    ASSERT_TRUE(difftest::RoundTripsExactly(s, /*v1=*/true))
+        << "round=" << round;
+
+    std::ostringstream os;
+    ASSERT_TRUE(WriteSketch(s, os).ok());
+    RunByteFlipCorpus(os.str(), "harness sketch v2",
+                      ReadSketchV2ExpectingDetection);
+  }
 }
 
 std::string SerializeMatrixMarket(uint64_t seed) {

@@ -1,0 +1,223 @@
+// Property-based differential tests for the parallel kernels (see
+// differential_harness.h for the generators).
+//
+// Three families of properties over seeded random inputs:
+//   (a) parallel == sequential: in deterministic mode every parallel kernel
+//       (sketch construction, Algorithm 1, Eq. 11/15 propagation, SpGEMM)
+//       produces bit-identical results at 1, 2 and 7 threads — and the
+//       bit-exact kernels (sketch build, SpGEMM) also match the legacy
+//       sequential implementations exactly;
+//   (b) Theorem 3.2: the exact product nnz (pattern SpGEMM ground truth)
+//       lies within the estimator's lower/upper bounds;
+//   (c) Theorem 3.1 and structural exactness: single-nnz-row inputs,
+//       permutations and diagonals estimate exactly; and sketch IO v2
+//       round-trips every generated sketch bit-for-bit.
+//
+// Runs under ASan and TSan in CI (debug-asan-ubsan and debug-tsan jobs).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "differential_harness.h"
+#include "mnc/core/mnc_estimator.h"
+#include "mnc/core/mnc_propagation.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/util/thread_pool.h"
+
+namespace mnc {
+namespace {
+
+using difftest::CsrBitIdentical;
+using difftest::HarnessConfig;
+using difftest::MakeLeaf;
+using difftest::RandomDim;
+using difftest::RandomLeaf;
+using difftest::RandomSketch;
+using difftest::RoundTripsExactly;
+using difftest::SketchesBitIdentical;
+
+// Thread counts for the cross-check; 1 exercises the inline blocked path,
+// which must agree bit-for-bit with the pooled runs.
+const int kThreadCounts[] = {1, 2, 7};
+
+class DifferentialHarnessTest : public ::testing::TestWithParam<int> {
+ protected:
+  uint64_t Seed() const { return static_cast<uint64_t>(GetParam()); }
+};
+
+TEST_P(DifferentialHarnessTest, ParallelSketchBuildMatchesSequential) {
+  Rng rng(Seed() * 1009 + 1);
+  ThreadPool pool(4);
+  for (int round = 0; round < 4; ++round) {
+    const CsrMatrix m = RandomLeaf(rng, RandomDim(rng));
+    const MncSketch sequential = MncSketch::FromCsr(m);
+    for (int threads : kThreadCounts) {
+      const MncSketch parallel =
+          MncSketch::FromCsr(m, HarnessConfig(threads), &pool);
+      EXPECT_TRUE(SketchesBitIdentical(sequential, parallel))
+          << "threads=" << threads << " round=" << round;
+    }
+  }
+}
+
+TEST_P(DifferentialHarnessTest, Alg1BitIdenticalAcrossThreadCounts) {
+  Rng rng(Seed() * 2003 + 5);
+  ThreadPool pool(4);
+  const int64_t dim = RandomDim(rng);
+  const MncSketch a = MncSketch::FromCsr(RandomLeaf(rng, dim));
+  const MncSketch b = MncSketch::FromCsr(RandomLeaf(rng, dim));
+
+  const double reference =
+      EstimateProductNnz(a, b, HarnessConfig(1), nullptr);
+  const double reference_basic =
+      EstimateProductNnzBasic(a, b, HarnessConfig(1), nullptr);
+  for (int threads : kThreadCounts) {
+    const ParallelConfig config = HarnessConfig(threads);
+    EXPECT_EQ(reference, EstimateProductNnz(a, b, config, &pool))
+        << "threads=" << threads;
+    EXPECT_EQ(reference_basic, EstimateProductNnzBasic(a, b, config, &pool))
+        << "threads=" << threads;
+  }
+
+  // The blocked reduction may differ from the scalar path only in float
+  // association — never beyond a relative epsilon.
+  const double scalar = EstimateProductNnz(a, b);
+  EXPECT_NEAR(reference, scalar, 1e-9 * (1.0 + std::abs(scalar)));
+}
+
+TEST_P(DifferentialHarnessTest, PropagationBitIdenticalAcrossThreadCounts) {
+  Rng rng(Seed() * 3001 + 11);
+  ThreadPool pool(4);
+  const int64_t dim = RandomDim(rng);
+  const MncSketch a = MncSketch::FromCsr(RandomLeaf(rng, dim));
+  const MncSketch b = MncSketch::FromCsr(RandomLeaf(rng, dim));
+  const uint64_t prop_seed = Seed() ^ 0x5bd1e995u;
+
+  const MncSketch product_ref =
+      PropagateProduct(a, b, prop_seed, HarnessConfig(1), nullptr);
+  const MncSketch add_ref =
+      PropagateEWiseAdd(a, b, prop_seed, HarnessConfig(1), nullptr);
+  const MncSketch mult_ref =
+      PropagateEWiseMult(a, b, prop_seed, HarnessConfig(1), nullptr);
+  for (int threads : kThreadCounts) {
+    const ParallelConfig config = HarnessConfig(threads);
+    EXPECT_TRUE(SketchesBitIdentical(
+        product_ref, PropagateProduct(a, b, prop_seed, config, &pool)))
+        << "product threads=" << threads;
+    EXPECT_TRUE(SketchesBitIdentical(
+        add_ref, PropagateEWiseAdd(a, b, prop_seed, config, &pool)))
+        << "ewise-add threads=" << threads;
+    EXPECT_TRUE(SketchesBitIdentical(
+        mult_ref, PropagateEWiseMult(a, b, prop_seed, config, &pool)))
+        << "ewise-mult threads=" << threads;
+  }
+}
+
+TEST_P(DifferentialHarnessTest, SpGemmBitIdenticalToSequential) {
+  Rng rng(Seed() * 4001 + 17);
+  ThreadPool pool(4);
+  const int64_t dim = RandomDim(rng);
+  const CsrMatrix a = RandomLeaf(rng, dim);
+  const CsrMatrix b = RandomLeaf(rng, dim);
+
+  const CsrMatrix sequential = MultiplySparseSparse(a, b);
+  const int64_t exact_nnz = ProductNnzExact(a, b);
+  for (int threads : kThreadCounts) {
+    const ParallelConfig config = HarnessConfig(threads);
+    const CsrMatrix parallel = MultiplySparseSparse(a, b, config, &pool);
+    EXPECT_TRUE(CsrBitIdentical(sequential, parallel))
+        << "threads=" << threads;
+    EXPECT_EQ(exact_nnz, ProductNnzExact(a, b, config, &pool))
+        << "threads=" << threads;
+  }
+}
+
+TEST_P(DifferentialHarnessTest, Theorem32BoundsHoldAgainstExactNnz) {
+  Rng rng(Seed() * 5003 + 23);
+  ThreadPool pool(4);
+  for (int round = 0; round < 4; ++round) {
+    const int64_t dim = RandomDim(rng);
+    const CsrMatrix ma = RandomLeaf(rng, dim);
+    const CsrMatrix mb = RandomLeaf(rng, dim);
+    const MncSketch a = MncSketch::FromCsr(ma);
+    const MncSketch b = MncSketch::FromCsr(mb);
+
+    const double exact = static_cast<double>(ProductNnzExact(ma, mb));
+    const double lower = static_cast<double>(a.half_full_rows()) *
+                         static_cast<double>(b.half_full_cols());
+    const double upper =
+        std::min(static_cast<double>(a.rows()) * static_cast<double>(b.cols()),
+                 static_cast<double>(a.non_empty_rows()) *
+                     static_cast<double>(b.non_empty_cols()));
+    EXPECT_LE(lower, exact) << "round=" << round;
+    EXPECT_LE(exact, upper) << "round=" << round;
+
+    // The estimator clamps into the same interval — sequential and parallel.
+    const double estimate = EstimateProductNnz(a, b);
+    EXPECT_GE(estimate, lower) << "round=" << round;
+    EXPECT_LE(estimate, upper) << "round=" << round;
+    const double par_estimate =
+        EstimateProductNnz(a, b, HarnessConfig(2), &pool);
+    EXPECT_GE(par_estimate, lower) << "round=" << round;
+    EXPECT_LE(par_estimate, upper) << "round=" << round;
+  }
+}
+
+TEST_P(DifferentialHarnessTest, Theorem31CasesEstimateExactly) {
+  Rng rng(Seed() * 6007 + 29);
+  ThreadPool pool(4);
+  const int64_t dim = RandomDim(rng);
+
+  // Left operands with max_hr <= 1 (A1 of Theorem 3.1) — and permutation /
+  // diagonal inputs, which additionally have max_hc <= 1.
+  const difftest::Archetype exact_kinds[] = {
+      difftest::Archetype::kOneNnzPerRow, difftest::Archetype::kPermutation,
+      difftest::Archetype::kDiagonal, difftest::Archetype::kEmpty};
+  for (difftest::Archetype kind : exact_kinds) {
+    const CsrMatrix ma = MakeLeaf(kind, dim, rng);
+    const CsrMatrix mb = RandomLeaf(rng, dim);
+    const MncSketch a = MncSketch::FromCsr(ma);
+    const MncSketch b = MncSketch::FromCsr(mb);
+    ASSERT_LE(a.max_hr(), 1);
+
+    const double exact = static_cast<double>(ProductNnzExact(ma, mb));
+    EXPECT_DOUBLE_EQ(exact, EstimateProductNnz(a, b))
+        << "kind=" << static_cast<int>(kind);
+    EXPECT_DOUBLE_EQ(exact, EstimateProductNnz(a, b, HarnessConfig(2), &pool))
+        << "kind=" << static_cast<int>(kind);
+
+    // A2 (max_hc(B) <= 1): the same structured matrix on the right.
+    const double exact_r = static_cast<double>(ProductNnzExact(mb, ma));
+    const MncSketch a_right = MncSketch::FromCsr(mb);
+    const MncSketch b_right = MncSketch::FromCsr(ma);
+    if (b_right.max_hc() <= 1) {
+      EXPECT_DOUBLE_EQ(exact_r, EstimateProductNnz(a_right, b_right))
+          << "kind=" << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST_P(DifferentialHarnessTest, SketchIoRoundTripsBitForBit) {
+  Rng rng(Seed() * 7013 + 31);
+  for (int round = 0; round < 6; ++round) {
+    const MncSketch s = RandomSketch(rng);
+    EXPECT_TRUE(RoundTripsExactly(s)) << "v2 round=" << round;
+    EXPECT_TRUE(RoundTripsExactly(s, /*v1=*/true)) << "v1 round=" << round;
+  }
+  // Propagated sketches (FromCounts — no extension vectors) round-trip too.
+  ThreadPool pool(2);
+  const int64_t dim = RandomDim(rng);
+  const MncSketch a = MncSketch::FromCsr(RandomLeaf(rng, dim));
+  const MncSketch b = MncSketch::FromCsr(RandomLeaf(rng, dim));
+  const MncSketch c =
+      PropagateProduct(a, b, Seed(), HarnessConfig(2), &pool);
+  EXPECT_TRUE(RoundTripsExactly(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialHarnessTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace mnc

@@ -1,0 +1,184 @@
+// Property-based differential test harness for the parallel kernels.
+//
+// Provides seeded generators for structured random matrices, sketches and
+// expression DAGs, plus exact-comparison helpers, shared by
+// differential_harness.cc (parallel == sequential, Theorem 3.1/3.2
+// properties, IO round trips), thread_sweep_test.cc (thread-count
+// invariance) and corruption_corpus_test.cc (serialized-input corpus).
+//
+// Header-only on purpose: tests/CMakeLists.txt compiles exactly one .cc per
+// test binary.
+
+#ifndef MNC_TESTS_DIFFERENTIAL_HARNESS_H_
+#define MNC_TESTS_DIFFERENTIAL_HARNESS_H_
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/core/mnc_sketch_io.h"
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/util/parallel.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace difftest {
+
+// Structural archetypes the estimators specialize on (Theorem 3.1 exactness
+// needs single-nnz rows/columns; Theorem 3.2's lower bound needs half-full
+// rows; empty matrices exercise the zero short-circuits).
+enum class Archetype {
+  kUniform = 0,
+  kDiagonal,
+  kPermutation,
+  kOneNnzPerRow,
+  kDenseColumn,
+  kDenseRow,
+  kHalfFullRows,
+  kEmpty,
+  kCount,
+};
+
+inline CsrMatrix MakeLeaf(Archetype kind, int64_t dim, Rng& rng) {
+  switch (kind) {
+    case Archetype::kUniform:
+      return GenerateUniformSparse(dim, dim, rng.Uniform(0.02, 0.6), rng);
+    case Archetype::kDiagonal:
+      return GenerateDiagonal(dim, rng);
+    case Archetype::kPermutation:
+      return GeneratePermutation(dim, rng);
+    case Archetype::kOneNnzPerRow: {
+      ZipfDistribution dist(dim, 1.1);
+      return GenerateOneNnzPerRow(dim, dim, dist, rng);
+    }
+    case Archetype::kDenseColumn: {
+      CooMatrix coo(dim, dim);
+      const int64_t q = rng.UniformInt(dim);
+      for (int64_t i = 0; i < dim; ++i) coo.Add(i, q, 1.0);
+      return coo.ToCsr();
+    }
+    case Archetype::kDenseRow: {
+      CooMatrix coo(dim, dim);
+      const int64_t q = rng.UniformInt(dim);
+      for (int64_t j = 0; j < dim; ++j) coo.Add(q, j, 1.0);
+      return coo.ToCsr();
+    }
+    case Archetype::kHalfFullRows: {
+      // A band of rows with > dim/2 non-zeros feeds the Theorem-3.2 lower
+      // bound (half_full_rows * half_full_cols).
+      CooMatrix coo(dim, dim);
+      const int64_t band = 1 + rng.UniformInt(dim / 2 + 1);
+      for (int64_t i = 0; i < band; ++i) {
+        for (int64_t j = 0; j < dim / 2 + 1 + rng.UniformInt(2); ++j) {
+          coo.Add(i, j, rng.Uniform(0.5, 2.0));
+        }
+      }
+      return coo.ToCsr();
+    }
+    case Archetype::kEmpty:
+      return CooMatrix(dim, dim).ToCsr();
+    case Archetype::kCount:
+      break;
+  }
+  return CooMatrix(dim, dim).ToCsr();
+}
+
+// A random archetype leaf; dims in [24, 64] keep block counts > 1 at the
+// harness grain so the parallel paths genuinely split work.
+inline CsrMatrix RandomLeaf(Rng& rng, int64_t dim) {
+  return MakeLeaf(
+      static_cast<Archetype>(
+          rng.UniformInt(static_cast<int64_t>(Archetype::kCount))),
+      dim, rng);
+}
+
+inline int64_t RandomDim(Rng& rng) { return 24 + rng.UniformInt(41); }
+
+// A random sketch (sometimes with, sometimes without extension vectors) for
+// IO round-trip properties.
+inline MncSketch RandomSketch(Rng& rng) {
+  const CsrMatrix m = RandomLeaf(rng, RandomDim(rng));
+  MncSketch s = MncSketch::FromCsr(m);
+  if (rng.Bernoulli(0.3)) s = s.ToBasic();
+  return s;
+}
+
+// A deterministic config at the given thread count. The fixed grain (8 rows
+// per block) is deliberately small relative to the harness dims so the
+// blocked code paths always produce multiple blocks.
+inline ParallelConfig HarnessConfig(int threads) {
+  ParallelConfig config;
+  config.num_threads = threads;
+  config.min_rows_per_task = 8;
+  config.deterministic = true;
+  return config;
+}
+
+// Exact (bit-for-bit) sketch equality over every field the sketch exposes.
+inline ::testing::AssertionResult SketchesBitIdentical(const MncSketch& a,
+                                                       const MncSketch& b) {
+  auto fail = [&](const char* what) {
+    return ::testing::AssertionFailure()
+           << "sketches differ in " << what << " (" << a.rows() << "x"
+           << a.cols() << ", nnz " << a.nnz() << " vs " << b.nnz() << ")";
+  };
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return fail("shape");
+  if (a.nnz() != b.nnz()) return fail("nnz");
+  if (a.hr() != b.hr()) return fail("hr");
+  if (a.hc() != b.hc()) return fail("hc");
+  if (a.her() != b.her()) return fail("her");
+  if (a.hec() != b.hec()) return fail("hec");
+  if (a.max_hr() != b.max_hr() || a.max_hc() != b.max_hc()) {
+    return fail("max summary");
+  }
+  if (a.non_empty_rows() != b.non_empty_rows() ||
+      a.non_empty_cols() != b.non_empty_cols()) {
+    return fail("non-empty summary");
+  }
+  if (a.half_full_rows() != b.half_full_rows() ||
+      a.half_full_cols() != b.half_full_cols()) {
+    return fail("half-full summary");
+  }
+  if (a.single_nnz_rows() != b.single_nnz_rows() ||
+      a.single_nnz_cols() != b.single_nnz_cols()) {
+    return fail("single-nnz summary");
+  }
+  if (a.is_diagonal() != b.is_diagonal()) return fail("diagonal flag");
+  return ::testing::AssertionSuccess();
+}
+
+// Exact CSR equality including values.
+inline ::testing::AssertionResult CsrBitIdentical(const CsrMatrix& a,
+                                                  const CsrMatrix& b) {
+  if (a.Equals(b)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "CSR matrices differ (" << a.rows() << "x" << a.cols() << ", nnz "
+         << a.NumNonZeros() << " vs " << b.NumNonZeros() << ")";
+}
+
+// Write -> read -> compare. Exercises the v2 (checksummed) wire format by
+// default; set v1 = true for the legacy format.
+inline ::testing::AssertionResult RoundTripsExactly(const MncSketch& s,
+                                                    bool v1 = false) {
+  std::ostringstream os;
+  const Status ws = v1 ? WriteSketchV1(s, os) : WriteSketch(s, os);
+  if (!ws.ok()) {
+    return ::testing::AssertionFailure() << "write failed: " << ws.message();
+  }
+  std::istringstream is(os.str());
+  StatusOr<MncSketch> rs = ReadSketch(is);
+  if (!rs.ok()) {
+    return ::testing::AssertionFailure()
+           << "read failed: " << rs.status().message();
+  }
+  return SketchesBitIdentical(s, *rs);
+}
+
+}  // namespace difftest
+}  // namespace mnc
+
+#endif  // MNC_TESTS_DIFFERENTIAL_HARNESS_H_

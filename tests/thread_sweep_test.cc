@@ -1,0 +1,176 @@
+// Thread-count sweep: every ParallelConfig-gated kernel — and the
+// EstimationService built on them — must produce IDENTICAL results at 1, 2,
+// 7 and 16 threads in deterministic mode. The determinism contract
+// (mnc/util/parallel.h) makes results a function of min_rows_per_task, not
+// of the thread count or scheduling order, so any divergence here is a
+// shared-state bug. Runs under TSan in CI (debug-tsan job).
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "differential_harness.h"
+#include "mnc/core/mnc_estimator.h"
+#include "mnc/core/mnc_propagation.h"
+#include "mnc/ir/expr.h"
+#include "mnc/matrix/matrix.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/service/estimation_service.h"
+#include "mnc/util/thread_pool.h"
+
+namespace mnc {
+namespace {
+
+using difftest::CsrBitIdentical;
+using difftest::HarnessConfig;
+using difftest::RandomLeaf;
+using difftest::SketchesBitIdentical;
+
+const int kSweep[] = {1, 2, 7, 16};
+
+TEST(ThreadSweep, SketchBuildIdenticalAtAllThreadCounts) {
+  Rng rng(101);
+  const CsrMatrix m = RandomLeaf(rng, 96);
+  ThreadPool pool(8);
+  const MncSketch reference = MncSketch::FromCsr(m, HarnessConfig(1), nullptr);
+  EXPECT_TRUE(SketchesBitIdentical(reference, MncSketch::FromCsr(m)));
+  for (int threads : kSweep) {
+    EXPECT_TRUE(SketchesBitIdentical(
+        reference, MncSketch::FromCsr(m, HarnessConfig(threads), &pool)))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ThreadSweep, Alg1EstimateIdenticalAtAllThreadCounts) {
+  Rng rng(211);
+  const MncSketch a = MncSketch::FromCsr(RandomLeaf(rng, 96));
+  const MncSketch b = MncSketch::FromCsr(RandomLeaf(rng, 96));
+  ThreadPool pool(8);
+  const double reference = EstimateProductNnz(a, b, HarnessConfig(1), nullptr);
+  for (int threads : kSweep) {
+    EXPECT_EQ(reference,
+              EstimateProductNnz(a, b, HarnessConfig(threads), &pool))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ThreadSweep, PropagationIdenticalAtAllThreadCounts) {
+  Rng rng(307);
+  const MncSketch a = MncSketch::FromCsr(RandomLeaf(rng, 96));
+  const MncSketch b = MncSketch::FromCsr(RandomLeaf(rng, 96));
+  ThreadPool pool(8);
+  const uint64_t seed = 0xfeedface;
+  const MncSketch product_ref =
+      PropagateProduct(a, b, seed, HarnessConfig(1), nullptr);
+  const MncSketch add_ref =
+      PropagateEWiseAdd(a, b, seed, HarnessConfig(1), nullptr);
+  const MncSketch mult_ref =
+      PropagateEWiseMult(a, b, seed, HarnessConfig(1), nullptr);
+  for (int threads : kSweep) {
+    const ParallelConfig config = HarnessConfig(threads);
+    EXPECT_TRUE(SketchesBitIdentical(
+        product_ref, PropagateProduct(a, b, seed, config, &pool)))
+        << "threads=" << threads;
+    EXPECT_TRUE(SketchesBitIdentical(
+        add_ref, PropagateEWiseAdd(a, b, seed, config, &pool)))
+        << "threads=" << threads;
+    EXPECT_TRUE(SketchesBitIdentical(
+        mult_ref, PropagateEWiseMult(a, b, seed, config, &pool)))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ThreadSweep, SpGemmIdenticalAtAllThreadCounts) {
+  Rng rng(401);
+  const CsrMatrix a = RandomLeaf(rng, 96);
+  const CsrMatrix b = RandomLeaf(rng, 96);
+  ThreadPool pool(8);
+  const CsrMatrix reference = MultiplySparseSparse(a, b);
+  const int64_t exact = ProductNnzExact(a, b);
+  for (int threads : kSweep) {
+    const ParallelConfig config = HarnessConfig(threads);
+    EXPECT_TRUE(
+        CsrBitIdentical(reference, MultiplySparseSparse(a, b, config, &pool)))
+        << "threads=" << threads;
+    EXPECT_EQ(exact, ProductNnzExact(a, b, config, &pool))
+        << "threads=" << threads;
+  }
+}
+
+// Service-level sweep: pool width and logical stream count both vary (a
+// 1-worker pool running 16-block-stream kernels is the degenerate "1
+// thread" case); all sweep points must agree on every estimate. The pools
+// differ in size, so agreement also certifies that batch scheduling never
+// leaks into the math.
+TEST(ThreadSweep, ServiceEstimatesIdenticalAcrossSweep) {
+  Rng rng(503);
+  const Matrix ma = Matrix::Sparse(RandomLeaf(rng, 64));
+  const Matrix mb = Matrix::Sparse(RandomLeaf(rng, 64));
+  const Matrix mc = Matrix::Sparse(RandomLeaf(rng, 64));
+
+  auto make_service = [&](int pool_threads, int stream_threads) {
+    EstimationServiceOptions options;
+    options.num_threads = pool_threads;
+    options.parallel.num_threads = stream_threads;
+    options.parallel.min_rows_per_task = 8;
+    options.parallel.deterministic = true;
+    options.seed = 7;
+    return std::make_unique<EstimationService>(options);
+  };
+
+  // (pool width, logical streams): deterministic mode makes the logical
+  // stream count irrelevant too, as long as the parallel path is enabled
+  // (streams != 1).
+  const std::pair<int, int> sweep[] = {{1, 16}, {2, 2}, {7, 7}, {16, 16}};
+  std::vector<double> sparsities;
+  std::vector<std::vector<double>> batch_results;
+  for (const auto& [pool_threads, stream_threads] : sweep) {
+    auto service = make_service(pool_threads, stream_threads);
+    ExprPtr a = *service->RegisterMatrix("A", ma);
+    ExprPtr b = *service->RegisterMatrix("B", mb);
+    ExprPtr c = *service->RegisterMatrix("C", mc);
+    const ExprPtr root = ExprNode::MatMul(
+        ExprNode::EWiseAdd(a, b), ExprNode::MatMul(b, ExprNode::Transpose(c)));
+    const auto result = service->Estimate(root);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    sparsities.push_back(result->sparsity);
+
+    // Batch path: same DAGs concurrently on the service pool.
+    std::vector<ExprPtr> roots = {root, ExprNode::MatMul(a, b),
+                                  ExprNode::EWiseMult(b, c),
+                                  ExprNode::MatMul(ExprNode::MatMul(a, b), c)};
+    std::vector<double> batch;
+    for (const auto& r : service->EstimateBatch(roots)) {
+      ASSERT_TRUE(r.ok()) << r.status().message();
+      batch.push_back(r->sparsity);
+    }
+    batch_results.push_back(std::move(batch));
+  }
+  for (size_t i = 1; i < sparsities.size(); ++i) {
+    EXPECT_EQ(sparsities[0], sparsities[i]) << "sweep point " << i;
+    EXPECT_EQ(batch_results[0], batch_results[i]) << "sweep point " << i;
+  }
+}
+
+// The default configuration (parallel disabled) must keep reproducing the
+// historical sequential estimates: two default services agree with each
+// other and are unaffected by the sweep services having run.
+TEST(ThreadSweep, DefaultServiceStaysSequentialAndDeterministic) {
+  Rng rng(601);
+  const Matrix ma = Matrix::Sparse(RandomLeaf(rng, 48));
+  const Matrix mb = Matrix::Sparse(RandomLeaf(rng, 48));
+  auto run = [&] {
+    EstimationService service;  // default options: parallel.num_threads == 1
+    ExprPtr a = *service.RegisterMatrix("A", ma);
+    ExprPtr b = *service.RegisterMatrix("B", mb);
+    const auto result = service.Estimate(
+        ExprNode::MatMul(a, ExprNode::EWiseAdd(a, b)));
+    EXPECT_TRUE(result.ok());
+    return result->sparsity;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mnc

@@ -3,11 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mnc/kernels/kernels.h"
+#include "mnc/util/arena.h"
 #include "mnc/util/check.h"
 
 namespace mnc {
 
 namespace internal {
+
+namespace {
+
+// Turns a density-combine accumulator into the clamped success probability
+// s = 1 - prod_k (1 - cell_prob_k), with a certain hit forcing s = 1.
+double CombineFromAccum(const kernels::CombineAccum& acc) {
+  const double s = acc.certain ? 1.0 : 1.0 - std::exp(acc.log_zero_prob);
+  return std::clamp(s, 0.0, 1.0);
+}
+
+}  // namespace
 
 double DensityMapCombine(const std::vector<int64_t>& u,
                          const std::vector<int64_t>& v, double p) {
@@ -22,24 +35,12 @@ double DensityMapCombine(const std::vector<int64_t>& u,
   MNC_CHECK_EQ(u.size(), v.size());
   if (p <= 0.0) return 0.0;
   // prod_k (1 - u_k v_k / p) computed in log space to avoid underflow for
-  // long common dimensions.
-  double log_zero_prob = 0.0;
-  bool certain_hit = false;
-  for (size_t k = 0; k < u.size(); ++k) {
-    double uk = static_cast<double>(u[k]);
-    double vk = static_cast<double>(v[k]);
-    if (!du.empty()) uk -= static_cast<double>(du[k]);
-    if (!dv.empty()) vk -= static_cast<double>(dv[k]);
-    if (uk <= 0.0 || vk <= 0.0) continue;
-    const double cell_prob = std::min(1.0, uk * vk / p);
-    if (cell_prob >= 1.0) {
-      certain_hit = true;
-      break;
-    }
-    log_zero_prob += std::log1p(-cell_prob);
-  }
-  const double s = certain_hit ? 1.0 : 1.0 - std::exp(log_zero_prob);
-  return std::clamp(s, 0.0, 1.0);
+  // long common dimensions. Empty offset vectors mean "no offsets" (nullptr
+  // at the kernel boundary).
+  const kernels::CombineAccum acc = kernels::Active().density_combine(
+      u.data(), du.empty() ? nullptr : du.data(), v.data(),
+      dv.empty() ? nullptr : dv.data(), static_cast<int64_t>(u.size()), p);
+  return CombineFromAccum(acc);
 }
 
 namespace {
@@ -59,33 +60,26 @@ double Dot(const std::vector<int64_t>& u, const std::vector<int64_t>& v,
            const ParExec& par = {}) {
   MNC_CHECK_EQ(u.size(), v.size());
   const int64_t n = static_cast<int64_t>(u.size());
+  const kernels::KernelTable& k = kernels::Active();
   auto block_sum = [&](int64_t lo, int64_t hi) {
-    double acc = 0.0;
-    for (int64_t k = lo; k < hi; ++k) {
-      acc += static_cast<double>(u[static_cast<size_t>(k)]) *
-             static_cast<double>(v[static_cast<size_t>(k)]);
-    }
-    return acc;
+    return k.dot_counts(u.data() + lo, v.data() + lo, hi - lo);
   };
   if (!par.blocked()) return block_sum(0, n);
   return BlockedSum(par.pool, *par.config, n, block_sum);
 }
 
-// Dot of (u - du) with v.
+// Dot of (u - du) with v; du == nullptr means du is all zeros.
 double DotDiffLeft(const std::vector<int64_t>& u,
-                   const std::vector<int64_t>& du,
+                   const std::vector<int64_t>* du,
                    const std::vector<int64_t>& v, const ParExec& par = {}) {
   MNC_CHECK_EQ(u.size(), v.size());
-  MNC_CHECK_EQ(du.size(), v.size());
+  if (du != nullptr) MNC_CHECK_EQ(du->size(), v.size());
   const int64_t n = static_cast<int64_t>(u.size());
+  const kernels::KernelTable& k = kernels::Active();
+  const int64_t* dup = du != nullptr ? du->data() : nullptr;
   auto block_sum = [&](int64_t lo, int64_t hi) {
-    double acc = 0.0;
-    for (int64_t k = lo; k < hi; ++k) {
-      acc += static_cast<double>(u[static_cast<size_t>(k)] -
-                                 du[static_cast<size_t>(k)]) *
-             static_cast<double>(v[static_cast<size_t>(k)]);
-    }
-    return acc;
+    return k.dot_counts_diff(u.data() + lo, dup != nullptr ? dup + lo : nullptr,
+                             v.data() + lo, hi - lo);
   };
   if (!par.blocked()) return block_sum(0, n);
   return BlockedSum(par.pool, *par.config, n, block_sum);
@@ -93,52 +87,55 @@ double DotDiffLeft(const std::vector<int64_t>& u,
 
 // Blocked variant of DensityMapCombine: per-block log-space partial products
 // combined in block order; a certain hit in any block forces s = 1 exactly
-// like the scalar early exit.
+// like the scalar early exit. Per-block partial/certain staging comes from a
+// pooled arena instead of fresh per-call vectors.
 double DensityMapCombinePar(const std::vector<int64_t>& u,
-                            const std::vector<int64_t>& du,
+                            const std::vector<int64_t>* du,
                             const std::vector<int64_t>& v,
-                            const std::vector<int64_t>& dv, double p,
+                            const std::vector<int64_t>* dv, double p,
                             const ParExec& par) {
   MNC_CHECK_EQ(u.size(), v.size());
   if (p <= 0.0) return 0.0;
   const int64_t n = static_cast<int64_t>(u.size());
   const int64_t num_blocks = par.config->NumBlocks(n);
-  std::vector<double> partial(static_cast<size_t>(num_blocks), 0.0);
-  std::vector<char> certain(static_cast<size_t>(num_blocks), 0);
+  ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+  std::vector<double>& partial =
+      lease->StageDoubles(static_cast<size_t>(num_blocks));
+  std::vector<char>& certain =
+      lease->StageBytes(static_cast<size_t>(num_blocks));
+  const kernels::KernelTable& k = kernels::Active();
+  const int64_t* dup = du != nullptr ? du->data() : nullptr;
+  const int64_t* dvp = dv != nullptr ? dv->data() : nullptr;
   ParallelForBlocks(par.pool, *par.config, n,
                     [&](int64_t block, int64_t lo, int64_t hi) {
-    double log_zero_prob = 0.0;
-    for (int64_t k = lo; k < hi; ++k) {
-      double uk = static_cast<double>(u[static_cast<size_t>(k)]);
-      double vk = static_cast<double>(v[static_cast<size_t>(k)]);
-      if (!du.empty()) uk -= static_cast<double>(du[static_cast<size_t>(k)]);
-      if (!dv.empty()) vk -= static_cast<double>(dv[static_cast<size_t>(k)]);
-      if (uk <= 0.0 || vk <= 0.0) continue;
-      const double cell_prob = std::min(1.0, uk * vk / p);
-      if (cell_prob >= 1.0) {
-        certain[static_cast<size_t>(block)] = 1;
-        break;
-      }
-      log_zero_prob += std::log1p(-cell_prob);
-    }
-    partial[static_cast<size_t>(block)] = log_zero_prob;
+    const kernels::CombineAccum acc = k.density_combine(
+        u.data() + lo, dup != nullptr ? dup + lo : nullptr, v.data() + lo,
+        dvp != nullptr ? dvp + lo : nullptr, hi - lo, p);
+    partial[static_cast<size_t>(block)] = acc.log_zero_prob;
+    certain[static_cast<size_t>(block)] = acc.certain ? 1 : 0;
   });
-  double log_zero_prob = 0.0;
-  bool certain_hit = false;
+  kernels::CombineAccum total;
   for (int64_t b = 0; b < num_blocks; ++b) {
-    if (certain[static_cast<size_t>(b)]) certain_hit = true;
-    log_zero_prob += partial[static_cast<size_t>(b)];
+    if (certain[static_cast<size_t>(b)]) total.certain = true;
+    total.log_zero_prob += partial[static_cast<size_t>(b)];
   }
-  const double s = certain_hit ? 1.0 : 1.0 - std::exp(log_zero_prob);
-  return std::clamp(s, 0.0, 1.0);
+  return CombineFromAccum(total);
 }
 
 double CombineDensityMap(const std::vector<int64_t>& u,
-                         const std::vector<int64_t>& du,
+                         const std::vector<int64_t>* du,
                          const std::vector<int64_t>& v,
-                         const std::vector<int64_t>& dv, double p,
+                         const std::vector<int64_t>* dv, double p,
                          const ParExec& par) {
-  if (!par.blocked()) return DensityMapCombine(u, du, v, dv, p);
+  if (!par.blocked()) {
+    MNC_CHECK_EQ(u.size(), v.size());
+    if (p <= 0.0) return 0.0;
+    const kernels::CombineAccum acc = kernels::Active().density_combine(
+        u.data(), du != nullptr ? du->data() : nullptr, v.data(),
+        dv != nullptr ? dv->data() : nullptr, static_cast<int64_t>(u.size()),
+        p);
+    return CombineFromAccum(acc);
+  }
   return DensityMapCombinePar(u, du, v, dv, p, par);
 }
 
@@ -177,26 +174,19 @@ ProductEstimateParts EstimateProductParts(const MncSketch& a,
     parts.exact_nnz = nnz;
     parts.exact = true;
   } else if (use_extensions && (!a.hec().empty() || !b.her().empty())) {
-    // Eq. 8: exact fraction from extension vectors + generic rest. Entries
-    // of non-existing extension vectors are treated as zeros (Alg. 1).
-    std::vector<int64_t> hec_storage;
-    std::vector<int64_t> her_storage;
-    const std::vector<int64_t>* hec_a = &a.hec();
-    if (hec_a->empty()) {
-      hec_storage.assign(static_cast<size_t>(a.cols()), 0);
-      hec_a = &hec_storage;
-    }
-    const std::vector<int64_t>* her_b = &b.her();
-    if (her_b->empty()) {
-      her_storage.assign(static_cast<size_t>(b.rows()), 0);
-      her_b = &her_storage;
-    }
-    nnz = Dot(*hec_a, b.hr(), par) + DotDiffLeft(a.hc(), *hec_a, *her_b, par);
+    // Eq. 8: exact fraction from extension vectors + generic rest. A missing
+    // extension vector is treated as all zeros (Alg. 1) — expressed as a
+    // null operand at the kernel boundary, so no zero vector is ever
+    // materialized; the dropped terms are exactly +0.0.
+    const std::vector<int64_t>* hec_a = a.hec().empty() ? nullptr : &a.hec();
+    const std::vector<int64_t>* her_b = b.her().empty() ? nullptr : &b.her();
+    if (hec_a != nullptr) nnz += Dot(*hec_a, b.hr(), par);
+    if (her_b != nullptr) nnz += DotDiffLeft(a.hc(), hec_a, *her_b, par);
     parts.exact_nnz = nnz;
     const double p =
         static_cast<double>(a.non_empty_rows() - a.single_nnz_rows()) *
         static_cast<double>(b.non_empty_cols() - b.single_nnz_cols());
-    const double s = CombineDensityMap(a.hc(), *hec_a, b.hr(), *her_b, p, par);
+    const double s = CombineDensityMap(a.hc(), hec_a, b.hr(), her_b, p, par);
     parts.p = p;
     parts.s = s;
     nnz += s * p;
@@ -206,9 +196,8 @@ ProductEstimateParts EstimateProductParts(const MncSketch& a,
     double p = static_cast<double>(a.non_empty_rows()) *
                static_cast<double>(b.non_empty_cols());
     if (!use_bounds) p = m * l;
-    static const std::vector<int64_t> kNoOffsets;
     const double s =
-        CombineDensityMap(a.hc(), kNoOffsets, b.hr(), kNoOffsets, p, par);
+        CombineDensityMap(a.hc(), nullptr, b.hr(), nullptr, p, par);
     parts.p = p;
     parts.s = s;
     nnz = s * p;
@@ -328,10 +317,8 @@ namespace {
 // Collision factor lambda of Eq. 13: sum_j hcA_j hcB_j / (nnz(A) nnz(B)).
 double CollisionFactorColumns(const MncSketch& a, const MncSketch& b) {
   if (a.nnz() == 0 || b.nnz() == 0) return 0.0;
-  double acc = 0.0;
-  for (size_t j = 0; j < a.hc().size(); ++j) {
-    acc += static_cast<double>(a.hc()[j]) * static_cast<double>(b.hc()[j]);
-  }
+  const double acc = kernels::Active().dot_counts(
+      a.hc().data(), b.hc().data(), static_cast<int64_t>(a.hc().size()));
   return acc / (static_cast<double>(a.nnz()) * static_cast<double>(b.nnz()));
 }
 
@@ -341,13 +328,15 @@ double EstimateEWiseMultNnz(const MncSketch& a, const MncSketch& b) {
   MNC_CHECK_EQ(a.rows(), b.rows());
   MNC_CHECK_EQ(a.cols(), b.cols());
   const double lambda = CollisionFactorColumns(a, b);
+  const int64_t n = static_cast<int64_t>(a.hr().size());
+  ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+  std::vector<double>& est = lease->StageDoubles(static_cast<size_t>(n));
+  kernels::Active().ewise_mult_est(a.hr().data(), b.hr().data(), n, lambda,
+                                   est.data());
+  // Accumulate in scalar index order so the sum is identical on every
+  // kernel level.
   double nnz = 0.0;
-  for (size_t i = 0; i < a.hr().size(); ++i) {
-    const double collisions = static_cast<double>(a.hr()[i]) *
-                              static_cast<double>(b.hr()[i]) * lambda;
-    nnz += std::min(collisions, static_cast<double>(
-                                    std::min(a.hr()[i], b.hr()[i])));
-  }
+  for (int64_t i = 0; i < n; ++i) nnz += est[static_cast<size_t>(i)];
   return nnz;
 }
 
@@ -362,13 +351,20 @@ double EstimateEWiseAddNnz(const MncSketch& a, const MncSketch& b) {
   MNC_CHECK_EQ(a.rows(), b.rows());
   MNC_CHECK_EQ(a.cols(), b.cols());
   const double lambda = CollisionFactorColumns(a, b);
+  const int64_t n = static_cast<int64_t>(a.hr().size());
+  const double cap = static_cast<double>(a.cols());
+  ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+  std::vector<double>& collisions = lease->StageDoubles(static_cast<size_t>(n));
+  kernels::Active().ewise_mult_est(a.hr().data(), b.hr().data(), n, lambda,
+                                   collisions.data());
+  // Note: unlike the Eq. 15 propagation kernel, this estimate has no
+  // max(ha, hb) lower clamp — only the collision staging is vectorized and
+  // the final min/accumulate stays scalar to preserve the historic formula.
   double nnz = 0.0;
-  for (size_t i = 0; i < a.hr().size(); ++i) {
-    const double ha = static_cast<double>(a.hr()[i]);
-    const double hb = static_cast<double>(b.hr()[i]);
-    const double collisions =
-        std::min(ha * hb * lambda, std::min(ha, hb));
-    nnz += std::min(ha + hb - collisions, static_cast<double>(a.cols()));
+  for (int64_t i = 0; i < n; ++i) {
+    const double ha = static_cast<double>(a.hr()[static_cast<size_t>(i)]);
+    const double hb = static_cast<double>(b.hr()[static_cast<size_t>(i)]);
+    nnz += std::min(ha + hb - collisions[static_cast<size_t>(i)], cap);
   }
   return nnz;
 }

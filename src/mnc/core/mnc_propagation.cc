@@ -6,6 +6,8 @@
 #include <functional>
 
 #include "mnc/core/mnc_estimator.h"
+#include "mnc/kernels/kernels.h"
+#include "mnc/util/arena.h"
 #include "mnc/util/check.h"
 
 namespace mnc {
@@ -27,16 +29,21 @@ int64_t RoundCount(double x, RoundingMode mode, Rng& rng) {
 namespace {
 
 // Scales counts so their sum approaches target_nnz, clamping every entry to
-// [0, cap] with probabilistic rounding (Eq. 11).
+// [0, cap] with probabilistic rounding (Eq. 11). The scaling is staged
+// through the vectorized kernel; the round/clamp stays scalar in index order
+// so the PRNG consumption is independent of the kernel level.
 std::vector<int64_t> ScaleCounts(const std::vector<int64_t>& counts,
                                  double source_nnz, double target_nnz,
                                  int64_t cap, Rng& rng, RoundingMode mode) {
   std::vector<int64_t> out(counts.size(), 0);
   if (source_nnz <= 0.0 || target_nnz <= 0.0) return out;
   const double scale = target_nnz / source_nnz;
+  const int64_t n = static_cast<int64_t>(counts.size());
+  ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+  std::vector<double>& scaled = lease->StageDoubles(counts.size());
+  kernels::Active().scale_counts(counts.data(), n, scale, scaled.data());
   for (size_t i = 0; i < counts.size(); ++i) {
-    const double scaled = static_cast<double>(counts[i]) * scale;
-    out[i] = std::clamp<int64_t>(RoundCount(scaled, mode, rng), 0, cap);
+    out[i] = std::clamp<int64_t>(RoundCount(scaled[i], mode, rng), 0, cap);
   }
   return out;
 }
@@ -46,10 +53,8 @@ std::vector<int64_t> ScaleCounts(const std::vector<int64_t>& counts,
 double Lambda(const std::vector<int64_t>& u, const std::vector<int64_t>& v,
               double nnz_a, double nnz_b) {
   if (nnz_a <= 0.0 || nnz_b <= 0.0) return 0.0;
-  double acc = 0.0;
-  for (size_t k = 0; k < u.size(); ++k) {
-    acc += static_cast<double>(u[k]) * static_cast<double>(v[k]);
-  }
+  const double acc = kernels::Active().dot_counts(
+      u.data(), v.data(), static_cast<int64_t>(u.size()));
   return acc / (nnz_a * nnz_b);
 }
 
@@ -58,15 +63,11 @@ double LambdaPar(const std::vector<int64_t>& u, const std::vector<int64_t>& v,
                  double nnz_a, double nnz_b, const ParallelConfig& config,
                  ThreadPool* pool) {
   if (nnz_a <= 0.0 || nnz_b <= 0.0) return 0.0;
+  const kernels::KernelTable& k = kernels::Active();
   const double acc = BlockedSum(
       pool, config, static_cast<int64_t>(u.size()),
       [&](int64_t lo, int64_t hi) {
-        double s = 0.0;
-        for (int64_t k = lo; k < hi; ++k) {
-          s += static_cast<double>(u[static_cast<size_t>(k)]) *
-               static_cast<double>(v[static_cast<size_t>(k)]);
-        }
-        return s;
+        return k.dot_counts(u.data() + lo, v.data() + lo, hi - lo);
       });
   return acc / (nnz_a * nnz_b);
 }
@@ -89,32 +90,44 @@ std::vector<int64_t> ScaleCountsPar(const std::vector<int64_t>& counts,
   if (source_nnz <= 0.0 || target_nnz <= 0.0) return out;
   const double scale = target_nnz / source_nnz;
   const uint64_t stream_seed = MixSeed(seed, stream);
+  const kernels::KernelTable& k = kernels::Active();
   ParallelForBlocks(pool, config, static_cast<int64_t>(counts.size()),
                     [&](int64_t block, int64_t lo, int64_t hi) {
+    // Per-worker staging from the pooled arena: the kernel scales the whole
+    // block, then the PRNG consumes draws in index order as before.
+    ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+    std::vector<double>& scaled =
+        lease->StageDoubles(static_cast<size_t>(hi - lo));
+    k.scale_counts(counts.data() + lo, hi - lo, scale, scaled.data());
     Rng rng(MixSeed(stream_seed, static_cast<uint64_t>(block)));
     for (int64_t i = lo; i < hi; ++i) {
-      const double scaled =
-          static_cast<double>(counts[static_cast<size_t>(i)]) * scale;
-      out[static_cast<size_t>(i)] =
-          std::clamp<int64_t>(RoundCount(scaled, mode, rng), 0, cap);
+      out[static_cast<size_t>(i)] = std::clamp<int64_t>(
+          RoundCount(scaled[static_cast<size_t>(i - lo)], mode, rng), 0, cap);
     }
   });
   return out;
 }
 
-// Parallel Eq. 15 materialization: applies `est` per index and rounds with
-// per-block PRNG streams (same determinism contract as ScaleCountsPar).
-std::vector<int64_t> RoundEstimatesPar(
+// Parallel Eq. 15 materialization: `stage(lo, hi, out)` fills the estimates
+// for one block (typically one vectorized kernel call); rounding then
+// consumes per-block PRNG streams in index order (same determinism contract
+// as ScaleCountsPar).
+std::vector<int64_t> RoundStagedPar(
     int64_t n, uint64_t seed, uint64_t stream, const ParallelConfig& config,
     ThreadPool* pool, RoundingMode mode,
-    const std::function<double(int64_t)>& est) {
+    const std::function<void(int64_t, int64_t, double*)>& stage) {
   std::vector<int64_t> out(static_cast<size_t>(n), 0);
   const uint64_t stream_seed = MixSeed(seed, stream);
   ParallelForBlocks(pool, config, n,
                     [&](int64_t block, int64_t lo, int64_t hi) {
+    ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+    std::vector<double>& est =
+        lease->StageDoubles(static_cast<size_t>(hi - lo));
+    stage(lo, hi, est.data());
     Rng rng(MixSeed(stream_seed, static_cast<uint64_t>(block)));
     for (int64_t i = lo; i < hi; ++i) {
-      out[static_cast<size_t>(i)] = RoundCount(est(i), mode, rng);
+      out[static_cast<size_t>(i)] =
+          RoundCount(est[static_cast<size_t>(i - lo)], mode, rng);
     }
   });
   return out;
@@ -149,23 +162,29 @@ MncSketch PropagateEWiseAdd(const MncSketch& a, const MncSketch& b, Rng& rng,
   const double lambda_r = Lambda(a.hr(), b.hr(), nnz_a, nnz_b);
   const double lambda_c = Lambda(a.hc(), b.hc(), nnz_a, nnz_b);
 
+  // Eq. 15 estimates staged through the vectorized kernel; rounding consumes
+  // the caller's RNG in index order exactly like the original loop.
+  const kernels::KernelTable& k = kernels::Active();
+  ScratchPool::Lease lease = ScratchPool::Global().Acquire();
   std::vector<int64_t> hr(a.hr().size());
-  for (size_t i = 0; i < hr.size(); ++i) {
-    const double ha = static_cast<double>(a.hr()[i]);
-    const double hb = static_cast<double>(b.hr()[i]);
-    const double collisions = std::min(ha * hb * lambda_c, std::min(ha, hb));
-    const double est = std::clamp(ha + hb - collisions, std::max(ha, hb),
-                                  static_cast<double>(a.cols()));
-    hr[i] = RoundCount(est, mode, rng);
+  {
+    std::vector<double>& est = lease->StageDoubles(hr.size());
+    k.ewise_add_est(a.hr().data(), b.hr().data(),
+                    static_cast<int64_t>(hr.size()), lambda_c,
+                    static_cast<double>(a.cols()), est.data());
+    for (size_t i = 0; i < hr.size(); ++i) {
+      hr[i] = RoundCount(est[i], mode, rng);
+    }
   }
   std::vector<int64_t> hc(a.hc().size());
-  for (size_t j = 0; j < hc.size(); ++j) {
-    const double ha = static_cast<double>(a.hc()[j]);
-    const double hb = static_cast<double>(b.hc()[j]);
-    const double collisions = std::min(ha * hb * lambda_r, std::min(ha, hb));
-    const double est = std::clamp(ha + hb - collisions, std::max(ha, hb),
-                                  static_cast<double>(a.rows()));
-    hc[j] = RoundCount(est, mode, rng);
+  {
+    std::vector<double>& est = lease->StageDoubles(hc.size());
+    k.ewise_add_est(a.hc().data(), b.hc().data(),
+                    static_cast<int64_t>(hc.size()), lambda_r,
+                    static_cast<double>(a.rows()), est.data());
+    for (size_t j = 0; j < hc.size(); ++j) {
+      hc[j] = RoundCount(est[j], mode, rng);
+    }
   }
   return MncSketch::FromCounts(a.rows(), a.cols(), std::move(hr),
                                std::move(hc));
@@ -204,23 +223,18 @@ MncSketch PropagateEWiseAdd(const MncSketch& a, const MncSketch& b,
   const double lambda_c = LambdaPar(a.hc(), b.hc(), nnz_a, nnz_b, config,
                                     pool);
 
-  std::vector<int64_t> hr = RoundEstimatesPar(
-      a.rows(), seed, kStreamHr, config, pool, mode, [&](int64_t i) {
-        const double ha = static_cast<double>(a.hr()[static_cast<size_t>(i)]);
-        const double hb = static_cast<double>(b.hr()[static_cast<size_t>(i)]);
-        const double collisions =
-            std::min(ha * hb * lambda_c, std::min(ha, hb));
-        return std::clamp(ha + hb - collisions, std::max(ha, hb),
-                          static_cast<double>(a.cols()));
+  const kernels::KernelTable& k = kernels::Active();
+  std::vector<int64_t> hr = RoundStagedPar(
+      a.rows(), seed, kStreamHr, config, pool, mode,
+      [&](int64_t lo, int64_t hi, double* est) {
+        k.ewise_add_est(a.hr().data() + lo, b.hr().data() + lo, hi - lo,
+                        lambda_c, static_cast<double>(a.cols()), est);
       });
-  std::vector<int64_t> hc = RoundEstimatesPar(
-      a.cols(), seed, kStreamHc, config, pool, mode, [&](int64_t j) {
-        const double ha = static_cast<double>(a.hc()[static_cast<size_t>(j)]);
-        const double hb = static_cast<double>(b.hc()[static_cast<size_t>(j)]);
-        const double collisions =
-            std::min(ha * hb * lambda_r, std::min(ha, hb));
-        return std::clamp(ha + hb - collisions, std::max(ha, hb),
-                          static_cast<double>(a.rows()));
+  std::vector<int64_t> hc = RoundStagedPar(
+      a.cols(), seed, kStreamHc, config, pool, mode,
+      [&](int64_t lo, int64_t hi, double* est) {
+        k.ewise_add_est(a.hc().data() + lo, b.hc().data() + lo, hi - lo,
+                        lambda_r, static_cast<double>(a.rows()), est);
       });
   return MncSketch::FromCounts(a.rows(), a.cols(), std::move(hr),
                                std::move(hc));
@@ -238,17 +252,18 @@ MncSketch PropagateEWiseMult(const MncSketch& a, const MncSketch& b,
   const double lambda_c = LambdaPar(a.hc(), b.hc(), nnz_a, nnz_b, config,
                                     pool);
 
-  std::vector<int64_t> hr = RoundEstimatesPar(
-      a.rows(), seed, kStreamHr, config, pool, mode, [&](int64_t i) {
-        const double ha = static_cast<double>(a.hr()[static_cast<size_t>(i)]);
-        const double hb = static_cast<double>(b.hr()[static_cast<size_t>(i)]);
-        return std::min(ha * hb * lambda_c, std::min(ha, hb));
+  const kernels::KernelTable& k = kernels::Active();
+  std::vector<int64_t> hr = RoundStagedPar(
+      a.rows(), seed, kStreamHr, config, pool, mode,
+      [&](int64_t lo, int64_t hi, double* est) {
+        k.ewise_mult_est(a.hr().data() + lo, b.hr().data() + lo, hi - lo,
+                         lambda_c, est);
       });
-  std::vector<int64_t> hc = RoundEstimatesPar(
-      a.cols(), seed, kStreamHc, config, pool, mode, [&](int64_t j) {
-        const double ha = static_cast<double>(a.hc()[static_cast<size_t>(j)]);
-        const double hb = static_cast<double>(b.hc()[static_cast<size_t>(j)]);
-        return std::min(ha * hb * lambda_r, std::min(ha, hb));
+  std::vector<int64_t> hc = RoundStagedPar(
+      a.cols(), seed, kStreamHc, config, pool, mode,
+      [&](int64_t lo, int64_t hi, double* est) {
+        k.ewise_mult_est(a.hc().data() + lo, b.hc().data() + lo, hi - lo,
+                         lambda_r, est);
       });
   return MncSketch::FromCounts(a.rows(), a.cols(), std::move(hr),
                                std::move(hc));
@@ -263,19 +278,25 @@ MncSketch PropagateEWiseMult(const MncSketch& a, const MncSketch& b, Rng& rng,
   const double lambda_r = Lambda(a.hr(), b.hr(), nnz_a, nnz_b);
   const double lambda_c = Lambda(a.hc(), b.hc(), nnz_a, nnz_b);
 
+  const kernels::KernelTable& k = kernels::Active();
+  ScratchPool::Lease lease = ScratchPool::Global().Acquire();
   std::vector<int64_t> hr(a.hr().size());
-  for (size_t i = 0; i < hr.size(); ++i) {
-    const double ha = static_cast<double>(a.hr()[i]);
-    const double hb = static_cast<double>(b.hr()[i]);
-    const double est = std::min(ha * hb * lambda_c, std::min(ha, hb));
-    hr[i] = RoundCount(est, mode, rng);
+  {
+    std::vector<double>& est = lease->StageDoubles(hr.size());
+    k.ewise_mult_est(a.hr().data(), b.hr().data(),
+                     static_cast<int64_t>(hr.size()), lambda_c, est.data());
+    for (size_t i = 0; i < hr.size(); ++i) {
+      hr[i] = RoundCount(est[i], mode, rng);
+    }
   }
   std::vector<int64_t> hc(a.hc().size());
-  for (size_t j = 0; j < hc.size(); ++j) {
-    const double ha = static_cast<double>(a.hc()[j]);
-    const double hb = static_cast<double>(b.hc()[j]);
-    const double est = std::min(ha * hb * lambda_r, std::min(ha, hb));
-    hc[j] = RoundCount(est, mode, rng);
+  {
+    std::vector<double>& est = lease->StageDoubles(hc.size());
+    k.ewise_mult_est(a.hc().data(), b.hc().data(),
+                     static_cast<int64_t>(hc.size()), lambda_r, est.data());
+    for (size_t j = 0; j < hc.size(); ++j) {
+      hc[j] = RoundCount(est[j], mode, rng);
+    }
   }
   return MncSketch::FromCounts(a.rows(), a.cols(), std::move(hr),
                                std::move(hc));

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "mnc/kernels/kernels.h"
+
 namespace mnc {
 
 BitMatrix::BitMatrix(int64_t rows, int64_t cols)
@@ -41,9 +43,21 @@ void BitMatrix::Set(int64_t i, int64_t j) {
 }
 
 int64_t BitMatrix::PopCount() const {
-  int64_t count = 0;
-  for (uint64_t w : words_) count += std::popcount(w);
-  return count;
+  return kernels::Active().popcount_words(
+      words_.data(), static_cast<int64_t>(words_.size()));
+}
+
+int64_t BitMatrix::AndPopCount(const BitMatrix& other) const {
+  MNC_CHECK_EQ(rows_, other.rows_);
+  MNC_CHECK_EQ(cols_, other.cols_);
+  return kernels::Active().and_popcount_words(
+      words_.data(), other.words_.data(), static_cast<int64_t>(words_.size()));
+}
+
+int64_t BitMatrix::OrPopCount(const BitMatrix& other) const {
+  // |A u B| = |A| + |B| - |A n B|, so the union popcount also needs no
+  // materialized result matrix.
+  return PopCount() + other.PopCount() - AndPopCount(other);
 }
 
 BitMatrix BitMatrix::MultiplyBool(const BitMatrix& other,
@@ -51,6 +65,7 @@ BitMatrix BitMatrix::MultiplyBool(const BitMatrix& other,
   MNC_CHECK_EQ(cols_, other.rows_);
   BitMatrix out(rows_, other.cols_);
   const int64_t out_words = out.words_per_row_;
+  const kernels::KernelTable& kt = kernels::Active();
   auto compute_rows = [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       uint64_t* oi = out.row(i);
@@ -60,10 +75,7 @@ BitMatrix BitMatrix::MultiplyBool(const BitMatrix& other,
         while (word != 0) {
           const int bit = std::countr_zero(word);
           word &= word - 1;
-          const uint64_t* bk = other.row(kw * 64 + bit);
-          for (int64_t w = 0; w < out_words; ++w) {
-            oi[w] |= bk[w];
-          }
+          kt.or_into(oi, other.row(kw * 64 + bit), out_words);
         }
       }
     }
@@ -83,9 +95,9 @@ BitMatrix BitMatrix::Or(const BitMatrix& other) const {
   MNC_CHECK_EQ(rows_, other.rows_);
   MNC_CHECK_EQ(cols_, other.cols_);
   BitMatrix out(rows_, cols_);
-  for (size_t w = 0; w < words_.size(); ++w) {
-    out.words_[w] = words_[w] | other.words_[w];
-  }
+  kernels::Active().or_words(out.words_.data(), words_.data(),
+                             other.words_.data(),
+                             static_cast<int64_t>(words_.size()));
   return out;
 }
 
@@ -93,9 +105,9 @@ BitMatrix BitMatrix::And(const BitMatrix& other) const {
   MNC_CHECK_EQ(rows_, other.rows_);
   MNC_CHECK_EQ(cols_, other.cols_);
   BitMatrix out(rows_, cols_);
-  for (size_t w = 0; w < words_.size(); ++w) {
-    out.words_[w] = words_[w] & other.words_[w];
-  }
+  kernels::Active().and_words(out.words_.data(), words_.data(),
+                              other.words_.data(),
+                              static_cast<int64_t>(words_.size()));
   return out;
 }
 
@@ -191,11 +203,9 @@ BitMatrix BitsetEstimator::Apply(OpKind op, const SynopsisPtr& a,
     case OpKind::kColSums: {
       BitMatrix out(1, ba.cols());
       uint64_t* o = out.row(0);
+      const kernels::KernelTable& kt = kernels::Active();
       for (int64_t i = 0; i < ba.rows(); ++i) {
-        const uint64_t* ri = ba.row(i);
-        for (int64_t w = 0; w < ba.words_per_row(); ++w) {
-          o[w] |= ri[w];
-        }
+        kt.or_into(o, ba.row(i), ba.words_per_row());
       }
       return out;
     }
@@ -256,6 +266,21 @@ BitMatrix BitsetEstimator::Apply(OpKind op, const SynopsisPtr& a,
 double BitsetEstimator::EstimateSparsity(OpKind op, const SynopsisPtr& a,
                                          const SynopsisPtr& b,
                                          int64_t out_rows, int64_t out_cols) {
+  // Elementwise intersections/unions reduce straight to a fused popcount —
+  // no output bit-matrix is materialized (same exact integer count).
+  if (op == OpKind::kEWiseMult || op == OpKind::kEWiseMin ||
+      op == OpKind::kEWiseAdd || op == OpKind::kEWiseMax) {
+    const BitMatrix& ba = As<BitsetSynopsis>(a).bits();
+    const BitMatrix& bb = As<BitsetSynopsis>(b).bits();
+    const double cells =
+        static_cast<double>(ba.rows()) * static_cast<double>(ba.cols());
+    if (cells == 0.0) return 0.0;
+    const int64_t count =
+        (op == OpKind::kEWiseMult || op == OpKind::kEWiseMin)
+            ? ba.AndPopCount(bb)
+            : ba.OrPopCount(bb);
+    return static_cast<double>(count) / cells;
+  }
   const BitMatrix out = Apply(op, a, b, out_rows, out_cols);
   const double cells =
       static_cast<double>(out.rows()) * static_cast<double>(out.cols());

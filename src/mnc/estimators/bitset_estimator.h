@@ -39,6 +39,11 @@ class BitMatrix {
   // Number of set bits.
   int64_t PopCount() const;
 
+  // Fused popcount(this AND/OR other) without materializing the result —
+  // the Eq. 3 intersection/union cardinalities. Requires equal shapes.
+  int64_t AndPopCount(const BitMatrix& other) const;
+  int64_t OrPopCount(const BitMatrix& other) const;
+
   // Boolean matrix product (AND/OR), optionally parallel over output rows.
   BitMatrix MultiplyBool(const BitMatrix& other,
                          ThreadPool* pool = nullptr) const;

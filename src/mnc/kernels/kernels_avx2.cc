@@ -1,0 +1,300 @@
+// AVX2 kernels (x86-64). Compiled into every x86-64 build via per-function
+// target attributes — no global -mavx2 needed — and selected at runtime only
+// when cpuid reports AVX2 (mnc/util/simd.h). Numeric contract: identical to
+// scalar except for dot-reduction reassociation; see kernels.h.
+//
+// int64 counts are converted to double with the 2^52 bias trick (AVX2 has no
+// vcvtqq2pd), which is exact for counts in [0, 2^52) — the documented kernel
+// precondition. The conversion, subtraction, multiply, divide and min each
+// perform the same single IEEE rounding as their scalar counterparts, so all
+// elementwise kernels match scalar bit-for-bit.
+
+#include "mnc/kernels/kernels_internal.h"
+
+#if MNC_SIMD_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cmath>
+
+#define MNC_AVX2_FN __attribute__((target("avx2,popcnt")))
+
+namespace mnc {
+namespace kernels {
+namespace {
+
+// Exact int64 -> double conversion for values in [0, 2^52).
+MNC_AVX2_FN inline __m256d CvtCounts(__m256i x) {
+  const __m256d bias = _mm256_set1_pd(4503599627370496.0);  // 2^52
+  const __m256i biased = _mm256_or_si256(x, _mm256_castpd_si256(bias));
+  return _mm256_sub_pd(_mm256_castsi256_pd(biased), bias);
+}
+
+MNC_AVX2_FN inline __m256i LoadI64(const int64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+// Sums the four lanes in ascending lane order (fixed, thread-invariant).
+MNC_AVX2_FN inline double ReduceLanesOrdered(__m256d v) {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, v);
+  return ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+}
+
+MNC_AVX2_FN double DotCounts(const int64_t* u, const int64_t* v, int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  int64_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m256d u0 = CvtCounts(LoadI64(u + k));
+    const __m256d u1 = CvtCounts(LoadI64(u + k + 4));
+    const __m256d v0 = CvtCounts(LoadI64(v + k));
+    const __m256d v1 = CvtCounts(LoadI64(v + k + 4));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(u0, v0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(u1, v1));
+  }
+  double acc = ReduceLanesOrdered(_mm256_add_pd(acc0, acc1));
+  for (; k < n; ++k) {
+    acc += static_cast<double>(u[k]) * static_cast<double>(v[k]);
+  }
+  return acc;
+}
+
+MNC_AVX2_FN double DotCountsDiff(const int64_t* u, const int64_t* du,
+                                 const int64_t* v, int64_t n) {
+  if (du == nullptr) return DotCounts(u, v, n);
+  __m256d acc0 = _mm256_setzero_pd();
+  int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    // Convert-then-subtract: exact for counts < 2^52 (any sign of the
+    // difference), hence identical to the scalar int-subtract-then-convert.
+    const __m256d uk =
+        _mm256_sub_pd(CvtCounts(LoadI64(u + k)), CvtCounts(LoadI64(du + k)));
+    const __m256d vk = CvtCounts(LoadI64(v + k));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(uk, vk));
+  }
+  double acc = ReduceLanesOrdered(acc0);
+  for (; k < n; ++k) {
+    acc += static_cast<double>(u[k] - du[k]) * static_cast<double>(v[k]);
+  }
+  return acc;
+}
+
+MNC_AVX2_FN CombineAccum DensityCombine(const int64_t* u, const int64_t* du,
+                                        const int64_t* v, const int64_t* dv,
+                                        int64_t n, double p) {
+  CombineAccum result;
+  const __m256i zero_i = _mm256_setzero_si256();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d pv = _mm256_set1_pd(p);
+  alignas(32) double cell[4];
+  int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    __m256i iu = LoadI64(u + k);
+    __m256i iv = LoadI64(v + k);
+    if (du != nullptr) iu = _mm256_sub_epi64(iu, LoadI64(du + k));
+    if (dv != nullptr) iv = _mm256_sub_epi64(iv, LoadI64(dv + k));
+    // Liveness in the integer domain: int64 subtraction is exact and the
+    // scalar double compare sees exactly-converted integers, so (count > 0)
+    // agrees bit-for-bit — and all-dead groups (the common case on
+    // hyper-sparse count vectors) skip the convert/divide pipeline
+    // entirely.
+    const __m256i live_i = _mm256_and_si256(_mm256_cmpgt_epi64(iu, zero_i),
+                                            _mm256_cmpgt_epi64(iv, zero_i));
+    const __m256d live = _mm256_castsi256_pd(live_i);
+    const int live_mask = _mm256_movemask_pd(live);
+    if (live_mask == 0) continue;  // all lanes skipped, as in scalar
+    // CvtCounts is exact only for non-negative inputs; a negative
+    // difference in a dead lane converts to garbage, but every use below is
+    // masked by `live`.
+    const __m256d uk = CvtCounts(iu);
+    const __m256d vk = CvtCounts(iv);
+    // Same rounding sequence as scalar: (uk * vk), then / p, then min.
+    const __m256d q = _mm256_div_pd(_mm256_mul_pd(uk, vk), pv);
+    const __m256d c = _mm256_min_pd(one, q);
+    const int certain_mask = _mm256_movemask_pd(
+        _mm256_and_pd(live, _mm256_cmp_pd(c, one, _CMP_GE_OQ)));
+    if (certain_mask != 0) {
+      // A certain hit ends the scan; callers ignore log_zero_prob (Eq. 4
+      // early break).
+      result.certain = true;
+      return result;
+    }
+    _mm256_store_pd(cell, c);
+    for (int lane = 0; lane < 4; ++lane) {
+      if (live_mask & (1 << lane)) {
+        result.log_zero_prob += std::log1p(-cell[lane]);
+      }
+    }
+  }
+  for (; k < n; ++k) {
+    double uk = static_cast<double>(u[k]);
+    double vk = static_cast<double>(v[k]);
+    if (du != nullptr) uk -= static_cast<double>(du[k]);
+    if (dv != nullptr) vk -= static_cast<double>(dv[k]);
+    if (uk <= 0.0 || vk <= 0.0) continue;
+    const double cell_prob = std::min(1.0, uk * vk / p);
+    if (cell_prob >= 1.0) {
+      result.certain = true;
+      return result;
+    }
+    result.log_zero_prob += std::log1p(-cell_prob);
+  }
+  return result;
+}
+
+MNC_AVX2_FN void ScaleCounts(const int64_t* counts, int64_t n, double scale,
+                             double* out) {
+  const __m256d s = _mm256_set1_pd(scale);
+  int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    _mm256_storeu_pd(out + k, _mm256_mul_pd(CvtCounts(LoadI64(counts + k)), s));
+  }
+  for (; k < n; ++k) out[k] = static_cast<double>(counts[k]) * scale;
+}
+
+MNC_AVX2_FN void EWiseMultEst(const int64_t* a, const int64_t* b, int64_t n,
+                              double lambda, double* out) {
+  const __m256d lam = _mm256_set1_pd(lambda);
+  int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d ha = CvtCounts(LoadI64(a + k));
+    const __m256d hb = CvtCounts(LoadI64(b + k));
+    const __m256d coll = _mm256_mul_pd(_mm256_mul_pd(ha, hb), lam);
+    _mm256_storeu_pd(out + k,
+                     _mm256_min_pd(coll, _mm256_min_pd(ha, hb)));
+  }
+  for (; k < n; ++k) {
+    const double ha = static_cast<double>(a[k]);
+    const double hb = static_cast<double>(b[k]);
+    out[k] = std::min(ha * hb * lambda, std::min(ha, hb));
+  }
+}
+
+MNC_AVX2_FN void EWiseAddEst(const int64_t* a, const int64_t* b, int64_t n,
+                             double lambda, double cap, double* out) {
+  const __m256d lam = _mm256_set1_pd(lambda);
+  const __m256d hi = _mm256_set1_pd(cap);
+  int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d ha = CvtCounts(LoadI64(a + k));
+    const __m256d hb = CvtCounts(LoadI64(b + k));
+    const __m256d coll = _mm256_min_pd(_mm256_mul_pd(_mm256_mul_pd(ha, hb), lam),
+                                       _mm256_min_pd(ha, hb));
+    const __m256d est = _mm256_sub_pd(_mm256_add_pd(ha, hb), coll);
+    const __m256d lo = _mm256_max_pd(ha, hb);
+    _mm256_storeu_pd(out + k, _mm256_min_pd(_mm256_max_pd(est, lo), hi));
+  }
+  for (; k < n; ++k) {
+    const double ha = static_cast<double>(a[k]);
+    const double hb = static_cast<double>(b[k]);
+    const double collisions = std::min(ha * hb * lambda, std::min(ha, hb));
+    out[k] = std::clamp(ha + hb - collisions, std::max(ha, hb), cap);
+  }
+}
+
+MNC_AVX2_FN inline __m256i LoadU64(const uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+MNC_AVX2_FN inline void StoreU64(uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+MNC_AVX2_FN void OrInto(uint64_t* dst, const uint64_t* src, int64_t n) {
+  int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    StoreU64(dst + k, _mm256_or_si256(LoadU64(dst + k), LoadU64(src + k)));
+  }
+  for (; k < n; ++k) dst[k] |= src[k];
+}
+
+MNC_AVX2_FN void OrWords(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                         int64_t n) {
+  int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    StoreU64(dst + k, _mm256_or_si256(LoadU64(a + k), LoadU64(b + k)));
+  }
+  for (; k < n; ++k) dst[k] = a[k] | b[k];
+}
+
+MNC_AVX2_FN void AndWords(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                          int64_t n) {
+  int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    StoreU64(dst + k, _mm256_and_si256(LoadU64(a + k), LoadU64(b + k)));
+  }
+  for (; k < n; ++k) dst[k] = a[k] & b[k];
+}
+
+// Per-byte popcount of a 256-bit vector via the nibble lookup, horizontally
+// summed into four u64 lanes (Muła's method).
+MNC_AVX2_FN inline __m256i PopcountLanes(__m256i v) {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1,
+                       2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                         _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+MNC_AVX2_FN inline int64_t ReduceLanesI64(__m256i v) {
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+MNC_AVX2_FN int64_t PopCountWords(const uint64_t* w, int64_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc = _mm256_add_epi64(acc, PopcountLanes(LoadU64(w + k)));
+  }
+  int64_t count = ReduceLanesI64(acc);
+  for (; k < n; ++k) count += std::popcount(w[k]);
+  return count;
+}
+
+MNC_AVX2_FN int64_t AndPopCountWords(const uint64_t* a, const uint64_t* b,
+                                     int64_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc = _mm256_add_epi64(
+        acc, PopcountLanes(_mm256_and_si256(LoadU64(a + k), LoadU64(b + k))));
+  }
+  int64_t count = ReduceLanesI64(acc);
+  for (; k < n; ++k) count += std::popcount(a[k] & b[k]);
+  return count;
+}
+
+const KernelTable kAvx2Table = {
+    DotCounts,    DotCountsDiff, DensityCombine, ScaleCounts,
+    EWiseMultEst, EWiseAddEst,   OrInto,         OrWords,
+    AndWords,     PopCountWords, AndPopCountWords,
+};
+
+}  // namespace
+
+namespace internal {
+const KernelTable* GetAvx2KernelTable() { return &kAvx2Table; }
+}  // namespace internal
+
+}  // namespace kernels
+}  // namespace mnc
+
+#else  // !MNC_SIMD_HAVE_AVX2
+
+namespace mnc {
+namespace kernels {
+namespace internal {
+const KernelTable* GetAvx2KernelTable() { return nullptr; }
+}  // namespace internal
+}  // namespace kernels
+}  // namespace mnc
+
+#endif  // MNC_SIMD_HAVE_AVX2

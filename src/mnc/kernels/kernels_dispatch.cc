@@ -1,0 +1,85 @@
+// Kernel dispatch: resolves the active KernelTable once per process from
+// BestSupportedSimdLevel() (which itself honors the MNC_SIMD env override),
+// with an atomic test/bench override installed by ScopedForceKernels.
+
+#include <atomic>
+
+#include "mnc/kernels/kernels_internal.h"
+
+namespace mnc {
+namespace kernels {
+namespace {
+
+struct LevelTable {
+  const KernelTable* table;
+  SimdLevel level;  // level the table actually implements (after fallback)
+};
+
+LevelTable Resolve(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      if (const KernelTable* t = internal::GetAvx2KernelTable();
+          t != nullptr && SimdLevelSupported(SimdLevel::kAvx2)) {
+        return {t, SimdLevel::kAvx2};
+      }
+      break;
+    case SimdLevel::kNeon:
+      if (const KernelTable* t = internal::GetNeonKernelTable();
+          t != nullptr && SimdLevelSupported(SimdLevel::kNeon)) {
+        return {t, SimdLevel::kNeon};
+      }
+      break;
+    case SimdLevel::kScalar:
+      break;
+  }
+  return {internal::GetScalarKernelTable(), SimdLevel::kScalar};
+}
+
+const LevelTable& Dispatched() {
+  static const LevelTable resolved = Resolve(BestSupportedSimdLevel());
+  return resolved;
+}
+
+// ScopedForceKernels override. Encoded as level+1 so 0 means "no override";
+// published atomically for concurrent kernel callers.
+std::atomic<int> g_forced_level{0};
+
+}  // namespace
+
+const KernelTable& ScalarKernels() { return *internal::GetScalarKernelTable(); }
+
+const KernelTable& KernelsForLevel(SimdLevel level) {
+  return *Resolve(level).table;
+}
+
+const KernelTable& Active() {
+  const int forced = g_forced_level.load(std::memory_order_acquire);
+  if (forced != 0) {
+    return *Resolve(static_cast<SimdLevel>(forced - 1)).table;
+  }
+  return *Dispatched().table;
+}
+
+SimdLevel ActiveLevel() {
+  const int forced = g_forced_level.load(std::memory_order_acquire);
+  if (forced != 0) {
+    return Resolve(static_cast<SimdLevel>(forced - 1)).level;
+  }
+  return Dispatched().level;
+}
+
+ScopedForceKernels::ScopedForceKernels(SimdLevel level) {
+  const int previous = g_forced_level.load(std::memory_order_acquire);
+  had_previous_ = previous != 0;
+  previous_ = had_previous_ ? static_cast<SimdLevel>(previous - 1)
+                            : SimdLevel::kScalar;
+  g_forced_level.store(static_cast<int>(level) + 1, std::memory_order_release);
+}
+
+ScopedForceKernels::~ScopedForceKernels() {
+  g_forced_level.store(had_previous_ ? static_cast<int>(previous_) + 1 : 0,
+                       std::memory_order_release);
+}
+
+}  // namespace kernels
+}  // namespace mnc

@@ -1,0 +1,23 @@
+// Internal wiring between the kernel backends and the dispatcher. Each
+// backend TU defines its Get*KernelTable() to return its table, or nullptr
+// when the backend is not compiled into this build (the dispatcher then
+// falls back to scalar).
+
+#ifndef MNC_KERNELS_KERNELS_INTERNAL_H_
+#define MNC_KERNELS_KERNELS_INTERNAL_H_
+
+#include "mnc/kernels/kernels.h"
+
+namespace mnc {
+namespace kernels {
+namespace internal {
+
+const KernelTable* GetScalarKernelTable();  // never nullptr
+const KernelTable* GetAvx2KernelTable();
+const KernelTable* GetNeonKernelTable();
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace mnc
+
+#endif  // MNC_KERNELS_KERNELS_INTERNAL_H_

@@ -1,0 +1,226 @@
+// NEON kernels (aarch64). NEON is architectural on aarch64 so, unlike AVX2,
+// no cpuid gate is needed — compiled in means runnable. aarch64 has a native
+// exact int64 -> double convert (FCVTF via vcvtq_f64_s64), so the count
+// conversion needs no bias trick. Same numeric contract as AVX2: identical
+// to scalar except for dot-reduction reassociation (kernels.h).
+
+#include "mnc/kernels/kernels_internal.h"
+
+#if MNC_SIMD_HAVE_NEON
+
+#include <arm_neon.h>
+
+#include <bit>
+#include <cmath>
+
+namespace mnc {
+namespace kernels {
+namespace {
+
+inline float64x2_t CvtCounts(const int64_t* p) {
+  return vcvtq_f64_s64(vld1q_s64(p));
+}
+
+double DotCounts(const int64_t* u, const int64_t* v, int64_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc0 = vfmaq_f64(acc0, CvtCounts(u + k), CvtCounts(v + k));
+    acc1 = vfmaq_f64(acc1, CvtCounts(u + k + 2), CvtCounts(v + k + 2));
+  }
+  // Fixed lane-order reduction. Note vfmaq fuses the multiply-add; the dot
+  // contract already allows reduction-only differences from scalar, and the
+  // fused product of integer-valued doubles below 2^53 is still exact.
+  const float64x2_t acc01 = vaddq_f64(acc0, acc1);
+  double acc = vgetq_lane_f64(acc01, 0) + vgetq_lane_f64(acc01, 1);
+  for (; k < n; ++k) {
+    acc += static_cast<double>(u[k]) * static_cast<double>(v[k]);
+  }
+  return acc;
+}
+
+double DotCountsDiff(const int64_t* u, const int64_t* du, const int64_t* v,
+                     int64_t n) {
+  if (du == nullptr) return DotCounts(u, v, n);
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  int64_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const float64x2_t uk = vsubq_f64(CvtCounts(u + k), CvtCounts(du + k));
+    acc0 = vfmaq_f64(acc0, uk, CvtCounts(v + k));
+  }
+  double acc = vgetq_lane_f64(acc0, 0) + vgetq_lane_f64(acc0, 1);
+  for (; k < n; ++k) {
+    acc += static_cast<double>(u[k] - du[k]) * static_cast<double>(v[k]);
+  }
+  return acc;
+}
+
+CombineAccum DensityCombine(const int64_t* u, const int64_t* du,
+                            const int64_t* v, const int64_t* dv, int64_t n,
+                            double p) {
+  CombineAccum result;
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t pv = vdupq_n_f64(p);
+  double cell[2];
+  int64_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    float64x2_t uk = CvtCounts(u + k);
+    float64x2_t vk = CvtCounts(v + k);
+    if (du != nullptr) uk = vsubq_f64(uk, CvtCounts(du + k));
+    if (dv != nullptr) vk = vsubq_f64(vk, CvtCounts(dv + k));
+    const uint64x2_t live =
+        vandq_u64(vcgtq_f64(uk, zero), vcgtq_f64(vk, zero));
+    const uint64_t live0 = vgetq_lane_u64(live, 0);
+    const uint64_t live1 = vgetq_lane_u64(live, 1);
+    if ((live0 | live1) == 0) continue;
+    // Same rounding sequence as scalar: (uk * vk), then / p, then min.
+    const float64x2_t q = vdivq_f64(vmulq_f64(uk, vk), pv);
+    const float64x2_t c = vminq_f64(one, q);
+    const uint64x2_t certain = vandq_u64(live, vcgeq_f64(c, one));
+    if ((vgetq_lane_u64(certain, 0) | vgetq_lane_u64(certain, 1)) != 0) {
+      result.certain = true;  // callers ignore log_zero_prob (Eq. 4 break)
+      return result;
+    }
+    vst1q_f64(cell, c);
+    if (live0) result.log_zero_prob += std::log1p(-cell[0]);
+    if (live1) result.log_zero_prob += std::log1p(-cell[1]);
+  }
+  for (; k < n; ++k) {
+    double uk = static_cast<double>(u[k]);
+    double vk = static_cast<double>(v[k]);
+    if (du != nullptr) uk -= static_cast<double>(du[k]);
+    if (dv != nullptr) vk -= static_cast<double>(dv[k]);
+    if (uk <= 0.0 || vk <= 0.0) continue;
+    const double cell_prob = std::min(1.0, uk * vk / p);
+    if (cell_prob >= 1.0) {
+      result.certain = true;
+      return result;
+    }
+    result.log_zero_prob += std::log1p(-cell_prob);
+  }
+  return result;
+}
+
+void ScaleCounts(const int64_t* counts, int64_t n, double scale, double* out) {
+  const float64x2_t s = vdupq_n_f64(scale);
+  int64_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    vst1q_f64(out + k, vmulq_f64(CvtCounts(counts + k), s));
+  }
+  for (; k < n; ++k) out[k] = static_cast<double>(counts[k]) * scale;
+}
+
+void EWiseMultEst(const int64_t* a, const int64_t* b, int64_t n, double lambda,
+                  double* out) {
+  const float64x2_t lam = vdupq_n_f64(lambda);
+  int64_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const float64x2_t ha = CvtCounts(a + k);
+    const float64x2_t hb = CvtCounts(b + k);
+    const float64x2_t coll = vmulq_f64(vmulq_f64(ha, hb), lam);
+    vst1q_f64(out + k, vminq_f64(coll, vminq_f64(ha, hb)));
+  }
+  for (; k < n; ++k) {
+    const double ha = static_cast<double>(a[k]);
+    const double hb = static_cast<double>(b[k]);
+    out[k] = std::min(ha * hb * lambda, std::min(ha, hb));
+  }
+}
+
+void EWiseAddEst(const int64_t* a, const int64_t* b, int64_t n, double lambda,
+                 double cap, double* out) {
+  const float64x2_t lam = vdupq_n_f64(lambda);
+  const float64x2_t hi = vdupq_n_f64(cap);
+  int64_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const float64x2_t ha = CvtCounts(a + k);
+    const float64x2_t hb = CvtCounts(b + k);
+    const float64x2_t coll =
+        vminq_f64(vmulq_f64(vmulq_f64(ha, hb), lam), vminq_f64(ha, hb));
+    const float64x2_t est = vsubq_f64(vaddq_f64(ha, hb), coll);
+    const float64x2_t lo = vmaxq_f64(ha, hb);
+    vst1q_f64(out + k, vminq_f64(vmaxq_f64(est, lo), hi));
+  }
+  for (; k < n; ++k) {
+    const double ha = static_cast<double>(a[k]);
+    const double hb = static_cast<double>(b[k]);
+    const double collisions = std::min(ha * hb * lambda, std::min(ha, hb));
+    out[k] = std::clamp(ha + hb - collisions, std::max(ha, hb), cap);
+  }
+}
+
+void OrInto(uint64_t* dst, const uint64_t* src, int64_t n) {
+  int64_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    vst1q_u64(dst + k, vorrq_u64(vld1q_u64(dst + k), vld1q_u64(src + k)));
+  }
+  for (; k < n; ++k) dst[k] |= src[k];
+}
+
+void OrWords(uint64_t* dst, const uint64_t* a, const uint64_t* b, int64_t n) {
+  int64_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    vst1q_u64(dst + k, vorrq_u64(vld1q_u64(a + k), vld1q_u64(b + k)));
+  }
+  for (; k < n; ++k) dst[k] = a[k] | b[k];
+}
+
+void AndWords(uint64_t* dst, const uint64_t* a, const uint64_t* b, int64_t n) {
+  int64_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    vst1q_u64(dst + k, vandq_u64(vld1q_u64(a + k), vld1q_u64(b + k)));
+  }
+  for (; k < n; ++k) dst[k] = a[k] & b[k];
+}
+
+// Set bits in one 128-bit chunk: per-byte CNT summed across the vector.
+inline int64_t Popcount128(uint64x2_t v) {
+  return static_cast<int64_t>(vaddlvq_u8(vcntq_u8(vreinterpretq_u8_u64(v))));
+}
+
+int64_t PopCountWords(const uint64_t* w, int64_t n) {
+  int64_t count = 0;
+  int64_t k = 0;
+  for (; k + 2 <= n; k += 2) count += Popcount128(vld1q_u64(w + k));
+  for (; k < n; ++k) count += std::popcount(w[k]);
+  return count;
+}
+
+int64_t AndPopCountWords(const uint64_t* a, const uint64_t* b, int64_t n) {
+  int64_t count = 0;
+  int64_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    count += Popcount128(vandq_u64(vld1q_u64(a + k), vld1q_u64(b + k)));
+  }
+  for (; k < n; ++k) count += std::popcount(a[k] & b[k]);
+  return count;
+}
+
+const KernelTable kNeonTable = {
+    DotCounts,    DotCountsDiff, DensityCombine, ScaleCounts,
+    EWiseMultEst, EWiseAddEst,   OrInto,         OrWords,
+    AndWords,     PopCountWords, AndPopCountWords,
+};
+
+}  // namespace
+
+namespace internal {
+const KernelTable* GetNeonKernelTable() { return &kNeonTable; }
+}  // namespace internal
+
+}  // namespace kernels
+}  // namespace mnc
+
+#else  // !MNC_SIMD_HAVE_NEON
+
+namespace mnc {
+namespace kernels {
+namespace internal {
+const KernelTable* GetNeonKernelTable() { return nullptr; }
+}  // namespace internal
+}  // namespace kernels
+}  // namespace mnc
+
+#endif  // MNC_SIMD_HAVE_NEON

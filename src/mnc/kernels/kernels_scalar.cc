@@ -1,0 +1,117 @@
+// Portable reference kernels. Every other backend must agree with these:
+// bit-for-bit on the integer/bitset/elementwise kernels, and up to float
+// reassociation (exact below 2^53 — see kernels.h) on the dot reductions.
+// The loop bodies are verbatim ports of the pre-SIMD inner loops in
+// mnc_estimator.cc / mnc_propagation.cc / bitset_estimator.cc, which is what
+// keeps default scalar results bit-identical across releases.
+
+#include <bit>
+#include <cmath>
+
+#include "mnc/kernels/kernels_internal.h"
+
+namespace mnc {
+namespace kernels {
+namespace {
+
+double DotCounts(const int64_t* u, const int64_t* v, int64_t n) {
+  double acc = 0.0;
+  for (int64_t k = 0; k < n; ++k) {
+    acc += static_cast<double>(u[k]) * static_cast<double>(v[k]);
+  }
+  return acc;
+}
+
+double DotCountsDiff(const int64_t* u, const int64_t* du, const int64_t* v,
+                     int64_t n) {
+  if (du == nullptr) return DotCounts(u, v, n);
+  double acc = 0.0;
+  for (int64_t k = 0; k < n; ++k) {
+    acc += static_cast<double>(u[k] - du[k]) * static_cast<double>(v[k]);
+  }
+  return acc;
+}
+
+CombineAccum DensityCombine(const int64_t* u, const int64_t* du,
+                            const int64_t* v, const int64_t* dv, int64_t n,
+                            double p) {
+  CombineAccum result;
+  for (int64_t k = 0; k < n; ++k) {
+    double uk = static_cast<double>(u[k]);
+    double vk = static_cast<double>(v[k]);
+    if (du != nullptr) uk -= static_cast<double>(du[k]);
+    if (dv != nullptr) vk -= static_cast<double>(dv[k]);
+    if (uk <= 0.0 || vk <= 0.0) continue;
+    const double cell_prob = std::min(1.0, uk * vk / p);
+    if (cell_prob >= 1.0) {
+      result.certain = true;
+      break;
+    }
+    result.log_zero_prob += std::log1p(-cell_prob);
+  }
+  return result;
+}
+
+void ScaleCounts(const int64_t* counts, int64_t n, double scale, double* out) {
+  for (int64_t k = 0; k < n; ++k) {
+    out[k] = static_cast<double>(counts[k]) * scale;
+  }
+}
+
+void EWiseMultEst(const int64_t* a, const int64_t* b, int64_t n, double lambda,
+                  double* out) {
+  for (int64_t k = 0; k < n; ++k) {
+    const double ha = static_cast<double>(a[k]);
+    const double hb = static_cast<double>(b[k]);
+    out[k] = std::min(ha * hb * lambda, std::min(ha, hb));
+  }
+}
+
+void EWiseAddEst(const int64_t* a, const int64_t* b, int64_t n, double lambda,
+                 double cap, double* out) {
+  for (int64_t k = 0; k < n; ++k) {
+    const double ha = static_cast<double>(a[k]);
+    const double hb = static_cast<double>(b[k]);
+    const double collisions = std::min(ha * hb * lambda, std::min(ha, hb));
+    out[k] = std::clamp(ha + hb - collisions, std::max(ha, hb), cap);
+  }
+}
+
+void OrInto(uint64_t* dst, const uint64_t* src, int64_t n) {
+  for (int64_t k = 0; k < n; ++k) dst[k] |= src[k];
+}
+
+void OrWords(uint64_t* dst, const uint64_t* a, const uint64_t* b, int64_t n) {
+  for (int64_t k = 0; k < n; ++k) dst[k] = a[k] | b[k];
+}
+
+void AndWords(uint64_t* dst, const uint64_t* a, const uint64_t* b, int64_t n) {
+  for (int64_t k = 0; k < n; ++k) dst[k] = a[k] & b[k];
+}
+
+int64_t PopCountWords(const uint64_t* w, int64_t n) {
+  int64_t count = 0;
+  for (int64_t k = 0; k < n; ++k) count += std::popcount(w[k]);
+  return count;
+}
+
+int64_t AndPopCountWords(const uint64_t* a, const uint64_t* b, int64_t n) {
+  int64_t count = 0;
+  for (int64_t k = 0; k < n; ++k) count += std::popcount(a[k] & b[k]);
+  return count;
+}
+
+const KernelTable kScalarTable = {
+    DotCounts,    DotCountsDiff, DensityCombine, ScaleCounts,
+    EWiseMultEst, EWiseAddEst,   OrInto,         OrWords,
+    AndWords,     PopCountWords, AndPopCountWords,
+};
+
+}  // namespace
+
+namespace internal {
+const KernelTable* GetScalarKernelTable() { return &kScalarTable; }
+}  // namespace internal
+
+}  // namespace kernels
+}  // namespace mnc

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "mnc/kernels/kernels.h"
+#include "mnc/util/arena.h"
+
 namespace mnc {
 
 CsrMatrix MultiplySparseSparse(const CsrMatrix& a, const CsrMatrix& b,
@@ -21,39 +24,33 @@ CsrMatrix MultiplySparseSparse(const CsrMatrix& a, const CsrMatrix& b,
   }
 
   // Gustavson: per output row, scatter-accumulate into a dense accumulator
-  // with an occupancy list, then gather in sorted column order.
-  std::vector<double> acc(static_cast<size_t>(l), 0.0);
-  std::vector<int64_t> occupied;
-  std::vector<char> seen(static_cast<size_t>(l), 0);
+  // with an occupancy list, then gather in sorted column order. Scratch
+  // comes from the pooled arena (clean-buffer invariant: the gather re-zeroes
+  // exactly the touched entries).
+  ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+  lease->EnsureScatterCols(l);
+  double* acc = lease->scatter_acc();
+  char* seen = lease->scatter_seen();
+  std::vector<int64_t>& occupied = lease->scatter_list();
 
   for (int64_t i = 0; i < m; ++i) {
-    occupied.clear();
     const auto a_idx = a.RowIndices(i);
     const auto a_val = a.RowValues(i);
     for (size_t ka = 0; ka < a_idx.size(); ++ka) {
       const int64_t k = a_idx[ka];
-      const double av = a_val[ka];
       const auto b_idx = b.RowIndices(k);
       const auto b_val = b.RowValues(k);
-      for (size_t kb = 0; kb < b_idx.size(); ++kb) {
-        const int64_t j = b_idx[kb];
-        if (!seen[static_cast<size_t>(j)]) {
-          seen[static_cast<size_t>(j)] = 1;
-          occupied.push_back(j);
-        }
-        acc[static_cast<size_t>(j)] += av * b_val[kb];
-      }
+      kernels::SpGemmScatterRow(b_idx.data(), b_val.data(),
+                                static_cast<int64_t>(b_idx.size()), a_val[ka],
+                                acc, seen, occupied);
     }
-    std::sort(occupied.begin(), occupied.end());
-    for (int64_t j : occupied) {
-      const double v = acc[static_cast<size_t>(j)];
-      if (v != 0.0) {
-        col_idx.push_back(j);
-        values.push_back(v);
-      }
-      acc[static_cast<size_t>(j)] = 0.0;
-      seen[static_cast<size_t>(j)] = 0;
-    }
+    const size_t base = col_idx.size();
+    col_idx.resize(base + occupied.size());
+    values.resize(base + occupied.size());
+    const int64_t written = kernels::SpGemmGatherRow(
+        occupied, acc, seen, col_idx.data() + base, values.data() + base);
+    col_idx.resize(base + static_cast<size_t>(written));
+    values.resize(base + static_cast<size_t>(written));
     row_ptr[static_cast<size_t>(i) + 1] = static_cast<int64_t>(col_idx.size());
   }
   return CsrMatrix(m, l, std::move(row_ptr), std::move(col_idx),
@@ -76,20 +73,21 @@ void SymbolicRowCounts(const CsrMatrix& a, const CsrMatrix& b,
   row_nnz.assign(static_cast<size_t>(m), 0);
   ParallelForBlocks(pool, config, m,
                     [&](int64_t /*block*/, int64_t lo, int64_t hi) {
-    std::vector<char> seen(static_cast<size_t>(l), 0);
-    std::vector<int64_t> occupied;
+    // Per-worker scratch from the pooled arena — no per-block O(cols)
+    // allocation/zeroing.
+    ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+    lease->EnsureScatterCols(l);
+    char* seen = lease->scatter_seen();
+    std::vector<int64_t>& occupied = lease->scatter_list();
     for (int64_t i = lo; i < hi; ++i) {
-      occupied.clear();
       for (int64_t k : a.RowIndices(i)) {
-        for (int64_t j : b.RowIndices(k)) {
-          if (!seen[static_cast<size_t>(j)]) {
-            seen[static_cast<size_t>(j)] = 1;
-            occupied.push_back(j);
-          }
-        }
+        const auto b_idx = b.RowIndices(k);
+        kernels::SpGemmSymbolicRow(b_idx.data(),
+                                   static_cast<int64_t>(b_idx.size()), seen,
+                                   occupied);
       }
-      row_nnz[static_cast<size_t>(i)] = static_cast<int64_t>(occupied.size());
-      for (int64_t j : occupied) seen[static_cast<size_t>(j)] = 0;
+      row_nnz[static_cast<size_t>(i)] =
+          kernels::SpGemmResetSymbolicRow(occupied, seen);
     }
   });
 }
@@ -129,40 +127,27 @@ CsrMatrix MultiplySparseSparse(const CsrMatrix& a, const CsrMatrix& b,
   // per-row arithmetic to the sequential kernel.
   ParallelForBlocks(pool, config, m,
                     [&](int64_t /*block*/, int64_t lo, int64_t hi) {
-    std::vector<double> acc(static_cast<size_t>(l), 0.0);
-    std::vector<char> seen(static_cast<size_t>(l), 0);
-    std::vector<int64_t> occupied;
+    // Per-worker scratch from the pooled arena instead of fresh O(cols)
+    // acc/seen vectors per block.
+    ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+    lease->EnsureScatterCols(l);
+    double* acc = lease->scatter_acc();
+    char* seen = lease->scatter_seen();
+    std::vector<int64_t>& occupied = lease->scatter_list();
     for (int64_t i = lo; i < hi; ++i) {
-      occupied.clear();
       const auto a_idx = a.RowIndices(i);
       const auto a_val = a.RowValues(i);
       for (size_t ka = 0; ka < a_idx.size(); ++ka) {
         const int64_t k = a_idx[ka];
-        const double av = a_val[ka];
         const auto b_idx = b.RowIndices(k);
         const auto b_val = b.RowValues(k);
-        for (size_t kb = 0; kb < b_idx.size(); ++kb) {
-          const int64_t j = b_idx[kb];
-          if (!seen[static_cast<size_t>(j)]) {
-            seen[static_cast<size_t>(j)] = 1;
-            occupied.push_back(j);
-          }
-          acc[static_cast<size_t>(j)] += av * b_val[kb];
-        }
+        kernels::SpGemmScatterRow(b_idx.data(), b_val.data(),
+                                  static_cast<int64_t>(b_idx.size()),
+                                  a_val[ka], acc, seen, occupied);
       }
-      std::sort(occupied.begin(), occupied.end());
-      int64_t out = scan[static_cast<size_t>(i)];
-      for (int64_t j : occupied) {
-        const double v = acc[static_cast<size_t>(j)];
-        if (v != 0.0) {
-          col_idx[static_cast<size_t>(out)] = j;
-          values[static_cast<size_t>(out)] = v;
-          ++out;
-        }
-        acc[static_cast<size_t>(j)] = 0.0;
-        seen[static_cast<size_t>(j)] = 0;
-      }
-      row_nnz[static_cast<size_t>(i)] = out - scan[static_cast<size_t>(i)];
+      const int64_t base = scan[static_cast<size_t>(i)];
+      row_nnz[static_cast<size_t>(i)] = kernels::SpGemmGatherRow(
+          occupied, acc, seen, col_idx.data() + base, values.data() + base);
     }
   });
 
@@ -291,20 +276,18 @@ int64_t ProductNnzExact(const CsrMatrix& a, const CsrMatrix& b) {
   const int64_t m = a.rows();
   const int64_t l = b.cols();
   int64_t nnz = 0;
-  std::vector<char> seen(static_cast<size_t>(l), 0);
-  std::vector<int64_t> occupied;
+  ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+  lease->EnsureScatterCols(l);
+  char* seen = lease->scatter_seen();
+  std::vector<int64_t>& occupied = lease->scatter_list();
   for (int64_t i = 0; i < m; ++i) {
-    occupied.clear();
     for (int64_t k : a.RowIndices(i)) {
-      for (int64_t j : b.RowIndices(k)) {
-        if (!seen[static_cast<size_t>(j)]) {
-          seen[static_cast<size_t>(j)] = 1;
-          occupied.push_back(j);
-        }
-      }
+      const auto b_idx = b.RowIndices(k);
+      kernels::SpGemmSymbolicRow(b_idx.data(),
+                                 static_cast<int64_t>(b_idx.size()), seen,
+                                 occupied);
     }
-    nnz += static_cast<int64_t>(occupied.size());
-    for (int64_t j : occupied) seen[static_cast<size_t>(j)] = 0;
+    nnz += kernels::SpGemmResetSymbolicRow(occupied, seen);
   }
   return nnz;
 }

@@ -340,6 +340,10 @@ std::vector<StatusOr<EstimateResult>> EstimationService::EstimateBatch(
   // Grain-1 chunking over-decomposes the batch (up to 4 chunks per worker)
   // so one slow query does not serialize the tail; the helping waiter in
   // ParallelFor keeps nested parallel kernels on the same pool deadlock-free.
+  // Per-worker scratch (Eq. 11/15 staging, density-combine partials) is
+  // reused across the batch through ScratchPool::Global(), which the
+  // estimator/propagation kernels lease from internally — concurrent batch
+  // workers therefore allocate at most one arena each, not one per query.
   pool_.ParallelFor(0, n, /*grain=*/1, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       results[static_cast<size_t>(i)] = Estimate(roots[static_cast<size_t>(i)]);

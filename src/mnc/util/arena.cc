@@ -1,0 +1,10 @@
+#include "mnc/util/arena.h"
+
+namespace mnc {
+
+ScratchPool& ScratchPool::Global() {
+  static ScratchPool* pool = new ScratchPool();  // leaked: outlives all users
+  return *pool;
+}
+
+}  // namespace mnc

@@ -1,0 +1,89 @@
+#include "mnc/util/simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mnc {
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool ParseSimdLevel(const char* spec, SimdLevel* level) {
+  if (spec == nullptr) return false;
+  if (std::strcmp(spec, "scalar") == 0) {
+    *level = SimdLevel::kScalar;
+    return true;
+  }
+  if (std::strcmp(spec, "avx2") == 0) {
+    *level = SimdLevel::kAvx2;
+    return true;
+  }
+  if (std::strcmp(spec, "neon") == 0) {
+    *level = SimdLevel::kNeon;
+    return true;
+  }
+  return false;
+}
+
+bool SimdLevelSupported(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kAvx2:
+#if MNC_SIMD_HAVE_AVX2
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case SimdLevel::kNeon:
+      // NEON is architectural on aarch64: compiled in == executable.
+      return MNC_SIMD_HAVE_NEON != 0;
+  }
+  return false;
+}
+
+namespace {
+
+SimdLevel DetectLevel() {
+  SimdLevel best = SimdLevel::kScalar;
+  if (SimdLevelSupported(SimdLevel::kAvx2)) best = SimdLevel::kAvx2;
+  if (SimdLevelSupported(SimdLevel::kNeon)) best = SimdLevel::kNeon;
+
+  const char* env = std::getenv("MNC_SIMD");
+  if (env == nullptr || env[0] == '\0') return best;
+  SimdLevel requested;
+  if (!ParseSimdLevel(env, &requested)) {
+    std::fprintf(stderr,
+                 "mnc: ignoring unknown MNC_SIMD=\"%s\" "
+                 "(expected scalar|avx2|neon); using %s\n",
+                 env, SimdLevelName(best));
+    return best;
+  }
+  if (!SimdLevelSupported(requested)) {
+    std::fprintf(stderr,
+                 "mnc: MNC_SIMD=%s not available in this build/CPU; "
+                 "using %s\n",
+                 env, SimdLevelName(best));
+    return best;
+  }
+  return requested;
+}
+
+}  // namespace
+
+SimdLevel BestSupportedSimdLevel() {
+  static const SimdLevel level = DetectLevel();
+  return level;
+}
+
+}  // namespace mnc

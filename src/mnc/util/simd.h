@@ -1,0 +1,68 @@
+// SIMD capability model for the vectorized kernel layer (mnc/kernels/).
+//
+// Three instruction-set levels exist: portable scalar (always available),
+// AVX2 (x86-64) and NEON (aarch64). Which levels are *compiled in* is decided
+// here at compile time; which level actually *runs* is decided once per
+// process by BestSupportedSimdLevel(): compiled-in levels are intersected
+// with the CPU's capabilities (cpuid on x86) and with the MNC_SIMD
+// environment variable ("scalar" | "avx2" | "neon"), which can force a lower
+// level — most usefully MNC_SIMD=scalar for differential testing. Requesting
+// a level the build or CPU cannot run falls back to the best available one
+// (with a one-time stderr warning), so setting MNC_SIMD never crashes.
+//
+// The CMake option -DMNC_DISABLE_SIMD=ON (which defines MNC_DISABLE_SIMD)
+// removes the vector code paths from the build entirely; the dispatch then
+// degenerates to scalar and MNC_SIMD is a no-op.
+//
+// Numeric contract (see DESIGN.md "Kernel dispatch & vectorization"): every
+// integer/bitset kernel and every elementwise double kernel is bit-identical
+// across levels; only the dot-product reductions may differ, by float
+// reassociation alone, and even those are exact (hence level-invariant)
+// whenever all partial sums stay below 2^53 — true for every realistic
+// sketch, since the summands are products of integer counts.
+
+#ifndef MNC_UTIL_SIMD_H_
+#define MNC_UTIL_SIMD_H_
+
+namespace mnc {
+
+// Compile-time availability of the vector backends.
+#if !defined(MNC_DISABLE_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MNC_SIMD_HAVE_AVX2 1
+#else
+#define MNC_SIMD_HAVE_AVX2 0
+#endif
+
+#if !defined(MNC_DISABLE_SIMD) && defined(__aarch64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MNC_SIMD_HAVE_NEON 1
+#else
+#define MNC_SIMD_HAVE_NEON 0
+#endif
+
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+// Human-readable level name ("scalar", "avx2", "neon").
+const char* SimdLevelName(SimdLevel level);
+
+// Parses a MNC_SIMD-style spec. Returns true and sets *level on success;
+// unknown names return false (callers then keep the detected default).
+bool ParseSimdLevel(const char* spec, SimdLevel* level);
+
+// True when `level` is both compiled in and executable on this CPU.
+bool SimdLevelSupported(SimdLevel level);
+
+// The level the kernel dispatch resolves to: best CPU-supported compiled-in
+// level, overridable via MNC_SIMD. Computed once and cached (the environment
+// is read on first use; tests override the *kernel table* instead, via
+// kernels::ScopedForceKernels, not the environment).
+SimdLevel BestSupportedSimdLevel();
+
+}  // namespace mnc
+
+#endif  // MNC_UTIL_SIMD_H_

@@ -23,6 +23,7 @@
 #include "differential_harness.h"
 #include "mnc/core/mnc_estimator.h"
 #include "mnc/core/mnc_propagation.h"
+#include "mnc/estimators/bitset_estimator.h"
 #include "mnc/matrix/ops_product.h"
 #include "mnc/util/thread_pool.h"
 
@@ -214,6 +215,83 @@ TEST_P(DifferentialHarnessTest, SketchIoRoundTripsBitForBit) {
   const MncSketch c =
       PropagateProduct(a, b, Seed(), HarnessConfig(2), &pool);
   EXPECT_TRUE(RoundTripsExactly(c));
+}
+
+// (d) SIMD differential properties: with the kernel table forced to scalar
+// vs. the best level this build/CPU supports, every estimate, propagated
+// sketch, SpGEMM result and bitset count is identical — the determinism
+// contract of mnc/kernels/kernels.h. On scalar-only builds the level list
+// collapses to {scalar} and these pass trivially.
+
+TEST_P(DifferentialHarnessTest, SimdEstimatesMatchScalarPerArchetype) {
+  ThreadPool pool(4);
+  const int archetypes = static_cast<int>(difftest::Archetype::kCount);
+  for (int kind = 0; kind < archetypes; ++kind) {
+    Rng rng(Seed() * 8009 + static_cast<uint64_t>(kind) * 131 + 37);
+    const int64_t dim = RandomDim(rng);
+    const MncSketch a = MncSketch::FromCsr(
+        MakeLeaf(static_cast<difftest::Archetype>(kind), dim, rng));
+    const MncSketch b = MncSketch::FromCsr(RandomLeaf(rng, dim));
+
+    std::vector<double> product, basic, par_product, ewise_mult, ewise_add;
+    for (SimdLevel level : difftest::TestableKernelLevels()) {
+      kernels::ScopedForceKernels forced(level);
+      product.push_back(EstimateProductNnz(a, b));
+      basic.push_back(EstimateProductNnzBasic(a, b));
+      par_product.push_back(
+          EstimateProductNnz(a, b, HarnessConfig(2), &pool));
+      ewise_mult.push_back(EstimateEWiseMultNnz(a, b));
+      ewise_add.push_back(EstimateEWiseAddNnz(a, b));
+    }
+    for (size_t i = 1; i < product.size(); ++i) {
+      EXPECT_EQ(product[0], product[i]) << "kind=" << kind;
+      EXPECT_EQ(basic[0], basic[i]) << "kind=" << kind;
+      EXPECT_EQ(par_product[0], par_product[i]) << "kind=" << kind;
+      EXPECT_EQ(ewise_mult[0], ewise_mult[i]) << "kind=" << kind;
+      EXPECT_EQ(ewise_add[0], ewise_add[i]) << "kind=" << kind;
+    }
+  }
+}
+
+TEST_P(DifferentialHarnessTest, SimdPropagationAndSpGemmMatchScalar) {
+  Rng rng(Seed() * 9011 + 41);
+  ThreadPool pool(4);
+  const int64_t dim = RandomDim(rng);
+  const CsrMatrix ma = RandomLeaf(rng, dim);
+  const CsrMatrix mb = RandomLeaf(rng, dim);
+  const MncSketch a = MncSketch::FromCsr(ma);
+  const MncSketch b = MncSketch::FromCsr(mb);
+  const uint64_t prop_seed = Seed() ^ 0x9e3779b9u;
+
+  std::vector<MncSketch> products, adds, mults;
+  std::vector<CsrMatrix> spgemm;
+  std::vector<int64_t> exact_nnz, bool_product, bool_and, bool_or;
+  for (SimdLevel level : difftest::TestableKernelLevels()) {
+    kernels::ScopedForceKernels forced(level);
+    products.push_back(
+        PropagateProduct(a, b, prop_seed, HarnessConfig(2), &pool));
+    adds.push_back(
+        PropagateEWiseAdd(a, b, prop_seed, HarnessConfig(2), &pool));
+    mults.push_back(
+        PropagateEWiseMult(a, b, prop_seed, HarnessConfig(2), &pool));
+    spgemm.push_back(MultiplySparseSparse(ma, mb));
+    exact_nnz.push_back(ProductNnzExact(ma, mb));
+    const BitMatrix bma = BitMatrix::FromMatrix(Matrix::Sparse(ma));
+    const BitMatrix bmb = BitMatrix::FromMatrix(Matrix::Sparse(mb));
+    bool_product.push_back(bma.MultiplyBool(bmb).PopCount());
+    bool_and.push_back(bma.AndPopCount(bmb));
+    bool_or.push_back(bma.OrPopCount(bmb));
+  }
+  for (size_t i = 1; i < products.size(); ++i) {
+    EXPECT_TRUE(SketchesBitIdentical(products[0], products[i]));
+    EXPECT_TRUE(SketchesBitIdentical(adds[0], adds[i]));
+    EXPECT_TRUE(SketchesBitIdentical(mults[0], mults[i]));
+    EXPECT_TRUE(CsrBitIdentical(spgemm[0], spgemm[i]));
+    EXPECT_EQ(exact_nnz[0], exact_nnz[i]);
+    EXPECT_EQ(bool_product[0], bool_product[i]);
+    EXPECT_EQ(bool_and[0], bool_and[i]);
+    EXPECT_EQ(bool_or[0], bool_or[i]);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialHarnessTest,

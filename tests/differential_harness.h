@@ -14,16 +14,19 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "mnc/core/mnc_sketch.h"
 #include "mnc/core/mnc_sketch_io.h"
+#include "mnc/kernels/kernels.h"
 #include "mnc/matrix/coo_matrix.h"
 #include "mnc/matrix/csr_matrix.h"
 #include "mnc/matrix/generate.h"
 #include "mnc/util/parallel.h"
 #include "mnc/util/random.h"
+#include "mnc/util/simd.h"
 
 namespace mnc {
 namespace difftest {
@@ -176,6 +179,18 @@ inline ::testing::AssertionResult RoundTripsExactly(const MncSketch& s,
            << "read failed: " << rs.status().message();
   }
   return SketchesBitIdentical(s, *rs);
+}
+
+// The kernel levels worth differential-testing on this machine: always
+// scalar, plus the dispatched level when it differs (on a scalar-only build
+// or CPU this degenerates to {scalar} and the SIMD comparisons trivially
+// pass — exactly the right behavior for the -DMNC_DISABLE_SIMD CI leg).
+inline std::vector<SimdLevel> TestableKernelLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (BestSupportedSimdLevel() != SimdLevel::kScalar) {
+    levels.push_back(BestSupportedSimdLevel());
+  }
+  return levels;
 }
 
 }  // namespace difftest

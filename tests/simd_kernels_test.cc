@@ -1,0 +1,281 @@
+// Unit tests for the vectorized kernel layer (mnc/kernels/): every compiled
+// backend must agree with the scalar reference table exactly on the integer
+// and elementwise kernels, and exactly on the dot reductions for
+// integer-valued inputs below 2^53 (the documented exactness regime). Tail
+// handling is exercised at every length in [0, 2 * vector width].
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mnc/kernels/kernels.h"
+#include "mnc/util/random.h"
+#include "mnc/util/simd.h"
+
+namespace mnc {
+namespace {
+
+// Lengths covering empty input, every partial-vector tail for both the
+// 2-lane (NEON) and 4/8-lane (AVX2 main loops) widths, and a longer run.
+const int64_t kLengths[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 64, 257};
+
+std::vector<SimdLevel> LevelsUnderTest() {
+  std::vector<SimdLevel> levels;
+  if (SimdLevelSupported(SimdLevel::kAvx2)) levels.push_back(SimdLevel::kAvx2);
+  if (SimdLevelSupported(SimdLevel::kNeon)) levels.push_back(SimdLevel::kNeon);
+  return levels;
+}
+
+// Random count vector with many zeros (exercises the density-combine live
+// -lane skipping) and occasional large values. Values stay below 2^20 so
+// pairwise products are < 2^40 and the longest test reduction stays well
+// under 2^53 — inside the regime where the kernels' reassociated double
+// sums are exact (real count vectors are bounded by matrix dimensions and
+// sit far inside this regime too).
+std::vector<int64_t> RandomCounts(int64_t n, Rng& rng) {
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  for (int64_t& x : v) {
+    const double roll = rng.Uniform(0.0, 1.0);
+    if (roll < 0.4) {
+      x = 0;
+    } else if (roll < 0.9) {
+      x = rng.UniformInt(100);
+    } else {
+      x = rng.UniformInt(int64_t{1} << 20);
+    }
+  }
+  return v;
+}
+
+std::vector<uint64_t> RandomWords(int64_t n, Rng& rng) {
+  std::vector<uint64_t> v(static_cast<size_t>(n));
+  for (uint64_t& w : v) {
+    w = (static_cast<uint64_t>(rng.UniformInt(int64_t{1} << 32)) << 32) ^
+        static_cast<uint64_t>(rng.UniformInt(int64_t{1} << 32));
+  }
+  return v;
+}
+
+TEST(SimdKernelsTest, DotKernelsMatchScalarExactly) {
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  for (SimdLevel level : LevelsUnderTest()) {
+    const kernels::KernelTable& vec = kernels::KernelsForLevel(level);
+    Rng rng(42);
+    for (int64_t n : kLengths) {
+      const std::vector<int64_t> u = RandomCounts(n, rng);
+      const std::vector<int64_t> v = RandomCounts(n, rng);
+      const std::vector<int64_t> du = RandomCounts(n, rng);
+      // Integer-valued summands below 2^53: reassociation is exact, so the
+      // reductions must agree bitwise, not just approximately.
+      EXPECT_EQ(scalar.dot_counts(u.data(), v.data(), n),
+                vec.dot_counts(u.data(), v.data(), n))
+          << "level=" << SimdLevelName(level) << " n=" << n;
+      EXPECT_EQ(scalar.dot_counts_diff(u.data(), du.data(), v.data(), n),
+                vec.dot_counts_diff(u.data(), du.data(), v.data(), n))
+          << "level=" << SimdLevelName(level) << " n=" << n;
+      EXPECT_EQ(scalar.dot_counts_diff(u.data(), nullptr, v.data(), n),
+                vec.dot_counts_diff(u.data(), nullptr, v.data(), n))
+          << "level=" << SimdLevelName(level) << " n=" << n << " (null du)";
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DensityCombineMatchesScalarBitForBit) {
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  for (SimdLevel level : LevelsUnderTest()) {
+    const kernels::KernelTable& vec = kernels::KernelsForLevel(level);
+    Rng rng(43);
+    for (int64_t n : kLengths) {
+      for (double p : {1e2, 1e6, 1e12}) {
+        const std::vector<int64_t> u = RandomCounts(n, rng);
+        const std::vector<int64_t> v = RandomCounts(n, rng);
+        const kernels::CombineAccum s =
+            scalar.density_combine(u.data(), nullptr, v.data(), nullptr, n, p);
+        const kernels::CombineAccum w =
+            vec.density_combine(u.data(), nullptr, v.data(), nullptr, n, p);
+        EXPECT_EQ(s.certain, w.certain)
+            << "level=" << SimdLevelName(level) << " n=" << n << " p=" << p;
+        if (!s.certain) {
+          EXPECT_EQ(s.log_zero_prob, w.log_zero_prob)
+              << "level=" << SimdLevelName(level) << " n=" << n << " p=" << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DensityCombineWithOffsetsMatchesScalar) {
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  for (SimdLevel level : LevelsUnderTest()) {
+    const kernels::KernelTable& vec = kernels::KernelsForLevel(level);
+    Rng rng(44);
+    for (int64_t n : kLengths) {
+      std::vector<int64_t> u = RandomCounts(n, rng);
+      std::vector<int64_t> v = RandomCounts(n, rng);
+      std::vector<int64_t> du(u), dv(v);
+      // Offsets <= counts, so differences stay non-negative as in Eq. 8.
+      for (auto& x : du) x = x > 0 ? x / 2 : 0;
+      for (auto& x : dv) x = x > 0 ? x / 3 : 0;
+      const double p = 1e9;
+      const kernels::CombineAccum s = scalar.density_combine(
+          u.data(), du.data(), v.data(), dv.data(), n, p);
+      const kernels::CombineAccum w =
+          vec.density_combine(u.data(), du.data(), v.data(), dv.data(), n, p);
+      EXPECT_EQ(s.certain, w.certain)
+          << "level=" << SimdLevelName(level) << " n=" << n;
+      if (!s.certain) {
+        EXPECT_EQ(s.log_zero_prob, w.log_zero_prob)
+            << "level=" << SimdLevelName(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DensityCombineCertainHitShortCircuits) {
+  // One saturating cell (u*v >= p) must set certain on every level.
+  for (SimdLevel level : LevelsUnderTest()) {
+    const kernels::KernelTable& vec = kernels::KernelsForLevel(level);
+    for (int64_t n : {1, 2, 3, 4, 5, 8, 9}) {
+      for (int64_t hot = 0; hot < n; ++hot) {
+        std::vector<int64_t> u(static_cast<size_t>(n), 1);
+        std::vector<int64_t> v(static_cast<size_t>(n), 1);
+        u[static_cast<size_t>(hot)] = 1000;
+        v[static_cast<size_t>(hot)] = 1000;
+        const kernels::CombineAccum acc = vec.density_combine(
+            u.data(), nullptr, v.data(), nullptr, n, /*p=*/1000.0);
+        EXPECT_TRUE(acc.certain)
+            << "level=" << SimdLevelName(level) << " n=" << n
+            << " hot=" << hot;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ElementwiseEstimateKernelsMatchScalarBitForBit) {
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  for (SimdLevel level : LevelsUnderTest()) {
+    const kernels::KernelTable& vec = kernels::KernelsForLevel(level);
+    Rng rng(45);
+    for (int64_t n : kLengths) {
+      const std::vector<int64_t> a = RandomCounts(n, rng);
+      const std::vector<int64_t> b = RandomCounts(n, rng);
+      const double lambda = rng.Uniform(0.0, 2e-3);
+      const double scale = rng.Uniform(0.0, 3.0);
+      const double cap = static_cast<double>(1 + rng.UniformInt(1 << 20));
+      std::vector<double> s_out(static_cast<size_t>(n), -1.0);
+      std::vector<double> v_out(static_cast<size_t>(n), -2.0);
+
+      scalar.scale_counts(a.data(), n, scale, s_out.data());
+      vec.scale_counts(a.data(), n, scale, v_out.data());
+      EXPECT_EQ(s_out, v_out) << "scale level=" << SimdLevelName(level)
+                              << " n=" << n;
+
+      scalar.ewise_mult_est(a.data(), b.data(), n, lambda, s_out.data());
+      vec.ewise_mult_est(a.data(), b.data(), n, lambda, v_out.data());
+      EXPECT_EQ(s_out, v_out) << "mult level=" << SimdLevelName(level)
+                              << " n=" << n;
+
+      scalar.ewise_add_est(a.data(), b.data(), n, lambda, cap, s_out.data());
+      vec.ewise_add_est(a.data(), b.data(), n, lambda, cap, v_out.data());
+      EXPECT_EQ(s_out, v_out) << "add level=" << SimdLevelName(level)
+                              << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, BitsetWordKernelsMatchScalarExactly) {
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  for (SimdLevel level : LevelsUnderTest()) {
+    const kernels::KernelTable& vec = kernels::KernelsForLevel(level);
+    Rng rng(46);
+    for (int64_t n : kLengths) {
+      const std::vector<uint64_t> a = RandomWords(n, rng);
+      const std::vector<uint64_t> b = RandomWords(n, rng);
+      std::vector<uint64_t> s_out(static_cast<size_t>(n), 0);
+      std::vector<uint64_t> v_out(static_cast<size_t>(n), 0);
+
+      scalar.or_words(s_out.data(), a.data(), b.data(), n);
+      vec.or_words(v_out.data(), a.data(), b.data(), n);
+      EXPECT_EQ(s_out, v_out) << "or level=" << SimdLevelName(level);
+
+      scalar.and_words(s_out.data(), a.data(), b.data(), n);
+      vec.and_words(v_out.data(), a.data(), b.data(), n);
+      EXPECT_EQ(s_out, v_out) << "and level=" << SimdLevelName(level);
+
+      std::vector<uint64_t> s_dst(a), v_dst(a);
+      scalar.or_into(s_dst.data(), b.data(), n);
+      vec.or_into(v_dst.data(), b.data(), n);
+      EXPECT_EQ(s_dst, v_dst) << "or_into level=" << SimdLevelName(level);
+
+      EXPECT_EQ(scalar.popcount_words(a.data(), n),
+                vec.popcount_words(a.data(), n))
+          << "popcount level=" << SimdLevelName(level) << " n=" << n;
+      EXPECT_EQ(scalar.and_popcount_words(a.data(), b.data(), n),
+                vec.and_popcount_words(a.data(), b.data(), n))
+          << "and_popcount level=" << SimdLevelName(level) << " n=" << n;
+
+      // Cross-check the scalar reference itself against std::popcount.
+      int64_t expect = 0;
+      for (int64_t k = 0; k < n; ++k) {
+        expect += std::popcount(a[static_cast<size_t>(k)]);
+      }
+      EXPECT_EQ(expect, scalar.popcount_words(a.data(), n));
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ParseSimdLevelRoundTrips) {
+  SimdLevel level;
+  EXPECT_TRUE(ParseSimdLevel("scalar", &level));
+  EXPECT_EQ(SimdLevel::kScalar, level);
+  EXPECT_TRUE(ParseSimdLevel("avx2", &level));
+  EXPECT_EQ(SimdLevel::kAvx2, level);
+  EXPECT_TRUE(ParseSimdLevel("neon", &level));
+  EXPECT_EQ(SimdLevel::kNeon, level);
+  EXPECT_FALSE(ParseSimdLevel("sse9", &level));
+  EXPECT_FALSE(ParseSimdLevel(nullptr, &level));
+  EXPECT_STREQ("scalar", SimdLevelName(SimdLevel::kScalar));
+  EXPECT_STREQ("avx2", SimdLevelName(SimdLevel::kAvx2));
+  EXPECT_STREQ("neon", SimdLevelName(SimdLevel::kNeon));
+}
+
+TEST(SimdKernelsTest, DispatchFallsBackToScalarForUnavailableLevels) {
+  // Requesting a level this build/CPU cannot run must resolve to the scalar
+  // table, never crash.
+  for (SimdLevel level : {SimdLevel::kAvx2, SimdLevel::kNeon}) {
+    if (!SimdLevelSupported(level)) {
+      EXPECT_EQ(&kernels::ScalarKernels(), &kernels::KernelsForLevel(level))
+          << SimdLevelName(level);
+    }
+  }
+  EXPECT_EQ(&kernels::ScalarKernels(),
+            &kernels::KernelsForLevel(SimdLevel::kScalar));
+}
+
+TEST(SimdKernelsTest, ScopedForceKernelsOverridesAndRestores) {
+  const SimdLevel ambient = kernels::ActiveLevel();
+  {
+    kernels::ScopedForceKernels forced(SimdLevel::kScalar);
+    EXPECT_EQ(SimdLevel::kScalar, kernels::ActiveLevel());
+    EXPECT_EQ(&kernels::ScalarKernels(), &kernels::Active());
+    {
+      // Nested overrides stack and restore in LIFO order.
+      kernels::ScopedForceKernels nested(kernels::ActiveLevel());
+      EXPECT_EQ(SimdLevel::kScalar, kernels::ActiveLevel());
+    }
+    EXPECT_EQ(SimdLevel::kScalar, kernels::ActiveLevel());
+  }
+  EXPECT_EQ(ambient, kernels::ActiveLevel());
+}
+
+TEST(SimdKernelsTest, ActiveMatchesBestSupportedLevelByDefault) {
+  // Without an override, the dispatched table is the one for the detected
+  // level (which already folds in any MNC_SIMD environment request).
+  EXPECT_EQ(&kernels::KernelsForLevel(BestSupportedSimdLevel()),
+            &kernels::Active());
+}
+
+}  // namespace
+}  // namespace mnc

@@ -17,13 +17,18 @@
 //   chain <m1.mtx> <m2.mtx> [...]
 //       Optimizes the multiplication chain, comparing the dimension-only
 //       and the sparsity-aware (MNC) dynamic programs.
-//   serve [--budget-mb <m>] [--threads <n>] [--exec "cmd; cmd; ..."]
+//   serve [--budget-mb <m>] [--threads <n>] [--guided]
+//       [--exec "cmd; cmd; ..."]
 //       Runs a long-lived estimation service: matrices are registered once
 //       (sketch catalog with content dedup), and repeated queries are
-//       answered from the canonicalized-expression memo cache. Commands,
-//       one per stdin line (or ';'-separated via --exec):
+//       answered from the canonicalized-expression memo cache. With
+//       --guided, `exec` runs sketch-guided (products pre-sized and
+//       format-dispatched from the cataloged sketches; identical values,
+//       counters reported by `stats`). Commands, one per stdin line (or
+//       ';'-separated via --exec):
 //         register <name> <file.mtx>   build/reuse the sketch of a matrix
 //         estimate <expression>        estimate a DML-like expression
+//         exec <expression>            evaluate a DML-like expression
 //         stats                        print catalog/memo/query counters
 //         clear                        drop all memoized sub-expressions
 //         quit                         exit
@@ -66,7 +71,7 @@ int Usage() {
                "  mnc_tool expr \"<expression>\" --bind NAME=file.mtx"
                " [--bind ...] [--exact]\n"
                "  mnc_tool serve [--budget-mb <m>] [--threads <n>]"
-               " [--exec \"cmd; cmd; ...\"]\n");
+               " [--guided] [--exec \"cmd; cmd; ...\"]\n");
   return 2;
 }
 
@@ -475,6 +480,28 @@ int ServeCommand(mnc::EstimationService& service, const std::string& raw) {
     return 0;
   }
 
+  if (verb == "exec") {
+    if (rest.empty()) {
+      std::fprintf(stderr, "error: exec <expression>\n");
+      return 1;
+    }
+    mnc::Stopwatch watch;
+    const auto result = service.ExecuteSource(rest);
+    const double ms = watch.ElapsedMillis();
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("executed: %lld x %lld output, %lld non-zeros, "
+                "sparsity %.6g, %s, %.3f ms\n",
+                static_cast<long long>(result->rows()),
+                static_cast<long long>(result->cols()),
+                static_cast<long long>(result->NumNonZeros()),
+                result->Sparsity(), result->is_dense() ? "dense" : "sparse",
+                ms);
+    return 0;
+  }
+
   if (verb == "stats") {
     const mnc::ServiceStats s = service.stats();
     std::printf("catalog: %lld names, %lld sketches, %lld dedup hits, "
@@ -499,6 +526,22 @@ int ServeCommand(mnc::EstimationService& service, const std::string& raw) {
                 static_cast<long long>(s.memo.misses),
                 static_cast<long long>(s.memo.evictions),
                 static_cast<long long>(s.memo.poisoned_dropped));
+    std::printf("exec: %lld executions, %lld guided products, "
+                "%lld single-pass, %lld dense-direct, %lld fallbacks "
+                "(%lld budget, %lld overflow), %lld merge rows, "
+                "%lld scatter rows, %lld bytes saved vs blind reserve\n",
+                static_cast<long long>(s.executions),
+                static_cast<long long>(s.guided.guided_products),
+                static_cast<long long>(s.guided.single_pass),
+                static_cast<long long>(s.guided.dense_direct),
+                static_cast<long long>(s.guided.two_pass_fallbacks +
+                                       s.guided.overflow_fallbacks),
+                static_cast<long long>(s.guided.two_pass_fallbacks),
+                static_cast<long long>(s.guided.overflow_fallbacks),
+                static_cast<long long>(s.guided.merge_rows),
+                static_cast<long long>(s.guided.scatter_rows),
+                static_cast<long long>(s.guided.blind_reserve_bytes -
+                                       s.guided.guided_reserve_bytes));
     return 0;
   }
 
@@ -510,7 +553,7 @@ int ServeCommand(mnc::EstimationService& service, const std::string& raw) {
 
   std::fprintf(stderr,
                "error: unknown command '%s' "
-               "(register/estimate/stats/clear/quit)\n",
+               "(register/estimate/exec/stats/clear/quit)\n",
                verb.c_str());
   return 1;
 }
@@ -527,6 +570,8 @@ int CmdServe(int argc, char** argv) {
       // deterministic blocking keeps answers thread-count-independent.
       options.num_threads = std::atoi(argv[++i]);
       options.parallel.num_threads = options.num_threads;
+    } else if (std::strcmp(argv[i], "--guided") == 0) {
+      options.guided_exec = true;
     } else if (std::strcmp(argv[i], "--exec") == 0 && i + 1 < argc) {
       exec = argv[++i];
     } else {

@@ -6,7 +6,9 @@
 # Usage: scripts/run_bench.sh [build-dir] [out-dir]
 #
 # Currently JSON-enabled: service_cache (estimation service warm/cold memo
-# benchmark). Benches grow a --json flag via mncbench::JsonReport; add them
+# benchmark), par_scaling (parallel kernel thread-scaling), micro_kernels
+# (SIMD kernel dispatch), and guided_exec (sketch-guided vs blind chain
+# evaluation). Benches grow a --json flag via mncbench::JsonReport; add them
 # to JSON_BENCHES below as they do.
 
 set -euo pipefail
@@ -27,6 +29,9 @@ mkdir -p "$OUT_DIR"
 # name:extra-flags pairs; each run writes BENCH_<report-name>.json in cwd.
 JSON_BENCHES=(
   "service_cache:--json"
+  "par_scaling:--json"
+  "micro_kernels:--json"
+  "guided_exec:--json"
 )
 
 for spec in "${JSON_BENCHES[@]}"; do

@@ -1,0 +1,127 @@
+#include "mnc/core/row_estimates.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mnc/kernels/kernels.h"
+#include "mnc/util/arena.h"
+#include "mnc/util/check.h"
+
+namespace mnc {
+
+namespace {
+
+// Mirror of the estimator's CombineFromAccum: success probability from a
+// density-combine accumulator, certain hits forcing 1.
+double CombineFromAccum(const kernels::CombineAccum& acc) {
+  const double s = acc.certain ? 1.0 : 1.0 - std::exp(acc.log_zero_prob);
+  return std::clamp(s, 0.0, 1.0);
+}
+
+void EstimateRowsRange(const CsrMatrix& a, const MncSketch& b, int64_t lo,
+                       int64_t hi, ScratchArena& arena,
+                       std::vector<RowProductEstimate>& out) {
+  const std::vector<int64_t>& hr_b = b.hr();
+  const std::vector<int64_t>& her_b = b.her();
+  const bool has_her = !her_b.empty();
+  const int64_t non_empty = b.non_empty_cols();
+  // Entries outside single-non-zero columns can only land in the
+  // multi-non-zero columns; without extension vectors the exact part is
+  // empty and every entry competes for all non-empty columns.
+  const double p_cells = static_cast<double>(
+      has_her ? non_empty - b.single_nnz_cols() : non_empty);
+  const kernels::KernelTable& k = kernels::Active();
+
+  for (int64_t i = lo; i < hi; ++i) {
+    RowProductEstimate& r = out[static_cast<size_t>(i)];
+    const auto a_idx = a.RowIndices(i);
+    const int64_t na = static_cast<int64_t>(a_idx.size());
+    if (na == 0) {
+      r = {0.0, 0, true};
+      continue;
+    }
+
+    // Gather the selected counts; flops/her/max are integer arithmetic,
+    // deterministic by construction.
+    std::vector<int64_t>& u = arena.StageInts(static_cast<size_t>(na));
+    std::vector<int64_t>& du = arena.StageInts2(static_cast<size_t>(na));
+    int64_t flops = 0;     // sum hr_B over the pattern
+    int64_t her_sum = 0;   // exactly-placed entries (single-nnz columns)
+    int64_t max_row = 0;   // largest selected B row (union lower bound)
+    for (int64_t t = 0; t < na; ++t) {
+      const int64_t col = a_idx[static_cast<size_t>(t)];
+      const int64_t h = hr_b[static_cast<size_t>(col)];
+      const int64_t he = has_her ? her_b[static_cast<size_t>(col)] : 0;
+      u[static_cast<size_t>(t)] = h;
+      du[static_cast<size_t>(t)] = he;
+      flops += h;
+      her_sum += he;
+      max_row = std::max(max_row, h);
+    }
+
+    const int64_t ub = std::min(flops, non_empty);
+    // Thm 3.1 shapes, per row: a single selected B row, pairwise-disjoint B
+    // rows (A2), or every selected entry pinned to a single-nnz column.
+    if (na <= 1 || b.max_hc() <= 1 || (has_her && her_sum == flops)) {
+      r.estimate = static_cast<double>(ub);
+      r.upper_bound = ub;
+      r.exact = true;
+      continue;
+    }
+    r.exact = false;
+    r.upper_bound = ub;
+
+    // Eq. 8 at row granularity: her_sum exact + density-map collision model
+    // (Eq. 4) for the remaining entries over the p_cells candidate columns.
+    double est = static_cast<double>(her_sum);
+    if (p_cells > 0.0) {
+      const kernels::CombineAccum acc = k.density_combine(
+          u.data(), has_her ? du.data() : nullptr,
+          arena.StageOnes(static_cast<size_t>(na)), nullptr, na, p_cells);
+      est += CombineFromAccum(acc) * p_cells;
+    }
+    est = std::max(est, static_cast<double>(max_row));
+    est = std::min(est, static_cast<double>(ub));
+    r.estimate = est;
+  }
+}
+
+}  // namespace
+
+std::vector<RowProductEstimate> EstimateProductRows(const CsrMatrix& a,
+                                                    const MncSketch& b) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  std::vector<RowProductEstimate> rows(static_cast<size_t>(a.rows()));
+  ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+  EstimateRowsRange(a, b, 0, a.rows(), *lease, rows);
+  return rows;
+}
+
+std::vector<RowProductEstimate> EstimateProductRows(
+    const CsrMatrix& a, const MncSketch& b, const ParallelConfig& config,
+    ThreadPool* pool) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  if (!config.enabled() || pool == nullptr) return EstimateProductRows(a, b);
+  std::vector<RowProductEstimate> rows(static_cast<size_t>(a.rows()));
+  // Rows are computed independently (no cross-row accumulation, no PRNG),
+  // so any block layout gives the sequential answer bit-for-bit.
+  ParallelForBlocks(pool, config, a.rows(),
+                    [&](int64_t /*block*/, int64_t lo, int64_t hi) {
+    ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+    EstimateRowsRange(a, b, lo, hi, *lease, rows);
+  });
+  return rows;
+}
+
+RowEstimateSummary SummarizeRowEstimates(
+    const std::vector<RowProductEstimate>& rows) {
+  RowEstimateSummary s;
+  for (const RowProductEstimate& r : rows) {
+    s.estimate_total += r.estimate;
+    s.upper_bound_total += r.upper_bound;
+    if (r.exact) ++s.exact_rows;
+  }
+  return s;
+}
+
+}  // namespace mnc

@@ -1,15 +1,108 @@
 #include "mnc/ir/evaluator.h"
 
+#include <algorithm>
 #include <exception>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "mnc/core/mnc_estimator.h"
+#include "mnc/core/row_estimates.h"
 #include "mnc/estimators/sparsity_estimator.h"
+#include "mnc/ir/sketch_propagator.h"
 #include "mnc/matrix/ops_ewise.h"
 #include "mnc/matrix/ops_product.h"
 #include "mnc/matrix/ops_reorg.h"
+#include "mnc/util/random.h"
 
 namespace mnc {
+
+ParallelConfig Evaluator::GuidedConfig() const {
+  ParallelConfig config;
+  if (pool_ != nullptr) config.num_threads = pool_->num_threads();
+  return config;
+}
+
+const MncSketch& Evaluator::SketchFor(const ExprNode* node) {
+  auto it = sketches_.find(node);
+  if (it != sketches_.end()) return *it->second;
+
+  std::shared_ptr<const MncSketch> sketch;
+  if (node->is_leaf()) {
+    if (options_.leaf_sketches) sketch = options_.leaf_sketches(*node);
+    if (sketch == nullptr) {
+      sketch = std::make_shared<const MncSketch>(
+          pool_ != nullptr
+              ? MncSketch::FromMatrix(node->matrix(), GuidedConfig(), pool_)
+              : MncSketch::FromMatrix(node->matrix()));
+    }
+  } else {
+    // The post-order evaluation walk sketches children before parents, so
+    // these lookups are memo hits; the explicit sequencing keeps the
+    // sketch_seq_ draw order deterministic regardless.
+    const MncSketch& left = SketchFor(node->left().get());
+    const MncSketch* right = nullptr;
+    if (node->right() != nullptr) right = &SketchFor(node->right().get());
+    sketch = std::make_shared<const MncSketch>(PropagateNodeSketch(
+        *node, left, right, MixSeed(options_.seed, sketch_seq_++),
+        options_.rounding, GuidedConfig(), pool_));
+  }
+  auto [pos, inserted] = sketches_.emplace(node, std::move(sketch));
+  (void)inserted;
+  return *pos->second;
+}
+
+Matrix Evaluator::GuidedMultiply(const Matrix& a, const Matrix& b,
+                                 const MncSketch& sa, const MncSketch& sb) {
+  const ParallelConfig config = GuidedConfig();
+  const bool parallel = config.enabled() && pool_ != nullptr;
+  if (!a.is_dense() && !b.is_dense()) {
+    const int64_t m = a.rows();
+    const int64_t l = b.cols();
+    const std::vector<RowProductEstimate> rows =
+        parallel ? EstimateProductRows(a.csr(), sb, config, pool_)
+                 : EstimateProductRows(a.csr(), sb);
+    const RowEstimateSummary sum = SummarizeRowEstimates(rows);
+    const double cells = static_cast<double>(m) * static_cast<double>(l);
+    const double est_sp =
+        cells > 0.0 ? std::min(sum.estimate_total / cells, 1.0) : 0.0;
+    if (est_sp >= kDenseDispatchThreshold) {
+      // Estimated-dense product: accumulate straight into a DenseMatrix
+      // instead of materializing CSR and converting afterwards, which is
+      // what the blind path does for a dense-bound product.
+      guided_stats_.guided_products += 1;
+      guided_stats_.dense_direct += 1;
+      guided_stats_.blind_reserve_bytes += BlindReserveBytesModel(
+          std::min(static_cast<int64_t>(sum.estimate_total), m * l));
+      return Matrix::Dense(MultiplySparseSparseDense(a.csr(), b.csr(), pool_));
+    }
+    std::vector<int64_t> upper(rows.size());
+    std::vector<double> estimate(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      upper[i] = rows[i].upper_bound;
+      estimate[i] = rows[i].estimate;
+    }
+    GuidedProductOptions opts;
+    opts.single_pass_budget_bytes = options_.single_pass_budget_bytes;
+    opts.merge_accum_max_nnz = options_.merge_accum_max_nnz;
+    return Matrix::AutoFromCsr(MultiplySparseSparseGuided(
+        a.csr(), b.csr(), upper, estimate, opts, config, pool_,
+        &guided_stats_));
+  }
+  // Mixed/dense products materialize a dense result anyway; the estimate
+  // replaces AutoFromDense's O(rows * cols) output scan with a direct
+  // format choice (AutoFromDenseEstimated).
+  guided_stats_.guided_products += 1;
+  const double est_sp = parallel ? EstimateProductSparsity(sa, sb, config, pool_)
+                                 : EstimateProductSparsity(sa, sb);
+  DenseMatrix out =
+      a.is_dense() && b.is_dense()
+          ? MultiplyDenseDense(a.dense(), b.dense(), pool_)
+          : (a.is_dense() ? MultiplyDenseSparse(a.dense(), b.csr())
+                          : MultiplySparseDense(a.csr(), b.dense()));
+  if (est_sp >= kDenseDispatchThreshold) guided_stats_.dense_direct += 1;
+  return Matrix::AutoFromDenseEstimated(std::move(out), est_sp);
+}
 
 Matrix Evaluator::Evaluate(const ExprPtr& root) {
   MNC_CHECK(root != nullptr);
@@ -24,6 +117,7 @@ Matrix Evaluator::Evaluate(const ExprPtr& root) {
     }
     if (node->is_leaf()) {
       cache_.emplace(node, node->matrix());
+      if (options_.guided) SketchFor(node);
       stack.pop_back();
       continue;
     }
@@ -41,7 +135,14 @@ Matrix Evaluator::Evaluate(const ExprPtr& root) {
     Matrix result = Matrix::Sparse(CsrMatrix(0, 0));
     switch (node->op()) {
       case OpKind::kMatMul:
-        result = Multiply(a, cache_.at(right), pool_);
+        // Guided mode consults the operands' propagated sketches; both are
+        // memo hits here (children were sketched when cached). Either path
+        // yields bit-identical values (guided may differ in physical format
+        // only when the estimate is wrong about the dense threshold).
+        result = options_.guided
+                     ? GuidedMultiply(a, cache_.at(right), SketchFor(left),
+                                      SketchFor(right))
+                     : Multiply(a, cache_.at(right), pool_);
         break;
       case OpKind::kEWiseAdd:
         result = Add(a, cache_.at(right));
@@ -87,6 +188,7 @@ Matrix Evaluator::Evaluate(const ExprPtr& root) {
         break;
     }
     cache_.emplace(node, std::move(result));
+    if (options_.guided) SketchFor(node);
     stack.pop_back();
   }
   return cache_.at(root.get());

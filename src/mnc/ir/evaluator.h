@@ -5,22 +5,62 @@
 // output sparsities are the ground truth against which the SparsEst
 // benchmark computes relative errors, and the execution itself is the
 // runtime baseline "MM" in Figures 7(a)/8(a).
+//
+// With EvaluatorOptions::guided set, MNC sketches are propagated alongside
+// evaluation and every matrix product is pre-sized, format-dispatched and
+// accumulator-dispatched from the estimates before computing — the
+// sketch-guided execution layer (see ops_product.h for the kernels and the
+// bit-identity guarantee).
 
 #ifndef MNC_IR_EVALUATOR_H_
 #define MNC_IR_EVALUATOR_H_
 
+#include <functional>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
+#include "mnc/core/mnc_propagation.h"
+#include "mnc/core/mnc_sketch.h"
 #include "mnc/ir/expr.h"
+#include "mnc/matrix/ops_product.h"
 #include "mnc/util/status.h"
 #include "mnc/util/thread_pool.h"
 
 namespace mnc {
 
+// Sketch-guided execution knobs. With guided off (the default) the
+// evaluator behaves exactly as before: no sketches are built and every
+// operation runs the blind kernels. With guided on, MNC sketches are
+// propagated alongside evaluation and every matrix product consults them to
+// pick allocation, output format and per-row accumulator up front — the
+// guided kernels guarantee bit-identical values either way (see
+// mnc/matrix/ops_product.h), so `guided` is purely a performance switch.
+struct EvaluatorOptions {
+  bool guided = false;
+  // Forwarded to GuidedProductOptions for sparse-sparse products.
+  int64_t single_pass_budget_bytes = 64LL << 20;
+  int64_t merge_accum_max_nnz = 32;
+  // Seed for sketch propagation's probabilistic rounding; evaluation order
+  // over a fixed DAG is deterministic, so a fixed seed makes guided
+  // decisions reproducible.
+  uint64_t seed = 42;
+  RoundingMode rounding = RoundingMode::kProbabilistic;
+  // Optional source of precomputed leaf sketches (e.g. the estimation
+  // service's catalog). Return nullptr to have the evaluator build the
+  // sketch from the leaf matrix itself.
+  std::function<std::shared_ptr<const MncSketch>(const ExprNode&)>
+      leaf_sketches;
+};
+
 class Evaluator {
  public:
   // pool (optional, not owned) parallelizes dense matrix products.
   explicit Evaluator(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  // Guided construction; see EvaluatorOptions.
+  Evaluator(ThreadPool* pool, EvaluatorOptions options)
+      : pool_(pool), options_(std::move(options)) {}
 
   // Evaluates the DAG rooted at `root`. Results of shared subexpressions are
   // cached for the lifetime of the Evaluator, so evaluating several related
@@ -37,15 +77,46 @@ class Evaluator {
   // Shape-consistency sweep over the DAG without executing it.
   Status ValidateDag(const ExprPtr& root) const;
 
-  // Drops all cached intermediates.
+  // Drops all cached intermediates (and, in guided mode, their sketches).
   void ClearCache() {
     cache_.clear();
+    sketches_.clear();
     pinned_roots_.clear();
+    sketch_seq_ = 0;
+  }
+
+  // Guided-execution counters accumulated across Evaluate calls (all zero
+  // when guided is off).
+  const GuidedExecStats& guided_stats() const { return guided_stats_; }
+
+  // The sketch propagated for `node` during a guided evaluation, or nullptr
+  // (never populated with guided off).
+  const MncSketch* NodeSketch(const ExprNode* node) const {
+    auto it = sketches_.find(node);
+    return it != sketches_.end() ? it->second.get() : nullptr;
   }
 
  private:
+  // Sketch of a leaf/internal node, memoized in sketches_. Children's
+  // sketches must already be present for internal nodes.
+  const MncSketch& SketchFor(const ExprNode* node);
+
+  // Sketch-guided matrix product dispatch (guided mode only).
+  Matrix GuidedMultiply(const Matrix& a, const Matrix& b, const MncSketch& sa,
+                        const MncSketch& sb);
+
+  // Parallel-propagation config sized to the attached pool.
+  ParallelConfig GuidedConfig() const;
+
   ThreadPool* pool_;
+  EvaluatorOptions options_;
+  GuidedExecStats guided_stats_;
   std::unordered_map<const ExprNode*, Matrix> cache_;
+  std::unordered_map<const ExprNode*, std::shared_ptr<const MncSketch>>
+      sketches_;
+  // Per-node propagation seed counter; deterministic because the post-order
+  // walk over a fixed DAG visits nodes in a fixed order.
+  uint64_t sketch_seq_ = 0;
   // The cache keys on node identity, so every evaluated root is pinned to
   // keep its DAG alive — otherwise a freed node's address could be reused
   // by a new node and alias a stale cache entry.

@@ -2,7 +2,63 @@
 
 #include <vector>
 
+#include "mnc/util/random.h"
+
 namespace mnc {
+
+MncSketch PropagateNodeSketch(const ExprNode& node, const MncSketch& left,
+                              const MncSketch* right, uint64_t seed,
+                              RoundingMode mode, const ParallelConfig& config,
+                              ThreadPool* pool) {
+  Rng rng(seed);
+  const bool parallel = config.enabled() && pool != nullptr;
+  switch (node.op()) {
+    case OpKind::kMatMul:
+      if (parallel) {
+        return PropagateProduct(left, *right, seed, config, pool,
+                                /*basic=*/false, mode);
+      }
+      return PropagateProduct(left, *right, rng, /*basic=*/false, mode);
+    case OpKind::kEWiseAdd:
+    case OpKind::kEWiseMax:
+      if (parallel) {
+        return PropagateEWiseAdd(left, *right, seed, config, pool, mode);
+      }
+      return node.op() == OpKind::kEWiseAdd
+                 ? PropagateEWiseAdd(left, *right, rng, mode)
+                 : PropagateEWiseMax(left, *right, rng, mode);
+    case OpKind::kEWiseMult:
+    case OpKind::kEWiseMin:
+      if (parallel) {
+        return PropagateEWiseMult(left, *right, seed, config, pool, mode);
+      }
+      return node.op() == OpKind::kEWiseMult
+                 ? PropagateEWiseMult(left, *right, rng, mode)
+                 : PropagateEWiseMin(left, *right, rng, mode);
+    case OpKind::kTranspose:
+      return PropagateTranspose(left);
+    case OpKind::kReshape:
+      return PropagateReshape(left, node.rows(), node.cols(), rng, mode);
+    case OpKind::kDiag:
+      return PropagateDiag(left, rng, mode);
+    case OpKind::kRBind:
+      return PropagateRBind(left, *right);
+    case OpKind::kCBind:
+      return PropagateCBind(left, *right);
+    case OpKind::kNotEqualZero:
+      return PropagateNotEqualZero(left);
+    case OpKind::kEqualZero:
+      return PropagateEqualZero(left);
+    case OpKind::kScale:
+      return PropagateScale(left);
+    case OpKind::kRowSums:
+      return PropagateRowSums(left);
+    case OpKind::kColSums:
+      return PropagateColSums(left);
+  }
+  MNC_CHECK_MSG(false, "unhandled operation in PropagateNodeSketch");
+  return left;  // unreachable
+}
 
 bool SketchPropagator::Supports(const ExprPtr& root) const {
   MNC_CHECK(root != nullptr);

@@ -12,10 +12,29 @@
 #include <optional>
 #include <unordered_map>
 
+#include "mnc/core/mnc_propagation.h"
 #include "mnc/estimators/sparsity_estimator.h"
 #include "mnc/ir/expr.h"
+#include "mnc/util/parallel.h"
+#include "mnc/util/thread_pool.h"
 
 namespace mnc {
+
+// Derives the MNC sketch of a non-leaf node from its children's sketches —
+// the single op-to-propagation-rule mapping shared by the estimation
+// service's memoized propagation and the evaluator's sketch-guided
+// execution. `right` must be non-null exactly for binary operations.
+//
+// Deterministic: the seed (not an Rng) crosses this boundary, so equal
+// (node shape/op, child sketches, seed, mode, config) always yield the same
+// sketch. With an enabled `config` and a non-null `pool` the parallel
+// propagation overloads run on the pool; each block derives its own PRNG
+// stream from `seed`, so results are bit-identical at any thread count.
+MncSketch PropagateNodeSketch(const ExprNode& node, const MncSketch& left,
+                              const MncSketch* right, uint64_t seed,
+                              RoundingMode mode = RoundingMode::kProbabilistic,
+                              const ParallelConfig& config = {},
+                              ThreadPool* pool = nullptr);
 
 // Threading audit: a SketchPropagator owns no PRNG, but its borrowed
 // estimator may (MncEstimator holds a mutable Rng), and the synopsis cache

@@ -30,6 +30,14 @@ Matrix Matrix::AutoFromDense(DenseMatrix dense) {
   return Dense(std::move(dense));
 }
 
+Matrix Matrix::AutoFromDenseEstimated(DenseMatrix dense,
+                                      double estimated_sparsity) {
+  if (estimated_sparsity >= kDenseDispatchThreshold) {
+    return Dense(std::move(dense));
+  }
+  return AutoFromDense(std::move(dense));
+}
+
 int64_t Matrix::rows() const { return is_dense() ? dense_->rows() : csr_->rows(); }
 int64_t Matrix::cols() const { return is_dense() ? dense_->cols() : csr_->cols(); }
 

@@ -36,6 +36,14 @@ class Matrix {
   // kDenseDispatchThreshold.
   static Matrix AutoFromDense(DenseMatrix dense);
 
+  // Format decision from an *estimated* sparsity (sketch-guided execution):
+  // when the estimate clears the dispatch threshold the dense result is
+  // wrapped as-is, skipping AutoFromDense's O(rows * cols) non-zero scan;
+  // otherwise defers to the scanning AutoFromDense so the stored format
+  // still matches the actual data even when the estimate is wrong.
+  static Matrix AutoFromDenseEstimated(DenseMatrix dense,
+                                       double estimated_sparsity);
+
   bool is_dense() const { return dense_ != nullptr; }
 
   int64_t rows() const;

@@ -1,6 +1,8 @@
 #include "mnc/matrix/ops_product.h"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 #include <vector>
 
 #include "mnc/kernels/kernels.h"
@@ -249,7 +251,326 @@ DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const CsrMatrix& b) {
   return c;
 }
 
-Matrix Multiply(const Matrix& a, const Matrix& b, ThreadPool* pool) {
+void GuidedExecStats::MergeFrom(const GuidedExecStats& other) {
+  guided_products += other.guided_products;
+  single_pass += other.single_pass;
+  two_pass_fallbacks += other.two_pass_fallbacks;
+  overflow_fallbacks += other.overflow_fallbacks;
+  dense_direct += other.dense_direct;
+  merge_rows += other.merge_rows;
+  scatter_rows += other.scatter_rows;
+  guided_reserve_bytes += other.guided_reserve_bytes;
+  blind_reserve_bytes += other.blind_reserve_bytes;
+}
+
+int64_t BlindReserveBytesModel(int64_t nnz) {
+  if (nnz <= 0) return 0;
+  int64_t cap = 1;
+  while (cap < nnz) cap <<= 1;
+  return 16 * cap;  // 8B value + 8B column index per entry
+}
+
+namespace {
+
+// Sorted small-row merge accumulator: materializes every (column, product)
+// contribution of one output row, stable-sorts by column, and
+// run-accumulates into out_idx/out_val. The stable sort preserves the
+// ascending-k contribution order within each column, and each run sums the
+// same products in the same order into a 0.0-seeded accumulator as the
+// scatter kernel does — so the emitted values are bit-identical to
+// scatter + gather, including the dropped exactly-cancelled runs. Returns
+// the entry count, or -1 when the row needs more than `cap` slots.
+int64_t SpGemmMergeRow(const CsrMatrix& a, const CsrMatrix& b, int64_t i,
+                       std::vector<std::pair<int64_t, double>>& pairs,
+                       int64_t* out_idx, double* out_val, int64_t cap) {
+  pairs.clear();
+  const auto a_idx = a.RowIndices(i);
+  const auto a_val = a.RowValues(i);
+  for (size_t ka = 0; ka < a_idx.size(); ++ka) {
+    const double av = a_val[ka];
+    const auto b_idx = b.RowIndices(a_idx[ka]);
+    const auto b_val = b.RowValues(a_idx[ka]);
+    for (size_t t = 0; t < b_idx.size(); ++t) {
+      pairs.emplace_back(b_idx[t], av * b_val[t]);
+    }
+  }
+  std::stable_sort(
+      pairs.begin(), pairs.end(),
+      [](const std::pair<int64_t, double>& x,
+         const std::pair<int64_t, double>& y) { return x.first < y.first; });
+  int64_t written = 0;
+  size_t t = 0;
+  while (t < pairs.size()) {
+    const int64_t col = pairs[t].first;
+    double v = 0.0;
+    for (; t < pairs.size() && pairs[t].first == col; ++t) v += pairs[t].second;
+    if (v != 0.0) {
+      if (written == cap) return -1;
+      out_idx[written] = col;
+      out_val[written] = v;
+      ++written;
+    }
+  }
+  return written;
+}
+
+// FLOP count (= pattern contributions) of output row i — the exact guard
+// for the merge-accumulator choice, O(nnz(A_i)).
+int64_t RowFlops(const CsrMatrix& a, const CsrMatrix& b, int64_t i) {
+  int64_t flops = 0;
+  for (int64_t k : a.RowIndices(i)) flops += b.RowNnz(k);
+  return flops;
+}
+
+}  // namespace
+
+CsrMatrix MultiplySparseSparseGuided(
+    const CsrMatrix& a, const CsrMatrix& b,
+    const std::vector<int64_t>& row_upper,
+    const std::vector<double>& row_estimate, const GuidedProductOptions& opts,
+    const ParallelConfig& config, ThreadPool* pool, GuidedExecStats* stats) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows();
+  const int64_t l = b.cols();
+  MNC_CHECK_EQ(static_cast<int64_t>(row_upper.size()), m);
+  GuidedExecStats local;
+  local.guided_products = 1;
+
+  // Merge-accumulator choice: triggered by the *estimated* row population
+  // (the bound when no estimate is supplied), guarded by the exact FLOP
+  // count so a badly colliding row cannot make the merge sort expensive.
+  const int64_t merge_max = opts.merge_accum_max_nnz;
+  auto use_merge = [&](int64_t i, int64_t flops) {
+    const double est = row_estimate.empty()
+                           ? static_cast<double>(row_upper[static_cast<size_t>(i)])
+                           : row_estimate[static_cast<size_t>(i)];
+    return est <= static_cast<double>(merge_max) && flops <= 8 * merge_max;
+  };
+  std::atomic<int64_t> merge_rows{0};
+  std::atomic<int64_t> scatter_rows{0};
+
+  const bool parallel = config.enabled() && pool != nullptr;
+  if (!parallel) {
+    // Sequential: the bounds become the pre-allocation hint (capped by the
+    // estimate total when available — bounds can grossly over-reserve on
+    // hub-heavy inputs) and rows append with per-row accumulator dispatch.
+    int64_t ub_total = 0;
+    for (int64_t ub : row_upper) ub_total += ub;
+    int64_t hint = ub_total;
+    if (!row_estimate.empty()) {
+      double est_total = 0.0;
+      for (double e : row_estimate) est_total += e;
+      hint = std::min(hint, static_cast<int64_t>(est_total) + 1);
+    }
+    hint = std::min(hint, m * l);
+
+    std::vector<int64_t> row_ptr(static_cast<size_t>(m) + 1, 0);
+    std::vector<int64_t> col_idx;
+    std::vector<double> values;
+    col_idx.reserve(static_cast<size_t>(hint));
+    values.reserve(static_cast<size_t>(hint));
+
+    ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+    lease->EnsureScatterCols(l);
+    double* acc = lease->scatter_acc();
+    char* seen = lease->scatter_seen();
+    std::vector<int64_t>& occupied = lease->scatter_list();
+    std::vector<std::pair<int64_t, double>>& pairs = lease->merge_pairs();
+
+    for (int64_t i = 0; i < m; ++i) {
+      const int64_t flops = RowFlops(a, b, i);
+      const size_t base = col_idx.size();
+      int64_t written = 0;
+      if (use_merge(i, flops)) {
+        merge_rows.fetch_add(1, std::memory_order_relaxed);
+        col_idx.resize(base + static_cast<size_t>(flops));
+        values.resize(base + static_cast<size_t>(flops));
+        written = SpGemmMergeRow(a, b, i, pairs, col_idx.data() + base,
+                                 values.data() + base, flops);
+      } else {
+        scatter_rows.fetch_add(1, std::memory_order_relaxed);
+        const auto a_idx = a.RowIndices(i);
+        const auto a_val = a.RowValues(i);
+        for (size_t ka = 0; ka < a_idx.size(); ++ka) {
+          const auto b_idx = b.RowIndices(a_idx[ka]);
+          const auto b_val = b.RowValues(a_idx[ka]);
+          kernels::SpGemmScatterRow(b_idx.data(), b_val.data(),
+                                    static_cast<int64_t>(b_idx.size()),
+                                    a_val[ka], acc, seen, occupied);
+        }
+        col_idx.resize(base + occupied.size());
+        values.resize(base + occupied.size());
+        written = kernels::SpGemmGatherRow(occupied, acc, seen,
+                                           col_idx.data() + base,
+                                           values.data() + base);
+      }
+      col_idx.resize(base + static_cast<size_t>(written));
+      values.resize(base + static_cast<size_t>(written));
+      row_ptr[static_cast<size_t>(i) + 1] =
+          static_cast<int64_t>(col_idx.size());
+    }
+    local.single_pass = 1;
+    local.merge_rows = merge_rows.load(std::memory_order_relaxed);
+    local.scatter_rows = scatter_rows.load(std::memory_order_relaxed);
+    local.guided_reserve_bytes = 16 * hint;
+    local.blind_reserve_bytes =
+        BlindReserveBytesModel(static_cast<int64_t>(col_idx.size()));
+    if (stats != nullptr) stats->MergeFrom(local);
+    return CsrMatrix(m, l, std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
+  }
+
+  // Parallel: single-pass fill into bound-sized slices — the symbolic pass
+  // of the two-pass kernel is exactly what the sketch bounds replace.
+  std::vector<int64_t> scan(static_cast<size_t>(m) + 1, 0);
+  for (int64_t i = 0; i < m; ++i) {
+    scan[static_cast<size_t>(i) + 1] =
+        scan[static_cast<size_t>(i)] + row_upper[static_cast<size_t>(i)];
+  }
+  const int64_t slice_total = scan[static_cast<size_t>(m)];
+  if (16 * slice_total > opts.single_pass_budget_bytes) {
+    CsrMatrix result = MultiplySparseSparse(a, b, config, pool);
+    local.two_pass_fallbacks = 1;
+    local.guided_reserve_bytes = 16 * result.NumNonZeros();
+    local.blind_reserve_bytes = 16 * result.NumNonZeros();
+    if (stats != nullptr) stats->MergeFrom(local);
+    return result;
+  }
+
+  std::vector<int64_t> col_idx(static_cast<size_t>(slice_total));
+  std::vector<double> values(static_cast<size_t>(slice_total));
+  std::vector<int64_t> row_nnz(static_cast<size_t>(m), 0);
+  std::atomic<bool> overflow{false};
+
+  ParallelForBlocks(pool, config, m,
+                    [&](int64_t /*block*/, int64_t lo, int64_t hi) {
+    ScratchPool::Lease lease = ScratchPool::Global().Acquire();
+    lease->EnsureScatterCols(l);
+    double* acc = lease->scatter_acc();
+    char* seen = lease->scatter_seen();
+    std::vector<int64_t>& occupied = lease->scatter_list();
+    std::vector<std::pair<int64_t, double>>& pairs = lease->merge_pairs();
+    int64_t block_merge = 0;
+    int64_t block_scatter = 0;
+    for (int64_t i = lo; i < hi; ++i) {
+      // The result is discarded on overflow, so later rows may bail early.
+      if (overflow.load(std::memory_order_relaxed)) break;
+      const int64_t base = scan[static_cast<size_t>(i)];
+      const int64_t cap = scan[static_cast<size_t>(i) + 1] - base;
+      const int64_t flops = RowFlops(a, b, i);
+      if (use_merge(i, flops)) {
+        ++block_merge;
+        const int64_t written =
+            SpGemmMergeRow(a, b, i, pairs, col_idx.data() + base,
+                           values.data() + base, cap);
+        if (written < 0) {
+          overflow.store(true, std::memory_order_relaxed);
+          break;
+        }
+        row_nnz[static_cast<size_t>(i)] = written;
+      } else {
+        ++block_scatter;
+        const auto a_idx = a.RowIndices(i);
+        const auto a_val = a.RowValues(i);
+        for (size_t ka = 0; ka < a_idx.size(); ++ka) {
+          const auto b_idx = b.RowIndices(a_idx[ka]);
+          const auto b_val = b.RowValues(a_idx[ka]);
+          kernels::SpGemmScatterRow(b_idx.data(), b_val.data(),
+                                    static_cast<int64_t>(b_idx.size()),
+                                    a_val[ka], acc, seen, occupied);
+        }
+        if (static_cast<int64_t>(occupied.size()) > cap) {
+          // Pattern outgrew the (estimated) bound. Restore the clean-buffer
+          // invariant before abandoning the pass.
+          for (int64_t j : occupied) {
+            acc[static_cast<size_t>(j)] = 0.0;
+            seen[static_cast<size_t>(j)] = 0;
+          }
+          occupied.clear();
+          overflow.store(true, std::memory_order_relaxed);
+          break;
+        }
+        row_nnz[static_cast<size_t>(i)] = kernels::SpGemmGatherRow(
+            occupied, acc, seen, col_idx.data() + base, values.data() + base);
+      }
+    }
+    merge_rows.fetch_add(block_merge, std::memory_order_relaxed);
+    scatter_rows.fetch_add(block_scatter, std::memory_order_relaxed);
+  });
+
+  if (overflow.load(std::memory_order_relaxed)) {
+    // A bound from a propagated sketch was violated; the two-pass kernel
+    // recomputes with exact sizing (bit-identical result).
+    CsrMatrix result = MultiplySparseSparse(a, b, config, pool);
+    local.overflow_fallbacks = 1;
+    local.guided_reserve_bytes =
+        16 * slice_total + 16 * result.NumNonZeros();
+    local.blind_reserve_bytes = 16 * result.NumNonZeros();
+    if (stats != nullptr) stats->MergeFrom(local);
+    return result;
+  }
+
+  // Compaction, exactly as in the two-pass kernel.
+  std::vector<int64_t> row_ptr(static_cast<size_t>(m) + 1, 0);
+  for (int64_t i = 0; i < m; ++i) {
+    row_ptr[static_cast<size_t>(i) + 1] =
+        row_ptr[static_cast<size_t>(i)] + row_nnz[static_cast<size_t>(i)];
+  }
+  const int64_t total = row_ptr[static_cast<size_t>(m)];
+  if (total != slice_total) {
+    std::vector<int64_t> packed_idx(static_cast<size_t>(total));
+    std::vector<double> packed_val(static_cast<size_t>(total));
+    for (int64_t i = 0; i < m; ++i) {
+      const int64_t src = scan[static_cast<size_t>(i)];
+      const int64_t dst = row_ptr[static_cast<size_t>(i)];
+      const int64_t cnt = row_nnz[static_cast<size_t>(i)];
+      std::copy_n(col_idx.begin() + src, cnt, packed_idx.begin() + dst);
+      std::copy_n(values.begin() + src, cnt, packed_val.begin() + dst);
+    }
+    col_idx = std::move(packed_idx);
+    values = std::move(packed_val);
+  }
+  local.single_pass = 1;
+  local.merge_rows = merge_rows.load(std::memory_order_relaxed);
+  local.scatter_rows = scatter_rows.load(std::memory_order_relaxed);
+  local.guided_reserve_bytes = 16 * slice_total;
+  local.blind_reserve_bytes = BlindReserveBytesModel(total);
+  if (stats != nullptr) stats->MergeFrom(local);
+  return CsrMatrix(m, l, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+DenseMatrix MultiplySparseSparseDense(const CsrMatrix& a, const CsrMatrix& b,
+                                      ThreadPool* pool) {
+  MNC_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows();
+  const int64_t l = b.cols();
+  DenseMatrix c(m, l);
+  auto compute_rows = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      double* ci = c.row(i);
+      const auto a_idx = a.RowIndices(i);
+      const auto a_val = a.RowValues(i);
+      for (size_t ka = 0; ka < a_idx.size(); ++ka) {
+        const double av = a_val[ka];
+        const auto b_idx = b.RowIndices(a_idx[ka]);
+        const auto b_val = b.RowValues(a_idx[ka]);
+        for (size_t t = 0; t < b_idx.size(); ++t) {
+          ci[b_idx[t]] += av * b_val[t];
+        }
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(m, compute_rows);
+  } else {
+    compute_rows(0, m);
+  }
+  return c;
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b, ThreadPool* pool,
+                int64_t expected_nnz) {
   MNC_CHECK_EQ(a.cols(), b.rows());
   if (a.is_dense() && b.is_dense()) {
     return Matrix::AutoFromDense(MultiplyDenseDense(a.dense(), b.dense(), pool));
@@ -257,13 +578,15 @@ Matrix Multiply(const Matrix& a, const Matrix& b, ThreadPool* pool) {
   if (!a.is_dense() && !b.is_dense()) {
     if (pool != nullptr && pool->num_threads() > 1) {
       // The parallel kernel is bit-identical to the sequential one, so the
-      // dispatch may use it whenever a pool is offered.
+      // dispatch may use it whenever a pool is offered. It sizes the output
+      // exactly (two passes), so the pre-allocation hint has no use here.
       ParallelConfig config;
       config.num_threads = pool->num_threads();
       return Matrix::AutoFromCsr(
           MultiplySparseSparse(a.csr(), b.csr(), config, pool));
     }
-    return Matrix::AutoFromCsr(MultiplySparseSparse(a.csr(), b.csr()));
+    return Matrix::AutoFromCsr(
+        MultiplySparseSparse(a.csr(), b.csr(), expected_nnz));
   }
   if (!a.is_dense()) {
     return Matrix::AutoFromDense(MultiplySparseDense(a.csr(), b.dense()));

@@ -41,9 +41,91 @@ DenseMatrix MultiplySparseDense(const CsrMatrix& a, const DenseMatrix& b);
 // C = A B with dense A, sparse B (dense output).
 DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const CsrMatrix& b);
 
+// ---- Sketch-guided execution --------------------------------------------
+//
+// The kernels below let an MNC-sketch-informed caller (the guided
+// Evaluator, see mnc/ir/evaluator.h) choose allocation strategy, output
+// format and per-row accumulator *before* computing. Estimates never change
+// values: every guided kernel accumulates each output cell in the same
+// ascending-k order as the blind kernels above, so results are bit-identical
+// to the blind path — wrong estimates only cost performance (or trigger the
+// documented fallbacks), never correctness.
+
+// Counters reported by the guided layer (mnc_tool serve stats, benchmarks).
+struct GuidedExecStats {
+  int64_t guided_products = 0;     // products that consulted estimates
+  int64_t single_pass = 0;         // symbolic pass skipped (bound-sized)
+  int64_t two_pass_fallbacks = 0;  // slices over budget -> two-pass kernel
+  int64_t overflow_fallbacks = 0;  // a row outgrew its slice -> recompute
+  int64_t dense_direct = 0;        // written straight into a DenseMatrix
+  int64_t merge_rows = 0;          // rows on the sorted-merge accumulator
+  int64_t scatter_rows = 0;        // rows on the dense scatter accumulator
+  // Output staging actually reserved by the guided kernels vs. the modeled
+  // allocation of the blind path for the same products (see
+  // BlindReserveBytesModel). The difference is the "bytes saved" figure in
+  // serve stats; it can be negative when bounds over-allocate.
+  int64_t guided_reserve_bytes = 0;
+  int64_t blind_reserve_bytes = 0;
+
+  void MergeFrom(const GuidedExecStats& other);
+};
+
+struct GuidedProductOptions {
+  // Budget for the bound-sized output slices of the single-pass kernel
+  // (16 bytes per potential entry). When the per-row upper bounds sum past
+  // it, the exact sizing of the two-pass kernel wins and the guided product
+  // falls back to it.
+  int64_t single_pass_budget_bytes = 64LL << 20;  // 64 MB
+  // Rows whose estimated output population is at or below this use the
+  // sorted small-row merge accumulator instead of touching the O(cols)
+  // scatter accumulator.
+  int64_t merge_accum_max_nnz = 32;
+};
+
+// Modeled output allocation of the blind (unhinted, sequential) SpGEMM for
+// a product that stores `nnz` entries: geometric doubling lands col_idx +
+// values at the smallest power-of-two capacity >= nnz, 16 bytes per entry.
+// Used only for the guided-vs-blind reserve counters.
+int64_t BlindReserveBytesModel(int64_t nnz);
+
+// Sketch-guided Gustavson SpGEMM. row_upper[i] bounds output row i's
+// pattern count (EstimateProductRows upper bounds); row_estimate (optional,
+// may be empty) carries the per-row estimates that drive the accumulator
+// choice. With an enabled config + pool this runs a SINGLE-PASS parallel
+// variant: output slices are sized by the bounds (no symbolic pass), rows
+// fill their slices in parallel, and the slices are compacted exactly like
+// the two-pass kernel's. Bounds from propagated (estimated) sketches are
+// not guarantees, so a row overflowing its slice aborts the single-pass
+// fill and recomputes via the two-pass kernel (overflow_fallbacks);
+// slices past the byte budget skip straight to the two-pass kernel
+// (two_pass_fallbacks). Sequentially the bounds become a reserve hint and
+// rows append with the same per-row accumulator dispatch. All paths return
+// the blind kernels' result bit-for-bit.
+CsrMatrix MultiplySparseSparseGuided(
+    const CsrMatrix& a, const CsrMatrix& b,
+    const std::vector<int64_t>& row_upper,
+    const std::vector<double>& row_estimate, const GuidedProductOptions& opts,
+    const ParallelConfig& config, ThreadPool* pool,
+    GuidedExecStats* stats = nullptr);
+
+// C = A B with both inputs sparse, accumulated directly into a dense output
+// — for products whose *estimated* sparsity clears the dense dispatch
+// threshold, skipping the CSR detour (sparse materialization + ToDense).
+// Each cell accumulates av * bv in the same ascending-k order as the CSR
+// scatter kernel, and an exactly-cancelled cell ends at +0.0 either way, so
+// the result equals MultiplySparseSparse(a, b).ToDense() bit-for-bit. Rows
+// are independent; a pool parallelizes them without changing the result.
+DenseMatrix MultiplySparseSparseDense(const CsrMatrix& a, const CsrMatrix& b,
+                                      ThreadPool* pool = nullptr);
+
 // Format-dispatching product; the output format is chosen from the actual
 // output sparsity (AutoFrom*). Aborts if inner dimensions disagree.
-Matrix Multiply(const Matrix& a, const Matrix& b, ThreadPool* pool = nullptr);
+// expected_nnz (optional, e.g. an MNC product estimate) is forwarded to the
+// sequential sparse-sparse kernel as its pre-allocation hint; the parallel
+// two-pass kernel sizes exactly and ignores it, and dense outputs have no
+// use for it. The result is identical either way.
+Matrix Multiply(const Matrix& a, const Matrix& b, ThreadPool* pool = nullptr,
+                int64_t expected_nnz = -1);
 
 // Exact number of non-zeros of A B without materializing values — a boolean
 // ("pattern") SpGEMM. Used by tests as an independent ground-truth check.

@@ -27,6 +27,7 @@
 #include "mnc/core/mnc_propagation.h"
 #include "mnc/core/mnc_sketch.h"
 #include "mnc/core/mnc_sketch_io.h"
+#include "mnc/core/row_estimates.h"
 #include "mnc/estimators/adaptive_density_map.h"
 #include "mnc/estimators/bitset_estimator.h"
 #include "mnc/estimators/density_map_estimator.h"

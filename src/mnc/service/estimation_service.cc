@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "mnc/estimators/fallback_estimator.h"
+#include "mnc/ir/evaluator.h"
 #include "mnc/ir/sketch_propagator.h"
 #include "mnc/lang/parser.h"
 #include "mnc/util/fail_point.h"
@@ -181,58 +182,8 @@ MncSketch EstimationService::PropagateNode(const ExprPtr& node,
   // same property: the seed (not an Rng) crosses the API boundary and each
   // block derives its own stream from it, so no PRNG state is ever shared
   // between tasks.
-  const uint64_t seed = node_hash ^ options_.seed;
-  Rng rng(seed);
-  const RoundingMode mode = options_.rounding;
-  const bool parallel = options_.parallel.enabled();
-  switch (node->op()) {
-    case OpKind::kMatMul:
-      if (parallel) {
-        return PropagateProduct(left, *right, seed, options_.parallel, &pool_,
-                                /*basic=*/false, mode);
-      }
-      return PropagateProduct(left, *right, rng, /*basic=*/false, mode);
-    case OpKind::kEWiseAdd:
-    case OpKind::kEWiseMax:
-      if (parallel) {
-        return PropagateEWiseAdd(left, *right, seed, options_.parallel, &pool_,
-                                 mode);
-      }
-      return node->op() == OpKind::kEWiseAdd
-                 ? PropagateEWiseAdd(left, *right, rng, mode)
-                 : PropagateEWiseMax(left, *right, rng, mode);
-    case OpKind::kEWiseMult:
-    case OpKind::kEWiseMin:
-      if (parallel) {
-        return PropagateEWiseMult(left, *right, seed, options_.parallel,
-                                  &pool_, mode);
-      }
-      return node->op() == OpKind::kEWiseMult
-                 ? PropagateEWiseMult(left, *right, rng, mode)
-                 : PropagateEWiseMin(left, *right, rng, mode);
-    case OpKind::kTranspose:
-      return PropagateTranspose(left);
-    case OpKind::kReshape:
-      return PropagateReshape(left, node->rows(), node->cols(), rng, mode);
-    case OpKind::kDiag:
-      return PropagateDiag(left, rng, mode);
-    case OpKind::kRBind:
-      return PropagateRBind(left, *right);
-    case OpKind::kCBind:
-      return PropagateCBind(left, *right);
-    case OpKind::kNotEqualZero:
-      return PropagateNotEqualZero(left);
-    case OpKind::kEqualZero:
-      return PropagateEqualZero(left);
-    case OpKind::kScale:
-      return PropagateScale(left);
-    case OpKind::kRowSums:
-      return PropagateRowSums(left);
-    case OpKind::kColSums:
-      return PropagateColSums(left);
-  }
-  MNC_CHECK_MSG(false, "unhandled operation in PropagateNode");
-  return left;  // unreachable
+  return PropagateNodeSketch(*node, left, right, node_hash ^ options_.seed,
+                             options_.rounding, options_.parallel, &pool_);
 }
 
 StatusOr<EstimateResult> EstimationService::Estimate(const ExprPtr& root) {
@@ -330,6 +281,56 @@ StatusOr<EstimateResult> EstimationService::EstimateSource(
   return Estimate(parsed.expr);
 }
 
+StatusOr<Matrix> EstimationService::Execute(const ExprPtr& root) {
+  executions_.fetch_add(1, std::memory_order_relaxed);
+  if (root == nullptr) {
+    return Status::InvalidArgument("Execute called with a null expression");
+  }
+  EvaluatorOptions opts;
+  opts.guided = options_.guided_exec;
+  opts.seed = options_.seed;
+  opts.rounding = options_.rounding;
+  if (options_.guided_exec) {
+    // Leaves whose storage is cataloged reuse their registered sketches;
+    // ad-hoc leaves return nullptr and are sketched by the evaluator.
+    opts.leaf_sketches =
+        [this](const ExprNode& leaf) -> std::shared_ptr<const MncSketch> {
+      std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+      if (auto it = storage_fp_.find(leaf.matrix().storage_key());
+          it != storage_fp_.end()) {
+        if (auto fit = by_fp_.find(it->second); fit != by_fp_.end()) {
+          return fit->second->sketch;
+        }
+      }
+      return nullptr;
+    };
+  }
+  // Per-call evaluator: its caches key on node identity, which is only
+  // stable within one caller's DAG.
+  Evaluator evaluator(&pool_, std::move(opts));
+  StatusOr<Matrix> result = evaluator.TryEvaluate(root);
+  if (options_.guided_exec) {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    guided_stats_.MergeFrom(evaluator.guided_stats());
+  }
+  return result;
+}
+
+StatusOr<Matrix> EstimationService::ExecuteSource(const std::string& source) {
+  std::map<std::string, Matrix> bindings;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    for (const auto& [name, entry] : by_name_) {
+      bindings.emplace(name, entry->leaf->matrix());
+    }
+  }
+  const ParseResult parsed = ParseProgram(source, bindings);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("parse error: " + parsed.error);
+  }
+  return Execute(parsed.expr);
+}
+
 std::vector<StatusOr<EstimateResult>> EstimationService::EstimateBatch(
     const std::vector<ExprPtr>& roots) {
   const int64_t n = static_cast<int64_t>(roots.size());
@@ -366,6 +367,11 @@ ServiceStats EstimationService::stats() const {
   s.batch_queries = batch_queries_.load(std::memory_order_relaxed);
   s.fallback_estimates = fallback_estimates_.load(std::memory_order_relaxed);
   s.failed_estimates = failed_estimates_.load(std::memory_order_relaxed);
+  s.executions = executions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    s.guided = guided_stats_;
+  }
   s.memo = memo_.stats();
   return s;
 }

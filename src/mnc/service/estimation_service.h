@@ -42,6 +42,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -51,6 +52,7 @@
 #include "mnc/core/mnc_sketch.h"
 #include "mnc/ir/expr.h"
 #include "mnc/ir/expr_hash.h"
+#include "mnc/matrix/ops_product.h"
 #include "mnc/service/sketch_cache.h"
 #include "mnc/util/parallel.h"
 #include "mnc/util/status.h"
@@ -87,6 +89,13 @@ struct EstimationServiceOptions {
   // are distribution-equal — not draw-for-draw equal — to the sequential
   // default.
   ParallelConfig parallel;
+
+  // Sketch-guided execution for Execute/ExecuteSource: products are
+  // pre-sized, format-dispatched and accumulator-dispatched from cataloged/
+  // propagated sketches (see mnc/ir/evaluator.h). Values are bit-identical
+  // with the flag on or off; only performance and the guided counters in
+  // ServiceStats change.
+  bool guided_exec = false;
 };
 
 struct EstimateResult {
@@ -113,6 +122,9 @@ struct ServiceStats {
   int64_t batch_queries = 0;
   int64_t fallback_estimates = 0;
   int64_t failed_estimates = 0;
+  // Execution.
+  int64_t executions = 0;
+  GuidedExecStats guided;
   // Memo table.
   SketchMemoStats memo;
 };
@@ -148,6 +160,16 @@ class EstimationService {
   // `roots` (null roots yield kInvalidArgument entries).
   std::vector<StatusOr<EstimateResult>> EstimateBatch(
       const std::vector<ExprPtr>& roots);
+
+  // Evaluates the DAG on the internal pool. With options.guided_exec set,
+  // execution is sketch-guided: cataloged leaf sketches are reused (ad-hoc
+  // leaves are sketched on the fly) and every product consults the
+  // estimates; the guided counters are folded into stats(). Values are
+  // identical either way.
+  StatusOr<Matrix> Execute(const ExprPtr& root);
+
+  // Parses `source` over the registered matrices and executes it.
+  StatusOr<Matrix> ExecuteSource(const std::string& source);
 
   ServiceStats stats() const;
   void ClearMemo() { memo_.Clear(); }
@@ -218,6 +240,11 @@ class EstimationService {
   mutable std::atomic<int64_t> batch_queries_{0};
   mutable std::atomic<int64_t> fallback_estimates_{0};
   mutable std::atomic<int64_t> failed_estimates_{0};
+  mutable std::atomic<int64_t> executions_{0};
+
+  // Guided-execution counters merged from per-call Evaluators.
+  mutable std::mutex exec_mu_;
+  GuidedExecStats guided_stats_;
 };
 
 }  // namespace mnc

@@ -66,12 +66,42 @@ class ScratchArena {
     return stage_bytes_;
   }
 
+  // Integer staging (gathered count vectors for the per-row product
+  // estimates). Two independent vectors so a caller can stage aligned
+  // (hr, her) pairs without aliasing.
+  std::vector<int64_t>& StageInts(size_t n) {
+    stage_ints_.resize(n);
+    return stage_ints_;
+  }
+  std::vector<int64_t>& StageInts2(size_t n) {
+    stage_ints2_.resize(n);
+    return stage_ints2_;
+  }
+
+  // Grow-only all-ones vector: the neutral operand for the count-dot /
+  // density-combine kernels when one side is a gathered vector and the
+  // other is implicitly 1. Callers must not modify the contents.
+  const int64_t* StageOnes(size_t n) {
+    if (stage_ones_.size() < n) stage_ones_.resize(n, 1);
+    return stage_ones_.data();
+  }
+
+  // (column, value) staging for the sorted-merge SpGEMM accumulator;
+  // cleared per row, capacity retained across rows and leases.
+  std::vector<std::pair<int64_t, double>>& merge_pairs() {
+    return merge_pairs_;
+  }
+
  private:
   std::vector<double> scatter_acc_;
   std::vector<char> scatter_seen_;
   std::vector<int64_t> scatter_list_;
   std::vector<double> stage_doubles_;
   std::vector<char> stage_bytes_;
+  std::vector<int64_t> stage_ints_;
+  std::vector<int64_t> stage_ints2_;
+  std::vector<int64_t> stage_ones_;
+  std::vector<std::pair<int64_t, double>> merge_pairs_;
 };
 
 // A mutex-guarded free list of arenas. Acquire() pops a recycled arena (or

@@ -12,6 +12,10 @@
 //   (c) Theorem 3.1 and structural exactness: single-nnz-row inputs,
 //       permutations and diagonals estimate exactly; and sketch IO v2
 //       round-trips every generated sketch bit-for-bit.
+//   (e) sketch-guided execution: per-row Theorem 3.2 upper bounds dominate
+//       the exact per-row SpGEMM pattern counts (with per-row Theorem 3.1
+//       exactness on the structured archetypes), and guided DAG evaluation
+//       reproduces the blind evaluator bit-for-bit, sequential and pooled.
 //
 // Runs under ASan and TSan in CI (debug-asan-ubsan and debug-tsan jobs).
 
@@ -23,7 +27,9 @@
 #include "differential_harness.h"
 #include "mnc/core/mnc_estimator.h"
 #include "mnc/core/mnc_propagation.h"
+#include "mnc/core/row_estimates.h"
 #include "mnc/estimators/bitset_estimator.h"
+#include "mnc/ir/evaluator.h"
 #include "mnc/matrix/ops_product.h"
 #include "mnc/util/thread_pool.h"
 
@@ -292,6 +298,130 @@ TEST_P(DifferentialHarnessTest, SimdPropagationAndSpGemmMatchScalar) {
     EXPECT_EQ(bool_and[0], bool_and[i]);
     EXPECT_EQ(bool_or[0], bool_or[i]);
   }
+}
+
+// (e) Sketch-guided execution properties (PR 5).
+
+TEST_P(DifferentialHarnessTest, PerRowEstimatesBoundExactRowCounts) {
+  Rng rng(Seed() * 10007 + 43);
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    const int64_t dim = RandomDim(rng);
+    const CsrMatrix ma = RandomLeaf(rng, dim);
+    const CsrMatrix mb = RandomLeaf(rng, dim);
+    const MncSketch b = MncSketch::FromCsr(mb);
+
+    const std::vector<RowProductEstimate> rows = EstimateProductRows(ma, b);
+    ASSERT_EQ(static_cast<int64_t>(rows.size()), dim);
+
+    std::vector<char> seen(static_cast<size_t>(mb.cols()), 0);
+    for (int64_t i = 0; i < dim; ++i) {
+      // Exact pattern count of output row i (the symbolic ground truth the
+      // single-pass kernel's slice must hold).
+      int64_t exact = 0;
+      for (int64_t k : ma.RowIndices(i)) {
+        for (int64_t j : mb.RowIndices(k)) {
+          if (!seen[static_cast<size_t>(j)]) {
+            seen[static_cast<size_t>(j)] = 1;
+            ++exact;
+          }
+        }
+      }
+      for (int64_t k : ma.RowIndices(i)) {
+        for (int64_t j : mb.RowIndices(k)) seen[static_cast<size_t>(j)] = 0;
+      }
+      const RowProductEstimate& r = rows[static_cast<size_t>(i)];
+      EXPECT_LE(exact, r.upper_bound) << "round=" << round << " row=" << i;
+      EXPECT_LE(r.estimate, static_cast<double>(r.upper_bound))
+          << "round=" << round << " row=" << i;
+      if (r.exact) {
+        EXPECT_EQ(static_cast<double>(exact), r.estimate)
+            << "round=" << round << " row=" << i;
+      }
+    }
+
+    // Parallel row estimation is bit-identical to sequential at any thread
+    // count (rows are independent).
+    for (int threads : {1, 7}) {
+      const std::vector<RowProductEstimate> par =
+          EstimateProductRows(ma, b, HarnessConfig(threads), &pool);
+      ASSERT_EQ(rows.size(), par.size()) << "threads=" << threads;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].upper_bound, par[i].upper_bound)
+            << "threads=" << threads << " row=" << i;
+        EXPECT_EQ(rows[i].estimate, par[i].estimate)
+            << "threads=" << threads << " row=" << i;
+        EXPECT_EQ(rows[i].exact, par[i].exact)
+            << "threads=" << threads << " row=" << i;
+      }
+    }
+  }
+
+  // Per-row Theorem 3.1 exactness: a single-nnz-per-row left operand makes
+  // every row exact (A1), and a max_hc <= 1 right operand does too (A2).
+  const int64_t dim = RandomDim(rng);
+  const CsrMatrix single = MakeLeaf(difftest::Archetype::kOneNnzPerRow, dim, rng);
+  const CsrMatrix any = RandomLeaf(rng, dim);
+  for (const RowProductEstimate& r :
+       EstimateProductRows(single, MncSketch::FromCsr(any))) {
+    EXPECT_TRUE(r.exact);
+  }
+  const CsrMatrix perm = MakeLeaf(difftest::Archetype::kPermutation, dim, rng);
+  for (const RowProductEstimate& r :
+       EstimateProductRows(any, MncSketch::FromCsr(perm))) {
+    EXPECT_TRUE(r.exact);
+  }
+}
+
+TEST_P(DifferentialHarnessTest, GuidedEvaluationBitIdenticalToBlind) {
+  Rng rng(Seed() * 11003 + 47);
+  const int64_t dim = RandomDim(rng);
+  auto leaf = [&](CsrMatrix m) {
+    return ExprNode::Leaf(Matrix::Sparse(std::move(m)));
+  };
+  const ExprPtr a = leaf(RandomLeaf(rng, dim));
+  const ExprPtr b = leaf(RandomLeaf(rng, dim));
+  const ExprPtr c = leaf(RandomLeaf(rng, dim));
+  const ExprPtr d = leaf(RandomLeaf(rng, dim));
+
+  // Chains and ewise mixes: products over propagated (non-leaf) sketches are
+  // exactly where bounds stop being guarantees, so these cover the overflow
+  // detection, not just the exact-bound fast path.
+  const ExprPtr roots[] = {
+      ExprNode::MatMul(ExprNode::MatMul(a, b), c),
+      ExprNode::MatMul(ExprNode::Transpose(a), ExprNode::EWiseAdd(b, c)),
+      ExprNode::EWiseMult(ExprNode::MatMul(a, b), ExprNode::MatMul(c, d)),
+      ExprNode::MatMul(ExprNode::MatMul(a, a), ExprNode::MatMul(a, a)),
+  };
+  EvaluatorOptions guided;
+  guided.guided = true;
+  guided.seed = Seed();
+  for (const ExprPtr& root : roots) {
+    Evaluator blind(nullptr);
+    const CsrMatrix expected = blind.Evaluate(root).AsCsr();
+    Evaluator seq(nullptr, guided);
+    EXPECT_TRUE(CsrBitIdentical(expected, seq.Evaluate(root).AsCsr()));
+    for (int threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      Evaluator par(&pool, guided);
+      EXPECT_TRUE(CsrBitIdentical(expected, par.Evaluate(root).AsCsr()))
+          << "threads=" << threads;
+    }
+  }
+
+  // Degenerate knobs force the fallback and accumulator edges: a zero
+  // single-pass budget always falls back to the two-pass kernel, and a huge
+  // merge threshold routes every row through the sorted-merge accumulator.
+  // Values must not move.
+  EvaluatorOptions stress = guided;
+  stress.single_pass_budget_bytes = 0;
+  stress.merge_accum_max_nnz = 1 << 20;
+  const ExprPtr chain = ExprNode::MatMul(ExprNode::MatMul(a, b), c);
+  ThreadPool pool(4);
+  Evaluator blind(&pool);
+  Evaluator stressed(&pool, stress);
+  EXPECT_TRUE(CsrBitIdentical(blind.Evaluate(chain).AsCsr(),
+                              stressed.Evaluate(chain).AsCsr()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialHarnessTest,

@@ -9,6 +9,7 @@
 #include "mnc/ir/expr.h"
 #include "mnc/matrix/generate.h"
 #include "mnc/matrix/matrix.h"
+#include "mnc/matrix/ops_product.h"
 #include "mnc/util/fail_point.h"
 #include "mnc/util/random.h"
 
@@ -352,6 +353,80 @@ TEST(EstimationServiceTest, SubexpressionReuseAcrossDifferentRoots) {
   // Exactly one new miss: the root fast-path lookup (the root is then
   // computed inline, and the A B sub-entry and both leaves all hit).
   EXPECT_EQ(stats.memo.misses - misses_before, 1);
+}
+
+TEST(EstimationServiceTest, ExecuteGuidedAndBlindAreBitIdentical) {
+  // guided_exec is a performance switch: the same program must produce the
+  // same values (compared as CSR, so a dense-direct product still matches)
+  // whether products are sketch-guided or blind.
+  EstimationServiceOptions blind_opts;
+  blind_opts.guided_exec = false;
+  EstimationService blind(blind_opts);
+
+  EstimationServiceOptions guided_opts;
+  guided_opts.guided_exec = true;
+  EstimationService guided(guided_opts);
+
+  for (EstimationService* s : {&blind, &guided}) {
+    ASSERT_TRUE(s->RegisterMatrix("A", TestMatrix(40, 40, 0.08, 1)).ok());
+    ASSERT_TRUE(s->RegisterMatrix("B", TestMatrix(40, 40, 0.08, 2)).ok());
+    ASSERT_TRUE(s->RegisterMatrix("C", TestMatrix(40, 40, 0.08, 3)).ok());
+  }
+
+  const std::string program = "T = A %*% B; (T %*% C) * (A + C)";
+  auto want = blind.ExecuteSource(program);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  auto got = guided.ExecuteSource(program);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->AsCsr().Equals(want->AsCsr()));
+
+  // Guided counters surfaced through stats(); the blind run reports zeros.
+  EXPECT_EQ(blind.stats().executions, 1);
+  EXPECT_EQ(blind.stats().guided.guided_products, 0);
+  EXPECT_EQ(guided.stats().executions, 1);
+  EXPECT_EQ(guided.stats().guided.guided_products, 2);
+  EXPECT_EQ(guided.stats().guided.two_pass_fallbacks +
+                guided.stats().guided.overflow_fallbacks,
+            0);
+}
+
+TEST(EstimationServiceTest, ExecuteReusesCatalogedLeafSketches) {
+  // Leaves registered with the service already have exact sketches in the
+  // catalog; a guided Execute must consume those rather than rescanning, so
+  // results are identical and no new sketches are registered.
+  EstimationServiceOptions options;
+  options.guided_exec = true;
+  EstimationService service(options);
+  const Matrix ma = TestMatrix(30, 30, 0.1, 7);
+  const Matrix mb = TestMatrix(30, 30, 0.1, 8);
+  auto a = service.RegisterMatrix("A", ma);
+  auto b = service.RegisterMatrix("B", mb);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const int64_t sketches_before = service.stats().registered_sketches;
+
+  auto r = service.Execute(ExprNode::MatMul(*a, *b));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->AsCsr().Equals(MultiplySparseSparse(ma.AsCsr(), mb.AsCsr())));
+  EXPECT_EQ(service.stats().registered_sketches, sketches_before);
+  EXPECT_EQ(service.stats().executions, 1);
+}
+
+TEST(EstimationServiceTest, ExecuteSourceErrorsAreRecoverable) {
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterMatrix("X", TestMatrix(20, 20, 0.2, 1)).ok());
+
+  auto unknown = service.ExecuteSource("X %*% Unknown");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+
+  auto parse_err = service.ExecuteSource("X %*%");
+  ASSERT_FALSE(parse_err.ok());
+  EXPECT_EQ(parse_err.status().code(), StatusCode::kInvalidArgument);
+
+  // The service stays usable after failed executions.
+  auto ok = service.ExecuteSource("X %*% X");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->rows(), 20);
 }
 
 }  // namespace

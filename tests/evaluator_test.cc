@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "mnc/core/mnc_sketch.h"
 #include "mnc/matrix/generate.h"
 #include "mnc/matrix/ops_ewise.h"
 #include "mnc/matrix/ops_product.h"
@@ -116,6 +119,131 @@ TEST(EvaluatorTest, CacheSurvivesNodeChurn) {
     Evaluator fresh;
     EXPECT_TRUE(got.EqualsLogically(fresh.Evaluate(acc))) << round;
   }
+}
+
+TEST(EvaluatorTest, GuidedOffLeavesStatsAndSketchesEmpty) {
+  // guided=false is the default construction path; no sketches may be built
+  // and every counter must stay zero — the blind history is untouched.
+  Rng rng(20);
+  CsrMatrix a = GenerateUniformSparse(16, 16, 0.2, rng);
+  CsrMatrix b = GenerateUniformSparse(16, 16, 0.2, rng);
+  ExprPtr expr = ExprNode::MatMul(ExprNode::Leaf(Matrix::Sparse(a)),
+                                  ExprNode::Leaf(Matrix::Sparse(b)));
+  Evaluator eval;
+  eval.Evaluate(expr);
+  EXPECT_EQ(eval.guided_stats().guided_products, 0);
+  EXPECT_EQ(eval.guided_stats().single_pass, 0);
+  EXPECT_EQ(eval.guided_stats().dense_direct, 0);
+  EXPECT_EQ(eval.NodeSketch(expr.get()), nullptr);
+}
+
+TEST(EvaluatorTest, GuidedMatchesBlindAndPopulatesStats) {
+  // Sparse enough that neither product crosses the dense-dispatch
+  // threshold: both stay on the guided CSR kernel, which accounts every
+  // output row to exactly one accumulator.
+  Rng rng(21);
+  CsrMatrix a = GenerateUniformSparse(24, 24, 0.05, rng);
+  CsrMatrix b = GenerateUniformSparse(24, 24, 0.05, rng);
+  CsrMatrix c = GenerateUniformSparse(24, 24, 0.05, rng);
+  ExprPtr la = ExprNode::Leaf(Matrix::Sparse(a));
+  ExprPtr lb = ExprNode::Leaf(Matrix::Sparse(b));
+  ExprPtr lc = ExprNode::Leaf(Matrix::Sparse(c));
+  ExprPtr expr = ExprNode::MatMul(ExprNode::MatMul(la, lb),
+                                  ExprNode::EWiseAdd(lc, lc));
+
+  Evaluator blind;
+  Matrix expected = blind.Evaluate(expr);
+
+  EvaluatorOptions opts;
+  opts.guided = true;
+  Evaluator guided(nullptr, opts);
+  Matrix got = guided.Evaluate(expr);
+
+  EXPECT_TRUE(got.AsCsr().Equals(expected.AsCsr()));
+  // Two sparse-sparse products ran through the guided dispatch.
+  EXPECT_EQ(guided.guided_stats().guided_products, 2);
+  EXPECT_EQ(guided.guided_stats().merge_rows +
+                guided.guided_stats().scatter_rows,
+            2 * 24);
+  // Every node of the DAG got a sketch, consistent with its result.
+  const MncSketch* root_sketch = guided.NodeSketch(expr.get());
+  ASSERT_NE(root_sketch, nullptr);
+  EXPECT_EQ(root_sketch->rows(), got.rows());
+  EXPECT_EQ(root_sketch->cols(), got.cols());
+  ASSERT_NE(guided.NodeSketch(la.get()), nullptr);
+  // Leaf sketches are exact, built from the matrix itself.
+  EXPECT_EQ(guided.NodeSketch(la.get())->nnz(), a.NumNonZeros());
+}
+
+TEST(EvaluatorTest, GuidedLeafSketchProviderIsConsulted) {
+  Rng rng(22);
+  CsrMatrix a = GenerateUniformSparse(12, 12, 0.25, rng);
+  CsrMatrix b = GenerateUniformSparse(12, 12, 0.25, rng);
+  ExprPtr la = ExprNode::Leaf(Matrix::Sparse(a));
+  ExprPtr lb = ExprNode::Leaf(Matrix::Sparse(b));
+  ExprPtr expr = ExprNode::MatMul(la, lb);
+
+  int provider_calls = 0;
+  auto precomputed = std::make_shared<const MncSketch>(
+      MncSketch::FromMatrix(Matrix::Sparse(a)));
+  EvaluatorOptions opts;
+  opts.guided = true;
+  opts.leaf_sketches = [&](const ExprNode& node)
+      -> std::shared_ptr<const MncSketch> {
+    ++provider_calls;
+    // Serve only the first leaf; the evaluator must build the other itself.
+    return &node == la.get() ? precomputed : nullptr;
+  };
+  Evaluator eval(nullptr, opts);
+  Matrix got = eval.Evaluate(expr);
+
+  EXPECT_EQ(provider_calls, 2);
+  EXPECT_EQ(eval.NodeSketch(la.get()), precomputed.get());
+  ASSERT_NE(eval.NodeSketch(lb.get()), nullptr);
+  EXPECT_TRUE(got.AsCsr().Equals(MultiplySparseSparse(a, b)));
+}
+
+TEST(EvaluatorTest, GuidedClearCacheDropsSketchesKeepsStats) {
+  Rng rng(23);
+  CsrMatrix a = GenerateUniformSparse(10, 10, 0.3, rng);
+  ExprPtr la = ExprNode::Leaf(Matrix::Sparse(a));
+  ExprPtr expr = ExprNode::MatMul(la, la);
+  EvaluatorOptions opts;
+  opts.guided = true;
+  Evaluator eval(nullptr, opts);
+
+  Matrix first = eval.Evaluate(expr);
+  ASSERT_NE(eval.NodeSketch(expr.get()), nullptr);
+  const int64_t products_after_first = eval.guided_stats().guided_products;
+  EXPECT_EQ(products_after_first, 1);
+
+  eval.ClearCache();
+  EXPECT_EQ(eval.NodeSketch(expr.get()), nullptr);
+  // Counters survive ClearCache (they report lifetime work, like the
+  // service's cumulative stats); re-evaluation is bit-identical.
+  Matrix second = eval.Evaluate(expr);
+  EXPECT_TRUE(second.AsCsr().Equals(first.AsCsr()));
+  EXPECT_EQ(eval.guided_stats().guided_products, products_after_first + 1);
+}
+
+TEST(EvaluatorTest, GuidedDenseBoundProductComesBackDense) {
+  // A dense-ish product (est sparsity >= the dense dispatch threshold) must
+  // be produced directly as a DenseMatrix, and still match the blind values.
+  Rng rng(24);
+  CsrMatrix a = GenerateUniformSparse(32, 32, 0.4, rng);
+  CsrMatrix b = GenerateUniformSparse(32, 32, 0.4, rng);
+  ExprPtr expr = ExprNode::MatMul(ExprNode::Leaf(Matrix::Sparse(a)),
+                                  ExprNode::Leaf(Matrix::Sparse(b)));
+  Evaluator blind;
+  Matrix expected = blind.Evaluate(expr);
+
+  EvaluatorOptions opts;
+  opts.guided = true;
+  Evaluator guided(nullptr, opts);
+  Matrix got = guided.Evaluate(expr);
+  EXPECT_EQ(guided.guided_stats().dense_direct, 1);
+  EXPECT_TRUE(got.is_dense());
+  EXPECT_TRUE(got.AsCsr().Equals(expected.AsCsr()));
 }
 
 TEST(EvaluatorTest, ReshapeAndDiag) {

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/core/row_estimates.h"
+#include "mnc/matrix/checked_ops.h"
 #include "mnc/matrix/generate.h"
 #include "mnc/util/random.h"
+#include "mnc/util/thread_pool.h"
 
 namespace mnc {
 namespace {
@@ -135,6 +139,163 @@ INSTANTIATE_TEST_SUITE_P(
     SparsitySweep, ProductKernelTest,
     ::testing::Combine(::testing::Values(0.0, 0.05, 0.3, 1.0),
                        ::testing::Values(0.0, 0.05, 0.3, 1.0)));
+
+// ---- Sketch-guided kernels (PR 5) ----
+
+// Per-row bounds/estimates for the guided kernel, as the evaluator builds
+// them.
+void RowHints(const CsrMatrix& a, const CsrMatrix& b,
+              std::vector<int64_t>* upper, std::vector<double>* estimate) {
+  for (const RowProductEstimate& r :
+       EstimateProductRows(a, MncSketch::FromCsr(b))) {
+    upper->push_back(r.upper_bound);
+    estimate->push_back(r.estimate);
+  }
+}
+
+ParallelConfig GuidedTestConfig(int threads) {
+  ParallelConfig config;
+  config.num_threads = threads;
+  config.min_rows_per_task = 8;
+  return config;
+}
+
+TEST(GuidedProductTest, MatchesBlindWithExactBounds) {
+  Rng rng(11);
+  const CsrMatrix a = GenerateUniformSparse(80, 70, 0.08, rng);
+  const CsrMatrix b = GenerateUniformSparse(70, 90, 0.08, rng);
+  const CsrMatrix blind = MultiplySparseSparse(a, b);
+  std::vector<int64_t> upper;
+  std::vector<double> estimate;
+  RowHints(a, b, &upper, &estimate);
+  const GuidedProductOptions opts;
+
+  GuidedExecStats seq_stats;
+  EXPECT_TRUE(MultiplySparseSparseGuided(a, b, upper, estimate, opts,
+                                         ParallelConfig{}, nullptr, &seq_stats)
+                  .Equals(blind));
+  EXPECT_EQ(seq_stats.single_pass, 1);
+  EXPECT_EQ(seq_stats.overflow_fallbacks, 0);
+
+  ThreadPool pool(4);
+  GuidedExecStats par_stats;
+  EXPECT_TRUE(MultiplySparseSparseGuided(a, b, upper, estimate, opts,
+                                         GuidedTestConfig(4), &pool,
+                                         &par_stats)
+                  .Equals(blind));
+  EXPECT_EQ(par_stats.single_pass, 1);
+  EXPECT_EQ(par_stats.overflow_fallbacks, 0);
+  EXPECT_EQ(par_stats.two_pass_fallbacks, 0);
+}
+
+TEST(GuidedProductTest, LyingBoundsOverflowIntoTwoPassRecompute) {
+  // All-zero "bounds" (a propagated sketch can under-estimate) must trip the
+  // overflow detection of the parallel single-pass fill and recompute via
+  // the two-pass kernel without changing the result.
+  Rng rng(13);
+  const CsrMatrix a = GenerateUniformSparse(60, 60, 0.1, rng);
+  const CsrMatrix b = GenerateUniformSparse(60, 60, 0.1, rng);
+  const CsrMatrix blind = MultiplySparseSparse(a, b);
+  const std::vector<int64_t> zeros(60, 0);
+
+  ThreadPool pool(4);
+  GuidedExecStats stats;
+  EXPECT_TRUE(MultiplySparseSparseGuided(a, b, zeros, {},
+                                         GuidedProductOptions{},
+                                         GuidedTestConfig(4), &pool, &stats)
+                  .Equals(blind));
+  EXPECT_EQ(stats.overflow_fallbacks, 1);
+  EXPECT_EQ(stats.single_pass, 0);
+}
+
+TEST(GuidedProductTest, ZeroBudgetFallsBackToTwoPass) {
+  Rng rng(17);
+  const CsrMatrix a = GenerateUniformSparse(50, 50, 0.1, rng);
+  const CsrMatrix b = GenerateUniformSparse(50, 50, 0.1, rng);
+  const CsrMatrix blind = MultiplySparseSparse(a, b);
+  std::vector<int64_t> upper;
+  std::vector<double> estimate;
+  RowHints(a, b, &upper, &estimate);
+  GuidedProductOptions opts;
+  opts.single_pass_budget_bytes = 0;
+
+  ThreadPool pool(4);
+  GuidedExecStats stats;
+  EXPECT_TRUE(MultiplySparseSparseGuided(a, b, upper, estimate, opts,
+                                         GuidedTestConfig(4), &pool, &stats)
+                  .Equals(blind));
+  EXPECT_EQ(stats.two_pass_fallbacks, 1);
+  EXPECT_EQ(stats.single_pass, 0);
+}
+
+TEST(GuidedProductTest, MergeAccumulatorBitIdenticalToScatter) {
+  Rng rng(19);
+  const CsrMatrix a = GenerateUniformSparse(64, 64, 0.06, rng);
+  const CsrMatrix b = GenerateUniformSparse(64, 64, 0.06, rng);
+  const CsrMatrix blind = MultiplySparseSparse(a, b);
+  std::vector<int64_t> upper;
+  std::vector<double> estimate;
+  RowHints(a, b, &upper, &estimate);
+
+  // Route everything through the sorted-merge accumulator, then everything
+  // through the scatter accumulator (a negative threshold excludes even
+  // empty rows, whose estimate is 0); both must equal the blind kernel.
+  for (int64_t merge_max : {int64_t{1} << 20, int64_t{-1}}) {
+    GuidedProductOptions opts;
+    opts.merge_accum_max_nnz = merge_max;
+    for (int threads : {1, 4}) {
+      ThreadPool pool(threads);
+      GuidedExecStats stats;
+      EXPECT_TRUE(MultiplySparseSparseGuided(a, b, upper, estimate, opts,
+                                             GuidedTestConfig(threads), &pool,
+                                             &stats)
+                      .Equals(blind))
+          << "merge_max=" << merge_max << " threads=" << threads;
+      if (merge_max > 0) {
+        EXPECT_GT(stats.merge_rows, 0) << "threads=" << threads;
+        EXPECT_EQ(stats.scatter_rows, 0) << "threads=" << threads;
+      } else {
+        EXPECT_EQ(stats.merge_rows, 0) << "threads=" << threads;
+        EXPECT_GT(stats.scatter_rows, 0) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(GuidedProductTest, DenseDirectMatchesCsrDetourBitwise) {
+  Rng rng(23);
+  const CsrMatrix a = GenerateUniformSparse(50, 40, 0.3, rng);
+  const CsrMatrix b = GenerateUniformSparse(40, 45, 0.3, rng);
+  const DenseMatrix detour = MultiplySparseSparse(a, b).ToDense();
+  EXPECT_TRUE(MultiplySparseSparseDense(a, b).Equals(detour));
+  ThreadPool pool(3);
+  EXPECT_TRUE(MultiplySparseSparseDense(a, b, &pool).Equals(detour));
+}
+
+TEST(GuidedProductTest, BlindReserveModelIsPowerOfTwoSized) {
+  EXPECT_EQ(BlindReserveBytesModel(0), 0);
+  EXPECT_EQ(BlindReserveBytesModel(1), 16);
+  EXPECT_EQ(BlindReserveBytesModel(5), 16 * 8);
+  EXPECT_EQ(BlindReserveBytesModel(8), 16 * 8);
+  EXPECT_EQ(BlindReserveBytesModel(9), 16 * 16);
+}
+
+TEST(ProductTest, FacadeNnzHintDoesNotChangeResult) {
+  Rng rng(29);
+  const Matrix a =
+      Matrix::Sparse(GenerateUniformSparse(40, 30, 0.1, rng));
+  const Matrix b =
+      Matrix::Sparse(GenerateUniformSparse(30, 35, 0.1, rng));
+  const Matrix plain = Multiply(a, b);
+  // Deliberately wrong hints in both directions.
+  for (int64_t hint : {int64_t{1}, int64_t{100000}}) {
+    const Matrix hinted = Multiply(a, b, nullptr, hint);
+    EXPECT_TRUE(plain.AsCsr().Equals(hinted.AsCsr())) << "hint=" << hint;
+    const StatusOr<Matrix> checked = TryMultiply(a, b, nullptr, hint);
+    ASSERT_TRUE(checked.ok()) << "hint=" << hint;
+    EXPECT_TRUE(plain.AsCsr().Equals(checked->AsCsr())) << "hint=" << hint;
+  }
+}
 
 }  // namespace
 }  // namespace mnc

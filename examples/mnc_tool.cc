@@ -18,7 +18,7 @@
 //       Optimizes the multiplication chain, comparing the dimension-only
 //       and the sparsity-aware (MNC) dynamic programs.
 //   serve [--budget-mb <m>] [--threads <n>] [--guided]
-//       [--exec "cmd; cmd; ..."]
+//       [--exec "cmd; cmd; ..."] [--listen <port> [--workers <n>]]
 //       Runs a long-lived estimation service: matrices are registered once
 //       (sketch catalog with content dedup), and repeated queries are
 //       answered from the canonicalized-expression memo cache. With
@@ -31,7 +31,16 @@
 //         exec <expression>            evaluate a DML-like expression
 //         stats                        print catalog/memo/query counters
 //         clear                        drop all memoized sub-expressions
+//         sleep <ms>                   hold a worker (testing/drain drills)
 //         quit                         exit
+//       With --listen the same commands are served over a framed TCP
+//       socket on 127.0.0.1:<port> (--exec preloads the catalog first);
+//       SIGINT/SIGTERM drains gracefully. Without --listen, stdin is the
+//       offline mode of the same command layer.
+//   client --connect <port> [--deadline-ms <n>] [--exec "cmd; cmd; ..."]
+//       Connects to a `serve --listen` server and runs commands from stdin
+//       (or --exec). Typed server errors (deadline exceeded, server busy,
+//       degraded-tier notes) are reported per command.
 //   expr "<expression-or-script>" --bind NAME=file.mtx [--bind ...]
 //       [--exact]
 //       Parses a DML-like expression or multi-statement script (%*%, *, +,
@@ -45,12 +54,15 @@
 //   mnc_tool generate uniform 5000 5000 0.001 b.mtx
 //   mnc_tool estimate matmul a.mtx b.mtx --exact
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -71,7 +83,10 @@ int Usage() {
                "  mnc_tool expr \"<expression>\" --bind NAME=file.mtx"
                " [--bind ...] [--exact]\n"
                "  mnc_tool serve [--budget-mb <m>] [--threads <n>]"
-               " [--guided] [--exec \"cmd; cmd; ...\"]\n");
+               " [--guided] [--exec \"cmd; cmd; ...\"]"
+               " [--listen <port> [--workers <n>]]\n"
+               "  mnc_tool client --connect <port> [--deadline-ms <n>]"
+               " [--exec \"cmd; cmd; ...\"]\n");
   return 2;
 }
 
@@ -409,158 +424,99 @@ int CmdChain(int argc, char** argv) {
   return 0;
 }
 
-// --- serve: long-lived estimation service over stdin/--exec commands. ---
+// --- serve: long-lived estimation service, offline (stdin/--exec) or as a
+// framed socket server (--listen); `client` connects to the latter. Both
+// front ends share mnc::serve::RunServeCommand so the command language
+// cannot drift between modes.
 
-std::string Trim(const std::string& s) {
-  size_t b = s.find_first_not_of(" \t\r\n");
-  if (b == std::string::npos) return "";
-  size_t e = s.find_last_not_of(" \t\r\n");
-  return s.substr(b, e - b + 1);
+// Signal plumbing for `serve --listen`: the handler may only touch
+// async-signal-safe state, so it flips a flag and pokes the server's wake
+// pipe; the main thread notices and runs the graceful drain.
+volatile std::sig_atomic_t g_stop_requested = 0;
+mnc::serve::Server* g_signal_server = nullptr;
+
+void HandleStopSignal(int) {
+  g_stop_requested = 1;
+  if (g_signal_server != nullptr) g_signal_server->RequestShutdown();
 }
 
-// Handles one serve command; returns 0 on success, 1 on a command error,
-// and -1 for quit.
-int ServeCommand(mnc::EstimationService& service, const std::string& raw) {
-  const std::string line = Trim(raw);
-  if (line.empty() || line[0] == '#') return 0;
+// Runs one offline command, printing the outcome the way the REPL always
+// has (body to stdout, errors to stderr).
+mnc::serve::CommandOutcome RunOfflineCommand(mnc::EstimationService& service,
+                                             const std::string& line) {
+  const mnc::serve::CommandOutcome out =
+      mnc::serve::RunServeCommand(service, line);
+  if (!out.ok()) {
+    std::fprintf(stderr, "error: %s\n", out.status.ToString().c_str());
+  } else if (!out.body.empty()) {
+    std::printf("%s\n", out.body.c_str());
+  }
+  return out;
+}
 
-  const size_t space = line.find_first_of(" \t");
-  const std::string verb = line.substr(0, space);
-  const std::string rest =
-      space == std::string::npos ? "" : Trim(line.substr(space + 1));
+// Splits an `--exec "cmd; cmd"` script and feeds `run`; stops early when a
+// command asks to quit. Returns true when every command succeeded.
+template <typename RunFn>
+bool RunExecScript(const std::string& script, RunFn run) {
+  bool all_ok = true;
+  size_t start = 0;
+  while (start <= script.size()) {
+    const size_t end = script.find(';', start);
+    const std::string cmd = script.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    bool quit = false;
+    if (!run(cmd, &quit)) all_ok = false;
+    if (quit || end == std::string::npos) break;
+    start = end + 1;
+  }
+  return all_ok;
+}
 
-  if (verb == "quit" || verb == "exit") return -1;
-
-  if (verb == "register") {
-    const size_t sep = rest.find_first_of(" \t");
-    if (sep == std::string::npos) {
-      std::fprintf(stderr, "error: register <name> <file.mtx>\n");
-      return 1;
-    }
-    const std::string name = rest.substr(0, sep);
-    const std::string file = Trim(rest.substr(sep + 1));
-    const auto m = Load(file.c_str());
-    if (!m.ok()) return 1;
-    const int64_t dedup_before = service.stats().register_dedup_hits;
-    mnc::Stopwatch watch;
-    const auto leaf =
-        service.RegisterMatrix(name, mnc::Matrix::AutoFromCsr(*m));
-    if (!leaf.ok()) {
-      std::fprintf(stderr, "error: %s\n", leaf.status().ToString().c_str());
-      return 1;
-    }
-    const bool reused = service.stats().register_dedup_hits > dedup_before;
-    std::printf("registered %s: %lld x %lld, sparsity %.6g, %s (%.3f ms)\n",
-                name.c_str(), static_cast<long long>((*leaf)->rows()),
-                static_cast<long long>((*leaf)->cols()),
-                (*leaf)->matrix().Sparsity(),
-                reused ? "reused existing sketch" : "sketch built",
-                watch.ElapsedMillis());
-    return 0;
+int RunListenServer(mnc::EstimationService& service, int port, int workers) {
+  mnc::serve::ServerOptions sopts;
+  sopts.port = port;
+  if (workers > 0) sopts.num_workers = workers;
+  mnc::serve::Server server(&service, sopts);
+  if (const mnc::Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
   }
 
-  if (verb == "estimate") {
-    if (rest.empty()) {
-      std::fprintf(stderr, "error: estimate <expression>\n");
-      return 1;
-    }
-    mnc::Stopwatch watch;
-    const auto result = service.EstimateSource(rest);
-    const double ms = watch.ElapsedMillis();
-    if (!result.ok()) {
-      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("sparsity %.6g (%lld x %lld output, served by %s%s, "
-                "%.3f ms)\n",
-                result->sparsity, static_cast<long long>(result->rows),
-                static_cast<long long>(result->cols),
-                result->served_by.c_str(), result->memo_hit ? ", memo hit" : "",
-                ms);
-    return 0;
-  }
+  g_signal_server = &server;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
 
-  if (verb == "exec") {
-    if (rest.empty()) {
-      std::fprintf(stderr, "error: exec <expression>\n");
-      return 1;
-    }
-    mnc::Stopwatch watch;
-    const auto result = service.ExecuteSource(rest);
-    const double ms = watch.ElapsedMillis();
-    if (!result.ok()) {
-      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("executed: %lld x %lld output, %lld non-zeros, "
-                "sparsity %.6g, %s, %.3f ms\n",
-                static_cast<long long>(result->rows()),
-                static_cast<long long>(result->cols()),
-                static_cast<long long>(result->NumNonZeros()),
-                result->Sparsity(), result->is_dense() ? "dense" : "sparse",
-                ms);
-    return 0;
+  std::printf("serving on 127.0.0.1:%d (SIGINT/SIGTERM drains and exits)\n",
+              server.port());
+  std::fflush(stdout);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  server.Shutdown();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_signal_server = nullptr;
 
-  if (verb == "stats") {
-    const mnc::ServiceStats s = service.stats();
-    std::printf("catalog: %lld names, %lld sketches, %lld dedup hits, "
-                "%lld leaf hits, %lld leaf misses\n",
-                static_cast<long long>(s.registered_names),
-                static_cast<long long>(s.registered_sketches),
-                static_cast<long long>(s.register_dedup_hits),
-                static_cast<long long>(s.catalog_hits),
-                static_cast<long long>(s.catalog_misses));
-    std::printf("queries: %lld estimates (%lld batch), %lld fallback, "
-                "%lld failed\n",
-                static_cast<long long>(s.estimates),
-                static_cast<long long>(s.batch_queries),
-                static_cast<long long>(s.fallback_estimates),
-                static_cast<long long>(s.failed_estimates));
-    std::printf("memo: %lld entries, %lld/%lld bytes, %lld hits, "
-                "%lld misses, %lld evictions, %lld poisoned dropped\n",
-                static_cast<long long>(s.memo.entries),
-                static_cast<long long>(s.memo.bytes_used),
-                static_cast<long long>(s.memo.budget_bytes),
-                static_cast<long long>(s.memo.hits),
-                static_cast<long long>(s.memo.misses),
-                static_cast<long long>(s.memo.evictions),
-                static_cast<long long>(s.memo.poisoned_dropped));
-    std::printf("exec: %lld executions, %lld guided products, "
-                "%lld single-pass, %lld dense-direct, %lld fallbacks "
-                "(%lld budget, %lld overflow), %lld merge rows, "
-                "%lld scatter rows, %lld bytes saved vs blind reserve\n",
-                static_cast<long long>(s.executions),
-                static_cast<long long>(s.guided.guided_products),
-                static_cast<long long>(s.guided.single_pass),
-                static_cast<long long>(s.guided.dense_direct),
-                static_cast<long long>(s.guided.two_pass_fallbacks +
-                                       s.guided.overflow_fallbacks),
-                static_cast<long long>(s.guided.two_pass_fallbacks),
-                static_cast<long long>(s.guided.overflow_fallbacks),
-                static_cast<long long>(s.guided.merge_rows),
-                static_cast<long long>(s.guided.scatter_rows),
-                static_cast<long long>(s.guided.blind_reserve_bytes -
-                                       s.guided.guided_reserve_bytes));
-    return 0;
-  }
-
-  if (verb == "clear") {
-    service.ClearMemo();
-    std::printf("memo cleared\n");
-    return 0;
-  }
-
-  std::fprintf(stderr,
-               "error: unknown command '%s' "
-               "(register/estimate/exec/stats/clear/quit)\n",
-               verb.c_str());
-  return 1;
+  const mnc::serve::ServerStats st = server.stats();
+  std::printf("drained: %lld connections, %lld requests, %lld replies "
+              "(%lld degraded), %lld errors (%lld busy, %lld deadline), "
+              "%lld malformed frames\n",
+              static_cast<long long>(st.accepted),
+              static_cast<long long>(st.requests),
+              static_cast<long long>(st.replies),
+              static_cast<long long>(st.degraded),
+              static_cast<long long>(st.typed_errors),
+              static_cast<long long>(st.busy_rejected),
+              static_cast<long long>(st.deadline_errors),
+              static_cast<long long>(st.malformed_frames));
+  return 0;
 }
 
 int CmdServe(int argc, char** argv) {
   mnc::EstimationServiceOptions options;
   const char* exec = nullptr;
+  int listen_port = -1;
+  int workers = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--budget-mb") == 0 && i + 1 < argc) {
       options.memo_budget_bytes = std::atoll(argv[++i]) << 20;
@@ -574,37 +530,106 @@ int CmdServe(int argc, char** argv) {
       options.guided_exec = true;
     } else if (std::strcmp(argv[i], "--exec") == 0 && i + 1 < argc) {
       exec = argv[++i];
+    } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      listen_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
     } else {
       return Usage();
     }
   }
 
   mnc::EstimationService service(options);
-  bool had_error = false;
 
+  // --exec runs first in both modes; with --listen it preloads the catalog
+  // before the socket opens.
+  bool exec_ok = true;
   if (exec != nullptr) {
-    std::string script = exec;
-    size_t start = 0;
-    while (start <= script.size()) {
-      const size_t end = script.find(';', start);
-      const std::string cmd = script.substr(
-          start, end == std::string::npos ? std::string::npos : end - start);
-      const int rc = ServeCommand(service, cmd);
-      if (rc < 0) break;
-      if (rc != 0) had_error = true;
-      if (end == std::string::npos) break;
-      start = end + 1;
-    }
-    return had_error ? 1 : 0;
+    exec_ok = RunExecScript(exec, [&](const std::string& cmd, bool* quit) {
+      const auto out = RunOfflineCommand(service, cmd);
+      *quit = out.quit;
+      return out.ok();
+    });
+    if (listen_port < 0) return exec_ok ? 0 : 1;
+    if (!exec_ok) return 1;  // refuse to serve from a half-loaded catalog
   }
 
+  if (listen_port >= 0) return RunListenServer(service, listen_port, workers);
+
+  // Interactive stdin REPL: a failed command reports its error and keeps
+  // the session alive; EOF (or quit) is a clean exit 0. Only --exec
+  // scripting turns command failures into a nonzero exit code.
   std::string line;
   while (std::getline(std::cin, line)) {
-    const int rc = ServeCommand(service, line);
-    if (rc < 0) break;
-    if (rc != 0) had_error = true;
+    if (RunOfflineCommand(service, line).quit) break;
   }
-  return had_error ? 1 : 0;
+  return 0;
+}
+
+int CmdClient(int argc, char** argv) {
+  int port = -1;
+  long deadline_ms = 0;
+  const char* exec = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--exec") == 0 && i + 1 < argc) {
+      exec = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (port <= 0) return Usage();
+
+  mnc::serve::ServeClient client;
+  if (const mnc::Status s = client.Connect(port); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  bool transport_down = false;
+  // Returns false on any failure (typed server error or transport fault);
+  // sets *quit when the session ended.
+  auto run_one = [&](const std::string& cmd, bool* quit) {
+    *quit = false;
+    if (cmd.find_first_not_of(" \t\r\n") == std::string::npos) return true;
+    const auto reply = client.Call(cmd, static_cast<uint32_t>(deadline_ms));
+    if (!reply.ok()) {
+      std::fprintf(stderr, "transport error: %s\n",
+                   reply.status().ToString().c_str());
+      transport_down = true;
+      *quit = true;
+      return false;
+    }
+    if (!reply->ok()) {
+      // Typed server error: report it, session stays usable.
+      std::fprintf(stderr, "error: %s\n", reply->status.ToString().c_str());
+      return false;
+    }
+    if (!reply->body.empty()) std::printf("%s\n", reply->body.c_str());
+    if (reply->degraded) {
+      std::printf("(degraded: served by %s)\n", reply->served_by.c_str());
+    }
+    if (reply->body == "bye") *quit = true;  // server closes after `quit`
+    return true;
+  };
+
+  if (exec != nullptr) {
+    const bool all_ok = RunExecScript(exec, run_one);
+    return (all_ok && !transport_down) ? 0 : 1;
+  }
+
+  // Interactive mode mirrors the offline REPL: command errors keep the
+  // session alive, EOF is a clean exit; only a dead transport is nonzero.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    bool quit = false;
+    run_one(line, &quit);
+    if (quit) break;
+  }
+  return transport_down ? 1 : 0;
 }
 
 }  // namespace
@@ -619,5 +644,6 @@ int main(int argc, char** argv) {
   if (cmd == "expr") return CmdExpr(argc, argv);
   if (cmd == "chain") return CmdChain(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
+  if (cmd == "client") return CmdClient(argc, argv);
   return Usage();
 }

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Two-process serving-tier smoke test: start `mnc_tool serve --listen 0` on
+# an ephemeral port, drive it with the `client` subcommand over the framed
+# socket protocol, then SIGTERM the server and require a graceful drain.
+#
+# Usage: serve_client_smoke.sh <mnc_tool-binary> <matrix-file>
+#
+# Exit 0 only if the client session succeeds (its output — including the
+# "memo hit" marker the ctest regex checks — goes to stdout) AND the server
+# drains cleanly with exit 0.
+set -u
+
+TOOL="$1"
+MATRIX="$2"
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+"$TOOL" serve --listen 0 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# The server prints "serving on 127.0.0.1:<port>" once the socket is bound.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*serving on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG" >&2; exit 1; }
+  sleep 0.05
+done
+if [ -z "$PORT" ]; then
+  echo "server never reported a port" >&2
+  cat "$LOG" >&2
+  kill "$SERVER_PID" 2>/dev/null
+  exit 1
+fi
+
+"$TOOL" client --connect "$PORT" --exec \
+  "register A $MATRIX; estimate (A %*% A) != 0; estimate (A %*% A) != 0; stats"
+CLIENT_RC=$?
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_RC=$?
+
+cat "$LOG"
+if [ "$CLIENT_RC" -ne 0 ]; then
+  echo "client failed with exit $CLIENT_RC" >&2
+  exit 1
+fi
+if [ "$SERVER_RC" -ne 0 ]; then
+  echo "server drain failed with exit $SERVER_RC" >&2
+  exit 1
+fi
+echo "serve/client smoke OK"
+exit 0

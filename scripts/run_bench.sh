@@ -7,8 +7,9 @@
 #
 # Currently JSON-enabled: service_cache (estimation service warm/cold memo
 # benchmark), par_scaling (parallel kernel thread-scaling), micro_kernels
-# (SIMD kernel dispatch), and guided_exec (sketch-guided vs blind chain
-# evaluation). Benches grow a --json flag via mncbench::JsonReport; add them
+# (SIMD kernel dispatch), guided_exec (sketch-guided vs blind chain
+# evaluation), and serve_load (framed socket serving tier under concurrent
+# clients). Benches grow a --json flag via mncbench::JsonReport; add them
 # to JSON_BENCHES below as they do.
 
 set -euo pipefail
@@ -32,6 +33,7 @@ JSON_BENCHES=(
   "par_scaling:--json"
   "micro_kernels:--json"
   "guided_exec:--json"
+  "serve_load:--json --clients 8 --reqs 100 --dim 256"
 )
 
 for spec in "${JSON_BENCHES[@]}"; do

@@ -43,6 +43,10 @@
 #include "mnc/ir/expr.h"
 #include "mnc/ir/expr_hash.h"
 #include "mnc/ir/sketch_propagator.h"
+#include "mnc/serve/client.h"
+#include "mnc/serve/command.h"
+#include "mnc/serve/frame.h"
+#include "mnc/serve/server.h"
 #include "mnc/service/estimation_service.h"
 #include "mnc/service/sketch_cache.h"
 #include "mnc/matrix/checked_ops.h"
@@ -62,6 +66,7 @@
 #include "mnc/sparsest/metrics.h"
 #include "mnc/sparsest/usecases.h"
 #include "mnc/util/crc32.h"
+#include "mnc/util/deadline.h"
 #include "mnc/util/fail_point.h"
 #include "mnc/util/random.h"
 #include "mnc/util/status.h"

@@ -1,0 +1,171 @@
+#include "mnc/serve/frame.h"
+
+#include <cstring>
+
+#include "mnc/util/check.h"
+#include "mnc/util/crc32.h"
+
+namespace mnc::serve {
+
+namespace {
+
+// All multi-byte fields are little-endian on the wire, like the sketch
+// format v2. Serialization goes through memcpy of fixed-width values, so
+// the encoding is the host's — the library targets little-endian hosts
+// (x86-64, AArch64); a big-endian port would swap here.
+template <typename T>
+void PutRaw(std::string& out, T v) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+template <typename T>
+T GetRaw(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+bool KnownFrameType(uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kRequest:
+    case FrameType::kReply:
+    case FrameType::kError:
+    case FrameType::kPing:
+    case FrameType::kPong:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  MNC_CHECK_MSG(frame.payload.size() <= kDefaultMaxPayloadBytes,
+                "frame payload exceeds the protocol ceiling");
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(static_cast<char>(frame.flags));
+  out.push_back('\0');  // reserved
+  PutRaw<uint16_t>(out, frame.code);
+  PutRaw<uint16_t>(out, 0);  // reserved
+  PutRaw<uint32_t>(out, frame.deadline_ms);
+  PutRaw<uint64_t>(out, frame.request_id);
+  PutRaw<uint32_t>(out, static_cast<uint32_t>(frame.payload.size()));
+  PutRaw<uint32_t>(out, Crc32(frame.payload.data(), frame.payload.size()));
+  out.append(frame.payload);
+  return out;
+}
+
+Frame MakeRequestFrame(uint64_t request_id, std::string command,
+                       uint32_t deadline_ms) {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.request_id = request_id;
+  f.deadline_ms = deadline_ms;
+  f.payload = std::move(command);
+  return f;
+}
+
+Frame MakeReplyFrame(uint64_t request_id, const std::string& served_by,
+                     bool degraded, const std::string& body) {
+  Frame f;
+  f.type = FrameType::kReply;
+  f.request_id = request_id;
+  if (degraded) f.flags |= kFrameFlagDegraded;
+  f.payload = served_by + "\n" + body;
+  return f;
+}
+
+Frame MakeErrorFrame(uint64_t request_id, const Status& status) {
+  Frame f;
+  f.type = FrameType::kError;
+  f.request_id = request_id;
+  f.code = static_cast<uint16_t>(status.code());
+  f.payload = status.message();
+  return f;
+}
+
+Frame MakePingFrame(uint64_t request_id, std::string payload) {
+  Frame f;
+  f.type = FrameType::kPing;
+  f.request_id = request_id;
+  f.payload = std::move(payload);
+  return f;
+}
+
+void SplitReplyPayload(const std::string& payload, std::string* served_by,
+                       std::string* body) {
+  const size_t nl = payload.find('\n');
+  if (nl == std::string::npos) {
+    *served_by = payload;
+    body->clear();
+    return;
+  }
+  *served_by = payload.substr(0, nl);
+  *body = payload.substr(nl + 1);
+}
+
+Status ErrorFrameStatus(const Frame& frame) {
+  return Status(static_cast<StatusCode>(frame.code), frame.payload);
+}
+
+StatusOr<std::optional<Frame>> FrameReader::Next() {
+  // Compact the buffer once consumed bytes dominate, keeping Append cheap.
+  if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return std::optional<Frame>();
+
+  const char* h = buf_.data() + consumed_;
+  if (std::memcmp(h, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::DataLoss("frame: bad magic");
+  }
+  const uint8_t version = static_cast<uint8_t>(h[4]);
+  if (version != kFrameVersion) {
+    return Status::Unimplemented("frame: unsupported version " +
+                                 std::to_string(version));
+  }
+  const uint8_t type = static_cast<uint8_t>(h[5]);
+  if (!KnownFrameType(type)) {
+    return Status::InvalidArgument("frame: unknown type " +
+                                   std::to_string(type));
+  }
+  if (h[7] != 0 || GetRaw<uint16_t>(h + 10) != 0) {
+    return Status::DataLoss("frame: reserved bytes set");
+  }
+  const uint32_t payload_len = GetRaw<uint32_t>(h + 24);
+  if (payload_len > max_payload_bytes_) {
+    // Reject before buffering: the declared size is attacker-controlled and
+    // must never turn into an allocation.
+    return Status::OutOfRange(
+        "frame: declared payload of " + std::to_string(payload_len) +
+        " bytes exceeds the " + std::to_string(max_payload_bytes_) +
+        "-byte limit");
+  }
+  if (avail < kFrameHeaderBytes + payload_len) return std::optional<Frame>();
+
+  const uint32_t declared_crc = GetRaw<uint32_t>(h + 28);
+  const char* payload = h + kFrameHeaderBytes;
+  if (Crc32(payload, payload_len) != declared_crc) {
+    return Status::DataLoss("frame: payload CRC mismatch");
+  }
+
+  Frame f;
+  f.type = static_cast<FrameType>(type);
+  f.flags = static_cast<uint8_t>(h[6]);
+  f.code = GetRaw<uint16_t>(h + 8);
+  f.deadline_ms = GetRaw<uint32_t>(h + 12);
+  f.request_id = GetRaw<uint64_t>(h + 16);
+  f.payload.assign(payload, payload_len);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return std::optional<Frame>(std::move(f));
+}
+
+}  // namespace mnc::serve

@@ -1,0 +1,130 @@
+// Length-prefixed framed wire protocol for the MNC serving tier.
+//
+// Every message on a connection is one frame: a fixed 32-byte header
+// followed by a CRC32-checked payload. The conventions mirror the sketch
+// wire format v2 (mnc/core/mnc_sketch_io.*): little-endian fixed-width
+// fields, a magic number, an explicit version byte for negotiation, CRC32
+// (IEEE 802.3) over the variable-length section, and declared sizes bounded
+// *before* allocation so a hostile or corrupt peer can never force a huge
+// buffer.
+//
+//   offset  size  field
+//   0       4     magic 'MNCF'
+//   4       1     version (kFrameVersion)
+//   5       1     type (FrameType)
+//   6       1     flags (kFrameFlag*)
+//   7       1     reserved, must be 0
+//   8       2     code (StatusCode for kError frames, else 0)
+//   10      2     reserved, must be 0
+//   12      4     deadline_ms (requests: per-request deadline; 0 = default)
+//   16      8     request_id (echoed verbatim in the matching reply)
+//   24      4     payload length in bytes
+//   28      4     CRC32 of the payload bytes
+//   32      ...   payload
+//
+// Payload conventions by type:
+//   kRequest  UTF-8 command line in the serve command language
+//             (see mnc/serve/command.h).
+//   kReply    "<served_by>\n<body>"; kFrameFlagDegraded set when a fallback
+//             tier served the request.
+//   kError    human-readable message; `code` carries the StatusCode.
+//   kPing     opaque payload echoed back in kPong.
+//
+// Framing errors (bad magic, unknown version, reserved bits set, oversized
+// declared payload, CRC mismatch) are protocol desync: the connection can no
+// longer be trusted to be frame-aligned and must be closed after an optional
+// best-effort kError frame.
+
+#ifndef MNC_SERVE_FRAME_H_
+#define MNC_SERVE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mnc/util/status.h"
+
+namespace mnc::serve {
+
+inline constexpr char kFrameMagic[4] = {'M', 'N', 'C', 'F'};
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 32;
+
+// Default ceiling on a frame's payload. Command lines and result summaries
+// are tiny; 1 MB leaves headroom for large scripts while keeping the
+// worst-case per-connection buffer bounded.
+inline constexpr uint32_t kDefaultMaxPayloadBytes = 1u << 20;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kReply = 2,
+  kError = 3,
+  kPing = 4,
+  kPong = 5,
+};
+
+// Reply flag: the request was served degraded (a fallback tier answered
+// because the MNC path failed underneath it).
+inline constexpr uint8_t kFrameFlagDegraded = 0x1;
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  uint8_t flags = 0;
+  uint16_t code = 0;        // StatusCode value for kError frames
+  uint32_t deadline_ms = 0; // requests only; 0 = server default
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+// Serializes `frame` (header + CRC32-stamped payload) into wire bytes.
+// Payloads longer than kDefaultMaxPayloadBytes are a programming error on
+// the sending side and abort.
+std::string EncodeFrame(const Frame& frame);
+
+// Convenience constructors for the common frame shapes.
+Frame MakeRequestFrame(uint64_t request_id, std::string command,
+                       uint32_t deadline_ms = 0);
+Frame MakeReplyFrame(uint64_t request_id, const std::string& served_by,
+                     bool degraded, const std::string& body);
+Frame MakeErrorFrame(uint64_t request_id, const Status& status);
+Frame MakePingFrame(uint64_t request_id, std::string payload = "");
+
+// Splits a kReply payload back into (served_by, body).
+void SplitReplyPayload(const std::string& payload, std::string* served_by,
+                       std::string* body);
+
+// Reconstructs the Status carried by a kError frame.
+Status ErrorFrameStatus(const Frame& frame);
+
+// Incremental frame parser over a received byte stream. Append bytes as
+// they arrive; Next() yields complete frames in order.
+class FrameReader {
+ public:
+  explicit FrameReader(uint32_t max_payload_bytes = kDefaultMaxPayloadBytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  void Append(const char* data, size_t len) { buf_.append(data, len); }
+
+  // One of:
+  //   - a complete, CRC-verified frame (ok, engaged optional),
+  //   - "need more bytes" (ok, nullopt),
+  //   - a framing error (non-OK Status: kDataLoss for bad magic/CRC/reserved
+  //     bytes, kUnimplemented for an unknown version, kOutOfRange for an
+  //     over-limit declared payload, kInvalidArgument for an unknown type).
+  // After an error the stream is desynchronized; the caller must close the
+  // connection. Buffered bytes are consumed only when a frame completes, so
+  // a partial header never allocates payload space.
+  StatusOr<std::optional<Frame>> Next();
+
+  size_t buffered_bytes() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  size_t consumed_ = 0;  // compacted lazily to avoid O(n^2) erase
+  uint32_t max_payload_bytes_;
+};
+
+}  // namespace mnc::serve
+
+#endif  // MNC_SERVE_FRAME_H_

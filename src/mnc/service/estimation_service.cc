@@ -21,6 +21,12 @@ constexpr char kSketchBuildFailPoint[] = "service.sketch_build";
 // Fail point corrupting the sparsity stored with a memo entry; the cache's
 // sanity check drops such entries on the next lookup.
 constexpr char kMemoPoisonFailPoint[] = "service.memo_poison";
+// Fail point breaking catalog sketch reads: a registered leaf behaves as if
+// its cataloged sketch were unreadable, failing the MNC tier for the query.
+// This is the knob that lets the serving tier demonstrate degraded-but-
+// served responses for expressions whose leaves are all registered (the
+// common case over the wire), where sketch_build never fires.
+constexpr char kCatalogReadFailPoint[] = "service.catalog_read";
 
 }  // namespace
 
@@ -105,6 +111,12 @@ ExprPtr EstimationService::LookupLeaf(const std::string& name) const {
 
 StatusOr<std::shared_ptr<const MncSketch>> EstimationService::ComputeSketch(
     const ExprPtr& node, QueryCtx& ctx) {
+  // Cooperative deadline/cancellation boundary: one check per node keeps
+  // the overhead negligible next to sketch builds and propagation, yet an
+  // expired request stops before starting any further O(nnz) work.
+  if (ctx.request != nullptr) {
+    MNC_RETURN_IF_ERROR(ctx.request->Check("estimate"));
+  }
   if (auto it = ctx.local.find(node.get()); it != ctx.local.end()) {
     return it->second;
   }
@@ -117,6 +129,11 @@ StatusOr<std::shared_ptr<const MncSketch>> EstimationService::ComputeSketch(
       if (auto it = by_fp_.find(fp); it != by_fp_.end()) {
         sketch = it->second->sketch;
       }
+    }
+    if (sketch != nullptr && MncFailPointArmed(kCatalogReadFailPoint)) {
+      return Status::Unavailable(
+          "fail point " + std::string(kCatalogReadFailPoint) +
+          ": cataloged sketch unavailable for leaf '" + node->name() + "'");
     }
     if (sketch != nullptr) {
       catalog_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -186,14 +203,22 @@ MncSketch EstimationService::PropagateNode(const ExprPtr& node,
                              options_.rounding, options_.parallel, &pool_);
 }
 
-StatusOr<EstimateResult> EstimationService::Estimate(const ExprPtr& root) {
+StatusOr<EstimateResult> EstimationService::Estimate(
+    const ExprPtr& root, const RequestContext* request) {
   estimates_.fetch_add(1, std::memory_order_relaxed);
   if (root == nullptr) {
     failed_estimates_.fetch_add(1, std::memory_order_relaxed);
     return Status::InvalidArgument("Estimate called with a null expression");
   }
+  if (request != nullptr) {
+    Status bound = request->Check("estimate");
+    if (!bound.ok()) {
+      failed_estimates_.fetch_add(1, std::memory_order_relaxed);
+      return bound;
+    }
+  }
 
-  QueryCtx ctx(MakeResolver());
+  QueryCtx ctx(MakeResolver(), request);
   const ExprPtr canonical = CanonicalizeExpr(root, ctx.resolver);
 
   EstimateResult result;
@@ -237,6 +262,13 @@ StatusOr<EstimateResult> EstimationService::Estimate(const ExprPtr& root) {
 
 StatusOr<EstimateResult> EstimationService::EstimateDegraded(
     const ExprPtr& canonical, const Status& cause) {
+  // A request that ran out of time must not be "rescued" by the fallback
+  // chain: serving a late answer defeats the deadline, and the cheap tiers
+  // would still add latency. The typed error propagates as-is.
+  if (cause.code() == StatusCode::kDeadlineExceeded) {
+    failed_estimates_.fetch_add(1, std::memory_order_relaxed);
+    return cause;
+  }
   if (options_.enable_fallback) {
     // Per-call estimator: FallbackEstimator carries mutable per-request
     // state, so sharing one across threads would race. Degraded results are
@@ -266,7 +298,7 @@ StatusOr<EstimateResult> EstimationService::EstimateDegraded(
 }
 
 StatusOr<EstimateResult> EstimationService::EstimateSource(
-    const std::string& source) {
+    const std::string& source, const RequestContext* request) {
   std::map<std::string, Matrix> bindings;
   {
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
@@ -278,13 +310,17 @@ StatusOr<EstimateResult> EstimationService::EstimateSource(
   if (!parsed.ok()) {
     return Status::InvalidArgument("parse error: " + parsed.error);
   }
-  return Estimate(parsed.expr);
+  return Estimate(parsed.expr, request);
 }
 
-StatusOr<Matrix> EstimationService::Execute(const ExprPtr& root) {
+StatusOr<Matrix> EstimationService::Execute(const ExprPtr& root,
+                                            const RequestContext* request) {
   executions_.fetch_add(1, std::memory_order_relaxed);
   if (root == nullptr) {
     return Status::InvalidArgument("Execute called with a null expression");
+  }
+  if (request != nullptr) {
+    MNC_RETURN_IF_ERROR(request->Check("execute"));
   }
   EvaluatorOptions opts;
   opts.guided = options_.guided_exec;
@@ -313,10 +349,17 @@ StatusOr<Matrix> EstimationService::Execute(const ExprPtr& root) {
     std::lock_guard<std::mutex> lock(exec_mu_);
     guided_stats_.MergeFrom(evaluator.guided_stats());
   }
+  // Evaluation is not interrupted mid-kernel, but a request whose deadline
+  // passed while executing reports the typed error rather than handing a
+  // late result to a caller that already gave up on it.
+  if (result.ok() && request != nullptr) {
+    MNC_RETURN_IF_ERROR(request->Check("execute"));
+  }
   return result;
 }
 
-StatusOr<Matrix> EstimationService::ExecuteSource(const std::string& source) {
+StatusOr<Matrix> EstimationService::ExecuteSource(const std::string& source,
+                                                  const RequestContext* request) {
   std::map<std::string, Matrix> bindings;
   {
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
@@ -328,11 +371,11 @@ StatusOr<Matrix> EstimationService::ExecuteSource(const std::string& source) {
   if (!parsed.ok()) {
     return Status::InvalidArgument("parse error: " + parsed.error);
   }
-  return Execute(parsed.expr);
+  return Execute(parsed.expr, request);
 }
 
 std::vector<StatusOr<EstimateResult>> EstimationService::EstimateBatch(
-    const std::vector<ExprPtr>& roots) {
+    const std::vector<ExprPtr>& roots, const RequestContext* request) {
   const int64_t n = static_cast<int64_t>(roots.size());
   batch_queries_.fetch_add(n, std::memory_order_relaxed);
   std::vector<StatusOr<EstimateResult>> results(
@@ -347,7 +390,8 @@ std::vector<StatusOr<EstimateResult>> EstimationService::EstimateBatch(
   // workers therefore allocate at most one arena each, not one per query.
   pool_.ParallelFor(0, n, /*grain=*/1, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
-      results[static_cast<size_t>(i)] = Estimate(roots[static_cast<size_t>(i)]);
+      results[static_cast<size_t>(i)] =
+          Estimate(roots[static_cast<size_t>(i)], request);
     }
   });
   return results;

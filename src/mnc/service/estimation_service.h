@@ -54,6 +54,7 @@
 #include "mnc/ir/expr_hash.h"
 #include "mnc/matrix/ops_product.h"
 #include "mnc/service/sketch_cache.h"
+#include "mnc/util/deadline.h"
 #include "mnc/util/parallel.h"
 #include "mnc/util/status.h"
 #include "mnc/util/thread_pool.h"
@@ -150,26 +151,39 @@ class EstimationService {
   // Estimates the output sparsity of the DAG rooted at `root`. Leaves need
   // not be registered (unregistered leaves are fingerprinted and sketched
   // per query, and their sketches memoized like any sub-expression).
-  StatusOr<EstimateResult> Estimate(const ExprPtr& root);
+  //
+  // A non-null `ctx` bounds the request: the deadline/cancel token is
+  // checked cooperatively before every node's sketch is computed, and an
+  // expired request returns kDeadlineExceeded from the next node boundary.
+  // Deadline failures never degrade to the fallback chain and are never
+  // memoized; work already stored in catalog/memo stays valid.
+  StatusOr<EstimateResult> Estimate(const ExprPtr& root,
+                                    const RequestContext* ctx = nullptr);
 
   // Parses `source` (expression or multi-statement script, see
   // mnc/lang/parser.h) over the registered matrices and estimates it.
-  StatusOr<EstimateResult> EstimateSource(const std::string& source);
+  StatusOr<EstimateResult> EstimateSource(const std::string& source,
+                                          const RequestContext* ctx = nullptr);
 
   // Estimates a batch concurrently on the internal pool; results align with
-  // `roots` (null roots yield kInvalidArgument entries).
+  // `roots` (null roots yield kInvalidArgument entries). The shared `ctx`
+  // bounds the whole batch: entries dispatched after expiry return
+  // kDeadlineExceeded without computing anything.
   std::vector<StatusOr<EstimateResult>> EstimateBatch(
-      const std::vector<ExprPtr>& roots);
+      const std::vector<ExprPtr>& roots, const RequestContext* ctx = nullptr);
 
   // Evaluates the DAG on the internal pool. With options.guided_exec set,
   // execution is sketch-guided: cataloged leaf sketches are reused (ad-hoc
   // leaves are sketched on the fly) and every product consults the
   // estimates; the guided counters are folded into stats(). Values are
-  // identical either way.
-  StatusOr<Matrix> Execute(const ExprPtr& root);
+  // identical either way. `ctx` is checked at the execution boundary
+  // (evaluation itself is not interrupted mid-kernel).
+  StatusOr<Matrix> Execute(const ExprPtr& root,
+                           const RequestContext* ctx = nullptr);
 
   // Parses `source` over the registered matrices and executes it.
-  StatusOr<Matrix> ExecuteSource(const std::string& source);
+  StatusOr<Matrix> ExecuteSource(const std::string& source,
+                                 const RequestContext* ctx = nullptr);
 
   ServiceStats stats() const;
   void ClearMemo() { memo_.Clear(); }
@@ -190,9 +204,11 @@ class EstimationService {
     // Per-query pointer-keyed cache so shared subtrees resolve once.
     std::unordered_map<const ExprNode*, std::shared_ptr<const MncSketch>>
         local;
+    // Request bounds (deadline/cancellation); may be null.
+    const RequestContext* request = nullptr;
 
-    explicit QueryCtx(LeafFingerprintFn fn)
-        : hasher(fn), resolver(std::move(fn)) {}
+    explicit QueryCtx(LeafFingerprintFn fn, const RequestContext* rc = nullptr)
+        : hasher(fn), resolver(std::move(fn)), request(rc) {}
   };
 
   LeafFingerprintFn MakeResolver() const;

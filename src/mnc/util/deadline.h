@@ -1,0 +1,96 @@
+// Cooperative per-request execution bounds: deadlines and cancellation.
+//
+// The serving tier (mnc/serve/) attaches a RequestContext to every request it
+// dispatches; the estimation paths check it at step boundaries (per-node in
+// ComputeSketch, per-entry in EstimateBatch) and return kDeadlineExceeded
+// instead of running past the budget. Checks are cooperative — nothing is
+// interrupted mid-kernel — so an expired request stops at the next node
+// boundary, never leaves shared state (catalog, memo) half-written, and never
+// degrades to the fallback chain (a late answer is not an answer).
+//
+// Both pieces are passive: a CancelToken is flipped by whoever owns the
+// request (e.g. the server noticing a dead connection), and the deadline is
+// evaluated against steady_clock at each check. Neither requires a timer
+// thread.
+
+#ifndef MNC_UTIL_DEADLINE_H_
+#define MNC_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mnc/util/status.h"
+
+namespace mnc {
+
+// One-way cancellation flag, safe to share between the request owner and the
+// worker running the request.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Deadline + cancellation view passed (by const pointer, optionally null)
+// down the estimation call stack. Copyable; does not own the token.
+class RequestContext {
+ public:
+  RequestContext() = default;
+
+  static RequestContext WithDeadlineAfterMillis(int64_t ms) {
+    RequestContext ctx;
+    ctx.deadline_ =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return ctx;
+  }
+
+  // An already-expired context: every Check fails. Used by the server's
+  // "serve.deadline" fail point to force the expiry path deterministically.
+  static RequestContext Expired() { return WithDeadlineAfterMillis(-1); }
+
+  void set_cancel_token(const CancelToken* token) { token_ = token; }
+  bool has_deadline() const { return deadline_.has_value(); }
+
+  // Milliseconds until expiry (<= 0 when expired); nullopt without deadline.
+  std::optional<int64_t> RemainingMillis() const {
+    if (!deadline_.has_value()) return std::nullopt;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               *deadline_ - std::chrono::steady_clock::now())
+        .count();
+  }
+
+  bool expired() const {
+    if (token_ != nullptr && token_->cancelled()) return true;
+    return deadline_.has_value() &&
+           std::chrono::steady_clock::now() >= *deadline_;
+  }
+
+  // OK while the request may keep running; kDeadlineExceeded (naming `site`)
+  // once the deadline passed or the token was cancelled.
+  Status Check(const std::string& site) const {
+    if (token_ != nullptr && token_->cancelled()) {
+      return Status::DeadlineExceeded(site + ": request cancelled");
+    }
+    if (deadline_.has_value() &&
+        std::chrono::steady_clock::now() >= *deadline_) {
+      return Status::DeadlineExceeded(site + ": deadline exceeded");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  const CancelToken* token_ = nullptr;
+};
+
+}  // namespace mnc
+
+#endif  // MNC_UTIL_DEADLINE_H_

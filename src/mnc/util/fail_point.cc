@@ -1,5 +1,6 @@
 #include "mnc/util/fail_point.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -19,13 +20,35 @@ struct FailPointRegistry::Impl {
 
 FailPointRegistry::FailPointRegistry() : impl_(new Impl) {
   const char* env = std::getenv("MNC_FAILPOINTS");
-  if (env != nullptr && env[0] != '\0') ArmFromSpec(env);
+  if (env != nullptr && env[0] != '\0') {
+    const StatusOr<int> armed = ArmFromSpec(env);
+    if (!armed.ok()) {
+      // Refuse to run with a fault spec that would arm nothing it promised:
+      // the operator believes a fault is injected, and every test downstream
+      // would pass vacuously against un-faulted code.
+      std::fprintf(stderr, "MNC_FAILPOINTS: %s\n",
+                   armed.status().ToString().c_str());
+      std::exit(2);
+    }
+  }
 }
 
 FailPointRegistry& FailPointRegistry::Instance() {
   static FailPointRegistry* registry = new FailPointRegistry();
   return *registry;
 }
+
+namespace {
+// Force the registry — and thus MNC_FAILPOINTS validation — at process
+// start of every binary linking the library. Lazy construction alone would
+// let a run that never evaluates any fail point skip the parse entirely,
+// and a typo'd spec would be ignored silently: the exact vacuous pass the
+// exit-2 policy above exists to prevent.
+const bool g_env_spec_validated = [] {
+  FailPointRegistry::Instance();
+  return true;
+}();
+}  // namespace
 
 void FailPointRegistry::Arm(const std::string& name, int64_t skip,
                             int64_t count) {
@@ -85,7 +108,7 @@ std::vector<std::string> FailPointRegistry::ArmedPoints() const {
   return names;
 }
 
-int FailPointRegistry::ArmFromSpec(const std::string& spec) {
+StatusOr<int> FailPointRegistry::ArmFromSpec(const std::string& spec) {
   int armed = 0;
   size_t pos = 0;
   while (pos <= spec.size()) {
@@ -93,7 +116,7 @@ int FailPointRegistry::ArmFromSpec(const std::string& spec) {
     const std::string entry =
         spec.substr(pos, sep == std::string::npos ? sep : sep - pos);
     pos = sep == std::string::npos ? spec.size() + 1 : sep + 1;
-    if (entry.empty()) continue;
+    if (entry.empty()) continue;  // benign: "a;;b", trailing ';'
 
     std::string name = entry;
     int64_t skip = 0;
@@ -104,15 +127,28 @@ int FailPointRegistry::ArmFromSpec(const std::string& spec) {
       const std::string params = entry.substr(eq + 1);
       char* end = nullptr;
       skip = std::strtoll(params.c_str(), &end, 10);
-      if (end == params.c_str()) continue;  // malformed number
+      if (end == params.c_str()) {
+        return Status::InvalidArgument("fail point entry '" + entry +
+                                       "': expected numeric skip after '='");
+      }
       if (*end == ':') {
         const char* count_str = end + 1;
         count = std::strtoll(count_str, &end, 10);
-        if (end == count_str) continue;
+        if (end == count_str) {
+          return Status::InvalidArgument(
+              "fail point entry '" + entry +
+              "': expected numeric count after ':'");
+        }
       }
-      if (*end != '\0') continue;
+      if (*end != '\0') {
+        return Status::InvalidArgument("fail point entry '" + entry +
+                                       "': trailing garbage '" + end + "'");
+      }
     }
-    if (name.empty()) continue;
+    if (name.empty()) {
+      return Status::InvalidArgument("fail point entry '" + entry +
+                                     "': empty point name");
+    }
     Arm(name, skip, count);
     ++armed;
   }

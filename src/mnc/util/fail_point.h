@@ -13,9 +13,16 @@
 //   ScopedFailPoint fp("threadpool.task", /*skip=*/2,      // fire on hits
 //                      /*count=*/1);                       // 3 only
 //
-// Environment use (armed at first registry access):
+// Environment use (parsed and armed at process start — a static
+// initializer in fail_point.cc touches the registry so validation cannot
+// be skipped by a run that never evaluates any point):
 //
 //   MNC_FAILPOINTS="sketch_io.write_truncate;threadpool.task=2:1"
+//
+// A malformed MNC_FAILPOINTS value terminates the process with a diagnostic
+// (exit 2): a typo'd spec silently arming nothing would let fault tests pass
+// vacuously. Programmatic callers get the same strictness as a Status from
+// ArmFromSpec.
 //
 // Library-side sites call MncFailPointArmed("name"), which also counts hits
 // so tests can assert a site was actually reached.
@@ -26,6 +33,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "mnc/util/status.h"
 
 namespace mnc {
 
@@ -58,8 +67,13 @@ class FailPointRegistry {
   std::vector<std::string> ArmedPoints() const;
 
   // Parses a spec like "a;b=skip:count;c=skip" and arms each entry.
-  // Returns the number of points armed. Malformed entries are skipped.
-  int ArmFromSpec(const std::string& spec);
+  // Returns the number of points armed. A malformed entry (empty name,
+  // non-numeric or trailing-garbage skip/count) yields kInvalidArgument
+  // naming the offending entry; entries before it are already armed, the
+  // rest are not. Empty entries between separators are ignored. A typo'd
+  // spec must never arm silently nothing — tests would pass vacuously with
+  // their fault "armed".
+  StatusOr<int> ArmFromSpec(const std::string& spec);
 
  private:
   FailPointRegistry();

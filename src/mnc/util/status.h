@@ -32,6 +32,7 @@ enum class StatusCode {
   kUnavailable,         // transient: missing partition, failed worker
   kUnimplemented,       // operation not supported by this component
   kInternal,            // invariant said to hold by a dependency did not
+  kDeadlineExceeded,    // request deadline passed or request was cancelled
 };
 
 // Human-readable code name ("DATA_LOSS", ...).
@@ -72,6 +73,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,142 @@
+// Unit tests for the cooperative request bounds (RequestContext/CancelToken)
+// and their integration with the estimation service.
+
+#include "mnc/util/deadline.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "mnc/ir/expr.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/matrix.h"
+#include "mnc/service/estimation_service.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+TEST(RequestContextTest, DefaultIsUnbounded) {
+  const RequestContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.expired());
+  EXPECT_TRUE(ctx.Check("site").ok());
+  EXPECT_FALSE(ctx.RemainingMillis().has_value());
+}
+
+TEST(RequestContextTest, ExpiredFailsEveryCheck) {
+  const RequestContext ctx = RequestContext::Expired();
+  EXPECT_TRUE(ctx.expired());
+  const Status s = ctx.Check("estimate");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.message().find("estimate"), std::string::npos);
+}
+
+TEST(RequestContextTest, DeadlinePassesWithTime) {
+  const RequestContext ctx = RequestContext::WithDeadlineAfterMillis(30);
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.Check("early").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(ctx.expired());
+  EXPECT_EQ(ctx.Check("late").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RequestContextTest, CancelTokenTripsCheck) {
+  CancelToken token;
+  RequestContext ctx;  // no deadline at all
+  ctx.set_cancel_token(&token);
+  EXPECT_TRUE(ctx.Check("before").ok());
+  token.Cancel();
+  EXPECT_TRUE(ctx.expired());
+  const Status s = ctx.Check("after");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.message().find("cancelled"), std::string::npos);
+}
+
+TEST(RequestContextTest, RemainingMillisCountsDown) {
+  const RequestContext ctx = RequestContext::WithDeadlineAfterMillis(10'000);
+  const auto remaining = ctx.RemainingMillis();
+  ASSERT_TRUE(remaining.has_value());
+  EXPECT_GT(*remaining, 5'000);
+  EXPECT_LE(*remaining, 10'000);
+}
+
+Matrix TestMatrix(int64_t rows, int64_t cols, double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Sparse(GenerateUniformSparse(rows, cols, sparsity, rng));
+}
+
+TEST(ServiceDeadlineTest, ExpiredRequestFailsTypedWithoutFallback) {
+  EstimationService service;
+  auto a = service.RegisterMatrix("A", TestMatrix(32, 32, 0.1, 1));
+  auto b = service.RegisterMatrix("B", TestMatrix(32, 32, 0.1, 2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  const RequestContext ctx = RequestContext::Expired();
+  auto r = service.Estimate(ExprNode::MatMul(*a, *b), &ctx);
+  ASSERT_FALSE(r.ok());
+  // Typed, and NOT rescued by the fallback chain: a late answer is not an
+  // answer.
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().fallback_estimates, 0);
+  EXPECT_GE(service.stats().failed_estimates, 1);
+
+  // An unbounded retry of the same expression succeeds precisely — the
+  // expired attempt must not have memoized anything partial.
+  auto retry = service.Estimate(ExprNode::MatMul(*a, *b));
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->served_by, "mnc");
+}
+
+TEST(ServiceDeadlineTest, ExpiredExecuteFailsTyped) {
+  EstimationService service;
+  auto a = service.RegisterMatrix("A", TestMatrix(32, 32, 0.1, 1));
+  ASSERT_TRUE(a.ok());
+  const RequestContext ctx = RequestContext::Expired();
+  auto r = service.Execute(ExprNode::MatMul(*a, *a), &ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ServiceDeadlineTest, GenerousDeadlineSucceeds) {
+  EstimationService service;
+  auto a = service.RegisterMatrix("A", TestMatrix(32, 32, 0.1, 1));
+  ASSERT_TRUE(a.ok());
+  const RequestContext ctx = RequestContext::WithDeadlineAfterMillis(60'000);
+  auto r = service.Estimate(ExprNode::MatMul(*a, *a), &ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->served_by, "mnc");
+}
+
+TEST(ServiceDeadlineTest, BatchForwardsDeadlinePerEntry) {
+  EstimationServiceOptions options;
+  options.num_threads = 2;
+  EstimationService service(options);
+  auto a = service.RegisterMatrix("A", TestMatrix(32, 32, 0.1, 1));
+  auto b = service.RegisterMatrix("B", TestMatrix(32, 32, 0.1, 2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  std::vector<ExprPtr> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(ExprNode::MatMul(*a, *b));
+
+  const RequestContext expired = RequestContext::Expired();
+  auto results = service.EstimateBatch(batch, &expired);
+  ASSERT_EQ(results.size(), batch.size());
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  }
+
+  const RequestContext generous =
+      RequestContext::WithDeadlineAfterMillis(60'000);
+  auto ok_results = service.EstimateBatch(batch, &generous);
+  for (const auto& r : ok_results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace mnc

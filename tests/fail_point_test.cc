@@ -82,9 +82,10 @@ TEST(FailPointTest, ArmedPointsListsActiveOnes) {
 
 TEST(FailPointTest, ArmFromSpecParsesNamesAndWindows) {
   auto& reg = FailPointRegistry::Instance();
-  const int armed =
+  const StatusOr<int> armed =
       reg.ArmFromSpec("fp_test.spec_a;fp_test.spec_b=2:1;fp_test.spec_c=1");
-  EXPECT_EQ(armed, 3);
+  ASSERT_TRUE(armed.ok());
+  EXPECT_EQ(*armed, 3);
   EXPECT_TRUE(reg.IsArmed("fp_test.spec_a"));
   EXPECT_TRUE(reg.IsArmed("fp_test.spec_b"));
   EXPECT_TRUE(reg.IsArmed("fp_test.spec_c"));
@@ -102,11 +103,40 @@ TEST(FailPointTest, ArmFromSpecParsesNamesAndWindows) {
   reg.Disarm("fp_test.spec_c");
 }
 
-TEST(FailPointTest, ArmFromSpecSkipsMalformedEntries) {
+TEST(FailPointTest, ArmFromSpecRejectsMalformedEntries) {
   auto& reg = FailPointRegistry::Instance();
-  EXPECT_EQ(reg.ArmFromSpec(";;=1:2;"), 0);
-  EXPECT_EQ(reg.ArmFromSpec(""), 0);
-  EXPECT_EQ(reg.ArmFromSpec("fp_test.spec_ok;=bad"), 1);
+
+  // Empty entries between separators are benign; empty specs arm nothing.
+  const StatusOr<int> empties = reg.ArmFromSpec(";;");
+  ASSERT_TRUE(empties.ok());
+  EXPECT_EQ(*empties, 0);
+  const StatusOr<int> blank = reg.ArmFromSpec("");
+  ASSERT_TRUE(blank.ok());
+  EXPECT_EQ(*blank, 0);
+
+  // A parameterized entry with an empty name is malformed, not skipped.
+  const StatusOr<int> unnamed = reg.ArmFromSpec(";;=1:2;");
+  ASSERT_FALSE(unnamed.ok());
+  EXPECT_EQ(unnamed.status().code(), StatusCode::kInvalidArgument);
+
+  // Non-numeric skip, non-numeric count, and trailing garbage each name the
+  // offending entry in the error.
+  const StatusOr<int> bad_skip = reg.ArmFromSpec("fp_test.x=bad");
+  ASSERT_FALSE(bad_skip.ok());
+  EXPECT_NE(bad_skip.status().message().find("fp_test.x=bad"),
+            std::string::npos);
+  const StatusOr<int> bad_count = reg.ArmFromSpec("fp_test.x=1:zz");
+  ASSERT_FALSE(bad_count.ok());
+  const StatusOr<int> garbage = reg.ArmFromSpec("fp_test.x=1:2junk");
+  ASSERT_FALSE(garbage.ok());
+
+  // Entries before the malformed one are armed (and stay armed), the rest
+  // are not: the error is actionable, not destructive.
+  const StatusOr<int> partial =
+      reg.ArmFromSpec("fp_test.spec_ok;=bad;fp_test.spec_after");
+  ASSERT_FALSE(partial.ok());
+  EXPECT_TRUE(reg.IsArmed("fp_test.spec_ok"));
+  EXPECT_FALSE(reg.IsArmed("fp_test.spec_after"));
   reg.Disarm("fp_test.spec_ok");
 }
 

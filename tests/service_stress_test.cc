@@ -20,6 +20,7 @@
 #include "mnc/matrix/generate.h"
 #include "mnc/matrix/matrix.h"
 #include "mnc/service/estimation_service.h"
+#include "mnc/util/deadline.h"
 #include "mnc/util/fail_point.h"
 #include "mnc/util/random.h"
 
@@ -157,6 +158,139 @@ TEST(ServiceStressTest, ConcurrentRegistrationDedupes) {
   EXPECT_EQ(stats.registered_sketches, 1);  // one content fingerprint
   EXPECT_EQ(stats.registered_names, kThreads * 20);
   EXPECT_EQ(stats.register_dedup_hits, kThreads * 20 - 1);
+}
+
+// Catalog mutation racing queries: registrations and memo clears from some
+// sessions must never corrupt estimates or executions running in others.
+// This is the serving-tier contention shape — concurrent socket sessions
+// share one catalog — reduced to the service API for TSan visibility.
+TEST(ServiceStressTest, CatalogMutationRacesBatchAndExecute) {
+  EstimationServiceOptions options;
+  options.num_threads = 4;
+  EstimationService service(options);
+
+  constexpr int kMatrices = 4;
+  std::vector<ExprPtr> leaves;
+  for (int i = 0; i < kMatrices; ++i) {
+    auto leaf = service.RegisterMatrix("S" + std::to_string(i),
+                                       TestMatrix(32, 32, 0.12, 300 + i));
+    ASSERT_TRUE(leaf.ok());
+    leaves.push_back(*leaf);
+  }
+
+  std::atomic<int64_t> batch_failures{0};
+  std::atomic<int64_t> exec_failures{0};
+  std::atomic<int64_t> mutate_failures{0};
+  std::atomic<bool> insane{false};
+
+  std::vector<std::thread> threads;
+  // Two mutator sessions: fresh registrations (new names, new content)
+  // interleaved with full memo clears.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 40; ++i) {
+        auto r = service.RegisterMatrix(
+            "T" + std::to_string(t) + "_" + std::to_string(i),
+            TestMatrix(32, 32, 0.1, 900 + t * 100 + i));
+        if (!r.ok()) mutate_failures.fetch_add(1, std::memory_order_relaxed);
+        if (i % 3 == 0) service.ClearMemo();
+      }
+    });
+  }
+  // Two batch-estimate sessions over the stable leaves.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(77 + t);
+      for (int i = 0; i < 25; ++i) {
+        std::vector<ExprPtr> batch;
+        for (int j = 0; j < 8; ++j) {
+          const auto& a = leaves[rng.Next() % kMatrices];
+          const auto& b = leaves[rng.Next() % kMatrices];
+          batch.push_back(ExprNode::MatMul(a, b));
+        }
+        auto results = service.EstimateBatch(batch);
+        for (const auto& r : results) {
+          if (!r.ok()) {
+            batch_failures.fetch_add(1, std::memory_order_relaxed);
+          } else if (!std::isfinite(r->sparsity) || r->sparsity < 0.0 ||
+                     r->sparsity > 1.0) {
+            insane.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  // Two execute sessions: actual evaluation racing the mutators.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(501 + t);
+      for (int i = 0; i < 15; ++i) {
+        const auto& a = leaves[rng.Next() % kMatrices];
+        const auto& b = leaves[rng.Next() % kMatrices];
+        auto result = service.Execute(ExprNode::MatMul(a, b));
+        if (!result.ok()) {
+          exec_failures.fetch_add(1, std::memory_order_relaxed);
+        } else if (result->rows() != 32 || result->cols() != 32) {
+          insane.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(batch_failures.load(), 0);
+  EXPECT_EQ(exec_failures.load(), 0);
+  EXPECT_EQ(mutate_failures.load(), 0);
+  EXPECT_FALSE(insane.load());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.registered_names, kMatrices + 2 * 40);
+  EXPECT_GT(stats.executions, 0);
+}
+
+// The same race with deadline-bearing requests mixed in: expiring queries
+// must stop cleanly (typed kDeadlineExceeded, no fallback rescue) while
+// unbounded queries on other sessions keep succeeding.
+TEST(ServiceStressTest, DeadlinedQueriesRaceUnboundedOnes) {
+  EstimationService service;
+  std::vector<ExprPtr> leaves;
+  for (int i = 0; i < 3; ++i) {
+    auto leaf = service.RegisterMatrix("D" + std::to_string(i),
+                                       TestMatrix(40, 40, 0.1, 700 + i));
+    ASSERT_TRUE(leaf.ok());
+    leaves.push_back(*leaf);
+  }
+
+  std::atomic<int64_t> unbounded_failures{0};
+  std::atomic<int64_t> wrong_code{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 11);
+      for (int i = 0; i < 50; ++i) {
+        const auto& a = leaves[rng.Next() % 3];
+        const auto& b = leaves[rng.Next() % 3];
+        const ExprPtr expr = ExprNode::MatMul(a, b);
+        if (t % 2 == 0) {
+          // Already-expired context: must fail typed, never degrade.
+          const RequestContext ctx = RequestContext::Expired();
+          auto r = service.Estimate(expr, &ctx);
+          if (r.ok() ||
+              r.status().code() != StatusCode::kDeadlineExceeded) {
+            wrong_code.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          auto r = service.Estimate(expr);
+          if (!r.ok()) {
+            unbounded_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(unbounded_failures.load(), 0);
+  EXPECT_EQ(wrong_code.load(), 0);
 }
 
 TEST(ServiceStressTest, BatchUnderFaultsDegradesNotCrashes) {

@@ -32,6 +32,15 @@ std::string Format(const char* fmt, Args... args) {
 // parking the whole worker pool behind multi-minute sleeps.
 constexpr int64_t kMaxSleepMillis = 10'000;
 
+// Client-supplied text echoed into an error message is capped: a "verb" can
+// be an arbitrarily long token (up to the frame payload limit), and an error
+// that echoes it whole would itself blow the reply-frame size budget.
+std::string TruncateEcho(const std::string& text) {
+  constexpr size_t kMaxEchoBytes = 200;
+  if (text.size() <= kMaxEchoBytes) return text;
+  return text.substr(0, kMaxEchoBytes) + "...";
+}
+
 CommandOutcome SleepCommand(const std::string& rest,
                             const RequestContext* ctx) {
   CommandOutcome out;
@@ -211,7 +220,7 @@ CommandOutcome RunServeCommand(EstimationService& service,
   if (verb == "sleep") return SleepCommand(rest, ctx);
 
   out.status = Status::InvalidArgument(
-      "unknown command '" + verb +
+      "unknown command '" + TruncateEcho(verb) +
       "' (register/estimate/exec/stats/clear/sleep/quit)");
   return out;
 }

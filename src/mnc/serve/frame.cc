@@ -87,6 +87,14 @@ Frame MakeErrorFrame(uint64_t request_id, const Status& status) {
   f.request_id = request_id;
   f.code = static_cast<uint16_t>(status.code());
   f.payload = status.message();
+  // Error text can embed client-controlled bytes up to the full frame cap
+  // (a 1 MB unknown command, a huge file name); truncate so the error reply
+  // itself always fits the wire and EncodeFrame's size CHECK cannot fire.
+  constexpr char kMarker[] = "... [truncated]";
+  if (f.payload.size() > kMaxErrorPayloadBytes) {
+    f.payload.resize(kMaxErrorPayloadBytes - (sizeof(kMarker) - 1));
+    f.payload += kMarker;
+  }
   return f;
 }
 

@@ -56,6 +56,13 @@ inline constexpr size_t kFrameHeaderBytes = 32;
 // worst-case per-connection buffer bounded.
 inline constexpr uint32_t kDefaultMaxPayloadBytes = 1u << 20;
 
+// Ceiling on a kError frame's payload. Error messages can embed
+// client-controlled text (an unknown command, a file name, an expression up
+// to the full frame cap), so MakeErrorFrame truncates them to this bound —
+// far below kDefaultMaxPayloadBytes, guaranteeing the encode-side size CHECK
+// can never fire on an error reply no matter what the client sent.
+inline constexpr size_t kMaxErrorPayloadBytes = 4096;
+
 enum class FrameType : uint8_t {
   kRequest = 1,
   kReply = 2,
@@ -87,6 +94,8 @@ Frame MakeRequestFrame(uint64_t request_id, std::string command,
                        uint32_t deadline_ms = 0);
 Frame MakeReplyFrame(uint64_t request_id, const std::string& served_by,
                      bool degraded, const std::string& body);
+// Messages longer than kMaxErrorPayloadBytes are truncated with a marker;
+// the StatusCode always survives intact.
 Frame MakeErrorFrame(uint64_t request_id, const Status& status);
 Frame MakePingFrame(uint64_t request_id, std::string payload = "");
 

@@ -41,6 +41,18 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+ServerOptions SanitizeOptions(ServerOptions o) {
+  // The read-side frame limit must never exceed the encode-side ceiling:
+  // a request the reply path cannot legally echo into an error frame would
+  // widen the abort surface of EncodeFrame's size CHECK.
+  if (o.max_frame_bytes > kDefaultMaxPayloadBytes) {
+    o.max_frame_bytes = kDefaultMaxPayloadBytes;
+  }
+  // 0 would suspend reads forever (an empty outbox already "exceeds" it).
+  if (o.max_outbox_bytes == 0) o.max_outbox_bytes = 1;
+  return o;
+}
+
 }  // namespace
 
 // One accepted connection. The IO thread owns fd/reader/last_activity;
@@ -66,7 +78,7 @@ struct Server::Connection {
 };
 
 Server::Server(EstimationService* service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : service_(service), options_(SanitizeOptions(std::move(options))) {}
 
 Server::~Server() { Shutdown(); }
 
@@ -154,7 +166,17 @@ ServerStats Server::stats() const {
 
 void Server::SendFrame(const std::shared_ptr<Connection>& conn,
                        const Frame& frame) {
-  std::string bytes = EncodeFrame(frame);
+  std::string bytes;
+  if (frame.payload.size() > kDefaultMaxPayloadBytes) {
+    // Last-resort clamp: an oversized reply must degrade to a truncated
+    // one, never trip EncodeFrame's aborting size CHECK — no client input
+    // may crash the server.
+    Frame clamped = frame;
+    clamped.payload.resize(kDefaultMaxPayloadBytes);
+    bytes = EncodeFrame(clamped);
+  } else {
+    bytes = EncodeFrame(frame);
+  }
   std::lock_guard<std::mutex> lock(conn->mu);
   if (conn->closed) return;  // connection died before the reply was ready
   conn->outbox += bytes;
@@ -408,19 +430,27 @@ void Server::IoLoop() {
     for (const auto& [fd, conn] : conns_) {
       short events = 0;
       bool close_pending;
-      bool has_output;
+      size_t pending_out;
       {
         std::lock_guard<std::mutex> lock(conn->mu);
         close_pending = conn->close_after_flush;
-        has_output = conn->outbox_offset < conn->outbox.size();
+        pending_out = conn->outbox.size() - conn->outbox_offset;
       }
+      const bool has_output = pending_out > 0;
       // Backpressure: a connection at its pipeline limit (or marked for
       // close, or during drain) is not read; its socket buffer absorbs the
-      // client until replies free slots.
-      if (!draining && !close_pending &&
+      // client until replies free slots. The outbox byte bound covers what
+      // the pipeline counter does not — pings and typed protocol errors
+      // from a client that never reads its replies.
+      const bool want_read =
+          !draining && !close_pending &&
           conn->pipeline.load(std::memory_order_acquire) <
-              options_.max_pipeline) {
+              options_.max_pipeline;
+      if (want_read && pending_out < options_.max_outbox_bytes) {
         events |= POLLIN;
+      } else if (want_read) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.outbox_suspended;
       }
       if (has_output) events |= POLLOUT;
       if (events == 0 && !close_pending) continue;  // parked; workers wake us

@@ -24,10 +24,11 @@
 //     queued on the worker pool; beyond that requests are rejected
 //     immediately with RESOURCE_EXHAUSTED ("server busy") instead of
 //     queueing without bound.
-//   - Backpressure: a connection with `max_pipeline_per_conn` requests in
-//     flight stops being read (its socket is dropped from the poll set)
-//     until replies drain, so one pipelining client cannot monopolize the
-//     admission budget or buffer memory.
+//   - Backpressure: a connection with `max_pipeline` requests in flight OR
+//     more than `max_outbox_bytes` of unflushed reply bytes stops being read
+//     (its socket is dropped from the poll set) until replies drain, so one
+//     pipelining client — or one streaming pings without ever reading
+//     replies — cannot monopolize the admission budget or buffer memory.
 //   - Deadlines: a request's deadline_ms (or the server default) becomes a
 //     RequestContext checked cooperatively inside the estimation paths;
 //     expiry yields a typed DEADLINE_EXCEEDED error, never a late answer.
@@ -73,7 +74,14 @@ struct ServerOptions {
   int max_inflight = 64;
   // Per-connection pipeline bound before reads are suspended.
   int max_pipeline = 8;
-  // Frame payload ceiling (protocol hard cap is kDefaultMaxPayloadBytes).
+  // Per-connection bound on buffered reply bytes before reads are suspended.
+  // Catches traffic the pipeline counter does not (pings, typed protocol
+  // errors): a client streaming pings without reading replies stalls instead
+  // of growing the outbox without bound.
+  size_t max_outbox_bytes = 4u << 20;
+  // Frame payload ceiling. Values above the protocol hard cap
+  // (kDefaultMaxPayloadBytes) are clamped at construction — the reply path
+  // can never encode a larger frame, so accepting one would be a trap.
   uint32_t max_frame_bytes = kDefaultMaxPayloadBytes;
   // Default per-request deadline when the request frame carries none;
   // 0 = unbounded.
@@ -99,6 +107,8 @@ struct ServerStats {
   int64_t read_faults = 0;       // read failures incl. serve.read_frame
   int64_t write_faults = 0;      // write failures incl. serve.write_frame
   int64_t idle_closed = 0;       // connections reaped by the idle timeout
+  int64_t outbox_suspended = 0;  // poll rounds a conn's reads were paused
+                                 // by the outbox byte bound
 };
 
 class Server {

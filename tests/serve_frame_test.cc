@@ -55,6 +55,19 @@ TEST(FrameTest, ErrorRoundTripPreservesStatusCode) {
   EXPECT_EQ(s.message(), "server busy");
 }
 
+TEST(FrameTest, OversizedErrorMessageTruncatedToWireBudget) {
+  // Error text can embed client-controlled bytes up to the full frame cap;
+  // MakeErrorFrame must clamp it so encoding can never hit the payload-size
+  // CHECK (which would abort the process holding the frame — the server).
+  const std::string huge(2u << 20, 'v');
+  const Frame f = MakeErrorFrame(3, Status::InvalidArgument(huge));
+  EXPECT_LE(f.payload.size(), kMaxErrorPayloadBytes);
+  const Frame out = DecodeOne(EncodeFrame(f));
+  const Status s = ErrorFrameStatus(out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("[truncated]"), std::string::npos);
+}
+
 TEST(FrameTest, EmptyPayloadRoundTrip) {
   const Frame out = DecodeOne(EncodeFrame(MakePingFrame(1)));
   EXPECT_EQ(out.type, FrameType::kPing);

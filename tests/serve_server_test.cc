@@ -36,6 +36,26 @@ Matrix TestMatrix(int64_t rows, int64_t cols, double sparsity, uint64_t seed) {
   return Matrix::Sparse(GenerateUniformSparse(rows, cols, sparsity, rng));
 }
 
+// Raw loopback socket for tests that must send bytes a ServeClient cannot
+// be coaxed into producing; recv is bounded by a 5 s timeout so a wedged
+// server fails the test instead of hanging it.
+int ConnectRaw(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
 // Service with two registered matrices plus a server on an ephemeral port.
 class ServeServerTest : public ::testing::Test {
  protected:
@@ -332,6 +352,121 @@ TEST_F(ServeServerTest, OversizedDeclaredPayloadRejected) {
   }
   ::close(fd);
   EXPECT_TRUE(got_error);
+}
+
+TEST_F(ServeServerTest, HugeUnknownCommandTruncatedErrorNotCrash) {
+  StartServer();
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+
+  // A single ~900 KB token is the whole "verb" of the command line. Echoing
+  // it verbatim into the error frame used to blow the encode-side payload
+  // CHECK and abort the server — a remotely triggerable crash.
+  const std::string verb(900'000, 'q');
+  auto bad = client.Call(verb, 0, /*timeout_ms=*/10'000);
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  EXPECT_EQ(bad->status.code(), StatusCode::kInvalidArgument);
+  EXPECT_LE(bad->status.message().size(), kMaxErrorPayloadBytes);
+
+  // Same exposure through a register file-name echo.
+  auto bad_file = client.Call("register M " + std::string(900'000, 'f'), 0,
+                              /*timeout_ms=*/10'000);
+  ASSERT_TRUE(bad_file.ok()) << bad_file.status().ToString();
+  EXPECT_FALSE(bad_file->ok());
+  EXPECT_LE(bad_file->status.message().size(), kMaxErrorPayloadBytes);
+
+  // The server shrugged both off; the same connection still serves.
+  auto good = client.Call("estimate A %*% B");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->ok());
+}
+
+TEST_F(ServeServerTest, MaxFrameBytesClampedToProtocolCeiling) {
+  // A read-side limit above the encode-side ceiling would accept requests
+  // whose error echo can never be legally encoded; Start() must clamp it.
+  ServerOptions opts;
+  opts.max_frame_bytes = 64u << 20;
+  StartServer(opts);
+
+  const int fd = ConnectRaw(server_->port());
+  ASSERT_GE(fd, 0);
+  // Header declaring a payload one byte over the protocol hard cap.
+  std::string header = EncodeFrame(MakeRequestFrame(1, "x", 0));
+  header.resize(kFrameHeaderBytes);
+  const uint32_t over = kDefaultMaxPayloadBytes + 1;
+  std::memcpy(&header[24], &over, sizeof(over));
+  ASSERT_EQ(::send(fd, header.data(), header.size(), 0),
+            static_cast<ssize_t>(header.size()));
+
+  FrameReader reader;
+  char buf[4096];
+  bool got_error = false;
+  for (int i = 0; i < 100 && !got_error; ++i) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reader.Append(buf, static_cast<size_t>(n));
+    auto next = reader.Next();
+    ASSERT_TRUE(next.ok());
+    if (next->has_value()) {
+      EXPECT_EQ(ErrorFrameStatus(**next).code(), StatusCode::kOutOfRange);
+      got_error = true;
+    }
+  }
+  ::close(fd);
+  EXPECT_TRUE(got_error);
+}
+
+TEST_F(ServeServerTest, PingFloodBoundedByOutboxBackpressure) {
+  ServerOptions opts;
+  // Below one pong frame (1 KiB payload + header): the first enqueued pong
+  // already crosses the bound, making the read-suspension deterministic.
+  opts.max_outbox_bytes = 1024;
+  StartServer(opts);
+
+  const int fd = ConnectRaw(server_->port());
+  ASSERT_GE(fd, 0);
+  // 48 KiB of pings written up front without reading a single pong: the
+  // pong bytes pile into the connection's outbox, which must suspend reads
+  // (bounded buffer) instead of growing without bound.
+  constexpr int kPings = 48;
+  std::string burst;
+  for (uint64_t id = 1; id <= kPings; ++id) {
+    burst += EncodeFrame(MakePingFrame(id, std::string(1024, 'p')));
+  }
+  for (size_t off = 0; off < burst.size();) {
+    const ssize_t n =
+        ::send(fd, burst.data() + off, burst.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<size_t>(n);
+  }
+
+  // Every pong still arrives, in order — backpressure stalls, never drops.
+  FrameReader reader;
+  char buf[8192];
+  uint64_t next_id = 1;
+  while (next_id <= kPings) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "pong stream ended at id " << next_id;
+    reader.Append(buf, static_cast<size_t>(n));
+    for (;;) {
+      auto next = reader.Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (!next->has_value()) break;
+      EXPECT_EQ((*next)->type, FrameType::kPong);
+      EXPECT_EQ((*next)->request_id, next_id);
+      EXPECT_EQ((*next)->payload.size(), 1024u);
+      ++next_id;
+    }
+  }
+  ::close(fd);
+  EXPECT_GE(server_->stats().outbox_suspended, 1);
+
+  // The flood was load-shaped, not a fault: new sessions serve normally.
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  auto r = client.Call("estimate A %*% B");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->ok());
 }
 
 TEST_F(ServeServerTest, ReadFaultClosesOnlyThatConnection) {

@@ -1,0 +1,205 @@
+// Streaming-vs-in-memory sketch construction: build time and peak RSS.
+//
+// Writes a procedurally generated Matrix-Market file to disk, then builds
+// its MNC sketch twice: (a) streaming, via the chunked out-of-core ingestion
+// path (mnc/ingest), and (b) in memory, materializing the CSR matrix first.
+// Peak-RSS deltas are taken from getrusage(RU_MAXRSS) around each phase —
+// the streaming build MUST run first, since ru_maxrss is a high-water mark
+// over the whole process lifetime and the materialized matrix would mask
+// the streaming footprint.
+//
+// The contract under test (--check, wired into ctest):
+//   - the streaming sketch is bit-identical to the in-memory one;
+//   - the streaming peak-RSS delta stays under half the materialized
+//     matrix's lower-bound footprint (nnz * 24 bytes of COO triplets) —
+//     i.e. the build is genuinely out-of-core, O(chunk + sketch), not a
+//     hidden materialization.
+//
+// Flags:
+//   --rows <n>     matrix rows (default 200000)
+//   --cols <n>     matrix cols (default 10000)
+//   --per-row <d>  non-zeros per row (default 10; nnz = rows * per-row)
+//   --chunk <n>    triplets per streaming chunk (default 65536)
+//   --json         also write BENCH_ingest.json
+//   --check        exit non-zero unless the contract above holds
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "bench_common.h"
+
+namespace {
+
+// Peak RSS in KB (Linux ru_maxrss units), or -1 when unavailable.
+int64_t PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<int64_t>(usage.ru_maxrss);
+  }
+#endif
+  return -1;
+}
+
+// Writes a deterministic banded .mtx straight to disk (constant memory):
+// row i carries `per_row` entries at columns (i % (cols - per_row)) + k.
+bool WriteProceduralMatrix(const std::string& path, int64_t rows,
+                           int64_t cols, int64_t per_row) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%%%%MatrixMarket matrix coordinate real general\n");
+  std::fprintf(f, "%lld %lld %lld\n", static_cast<long long>(rows),
+               static_cast<long long>(cols),
+               static_cast<long long>(rows * per_row));
+  const int64_t span = cols - per_row;
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t base = i % span;
+    for (int64_t k = 0; k < per_row; ++k) {
+      std::fprintf(f, "%lld %lld %lld\n", static_cast<long long>(i + 1),
+                   static_cast<long long>(base + k + 1),
+                   static_cast<long long>(1 + (i + k) % 7));
+    }
+  }
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+// Bit-for-bit sketch equality over every exposed field.
+bool SketchesIdentical(const mnc::MncSketch& a, const mnc::MncSketch& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() && a.nnz() == b.nnz() &&
+         a.hr() == b.hr() && a.hc() == b.hc() && a.her() == b.her() &&
+         a.hec() == b.hec() && a.is_diagonal() == b.is_diagonal();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t rows = mncbench::ArgInt(argc, argv, "rows", 200000);
+  const int64_t cols = mncbench::ArgInt(argc, argv, "cols", 10000);
+  const int64_t per_row = mncbench::ArgInt(argc, argv, "per-row", 10);
+  const int64_t chunk = mncbench::ArgInt(argc, argv, "chunk", 65536);
+  const bool json = mncbench::ArgFlag(argc, argv, "json");
+  const bool check = mncbench::ArgFlag(argc, argv, "check");
+  if (per_row >= cols) {
+    std::fprintf(stderr, "per-row must be < cols\n");
+    return 1;
+  }
+
+  const int64_t nnz = rows * per_row;
+  const std::string path = "bench_ingest_stream.mtx";
+  if (!WriteProceduralMatrix(path, rows, cols, per_row)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+
+  // ---- Streaming build FIRST (ru_maxrss is a lifetime high-water mark).
+  const int64_t rss_before_stream = PeakRssKb();
+  mnc::Stopwatch watch;
+  auto src = mnc::ingest::OpenTripletSource(path);
+  if (!src.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", src.status().ToString().c_str());
+    return 1;
+  }
+  mnc::ingest::StreamSketchOptions opts;
+  opts.chunk_entries = chunk;
+  auto streamed = mnc::ingest::BuildSketchStreaming(**src, opts);
+  if (!streamed.ok()) {
+    std::fprintf(stderr, "streaming build failed: %s\n",
+                 streamed.status().ToString().c_str());
+    return 1;
+  }
+  const double stream_seconds = watch.ElapsedSeconds();
+  const int64_t rss_after_stream = PeakRssKb();
+  src->reset();  // close the file before the materializing pass
+
+  // ---- In-memory reference: materialize, then FromCsr.
+  watch.Restart();
+  auto m = mnc::ReadMatrixMarketFile(path);
+  if (!m.ok()) {
+    std::fprintf(stderr, "read failed: %s\n", m.status().ToString().c_str());
+    return 1;
+  }
+  const double read_seconds = watch.ElapsedSeconds();
+  watch.Restart();
+  const mnc::MncSketch reference = mnc::MncSketch::FromCsr(*m);
+  const double inmem_seconds = watch.ElapsedSeconds();
+  const int64_t rss_after_inmem = PeakRssKb();
+
+  const bool identical = SketchesIdentical(reference, *streamed);
+  const int64_t stream_delta_kb =
+      (rss_before_stream >= 0 && rss_after_stream >= 0)
+          ? rss_after_stream - rss_before_stream
+          : -1;
+  const int64_t inmem_delta_kb =
+      (rss_after_stream >= 0 && rss_after_inmem >= 0)
+          ? rss_after_inmem - rss_after_stream
+          : -1;
+  // Lower bound on what materializing costs: one COO triplet per entry.
+  const int64_t materialized_floor_kb = nnz * 24 / 1024;
+  const int64_t bound_kb = materialized_floor_kb / 2;
+
+  std::printf("ingest_stream: %lld x %lld, %lld nnz, chunk %lld\n",
+              static_cast<long long>(rows), static_cast<long long>(cols),
+              static_cast<long long>(nnz), static_cast<long long>(chunk));
+  std::printf("  streaming build:      %10.3f s, peak RSS delta %lld KB\n",
+              stream_seconds, static_cast<long long>(stream_delta_kb));
+  std::printf("  in-memory read+build: %10.3f s (+%.3f s read), "
+              "peak RSS delta %lld KB\n",
+              inmem_seconds, read_seconds,
+              static_cast<long long>(inmem_delta_kb));
+  std::printf("  sketch: %lld bytes, sparsity %.6g, bit-identical: %s\n",
+              static_cast<long long>(reference.SizeBytes()),
+              reference.Sparsity(), identical ? "yes" : "NO");
+  std::printf("  out-of-core bound: delta %lld KB vs %lld KB "
+              "(materialized floor / 2)\n",
+              static_cast<long long>(stream_delta_kb),
+              static_cast<long long>(bound_kb));
+
+  if (json) {
+    mncbench::JsonReport report("ingest");
+    report.Add("rows", rows);
+    report.Add("cols", cols);
+    report.Add("nnz", nnz);
+    report.Add("chunk", chunk);
+    report.Add("stream_seconds", stream_seconds);
+    report.Add("inmem_read_seconds", read_seconds);
+    report.Add("inmem_build_seconds", inmem_seconds);
+    report.Add("stream_peak_delta_kb", stream_delta_kb);
+    report.Add("inmem_peak_delta_kb", inmem_delta_kb);
+    report.Add("bound_kb", bound_kb);
+    report.Add("bit_identical", std::string(identical ? "yes" : "no"));
+    report.WriteToFile();
+  }
+
+  std::remove(path.c_str());
+
+  if (check) {
+    if (!identical) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: streaming sketch differs from in-memory\n");
+      return 1;
+    }
+    if (stream_delta_kb < 0) {
+      std::fprintf(stderr, "CHECK FAILED: getrusage unavailable\n");
+      return 1;
+    }
+    if (stream_delta_kb >= bound_kb) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: streaming peak RSS delta %lld KB exceeds "
+                   "the out-of-core bound %lld KB\n",
+                   static_cast<long long>(stream_delta_kb),
+                   static_cast<long long>(bound_kb));
+      return 1;
+    }
+    std::printf("CHECK PASSED: bit-identical, streaming delta %lld KB "
+                "< bound %lld KB\n",
+                static_cast<long long>(stream_delta_kb),
+                static_cast<long long>(bound_kb));
+  }
+  return 0;
+}

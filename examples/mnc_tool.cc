@@ -4,9 +4,12 @@
 //   generate <kind> <rows> <cols> <sparsity> <out.mtx> [seed]
 //       Writes a random Matrix-Market file. Kinds: uniform, permutation,
 //       diagonal, token (one non-zero per row, Zipf columns), graph.
-//   sketch <a.mtx> [--out <a.mncs>]
+//   sketch <a.mtx> [--out <a.mncs>] [--stream] [--chunk <entries>]
 //       Prints the MNC sketch summary statistics of a matrix; --out also
 //       serializes the sketch (binary) for later driver-side estimation.
+//       --stream builds the sketch out-of-core from the file (Matrix Market
+//       or MNCT binary triplets) in --chunk-sized pieces without ever
+//       materializing the matrix: peak memory is O(chunk + sketch).
 //   estimate-sketches <a.mncs> <b.mncs>
 //       Estimates the product sparsity (with a confidence interval) purely
 //       from serialized sketches — no matrix data needed.
@@ -18,15 +21,21 @@
 //       Optimizes the multiplication chain, comparing the dimension-only
 //       and the sparsity-aware (MNC) dynamic programs.
 //   serve [--budget-mb <m>] [--threads <n>] [--guided]
+//       [--spill-dir <dir> --catalog-budget-mb <m>]
 //       [--exec "cmd; cmd; ..."] [--listen <port> [--workers <n>]]
 //       Runs a long-lived estimation service: matrices are registered once
 //       (sketch catalog with content dedup), and repeated queries are
 //       answered from the canonicalized-expression memo cache. With
 //       --guided, `exec` runs sketch-guided (products pre-sized and
 //       format-dispatched from the cataloged sketches; identical values,
-//       counters reported by `stats`). Commands, one per stdin line (or
-//       ';'-separated via --exec):
+//       counters reported by `stats`). With --spill-dir and
+//       --catalog-budget-mb, cold catalog sketches are LRU-evicted to
+//       checksummed disk segments and fault back transparently on use.
+//       Commands, one per stdin line (or ';'-separated via --exec):
 //         register <name> <file.mtx>   build/reuse the sketch of a matrix
+//         register-path <name> <file> [<file2> ...] [--union]
+//                                      streaming registration (sketch the
+//                                      files chunk-by-chunk, out-of-core)
 //         estimate <expression>        estimate a DML-like expression
 //         exec <expression>            evaluate a DML-like expression
 //         stats                        print catalog/memo/query counters
@@ -57,6 +66,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -75,7 +85,8 @@ int Usage() {
                "usage:\n"
                "  mnc_tool generate <uniform|permutation|diagonal|token|"
                "graph> <rows> <cols> <sparsity> <out.mtx> [seed]\n"
-               "  mnc_tool sketch <a.mtx> [--out <a.mncs>]\n"
+               "  mnc_tool sketch <a.mtx> [--out <a.mncs>] [--stream]"
+               " [--chunk <entries>]\n"
                "  mnc_tool estimate-sketches <a.mncs> <b.mncs>\n"
                "  mnc_tool estimate <matmul|add|emult|emin|emax|transpose|"
                "rowsums|colsums> <a.mtx> [b.mtx] [--exact]\n"
@@ -83,7 +94,8 @@ int Usage() {
                "  mnc_tool expr \"<expression>\" --bind NAME=file.mtx"
                " [--bind ...] [--exact]\n"
                "  mnc_tool serve [--budget-mb <m>] [--threads <n>]"
-               " [--guided] [--exec \"cmd; cmd; ...\"]"
+               " [--guided] [--spill-dir <dir> --catalog-budget-mb <m>]"
+               " [--exec \"cmd; cmd; ...\"]"
                " [--listen <port> [--workers <n>]]\n"
                "  mnc_tool client --connect <port> [--deadline-ms <n>]"
                " [--exec \"cmd; cmd; ...\"]\n");
@@ -136,16 +148,46 @@ int CmdGenerate(int argc, char** argv) {
 
 int CmdSketch(int argc, char** argv) {
   if (argc < 3) return Usage();
-  const auto m = Load(argv[2]);
-  if (!m.ok()) return 1;
   const char* out = nullptr;
-  for (int i = 3; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
+  bool stream = false;
+  long long chunk = 0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+    if (std::strcmp(argv[i], "--stream") == 0) stream = true;
+    if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
+      chunk = std::strtoll(argv[++i], nullptr, 10);
+    }
   }
 
   mnc::Stopwatch watch;
-  const mnc::MncSketch h = mnc::MncSketch::FromCsr(*m);
-  const double build_ms = watch.ElapsedMillis();
+  std::optional<mnc::MncSketch> built;
+  double build_ms = 0.0;
+  if (stream) {
+    // Out-of-core path: the matrix is never materialized; peak memory is
+    // O(chunk + sketch).
+    auto src = mnc::ingest::OpenTripletSource(argv[2]);
+    if (!src.ok()) {
+      std::fprintf(stderr, "error: %s\n", src.status().ToString().c_str());
+      return 1;
+    }
+    mnc::ingest::StreamSketchOptions opts;
+    if (chunk > 0) opts.chunk_entries = chunk;
+    auto streamed = mnc::ingest::BuildSketchStreaming(*src.value(), opts);
+    if (!streamed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   streamed.status().ToString().c_str());
+      return 1;
+    }
+    built.emplace(std::move(streamed).value());
+    build_ms = watch.ElapsedMillis();
+  } else {
+    const auto m = Load(argv[2]);
+    if (!m.ok()) return 1;
+    watch = mnc::Stopwatch();
+    built.emplace(mnc::MncSketch::FromCsr(*m));
+    build_ms = watch.ElapsedMillis();
+  }
+  const mnc::MncSketch& h = *built;
 
   std::printf("matrix: %lld x %lld, %lld non-zeros (sparsity %.6g)\n",
               static_cast<long long>(h.rows()),
@@ -528,6 +570,11 @@ int CmdServe(int argc, char** argv) {
       options.parallel.num_threads = options.num_threads;
     } else if (std::strcmp(argv[i], "--guided") == 0) {
       options.guided_exec = true;
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
+      options.spill_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--catalog-budget-mb") == 0 &&
+               i + 1 < argc) {
+      options.catalog_resident_budget_bytes = std::atoll(argv[++i]) << 20;
     } else if (std::strcmp(argv[i], "--exec") == 0 && i + 1 < argc) {
       exec = argv[++i];
     } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {

@@ -34,6 +34,7 @@ JSON_BENCHES=(
   "micro_kernels:--json"
   "guided_exec:--json"
   "serve_load:--json --clients 8 --reqs 100 --dim 256"
+  "ingest_stream:--json"
 )
 
 for spec in "${JSON_BENCHES[@]}"; do

@@ -1,0 +1,68 @@
+#include "mnc/ingest/spill_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "mnc/core/mnc_sketch_io.h"
+#include "mnc/util/fail_point.h"
+
+namespace mnc::ingest {
+
+namespace fs = std::filesystem;
+
+StatusOr<SpillStore> SpillStore::Open(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Unavailable("cannot create spill directory " + dir + ": " +
+                               ec.message());
+  }
+  return SpillStore(dir);
+}
+
+std::string SpillStore::SegmentPath(uint64_t fingerprint) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "spill-%016llx.mncs",
+                static_cast<unsigned long long>(fingerprint));
+  return (fs::path(dir_) / name).string();
+}
+
+Status SpillStore::Write(uint64_t fingerprint, const MncSketch& sketch) const {
+  if (MncFailPointArmed("ingest.spill_write")) {
+    return Status::Unavailable(
+        "fail point ingest.spill_write: simulated spill-write fault");
+  }
+  const std::string path = SegmentPath(fingerprint);
+  const std::string tmp = path + ".tmp";
+  MNC_RETURN_IF_ERROR(WriteSketchFile(sketch, tmp));
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);  // best effort; the original error is what matters
+    return Status::Unavailable("cannot publish spill segment " + path + ": " +
+                               ec.message());
+  }
+  return Status::Ok();
+}
+
+StatusOr<MncSketch> SpillStore::Read(uint64_t fingerprint) const {
+  if (MncFailPointArmed("ingest.spill_read")) {
+    return Status::Unavailable(
+        "fail point ingest.spill_read: simulated fault-back read fault");
+  }
+  return ReadSketchFile(SegmentPath(fingerprint));
+}
+
+Status SpillStore::Remove(uint64_t fingerprint) const {
+  std::error_code ec;
+  fs::remove(SegmentPath(fingerprint), ec);
+  if (ec) {
+    return Status::Unavailable("cannot remove spill segment " +
+                               SegmentPath(fingerprint) + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace mnc::ingest

@@ -1,0 +1,55 @@
+// Disk segment store backing the estimation service's spill-to-disk sketch
+// catalog tier.
+//
+// Each spilled sketch becomes one segment file `spill-<16-hex-fp>.mncs`
+// under the store directory, written in the checksummed sketch wire format
+// v2 (core/mnc_sketch_io) — so every corruption-detection guarantee of that
+// format (per-section CRC32, typed kDataLoss on any flipped byte) carries
+// over to spill segments unchanged. Writes go through a temp file + rename
+// so a crash mid-spill never leaves a torn segment under the final name.
+//
+// Fail points (closed ingest.* namespace, see util/fail_point.h):
+//   ingest.spill_write  — simulated spill-write fault (kUnavailable; the
+//                         segment is not created)
+//   ingest.spill_read   — simulated fault-back read fault (kUnavailable)
+
+#ifndef MNC_INGEST_SPILL_STORE_H_
+#define MNC_INGEST_SPILL_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/util/status.h"
+
+namespace mnc::ingest {
+
+class SpillStore {
+ public:
+  // Creates the directory (and parents) if missing.
+  static StatusOr<SpillStore> Open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+
+  // Segment path for a catalog fingerprint.
+  std::string SegmentPath(uint64_t fingerprint) const;
+
+  // Writes `sketch` as the segment for `fingerprint` (temp file + rename).
+  Status Write(uint64_t fingerprint, const MncSketch& sketch) const;
+
+  // Reads the segment back; corruption surfaces as the wire format's typed
+  // kDataLoss, a missing segment as kNotFound.
+  StatusOr<MncSketch> Read(uint64_t fingerprint) const;
+
+  // Deletes the segment if present (missing is not an error).
+  Status Remove(uint64_t fingerprint) const;
+
+ private:
+  explicit SpillStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;
+};
+
+}  // namespace mnc::ingest
+
+#endif  // MNC_INGEST_SPILL_STORE_H_

@@ -1,0 +1,224 @@
+#include "mnc/ingest/stream_sketch.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mnc::ingest {
+
+namespace {
+
+// Running pass-1 state: the count vectors plus the facts needed to decide
+// whether pass 2 (extension vectors) and the diagonal flag apply.
+struct CountAccumulator {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int64_t> hr;
+  std::vector<int64_t> hc;
+  int64_t nnz = 0;
+  bool all_diag = true;
+
+  explicit CountAccumulator(int64_t r, int64_t c) : rows(r), cols(c) {
+    hr.assign(static_cast<size_t>(r), 0);
+    hc.assign(static_cast<size_t>(c), 0);
+  }
+
+  void Fold(const std::vector<Triplet>& chunk) {
+    for (const Triplet& t : chunk) {
+      ++hr[static_cast<size_t>(t.row)];
+      ++hc[static_cast<size_t>(t.col)];
+      ++nnz;
+      if (t.row != t.col) all_diag = false;
+    }
+  }
+
+  // Mirrors CsrMatrix::IsFullyDiagonal for canonical (duplicate-free)
+  // inputs: square, one entry per row, all on the diagonal.
+  bool IsDiagonal() const { return rows == cols && nnz == rows && all_diag; }
+};
+
+// Pass 1 of `src` into `acc`.
+Status AccumulateCounts(TripletSource& src, const StreamSketchOptions& opts,
+                        CountAccumulator& acc) {
+  std::vector<Triplet> chunk;
+  for (;;) {
+    MNC_RETURN_IF_ERROR(src.ReadChunk(opts.chunk_entries, chunk));
+    if (chunk.empty()) return Status::Ok();
+    acc.Fold(chunk);
+  }
+}
+
+// Pass 2 of `src` against the finished counts — the streaming equivalent of
+// FromCsr's second scan: her[i] counts row i's entries in single-non-zero
+// columns, hec[j] counts column j's entries in single-non-zero rows.
+Status AccumulateExtensions(TripletSource& src,
+                            const StreamSketchOptions& opts,
+                            const CountAccumulator& acc,
+                            std::vector<int64_t>& her,
+                            std::vector<int64_t>& hec) {
+  MNC_RETURN_IF_ERROR(src.Reset());
+  std::vector<Triplet> chunk;
+  for (;;) {
+    MNC_RETURN_IF_ERROR(src.ReadChunk(opts.chunk_entries, chunk));
+    if (chunk.empty()) return Status::Ok();
+    for (const Triplet& t : chunk) {
+      if (acc.hc[static_cast<size_t>(t.col)] == 1) {
+        ++her[static_cast<size_t>(t.row)];
+      }
+      if (acc.hr[static_cast<size_t>(t.row)] == 1) {
+        ++hec[static_cast<size_t>(t.col)];
+      }
+    }
+  }
+}
+
+MncSketch AssembleSketch(CountAccumulator acc, std::vector<int64_t> her,
+                         std::vector<int64_t> hec, bool extended) {
+  const bool diagonal = acc.IsDiagonal();
+  if (extended) {
+    return MncSketch::FromCountsExtended(acc.rows, acc.cols,
+                                         std::move(acc.hr), std::move(acc.hc),
+                                         std::move(her), std::move(hec),
+                                         diagonal);
+  }
+  return MncSketch::FromCounts(acc.rows, acc.cols, std::move(acc.hr),
+                               std::move(acc.hc), diagonal);
+}
+
+// Extension vectors apply exactly when FromCsr would build them.
+bool NeedsExtensions(const CountAccumulator& acc) {
+  const auto more_than_one = [](const std::vector<int64_t>& h) {
+    return std::any_of(h.begin(), h.end(),
+                       [](int64_t c) { return c > 1; });
+  };
+  return more_than_one(acc.hr) || more_than_one(acc.hc);
+}
+
+}  // namespace
+
+StatusOr<MncSketch> BuildSketchStreaming(TripletSource& src,
+                                         const StreamSketchOptions& opts) {
+  if (opts.chunk_entries <= 0) {
+    return Status::InvalidArgument(
+        "BuildSketchStreaming: chunk_entries must be positive");
+  }
+  CountAccumulator acc(src.rows(), src.cols());
+  MNC_RETURN_IF_ERROR(AccumulateCounts(src, opts, acc));
+
+  std::vector<int64_t> her;
+  std::vector<int64_t> hec;
+  const bool extended = NeedsExtensions(acc);
+  if (extended) {
+    her.assign(static_cast<size_t>(acc.rows), 0);
+    hec.assign(static_cast<size_t>(acc.cols), 0);
+    MNC_RETURN_IF_ERROR(AccumulateExtensions(src, opts, acc, her, hec));
+  }
+  return AssembleSketch(std::move(acc), std::move(her), std::move(hec),
+                        extended);
+}
+
+StatusOr<MncSketch> BuildSketchFromRowShards(
+    const std::vector<std::string>& paths, const StreamSketchOptions& opts,
+    PartitionMergeReport* report) {
+  if (paths.empty()) {
+    return Status::InvalidArgument(
+        "BuildSketchFromRowShards: no shard paths given");
+  }
+  const auto build_one = [&opts](const std::string& path) -> StatusOr<MncSketch> {
+    auto src = OpenTripletSource(path);
+    if (!src.ok()) return src.status();
+    return BuildSketchStreaming(*src.value(), opts);
+  };
+
+  std::vector<StatusOr<MncSketch>> parts;
+  parts.reserve(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    parts.emplace_back(Status::Internal("shard not built"));
+  }
+  const int64_t n = static_cast<int64_t>(paths.size());
+  if (opts.parallel.enabled() && opts.pool != nullptr && n > 1) {
+    // Shards are independent: each task streams its own file into its own
+    // sketch, so the per-shard results (and the in-order merge below) are
+    // identical to the sequential build.
+    opts.pool->ParallelFor(n, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        parts[static_cast<size_t>(i)] = build_one(paths[static_cast<size_t>(i)]);
+      }
+    });
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      parts[static_cast<size_t>(i)] = build_one(paths[static_cast<size_t>(i)]);
+    }
+  }
+  return MncSketch::MergeRowPartitionsTolerant(parts, report);
+}
+
+StatusOr<MncSketch> BuildSketchUnion(const std::vector<std::string>& paths,
+                                     const StreamSketchOptions& opts) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("BuildSketchUnion: no paths given");
+  }
+  if (opts.chunk_entries <= 0) {
+    return Status::InvalidArgument(
+        "BuildSketchUnion: chunk_entries must be positive");
+  }
+  std::vector<std::unique_ptr<TripletSource>> sources;
+  sources.reserve(paths.size());
+  for (const std::string& path : paths) {
+    MNC_ASSIGN_OR_RETURN(auto src, OpenTripletSource(path));
+    if (!sources.empty() && (src->rows() != sources.front()->rows() ||
+                             src->cols() != sources.front()->cols())) {
+      return Status::InvalidArgument(
+          "BuildSketchUnion: " + path + " is " + std::to_string(src->rows()) +
+          " x " + std::to_string(src->cols()) + " but " + paths.front() +
+          " is " + std::to_string(sources.front()->rows()) + " x " +
+          std::to_string(sources.front()->cols()));
+    }
+    sources.push_back(std::move(src));
+  }
+
+  CountAccumulator acc(sources.front()->rows(), sources.front()->cols());
+  for (size_t k = 0; k < sources.size(); ++k) {
+    MNC_RETURN_IF_ERROR(
+        AccumulateCounts(*sources[k], opts, acc).AddContext(paths[k]));
+  }
+
+  std::vector<int64_t> her;
+  std::vector<int64_t> hec;
+  const bool extended = NeedsExtensions(acc);
+  if (extended) {
+    her.assign(static_cast<size_t>(acc.rows), 0);
+    hec.assign(static_cast<size_t>(acc.cols), 0);
+    for (size_t k = 0; k < sources.size(); ++k) {
+      MNC_RETURN_IF_ERROR(
+          AccumulateExtensions(*sources[k], opts, acc, her, hec)
+              .AddContext(paths[k]));
+    }
+  }
+  return AssembleSketch(std::move(acc), std::move(her), std::move(hec),
+                        extended);
+}
+
+uint64_t SketchFingerprint(const MncSketch& s) {
+  // splitmix64-style mixing, matching the expression-hash idiom; the seed
+  // tag keeps this space disjoint from MatrixFingerprint.
+  const auto mix = [](uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  uint64_t h = mix(0x6d6e632d736b6574ull);  // "mnc-sket" tag
+  const auto fold = [&](uint64_t v) { h = mix(h ^ v); };
+  fold(static_cast<uint64_t>(s.rows()));
+  fold(static_cast<uint64_t>(s.cols()));
+  fold(static_cast<uint64_t>(s.nnz()));
+  fold(s.is_diagonal() ? 2 : 1);
+  for (int64_t v : s.hr()) fold(static_cast<uint64_t>(v));
+  for (int64_t v : s.hc()) fold(static_cast<uint64_t>(v));
+  fold(static_cast<uint64_t>(s.her().size()));
+  for (int64_t v : s.her()) fold(static_cast<uint64_t>(v));
+  for (int64_t v : s.hec()) fold(static_cast<uint64_t>(v));
+  return h;
+}
+
+}  // namespace mnc::ingest

@@ -1,0 +1,85 @@
+// Streaming MNC sketch construction over chunked triplet sources.
+//
+// BuildSketchStreaming folds a TripletSource into an MncSketch in two
+// passes, holding only the count vectors and one chunk of triplets at a
+// time — peak memory is O(chunk_entries + rows + cols), independent of nnz:
+//
+//   pass 1  accumulate hr/hc (and nnz, and the all-diagonal flag) one chunk
+//           at a time;
+//   pass 2  (only when some row or column has more than one non-zero,
+//           mirroring MncSketch::FromCsr) Reset() the source and count the
+//           extension vectors her/hec against the finished hr/hc.
+//
+// The result is bit-identical to MncSketch::FromMatrix on the materialized
+// matrix for canonical inputs — files without duplicate coordinates (the
+// materializing path sums duplicates during COO->CSR conversion, which a
+// one-chunk-at-a-time fold cannot see). Explicit zeros are fine: both paths
+// drop them. Accumulation is integer-only and order-independent, so the
+// result is also invariant under chunk size and thread count.
+//
+// Multi-file composition:
+//   - BuildSketchFromRowShards: vertical (rbind) concatenation of row
+//     shards. Per-shard sketches are built independently (concurrently on
+//     the pool when the config enables it) and folded through
+//     MncSketch::MergeRowPartitionsTolerant — the paper's distributed
+//     construction path (§3.1) — so the merged sketch carries no extension
+//     vectors, and unreadable shards degrade per the tolerant-merge
+//     contract instead of failing the whole build.
+//   - BuildSketchUnion: additive union of same-shaped files (e.g. one
+//     logical matrix split by entry ranges). Both passes run over every
+//     file, so extension vectors ARE exact — provided the files' supports
+//     are disjoint (a coordinate appearing in two files counts twice,
+//     exactly as if the duplicate appeared in one file).
+
+#ifndef MNC_INGEST_STREAM_SKETCH_H_
+#define MNC_INGEST_STREAM_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/ingest/triplet_source.h"
+#include "mnc/util/parallel.h"
+#include "mnc/util/status.h"
+#include "mnc/util/thread_pool.h"
+
+namespace mnc::ingest {
+
+struct StreamSketchOptions {
+  // Triplets held in memory at once; the peak-memory bound is
+  // O(chunk_entries + rows + cols).
+  int64_t chunk_entries = int64_t{1} << 16;
+
+  // Used by the multi-file builders to build per-shard sketches
+  // concurrently. Single-source accumulation is IO-bound and stays
+  // sequential regardless (the bit-identity contract holds at any setting).
+  ParallelConfig parallel;
+  ThreadPool* pool = nullptr;
+};
+
+// Folds `src` into a sketch; see the file comment for the memory bound and
+// the bit-identity contract.
+StatusOr<MncSketch> BuildSketchStreaming(TripletSource& src,
+                                         const StreamSketchOptions& opts);
+
+// Vertical (rbind) concatenation of row shards, one file per shard, folded
+// through MergeRowPartitionsTolerant. `report`, when non-null, receives the
+// per-shard health accounting.
+StatusOr<MncSketch> BuildSketchFromRowShards(
+    const std::vector<std::string>& paths, const StreamSketchOptions& opts,
+    PartitionMergeReport* report = nullptr);
+
+// Additive union of same-shaped files; exact for disjoint supports.
+StatusOr<MncSketch> BuildSketchUnion(const std::vector<std::string>& paths,
+                                     const StreamSketchOptions& opts);
+
+// Stable content fingerprint of a sketch (rows, cols, nnz, hr, hc, her,
+// hec, diagonal flag), for catalog identity of matrices registered without
+// a backing matrix. Lives in a distinct seed space from MatrixFingerprint —
+// a streamed registration never dedups against a materialized one.
+uint64_t SketchFingerprint(const MncSketch& s);
+
+}  // namespace mnc::ingest
+
+#endif  // MNC_INGEST_STREAM_SKETCH_H_

@@ -1,0 +1,139 @@
+// Chunked triplet streams — the visitor interface of the out-of-core
+// ingestion subsystem.
+//
+// A TripletSource yields the (row, col, value) entries of a matrix in
+// caller-bounded chunks, never holding more than one chunk in memory. Two
+// backends are provided:
+//
+//   - MatrixMarketTripletSource: .mtx coordinate files, sharing the header
+//     parser (and every pre-allocation sanity check) with the materializing
+//     reader in matrix/io.cc. Symmetric files yield the mirrored entry
+//     immediately after its upper/lower original; pattern files yield 1.0;
+//     explicit zeros are skipped (matching CooMatrix::Add, which drops
+//     them), so a sketch folded over the stream agrees with the
+//     materializing path.
+//   - BinaryTripletSource: the "MNCT" fixed-record binary shard format
+//     written by WriteBinaryTriplets (checksummed header + trailing payload
+//     CRC32), for pre-converted shards where text parsing would dominate.
+//
+// Both backends validate coordinates against the declared shape as they
+// stream and support Reset() for the second construction pass (extension
+// vectors need the finished hr/hc before her/hec can be counted).
+//
+// Fail point "ingest.read_chunk" simulates a mid-stream read fault in
+// ReadChunk (typed kDataLoss, no partial chunk delivered).
+//
+// MNCT binary shard format v1 (little-endian):
+//
+//   magic   "MNCT"                                          4 bytes
+//   version u8 = 1, reserved u8 = 0                         2 bytes
+//   header  rows i64, cols i64, nnz i64,
+//           crc32 u32 over [magic .. nnz]                   28 bytes
+//   records nnz x (row i64, col i64, value f64)             nnz * 24 bytes
+//   crc32   u32 over all record bytes                       4 bytes
+//
+// Coordinates are 0-based. The reader validates magic/version, the header
+// CRC, the dimension sanity bounds, nnz * 24 against the bytes remaining,
+// and — incrementally across chunks — the trailing payload CRC.
+
+#ifndef MNC_INGEST_TRIPLET_SOURCE_H_
+#define MNC_INGEST_TRIPLET_SOURCE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/matrix/mm_header.h"
+#include "mnc/util/status.h"
+
+namespace mnc::ingest {
+
+struct Triplet {
+  int64_t row = 0;
+  int64_t col = 0;
+  double value = 0.0;
+};
+
+class TripletSource {
+ public:
+  virtual ~TripletSource() = default;
+
+  virtual int64_t rows() const = 0;
+  virtual int64_t cols() const = 0;
+  // Declared physical entry count (pre-mirroring for symmetric .mtx files);
+  // the stream may yield more (mirrors) or fewer (skipped explicit zeros).
+  virtual int64_t declared_nnz() const = 0;
+
+  // Clears `out` and appends up to max_entries triplets (a symmetric mirror
+  // may push one past the cap so an entry and its mirror always land in the
+  // same chunk). An empty `out` after an OK return means end of stream.
+  virtual Status ReadChunk(int64_t max_entries, std::vector<Triplet>& out) = 0;
+
+  // Rewinds to the first entry for another pass.
+  virtual Status Reset() = 0;
+};
+
+// Streams a Matrix-Market coordinate file.
+class MatrixMarketTripletSource : public TripletSource {
+ public:
+  static StatusOr<std::unique_ptr<MatrixMarketTripletSource>> Open(
+      const std::string& path);
+
+  int64_t rows() const override { return header_.rows; }
+  int64_t cols() const override { return header_.cols; }
+  int64_t declared_nnz() const override { return header_.nnz; }
+
+  Status ReadChunk(int64_t max_entries, std::vector<Triplet>& out) override;
+  Status Reset() override;
+
+ private:
+  MatrixMarketTripletSource() = default;
+
+  std::string path_;
+  std::ifstream in_;
+  MatrixMarketHeader header_;
+  int64_t entries_read_ = 0;  // physical entries consumed (pre-mirroring)
+  int64_t line_no_ = 0;
+};
+
+// Streams an MNCT binary triplet shard.
+class BinaryTripletSource : public TripletSource {
+ public:
+  static StatusOr<std::unique_ptr<BinaryTripletSource>> Open(
+      const std::string& path);
+
+  int64_t rows() const override { return rows_; }
+  int64_t cols() const override { return cols_; }
+  int64_t declared_nnz() const override { return nnz_; }
+
+  Status ReadChunk(int64_t max_entries, std::vector<Triplet>& out) override;
+  Status Reset() override;
+
+ private:
+  BinaryTripletSource() = default;
+
+  Status ReadHeader();
+
+  std::string path_;
+  std::ifstream in_;
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  int64_t nnz_ = 0;
+  int64_t entries_read_ = 0;
+  uint32_t payload_crc_ = 0;  // accumulated across chunks
+};
+
+// Writes `m` as an MNCT binary shard (the format documented above).
+Status WriteBinaryTriplets(const CsrMatrix& m, const std::string& path);
+
+// Opens `path` as a TripletSource, sniffing the format from the first bytes
+// ("MNCT" -> binary shard, otherwise Matrix-Market).
+StatusOr<std::unique_ptr<TripletSource>> OpenTripletSource(
+    const std::string& path);
+
+}  // namespace mnc::ingest
+
+#endif  // MNC_INGEST_TRIPLET_SOURCE_H_

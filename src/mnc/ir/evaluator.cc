@@ -205,7 +205,18 @@ Status Evaluator::ValidateDag(const ExprPtr& root) const {
     stack.pop_back();
     if (visited.contains(node)) continue;
     visited.emplace(node, true);
-    if (node->is_leaf()) continue;
+    if (node->is_leaf()) {
+      // A sketch-only leaf (streaming registration) has nothing to
+      // materialize; evaluation of any DAG containing one must fail with a
+      // typed error rather than an MNC_CHECK abort inside matrix().
+      if (!node->has_matrix()) {
+        return Status::FailedPrecondition(
+            "leaf '" + node->name() +
+            "' is sketch-only (registered by streaming ingestion) and has "
+            "no backing matrix to evaluate");
+      }
+      continue;
+    }
 
     const ExprNode* left = node->left().get();
     const ExprNode* right =

@@ -10,9 +10,23 @@ namespace mnc {
 ExprPtr ExprNode::Leaf(Matrix m, std::string name) {
   auto node = std::shared_ptr<ExprNode>(new ExprNode());
   node->is_leaf_ = true;
+  node->has_matrix_ = true;
   node->rows_ = m.rows();
   node->cols_ = m.cols();
   node->matrix_ = std::move(m);
+  node->name_ = std::move(name);
+  return node;
+}
+
+ExprPtr ExprNode::SketchLeaf(std::string name, int64_t rows, int64_t cols,
+                             uint64_t fingerprint) {
+  MNC_CHECK(rows >= 0 && cols >= 0);
+  auto node = std::shared_ptr<ExprNode>(new ExprNode());
+  node->is_leaf_ = true;
+  node->has_matrix_ = false;
+  node->leaf_fingerprint_ = fingerprint;
+  node->rows_ = rows;
+  node->cols_ = cols;
   node->name_ = std::move(name);
   return node;
 }
@@ -172,7 +186,8 @@ ExprPtr FoldImpl(const ExprPtr& node,
   ExprPtr result;
   if (node->is_leaf()) {
     result = node;
-  } else if (node->op() == OpKind::kTranspose && node->left()->is_leaf()) {
+  } else if (node->op() == OpKind::kTranspose && node->left()->is_leaf() &&
+             node->left()->has_matrix()) {
     result = ExprNode::Leaf(mnc::Transpose(node->left()->matrix()),
                             node->left()->name().empty()
                                 ? ""

@@ -9,6 +9,7 @@
 #ifndef MNC_IR_EXPR_H_
 #define MNC_IR_EXPR_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -24,6 +25,14 @@ class ExprNode {
  public:
   // Leaf (input matrix) constructors.
   static ExprPtr Leaf(Matrix m, std::string name = "");
+
+  // Sketch-only leaf: a matrix registered by streaming ingestion, known to
+  // the system only through its MNC sketch (catalogued under `fingerprint`)
+  // — there is no backing matrix to evaluate. Estimation works normally via
+  // the catalog's leaf-sketch provider; materializing evaluation of a DAG
+  // containing such a leaf fails with kFailedPrecondition (ValidateDag).
+  static ExprPtr SketchLeaf(std::string name, int64_t rows, int64_t cols,
+                            uint64_t fingerprint);
 
   // Operation constructors; shapes are checked eagerly.
   static ExprPtr MatMul(ExprPtr a, ExprPtr b);
@@ -54,10 +63,20 @@ class ExprNode {
     return op_;
   }
 
-  // The input matrix; only valid for leaves.
+  // True when this leaf carries an actual matrix (false for SketchLeaf).
+  bool has_matrix() const { return is_leaf_ && has_matrix_; }
+
+  // The input matrix; only valid for leaves with a backing matrix.
   const Matrix& matrix() const {
-    MNC_CHECK(is_leaf_);
+    MNC_CHECK(is_leaf_ && has_matrix_);
     return matrix_;
+  }
+
+  // Catalog fingerprint of a sketch-only leaf; only valid when
+  // is_leaf() && !has_matrix().
+  uint64_t leaf_fingerprint() const {
+    MNC_CHECK(is_leaf_ && !has_matrix_);
+    return leaf_fingerprint_;
   }
 
   const std::string& name() const { return name_; }
@@ -89,6 +108,8 @@ class ExprNode {
   static ExprPtr MakeBinary(OpKind op, ExprPtr a, ExprPtr b);
 
   bool is_leaf_ = false;
+  bool has_matrix_ = false;
+  uint64_t leaf_fingerprint_ = 0;
   OpKind op_ = OpKind::kMatMul;
   double scale_alpha_ = 1.0;
   Matrix matrix_;

@@ -27,7 +27,12 @@ uint64_t DoubleBits(double d) {
 }
 
 uint64_t LeafFingerprint(const ExprNode& node, const LeafFingerprintFn& fn) {
-  return fn != nullptr ? fn(node) : MatrixFingerprint(node.matrix());
+  if (fn != nullptr) return fn(node);
+  // Sketch-only leaves carry their catalog fingerprint directly; it lives in
+  // a seed space disjoint from MatrixFingerprint, so a streamed registration
+  // never collides with a materialized one.
+  if (!node.has_matrix()) return node.leaf_fingerprint();
+  return MatrixFingerprint(node.matrix());
 }
 
 // Tag separating leaf hashes from operation hashes; operations use

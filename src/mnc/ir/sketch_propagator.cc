@@ -88,6 +88,9 @@ SynopsisPtr SketchPropagator::Synopsis(const ExprPtr& node) {
 
   SynopsisPtr result;
   if (node->is_leaf()) {
+    // Sketch-only leaves have no matrix to build a synopsis from; callers
+    // fall back exactly as for an unsupported operator.
+    if (!node->has_matrix()) return nullptr;
     result = estimator_->Build(node->matrix());
   } else {
     if (!estimator_->SupportsOp(node->op()) ||
@@ -112,7 +115,10 @@ std::optional<double> SketchPropagator::EstimateSparsity(
     const ExprPtr& root) {
   MNC_CHECK(root != nullptr);
   if (!Supports(root)) return std::nullopt;
-  if (root->is_leaf()) return root->matrix().Sparsity();
+  if (root->is_leaf()) {
+    if (!root->has_matrix()) return std::nullopt;
+    return root->matrix().Sparsity();
+  }
 
   // Children are propagated; the root itself is estimated directly.
   const SynopsisPtr left = Synopsis(root->left());

@@ -131,8 +131,11 @@ bool Tokenize(const std::string& source, std::vector<Token>& tokens,
 class Parser {
  public:
   Parser(std::vector<Token> tokens,
-         const std::map<std::string, Matrix>& bindings)
-      : tokens_(std::move(tokens)), bindings_(bindings) {}
+         const std::map<std::string, Matrix>& bindings,
+         const std::map<std::string, ExprPtr>* leaf_bindings = nullptr)
+      : tokens_(std::move(tokens)),
+        bindings_(bindings),
+        leaf_bindings_(leaf_bindings) {}
 
   ParseResult Run() {
     ExprPtr expr = ParseCmp();
@@ -283,6 +286,15 @@ class Parser {
       }
       auto bound = env_.find(name);
       if (bound != env_.end()) return bound->second;
+      // Pre-built leaves (e.g. a service catalog, including sketch-only
+      // streaming registrations) resolve before raw matrix bindings.
+      if (leaf_bindings_ != nullptr) {
+        auto pre = leaf_bindings_->find(name);
+        if (pre != leaf_bindings_->end()) {
+          env_.emplace(name, pre->second);
+          return pre->second;
+        }
+      }
       auto it = bindings_.find(name);
       if (it == bindings_.end()) {
         return FailExpr("unknown matrix '" + name + "'");
@@ -389,6 +401,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   const std::map<std::string, Matrix>& bindings_;
+  const std::map<std::string, ExprPtr>* leaf_bindings_ = nullptr;
   std::map<std::string, ExprPtr> env_;
   size_t index_ = 0;
   std::string error_;
@@ -407,6 +420,18 @@ ParseResult ParseExpression(const std::string& source,
   return parser.Run();
 }
 
+ParseResult ParseExpression(
+    const std::string& source, const std::map<std::string, Matrix>& bindings,
+    const std::map<std::string, ExprPtr>& leaf_bindings) {
+  std::vector<Token> tokens;
+  std::string error;
+  if (!Tokenize(source, tokens, error)) {
+    return {nullptr, error};
+  }
+  Parser parser(std::move(tokens), bindings, &leaf_bindings);
+  return parser.Run();
+}
+
 ParseResult ParseProgram(const std::string& source,
                          const std::map<std::string, Matrix>& bindings) {
   std::vector<Token> tokens;
@@ -415,6 +440,18 @@ ParseResult ParseProgram(const std::string& source,
     return {nullptr, error};
   }
   Parser parser(std::move(tokens), bindings);
+  return parser.RunProgram();
+}
+
+ParseResult ParseProgram(const std::string& source,
+                         const std::map<std::string, Matrix>& bindings,
+                         const std::map<std::string, ExprPtr>& leaf_bindings) {
+  std::vector<Token> tokens;
+  std::string error;
+  if (!Tokenize(source, tokens, error)) {
+    return {nullptr, error};
+  }
+  Parser parser(std::move(tokens), bindings, &leaf_bindings);
   return parser.RunProgram();
 }
 

@@ -49,6 +49,16 @@ struct ParseResult {
 ParseResult ParseExpression(const std::string& source,
                             const std::map<std::string, Matrix>& bindings);
 
+// Like above, but identifiers additionally resolve against `leaf_bindings`
+// — pre-built leaf nodes (matrix-backed or sketch-only, e.g. a service
+// catalog of streaming registrations). Resolution order: script assignments,
+// then leaf_bindings, then bindings. Sharing the ExprPtr keeps repeated
+// references pointing at the caller's node, so downstream memoization by
+// node identity applies across calls.
+ParseResult ParseExpression(const std::string& source,
+                            const std::map<std::string, Matrix>& bindings,
+                            const std::map<std::string, ExprPtr>& leaf_bindings);
+
 // Parses a multi-statement script:
 //
 //   Y = X %*% W;
@@ -63,6 +73,11 @@ ParseResult ParseExpression(const std::string& source,
 // shadow matrix bindings and earlier assignments.
 ParseResult ParseProgram(const std::string& source,
                          const std::map<std::string, Matrix>& bindings);
+
+// ParseProgram with pre-built leaf nodes; see the ParseExpression overload.
+ParseResult ParseProgram(const std::string& source,
+                         const std::map<std::string, Matrix>& bindings,
+                         const std::map<std::string, ExprPtr>& leaf_bindings);
 
 }  // namespace mnc
 

@@ -6,39 +6,16 @@
 #include <sstream>
 
 #include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/mm_header.h"
 #include "mnc/util/fail_point.h"
 
 namespace mnc {
 
 namespace {
 
-// Sanity cap against corrupted headers declaring absurd dimensions.
-constexpr int64_t kMaxDimension = int64_t{1} << 40;
-
-// The smallest syntactically possible coordinate entry is "i j\n" — at least
-// four bytes. Used to pre-validate a declared nnz against the bytes actually
-// remaining in a seekable stream.
-constexpr int64_t kMinBytesPerEntry = 4;
-
 // Entries reserved up front when the stream size is unknown (non-seekable);
 // beyond this the vectors grow geometrically, paid for by real input.
 constexpr int64_t kUnknownSizeReserveCap = int64_t{1} << 20;
-
-// Remaining bytes from the current position, or -1 if the stream is not
-// seekable. Restores the read position.
-int64_t RemainingBytes(std::istream& is) {
-  const std::istream::pos_type pos = is.tellg();
-  if (pos == std::istream::pos_type(-1)) return -1;
-  is.seekg(0, std::ios::end);
-  const std::istream::pos_type end = is.tellg();
-  is.seekg(pos);
-  if (end == std::istream::pos_type(-1) || end < pos) {
-    is.clear();
-    is.seekg(pos);
-    return -1;
-  }
-  return static_cast<int64_t>(end - pos);
-}
 
 }  // namespace
 
@@ -74,90 +51,23 @@ StatusOr<CsrMatrix> ReadMatrixMarket(std::istream& is) {
         "stream");
   }
 
-  int64_t line_no = 1;
-  std::string line;
-  if (!std::getline(is, line)) {
-    return Status::DataLoss("empty stream: missing %%MatrixMarket banner");
-  }
-  if (line.rfind("%%MatrixMarket", 0) != 0) {
-    return Status::InvalidArgument(
-        "line 1: expected a %%MatrixMarket banner, got \"" +
-        line.substr(0, 40) + "\"");
-  }
-
-  std::istringstream header(line);
-  std::string tag, object, format, field, symmetry;
-  header >> tag >> object >> format >> field >> symmetry;
-  if (object != "matrix" || format != "coordinate") {
-    return Status::Unimplemented(
-        "line 1: only \"matrix coordinate\" files are supported, got \"" +
-        object + " " + format + "\"");
-  }
-  const bool pattern = field == "pattern";
-  const bool symmetric = symmetry == "symmetric";
-  if (!pattern && field != "real" && field != "integer") {
-    return Status::Unimplemented("line 1: unsupported field type \"" + field +
-                                 "\" (real, integer, or pattern)");
-  }
-  if (!symmetric && symmetry != "general") {
-    return Status::Unimplemented("line 1: unsupported symmetry \"" + symmetry +
-                                 "\" (general or symmetric)");
-  }
-
-  // Skip comments.
-  do {
-    if (!std::getline(is, line)) {
-      return Status::DataLoss("unexpected end of stream before the size line");
-    }
-    ++line_no;
-  } while (!line.empty() && line[0] == '%');
-
-  int64_t rows = 0;
-  int64_t cols = 0;
-  int64_t nnz = 0;
-  {
-    std::istringstream sizes(line);
-    if (!(sizes >> rows >> cols >> nnz)) {
-      return Status::InvalidArgument(
-          "line " + std::to_string(line_no) +
-          ": malformed size line (expected \"rows cols nnz\"): \"" +
-          line.substr(0, 40) + "\"");
-    }
-    if (rows < 0 || cols < 0 || nnz < 0) {
-      return Status::OutOfRange("line " + std::to_string(line_no) +
-                                ": negative dimension or nnz in size line");
-    }
-    if (rows > kMaxDimension || cols > kMaxDimension) {
-      return Status::OutOfRange("line " + std::to_string(line_no) +
-                                ": dimensions " + std::to_string(rows) +
-                                " x " + std::to_string(cols) +
-                                " exceed the 2^40 sanity bound");
-    }
-    // Division form of nnz > rows * cols; the product itself can overflow.
-    if (rows > 0 && cols > 0 &&
-        (nnz / cols > rows || (nnz / cols == rows && nnz % cols > 0))) {
-      return Status::OutOfRange("line " + std::to_string(line_no) +
-                                ": declared nnz " + std::to_string(nnz) +
-                                " exceeds rows * cols");
-    }
-  }
-
-  // Pre-validate the declared nnz against the bytes actually remaining:
-  // every entry needs at least kMinBytesPerEntry bytes of text, so a header
-  // promising more entries than the stream can hold is rejected before any
-  // allocation happens.
-  const int64_t remaining = RemainingBytes(is);
-  if (remaining >= 0 && nnz > remaining / kMinBytesPerEntry) {
-    return Status::OutOfRange(
-        "size line declares " + std::to_string(nnz) + " entries but only " +
-        std::to_string(remaining) + " bytes remain in the stream (needs >= " +
-        std::to_string(nnz * kMinBytesPerEntry) + ")");
-  }
+  // Banner, comments, size line, and every pre-allocation sanity check
+  // (dimension bounds, nnz vs rows*cols, symmetric 2*nnz overflow, bytes
+  // remaining) live in the shared header parser, which the streaming
+  // ingestion reader (mnc/ingest) uses too.
+  MNC_ASSIGN_OR_RETURN(const MatrixMarketHeader header,
+                       ReadMatrixMarketHeader(is));
+  const int64_t rows = header.rows;
+  const int64_t cols = header.cols;
+  const int64_t nnz = header.nnz;
+  int64_t line_no = header.line_no;
 
   CooMatrix coo(rows, cols);
-  const int64_t logical_nnz = symmetric ? 2 * nnz : nnz;
+  const int64_t logical_nnz = header.LogicalNnz();
+  const int64_t remaining = RemainingStreamBytes(is);
   coo.Reserve(remaining >= 0 ? logical_nnz
                              : std::min(logical_nnz, kUnknownSizeReserveCap));
+  std::string line;
   for (int64_t e = 0; e < nnz; ++e) {
     if (!std::getline(is, line)) {
       return Status::DataLoss("unexpected end of stream at entry " +
@@ -175,7 +85,7 @@ StatusOr<CsrMatrix> ReadMatrixMarket(std::istream& is) {
                                      ": malformed entry \"" +
                                      line.substr(0, 40) + "\"");
     }
-    if (!pattern && !(entry >> v)) {
+    if (!header.pattern && !(entry >> v)) {
       return Status::InvalidArgument("line " + std::to_string(line_no) +
                                      ": entry is missing its value: \"" +
                                      line.substr(0, 40) + "\"");
@@ -188,7 +98,7 @@ StatusOr<CsrMatrix> ReadMatrixMarket(std::istream& is) {
           std::to_string(cols) + " shape");
     }
     coo.Add(i - 1, j - 1, v);
-    if (symmetric && i != j) coo.Add(j - 1, i - 1, v);
+    if (header.symmetric && i != j) coo.Add(j - 1, i - 1, v);
   }
   return coo.ToCsr();
 }

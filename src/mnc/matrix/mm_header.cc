@@ -1,0 +1,121 @@
+#include "mnc/matrix/mm_header.h"
+
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace mnc {
+
+int64_t RemainingStreamBytes(std::istream& is) {
+  const std::istream::pos_type pos = is.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) {
+    is.clear();
+    is.seekg(pos);
+    return -1;
+  }
+  return static_cast<int64_t>(end - pos);
+}
+
+StatusOr<MatrixMarketHeader> ReadMatrixMarketHeader(std::istream& is) {
+  int64_t line_no = 1;
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::DataLoss("empty stream: missing %%MatrixMarket banner");
+  }
+  if (line.rfind("%%MatrixMarket", 0) != 0) {
+    return Status::InvalidArgument(
+        "line 1: expected a %%MatrixMarket banner, got \"" +
+        line.substr(0, 40) + "\"");
+  }
+
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (object != "matrix" || format != "coordinate") {
+    return Status::Unimplemented(
+        "line 1: only \"matrix coordinate\" files are supported, got \"" +
+        object + " " + format + "\"");
+  }
+  MatrixMarketHeader header;
+  header.pattern = field == "pattern";
+  header.symmetric = symmetry == "symmetric";
+  if (!header.pattern && field != "real" && field != "integer") {
+    return Status::Unimplemented("line 1: unsupported field type \"" + field +
+                                 "\" (real, integer, or pattern)");
+  }
+  if (!header.symmetric && symmetry != "general") {
+    return Status::Unimplemented("line 1: unsupported symmetry \"" + symmetry +
+                                 "\" (general or symmetric)");
+  }
+
+  // Skip comments.
+  do {
+    if (!std::getline(is, line)) {
+      return Status::DataLoss("unexpected end of stream before the size line");
+    }
+    ++line_no;
+  } while (!line.empty() && line[0] == '%');
+
+  {
+    std::istringstream sizes(line);
+    if (!(sizes >> header.rows >> header.cols >> header.nnz)) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) +
+          ": malformed size line (expected \"rows cols nnz\"): \"" +
+          line.substr(0, 40) + "\"");
+    }
+    if (header.rows < 0 || header.cols < 0 || header.nnz < 0) {
+      return Status::OutOfRange("line " + std::to_string(line_no) +
+                                ": negative dimension or nnz in size line");
+    }
+    if (header.rows > kMaxMatrixMarketDimension ||
+        header.cols > kMaxMatrixMarketDimension) {
+      return Status::OutOfRange("line " + std::to_string(line_no) +
+                                ": dimensions " + std::to_string(header.rows) +
+                                " x " + std::to_string(header.cols) +
+                                " exceed the 2^40 sanity bound");
+    }
+    // Division form of nnz > rows * cols; the product itself can overflow
+    // int64 (two 2^40 dimensions multiply to 2^80).
+    if (header.rows > 0 && header.cols > 0 &&
+        (header.nnz / header.cols > header.rows ||
+         (header.nnz / header.cols == header.rows &&
+          header.nnz % header.cols > 0))) {
+      return Status::OutOfRange("line " + std::to_string(line_no) +
+                                ": declared nnz " + std::to_string(header.nnz) +
+                                " exceeds rows * cols");
+    }
+    // Explicit 2 * nnz overflow check before anyone computes the symmetric
+    // logical entry count (LogicalNnz) to size an allocation.
+    if (header.symmetric &&
+        header.nnz > std::numeric_limits<int64_t>::max() / 2) {
+      return Status::OutOfRange(
+          "line " + std::to_string(line_no) + ": symmetric nnz " +
+          std::to_string(header.nnz) + " overflows the 2*nnz mirrored count");
+    }
+  }
+  header.line_no = line_no;
+
+  // Pre-validate the declared nnz against the bytes actually remaining:
+  // every entry needs at least kMinMatrixMarketBytesPerEntry bytes of text,
+  // so a header promising more entries than the stream can hold is rejected
+  // before any allocation happens.
+  const int64_t remaining = RemainingStreamBytes(is);
+  if (remaining >= 0 &&
+      header.nnz > remaining / kMinMatrixMarketBytesPerEntry) {
+    return Status::OutOfRange(
+        "size line declares " + std::to_string(header.nnz) +
+        " entries but only " + std::to_string(remaining) +
+        " bytes remain in the stream (needs >= " +
+        std::to_string(header.nnz * kMinMatrixMarketBytesPerEntry) + ")");
+  }
+  return header;
+}
+
+}  // namespace mnc

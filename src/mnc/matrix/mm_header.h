@@ -1,0 +1,61 @@
+// Shared Matrix-Market banner/header parsing.
+//
+// Both readers of .mtx files — the materializing ReadMatrixMarket in
+// matrix/io.cc and the chunked streaming TripletSource in ingest/ — must
+// agree byte-for-byte on what a valid header is: banner tag, object/format,
+// field and symmetry qualifiers, comment skipping, and the size line with
+// its sanity bounds. This helper is that single definition, so the two
+// readers cannot drift.
+//
+// All validation happens BEFORE any allocation sized by the header:
+//   - dimensions are bounded by kMaxMatrixMarketDimension (2^40),
+//   - nnz <= rows * cols is checked in division form (the product itself
+//     can overflow int64),
+//   - the symmetric logical entry count 2 * nnz is checked against int64
+//     overflow explicitly,
+//   - for seekable streams, the declared nnz is pre-validated against the
+//     bytes actually remaining (every coordinate entry needs at least
+//     kMinMatrixMarketBytesPerEntry bytes of text).
+
+#ifndef MNC_MATRIX_MM_HEADER_H_
+#define MNC_MATRIX_MM_HEADER_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "mnc/util/status.h"
+
+namespace mnc {
+
+// Sanity cap against corrupted headers declaring absurd dimensions.
+inline constexpr int64_t kMaxMatrixMarketDimension = int64_t{1} << 40;
+
+// The smallest syntactically possible coordinate entry is "i j\n" — at
+// least four bytes.
+inline constexpr int64_t kMinMatrixMarketBytesPerEntry = 4;
+
+struct MatrixMarketHeader {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t nnz = 0;        // declared entry count (pre-mirroring)
+  bool pattern = false;   // field "pattern": entries carry no value
+  bool symmetric = false; // symmetry "symmetric": off-diagonals mirror
+  int64_t line_no = 0;    // line number of the size line (for diagnostics)
+
+  // Entries after symmetric mirroring; the 2 * nnz overflow is checked at
+  // parse time, so this cannot wrap.
+  int64_t LogicalNnz() const { return symmetric ? 2 * nnz : nnz; }
+};
+
+// Bytes remaining from the current position, or -1 if the stream is not
+// seekable. Restores the read position.
+int64_t RemainingStreamBytes(std::istream& is);
+
+// Parses the banner, comment lines, and size line, leaving `is` positioned
+// at the first coordinate entry. Performs every check described in the file
+// comment; errors name the offending line.
+StatusOr<MatrixMarketHeader> ReadMatrixMarketHeader(std::istream& is);
+
+}  // namespace mnc
+
+#endif  // MNC_MATRIX_MM_HEADER_H_

@@ -38,6 +38,9 @@
 #include "mnc/estimators/mnc_adapter.h"
 #include "mnc/estimators/sampling_estimator.h"
 #include "mnc/estimators/sparsity_estimator.h"
+#include "mnc/ingest/spill_store.h"
+#include "mnc/ingest/stream_sketch.h"
+#include "mnc/ingest/triplet_source.h"
 #include "mnc/ir/evaluator.h"
 #include "mnc/lang/parser.h"
 #include "mnc/ir/expr.h"
@@ -57,6 +60,7 @@
 #include "mnc/matrix/generate.h"
 #include "mnc/matrix/io.h"
 #include "mnc/matrix/matrix.h"
+#include "mnc/matrix/mm_header.h"
 #include "mnc/matrix/ops_ewise.h"
 #include "mnc/matrix/ops_product.h"
 #include "mnc/matrix/ops_reorg.h"

@@ -122,6 +122,56 @@ CommandOutcome RunServeCommand(EstimationService& service,
     return out;
   }
 
+  if (verb == "register-path") {
+    // register-path <name> <file> [<file2> ...] [--union]
+    // Streaming registration: the files are sketched chunk-by-chunk without
+    // materializing the matrix. Multiple files are row shards by default;
+    // --union adds same-shaped pieces instead.
+    std::vector<std::string> args;
+    size_t pos = 0;
+    while (pos < rest.size()) {
+      const size_t sep = rest.find_first_of(" \t", pos);
+      const std::string tok =
+          rest.substr(pos, sep == std::string::npos ? sep : sep - pos);
+      if (!tok.empty()) args.push_back(tok);
+      if (sep == std::string::npos) break;
+      pos = sep + 1;
+    }
+    StreamRegisterOptions opts;
+    if (!args.empty() && args.back() == "--union") {
+      opts.multi = StreamRegisterOptions::MultiFile::kUnion;
+      args.pop_back();
+    }
+    if (args.size() < 2) {
+      out.status = Status::InvalidArgument(
+          "register-path <name> <file> [<file2> ...] [--union]");
+      return out;
+    }
+    const std::string name = args.front();
+    const std::vector<std::string> paths(args.begin() + 1, args.end());
+    Stopwatch watch;
+    const auto leaf = service.RegisterMatrixStreaming(name, paths, opts);
+    if (!leaf.ok()) {
+      out.status = leaf.status();
+      return out;
+    }
+    // Sketch-only leaf: dimensions and sparsity come from the cataloged
+    // sketch, not a materialized matrix.
+    const auto sketch = service.LookupSketch(name);
+    if (!sketch.ok()) {
+      out.status = sketch.status();
+      return out;
+    }
+    out.body = Format(
+        "registered %s (streaming, %zu file%s): %lld x %lld, sparsity %.6g "
+        "(%.3f ms)",
+        name.c_str(), paths.size(), paths.size() == 1 ? "" : "s",
+        static_cast<long long>((*leaf)->rows()),
+        static_cast<long long>((*leaf)->cols()), (*sketch)->Sparsity(),
+        watch.ElapsedMillis());
+    return out;
+  }
+
   if (verb == "estimate") {
     if (rest.empty()) {
       out.status = Status::InvalidArgument("estimate <expression>");
@@ -207,7 +257,17 @@ CommandOutcome RunServeCommand(EstimationService& service,
                static_cast<long long>(s.guided.merge_rows),
                static_cast<long long>(s.guided.scatter_rows),
                static_cast<long long>(s.guided.blind_reserve_bytes -
-                                      s.guided.guided_reserve_bytes));
+                                      s.guided.guided_reserve_bytes)) +
+        Format("\ningest: %lld streaming registrations, %lld resident "
+               "bytes, %lld spilled, %lld spills, %lld faults, "
+               "%lld read failures, %lld write failures",
+               static_cast<long long>(s.streaming_registrations),
+               static_cast<long long>(s.resident_bytes),
+               static_cast<long long>(s.spilled_sketches),
+               static_cast<long long>(s.catalog_spills),
+               static_cast<long long>(s.catalog_faults),
+               static_cast<long long>(s.spill_read_failures),
+               static_cast<long long>(s.spill_write_failures));
     return out;
   }
 
@@ -221,7 +281,7 @@ CommandOutcome RunServeCommand(EstimationService& service,
 
   out.status = Status::InvalidArgument(
       "unknown command '" + TruncateEcho(verb) +
-      "' (register/estimate/exec/stats/clear/sleep/quit)");
+      "' (register/register-path/estimate/exec/stats/clear/sleep/quit)");
   return out;
 }
 

@@ -3,6 +3,11 @@
 //
 // One command per line:
 //   register <name> <file.mtx>   build/reuse the sketch of a matrix
+//   register-path <name> <file> [<file2> ...] [--union]
+//                                streaming registration: sketch the files
+//                                chunk-by-chunk without materializing the
+//                                matrix (multiple files rbind as row
+//                                shards; --union adds same-shaped pieces)
 //   estimate <expression>        estimate a DML-like expression
 //   exec <expression>            evaluate a DML-like expression
 //   stats                        catalog/memo/query counters

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "mnc/estimators/fallback_estimator.h"
+#include "mnc/ingest/stream_sketch.h"
 #include "mnc/ir/evaluator.h"
 #include "mnc/ir/sketch_propagator.h"
 #include "mnc/lang/parser.h"
@@ -33,13 +34,27 @@ constexpr char kCatalogReadFailPoint[] = "service.catalog_read";
 EstimationService::EstimationService(EstimationServiceOptions options)
     : options_(options),
       memo_(options.memo_budget_bytes),
-      pool_(options.num_threads) {}
+      pool_(options.num_threads) {
+  if (options_.catalog_resident_budget_bytes > 0 &&
+      !options_.spill_dir.empty()) {
+    auto store = ingest::SpillStore::Open(options_.spill_dir);
+    if (store.ok()) {
+      spill_ = std::make_unique<ingest::SpillStore>(std::move(store.value()));
+    }
+    // An unopenable spill directory disables the tier (budget unenforced)
+    // rather than failing construction: the service still serves, it just
+    // cannot bound resident sketch bytes.
+  }
+}
 
 LeafFingerprintFn EstimationService::MakeResolver() const {
   // Per-query storage-key cache: one query's hasher, equality checks, and
   // memo lookups may all ask for the same leaf's fingerprint.
   auto cache = std::make_shared<std::unordered_map<const void*, uint64_t>>();
   return [this, cache](const ExprNode& leaf) -> uint64_t {
+    // Sketch-only leaves (streaming registrations) carry their catalog
+    // fingerprint; there is no storage to key on.
+    if (!leaf.has_matrix()) return leaf.leaf_fingerprint();
     const void* key = leaf.matrix().storage_key();
     if (auto it = cache->find(key); it != cache->end()) return it->second;
     uint64_t fp = 0;
@@ -61,13 +76,13 @@ StatusOr<ExprPtr> EstimationService::RegisterMatrix(const std::string& name,
                                                     const Matrix& m) {
   const uint64_t fp = MatrixFingerprint(m);
 
-  std::shared_ptr<const CatalogEntry> entry;
+  std::shared_ptr<CatalogEntry> entry;
   {
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
     if (auto it = by_fp_.find(fp); it != by_fp_.end()) entry = it->second;
   }
 
-  std::shared_ptr<const CatalogEntry> fresh;
+  std::shared_ptr<CatalogEntry> fresh;
   if (entry == nullptr) {
     if (MncFailPointArmed(kSketchBuildFailPoint)) {
       return Status::Unavailable("fail point " +
@@ -81,6 +96,7 @@ StatusOr<ExprPtr> EstimationService::RegisterMatrix(const std::string& name,
     built->leaf = ExprNode::Leaf(m, name);
     built->sketch = std::make_shared<const MncSketch>(
         MncSketch::FromMatrix(m, options_.parallel, &pool_));
+    built->sketch_bytes = built->sketch->MemoryBytes();
     fresh = std::move(built);
   }
 
@@ -93,13 +109,94 @@ StatusOr<ExprPtr> EstimationService::RegisterMatrix(const std::string& name,
     } else {
       entry = fresh;
       by_fp_.emplace(fp, entry);
+      resident_bytes_ += entry->sketch_bytes;
     }
     by_name_[name] = entry;
     // Only the entry's own leaf pins its storage; a deduplicated caller
     // matrix may be freed after this call, so its storage key must not be
     // remembered (the address could be recycled by an unrelated matrix).
     storage_fp_[entry->leaf->matrix().storage_key()] = entry->fingerprint;
+    TouchEntry(*entry);
+    EnforceCatalogBudgetLocked(entry.get());
   }
+  return entry->leaf;
+}
+
+StatusOr<ExprPtr> EstimationService::RegisterMatrixStreaming(
+    const std::string& name, const std::string& path) {
+  return RegisterMatrixStreaming(name, std::vector<std::string>{path},
+                                 StreamRegisterOptions{});
+}
+
+StatusOr<ExprPtr> EstimationService::RegisterMatrixStreaming(
+    const std::string& name, const std::vector<std::string>& paths,
+    const StreamRegisterOptions& opts) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("streaming registration of '" + name +
+                                   "' needs at least one path");
+  }
+  if (MncFailPointArmed(kSketchBuildFailPoint)) {
+    return Status::Unavailable("fail point " +
+                               std::string(kSketchBuildFailPoint) +
+                               ": sketch construction failed")
+        .WithContext("register-streaming '" + name + "'");
+  }
+  ingest::StreamSketchOptions sopts;
+  sopts.chunk_entries = options_.ingest_chunk_entries;
+  sopts.parallel = options_.parallel;
+  sopts.pool = &pool_;
+
+  StatusOr<MncSketch> sketch = Status::Internal("unreachable");
+  if (paths.size() == 1) {
+    auto src = ingest::OpenTripletSource(paths.front());
+    if (!src.ok()) {
+      return src.status().WithContext("register-streaming '" + name + "'");
+    }
+    sketch = ingest::BuildSketchStreaming(*src.value(), sopts);
+  } else if (opts.multi == StreamRegisterOptions::MultiFile::kRBind) {
+    sketch = ingest::BuildSketchFromRowShards(paths, sopts);
+  } else {
+    sketch = ingest::BuildSketchUnion(paths, sopts);
+  }
+  if (!sketch.ok()) {
+    return sketch.status().WithContext("register-streaming '" + name + "'");
+  }
+  return RegisterSketch(name, std::move(sketch).value());
+}
+
+StatusOr<ExprPtr> EstimationService::RegisterSketch(const std::string& name,
+                                                    MncSketch sketch) {
+  const uint64_t fp = ingest::SketchFingerprint(sketch);
+  auto fresh = std::make_shared<CatalogEntry>();
+  fresh->first_name = name;
+  fresh->fingerprint = fp;
+  fresh->leaf = ExprNode::SketchLeaf(name, sketch.rows(), sketch.cols(), fp);
+  fresh->streaming = true;
+  fresh->sketch = std::make_shared<const MncSketch>(std::move(sketch));
+  fresh->sketch_bytes = fresh->sketch->MemoryBytes();
+
+  std::shared_ptr<CatalogEntry> entry;
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    if (auto it = by_fp_.find(fp); it != by_fp_.end()) {
+      entry = it->second;
+      register_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      // A dedup hit may fault a spilled entry back for free — the freshly
+      // built sketch is the same content.
+      if (entry->sketch == nullptr) {
+        entry->sketch = fresh->sketch;
+        resident_bytes_ += entry->sketch_bytes;
+      }
+    } else {
+      entry = fresh;
+      by_fp_.emplace(fp, entry);
+      resident_bytes_ += entry->sketch_bytes;
+    }
+    by_name_[name] = entry;
+    TouchEntry(*entry);
+    EnforceCatalogBudgetLocked(entry.get());
+  }
+  streaming_registrations_.fetch_add(1, std::memory_order_relaxed);
   return entry->leaf;
 }
 
@@ -107,6 +204,114 @@ ExprPtr EstimationService::LookupLeaf(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   auto it = by_name_.find(name);
   return it != by_name_.end() ? it->second->leaf : nullptr;
+}
+
+StatusOr<std::shared_ptr<const MncSketch>> EstimationService::LookupSketch(
+    const std::string& name) {
+  std::shared_ptr<CatalogEntry> entry;
+  std::shared_ptr<const MncSketch> sketch;
+  {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) {
+      return Status::NotFound("no matrix registered under '" + name + "'");
+    }
+    entry = it->second;
+    sketch = entry->sketch;
+    TouchEntry(*entry);
+  }
+  if (sketch != nullptr) return sketch;
+  return FaultBackSketch(entry);
+}
+
+void EstimationService::TouchEntry(CatalogEntry& entry) const {
+  entry.last_use.store(use_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+}
+
+void EstimationService::EnforceCatalogBudgetLocked(const CatalogEntry* keep) {
+  if (spill_ == nullptr || options_.catalog_resident_budget_bytes <= 0) return;
+  while (resident_bytes_ > options_.catalog_resident_budget_bytes) {
+    // Linear LRU scan: the catalog holds one entry per registered matrix,
+    // so evictions are rare and small next to the sketch IO they trigger.
+    CatalogEntry* victim = nullptr;
+    uint64_t victim_use = 0;
+    for (auto& [fp, e] : by_fp_) {
+      if (e->sketch == nullptr || e.get() == keep) continue;
+      const uint64_t use = e->last_use.load(std::memory_order_relaxed);
+      if (victim == nullptr || use < victim_use) {
+        victim = e.get();
+        victim_use = use;
+      }
+    }
+    if (victim == nullptr) break;  // nothing evictable (keep may exceed alone)
+    if (!victim->spilled) {
+      const Status written = spill_->Write(victim->fingerprint, *victim->sketch);
+      if (!written.ok()) {
+        // Graceful: keep the sketch resident (over budget) rather than
+        // dropping the only copy. The next enforcement retries.
+        spill_write_failures_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      victim->spilled = true;
+    }
+    victim->sketch.reset();
+    resident_bytes_ -= victim->sketch_bytes;
+    catalog_spills_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+StatusOr<std::shared_ptr<const MncSketch>> EstimationService::FaultBackSketch(
+    const std::shared_ptr<CatalogEntry>& entry) {
+  if (spill_ == nullptr) {
+    return Status::Internal("sketch for '" + entry->first_name +
+                            "' is missing with no spill tier configured");
+  }
+  // Segment IO happens outside the catalog lock; racing faulters may both
+  // read the segment, but only the first installs (the other adopts it).
+  StatusOr<MncSketch> read = spill_->Read(entry->fingerprint);
+  if (read.ok()) {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    if (entry->sketch == nullptr) {
+      entry->sketch =
+          std::make_shared<const MncSketch>(std::move(read).value());
+      resident_bytes_ += entry->sketch_bytes;
+      catalog_faults_.fetch_add(1, std::memory_order_relaxed);
+      TouchEntry(*entry);
+      // The segment stays on disk (entry->spilled remains true): re-evicting
+      // this entry later is a free pointer drop.
+      EnforceCatalogBudgetLocked(entry.get());
+    }
+    return entry->sketch;
+  }
+  spill_read_failures_.fetch_add(1, std::memory_order_relaxed);
+
+  // Degraded path: a matrix-backed entry can rebuild its sketch from the
+  // matrix it pins; the corrupt segment is dropped so the next eviction
+  // rewrites it. Sketch-only entries have nothing to rebuild from.
+  if (entry->leaf != nullptr && entry->leaf->has_matrix()) {
+    if (MncFailPointArmed(kSketchBuildFailPoint)) {
+      return Status::Unavailable(
+          "fail point " + std::string(kSketchBuildFailPoint) +
+          ": sketch reconstruction failed for '" + entry->first_name + "'")
+          .WithContext(read.status().message());
+    }
+    auto rebuilt = std::make_shared<const MncSketch>(MncSketch::FromMatrix(
+        entry->leaf->matrix(), options_.parallel, &pool_));
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    if (entry->sketch == nullptr) {
+      entry->sketch = rebuilt;
+      resident_bytes_ += entry->sketch_bytes;
+      (void)spill_->Remove(entry->fingerprint);
+      entry->spilled = false;
+      TouchEntry(*entry);
+      EnforceCatalogBudgetLocked(entry.get());
+    }
+    return entry->sketch;
+  }
+  return read.status().WithContext("sketch for '" + entry->first_name +
+                                   "' is spilled and its segment is "
+                                   "unreadable");
 }
 
 StatusOr<std::shared_ptr<const MncSketch>> EstimationService::ComputeSketch(
@@ -124,11 +329,25 @@ StatusOr<std::shared_ptr<const MncSketch>> EstimationService::ComputeSketch(
   std::shared_ptr<const MncSketch> sketch;
   if (node->is_leaf()) {
     const uint64_t fp = ctx.resolver(*node);
+    std::shared_ptr<CatalogEntry> entry;
     {
       std::shared_lock<std::shared_mutex> lock(catalog_mu_);
       if (auto it = by_fp_.find(fp); it != by_fp_.end()) {
-        sketch = it->second->sketch;
+        entry = it->second;
+        sketch = entry->sketch;
+        TouchEntry(*entry);
       }
+    }
+    if (entry != nullptr && sketch == nullptr) {
+      // Catalog hit on a spilled entry: fault the sketch back in from its
+      // disk segment (or degrade — re-sketch / typed error — if that
+      // fails). Counted as a hit either way: the catalog knew the leaf.
+      auto faulted = FaultBackSketch(entry);
+      if (!faulted.ok()) {
+        catalog_hits_.fetch_add(1, std::memory_order_relaxed);
+        return faulted.status();
+      }
+      sketch = std::move(faulted).value();
     }
     if (sketch != nullptr && MncFailPointArmed(kCatalogReadFailPoint)) {
       return Status::Unavailable(
@@ -139,6 +358,13 @@ StatusOr<std::shared_ptr<const MncSketch>> EstimationService::ComputeSketch(
       catalog_hits_.fetch_add(1, std::memory_order_relaxed);
     } else {
       catalog_misses_.fetch_add(1, std::memory_order_relaxed);
+      // A sketch-only leaf that is not in this service's catalog cannot be
+      // sketched on the fly — there is no matrix to read.
+      if (!node->has_matrix()) {
+        return Status::Unavailable(
+            "sketch-only leaf '" + node->name() +
+            "' is not in the catalog and has no backing matrix to sketch");
+      }
       // Unregistered leaves are memoized like any sub-expression, so a
       // repeated ad-hoc query still skips the O(nnz) sketch build.
       const uint64_t h = ctx.hasher.Hash(node);
@@ -299,14 +525,17 @@ StatusOr<EstimateResult> EstimationService::EstimateDegraded(
 
 StatusOr<EstimateResult> EstimationService::EstimateSource(
     const std::string& source, const RequestContext* request) {
-  std::map<std::string, Matrix> bindings;
+  // Catalog leaves (matrix-backed and sketch-only alike) resolve as
+  // pre-built nodes, so repeated sources share DAG identity with the
+  // catalog and with each other.
+  std::map<std::string, ExprPtr> leaves;
   {
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
     for (const auto& [name, entry] : by_name_) {
-      bindings.emplace(name, entry->leaf->matrix());
+      leaves.emplace(name, entry->leaf);
     }
   }
-  const ParseResult parsed = ParseProgram(source, bindings);
+  const ParseResult parsed = ParseProgram(source, {}, leaves);
   if (!parsed.ok()) {
     return Status::InvalidArgument("parse error: " + parsed.error);
   }
@@ -331,6 +560,7 @@ StatusOr<Matrix> EstimationService::Execute(const ExprPtr& root,
     // ad-hoc leaves return nullptr and are sketched by the evaluator.
     opts.leaf_sketches =
         [this](const ExprNode& leaf) -> std::shared_ptr<const MncSketch> {
+      if (!leaf.has_matrix()) return nullptr;  // unreachable past ValidateDag
       std::shared_lock<std::shared_mutex> lock(catalog_mu_);
       if (auto it = storage_fp_.find(leaf.matrix().storage_key());
           it != storage_fp_.end()) {
@@ -360,14 +590,16 @@ StatusOr<Matrix> EstimationService::Execute(const ExprPtr& root,
 
 StatusOr<Matrix> EstimationService::ExecuteSource(const std::string& source,
                                                   const RequestContext* request) {
-  std::map<std::string, Matrix> bindings;
+  // Sketch-only leaves parse fine here; Execute then fails with the typed
+  // kFailedPrecondition from ValidateDag if the DAG actually uses one.
+  std::map<std::string, ExprPtr> leaves;
   {
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
     for (const auto& [name, entry] : by_name_) {
-      bindings.emplace(name, entry->leaf->matrix());
+      leaves.emplace(name, entry->leaf);
     }
   }
-  const ParseResult parsed = ParseProgram(source, bindings);
+  const ParseResult parsed = ParseProgram(source, {}, leaves);
   if (!parsed.ok()) {
     return Status::InvalidArgument("parse error: " + parsed.error);
   }
@@ -403,7 +635,19 @@ ServiceStats EstimationService::stats() const {
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
     s.registered_names = static_cast<int64_t>(by_name_.size());
     s.registered_sketches = static_cast<int64_t>(by_fp_.size());
+    s.resident_bytes = resident_bytes_;
+    for (const auto& [fp, entry] : by_fp_) {
+      if (entry->sketch == nullptr) ++s.spilled_sketches;
+    }
   }
+  s.streaming_registrations =
+      streaming_registrations_.load(std::memory_order_relaxed);
+  s.catalog_spills = catalog_spills_.load(std::memory_order_relaxed);
+  s.catalog_faults = catalog_faults_.load(std::memory_order_relaxed);
+  s.spill_read_failures =
+      spill_read_failures_.load(std::memory_order_relaxed);
+  s.spill_write_failures =
+      spill_write_failures_.load(std::memory_order_relaxed);
   s.register_dedup_hits = register_dedup_hits_.load(std::memory_order_relaxed);
   s.catalog_hits = catalog_hits_.load(std::memory_order_relaxed);
   s.catalog_misses = catalog_misses_.load(std::memory_order_relaxed);

@@ -10,7 +10,20 @@
 //     keyed by its content fingerprint (CRC32-based, MatrixFingerprint), so
 //     re-registering identical data — under the same or another name — is a
 //     hit that reuses the existing sketch. Catalog entries are permanent
-//     (no eviction).
+//     (names never disappear), but their sketches can spill: see below.
+//   - Streaming registrations: RegisterMatrixStreaming builds a sketch
+//     straight from files via chunked ingestion (mnc/ingest) — the matrix
+//     itself is never materialized; peak memory is O(chunk + sketch). The
+//     catalog leaf is a sketch-only ExprNode::SketchLeaf: estimation over
+//     it works exactly as for matrix-backed leaves, while materializing
+//     Execute of a DAG containing one fails with kFailedPrecondition.
+//   - Spill-to-disk catalog tier: with catalog_resident_budget_bytes > 0
+//     and a spill_dir, cold sketches are evicted (LRU) to checksummed disk
+//     segments (ingest::SpillStore, sketch wire format v2) when resident
+//     sketch bytes exceed the budget, and transparently faulted back in on
+//     the next catalog hit. A corrupted or unreadable segment degrades:
+//     matrix-backed leaves silently re-sketch; sketch-only leaves fall
+//     through to the fallback chain like any other MNC-path failure.
 //   - Memoized propagation: every query DAG is canonicalized
 //     (CanonicalizeExpr) and each sub-expression's propagated sketch is
 //     memoized in a SketchMemoCache keyed by structural hash, with LRU
@@ -50,6 +63,7 @@
 
 #include "mnc/core/mnc_propagation.h"
 #include "mnc/core/mnc_sketch.h"
+#include "mnc/ingest/spill_store.h"
 #include "mnc/ir/expr.h"
 #include "mnc/ir/expr_hash.h"
 #include "mnc/matrix/ops_product.h"
@@ -91,6 +105,20 @@ struct EstimationServiceOptions {
   // default.
   ParallelConfig parallel;
 
+  // Resident-sketch byte budget for the catalog spill tier; <= 0 (default)
+  // keeps every sketch resident. Spilling requires spill_dir too: evicting
+  // without a segment store would lose sketches, so a positive budget with
+  // an empty spill_dir is ignored.
+  int64_t catalog_resident_budget_bytes = 0;
+
+  // Directory for spill segments (created on first use); empty disables the
+  // spill tier.
+  std::string spill_dir;
+
+  // Triplets per chunk for RegisterMatrixStreaming (the peak-memory knob of
+  // streaming ingestion).
+  int64_t ingest_chunk_entries = int64_t{1} << 16;
+
   // Sketch-guided execution for Execute/ExecuteSource: products are
   // pre-sized, format-dispatched and accumulator-dispatched from cataloged/
   // propagated sketches (see mnc/ir/evaluator.h). Values are bit-identical
@@ -128,6 +156,23 @@ struct ServiceStats {
   GuidedExecStats guided;
   // Memo table.
   SketchMemoStats memo;
+  // Streaming ingestion and the spill tier.
+  int64_t streaming_registrations = 0;  // RegisterMatrixStreaming successes
+  int64_t resident_bytes = 0;           // bytes of sketches currently in RAM
+  int64_t spilled_sketches = 0;         // entries currently on disk only
+  int64_t catalog_spills = 0;           // cumulative evictions to disk
+  int64_t catalog_faults = 0;           // cumulative fault-backs from disk
+  int64_t spill_read_failures = 0;
+  int64_t spill_write_failures = 0;
+};
+
+// Multi-file composition mode for RegisterMatrixStreaming.
+struct StreamRegisterOptions {
+  enum class MultiFile {
+    kRBind,  // files are row shards, concatenated vertically
+    kUnion,  // files are same-shaped pieces of one matrix, added
+  };
+  MultiFile multi = MultiFile::kRBind;
 };
 
 class EstimationService {
@@ -145,8 +190,31 @@ class EstimationService {
   // by the "service.sketch_build" fail point.
   StatusOr<ExprPtr> RegisterMatrix(const std::string& name, const Matrix& m);
 
+  // Registers the matrix stored in `path` (Matrix-Market or MNCT binary
+  // triplets, sniffed) under `name` by streaming ingestion: the sketch is
+  // built in O(chunk + sketch) memory and the matrix is never materialized.
+  // Content-dedups against earlier streaming registrations via
+  // ingest::SketchFingerprint (a space disjoint from MatrixFingerprint).
+  // Returns a sketch-only catalog leaf.
+  StatusOr<ExprPtr> RegisterMatrixStreaming(const std::string& name,
+                                            const std::string& path);
+
+  // Multi-file form: row shards concatenated (kRBind, tolerant merge — the
+  // result then carries no extension vectors) or same-shaped pieces added
+  // (kUnion, exact for disjoint supports).
+  StatusOr<ExprPtr> RegisterMatrixStreaming(
+      const std::string& name, const std::vector<std::string>& paths,
+      const StreamRegisterOptions& opts);
+
   // The catalog leaf registered under `name`, or null when absent.
   ExprPtr LookupLeaf(const std::string& name) const;
+
+  // The cataloged sketch for `name`, faulting it back from its spill
+  // segment if evicted. kNotFound for unknown names; a spilled sketch whose
+  // segment is unreadable surfaces that read error (after a matrix-backed
+  // re-sketch attempt, when possible).
+  StatusOr<std::shared_ptr<const MncSketch>> LookupSketch(
+      const std::string& name);
 
   // Estimates the output sparsity of the DAG rooted at `root`. Leaves need
   // not be registered (unregistered leaves are fingerprinted and sketched
@@ -195,7 +263,17 @@ class EstimationService {
     std::string first_name;  // first name this content was registered under
     uint64_t fingerprint = 0;
     ExprPtr leaf;
+    bool streaming = false;    // sketch-only leaf (no backing matrix)
+    int64_t sketch_bytes = 0;  // MemoryBytes of the sketch, for the budget
+
+    // Mutable under catalog_mu_ (exclusive): null while spilled to disk.
     std::shared_ptr<const MncSketch> sketch;
+    // A spill segment for this fingerprint exists on disk; re-evicting a
+    // faulted-back entry is then free (the pointer is just dropped).
+    bool spilled = false;
+    // LRU clock for eviction; atomic so catalog hits can touch it under the
+    // shared lock.
+    std::atomic<uint64_t> last_use{0};
   };
 
   struct QueryCtx {
@@ -212,6 +290,25 @@ class EstimationService {
   };
 
   LeafFingerprintFn MakeResolver() const;
+
+  // Registers a streaming-built sketch under `name` (shared tail of the
+  // RegisterMatrixStreaming overloads).
+  StatusOr<ExprPtr> RegisterSketch(const std::string& name, MncSketch sketch);
+
+  // Bumps the entry's LRU clock (safe under the shared lock).
+  void TouchEntry(CatalogEntry& entry) const;
+
+  // Restores a spilled entry's sketch from its segment; `entry->leaf` is
+  // used to re-sketch from the backing matrix when the segment is
+  // unreadable. Takes catalog_mu_ internally (caller must NOT hold it).
+  StatusOr<std::shared_ptr<const MncSketch>> FaultBackSketch(
+      const std::shared_ptr<CatalogEntry>& entry);
+
+  // Evicts least-recently-used resident sketches (never `keep`) until the
+  // resident total fits the budget. Requires catalog_mu_ held exclusively.
+  // A failed segment write stops eviction (budget temporarily exceeded)
+  // rather than dropping an unreplicated sketch.
+  void EnforceCatalogBudgetLocked(const CatalogEntry* keep);
 
   // Sketch of `node`, via catalog/memo or by building/propagating.
   StatusOr<std::shared_ptr<const MncSketch>> ComputeSketch(
@@ -235,9 +332,12 @@ class EstimationService {
   const EstimationServiceOptions options_;
 
   mutable std::shared_mutex catalog_mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<const CatalogEntry>> by_fp_;
-  std::unordered_map<std::string, std::shared_ptr<const CatalogEntry>>
-      by_name_;
+  std::unordered_map<uint64_t, std::shared_ptr<CatalogEntry>> by_fp_;
+  std::unordered_map<std::string, std::shared_ptr<CatalogEntry>> by_name_;
+  // Spill tier (null when disabled); guarded by catalog_mu_ together with
+  // the residency bookkeeping below.
+  std::unique_ptr<ingest::SpillStore> spill_;
+  int64_t resident_bytes_ = 0;
   // Storage-block identity -> fingerprint for registered matrices: lets
   // query leaves that share storage with a cataloged matrix (e.g. parser
   // bindings) skip the O(nnz) fingerprint rescan. Keys stay valid because
@@ -257,6 +357,13 @@ class EstimationService {
   mutable std::atomic<int64_t> fallback_estimates_{0};
   mutable std::atomic<int64_t> failed_estimates_{0};
   mutable std::atomic<int64_t> executions_{0};
+  mutable std::atomic<int64_t> streaming_registrations_{0};
+  mutable std::atomic<int64_t> catalog_spills_{0};
+  mutable std::atomic<int64_t> catalog_faults_{0};
+  mutable std::atomic<int64_t> spill_read_failures_{0};
+  mutable std::atomic<int64_t> spill_write_failures_{0};
+  // LRU clock source for CatalogEntry::last_use.
+  mutable std::atomic<uint64_t> use_tick_{0};
 
   // Guided-execution counters merged from per-call Evaluators.
   mutable std::mutex exec_mu_;

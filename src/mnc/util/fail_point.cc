@@ -149,6 +149,16 @@ StatusOr<int> FailPointRegistry::ArmFromSpec(const std::string& spec) {
       return Status::InvalidArgument("fail point entry '" + entry +
                                      "': empty point name");
     }
+    // The ingest.* namespace is closed: its points gate the spill/fault-back
+    // chain, where a typo'd spec silently arming nothing would let a
+    // degradation test pass vacuously. Names must be string literals here
+    // (no registry of sites exists at static-init time).
+    if (name.rfind("ingest.", 0) == 0 && name != "ingest.read_chunk" &&
+        name != "ingest.spill_write" && name != "ingest.spill_read") {
+      return Status::InvalidArgument(
+          "fail point entry '" + entry + "': unknown ingest point '" + name +
+          "' (ingest.read_chunk, ingest.spill_write, ingest.spill_read)");
+    }
     Arm(name, skip, count);
     ++armed;
   }

@@ -20,6 +20,8 @@
 // Runs under ASan and TSan in CI (debug-asan-ubsan and debug-tsan jobs).
 
 #include <cmath>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -29,7 +31,10 @@
 #include "mnc/core/mnc_propagation.h"
 #include "mnc/core/row_estimates.h"
 #include "mnc/estimators/bitset_estimator.h"
+#include "mnc/ingest/stream_sketch.h"
+#include "mnc/ingest/triplet_source.h"
 #include "mnc/ir/evaluator.h"
+#include "mnc/matrix/io.h"
 #include "mnc/matrix/ops_product.h"
 #include "mnc/util/thread_pool.h"
 
@@ -422,6 +427,51 @@ TEST_P(DifferentialHarnessTest, GuidedEvaluationBitIdenticalToBlind) {
   Evaluator stressed(&pool, stress);
   EXPECT_TRUE(CsrBitIdentical(blind.Evaluate(chain).AsCsr(),
                               stressed.Evaluate(chain).AsCsr()));
+}
+
+// (f) streaming ingestion: the chunked out-of-core sketch build must be
+// bit-identical to the in-memory FromCsr at every chunk size, and the
+// row-shard rbind build must be thread-count-invariant.
+TEST_P(DifferentialHarnessTest, StreamingSketchBitIdenticalAcrossChunksAndThreads) {
+  Rng rng(Seed() * 5011 + 17);
+  const CsrMatrix m = RandomLeaf(rng, RandomDim(rng));
+  const MncSketch reference = MncSketch::FromCsr(m);
+  const std::string path = ::testing::TempDir() + "/difftest_stream_" +
+                           std::to_string(Seed()) + ".mtx";
+  ASSERT_TRUE(WriteMatrixMarketFile(m, path).ok());
+
+  const int64_t chunks[] = {1, 7, 4096, m.NumNonZeros() + 1};
+  for (const int64_t chunk : chunks) {
+    auto src = ingest::OpenTripletSource(path);
+    ASSERT_TRUE(src.ok()) << src.status().ToString();
+    ingest::StreamSketchOptions opts;
+    opts.chunk_entries = chunk;
+    const auto streamed = ingest::BuildSketchStreaming(**src, opts);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    EXPECT_TRUE(SketchesBitIdentical(reference, *streamed))
+        << "chunk=" << chunk;
+  }
+
+  // Row-shard rbind at 1 vs 8 threads: per-shard builds race on the pool
+  // but the merged counts are integer sums, so the result cannot move.
+  const std::string shard_paths[2] = {path, path};
+  const std::vector<std::string> shards(shard_paths, shard_paths + 2);
+  std::optional<MncSketch> at_one;
+  for (const int threads : {1, 8}) {
+    ThreadPool pool(threads);
+    ingest::StreamSketchOptions opts;
+    opts.chunk_entries = 7;
+    opts.parallel = HarnessConfig(threads);
+    opts.pool = &pool;
+    const auto merged = ingest::BuildSketchFromRowShards(shards, opts);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_EQ(merged->rows(), 2 * m.rows());
+    if (!at_one.has_value()) {
+      at_one.emplace(*merged);
+    } else {
+      EXPECT_TRUE(SketchesBitIdentical(*at_one, *merged)) << "threads=8";
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialHarnessTest,

@@ -140,6 +140,35 @@ TEST(FailPointTest, ArmFromSpecRejectsMalformedEntries) {
   reg.Disarm("fp_test.spec_ok");
 }
 
+TEST(FailPointTest, ArmFromSpecAcceptsKnownIngestPoints) {
+  auto& reg = FailPointRegistry::Instance();
+  const StatusOr<int> armed = reg.ArmFromSpec(
+      "ingest.read_chunk;ingest.spill_write=1:2;ingest.spill_read");
+  ASSERT_TRUE(armed.ok());
+  EXPECT_EQ(*armed, 3);
+  EXPECT_TRUE(reg.IsArmed("ingest.read_chunk"));
+  EXPECT_TRUE(reg.IsArmed("ingest.spill_write"));
+  EXPECT_TRUE(reg.IsArmed("ingest.spill_read"));
+  reg.Disarm("ingest.read_chunk");
+  reg.Disarm("ingest.spill_write");
+  reg.Disarm("ingest.spill_read");
+}
+
+TEST(FailPointTest, ArmFromSpecRejectsUnknownIngestPoints) {
+  auto& reg = FailPointRegistry::Instance();
+  // ingest.* is a closed namespace: a typo'd point would silently never
+  // fire, so ArmFromSpec rejects names outside the known set.
+  const StatusOr<int> bogus = reg.ArmFromSpec("ingest.bogus");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_EQ(bogus.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bogus.status().message().find("ingest.bogus"), std::string::npos);
+  EXPECT_FALSE(reg.IsArmed("ingest.bogus"));
+  // Other namespaces stay open (arbitrary test-local names keep working).
+  const StatusOr<int> open = reg.ArmFromSpec("fp_test.ingest_open");
+  ASSERT_TRUE(open.ok());
+  reg.Disarm("fp_test.ingest_open");
+}
+
 TEST(FailPointTest, ScopedFailPointDisarmsOnDestruction) {
   auto& reg = FailPointRegistry::Instance();
   {

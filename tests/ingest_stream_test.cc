@@ -1,0 +1,318 @@
+// Streaming out-of-core ingestion (mnc/ingest): chunked triplet sources,
+// streaming sketch construction, multi-file composition, and the MNCT
+// binary shard format.
+//
+// The central contract under test: BuildSketchStreaming is bit-identical to
+// MncSketch::FromCsr on the materialized matrix, for every structural
+// archetype, at every chunk size — the sketch must not depend on how the
+// stream was cut into chunks.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "differential_harness.h"
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/ingest/stream_sketch.h"
+#include "mnc/ingest/triplet_source.h"
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/csr_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/io.h"
+#include "mnc/matrix/mm_header.h"
+#include "mnc/util/fail_point.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+using difftest::Archetype;
+using difftest::MakeLeaf;
+using difftest::SketchesBitIdentical;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+StatusOr<MncSketch> StreamSketchFromFile(const std::string& path,
+                                         int64_t chunk) {
+  auto src = ingest::OpenTripletSource(path);
+  if (!src.ok()) return src.status();
+  ingest::StreamSketchOptions opts;
+  opts.chunk_entries = chunk;
+  return ingest::BuildSketchStreaming(**src, opts);
+}
+
+// The chunk sizes the bit-identity contract is checked at: degenerate
+// (1 triplet per chunk), odd (chunk boundaries never align with rows),
+// large, and whole-file.
+std::vector<int64_t> ChunkSizes(int64_t nnz) {
+  return {1, 7, 4096, nnz + 1};
+}
+
+TEST(IngestStreamTest, StreamingMatchesInMemoryAcrossArchetypesAndChunks) {
+  Rng rng(4242);
+  for (int kind = 0; kind < static_cast<int>(Archetype::kCount); ++kind) {
+    const CsrMatrix m =
+        MakeLeaf(static_cast<Archetype>(kind), 40 + rng.UniformInt(17), rng);
+    const MncSketch reference = MncSketch::FromCsr(m);
+    const std::string path =
+        TempPath("ingest_arch_" + std::to_string(kind) + ".mtx");
+    ASSERT_TRUE(WriteMatrixMarketFile(m, path).ok());
+
+    for (const int64_t chunk : ChunkSizes(m.NumNonZeros())) {
+      SCOPED_TRACE("archetype " + std::to_string(kind) + ", chunk " +
+                   std::to_string(chunk));
+      const auto streamed = StreamSketchFromFile(path, chunk);
+      ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+      EXPECT_TRUE(SketchesBitIdentical(reference, *streamed));
+    }
+  }
+}
+
+TEST(IngestStreamTest, BinaryShardRoundTripMatchesInMemory) {
+  Rng rng(77);
+  const CsrMatrix m = GenerateUniformSparse(60, 45, 0.12, rng);
+  const MncSketch reference = MncSketch::FromCsr(m);
+  const std::string path = TempPath("ingest_shard.mnct");
+  ASSERT_TRUE(ingest::WriteBinaryTriplets(m, path).ok());
+
+  // Explicit binary open: declared metadata matches the matrix.
+  auto binary = ingest::BinaryTripletSource::Open(path);
+  ASSERT_TRUE(binary.ok()) << binary.status().ToString();
+  EXPECT_EQ((*binary)->rows(), m.rows());
+  EXPECT_EQ((*binary)->cols(), m.cols());
+  EXPECT_EQ((*binary)->declared_nnz(), m.NumNonZeros());
+
+  // Format sniffing + streaming build at several chunk sizes.
+  for (const int64_t chunk : ChunkSizes(m.NumNonZeros())) {
+    SCOPED_TRACE("chunk " + std::to_string(chunk));
+    const auto streamed = StreamSketchFromFile(path, chunk);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    EXPECT_TRUE(SketchesBitIdentical(reference, *streamed));
+  }
+}
+
+// Symmetric mirroring, pattern files, and explicit zeros must agree with
+// the materializing reader — both paths see the same logical matrix.
+TEST(IngestStreamTest, SymmetricFileAgreesWithMaterializingReader) {
+  const std::string path = TempPath("ingest_symmetric.mtx");
+  WriteTextFile(path,
+                "%%MatrixMarket matrix coordinate real symmetric\n"
+                "% lower triangle, diagonal included\n"
+                "4 4 5\n"
+                "1 1 2.0\n"
+                "2 1 -1.0\n"
+                "3 2 4.5\n"
+                "4 4 1.0\n"
+                "4 1 3.0\n");
+  const auto m = ReadMatrixMarketFile(path);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  const MncSketch reference = MncSketch::FromCsr(*m);
+  for (const int64_t chunk : {int64_t{1}, int64_t{3}, int64_t{100}}) {
+    SCOPED_TRACE("chunk " + std::to_string(chunk));
+    const auto streamed = StreamSketchFromFile(path, chunk);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    EXPECT_TRUE(SketchesBitIdentical(reference, *streamed));
+  }
+}
+
+TEST(IngestStreamTest, PatternAndExplicitZerosAgreeWithMaterializingReader) {
+  const std::string pattern = TempPath("ingest_pattern.mtx");
+  WriteTextFile(pattern,
+                "%%MatrixMarket matrix coordinate pattern general\n"
+                "3 5 4\n"
+                "1 1\n"
+                "2 4\n"
+                "3 2\n"
+                "3 5\n");
+  const std::string zeros = TempPath("ingest_zeros.mtx");
+  WriteTextFile(zeros,
+                "%%MatrixMarket matrix coordinate real general\n"
+                "3 3 4\n"
+                "1 1 1.5\n"
+                "2 2 0.0\n"
+                "2 3 2.0\n"
+                "3 1 0.0\n");
+  for (const std::string& path : {pattern, zeros}) {
+    SCOPED_TRACE(path);
+    const auto m = ReadMatrixMarketFile(path);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    const auto streamed = StreamSketchFromFile(path, 2);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    // Explicit zeros are dropped by both paths, so nnz already reflects the
+    // logical (stored) entries.
+    EXPECT_TRUE(SketchesBitIdentical(MncSketch::FromCsr(*m), *streamed));
+  }
+}
+
+// Vertically concatenates `shards` (all with `cols` columns) into one CSR.
+CsrMatrix Rbind(const std::vector<CsrMatrix>& shards, int64_t cols) {
+  int64_t rows = 0;
+  for (const CsrMatrix& s : shards) rows += s.rows();
+  CooMatrix coo(rows, cols);
+  int64_t offset = 0;
+  for (const CsrMatrix& s : shards) {
+    for (int64_t i = 0; i < s.rows(); ++i) {
+      const auto cols_i = s.RowIndices(i);
+      const auto vals_i = s.RowValues(i);
+      for (size_t k = 0; k < cols_i.size(); ++k) {
+        coo.Add(offset + i, cols_i[k], vals_i[k]);
+      }
+    }
+    offset += s.rows();
+  }
+  return coo.ToCsr();
+}
+
+TEST(IngestStreamTest, RowShardRbindMatchesWholeMatrix) {
+  Rng rng(99);
+  std::vector<CsrMatrix> shards;
+  std::vector<std::string> paths;
+  for (int i = 0; i < 3; ++i) {
+    shards.push_back(GenerateUniformSparse(12 + i, 30, 0.2, rng));
+    paths.push_back(TempPath("ingest_rbind_" + std::to_string(i) + ".mtx"));
+    ASSERT_TRUE(WriteMatrixMarketFile(shards.back(), paths.back()).ok());
+  }
+  const CsrMatrix whole = Rbind(shards, 30);
+
+  ingest::StreamSketchOptions opts;
+  opts.chunk_entries = 16;
+  PartitionMergeReport report;
+  const auto merged = ingest::BuildSketchFromRowShards(paths, opts, &report);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.merged_rows, whole.rows());
+  // The rbind merge path drops extension vectors (the paper's distributed
+  // construction), so the reference is the basic sketch of the whole matrix.
+  EXPECT_TRUE(
+      SketchesBitIdentical(MncSketch::FromCsr(whole).ToBasic(), *merged));
+}
+
+TEST(IngestStreamTest, RowShardMergeToleratesMissingShard) {
+  Rng rng(100);
+  const CsrMatrix a = GenerateUniformSparse(10, 20, 0.25, rng);
+  const CsrMatrix c = GenerateUniformSparse(8, 20, 0.25, rng);
+  const std::string pa = TempPath("ingest_tol_a.mtx");
+  const std::string pc = TempPath("ingest_tol_c.mtx");
+  ASSERT_TRUE(WriteMatrixMarketFile(a, pa).ok());
+  ASSERT_TRUE(WriteMatrixMarketFile(c, pc).ok());
+
+  ingest::StreamSketchOptions opts;
+  PartitionMergeReport report;
+  const auto merged = ingest::BuildSketchFromRowShards(
+      {pa, TempPath("ingest_tol_missing.mtx"), pc}, opts, &report);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_FALSE(report.complete());
+  EXPECT_EQ(report.total_partitions, 3);
+  ASSERT_EQ(report.failed_partitions.size(), 1u);
+  EXPECT_EQ(report.failed_partitions[0].first, 1);
+  EXPECT_FALSE(report.failed_partitions[0].second.ok());
+  // The merged sketch covers exactly the healthy shards' rows.
+  EXPECT_EQ(report.merged_rows, a.rows() + c.rows());
+  EXPECT_TRUE(SketchesBitIdentical(
+      MncSketch::FromCsr(Rbind({a, c}, 20)).ToBasic(), *merged));
+}
+
+TEST(IngestStreamTest, UnionOfDisjointPiecesIsExact) {
+  Rng rng(101);
+  const CsrMatrix whole = GenerateUniformSparse(40, 40, 0.15, rng);
+  // Split the entries into two same-shaped pieces by column parity.
+  CooMatrix even(40, 40), odd(40, 40);
+  for (int64_t i = 0; i < whole.rows(); ++i) {
+    const auto cols_i = whole.RowIndices(i);
+    const auto vals_i = whole.RowValues(i);
+    for (size_t k = 0; k < cols_i.size(); ++k) {
+      (cols_i[k] % 2 == 0 ? even : odd).Add(i, cols_i[k], vals_i[k]);
+    }
+  }
+  const std::string pe = TempPath("ingest_union_even.mtx");
+  const std::string po = TempPath("ingest_union_odd.mtx");
+  ASSERT_TRUE(WriteMatrixMarketFile(even.ToCsr(), pe).ok());
+  ASSERT_TRUE(WriteMatrixMarketFile(odd.ToCsr(), po).ok());
+
+  ingest::StreamSketchOptions opts;
+  opts.chunk_entries = 9;
+  const auto united = ingest::BuildSketchUnion({pe, po}, opts);
+  ASSERT_TRUE(united.ok()) << united.status().ToString();
+  // Disjoint supports: the union is exact, extension vectors included.
+  EXPECT_TRUE(SketchesBitIdentical(MncSketch::FromCsr(whole), *united));
+}
+
+TEST(IngestStreamTest, UnionRejectsShapeMismatch) {
+  Rng rng(102);
+  const std::string pa = TempPath("ingest_union_shape_a.mtx");
+  const std::string pb = TempPath("ingest_union_shape_b.mtx");
+  ASSERT_TRUE(
+      WriteMatrixMarketFile(GenerateUniformSparse(10, 10, 0.3, rng), pa).ok());
+  ASSERT_TRUE(
+      WriteMatrixMarketFile(GenerateUniformSparse(10, 11, 0.3, rng), pb).ok());
+  ingest::StreamSketchOptions opts;
+  const auto united = ingest::BuildSketchUnion({pa, pb}, opts);
+  ASSERT_FALSE(united.ok());
+  EXPECT_EQ(united.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IngestStreamTest, ReadChunkFailPointYieldsTypedDataLoss) {
+  Rng rng(103);
+  const CsrMatrix m = GenerateUniformSparse(20, 20, 0.2, rng);
+  const std::string path = TempPath("ingest_failpoint.mtx");
+  ASSERT_TRUE(WriteMatrixMarketFile(m, path).ok());
+
+  ScopedFailPoint fp("ingest.read_chunk");
+  const auto streamed = StreamSketchFromFile(path, 8);
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.status().code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(streamed.status().message().empty());
+}
+
+TEST(IngestStreamTest, StreamCoordinatesOutOfDeclaredShapeRejected) {
+  const std::string path = TempPath("ingest_bad_coord.mtx");
+  WriteTextFile(path,
+                "%%MatrixMarket matrix coordinate real general\n"
+                "3 3 2\n"
+                "1 1 1.0\n"
+                "4 1 2.0\n");
+  const auto streamed = StreamSketchFromFile(path, 8);
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_FALSE(streamed.status().message().empty());
+}
+
+TEST(IngestStreamTest, SymmetricMirroredNnzOverflowRejected) {
+  // nnz passes the division-form nnz <= rows * cols check (2^40 * 2^40 =
+  // 2^80) but 2 * nnz would wrap int64; the shared header parser must
+  // reject it before anyone sizes an allocation from LogicalNnz().
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "1099511627776 1099511627776 5000000000000000000\n");
+  const auto header = ReadMatrixMarketHeader(is);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(header.status().message().find("overflow"), std::string::npos);
+}
+
+TEST(IngestStreamTest, SketchFingerprintSeparatesContentAndIsStable) {
+  Rng rng(104);
+  const CsrMatrix a = GenerateUniformSparse(30, 30, 0.2, rng);
+  const CsrMatrix b = GenerateUniformSparse(30, 30, 0.2, rng);
+  const MncSketch sa = MncSketch::FromCsr(a);
+  const MncSketch sb = MncSketch::FromCsr(b);
+  EXPECT_EQ(ingest::SketchFingerprint(sa), ingest::SketchFingerprint(sa));
+  EXPECT_NE(ingest::SketchFingerprint(sa), ingest::SketchFingerprint(sb));
+  // Basic vs extended forms of the same counts are distinct content.
+  EXPECT_NE(ingest::SketchFingerprint(sa),
+            ingest::SketchFingerprint(sa.ToBasic()));
+}
+
+}  // namespace
+}  // namespace mnc

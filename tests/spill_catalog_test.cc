@@ -1,0 +1,359 @@
+// Spill-to-disk sketch catalog tier of the EstimationService: byte-budgeted
+// LRU eviction to checksummed disk segments, transparent fault-back on
+// catalog hits, graceful degradation when segments are unreadable, and the
+// serve-tier register-path verb on top of it.
+//
+// Runs under the "tsan" label: the concurrent test races fault-backs and
+// evictions across threads against the shared catalog.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "differential_harness.h"
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/ingest/stream_sketch.h"
+#include "mnc/ingest/triplet_source.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/io.h"
+#include "mnc/serve/command.h"
+#include "mnc/service/estimation_service.h"
+#include "mnc/util/fail_point.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+using difftest::SketchesBitIdentical;
+
+std::string TempMatrixFile(const std::string& name, int64_t rows,
+                           int64_t cols, double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  const std::string path = ::testing::TempDir() + "/" + name;
+  const Status s = WriteMatrixMarketFile(
+      GenerateUniformSparse(rows, cols, sparsity, rng), path);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return path;
+}
+
+std::string UniqueDir(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// A budget of one byte can never hold a sketch, so every registration and
+// every fault-back immediately evicts everything except the entry in use —
+// maximum churn on the spill tier.
+EstimationServiceOptions TinyBudgetOptions(const std::string& dir) {
+  EstimationServiceOptions options;
+  options.spill_dir = dir;
+  options.catalog_resident_budget_bytes = 1;
+  return options;
+}
+
+TEST(SpillCatalogTest, SpilledThenFaultedSketchIsBitIdentical) {
+  const std::string file = TempMatrixFile("spill_bitid.mtx", 48, 48, 0.2, 1);
+  const std::string push =
+      TempMatrixFile("spill_bitid_push.mtx", 48, 48, 0.2, 100);
+  EstimationService service(TinyBudgetOptions(UniqueDir("spill_bitid")));
+  ASSERT_TRUE(service.RegisterMatrixStreaming("A", file).ok());
+  // The entry in use is never evicted, so a second registration is what
+  // pushes A's sketch out to disk under the one-byte budget.
+  ASSERT_TRUE(service.RegisterMatrixStreaming("PUSH", push).ok());
+  ASSERT_GT(service.stats().catalog_spills, 0);
+  ASSERT_GT(service.stats().spilled_sketches, 0);
+
+  auto src = ingest::OpenTripletSource(file);
+  ASSERT_TRUE(src.ok());
+  const auto direct =
+      ingest::BuildSketchStreaming(**src, ingest::StreamSketchOptions{});
+  ASSERT_TRUE(direct.ok());
+
+  const auto faulted = service.LookupSketch("A");
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  EXPECT_TRUE(SketchesBitIdentical(*direct, **faulted));
+  EXPECT_GT(service.stats().catalog_faults, 0);
+}
+
+TEST(SpillCatalogTest, SpillCycleDoesNotChangeEstimates) {
+  const std::string fa = TempMatrixFile("spill_est_a.mtx", 40, 40, 0.15, 2);
+  const std::string fb = TempMatrixFile("spill_est_b.mtx", 40, 40, 0.15, 3);
+
+  EstimationServiceOptions resident;  // no budget: everything stays in RAM
+  EstimationService baseline(resident);
+  ASSERT_TRUE(baseline.RegisterMatrixStreaming("A", fa).ok());
+  ASSERT_TRUE(baseline.RegisterMatrixStreaming("B", fb).ok());
+
+  EstimationService spilling(TinyBudgetOptions(UniqueDir("spill_est")));
+  ASSERT_TRUE(spilling.RegisterMatrixStreaming("A", fa).ok());
+  ASSERT_TRUE(spilling.RegisterMatrixStreaming("B", fb).ok());
+  ASSERT_GT(spilling.stats().catalog_spills, 0);
+
+  for (const char* expr :
+       {"A %*% B", "A + B", "t(A) %*% A", "rowSums(A %*% B)"}) {
+    SCOPED_TRACE(expr);
+    const auto want = baseline.EstimateSource(expr);
+    const auto got = spilling.EstimateSource(expr);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(want->sparsity, got->sparsity);
+    EXPECT_EQ(got->served_by, want->served_by);
+  }
+}
+
+TEST(SpillCatalogTest, StreamingRegistrationDedupsByContent) {
+  const std::string file = TempMatrixFile("spill_dedup.mtx", 32, 32, 0.2, 4);
+  EstimationServiceOptions options;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterMatrixStreaming("X", file).ok());
+  ASSERT_TRUE(service.RegisterMatrixStreaming("Y", file).ok());
+  EXPECT_GT(service.stats().register_dedup_hits, 0);
+  EXPECT_EQ(service.stats().registered_sketches, 1);
+  // Aliased names share the catalog leaf (and hence DAG identity).
+  EXPECT_EQ(service.LookupLeaf("X").get(), service.LookupLeaf("Y").get());
+  EXPECT_EQ(service.stats().streaming_registrations, 2);
+}
+
+TEST(SpillCatalogTest, ExecuteOverSketchOnlyLeafFailsTyped) {
+  const std::string file = TempMatrixFile("spill_exec.mtx", 24, 24, 0.2, 5);
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterMatrixStreaming("S", file).ok());
+  // Estimation works (sketch-only leaves are first-class there)...
+  ASSERT_TRUE(service.EstimateSource("S %*% S").ok());
+  // ...but materializing execution has no matrix to evaluate.
+  const auto exec = service.ExecuteSource("S %*% S");
+  ASSERT_FALSE(exec.ok());
+  EXPECT_EQ(exec.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(exec.status().message().find("sketch-only"), std::string::npos);
+}
+
+TEST(SpillCatalogTest, UnreadableSegmentResketchesFromBackingMatrix) {
+  Rng rng(6);
+  EstimationService service(TinyBudgetOptions(UniqueDir("spill_resketch")));
+  ASSERT_TRUE(service
+                  .RegisterMatrix("A", Matrix::AutoFromCsr(
+                                           GenerateUniformSparse(30, 30, 0.2,
+                                                                 rng)))
+                  .ok());
+  ASSERT_TRUE(service
+                  .RegisterMatrix("B", Matrix::AutoFromCsr(
+                                           GenerateUniformSparse(30, 30, 0.2,
+                                                                 rng)))
+                  .ok());
+  ASSERT_GT(service.stats().catalog_spills, 0);
+
+  ScopedFailPoint fp("ingest.spill_read");
+  const auto result = service.EstimateSource("A %*% B");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The segments were unreadable, but the leaves are matrix-backed: the
+  // service re-sketches silently and still serves the precise path.
+  EXPECT_EQ(result->served_by, "mnc");
+  EXPECT_GT(service.stats().spill_read_failures, 0);
+}
+
+TEST(SpillCatalogTest, UnreadableSegmentAndPoisonedResketchDegrade) {
+  Rng rng(7);
+  EstimationService service(TinyBudgetOptions(UniqueDir("spill_degrade")));
+  ASSERT_TRUE(service
+                  .RegisterMatrix("A", Matrix::AutoFromCsr(
+                                           GenerateUniformSparse(30, 30, 0.2,
+                                                                 rng)))
+                  .ok());
+  ASSERT_TRUE(service
+                  .RegisterMatrix("B", Matrix::AutoFromCsr(
+                                           GenerateUniformSparse(30, 30, 0.2,
+                                                                 rng)))
+                  .ok());
+  ASSERT_GT(service.stats().catalog_spills, 0);
+
+  // Segment unreadable AND the matrix-backed re-sketch poisoned: the MNC
+  // path is dead, so the query degrades to the fallback chain instead of
+  // failing.
+  ScopedFailPoint read_fp("ingest.spill_read");
+  ScopedFailPoint build_fp("service.sketch_build");
+  const auto result = service.EstimateSource("A %*% B");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(serve::IsDegradedTier(result->served_by))
+      << "served_by = " << result->served_by;
+  EXPECT_GE(result->sparsity, 0.0);
+  EXPECT_LE(result->sparsity, 1.0);
+  EXPECT_GT(service.stats().fallback_estimates, 0);
+}
+
+TEST(SpillCatalogTest, SketchOnlyLeafWithUnreadableSegmentFailsTyped) {
+  const std::string file = TempMatrixFile("spill_dead.mtx", 28, 28, 0.2, 8);
+  const std::string push =
+      TempMatrixFile("spill_dead_push.mtx", 28, 28, 0.2, 108);
+  EstimationService service(TinyBudgetOptions(UniqueDir("spill_dead")));
+  ASSERT_TRUE(service.RegisterMatrixStreaming("A", file).ok());
+  ASSERT_TRUE(service.RegisterMatrixStreaming("PUSH", push).ok());
+  ASSERT_GT(service.stats().spilled_sketches, 0);
+
+  {
+    // No backing matrix to re-sketch from: the read error surfaces as a
+    // typed failure (never a crash), with the name in the message.
+    ScopedFailPoint fp("ingest.spill_read");
+    const auto result = service.EstimateSource("A %*% A");
+    ASSERT_FALSE(result.ok());
+    EXPECT_FALSE(result.status().message().empty());
+    EXPECT_GT(service.stats().spill_read_failures, 0);
+  }
+
+  // Once the fault clears, the same query faults back and succeeds.
+  const auto result = service.EstimateSource("A %*% A");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->served_by, "mnc");
+}
+
+TEST(SpillCatalogTest, SpillWriteFailureKeepsSketchesResident) {
+  Rng rng(9);
+  EstimationService service(TinyBudgetOptions(UniqueDir("spill_wfail")));
+  ScopedFailPoint fp("ingest.spill_write");
+  ASSERT_TRUE(service
+                  .RegisterMatrix("A", Matrix::AutoFromCsr(
+                                           GenerateUniformSparse(26, 26, 0.2,
+                                                                 rng)))
+                  .ok());
+  ASSERT_TRUE(service
+                  .RegisterMatrix("B", Matrix::AutoFromCsr(
+                                           GenerateUniformSparse(26, 26, 0.2,
+                                                                 rng)))
+                  .ok());
+  const ServiceStats stats = service.stats();
+  // Eviction stopped gracefully: nothing was dropped without a segment, the
+  // budget is temporarily exceeded, and queries still work.
+  EXPECT_GT(stats.spill_write_failures, 0);
+  EXPECT_EQ(stats.spilled_sketches, 0);
+  EXPECT_GT(stats.resident_bytes, 1);
+  const auto result = service.EstimateSource("A %*% B");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->served_by, "mnc");
+}
+
+TEST(SpillCatalogTest, ServeRegisterPathAndEstimateOverSpilledCatalog) {
+  const std::string fa = TempMatrixFile("spill_srv_a.mtx", 36, 36, 0.2, 10);
+  const std::string fb = TempMatrixFile("spill_srv_b.mtx", 36, 36, 0.2, 11);
+  EstimationService service(TinyBudgetOptions(UniqueDir("spill_srv")));
+
+  auto out = serve::RunServeCommand(service, "register-path A " + fa);
+  ASSERT_TRUE(out.ok()) << out.status.ToString();
+  EXPECT_NE(out.body.find("streaming"), std::string::npos);
+  out = serve::RunServeCommand(service, "register-path B " + fb);
+  ASSERT_TRUE(out.ok()) << out.status.ToString();
+  ASSERT_GT(service.stats().catalog_spills, 0);
+
+  // The estimate faults the spilled sketches back transparently and serves
+  // the precise tier — identical to an unspilled service.
+  out = serve::RunServeCommand(service, "estimate A %*% B");
+  ASSERT_TRUE(out.ok()) << out.status.ToString();
+  EXPECT_EQ(out.served_by, "mnc");
+  EXPECT_FALSE(out.degraded);
+
+  EstimationService baseline;
+  ASSERT_TRUE(baseline.RegisterMatrixStreaming("A", fa).ok());
+  ASSERT_TRUE(baseline.RegisterMatrixStreaming("B", fb).ok());
+  const auto want = baseline.EstimateSource("A %*% B");
+  const auto got = service.EstimateSource("A %*% B");
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(want->sparsity, got->sparsity);
+
+  // The stats verb reports the ingest tier.
+  out = serve::RunServeCommand(service, "stats");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out.body.find("streaming registrations"), std::string::npos);
+
+  // Bad usage is a typed command error, not a crash.
+  out = serve::RunServeCommand(service, "register-path onlyname");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpillCatalogTest, RegisterPathUnionAndMultiFile) {
+  const std::string fa = TempMatrixFile("spill_multi_a.mtx", 20, 30, 0.2, 12);
+  const std::string fb = TempMatrixFile("spill_multi_b.mtx", 24, 30, 0.2, 13);
+  EstimationService service;
+  // rbind: 20 + 24 rows of 30 columns.
+  auto out =
+      serve::RunServeCommand(service, "register-path R " + fa + " " + fb);
+  ASSERT_TRUE(out.ok()) << out.status.ToString();
+  const auto leaf = service.LookupLeaf("R");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->rows(), 44);
+  EXPECT_EQ(leaf->cols(), 30);
+
+  // union: same-shaped pieces added.
+  const std::string fc = TempMatrixFile("spill_multi_c.mtx", 20, 30, 0.1, 14);
+  out = serve::RunServeCommand(
+      service, "register-path U " + fa + " " + fc + " --union");
+  ASSERT_TRUE(out.ok()) << out.status.ToString();
+  const auto uleaf = service.LookupLeaf("U");
+  ASSERT_NE(uleaf, nullptr);
+  EXPECT_EQ(uleaf->rows(), 20);
+  EXPECT_EQ(uleaf->cols(), 30);
+}
+
+// Races fault-backs, evictions, and estimates across threads: with a
+// one-byte budget every catalog touch evicts the previous resident sketch,
+// so concurrent queries continuously migrate sketches between RAM and disk.
+TEST(SpillCatalogTest, ConcurrentEstimatesOverSpillingCatalog) {
+  constexpr int kNames = 4;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 25;
+
+  std::vector<std::string> files;
+  EstimationService service(TinyBudgetOptions(UniqueDir("spill_conc")));
+  EstimationService baseline;
+  for (int i = 0; i < kNames; ++i) {
+    files.push_back(TempMatrixFile("spill_conc_" + std::to_string(i) + ".mtx",
+                                   32, 32, 0.2, 20 + i));
+    const std::string name(1, static_cast<char>('A' + i));
+    ASSERT_TRUE(service.RegisterMatrixStreaming(name, files.back()).ok());
+    ASSERT_TRUE(baseline.RegisterMatrixStreaming(name, files.back()).ok());
+  }
+
+  // Reference answers computed single-threaded on an unspilled catalog.
+  std::vector<std::string> exprs;
+  std::vector<double> want;
+  for (int i = 0; i < kNames; ++i) {
+    const std::string a(1, static_cast<char>('A' + i));
+    const std::string b(1, static_cast<char>('A' + (i + 1) % kNames));
+    exprs.push_back(a + " %*% " + b);
+    const auto r = baseline.EstimateSource(exprs.back());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    want.push_back(r->sparsity);
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int it = 0; it < kIters; ++it) {
+        const int pick = (t + it) % kNames;
+        if (t % 2 == 0) {
+          // Direct catalog hits: fault-back vs eviction races.
+          const auto sketch = service.LookupSketch(
+              std::string(1, static_cast<char>('A' + pick)));
+          if (!sketch.ok() || (*sketch)->rows() != 32) failures.fetch_add(1);
+        } else {
+          const auto r = service.EstimateSource(exprs[pick]);
+          if (!r.ok() || r->sparsity != want[pick]) failures.fetch_add(1);
+        }
+        if (it % 10 == 9) service.ClearMemo();  // keep the catalog hot
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.catalog_faults, 0);
+  EXPECT_GT(stats.catalog_spills, 0);
+  EXPECT_EQ(stats.spill_read_failures, 0);
+  EXPECT_EQ(stats.spill_write_failures, 0);
+}
+
+}  // namespace
+}  // namespace mnc

@@ -20,6 +20,12 @@
 //   chain <m1.mtx> <m2.mtx> [...]
 //       Optimizes the multiplication chain, comparing the dimension-only
 //       and the sparsity-aware (MNC) dynamic programs.
+//   calibrate [--out <profile.mncp>] [--threads <n>] [--reps <n>] [--quick]
+//       Micro-benchmarks this machine (scalar-vs-SIMD per kernel,
+//       seq-vs-par crossover per parallel stage, guided-execution
+//       break-evens) and persists the fitted MachineProfile — by default
+//       to ~/.cache/mnc/profile.mncp, where the library auto-loads it.
+//       See src/mnc/tuning/.
 //   serve [--budget-mb <m>] [--threads <n>] [--guided]
 //       [--spill-dir <dir> --catalog-budget-mb <m>]
 //       [--exec "cmd; cmd; ..."] [--listen <port> [--workers <n>]]
@@ -93,8 +99,11 @@ int Usage() {
                "  mnc_tool chain <m1.mtx> <m2.mtx> [...]\n"
                "  mnc_tool expr \"<expression>\" --bind NAME=file.mtx"
                " [--bind ...] [--exact]\n"
+               "  mnc_tool calibrate [--out <profile.mncp>] [--threads <n>]"
+               " [--reps <n>] [--quick]\n"
                "  mnc_tool serve [--budget-mb <m>] [--threads <n>]"
-               " [--guided] [--spill-dir <dir> --catalog-budget-mb <m>]"
+               " [--guided] [--profile <profile.mncp>]"
+               " [--spill-dir <dir> --catalog-budget-mb <m>]"
                " [--exec \"cmd; cmd; ...\"]"
                " [--listen <port> [--workers <n>]]\n"
                "  mnc_tool client --connect <port> [--deadline-ms <n>]"
@@ -554,6 +563,77 @@ int RunListenServer(mnc::EstimationService& service, int port, int workers) {
   return 0;
 }
 
+int CmdCalibrate(int argc, char** argv) {
+  mnc::tuning::CalibrationOptions copt;
+  std::string out = mnc::tuning::DefaultProfilePath();
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      copt.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      copt.reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      copt.quick = true;
+    } else {
+      return Usage();
+    }
+  }
+  const auto profile = mnc::tuning::Calibrate(copt);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "error: %s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  const mnc::tuning::MachineProfile& p = profile.value();
+  std::printf("machine profile (threads=%d, simd=%s)\n", p.calibrated_threads,
+              mnc::SimdLevelName(p.simd_level));
+  std::printf("%-20s %10s %10s %s\n", "kernel", "cache x", "stream x",
+              "verdict");
+  for (int i = 0; i < mnc::tuning::kNumTunedKernels; ++i) {
+    const mnc::tuning::KernelCalib& k = p.kernels[i];
+    std::printf("%-20s %9.2fx %9.2fx %s\n",
+                mnc::tuning::TunedKernelName(
+                    static_cast<mnc::tuning::TunedKernel>(i)),
+                k.simd_cache_ns > 0 ? k.scalar_cache_ns / k.simd_cache_ns : 1.0,
+                k.simd_stream_ns > 0 ? k.scalar_stream_ns / k.simd_stream_ns
+                                     : 1.0,
+                k.use_simd ? "simd" : "scalar");
+  }
+  static const char* kStageNames[] = {"sketch_build", "estimate", "propagate",
+                                      "spgemm"};
+  for (int s = 0; s < mnc::kNumTunedStages; ++s) {
+    const mnc::tuning::StageCalib& c = p.stages[s];
+    if (c.crossover_work >= mnc::tuning::kNeverParallel) {
+      std::printf("%-20s par: never\n", kStageNames[s]);
+    } else if (c.crossover_work <= 0) {
+      std::printf("%-20s par: always (grain %lld)\n", kStageNames[s],
+                  static_cast<long long>(c.grain));
+    } else {
+      std::printf("%-20s par above work %lld (grain %lld)\n", kStageNames[s],
+                  static_cast<long long>(c.crossover_work),
+                  static_cast<long long>(c.grain));
+    }
+  }
+  std::printf("guided: dense threshold %.3f, single-pass budget %lld MB, "
+              "reserve %.1f B/nnz\n",
+              p.guided.dense_dispatch_threshold,
+              static_cast<long long>(p.guided.single_pass_budget_bytes >> 20),
+              p.guided.blind_reserve_bytes_per_nnz);
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "warning: no --out and no derivable default path; profile "
+                 "not persisted\n");
+    return 0;
+  }
+  const mnc::Status st = mnc::tuning::SaveProfile(p, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("profile written to %s\n", out.c_str());
+  return 0;
+}
+
 int CmdServe(int argc, char** argv) {
   mnc::EstimationServiceOptions options;
   const char* exec = nullptr;
@@ -581,6 +661,21 @@ int CmdServe(int argc, char** argv) {
       listen_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      // Calibration profile for the serving tier: steers seq-vs-par and
+      // guided dispatch for this service AND installs the per-kernel
+      // scalar/SIMD verdicts process-wide. Answers are bit-identical with
+      // or without it.
+      auto loaded = mnc::tuning::LoadProfile(argv[++i]);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      auto profile = std::make_shared<const mnc::tuning::MachineProfile>(
+          std::move(loaded).value());
+      mnc::tuning::SetActiveProfile(profile);
+      options.profile = std::move(profile);
     } else {
       return Usage();
     }
@@ -684,12 +779,20 @@ int CmdClient(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
+  // Resolve the machine profile once at startup so every subcommand —
+  // including the sequential, no-config paths that never consult
+  // ParallelConfig::ForStage — runs with the tuned kernel table installed,
+  // and so a corrupt MNC_PROFILE warns immediately rather than only when a
+  // parallel stage happens to trigger the lazy load. `calibrate` is exempt:
+  // it must measure the uncalibrated machine, not a previously tuned one.
+  if (cmd != "calibrate") (void)mnc::tuning::ActiveProfile();
   if (cmd == "generate") return CmdGenerate(argc, argv);
   if (cmd == "sketch") return CmdSketch(argc, argv);
   if (cmd == "estimate-sketches") return CmdEstimateSketches(argc, argv);
   if (cmd == "estimate") return CmdEstimate(argc, argv);
   if (cmd == "expr") return CmdExpr(argc, argv);
   if (cmd == "chain") return CmdChain(argc, argv);
+  if (cmd == "calibrate") return CmdCalibrate(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "client") return CmdClient(argc, argv);
   return Usage();

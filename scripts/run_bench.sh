@@ -6,11 +6,16 @@
 # Usage: scripts/run_bench.sh [build-dir] [out-dir]
 #
 # Currently JSON-enabled: service_cache (estimation service warm/cold memo
-# benchmark), par_scaling (parallel kernel thread-scaling), micro_kernels
-# (SIMD kernel dispatch), guided_exec (sketch-guided vs blind chain
-# evaluation), and serve_load (framed socket serving tier under concurrent
-# clients). Benches grow a --json flag via mncbench::JsonReport; add them
-# to JSON_BENCHES below as they do.
+# benchmark), par_scaling (parallel kernel thread-scaling, plus a
+# --calibrated leg measuring profile-driven dispatch against the sequential
+# baseline), micro_kernels (SIMD kernel dispatch), guided_exec
+# (sketch-guided vs blind chain evaluation), and serve_load (framed socket
+# serving tier under concurrent clients). Benches grow a --json flag via
+# mncbench::JsonReport; add them to JSON_BENCHES below as they do.
+#
+# Set MNC_PROFILE=<path-to-.mncp> (e.g. from `mnc_tool calibrate`) to have
+# every bench lazily pick up that machine profile; the --calibrated
+# par_scaling leg otherwise quick-calibrates in-process.
 
 set -euo pipefail
 
@@ -31,6 +36,7 @@ mkdir -p "$OUT_DIR"
 JSON_BENCHES=(
   "service_cache:--json"
   "par_scaling:--json"
+  "par_scaling:--json --calibrated"
   "micro_kernels:--json"
   "guided_exec:--json"
   "serve_load:--json --clients 8 --reqs 100 --dim 256"

@@ -237,16 +237,24 @@ double EstimateProductNnz(const MncSketch& a, const MncSketch& b) {
 
 double EstimateProductNnz(const MncSketch& a, const MncSketch& b,
                           const ParallelConfig& config, ThreadPool* pool) {
+  // Calibrated seq-vs-par dispatch over the common dimension. Only
+  // num_threads may change (never the grain): the blocked sums' FP
+  // association is keyed to the block size, and dropping to one thread
+  // keeps the identical blocks.
+  const ParallelConfig tuned = config.ForStage(TunedStage::kEstimate,
+                                               a.cols());
   return internal::EstimateProductNnzImpl(a, b, /*use_extensions=*/true,
                                           /*use_bounds=*/true,
-                                          internal::ParExec{&config, pool});
+                                          internal::ParExec{&tuned, pool});
 }
 
 double EstimateProductNnzBasic(const MncSketch& a, const MncSketch& b,
                                const ParallelConfig& config, ThreadPool* pool) {
+  const ParallelConfig tuned = config.ForStage(TunedStage::kEstimate,
+                                               a.cols());
   return internal::EstimateProductNnzImpl(a, b, /*use_extensions=*/false,
                                           /*use_bounds=*/false,
-                                          internal::ParExec{&config, pool});
+                                          internal::ParExec{&tuned, pool});
 }
 
 double EstimateProductSparsity(const MncSketch& a, const MncSketch& b,

@@ -201,21 +201,29 @@ MncSketch PropagateProduct(const MncSketch& a, const MncSketch& b,
   }
   const double nnz_c = basic ? EstimateProductNnzBasic(a, b, config, pool)
                              : EstimateProductNnz(a, b, config, pool);
+  // Calibrated seq-vs-par dispatch (num_threads only, never the grain: the
+  // per-block PRNG streams are keyed to the block layout, and one thread
+  // runs the same blocks inline — bit-identical by the contract above).
+  const ParallelConfig cfg =
+      config.ForStage(TunedStage::kPropagate, a.rows() + b.cols());
   std::vector<int64_t> hr =
       ScaleCountsPar(a.hr(), static_cast<double>(a.nnz()), nnz_c, b.cols(),
-                     seed, kStreamHr, config, pool, mode);
+                     seed, kStreamHr, cfg, pool, mode);
   std::vector<int64_t> hc =
       ScaleCountsPar(b.hc(), static_cast<double>(b.nnz()), nnz_c, a.rows(),
-                     seed, kStreamHc, config, pool, mode);
+                     seed, kStreamHc, cfg, pool, mode);
   return MncSketch::FromCounts(a.rows(), b.cols(), std::move(hr),
                                std::move(hc));
 }
 
 MncSketch PropagateEWiseAdd(const MncSketch& a, const MncSketch& b,
-                            uint64_t seed, const ParallelConfig& config,
+                            uint64_t seed, const ParallelConfig& orig,
                             ThreadPool* pool, RoundingMode mode) {
   MNC_CHECK_EQ(a.rows(), b.rows());
   MNC_CHECK_EQ(a.cols(), b.cols());
+  // Calibrated seq-vs-par dispatch (num_threads only; see PropagateProduct).
+  const ParallelConfig config =
+      orig.ForStage(TunedStage::kPropagate, a.rows() + a.cols());
   const double nnz_a = static_cast<double>(a.nnz());
   const double nnz_b = static_cast<double>(b.nnz());
   const double lambda_r = LambdaPar(a.hr(), b.hr(), nnz_a, nnz_b, config,
@@ -241,10 +249,13 @@ MncSketch PropagateEWiseAdd(const MncSketch& a, const MncSketch& b,
 }
 
 MncSketch PropagateEWiseMult(const MncSketch& a, const MncSketch& b,
-                             uint64_t seed, const ParallelConfig& config,
+                             uint64_t seed, const ParallelConfig& orig,
                              ThreadPool* pool, RoundingMode mode) {
   MNC_CHECK_EQ(a.rows(), b.rows());
   MNC_CHECK_EQ(a.cols(), b.cols());
+  // Calibrated seq-vs-par dispatch (num_threads only; see PropagateProduct).
+  const ParallelConfig config =
+      orig.ForStage(TunedStage::kPropagate, a.rows() + a.cols());
   const double nnz_a = static_cast<double>(a.nnz());
   const double nnz_b = static_cast<double>(b.nnz());
   const double lambda_r = LambdaPar(a.hr(), b.hr(), nnz_a, nnz_b, config,

@@ -242,8 +242,13 @@ MncSketch MncSketch::MergeColPartitions(const std::vector<MncSketch>& parts) {
   return FromCounts(rows, cols, std::move(hr), std::move(hc));
 }
 
-MncSketch MncSketch::FromCsr(const CsrMatrix& a, const ParallelConfig& config,
+MncSketch MncSketch::FromCsr(const CsrMatrix& a, const ParallelConfig& orig,
                              ThreadPool* pool) {
+  // Calibrated dispatch: below the measured crossover the parallel build
+  // loses to sequential, so fall back (bit-identical either way; the merge
+  // below is grain-invariant, so a calibrated grain is also safe).
+  const ParallelConfig config =
+      orig.ForStage(TunedStage::kSketchBuild, a.rows() + a.NumNonZeros());
   const int64_t num_blocks = config.NumBlocks(a.rows());
   if (!config.enabled() || pool == nullptr || num_blocks <= 1) {
     return FromCsr(a);

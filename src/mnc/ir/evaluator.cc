@@ -13,6 +13,7 @@
 #include "mnc/matrix/ops_ewise.h"
 #include "mnc/matrix/ops_product.h"
 #include "mnc/matrix/ops_reorg.h"
+#include "mnc/tuning/machine_profile.h"
 #include "mnc/util/random.h"
 
 namespace mnc {
@@ -20,7 +21,13 @@ namespace mnc {
 ParallelConfig Evaluator::GuidedConfig() const {
   ParallelConfig config;
   if (pool_ != nullptr) config.num_threads = pool_->num_threads();
+  config.profile = options_.profile.get();
   return config;
+}
+
+const tuning::MachineProfile* Evaluator::GuidedProfile() const {
+  if (options_.profile != nullptr) return options_.profile.get();
+  return tuning::ActiveProfileRaw();
 }
 
 const MncSketch& Evaluator::SketchFor(const ExprNode* node) {
@@ -56,6 +63,15 @@ Matrix Evaluator::GuidedMultiply(const Matrix& a, const Matrix& b,
                                  const MncSketch& sa, const MncSketch& sb) {
   const ParallelConfig config = GuidedConfig();
   const bool parallel = config.enabled() && pool_ != nullptr;
+  // Calibrated guided break-evens, falling back to the built-in constants
+  // when uncalibrated. The threshold only picks the physical output format
+  // / accumulation order of paths that compute identical values, so a
+  // calibrated profile never changes results.
+  const tuning::MachineProfile* prof = GuidedProfile();
+  const double dense_threshold =
+      prof != nullptr && prof->guided.dense_dispatch_threshold >= 0.0
+          ? prof->guided.dense_dispatch_threshold
+          : kDenseDispatchThreshold;
   if (!a.is_dense() && !b.is_dense()) {
     const int64_t m = a.rows();
     const int64_t l = b.cols();
@@ -66,14 +82,19 @@ Matrix Evaluator::GuidedMultiply(const Matrix& a, const Matrix& b,
     const double cells = static_cast<double>(m) * static_cast<double>(l);
     const double est_sp =
         cells > 0.0 ? std::min(sum.estimate_total / cells, 1.0) : 0.0;
-    if (est_sp >= kDenseDispatchThreshold) {
+    if (est_sp >= dense_threshold) {
       // Estimated-dense product: accumulate straight into a DenseMatrix
       // instead of materializing CSR and converting afterwards, which is
       // what the blind path does for a dense-bound product.
       guided_stats_.guided_products += 1;
       guided_stats_.dense_direct += 1;
-      guided_stats_.blind_reserve_bytes += BlindReserveBytesModel(
-          std::min(static_cast<int64_t>(sum.estimate_total), m * l));
+      const int64_t blind_nnz =
+          std::min(static_cast<int64_t>(sum.estimate_total), m * l);
+      guided_stats_.blind_reserve_bytes +=
+          prof != nullptr && prof->guided.blind_reserve_bytes_per_nnz > 0.0
+              ? static_cast<int64_t>(prof->guided.blind_reserve_bytes_per_nnz *
+                                     static_cast<double>(blind_nnz))
+              : BlindReserveBytesModel(blind_nnz);
       return Matrix::Dense(MultiplySparseSparseDense(a.csr(), b.csr(), pool_));
     }
     std::vector<int64_t> upper(rows.size());
@@ -83,7 +104,10 @@ Matrix Evaluator::GuidedMultiply(const Matrix& a, const Matrix& b,
       estimate[i] = rows[i].estimate;
     }
     GuidedProductOptions opts;
-    opts.single_pass_budget_bytes = options_.single_pass_budget_bytes;
+    opts.single_pass_budget_bytes =
+        prof != nullptr && prof->guided.single_pass_budget_bytes > 0
+            ? prof->guided.single_pass_budget_bytes
+            : options_.single_pass_budget_bytes;
     opts.merge_accum_max_nnz = options_.merge_accum_max_nnz;
     return Matrix::AutoFromCsr(MultiplySparseSparseGuided(
         a.csr(), b.csr(), upper, estimate, opts, config, pool_,
@@ -100,7 +124,7 @@ Matrix Evaluator::GuidedMultiply(const Matrix& a, const Matrix& b,
           ? MultiplyDenseDense(a.dense(), b.dense(), pool_)
           : (a.is_dense() ? MultiplyDenseSparse(a.dense(), b.csr())
                           : MultiplySparseDense(a.csr(), b.dense()));
-  if (est_sp >= kDenseDispatchThreshold) guided_stats_.dense_direct += 1;
+  if (est_sp >= dense_threshold) guided_stats_.dense_direct += 1;
   return Matrix::AutoFromDenseEstimated(std::move(out), est_sp);
 }
 

@@ -51,6 +51,14 @@ struct EvaluatorOptions {
   // sketch from the leaf matrix itself.
   std::function<std::shared_ptr<const MncSketch>(const ExprNode&)>
       leaf_sketches;
+  // Optional calibration profile (mnc/tuning/machine_profile.h). When set,
+  // its calibrated guided break-evens (dense-dispatch threshold,
+  // single-pass budget, blind-reserve model) replace the built-in
+  // constants above, and its seq-vs-par crossovers steer the propagation /
+  // SpGEMM parallelism. nullptr falls back to the process-wide active
+  // profile, then to the constants. Purely a performance switch: every
+  // calibrated choice selects among bit-identical execution paths.
+  std::shared_ptr<const tuning::MachineProfile> profile;
 };
 
 class Evaluator {
@@ -105,8 +113,13 @@ class Evaluator {
   Matrix GuidedMultiply(const Matrix& a, const Matrix& b, const MncSketch& sa,
                         const MncSketch& sb);
 
-  // Parallel-propagation config sized to the attached pool.
+  // Parallel-propagation config sized to the attached pool (carries the
+  // evaluator's profile for per-stage calibrated dispatch).
   ParallelConfig GuidedConfig() const;
+
+  // The calibration profile in effect: the explicit option, else the
+  // process-wide active one, else nullptr.
+  const tuning::MachineProfile* GuidedProfile() const;
 
   ThreadPool* pool_;
   EvaluatorOptions options_;

@@ -110,11 +110,26 @@ const KernelTable& ScalarKernels();
 const KernelTable& KernelsForLevel(SimdLevel level);
 
 // The dispatched table: KernelsForLevel(BestSupportedSimdLevel()), resolved
-// once per process — unless a ScopedForceKernels override is active.
+// once per process. Overrides take precedence in this order:
+// ScopedForceKernels (tests/benches) > tuned table (calibration profile,
+// see mnc/tuning/machine_profile.h) > dispatched.
 const KernelTable& Active();
 
-// The level Active() currently resolves to (reflects any active override).
+// The level Active() currently resolves to (reflects a ScopedForceKernels
+// override; a tuned table mixes levels per kernel and reports the
+// dispatched level it was built from).
 SimdLevel ActiveLevel();
+
+// Installs a per-kernel tuned table from a calibration profile (nullptr
+// uninstalls). The pointer must stay valid until replaced — the tuning
+// layer keeps the storage alive for the process lifetime. Like
+// ScopedForceKernels, publication is atomic but not synchronized against
+// in-flight kernels: install before spawning parallel work. Every entry of
+// a tuned table computes bit-identical results to every other table (the
+// per-kernel determinism contract above), so swapping it never changes
+// output, only throughput.
+void SetTunedKernelTable(const KernelTable* table);
+const KernelTable* TunedKernelTable();
 
 // Test/bench hook: forces Active() to a given level for the lifetime of the
 // object (nesting restores the previous override). The override is published

@@ -44,6 +44,11 @@ const LevelTable& Dispatched() {
 // published atomically for concurrent kernel callers.
 std::atomic<int> g_forced_level{0};
 
+// Calibration-tuned table (per-kernel scalar/SIMD verdicts). Lower
+// precedence than the forced override so tests that pin a level still pin
+// every kernel.
+std::atomic<const KernelTable*> g_tuned_table{nullptr};
+
 }  // namespace
 
 const KernelTable& ScalarKernels() { return *internal::GetScalarKernelTable(); }
@@ -57,7 +62,19 @@ const KernelTable& Active() {
   if (forced != 0) {
     return *Resolve(static_cast<SimdLevel>(forced - 1)).table;
   }
+  if (const KernelTable* tuned = g_tuned_table.load(std::memory_order_acquire);
+      tuned != nullptr) {
+    return *tuned;
+  }
   return *Dispatched().table;
+}
+
+void SetTunedKernelTable(const KernelTable* table) {
+  g_tuned_table.store(table, std::memory_order_release);
+}
+
+const KernelTable* TunedKernelTable() {
+  return g_tuned_table.load(std::memory_order_acquire);
 }
 
 SimdLevel ActiveLevel() {

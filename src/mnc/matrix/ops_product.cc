@@ -97,8 +97,13 @@ void SymbolicRowCounts(const CsrMatrix& a, const CsrMatrix& b,
 }  // namespace
 
 CsrMatrix MultiplySparseSparse(const CsrMatrix& a, const CsrMatrix& b,
-                               const ParallelConfig& config, ThreadPool* pool) {
+                               const ParallelConfig& orig, ThreadPool* pool) {
   MNC_CHECK_EQ(a.cols(), b.rows());
+  // Calibrated dispatch: drop to the sequential kernel below the measured
+  // crossover (bit-identical; each row's output is computed independently,
+  // so a calibrated grain is also safe).
+  const ParallelConfig config =
+      orig.ForStage(TunedStage::kSpGemm, a.rows() + a.NumNonZeros());
   if (!config.enabled() || pool == nullptr) {
     return MultiplySparseSparse(a, b);
   }
@@ -328,8 +333,11 @@ CsrMatrix MultiplySparseSparseGuided(
     const CsrMatrix& a, const CsrMatrix& b,
     const std::vector<int64_t>& row_upper,
     const std::vector<double>& row_estimate, const GuidedProductOptions& opts,
-    const ParallelConfig& config, ThreadPool* pool, GuidedExecStats* stats) {
+    const ParallelConfig& orig, ThreadPool* pool, GuidedExecStats* stats) {
   MNC_CHECK_EQ(a.cols(), b.rows());
+  // Same calibrated seq-vs-par dispatch as the blind parallel SpGEMM.
+  const ParallelConfig config =
+      orig.ForStage(TunedStage::kSpGemm, a.rows() + a.NumNonZeros());
   const int64_t m = a.rows();
   const int64_t l = b.cols();
   MNC_CHECK_EQ(static_cast<int64_t>(row_upper.size()), m);

@@ -69,6 +69,8 @@
 #include "mnc/sparsest/datasets.h"
 #include "mnc/sparsest/metrics.h"
 #include "mnc/sparsest/usecases.h"
+#include "mnc/tuning/calibrate.h"
+#include "mnc/tuning/machine_profile.h"
 #include "mnc/util/crc32.h"
 #include "mnc/util/deadline.h"
 #include "mnc/util/fail_point.h"

@@ -31,10 +31,22 @@ constexpr char kCatalogReadFailPoint[] = "service.catalog_read";
 
 }  // namespace
 
+namespace {
+
+// Attaches the instance profile to the parallel config so every sketch
+// build / estimate / propagation the service runs dispatches through the
+// calibrated crossovers (the options struct keeps the shared_ptr alive).
+EstimationServiceOptions WithProfileAttached(EstimationServiceOptions o) {
+  if (o.profile != nullptr) o.parallel.profile = o.profile.get();
+  return o;
+}
+
+}  // namespace
+
 EstimationService::EstimationService(EstimationServiceOptions options)
-    : options_(options),
-      memo_(options.memo_budget_bytes),
-      pool_(options.num_threads) {
+    : options_(WithProfileAttached(std::move(options))),
+      memo_(options_.memo_budget_bytes),
+      pool_(options_.num_threads) {
   if (options_.catalog_resident_budget_bytes > 0 &&
       !options_.spill_dir.empty()) {
     auto store = ingest::SpillStore::Open(options_.spill_dir);
@@ -555,6 +567,7 @@ StatusOr<Matrix> EstimationService::Execute(const ExprPtr& root,
   opts.guided = options_.guided_exec;
   opts.seed = options_.seed;
   opts.rounding = options_.rounding;
+  opts.profile = options_.profile;
   if (options_.guided_exec) {
     // Leaves whose storage is cataloged reuse their registered sketches;
     // ad-hoc leaves return nullptr and are sketched by the evaluator.

@@ -125,6 +125,15 @@ struct EstimationServiceOptions {
   // with the flag on or off; only performance and the guided counters in
   // ServiceStats change.
   bool guided_exec = false;
+
+  // Machine calibration profile (mnc/tuning/machine_profile.h, produced by
+  // `mnc_tool calibrate`): steers seq-vs-par dispatch of sketch build /
+  // estimation / propagation / SpGEMM and the guided-execution break-evens
+  // for this service instance. nullptr falls back to the process-wide
+  // active profile (lazily loaded from disk), then to the built-in
+  // constants. Purely a performance knob — every profile-driven choice is
+  // bit-identical to the uncalibrated path.
+  std::shared_ptr<const tuning::MachineProfile> profile;
 };
 
 struct EstimateResult {

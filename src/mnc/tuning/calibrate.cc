@@ -1,0 +1,409 @@
+#include "mnc/tuning/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "mnc/core/mnc_estimator.h"
+#include "mnc/core/mnc_propagation.h"
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/kernels/kernels.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/ops_product.h"
+#include "mnc/util/fail_point.h"
+#include "mnc/util/random.h"
+#include "mnc/util/stopwatch.h"
+#include "mnc/util/thread_pool.h"
+
+namespace mnc {
+namespace tuning {
+
+namespace {
+
+// Defeats dead-code elimination of the measured kernels.
+volatile double g_sink_f64 = 0.0;
+volatile int64_t g_sink_i64 = 0;
+
+// Median of `reps` timings of fn(), each averaging `iters` calls; ns/call.
+double MedianNsPerCall(int reps, int64_t iters,
+                       const std::function<void()>& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(std::max(1, reps)));
+  fn();  // warm caches and page in inputs before the first sample
+  for (int r = 0; r < std::max(1, reps); ++r) {
+    Stopwatch sw;
+    for (int64_t i = 0; i < iters; ++i) fn();
+    samples.push_back(sw.ElapsedSeconds() * 1e9 /
+                      static_cast<double>(iters));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// Median of `reps` single-shot timings of fn(), in seconds.
+double MedianSeconds(int reps, const std::function<void()>& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(std::max(1, reps)));
+  for (int r = 0; r < std::max(1, reps); ++r) {
+    Stopwatch sw;
+    fn();
+    samples.push_back(sw.ElapsedSeconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// Shared synthetic inputs for the kernel micro-benchmarks at one size.
+struct KernelInputs {
+  std::vector<int64_t> u, du, v, dv;
+  std::vector<uint64_t> wa, wb, wdst;
+  std::vector<double> out;
+
+  explicit KernelInputs(int64_t n, uint64_t seed) {
+    Rng rng(seed);
+    u.resize(n); du.resize(n); v.resize(n); dv.resize(n);
+    for (int64_t i = 0; i < n; ++i) {
+      u[i] = rng.UniformInt(16);
+      v[i] = rng.UniformInt(16);
+      du[i] = rng.UniformInt(u[i] + 1);
+      dv[i] = rng.UniformInt(v[i] + 1);
+    }
+    wa.resize(n); wb.resize(n); wdst.resize(n);
+    for (int64_t i = 0; i < n; ++i) {
+      wa[i] = rng.Next();
+      wb[i] = rng.Next();
+    }
+    out.resize(n);
+  }
+};
+
+// One invocation of kernel `id` from `table` over `in` (n elements/words).
+void RunKernel(TunedKernel id, const kernels::KernelTable& table,
+               KernelInputs& in) {
+  const int64_t n = static_cast<int64_t>(in.u.size());
+  switch (id) {
+    case TunedKernel::kDotCounts:
+      g_sink_f64 = table.dot_counts(in.u.data(), in.v.data(), n);
+      break;
+    case TunedKernel::kDotCountsDiff:
+      g_sink_f64 =
+          table.dot_counts_diff(in.u.data(), in.du.data(), in.v.data(), n);
+      break;
+    case TunedKernel::kDensityCombine: {
+      // Large p keeps most cells uncertain so the whole range is scanned.
+      kernels::CombineAccum acc = table.density_combine(
+          in.u.data(), in.du.data(), in.v.data(), in.dv.data(), n, 1e12);
+      g_sink_f64 = acc.log_zero_prob;
+      break;
+    }
+    case TunedKernel::kScaleCounts:
+      table.scale_counts(in.u.data(), n, 0.37, in.out.data());
+      g_sink_f64 = in.out[0];
+      break;
+    case TunedKernel::kEwiseMultEst:
+      table.ewise_mult_est(in.u.data(), in.v.data(), n, 1e-3, in.out.data());
+      g_sink_f64 = in.out[0];
+      break;
+    case TunedKernel::kEwiseAddEst:
+      table.ewise_add_est(in.u.data(), in.v.data(), n, 1e-3, 1e12,
+                          in.out.data());
+      g_sink_f64 = in.out[0];
+      break;
+    case TunedKernel::kOrInto:
+      table.or_into(in.wdst.data(), in.wa.data(), n);
+      g_sink_i64 = static_cast<int64_t>(in.wdst[0]);
+      break;
+    case TunedKernel::kOrWords:
+      table.or_words(in.wdst.data(), in.wa.data(), in.wb.data(), n);
+      g_sink_i64 = static_cast<int64_t>(in.wdst[0]);
+      break;
+    case TunedKernel::kAndWords:
+      table.and_words(in.wdst.data(), in.wa.data(), in.wb.data(), n);
+      g_sink_i64 = static_cast<int64_t>(in.wdst[0]);
+      break;
+    case TunedKernel::kPopcountWords:
+      g_sink_i64 = table.popcount_words(in.wa.data(), n);
+      break;
+    case TunedKernel::kAndPopcountWords:
+      g_sink_i64 = table.and_popcount_words(in.wa.data(), in.wb.data(), n);
+      break;
+  }
+}
+
+// Piecewise-linear crossover fit: the work size from which the parallel
+// timing beats sequential at every subsequent ladder point. Interpolates
+// the zero of (par - seq) between the last losing and first winning point;
+// 0 when parallel wins everywhere, kNeverParallel when it never does.
+int64_t FitCrossover(const std::vector<int64_t>& work,
+                     const std::vector<double>& seq,
+                     const std::vector<double>& par) {
+  const size_t n = work.size();
+  size_t first_win = n;
+  for (size_t i = n; i-- > 0;) {
+    if (par[i] < seq[i]) {
+      first_win = i;
+    } else {
+      break;  // a loss above this point: parallel only wins after it
+    }
+  }
+  if (first_win == n) return kNeverParallel;
+  if (first_win == 0) return 0;
+  const size_t i = first_win;
+  const double g0 = par[i - 1] - seq[i - 1];  // > 0 (parallel losing)
+  const double g1 = par[i] - seq[i];          // < 0 (parallel winning)
+  const double t = g0 / (g0 - g1);
+  const double w = static_cast<double>(work[i - 1]) +
+                   t * static_cast<double>(work[i] - work[i - 1]);
+  return std::max<int64_t>(1, static_cast<int64_t>(w));
+}
+
+}  // namespace
+
+StatusOr<MachineProfile> Calibrate(const CalibrationOptions& options) {
+  if (MncFailPointArmed("tuning.measure")) {
+    return Status::Internal(
+        "calibration: fail point tuning.measure armed");
+  }
+
+  MachineProfile profile;
+  const SimdLevel level = BestSupportedSimdLevel();
+  profile.simd_level = level;
+
+  // --- Per-kernel scalar vs SIMD verdicts --------------------------------
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  const kernels::KernelTable& simd = kernels::KernelsForLevel(level);
+  const int64_t cache_n = std::max<int64_t>(64, options.kernel_cache_elems);
+  const int64_t stream_n =
+      std::max(cache_n, options.quick ? options.kernel_stream_elems / 16
+                                      : options.kernel_stream_elems);
+  KernelInputs cache_in(cache_n, MixSeed(options.seed, 1));
+  KernelInputs stream_in(stream_n, MixSeed(options.seed, 2));
+  const int64_t target = options.quick ? (int64_t{1} << 19) : (int64_t{1} << 22);
+  const int64_t cache_iters = std::max<int64_t>(1, target / cache_n);
+  const int64_t stream_iters = std::max<int64_t>(1, target / stream_n);
+
+  for (int i = 0; i < kNumTunedKernels; ++i) {
+    const TunedKernel id = static_cast<TunedKernel>(i);
+    KernelCalib& k = profile.kernels[i];
+    k.scalar_cache_ns = MedianNsPerCall(
+        options.reps, cache_iters, [&] { RunKernel(id, scalar, cache_in); });
+    k.scalar_stream_ns = MedianNsPerCall(
+        options.reps, stream_iters, [&] { RunKernel(id, scalar, stream_in); });
+    if (level == SimdLevel::kScalar) {
+      // No SIMD table compiled in / supported: the verdict is vacuous.
+      k.simd_cache_ns = k.scalar_cache_ns;
+      k.simd_stream_ns = k.scalar_stream_ns;
+      k.use_simd = true;
+      continue;
+    }
+    k.simd_cache_ns = MedianNsPerCall(
+        options.reps, cache_iters, [&] { RunKernel(id, simd, cache_in); });
+    k.simd_stream_ns = MedianNsPerCall(
+        options.reps, stream_iters, [&] { RunKernel(id, simd, stream_in); });
+    // Geomean speedup across the two operating points; <= 1.0 means the
+    // SIMD path does not pay for itself on this host (ISSUE: dot_counts and
+    // or/and_words measure ~1.0x while popcount gets ~10x).
+    const double speedup =
+        std::sqrt((k.scalar_cache_ns / std::max(1e-9, k.simd_cache_ns)) *
+                  (k.scalar_stream_ns / std::max(1e-9, k.simd_stream_ns)));
+    k.use_simd = speedup > 1.0;
+  }
+
+  // --- Seq-vs-par stage crossovers ---------------------------------------
+  ThreadPool pool(options.threads);
+  const int threads = pool.num_threads();
+  profile.calibrated_threads = threads;
+
+  std::vector<int64_t> dims = options.stage_dims;
+  if (dims.empty()) {
+    dims = options.quick ? std::vector<int64_t>{96, 192, 384, 768}
+                         : std::vector<int64_t>{256, 512, 1024, 2048, 4000};
+  }
+  std::sort(dims.begin(), dims.end());
+
+  ParallelConfig par_cfg;
+  par_cfg.num_threads = threads;
+  par_cfg.min_rows_per_task = std::max<int64_t>(1, options.stage_grain);
+  par_cfg.deterministic = true;
+  // Measurements must not be steered by a previously installed profile.
+  par_cfg.profile = &NeutralProfile();
+  ParallelConfig seq_cfg = par_cfg;
+  seq_cfg.num_threads = 1;
+
+  std::vector<int64_t> work[kNumTunedStages];
+  std::vector<double> seq_t[kNumTunedStages], par_t[kNumTunedStages];
+  auto measure_stage = [&](TunedStage stage, int64_t w,
+                           const std::function<void(const ParallelConfig&)>&
+                               run) {
+    const int s = static_cast<int>(stage);
+    work[s].push_back(w);
+    seq_t[s].push_back(MedianSeconds(options.reps, [&] { run(seq_cfg); }));
+    par_t[s].push_back(MedianSeconds(options.reps, [&] { run(par_cfg); }));
+  };
+
+  for (int64_t d : dims) {
+    Rng rng(MixSeed(options.seed, static_cast<uint64_t>(d)));
+    const CsrMatrix a =
+        GenerateUniformSparse(d, d, options.stage_sparsity, rng);
+    const CsrMatrix b =
+        GenerateUniformSparse(d, d, options.stage_sparsity, rng);
+    const MncSketch ha = MncSketch::FromCsr(a);
+    const MncSketch hb = MncSketch::FromCsr(b);
+
+    measure_stage(TunedStage::kSketchBuild, d + a.NumNonZeros(),
+                  [&](const ParallelConfig& c) {
+                    MncSketch s = MncSketch::FromCsr(a, c, &pool);
+                    g_sink_i64 = s.rows();
+                  });
+    measure_stage(TunedStage::kEstimate, d, [&](const ParallelConfig& c) {
+      g_sink_f64 = EstimateProductNnz(ha, hb, c, &pool);
+    });
+    measure_stage(TunedStage::kPropagate, d + d,
+                  [&](const ParallelConfig& c) {
+                    MncSketch s =
+                        PropagateProduct(ha, hb, options.seed, c, &pool);
+                    g_sink_i64 = s.rows();
+                  });
+    measure_stage(TunedStage::kSpGemm, d + a.NumNonZeros(),
+                  [&](const ParallelConfig& c) {
+                    CsrMatrix p = MultiplySparseSparse(a, b, c, &pool);
+                    g_sink_i64 = p.NumNonZeros();
+                  });
+  }
+
+  for (int s = 0; s < kNumTunedStages; ++s) {
+    StageCalib& cal = profile.stages[s];
+    cal.crossover_work = FitCrossover(work[s], seq_t[s], par_t[s]);
+    const double w = static_cast<double>(work[s].back());
+    cal.seq_ns_per_work = seq_t[s].back() * 1e9 / w;
+    cal.par_ns_per_work = par_t[s].back() * 1e9 / w;
+    cal.grain = 0;
+  }
+
+  // Calibrated grain, grain-invariant stages only (see machine_profile.h):
+  // at the largest ladder size, pick the block size whose parallel leg is
+  // fastest.
+  {
+    const int64_t d = dims.back();
+    Rng rng(MixSeed(options.seed, static_cast<uint64_t>(d) * 1315423911u));
+    const CsrMatrix a =
+        GenerateUniformSparse(d, d, options.stage_sparsity, rng);
+    const CsrMatrix b =
+        GenerateUniformSparse(d, d, options.stage_sparsity, rng);
+    const std::vector<int64_t> grains =
+        options.quick ? std::vector<int64_t>{32, 128}
+                      : std::vector<int64_t>{32, 64, 128, 256};
+    auto tune_grain = [&](TunedStage stage,
+                          const std::function<void(const ParallelConfig&)>&
+                              run) {
+      double best_t = 0.0;
+      int64_t best_g = 0;
+      for (int64_t g : grains) {
+        ParallelConfig c = par_cfg;
+        c.min_rows_per_task = g;
+        const double t = MedianSeconds(options.reps, [&] { run(c); });
+        if (best_g == 0 || t < best_t) {
+          best_t = t;
+          best_g = g;
+        }
+      }
+      profile.stage(stage).grain = best_g;
+    };
+    tune_grain(TunedStage::kSketchBuild, [&](const ParallelConfig& c) {
+      MncSketch s = MncSketch::FromCsr(a, c, &pool);
+      g_sink_i64 = s.rows();
+    });
+    tune_grain(TunedStage::kSpGemm, [&](const ParallelConfig& c) {
+      CsrMatrix p = MultiplySparseSparse(a, b, c, &pool);
+      g_sink_i64 = p.NumNonZeros();
+    });
+  }
+
+  // --- Guided-execution break-evens --------------------------------------
+  {
+    const int64_t d = options.quick ? 128 : 256;
+    const std::vector<double> targets =
+        options.quick ? std::vector<double>{0.2, 0.4, 0.6}
+                      : std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+    std::vector<double> densities, sparse_t, dense_t;
+    double reserve_ratio_sum = 0.0;
+    for (size_t ti = 0; ti < targets.size(); ++ti) {
+      // Uniform inputs with sparsity s give product density
+      // ~ 1 - (1 - s^2)^d; invert for the target.
+      const double s = std::min(
+          0.5, std::sqrt(-std::expm1(std::log1p(-targets[ti]) /
+                                     static_cast<double>(d))));
+      Rng rng(MixSeed(options.seed, 7777 + ti));
+      const CsrMatrix a = GenerateUniformSparse(d, d, s, rng);
+      const CsrMatrix b = GenerateUniformSparse(d, d, s, rng);
+      int64_t out_nnz = 0;
+      const double t_sparse = MedianSeconds(options.reps, [&] {
+        CsrMatrix p = MultiplySparseSparse(a, b);
+        out_nnz = p.NumNonZeros();
+        g_sink_i64 = out_nnz;
+      });
+      const double t_dense = MedianSeconds(options.reps, [&] {
+        DenseMatrix p = MultiplySparseSparseDense(a, b, &pool);
+        g_sink_f64 = p.rows() > 0 ? p.At(0, 0) : 0.0;
+      });
+      const double density = static_cast<double>(out_nnz) /
+                             (static_cast<double>(d) * static_cast<double>(d));
+      densities.push_back(density);
+      sparse_t.push_back(t_sparse);
+      dense_t.push_back(t_dense);
+      if (out_nnz > 0) {
+        reserve_ratio_sum += static_cast<double>(BlindReserveBytesModel(out_nnz)) /
+                             static_cast<double>(out_nnz);
+      }
+    }
+    // First density from which dense-direct wins at every denser point.
+    size_t first_win = densities.size();
+    for (size_t i = densities.size(); i-- > 0;) {
+      if (dense_t[i] < sparse_t[i]) {
+        first_win = i;
+      } else {
+        break;
+      }
+    }
+    double threshold;
+    if (first_win == densities.size()) {
+      threshold = 1.0;  // dense-direct never won: only certain-full goes dense
+    } else if (first_win == 0) {
+      threshold = densities[0];
+    } else {
+      const double g0 = dense_t[first_win - 1] - sparse_t[first_win - 1];
+      const double g1 = dense_t[first_win] - sparse_t[first_win];
+      const double t = g0 / (g0 - g1);
+      threshold = densities[first_win - 1] +
+                  t * (densities[first_win] - densities[first_win - 1]);
+    }
+    profile.guided.dense_dispatch_threshold =
+        std::min(1.0, std::max(0.05, threshold));
+    profile.guided.blind_reserve_bytes_per_nnz =
+        targets.empty() ? 0.0
+                        : reserve_ratio_sum /
+                              static_cast<double>(targets.size());
+  }
+
+  // Single-pass budget from streaming OR bandwidth: size it so staging one
+  // slice costs ~10 ms, clamped to [16 MB, 256 MB].
+  {
+    const KernelCalib& or_k =
+        profile.kernel(TunedKernel::kOrWords);
+    const double ns = or_k.use_simd ? or_k.simd_stream_ns : or_k.scalar_stream_ns;
+    const double bytes_per_ns =
+        ns > 0.0 ? static_cast<double>(stream_n) * 8.0 / ns : 0.0;
+    const double budget = bytes_per_ns * 1e7;  // bytes movable in 10 ms
+    const double clamped =
+        std::min(256.0 * (1 << 20), std::max(16.0 * (1 << 20), budget));
+    profile.guided.single_pass_budget_bytes = static_cast<int64_t>(clamped);
+  }
+
+  return profile;
+}
+
+}  // namespace tuning
+}  // namespace mnc

@@ -1,0 +1,69 @@
+// One-shot machine calibration: micro-benchmarks the host and fits the
+// crossover thresholds a MachineProfile carries (see machine_profile.h).
+//
+// What is measured:
+//   * Per-kernel scalar vs. dispatched-SIMD throughput at a cache-resident
+//     and a streaming size (the same two operating points as
+//     bench/micro_kernels); kernels whose SIMD variant does not win get a
+//     scalar verdict.
+//   * Seq-vs-par wall time for the four parallel stages (sketch build,
+//     Algorithm 1 estimation, Eq. 11/15 propagation, two-pass SpGEMM) over
+//     a ladder of problem sizes; the crossover is the piecewise-linear
+//     interpolation of the sign change of (seq - par), clamped to
+//     "always" / "never" when one side wins everywhere.
+//   * Guided-execution break-even density between CSR SpGEMM and
+//     dense-direct accumulation, the measured bytes-per-nnz of the blind
+//     reservation model, and a single-pass budget sized from streaming
+//     bandwidth.
+//
+// Calibration is measurement only — it never changes numeric behavior. The
+// profile it produces selects among bit-identical deterministic paths.
+
+#ifndef MNC_TUNING_CALIBRATE_H_
+#define MNC_TUNING_CALIBRATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mnc/tuning/machine_profile.h"
+#include "mnc/util/status.h"
+
+namespace mnc {
+namespace tuning {
+
+struct CalibrationOptions {
+  // Worker threads for the parallel-stage ladder; 0 selects the hardware
+  // concurrency.
+  int threads = 0;
+  // Median-of-reps for every timing.
+  int reps = 3;
+  // Quick mode shrinks sizes/ladders ~10x for tests and CI smoke runs; the
+  // fitted thresholds are noisier but structurally identical.
+  bool quick = false;
+
+  // Kernel operating points (elements / bitset words per call).
+  int64_t kernel_cache_elems = 16384;
+  int64_t kernel_stream_elems = int64_t{1} << 21;
+
+  // Parallel-stage ladder: square dimensions measured at `stage_sparsity`.
+  // Empty selects the built-in ladder (quick: {96, 192, 384, 768},
+  // full: {256, 512, 1024, 2048, 4000}).
+  std::vector<int64_t> stage_dims;
+  double stage_sparsity = 0.005;
+  // Block size used while measuring the parallel legs (also recorded as the
+  // calibrated grain for the grain-invariant stages).
+  int64_t stage_grain = 64;
+
+  // PRNG seed for the synthetic inputs.
+  uint64_t seed = 42;
+};
+
+// Runs the full calibration pass. Honors the "tuning.measure" fail point
+// (typed kInternal, for fault drills). Expect a few seconds in quick mode
+// and up to ~a minute full.
+StatusOr<MachineProfile> Calibrate(const CalibrationOptions& options = {});
+
+}  // namespace tuning
+}  // namespace mnc
+
+#endif  // MNC_TUNING_CALIBRATE_H_

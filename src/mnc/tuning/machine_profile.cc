@@ -1,0 +1,465 @@
+#include "mnc/tuning/machine_profile.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <sys/stat.h>
+#include <utility>
+#include <vector>
+
+#include "mnc/util/crc32.h"
+#include "mnc/util/fail_point.h"
+
+namespace mnc {
+namespace tuning {
+
+namespace {
+
+// Wire format v1:
+//   [0,4)   magic "MNCP"
+//   [4,8)   u32 version
+//   [8,12)  u32 payload_size
+//   [12,16) u32 header_crc  — CRC32 over bytes [0,12)
+//   [16,16+payload_size)    payload
+//   trailing u32 payload_crc — CRC32 over the payload
+// Every byte is covered by one of the two CRCs (a flip inside a CRC field
+// makes its own comparison fail), so any single-byte corruption is a typed
+// kDataLoss. The header CRC is verified before the version is interpreted:
+// a flipped version byte is corruption, while a structurally intact file
+// with a higher version is the typed kUnimplemented negotiation error.
+constexpr char kMagic[4] = {'M', 'N', 'C', 'P'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kMaxPayload = 1 << 20;  // sanity bound before allocating
+
+void PutU32(std::string& out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+void PutI64(std::string& out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(out, bits);
+}
+
+// Bounds-checked little cursor over the payload.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool Read(void* dst, size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool U32(uint32_t* v) { return Read(v, 4); }
+  bool U8(uint8_t* v) { return Read(v, 1); }
+  bool I64(int64_t* v) {
+    uint64_t bits;
+    if (!Read(&bits, 8)) return false;
+    *v = static_cast<int64_t>(bits);
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!Read(&bits, 8)) return false;
+    std::memcpy(v, &bits, 8);
+    return true;
+  }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status Corrupt(const std::string& what) {
+  return Status::DataLoss("machine profile: " + what);
+}
+
+bool FiniteNonNegative(double v) { return std::isfinite(v) && v >= 0.0; }
+
+}  // namespace
+
+const char* TunedKernelName(TunedKernel kernel) {
+  switch (kernel) {
+    case TunedKernel::kDotCounts: return "dot_counts";
+    case TunedKernel::kDotCountsDiff: return "dot_counts_diff";
+    case TunedKernel::kDensityCombine: return "density_combine";
+    case TunedKernel::kScaleCounts: return "scale_counts";
+    case TunedKernel::kEwiseMultEst: return "ewise_mult_est";
+    case TunedKernel::kEwiseAddEst: return "ewise_add_est";
+    case TunedKernel::kOrInto: return "or_into";
+    case TunedKernel::kOrWords: return "or_words";
+    case TunedKernel::kAndWords: return "and_words";
+    case TunedKernel::kPopcountWords: return "popcount_words";
+    case TunedKernel::kAndPopcountWords: return "and_popcount_words";
+  }
+  return "unknown";
+}
+
+int64_t TunedStageWork(TunedStage stage, int64_t rows, int64_t nnz_or_cols) {
+  switch (stage) {
+    case TunedStage::kSketchBuild:
+    case TunedStage::kSpGemm:
+    case TunedStage::kPropagate:
+      return rows + nnz_or_cols;
+    case TunedStage::kEstimate:
+      return nnz_or_cols;  // the common dimension n
+  }
+  return rows + nnz_or_cols;
+}
+
+std::string SerializeProfile(const MachineProfile& profile) {
+  std::string payload;
+  PutU32(payload, static_cast<uint32_t>(profile.calibrated_threads));
+  PutU32(payload, static_cast<uint32_t>(profile.simd_level));
+  PutU32(payload, static_cast<uint32_t>(kNumTunedKernels));
+  for (const KernelCalib& k : profile.kernels) {
+    payload.push_back(k.use_simd ? 1 : 0);
+    PutF64(payload, k.scalar_cache_ns);
+    PutF64(payload, k.simd_cache_ns);
+    PutF64(payload, k.scalar_stream_ns);
+    PutF64(payload, k.simd_stream_ns);
+  }
+  PutU32(payload, static_cast<uint32_t>(kNumTunedStages));
+  for (const StageCalib& s : profile.stages) {
+    PutI64(payload, s.crossover_work);
+    PutI64(payload, s.grain);
+    PutF64(payload, s.seq_ns_per_work);
+    PutF64(payload, s.par_ns_per_work);
+  }
+  PutF64(payload, profile.guided.dense_dispatch_threshold);
+  PutI64(payload, profile.guided.single_pass_budget_bytes);
+  PutF64(payload, profile.guided.blind_reserve_bytes_per_nnz);
+
+  std::string out;
+  out.append(kMagic, 4);
+  PutU32(out, kVersion);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(out.data(), out.size()));
+  out += payload;
+  PutU32(out, Crc32(payload.data(), payload.size()));
+  return out;
+}
+
+StatusOr<MachineProfile> ParseProfile(std::string_view bytes) {
+  if (bytes.size() < 16) return Corrupt("truncated header");
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) return Corrupt("bad magic");
+  uint32_t version, payload_size, header_crc;
+  std::memcpy(&version, bytes.data() + 4, 4);
+  std::memcpy(&payload_size, bytes.data() + 8, 4);
+  std::memcpy(&header_crc, bytes.data() + 12, 4);
+  if (Crc32(bytes.data(), 12) != header_crc) {
+    return Corrupt("header checksum mismatch");
+  }
+  // Header is intact; now the version field is trustworthy.
+  if (version != kVersion) {
+    return Status::Unimplemented(
+        "machine profile: format version " + std::to_string(version) +
+        " not supported (this build reads version " +
+        std::to_string(kVersion) + "); recalibrate with `mnc_tool calibrate`");
+  }
+  if (payload_size > kMaxPayload) return Corrupt("payload size out of range");
+  if (bytes.size() != 16 + static_cast<size_t>(payload_size) + 4) {
+    return Corrupt(bytes.size() < 16 + static_cast<size_t>(payload_size) + 4
+                       ? "truncated payload"
+                       : "trailing bytes");
+  }
+  const char* payload = bytes.data() + 16;
+  uint32_t payload_crc;
+  std::memcpy(&payload_crc, payload + payload_size, 4);
+  if (Crc32(payload, payload_size) != payload_crc) {
+    return Corrupt("payload checksum mismatch");
+  }
+
+  Cursor cur(payload, payload_size);
+  MachineProfile p;
+  uint32_t threads, level, kernel_count, stage_count;
+  if (!cur.U32(&threads) || !cur.U32(&level) || !cur.U32(&kernel_count)) {
+    return Corrupt("short payload");
+  }
+  if (threads < 1 || threads > 65536) return Corrupt("thread count out of range");
+  if (level > static_cast<uint32_t>(SimdLevel::kNeon)) {
+    return Corrupt("simd level out of range");
+  }
+  if (kernel_count != static_cast<uint32_t>(kNumTunedKernels)) {
+    return Corrupt("kernel count mismatch");
+  }
+  p.calibrated_threads = static_cast<int>(threads);
+  p.simd_level = static_cast<SimdLevel>(level);
+  for (KernelCalib& k : p.kernels) {
+    uint8_t use_simd;
+    if (!cur.U8(&use_simd) || !cur.F64(&k.scalar_cache_ns) ||
+        !cur.F64(&k.simd_cache_ns) || !cur.F64(&k.scalar_stream_ns) ||
+        !cur.F64(&k.simd_stream_ns)) {
+      return Corrupt("short payload");
+    }
+    if (use_simd > 1) return Corrupt("kernel verdict out of range");
+    if (!FiniteNonNegative(k.scalar_cache_ns) ||
+        !FiniteNonNegative(k.simd_cache_ns) ||
+        !FiniteNonNegative(k.scalar_stream_ns) ||
+        !FiniteNonNegative(k.simd_stream_ns)) {
+      return Corrupt("kernel timing out of range");
+    }
+    k.use_simd = use_simd != 0;
+  }
+  if (!cur.U32(&stage_count)) return Corrupt("short payload");
+  if (stage_count != static_cast<uint32_t>(kNumTunedStages)) {
+    return Corrupt("stage count mismatch");
+  }
+  for (StageCalib& s : p.stages) {
+    if (!cur.I64(&s.crossover_work) || !cur.I64(&s.grain) ||
+        !cur.F64(&s.seq_ns_per_work) || !cur.F64(&s.par_ns_per_work)) {
+      return Corrupt("short payload");
+    }
+    if (s.crossover_work < -1 || s.crossover_work > (int64_t{1} << 61)) {
+      return Corrupt("stage crossover out of range");
+    }
+    if (s.grain < 0 || s.grain > (int64_t{1} << 30)) {
+      return Corrupt("stage grain out of range");
+    }
+    if (!FiniteNonNegative(s.seq_ns_per_work) ||
+        !FiniteNonNegative(s.par_ns_per_work)) {
+      return Corrupt("stage timing out of range");
+    }
+  }
+  GuidedCalib& g = p.guided;
+  if (!cur.F64(&g.dense_dispatch_threshold) ||
+      !cur.I64(&g.single_pass_budget_bytes) ||
+      !cur.F64(&g.blind_reserve_bytes_per_nnz)) {
+    return Corrupt("short payload");
+  }
+  if (!(std::isfinite(g.dense_dispatch_threshold) &&
+        g.dense_dispatch_threshold <= 1.0)) {
+    return Corrupt("dense threshold out of range");
+  }
+  if (g.single_pass_budget_bytes < 0 ||
+      g.single_pass_budget_bytes > (int64_t{1} << 40)) {
+    return Corrupt("single-pass budget out of range");
+  }
+  if (!FiniteNonNegative(g.blind_reserve_bytes_per_nnz) ||
+      g.blind_reserve_bytes_per_nnz > 1e6) {
+    return Corrupt("reserve model out of range");
+  }
+  if (!cur.AtEnd()) return Corrupt("payload size mismatch");
+  return p;
+}
+
+Status SaveProfile(const MachineProfile& profile, const std::string& path) {
+  // Create parent directories (best effort; the open below reports failure).
+  for (size_t i = 1; i < path.size(); ++i) {
+    if (path[i] == '/') {
+      ::mkdir(path.substr(0, i).c_str(), 0755);
+    }
+  }
+  const std::string bytes = SerializeProfile(profile);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("machine profile: cannot open " + path +
+                               " for writing");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::Unavailable("machine profile: short write to " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<MachineProfile> LoadProfile(const std::string& path) {
+  if (MncFailPointArmed("tuning.profile_read")) {
+    return Status::DataLoss(
+        "machine profile: fail point tuning.profile_read armed");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("machine profile: " + path + " not found");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::DataLoss("machine profile: read error on " + path);
+  }
+  return ParseProfile(buf.str());
+}
+
+std::string DefaultProfilePath() {
+  if (const char* env = std::getenv("MNC_PROFILE");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME");
+      xdg != nullptr && xdg[0] != '\0') {
+    return std::string(xdg) + "/mnc/profile.mncp";
+  }
+  if (const char* home = std::getenv("HOME");
+      home != nullptr && home[0] != '\0') {
+    return std::string(home) + "/.cache/mnc/profile.mncp";
+  }
+  return "";
+}
+
+// --- Active profile registry ---------------------------------------------
+
+namespace {
+
+std::mutex g_profile_mu;
+// Pinned for process lifetime so ActiveProfileRaw() readers never dangle.
+std::vector<std::shared_ptr<const MachineProfile>>& PinnedProfiles() {
+  static auto* pinned = new std::vector<std::shared_ptr<const MachineProfile>>();
+  return *pinned;
+}
+std::shared_ptr<const MachineProfile> g_active;  // guarded by g_profile_mu
+// "settled" means an install (possibly of nullptr) or the lazy load already
+// decided the active profile; until then the first reader triggers the load.
+bool g_settled = false;
+std::atomic<const MachineProfile*> g_active_raw{nullptr};
+// Storage for the hybrid table the installed profile implies.
+kernels::KernelTable g_tuned_table_storage;
+
+// Installs under g_profile_mu (caller holds it).
+void InstallLocked(std::shared_ptr<const MachineProfile> profile) {
+  g_active = std::move(profile);
+  g_settled = true;
+  if (g_active != nullptr) {
+    PinnedProfiles().push_back(g_active);
+    g_tuned_table_storage = BuildTunedKernelTable(*g_active);
+    kernels::SetTunedKernelTable(&g_tuned_table_storage);
+  } else {
+    kernels::SetTunedKernelTable(nullptr);
+  }
+  g_active_raw.store(g_active.get(), std::memory_order_release);
+}
+
+void LazyLoadLocked() {
+  if (g_settled) return;
+  g_settled = true;
+  const std::string path = DefaultProfilePath();
+  if (path.empty()) return;
+  StatusOr<MachineProfile> loaded = LoadProfile(path);
+  if (loaded.ok()) {
+    InstallLocked(
+        std::make_shared<const MachineProfile>(std::move(loaded).value()));
+    return;
+  }
+  if (loaded.status().code() != StatusCode::kNotFound) {
+    // Corrupt/unreadable profile: fall back to built-in constants, but say
+    // so once — silently ignoring a corrupt calibration is how regressions
+    // hide.
+    std::fprintf(stderr, "mnc: ignoring calibration profile %s: %s\n",
+                 path.c_str(), loaded.status().message().c_str());
+  }
+}
+
+}  // namespace
+
+void SetActiveProfile(std::shared_ptr<const MachineProfile> profile) {
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  InstallLocked(std::move(profile));
+}
+
+std::shared_ptr<const MachineProfile> ActiveProfile() {
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  LazyLoadLocked();
+  return g_active;
+}
+
+const MachineProfile* ActiveProfileRaw() {
+  // Fast path: settled state is observable through the raw pointer except
+  // for the settled-as-null case, which the acquire fence below re-checks.
+  const MachineProfile* p = g_active_raw.load(std::memory_order_acquire);
+  if (p != nullptr) return p;
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  LazyLoadLocked();
+  return g_active.get();
+}
+
+void ResetActiveProfileForTest() {
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  g_active = nullptr;
+  g_settled = false;
+  g_active_raw.store(nullptr, std::memory_order_release);
+  kernels::SetTunedKernelTable(nullptr);
+}
+
+const MachineProfile& NeutralProfile() {
+  static const MachineProfile* neutral = new MachineProfile();
+  return *neutral;
+}
+
+ScopedProfileOverride::ScopedProfileOverride(
+    std::shared_ptr<const MachineProfile> profile) {
+  {
+    std::lock_guard<std::mutex> lock(g_profile_mu);
+    previous_ = g_active;
+    previous_settled_ = g_settled;
+  }
+  SetActiveProfile(std::move(profile));
+}
+
+ScopedProfileOverride::~ScopedProfileOverride() {
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  if (previous_settled_) {
+    InstallLocked(std::move(previous_));
+  } else {
+    g_active = nullptr;
+    g_settled = false;
+    g_active_raw.store(nullptr, std::memory_order_release);
+    kernels::SetTunedKernelTable(nullptr);
+  }
+}
+
+kernels::KernelTable BuildTunedKernelTable(const MachineProfile& profile) {
+  const kernels::KernelTable& simd =
+      kernels::KernelsForLevel(BestSupportedSimdLevel());
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  auto pick = [&](TunedKernel k) {
+    return profile.kernel(k).use_simd;
+  };
+  kernels::KernelTable t = simd;
+  if (!pick(TunedKernel::kDotCounts)) t.dot_counts = scalar.dot_counts;
+  if (!pick(TunedKernel::kDotCountsDiff)) {
+    t.dot_counts_diff = scalar.dot_counts_diff;
+  }
+  if (!pick(TunedKernel::kDensityCombine)) {
+    t.density_combine = scalar.density_combine;
+  }
+  if (!pick(TunedKernel::kScaleCounts)) t.scale_counts = scalar.scale_counts;
+  if (!pick(TunedKernel::kEwiseMultEst)) {
+    t.ewise_mult_est = scalar.ewise_mult_est;
+  }
+  if (!pick(TunedKernel::kEwiseAddEst)) t.ewise_add_est = scalar.ewise_add_est;
+  if (!pick(TunedKernel::kOrInto)) t.or_into = scalar.or_into;
+  if (!pick(TunedKernel::kOrWords)) t.or_words = scalar.or_words;
+  if (!pick(TunedKernel::kAndWords)) t.and_words = scalar.and_words;
+  if (!pick(TunedKernel::kPopcountWords)) {
+    t.popcount_words = scalar.popcount_words;
+  }
+  if (!pick(TunedKernel::kAndPopcountWords)) {
+    t.and_popcount_words = scalar.and_popcount_words;
+  }
+  return t;
+}
+
+}  // namespace tuning
+}  // namespace mnc

@@ -1,0 +1,216 @@
+// Machine calibration profile: measured crossover thresholds for every
+// runtime dispatch decision the library makes — seq-vs-par per parallel
+// stage, scalar-vs-SIMD per kernel, and the guided-execution dense /
+// single-pass break-evens (see calibrate.h for the pass that measures them).
+//
+// Dispatch-identity contract: a profile only ever selects WHICH of two
+// bit-identical deterministic paths runs, never what that path computes.
+// Seq-vs-par toggling is covered by the ParallelConfig determinism contract
+// (fixed-size blocks → same PRNG streams and FP association at any thread
+// count, including 1). Calibrated grain is applied only to grain-invariant
+// stages (sketch build: integer merges; SpGEMM: disjoint per-row output) —
+// never to estimation (blocked FP sums) or propagation (per-block PRNG
+// streams), whose outputs are keyed to the caller's block size. Kernel
+// verdicts swap in the scalar member of the dispatch table, which every
+// SIMD level must already match bit-for-bit (simd_kernels_test). The
+// differential harness asserts all of this end to end.
+//
+// Persistence: a versioned, CRC32-checksummed `.mncp` file (every byte is
+// covered by a checksum; any single-byte flip is detected as kDataLoss,
+// matching the sketch wire format's corruption contract). Loading is lazy
+// and fails soft: a missing or corrupt profile leaves every dispatch
+// decision at today's built-in constants.
+
+#ifndef MNC_TUNING_MACHINE_PROFILE_H_
+#define MNC_TUNING_MACHINE_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "mnc/kernels/kernels.h"
+#include "mnc/util/parallel.h"
+#include "mnc/util/simd.h"
+#include "mnc/util/status.h"
+
+namespace mnc {
+namespace tuning {
+
+// The kernels a profile holds verdicts for, in KernelTable declaration
+// order. Names match bench/micro_kernels.cc so profiles and bench reports
+// line up.
+enum class TunedKernel : int {
+  kDotCounts = 0,
+  kDotCountsDiff,
+  kDensityCombine,
+  kScaleCounts,
+  kEwiseMultEst,
+  kEwiseAddEst,
+  kOrInto,
+  kOrWords,
+  kAndWords,
+  kPopcountWords,
+  kAndPopcountWords,
+};
+inline constexpr int kNumTunedKernels = 11;
+
+const char* TunedKernelName(TunedKernel kernel);
+
+// Measured per-kernel throughput at a cache-resident and a streaming input
+// size, and the verdict the dispatch layer consults. ns values are
+// per-call medians at the calibration sizes; a kernel whose SIMD variant
+// does not beat scalar (geomean speedup <= 1.0 across both sizes) is
+// demoted to the scalar entry.
+struct KernelCalib {
+  double scalar_cache_ns = 0.0;
+  double simd_cache_ns = 0.0;
+  double scalar_stream_ns = 0.0;
+  double simd_stream_ns = 0.0;
+  bool use_simd = true;  // default verdict: trust the SIMD dispatch
+};
+
+// Sentinel crossover for "parallel never won at any measured size".
+inline constexpr int64_t kNeverParallel = int64_t{1} << 60;
+
+// Seq-vs-par calibration of one parallel stage. `crossover_work` is in the
+// stage's work metric (see TunedStageWork below): below it the parallel
+// path measured slower than sequential and ForStage() falls back to
+// num_threads = 1. -1 means "uncalibrated — keep the caller's parallelism".
+struct StageCalib {
+  int64_t crossover_work = -1;
+  // Advisory block size measured fastest for this stage; 0 keeps the
+  // caller's grain. Only honored for grain-invariant stages (see header
+  // comment).
+  int64_t grain = 0;
+  // ns per unit of work at the largest calibrated size (informational).
+  double seq_ns_per_work = 0.0;
+  double par_ns_per_work = 0.0;
+};
+
+// Guided-execution break-evens. Negative / zero fields mean "uncalibrated
+// — use the built-in constants" (kDenseDispatchThreshold, the 64 MB
+// single-pass budget, the power-of-two BlindReserveBytesModel).
+struct GuidedCalib {
+  double dense_dispatch_threshold = -1.0;
+  int64_t single_pass_budget_bytes = 0;
+  double blind_reserve_bytes_per_nnz = 0.0;
+};
+
+struct MachineProfile {
+  // Thread count the stage calibration ran with.
+  int calibrated_threads = 1;
+  // SIMD level the kernel verdicts were measured against.
+  SimdLevel simd_level = SimdLevel::kScalar;
+
+  KernelCalib kernels[kNumTunedKernels];
+  StageCalib stages[kNumTunedStages];
+  GuidedCalib guided;
+
+  const KernelCalib& kernel(TunedKernel k) const {
+    return kernels[static_cast<int>(k)];
+  }
+  KernelCalib& kernel(TunedKernel k) { return kernels[static_cast<int>(k)]; }
+  const StageCalib& stage(TunedStage s) const {
+    return stages[static_cast<int>(s)];
+  }
+  StageCalib& stage(TunedStage s) { return stages[static_cast<int>(s)]; }
+
+  // Whether `work` units of `stage` should run on the pool. Monotone in
+  // `work` by construction: a single threshold per stage, so once true it
+  // stays true for all larger work sizes.
+  bool ShouldParallelize(TunedStage stage, int64_t work) const {
+    const StageCalib& s = stages[static_cast<int>(stage)];
+    if (s.crossover_work < 0) return true;  // uncalibrated: caller decides
+    return work >= s.crossover_work;
+  }
+};
+
+// The work metric each stage's crossover is expressed in (documented here
+// so call sites and the calibration ladder agree):
+//   kSketchBuild: rows + nnz of the input matrix
+//   kEstimate:    the common (inner) dimension n
+//   kPropagate:   rows + cols of the output sketch
+//   kSpGemm:      rows + nnz of the left operand
+int64_t TunedStageWork(TunedStage stage, int64_t rows, int64_t nnz_or_cols);
+
+// --- Persistence (.mncp wire format v1) ----------------------------------
+
+// Serializes to the checksummed wire format (always succeeds; profiles are
+// a few hundred bytes).
+std::string SerializeProfile(const MachineProfile& profile);
+
+// Parses a serialized profile. Typed failures: kDataLoss for any corruption
+// (bad magic, CRC mismatch, truncation, out-of-range field — every byte of
+// the format is checksummed), kUnimplemented for a structurally intact file
+// written by a newer format version.
+StatusOr<MachineProfile> ParseProfile(std::string_view bytes);
+
+// File round-trip. SaveProfile creates parent directories as needed.
+// LoadProfile adds kNotFound when the file does not exist and honors the
+// "tuning.profile_read" fail point (typed kDataLoss, for fault drills).
+Status SaveProfile(const MachineProfile& profile, const std::string& path);
+StatusOr<MachineProfile> LoadProfile(const std::string& path);
+
+// Default on-disk location: $MNC_PROFILE if set, else
+// $XDG_CACHE_HOME/mnc/profile.mncp, else $HOME/.cache/mnc/profile.mncp.
+// Empty when no base directory can be determined.
+std::string DefaultProfilePath();
+
+// --- Process-wide active profile -----------------------------------------
+//
+// The active profile is what ParallelConfig::ForStage and the kernel
+// dispatch consult when the caller did not supply one explicitly.
+// Installation also (de)installs the tuned kernel table. Like
+// ScopedForceKernels, installation is published atomically but not
+// synchronized against in-flight kernels — install before spawning
+// parallel work. Installed profiles are pinned for the process lifetime so
+// lock-free readers never observe a dangling pointer.
+
+// Installs `profile` (nullptr clears). Marks the lazy load as settled
+// either way.
+void SetActiveProfile(std::shared_ptr<const MachineProfile> profile);
+
+// The installed profile; on first call with nothing installed, attempts a
+// lazy load from DefaultProfilePath() (missing/corrupt → soft fallback to
+// nullptr; corrupt prints a one-line stderr warning). Never throws.
+std::shared_ptr<const MachineProfile> ActiveProfile();
+
+// Lock-free variant for hot paths; same lazy-load semantics. The pointer
+// stays valid for the process lifetime (pinned).
+const MachineProfile* ActiveProfileRaw();
+
+// Test hook: forgets any installed profile AND re-enables the lazy load.
+void ResetActiveProfileForTest();
+
+// An everything-uncalibrated profile (all crossovers -1, grains 0, SIMD
+// verdicts true). Attaching it to a ParallelConfig suppresses the
+// process-wide active profile without changing any decision — the
+// calibration pass uses it so its own measurements are never skewed by a
+// previously installed profile.
+const MachineProfile& NeutralProfile();
+
+// RAII install/restore for tests and benches. Overriding with nullptr
+// pins "no profile" (suppresses the lazy load) for the scope.
+class ScopedProfileOverride {
+ public:
+  explicit ScopedProfileOverride(std::shared_ptr<const MachineProfile> profile);
+  ~ScopedProfileOverride();
+
+  ScopedProfileOverride(const ScopedProfileOverride&) = delete;
+  ScopedProfileOverride& operator=(const ScopedProfileOverride&) = delete;
+
+ private:
+  std::shared_ptr<const MachineProfile> previous_;
+  bool previous_settled_;
+};
+
+// Builds the hybrid kernel table a profile's verdicts imply: per kernel,
+// the dispatched SIMD entry when use_simd, else the scalar entry. Exposed
+// for tests; SetActiveProfile installs it automatically.
+kernels::KernelTable BuildTunedKernelTable(const MachineProfile& profile);
+
+}  // namespace tuning
+}  // namespace mnc
+
+#endif  // MNC_TUNING_MACHINE_PROFILE_H_

@@ -159,6 +159,14 @@ StatusOr<int> FailPointRegistry::ArmFromSpec(const std::string& spec) {
           "fail point entry '" + entry + "': unknown ingest point '" + name +
           "' (ingest.read_chunk, ingest.spill_write, ingest.spill_read)");
     }
+    // tuning.* is closed for the same reason: a typo'd calibration fault
+    // spec must not let a profile fault drill pass vacuously.
+    if (name.rfind("tuning.", 0) == 0 && name != "tuning.measure" &&
+        name != "tuning.profile_read") {
+      return Status::InvalidArgument(
+          "fail point entry '" + entry + "': unknown tuning point '" + name +
+          "' (tuning.measure, tuning.profile_read)");
+    }
     Arm(name, skip, count);
     ++armed;
   }

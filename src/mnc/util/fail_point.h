@@ -27,10 +27,11 @@
 // Library-side sites call MncFailPointArmed("name"), which also counts hits
 // so tests can assert a site was actually reached.
 //
-// Names are free-form except the ingest.* namespace, which is closed:
-// ArmFromSpec rejects any ingest.-prefixed name other than
-// ingest.read_chunk, ingest.spill_write, and ingest.spill_read, so a typo'd
-// spill/fault-back spec fails loudly instead of arming nothing.
+// Names are free-form except the ingest.* and tuning.* namespaces, which
+// are closed: ArmFromSpec rejects any ingest.-prefixed name other than
+// ingest.read_chunk, ingest.spill_write, and ingest.spill_read, and any
+// tuning.-prefixed name other than tuning.measure and tuning.profile_read,
+// so a typo'd fault spec fails loudly instead of arming nothing.
 
 #ifndef MNC_UTIL_FAIL_POINT_H_
 #define MNC_UTIL_FAIL_POINT_H_

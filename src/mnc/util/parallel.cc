@@ -5,8 +5,43 @@
 #include <vector>
 
 #include "mnc/util/check.h"
+#include "mnc/tuning/machine_profile.h"
 
 namespace mnc {
+
+ParallelConfig ParallelConfig::FromProfile(
+    const tuning::MachineProfile* profile, int num_threads) {
+  ParallelConfig config;
+  config.profile = profile;
+  if (num_threads != 0) {
+    config.num_threads = num_threads;
+  } else if (profile != nullptr) {
+    config.num_threads = profile->calibrated_threads;
+  }
+  return config;
+}
+
+ParallelConfig ParallelConfig::ForStage(TunedStage stage, int64_t work) const {
+  ParallelConfig out = *this;
+  if (!out.enabled()) return out;  // already sequential: nothing to decide
+  const tuning::MachineProfile* p =
+      profile != nullptr ? profile : tuning::ActiveProfileRaw();
+  if (p == nullptr) return out;
+  if (!p->ShouldParallelize(stage, work)) {
+    // Below the measured crossover the parallel path loses to sequential.
+    // Dropping to one thread keeps the identical fixed-size block layout,
+    // so the output is bit-for-bit the same (determinism contract).
+    out.num_threads = 1;
+    return out;
+  }
+  if (stage == TunedStage::kSketchBuild || stage == TunedStage::kSpGemm) {
+    // Grain-invariant stages (integer merges / disjoint per-row output) may
+    // adopt the calibrated block size; the FP/PRNG stages must not.
+    const int64_t grain = p->stage(stage).grain;
+    if (grain > 0 && out.deterministic) out.min_rows_per_task = grain;
+  }
+  return out;
+}
 
 int ParallelConfig::ResolvedThreads() const {
   if (num_threads > 0) return num_threads;

@@ -26,6 +26,20 @@
 
 namespace mnc {
 
+namespace tuning {
+struct MachineProfile;
+}  // namespace tuning
+
+// The parallel stages a MachineProfile holds seq-vs-par crossovers for
+// (see mnc/tuning/machine_profile.h for the work metric of each).
+enum class TunedStage : int {
+  kSketchBuild = 0,  // MncSketch::FromCsr / FromMatrix
+  kEstimate,         // Algorithm 1 EstimateProductNnz*/Sparsity
+  kPropagate,        // Eq. 11/15 PropagateProduct/EWiseAdd/EWiseMult
+  kSpGemm,           // two-pass MultiplySparseSparse
+};
+inline constexpr int kNumTunedStages = 4;
+
 struct ParallelConfig {
   // 1 (default) runs every kernel sequentially (no pool needed); <= 0
   // selects the hardware concurrency; anything else uses the given pool
@@ -52,6 +66,31 @@ struct ParallelConfig {
 
   // Number of partition blocks for a problem of n rows (0 when n == 0).
   int64_t NumBlocks(int64_t n) const;
+
+  // Calibration profile consulted by ForStage (not owned; the caller keeps
+  // it alive — profiles installed via tuning::SetActiveProfile are pinned
+  // for the process lifetime). nullptr falls back to the process-wide
+  // active profile; when that is also absent, dispatch uses the built-in
+  // constants exactly as before calibration existed.
+  const tuning::MachineProfile* profile = nullptr;
+
+  // Config seeded from a calibration profile: num_threads from the argument
+  // (0 selects the profile's calibrated thread count), profile attached for
+  // per-stage dispatch. `profile` may be nullptr (plain config).
+  static ParallelConfig FromProfile(const tuning::MachineProfile* profile,
+                                    int num_threads = 0);
+
+  // Per-stage calibrated dispatch: returns a copy of this config with
+  // num_threads dropped to 1 when the profile predicts the parallel path
+  // loses at `work` units (work metric per stage documented in
+  // machine_profile.h). For the grain-invariant stages (kSketchBuild,
+  // kSpGemm) a calibrated grain also replaces min_rows_per_task; for
+  // kEstimate/kPropagate the caller's grain is preserved because blocks
+  // define the FP summation order and the per-block PRNG streams. Either
+  // way the selected path is bit-identical to the uncalibrated one (the
+  // determinism contract above). With no profile anywhere, returns *this
+  // unchanged.
+  ParallelConfig ForStage(TunedStage stage, int64_t work) const;
 };
 
 // Runs fn(block_index, begin, end) for every partition block of [0, n).

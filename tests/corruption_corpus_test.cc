@@ -20,6 +20,8 @@
 #include "mnc/matrix/generate.h"
 #include "mnc/matrix/io.h"
 #include "mnc/service/estimation_service.h"
+#include "mnc/tuning/machine_profile.h"
+#include "mnc/util/crc32.h"
 #include "mnc/util/random.h"
 
 namespace mnc {
@@ -290,6 +292,58 @@ TEST(CorruptionCorpusTest, BinaryTripletShardByteFlipsAllDetected) {
   });
 }
 
+// Machine profiles (.mncp) carry the same every-byte-checksummed contract
+// as the v2 sketch format: any single-byte flip must be detected as a
+// typed corruption (kDataLoss — never confused with a missing file), any
+// truncation must fail descriptively, and a structurally intact file from
+// a NEWER format version must fail typed kUnimplemented so callers know to
+// recalibrate rather than discard the file as corrupt.
+TEST(CorruptionCorpusTest, MachineProfileByteFlipsAllDetected) {
+  tuning::MachineProfile p;
+  p.calibrated_threads = 6;
+  p.stage(TunedStage::kSpGemm).crossover_work = 12345;
+  p.guided.dense_dispatch_threshold = 0.4;
+  const std::string good = tuning::SerializeProfile(p);
+
+  RunByteFlipCorpus(good, "machine profile", [](const std::string& bad) {
+    const auto parsed = tuning::ParseProfile(bad);
+    ASSERT_FALSE(parsed.ok()) << "corruption went undetected";
+    EXPECT_NE(parsed.status().code(), StatusCode::kNotFound);
+    EXPECT_FALSE(parsed.status().message().empty());
+  });
+
+  // The untouched serialization still parses after the corpus.
+  EXPECT_TRUE(tuning::ParseProfile(good).ok());
+}
+
+TEST(CorruptionCorpusTest, MachineProfileTruncationsAllDetected) {
+  const std::string good =
+      tuning::SerializeProfile(tuning::MachineProfile());
+  RunTruncationCorpus(good, "machine profile", [](const std::string& bad) {
+    const auto parsed = tuning::ParseProfile(bad);
+    ASSERT_FALSE(parsed.ok());  // a prefix of a profile is never a profile
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+    EXPECT_FALSE(parsed.status().message().empty());
+  });
+}
+
+TEST(CorruptionCorpusTest, MachineProfileFutureVersionIsUnimplemented) {
+  // Craft a structurally valid "version 2" file: bump the version field and
+  // recompute the header CRC so the corruption checks pass and version
+  // negotiation is what rejects it.
+  std::string v2 = tuning::SerializeProfile(tuning::MachineProfile());
+  ASSERT_GT(v2.size(), 16u);
+  v2[4] = 2;  // little-endian u32 version at offset 4
+  const uint32_t header_crc = Crc32(v2.data(), 12);
+  for (int i = 0; i < 4; ++i) {
+    v2[12 + i] = static_cast<char>((header_crc >> (8 * i)) & 0xff);
+  }
+  const auto parsed = tuning::ParseProfile(v2);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kUnimplemented);
+  EXPECT_FALSE(parsed.status().message().empty());
+}
+
 TEST(CorruptionCorpusTest, RandomGarbageNeverCrashes) {
   Rng rng(106);
   for (int round = 0; round < 200; ++round) {
@@ -311,6 +365,12 @@ TEST(CorruptionCorpusTest, RandomGarbageNeverCrashes) {
       if (!result.ok()) {
         EXPECT_FALSE(result.status().message().empty());
       }
+    }
+    {
+      // Random bytes are never a machine profile (checksummed format).
+      auto result = tuning::ParseProfile(garbage);
+      ASSERT_FALSE(result.ok());
+      EXPECT_FALSE(result.status().message().empty());
     }
   }
 }

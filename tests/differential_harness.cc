@@ -20,6 +20,7 @@
 // Runs under ASan and TSan in CI (debug-asan-ubsan and debug-tsan jobs).
 
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "mnc/ir/evaluator.h"
 #include "mnc/matrix/io.h"
 #include "mnc/matrix/ops_product.h"
+#include "mnc/tuning/machine_profile.h"
 #include "mnc/util/thread_pool.h"
 
 namespace mnc {
@@ -470,6 +472,81 @@ TEST_P(DifferentialHarnessTest, StreamingSketchBitIdenticalAcrossChunksAndThread
       at_one.emplace(*merged);
     } else {
       EXPECT_TRUE(SketchesBitIdentical(*at_one, *merged)) << "threads=8";
+    }
+  }
+}
+
+// (g) Calibrated dispatch identity (PR 8): a machine profile may change
+// only WHERE work executes — sequential vs pooled below/above a stage
+// crossover, the block grain on the grain-invariant stages (sketch build,
+// SpGEMM), and scalar vs SIMD kernel entries — never the bits of any
+// result. Synthetic profiles at the extremes (always-parallel with a tiny
+// grain, mid-range crossovers that split the harness dims, never-parallel
+// with every kernel demoted to scalar) must reproduce the no-profile
+// results exactly, at every thread count.
+
+TEST_P(DifferentialHarnessTest, CalibratedDispatchBitIdenticalToUncalibrated) {
+  ThreadPool pool(4);
+  const uint64_t prop_seed = Seed() ^ 0x2545f491u;
+
+  auto always = std::make_shared<tuning::MachineProfile>();
+  for (int s = 0; s < kNumTunedStages; ++s) {
+    always->stages[s].crossover_work = 0;
+    always->stages[s].grain = 16;  // adopted only by sketch build / SpGEMM
+  }
+
+  // RandomDim() yields 24..64, so work metrics straddle this threshold and
+  // both branches of ForStage() are exercised across rounds.
+  auto midrange = std::make_shared<tuning::MachineProfile>();
+  for (int s = 0; s < kNumTunedStages; ++s) {
+    midrange->stages[s].crossover_work = 40;
+    midrange->stages[s].grain = 32;
+  }
+
+  auto never = std::make_shared<tuning::MachineProfile>();
+  for (int s = 0; s < kNumTunedStages; ++s) {
+    never->stages[s].crossover_work = tuning::kNeverParallel;
+  }
+  for (int k = 0; k < tuning::kNumTunedKernels; ++k) {
+    never->kernels[k].use_simd = false;  // demote every kernel to scalar
+  }
+
+  const std::shared_ptr<const tuning::MachineProfile> profiles[] = {
+      always, midrange, never};
+
+  const int archetypes = static_cast<int>(difftest::Archetype::kCount);
+  for (int kind = 0; kind < archetypes; ++kind) {
+    Rng rng(Seed() * 12007 + static_cast<uint64_t>(kind) * 151 + 53);
+    const int64_t dim = RandomDim(rng);
+    const CsrMatrix ma = MakeLeaf(static_cast<difftest::Archetype>(kind), dim, rng);
+    const CsrMatrix mb = RandomLeaf(rng, dim);
+
+    // Reference results with "no profile" pinned (suppresses any lazily
+    // loaded ~/.cache profile for the scope).
+    tuning::ScopedProfileOverride no_profile(nullptr);
+    const MncSketch sa = MncSketch::FromCsr(ma);
+    const MncSketch sb = MncSketch::FromCsr(mb);
+    const double est_ref = EstimateProductNnz(sa, sb, HarnessConfig(1), nullptr);
+    const MncSketch prop_ref =
+        PropagateProduct(sa, sb, prop_seed, HarnessConfig(1), nullptr);
+    const CsrMatrix prod_ref = MultiplySparseSparse(ma, mb);
+
+    for (const auto& profile : profiles) {
+      tuning::ScopedProfileOverride installed(profile);
+      for (int threads : {1, 2, 7, 16}) {
+        const ParallelConfig config = HarnessConfig(threads);
+        EXPECT_TRUE(SketchesBitIdentical(
+            sa, MncSketch::FromCsr(ma, config, &pool)))
+            << "kind=" << kind << " threads=" << threads;
+        EXPECT_EQ(est_ref, EstimateProductNnz(sa, sb, config, &pool))
+            << "kind=" << kind << " threads=" << threads;
+        EXPECT_TRUE(SketchesBitIdentical(
+            prop_ref, PropagateProduct(sa, sb, prop_seed, config, &pool)))
+            << "kind=" << kind << " threads=" << threads;
+        EXPECT_TRUE(CsrBitIdentical(
+            prod_ref, MultiplySparseSparse(ma, mb, config, &pool)))
+            << "kind=" << kind << " threads=" << threads;
+      }
     }
   }
 }

@@ -169,6 +169,30 @@ TEST(FailPointTest, ArmFromSpecRejectsUnknownIngestPoints) {
   reg.Disarm("fp_test.ingest_open");
 }
 
+TEST(FailPointTest, ArmFromSpecAcceptsKnownTuningPoints) {
+  auto& reg = FailPointRegistry::Instance();
+  const StatusOr<int> armed =
+      reg.ArmFromSpec("tuning.measure;tuning.profile_read=1:1");
+  ASSERT_TRUE(armed.ok());
+  EXPECT_EQ(*armed, 2);
+  EXPECT_TRUE(reg.IsArmed("tuning.measure"));
+  EXPECT_TRUE(reg.IsArmed("tuning.profile_read"));
+  reg.Disarm("tuning.measure");
+  reg.Disarm("tuning.profile_read");
+}
+
+TEST(FailPointTest, ArmFromSpecRejectsUnknownTuningPoints) {
+  auto& reg = FailPointRegistry::Instance();
+  // tuning.* is closed like ingest.*: a typo'd calibration fault spec must
+  // fail loudly, not arm nothing while the drill "passes".
+  const StatusOr<int> bogus = reg.ArmFromSpec("tuning.profile_write");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_EQ(bogus.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bogus.status().message().find("tuning.profile_write"),
+            std::string::npos);
+  EXPECT_FALSE(reg.IsArmed("tuning.profile_write"));
+}
+
 TEST(FailPointTest, ScopedFailPointDisarmsOnDestruction) {
   auto& reg = FailPointRegistry::Instance();
   {

@@ -6,11 +6,13 @@
 
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "mnc/kernels/kernels.h"
+#include "mnc/tuning/machine_profile.h"
 #include "mnc/util/random.h"
 #include "mnc/util/simd.h"
 
@@ -271,10 +273,64 @@ TEST(SimdKernelsTest, ScopedForceKernelsOverridesAndRestores) {
 }
 
 TEST(SimdKernelsTest, ActiveMatchesBestSupportedLevelByDefault) {
-  // Without an override, the dispatched table is the one for the detected
-  // level (which already folds in any MNC_SIMD environment request).
+  // Without an override (and with "no profile" pinned, so a lazily loaded
+  // calibration cannot reroute dispatch mid-test), the dispatched table is
+  // the one for the detected level (which already folds in any MNC_SIMD
+  // environment request).
+  tuning::ScopedProfileOverride no_profile(nullptr);
   EXPECT_EQ(&kernels::KernelsForLevel(BestSupportedSimdLevel()),
             &kernels::Active());
+}
+
+TEST(SimdKernelsTest, TunedProfileDemotesOnlyTheLosingKernels) {
+  // A calibration verdict of "SIMD does not pay" for a kernel must route
+  // exactly that member of the active table to the scalar entry, leave
+  // every other member on the dispatched entry, and change no results.
+  // On a scalar-only build/CPU the two tables coincide and this passes
+  // trivially — the same degenerate behavior as the differential SIMD
+  // tests above.
+  tuning::ScopedProfileOverride no_profile(nullptr);
+  const kernels::KernelTable& dispatched = kernels::Active();
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+
+  auto profile = std::make_shared<tuning::MachineProfile>();
+  profile->kernel(tuning::TunedKernel::kAndWords).use_simd = false;
+  profile->kernel(tuning::TunedKernel::kDensityCombine).use_simd = false;
+
+  Rng rng(4242);
+  std::vector<uint64_t> wa(64), wb(64), wdst_base(64), wdst_tuned(64);
+  for (size_t i = 0; i < wa.size(); ++i) {
+    wa[i] = rng.Next();
+    wb[i] = rng.Next();
+  }
+  dispatched.and_words(wdst_base.data(), wa.data(), wb.data(),
+                       static_cast<int64_t>(wa.size()));
+
+  {
+    tuning::ScopedProfileOverride tuned(profile);
+    const kernels::KernelTable& active = kernels::Active();
+    // Demoted members point at the scalar entries...
+    EXPECT_EQ(active.and_words, scalar.and_words);
+    EXPECT_EQ(active.density_combine, scalar.density_combine);
+    // ...while everything else keeps the dispatched entry.
+    EXPECT_EQ(active.dot_counts, dispatched.dot_counts);
+    EXPECT_EQ(active.scale_counts, dispatched.scale_counts);
+    EXPECT_EQ(active.popcount_words, dispatched.popcount_words);
+    EXPECT_EQ(active.and_popcount_words, dispatched.and_popcount_words);
+
+    // The demoted kernel computes the identical result (the bit-identity
+    // contract every table entry already satisfies).
+    active.and_words(wdst_tuned.data(), wa.data(), wb.data(),
+                     static_cast<int64_t>(wa.size()));
+    EXPECT_EQ(wdst_base, wdst_tuned);
+
+    // A forced level still outranks the tuned table.
+    kernels::ScopedForceKernels forced(SimdLevel::kScalar);
+    EXPECT_EQ(&kernels::ScalarKernels(), &kernels::Active());
+  }
+
+  // Clearing the profile restores plain dispatch.
+  EXPECT_EQ(&dispatched, &kernels::Active());
 }
 
 }  // namespace

@@ -1,0 +1,425 @@
+// Tests for the machine calibration profile (mnc/tuning): wire-format
+// round-trips, the monotone-threshold dispatch contract, ForStage()
+// behavior, the tuned kernel table, graceful fallback when no profile is
+// available, deterministic replay of saved profiles, and fault drills on
+// the calibration and load paths.
+//
+// The bit-identity of calibrated dispatch (profile on vs off) is covered
+// end to end by differential_harness.cc; this file covers the mechanism.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mnc/tuning/calibrate.h"
+#include "mnc/tuning/machine_profile.h"
+#include "mnc/kernels/kernels.h"
+#include "mnc/util/fail_point.h"
+#include "mnc/util/parallel.h"
+#include "mnc/util/status.h"
+
+namespace mnc {
+namespace tuning {
+namespace {
+
+// A profile with every field set to a distinctive, representable value, so
+// round-trip tests notice any dropped or swapped field.
+MachineProfile DistinctiveProfile() {
+  MachineProfile p;
+  p.calibrated_threads = 7;
+  p.simd_level = SimdLevel::kScalar;
+  for (int k = 0; k < kNumTunedKernels; ++k) {
+    p.kernels[k].scalar_cache_ns = 100.0 + k;
+    p.kernels[k].simd_cache_ns = 50.0 + k;
+    p.kernels[k].scalar_stream_ns = 1000.0 + k;
+    p.kernels[k].simd_stream_ns = 600.0 + k;
+    p.kernels[k].use_simd = (k % 2 == 0);
+  }
+  for (int s = 0; s < kNumTunedStages; ++s) {
+    p.stages[s].crossover_work = 1000 * (s + 1);
+    p.stages[s].grain = 32 << s;
+    p.stages[s].seq_ns_per_work = 1.5 + s;
+    p.stages[s].par_ns_per_work = 0.5 + s;
+  }
+  p.guided.dense_dispatch_threshold = 0.35;
+  p.guided.single_pass_budget_bytes = int64_t{48} << 20;
+  p.guided.blind_reserve_bytes_per_nnz = 21.5;
+  return p;
+}
+
+void ExpectProfilesEqual(const MachineProfile& a, const MachineProfile& b) {
+  EXPECT_EQ(a.calibrated_threads, b.calibrated_threads);
+  EXPECT_EQ(a.simd_level, b.simd_level);
+  for (int k = 0; k < kNumTunedKernels; ++k) {
+    EXPECT_EQ(a.kernels[k].scalar_cache_ns, b.kernels[k].scalar_cache_ns)
+        << "kernel " << k;
+    EXPECT_EQ(a.kernels[k].simd_cache_ns, b.kernels[k].simd_cache_ns)
+        << "kernel " << k;
+    EXPECT_EQ(a.kernels[k].scalar_stream_ns, b.kernels[k].scalar_stream_ns)
+        << "kernel " << k;
+    EXPECT_EQ(a.kernels[k].simd_stream_ns, b.kernels[k].simd_stream_ns)
+        << "kernel " << k;
+    EXPECT_EQ(a.kernels[k].use_simd, b.kernels[k].use_simd) << "kernel " << k;
+  }
+  for (int s = 0; s < kNumTunedStages; ++s) {
+    EXPECT_EQ(a.stages[s].crossover_work, b.stages[s].crossover_work)
+        << "stage " << s;
+    EXPECT_EQ(a.stages[s].grain, b.stages[s].grain) << "stage " << s;
+    EXPECT_EQ(a.stages[s].seq_ns_per_work, b.stages[s].seq_ns_per_work)
+        << "stage " << s;
+    EXPECT_EQ(a.stages[s].par_ns_per_work, b.stages[s].par_ns_per_work)
+        << "stage " << s;
+  }
+  EXPECT_EQ(a.guided.dense_dispatch_threshold,
+            b.guided.dense_dispatch_threshold);
+  EXPECT_EQ(a.guided.single_pass_budget_bytes,
+            b.guided.single_pass_budget_bytes);
+  EXPECT_EQ(a.guided.blind_reserve_bytes_per_nnz,
+            b.guided.blind_reserve_bytes_per_nnz);
+}
+
+TEST(MachineProfileIo, SerializeParseRoundTripsEveryField) {
+  const MachineProfile p = DistinctiveProfile();
+  const std::string bytes = SerializeProfile(p);
+  const StatusOr<MachineProfile> back = ParseProfile(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectProfilesEqual(p, *back);
+}
+
+TEST(MachineProfileIo, DefaultProfileRoundTrips) {
+  // The all-defaults profile (what a scalar-only host with no measurable
+  // crossovers produces) must round-trip too.
+  const MachineProfile p;
+  const StatusOr<MachineProfile> back = ParseProfile(SerializeProfile(p));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectProfilesEqual(p, *back);
+}
+
+TEST(MachineProfileIo, SaveLoadRoundTripsThroughNestedDirectories) {
+  const MachineProfile p = DistinctiveProfile();
+  const std::string path =
+      ::testing::TempDir() + "/mnc_tuning_test/nested/dir/profile.mncp";
+  ASSERT_TRUE(SaveProfile(p, path).ok());
+  const StatusOr<MachineProfile> back = LoadProfile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectProfilesEqual(p, *back);
+  std::remove(path.c_str());
+}
+
+TEST(MachineProfileIo, LoadMissingFileIsTypedNotFound) {
+  const StatusOr<MachineProfile> missing =
+      LoadProfile(::testing::TempDir() + "/no_such_profile.mncp");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MachineProfileIo, SaveIntoUnwritableLocationFails) {
+  const MachineProfile p;
+  const Status s = SaveProfile(p, "/proc/definitely/not/writable.mncp");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(MachineProfileIo, ReplayedProfileMakesIdenticalDispatchDecisions) {
+  // Deterministic replay: a profile that went through the wire format must
+  // steer every dispatch decision exactly like the original, for every
+  // stage over a wide sweep of work sizes.
+  const MachineProfile p = DistinctiveProfile();
+  const StatusOr<MachineProfile> back = ParseProfile(SerializeProfile(p));
+  ASSERT_TRUE(back.ok());
+  for (int s = 0; s < kNumTunedStages; ++s) {
+    const TunedStage stage = static_cast<TunedStage>(s);
+    for (int64_t work = 0; work < (int64_t{1} << 20); work = 2 * work + 1) {
+      EXPECT_EQ(p.ShouldParallelize(stage, work),
+                back->ShouldParallelize(stage, work))
+          << "stage " << s << " work " << work;
+    }
+  }
+}
+
+TEST(MachineProfile, ShouldParallelizeIsMonotoneInWork) {
+  MachineProfile p;
+  const TunedStage stage = TunedStage::kSketchBuild;
+
+  // Uncalibrated (-1): always defer to the caller (parallel).
+  EXPECT_TRUE(p.ShouldParallelize(stage, 0));
+  EXPECT_TRUE(p.ShouldParallelize(stage, int64_t{1} << 40));
+
+  // A finite threshold: false strictly below, true at and above, and once
+  // true never false again (single threshold => monotone).
+  p.stage(stage).crossover_work = 4096;
+  EXPECT_FALSE(p.ShouldParallelize(stage, 0));
+  EXPECT_FALSE(p.ShouldParallelize(stage, 4095));
+  EXPECT_TRUE(p.ShouldParallelize(stage, 4096));
+  bool was_true = false;
+  for (int64_t work = 1; work < (int64_t{1} << 30); work *= 2) {
+    const bool now = p.ShouldParallelize(stage, work);
+    EXPECT_FALSE(was_true && !now) << "non-monotone at work " << work;
+    was_true = was_true || now;
+  }
+  EXPECT_TRUE(was_true);
+
+  // Zero: always parallel. kNeverParallel: no realistic size reaches it.
+  p.stage(stage).crossover_work = 0;
+  EXPECT_TRUE(p.ShouldParallelize(stage, 0));
+  p.stage(stage).crossover_work = kNeverParallel;
+  EXPECT_FALSE(p.ShouldParallelize(stage, int64_t{1} << 50));
+}
+
+TEST(MachineProfile, ForStageHonorsCrossoverAndGrain) {
+  auto p = std::make_shared<MachineProfile>();
+  p->stage(TunedStage::kSketchBuild).crossover_work = 100;
+  p->stage(TunedStage::kSketchBuild).grain = 256;
+  p->stage(TunedStage::kEstimate).crossover_work = 100;
+  p->stage(TunedStage::kEstimate).grain = 256;  // must NOT be adopted
+
+  ParallelConfig config;
+  config.num_threads = 8;
+  config.min_rows_per_task = 8;
+  config.deterministic = true;
+  config.profile = p.get();
+
+  // Below the crossover: sequential, block layout untouched.
+  const ParallelConfig below =
+      config.ForStage(TunedStage::kSketchBuild, 99);
+  EXPECT_EQ(below.num_threads, 1);
+  EXPECT_EQ(below.min_rows_per_task, 8);
+
+  // At/above: parallelism kept; the grain-invariant sketch build adopts the
+  // calibrated grain, the FP-sensitive estimate stage must not (its block
+  // size is part of the result contract).
+  const ParallelConfig above =
+      config.ForStage(TunedStage::kSketchBuild, 100);
+  EXPECT_EQ(above.num_threads, 8);
+  EXPECT_EQ(above.min_rows_per_task, 256);
+  const ParallelConfig est = config.ForStage(TunedStage::kEstimate, 100);
+  EXPECT_EQ(est.num_threads, 8);
+  EXPECT_EQ(est.min_rows_per_task, 8);
+
+  // An already-sequential config is never touched.
+  ParallelConfig seq = config;
+  seq.num_threads = 1;
+  const ParallelConfig still_seq = seq.ForStage(TunedStage::kSketchBuild, 1 << 20);
+  EXPECT_EQ(still_seq.num_threads, 1);
+  EXPECT_EQ(still_seq.min_rows_per_task, 8);
+
+  // The neutral profile changes nothing.
+  ParallelConfig neutral = config;
+  neutral.profile = &NeutralProfile();
+  const ParallelConfig untouched = neutral.ForStage(TunedStage::kSketchBuild, 1);
+  EXPECT_EQ(untouched.num_threads, 8);
+  EXPECT_EQ(untouched.min_rows_per_task, 8);
+}
+
+TEST(MachineProfile, ForStageFallsBackGracefullyWithoutProfile) {
+  ScopedProfileOverride none(nullptr);
+  ParallelConfig config;
+  config.num_threads = 8;
+  config.min_rows_per_task = 64;
+  const ParallelConfig out = config.ForStage(TunedStage::kSpGemm, 10);
+  EXPECT_EQ(out.num_threads, 8);
+  EXPECT_EQ(out.min_rows_per_task, 64);
+}
+
+TEST(MachineProfile, ExplicitConfigProfileBeatsInstalledProfile) {
+  // The installed profile says "never parallel"; the config's own profile
+  // says "always". The explicit one must win.
+  auto installed = std::make_shared<MachineProfile>();
+  for (int s = 0; s < kNumTunedStages; ++s) {
+    installed->stages[s].crossover_work = kNeverParallel;
+  }
+  ScopedProfileOverride ov(installed);
+
+  auto own = std::make_shared<MachineProfile>();
+  for (int s = 0; s < kNumTunedStages; ++s) {
+    own->stages[s].crossover_work = 0;
+  }
+  ParallelConfig config;
+  config.num_threads = 4;
+  config.profile = own.get();
+  EXPECT_EQ(config.ForStage(TunedStage::kEstimate, 1).num_threads, 4);
+
+  ParallelConfig global_config;
+  global_config.num_threads = 4;
+  EXPECT_EQ(global_config.ForStage(TunedStage::kEstimate, 1).num_threads, 1);
+}
+
+TEST(MachineProfile, FromProfileUsesCalibratedThreads) {
+  MachineProfile p;
+  p.calibrated_threads = 3;
+  const ParallelConfig from = ParallelConfig::FromProfile(&p);
+  EXPECT_EQ(from.num_threads, 3);
+  EXPECT_EQ(from.profile, &p);
+  const ParallelConfig pinned = ParallelConfig::FromProfile(&p, 9);
+  EXPECT_EQ(pinned.num_threads, 9);
+}
+
+TEST(MachineProfile, ScopedOverrideInstallsAndRestores) {
+  ScopedProfileOverride outer(nullptr);
+  EXPECT_EQ(ActiveProfileRaw(), nullptr);
+  auto p = std::make_shared<MachineProfile>();
+  p->calibrated_threads = 5;
+  {
+    ScopedProfileOverride inner(p);
+    ASSERT_NE(ActiveProfileRaw(), nullptr);
+    EXPECT_EQ(ActiveProfileRaw()->calibrated_threads, 5);
+    EXPECT_EQ(ActiveProfile().get(), p.get());
+  }
+  EXPECT_EQ(ActiveProfileRaw(), nullptr);
+}
+
+TEST(MachineProfile, TunedKernelTableFollowsVerdicts) {
+  // All-scalar verdicts: the tuned table must be the scalar table, member
+  // for member. All-SIMD verdicts: the dispatched table. (On a scalar-only
+  // build those coincide and both halves pass trivially.)
+  MachineProfile demoted;
+  for (int k = 0; k < kNumTunedKernels; ++k) {
+    demoted.kernels[k].use_simd = false;
+  }
+  const kernels::KernelTable scalar_table = BuildTunedKernelTable(demoted);
+  const kernels::KernelTable& scalar = kernels::ScalarKernels();
+  EXPECT_EQ(scalar_table.dot_counts, scalar.dot_counts);
+  EXPECT_EQ(scalar_table.dot_counts_diff, scalar.dot_counts_diff);
+  EXPECT_EQ(scalar_table.density_combine, scalar.density_combine);
+  EXPECT_EQ(scalar_table.popcount_words, scalar.popcount_words);
+  EXPECT_EQ(scalar_table.and_popcount_words, scalar.and_popcount_words);
+
+  MachineProfile promoted;  // defaults: use_simd = true everywhere
+  const kernels::KernelTable simd_table = BuildTunedKernelTable(promoted);
+  const kernels::KernelTable& best =
+      kernels::KernelsForLevel(BestSupportedSimdLevel());
+  EXPECT_EQ(simd_table.dot_counts, best.dot_counts);
+  EXPECT_EQ(simd_table.popcount_words, best.popcount_words);
+
+  // Mixed verdicts: only the demoted kernel changes.
+  MachineProfile mixed;
+  mixed.kernel(TunedKernel::kPopcountWords).use_simd = false;
+  const kernels::KernelTable mixed_table = BuildTunedKernelTable(mixed);
+  EXPECT_EQ(mixed_table.popcount_words, scalar.popcount_words);
+  EXPECT_EQ(mixed_table.dot_counts, best.dot_counts);
+}
+
+TEST(MachineProfile, InstalledProfileRoutesActiveKernelTable) {
+  // Installing a profile swaps the process-wide Active() table; clearing it
+  // restores plain dispatch. ScopedForceKernels still outranks the tuned
+  // table (simd_kernels_test covers the forced > tuned precedence on SIMD
+  // hosts; here we check install/uninstall plumbing).
+  ScopedProfileOverride outer(nullptr);
+  const kernels::KernelTable& dispatched = kernels::Active();
+  auto demoted = std::make_shared<MachineProfile>();
+  for (int k = 0; k < kNumTunedKernels; ++k) {
+    demoted->kernels[k].use_simd = false;
+  }
+  {
+    ScopedProfileOverride ov(demoted);
+    EXPECT_EQ(kernels::Active().dot_counts,
+              kernels::ScalarKernels().dot_counts);
+    EXPECT_EQ(kernels::Active().and_popcount_words,
+              kernels::ScalarKernels().and_popcount_words);
+  }
+  EXPECT_EQ(kernels::Active().dot_counts, dispatched.dot_counts);
+}
+
+TEST(MachineProfile, LazyLoadPicksUpMncProfileEnv) {
+  // Point $MNC_PROFILE at a saved profile, reset the registry, and the
+  // first reader must install it; a missing file must fall back to null
+  // without complaint; afterwards restore the suppressed state.
+  const std::string path = ::testing::TempDir() + "/mnc_env_profile.mncp";
+  MachineProfile p;
+  p.calibrated_threads = 11;
+  ASSERT_TRUE(SaveProfile(p, path).ok());
+
+  ::setenv("MNC_PROFILE", path.c_str(), /*overwrite=*/1);
+  ResetActiveProfileForTest();
+  const MachineProfile* loaded = ActiveProfileRaw();
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->calibrated_threads, 11);
+
+  const std::string missing = ::testing::TempDir() + "/mnc_env_missing.mncp";
+  ::setenv("MNC_PROFILE", missing.c_str(), /*overwrite=*/1);
+  ResetActiveProfileForTest();
+  EXPECT_EQ(ActiveProfileRaw(), nullptr);
+
+  ::unsetenv("MNC_PROFILE");
+  ResetActiveProfileForTest();
+  SetActiveProfile(nullptr);  // settle: no profile for the rest of the run
+  std::remove(path.c_str());
+}
+
+TEST(Calibrate, QuickCalibrationProducesAValidRoundTrippableProfile) {
+  CalibrationOptions opts;
+  opts.threads = 2;
+  opts.reps = 1;
+  opts.quick = true;
+  opts.kernel_cache_elems = 1024;
+  opts.kernel_stream_elems = 8192;
+  opts.stage_dims = {48, 96};
+  const StatusOr<MachineProfile> profile = Calibrate(opts);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_EQ(profile->calibrated_threads, 2);
+  EXPECT_EQ(profile->simd_level, BestSupportedSimdLevel());
+  for (int s = 0; s < kNumTunedStages; ++s) {
+    EXPECT_GE(profile->stages[s].crossover_work, -1) << "stage " << s;
+  }
+  for (int k = 0; k < kNumTunedKernels; ++k) {
+    EXPECT_GT(profile->kernels[k].scalar_cache_ns, 0.0) << "kernel " << k;
+  }
+  EXPECT_GT(profile->guided.single_pass_budget_bytes, 0);
+  EXPECT_GT(profile->guided.blind_reserve_bytes_per_nnz, 0.0);
+
+  const StatusOr<MachineProfile> back =
+      ParseProfile(SerializeProfile(*profile));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectProfilesEqual(*profile, *back);
+}
+
+TEST(Calibrate, MeasureFailPointAbortsCalibration) {
+  ScopedFailPoint fp("tuning.measure");
+  CalibrationOptions opts;
+  opts.quick = true;
+  opts.reps = 1;
+  const StatusOr<MachineProfile> profile = Calibrate(opts);
+  ASSERT_FALSE(profile.ok());
+  EXPECT_EQ(profile.status().code(), StatusCode::kInternal);
+}
+
+TEST(Calibrate, ProfileReadFailPointSurfacesAsDataLoss) {
+  const std::string path = ::testing::TempDir() + "/mnc_failpoint.mncp";
+  ASSERT_TRUE(SaveProfile(MachineProfile(), path).ok());
+  {
+    ScopedFailPoint fp("tuning.profile_read");
+    const StatusOr<MachineProfile> loaded = LoadProfile(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  }
+  // Disarmed: the same file loads fine.
+  EXPECT_TRUE(LoadProfile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Calibrate, CorruptProfileFallsBackToNullWithoutAborting) {
+  // Lazy load of a corrupt file must warn and fall back, not crash or
+  // install garbage.
+  const std::string path = ::testing::TempDir() + "/mnc_corrupt_env.mncp";
+  std::string bytes = SerializeProfile(MachineProfile());
+  bytes[bytes.size() / 2] ^= 0x40;
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+  ::setenv("MNC_PROFILE", path.c_str(), /*overwrite=*/1);
+  ResetActiveProfileForTest();
+  EXPECT_EQ(ActiveProfileRaw(), nullptr);
+  ::unsetenv("MNC_PROFILE");
+  ResetActiveProfileForTest();
+  SetActiveProfile(nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tuning
+}  // namespace mnc

@@ -26,6 +26,15 @@
 //                      SpGEMM pass and the CSR detour of dense-bound
 //                      products — so the default is deliberately modest to
 //                      absorb loaded-CI timer noise).
+//   --min-steady-speedup <x>  required cold-service/steady-service ratio
+//                      (default 2.0). The steady leg runs the same chain
+//                      through two EstimationServices: one with the plan
+//                      cache disabled (every Execute re-runs
+//                      canonicalization, sketch propagation, and row
+//                      estimation — repeatable cold), one with it enabled
+//                      (warm Executes replay the cached plan straight into
+//                      the kernels). Steady results are verified
+//                      bit-identical to cold before timing is reported.
 
 #include <algorithm>
 #include <cstdio>
@@ -65,6 +74,8 @@ int main(int argc, char** argv) {
   const bool check = mncbench::ArgFlag(argc, argv, "check");
   const double min_speedup =
       mncbench::ArgDouble(argc, argv, "min-speedup", 1.0);
+  const double min_steady_speedup =
+      mncbench::ArgDouble(argc, argv, "min-steady-speedup", 2.0);
   if (chain < 2) {
     std::fprintf(stderr, "error: --chain must be >= 2\n");
     return 1;
@@ -140,6 +151,68 @@ int main(int argc, char** argv) {
   counter_ev.Evaluate(root);
   const mnc::GuidedExecStats& stats = counter_ev.guided_stats();
 
+  // --- Steady-state serving leg -----------------------------------------
+  // Two services over the same registered chain: `cold_svc` has the plan
+  // cache disabled, so every ExecuteSource repeats the full analysis
+  // pipeline; `steady_svc` has it enabled, so after one warm-up Execute the
+  // cached plan is replayed. The expression string is what a repeat-operand
+  // serving client would send.
+  std::string source;
+  for (int64_t i = 0; i < chain; ++i) {
+    if (i > 0) source += " %*% ";
+    source += "A" + std::to_string(i);
+  }
+  mnc::EstimationServiceOptions cold_opts;
+  cold_opts.guided_exec = true;
+  cold_opts.num_threads = static_cast<int>(threads);
+  cold_opts.parallel.num_threads = static_cast<int>(threads);
+  cold_opts.plan_cache_budget_bytes = 0;
+  cold_opts.packed_operand_budget_bytes = 0;
+  mnc::EstimationServiceOptions steady_opts = cold_opts;
+  steady_opts.plan_cache_budget_bytes = 64LL << 20;
+  steady_opts.packed_operand_budget_bytes = 64LL << 20;
+
+  mnc::EstimationService cold_svc(cold_opts);
+  mnc::EstimationService steady_svc(steady_opts);
+  for (int64_t i = 0; i < chain; ++i) {
+    const std::string name = "A" + std::to_string(i);
+    const mnc::Matrix& m = leaves[static_cast<size_t>(i)]->matrix();
+    if (!cold_svc.RegisterMatrix(name, m).ok() ||
+        !steady_svc.RegisterMatrix(name, m).ok()) {
+      std::fprintf(stderr, "FAIL: service registration failed\n");
+      return 1;
+    }
+  }
+
+  // Bit-identity first: the steady (plan-replayed) result must match the
+  // cold guided result exactly — warm-up rep included, so both the
+  // recording and the replaying Execute are checked.
+  const auto cold_once = cold_svc.ExecuteSource(source);
+  const auto steady_warmup = steady_svc.ExecuteSource(source);
+  const auto steady_once = steady_svc.ExecuteSource(source);
+  if (!cold_once.ok() || !steady_warmup.ok() || !steady_once.ok()) {
+    std::fprintf(stderr, "FAIL: service execution failed\n");
+    return 1;
+  }
+  if (!cold_once->AsCsr().Equals(steady_warmup->AsCsr()) ||
+      !cold_once->AsCsr().Equals(steady_once->AsCsr())) {
+    std::fprintf(stderr, "FAIL: steady result differs from cold guided\n");
+    return 1;
+  }
+  if (steady_svc.stats().plan_hits < 1) {
+    std::fprintf(stderr, "FAIL: steady service never hit the plan cache\n");
+    return 1;
+  }
+
+  const double service_cold_s = MedianSeconds(reps, [&] {
+    if (!cold_svc.ExecuteSource(source).ok()) std::abort();
+  });
+  const double steady_s = MedianSeconds(reps, [&] {
+    if (!steady_svc.ExecuteSource(source).ok()) std::abort();
+  });
+  const double speedup_steady =
+      steady_s > 0.0 ? service_cold_s / steady_s : 0.0;
+
   const double speedup_cold = cold_s > 0.0 ? blind_s / cold_s : 0.0;
   const double speedup_warm = warm_s > 0.0 ? blind_s / warm_s : 0.0;
 
@@ -153,6 +226,12 @@ int main(int argc, char** argv) {
               speedup_cold);
   std::printf("  guided warm:  %9.3f ms  %6.2fx\n", warm_s * 1e3,
               speedup_warm);
+  std::printf("  service cold: %9.3f ms  (plan cache off)\n",
+              service_cold_s * 1e3);
+  std::printf("  steady:       %9.3f ms  %6.2fx vs service cold "
+              "(%lld plan hits)\n",
+              steady_s * 1e3, speedup_steady,
+              static_cast<long long>(steady_svc.stats().plan_hits));
   std::printf("  decisions: %lld products, %lld single-pass, "
               "%lld dense-direct, %lld fallbacks (%lld budget, "
               "%lld overflow), %lld merge rows, %lld scatter rows\n",
@@ -187,6 +266,10 @@ int main(int argc, char** argv) {
     report.Add("guided_warm_seconds", warm_s);
     report.Add("speedup_cold", speedup_cold);
     report.Add("speedup_warm", speedup_warm);
+    report.Add("service_cold_seconds", service_cold_s);
+    report.Add("steady_seconds", steady_s);
+    report.Add("speedup_steady", speedup_steady);
+    report.Add("plan_hits", steady_svc.stats().plan_hits);
     report.Add("guided_products", stats.guided_products);
     report.Add("single_pass", stats.single_pass);
     report.Add("dense_direct", stats.dense_direct);
@@ -208,8 +291,18 @@ int main(int argc, char** argv) {
                    speedup_warm, min_speedup, blind_s * 1e3, warm_s * 1e3);
       return 1;
     }
-    std::printf("CHECK PASSED: %.2fx >= %.2fx, guided == blind\n",
-                speedup_warm, min_speedup);
+    if (speedup_steady < min_steady_speedup) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: steady-state speedup %.2fx < required "
+                   "%.2fx (service cold %.3f ms, steady %.3f ms)\n",
+                   speedup_steady, min_steady_speedup, service_cold_s * 1e3,
+                   steady_s * 1e3);
+      return 1;
+    }
+    std::printf("CHECK PASSED: warm %.2fx >= %.2fx, steady %.2fx >= %.2fx, "
+                "guided == blind, steady == cold\n",
+                speedup_warm, min_speedup, speedup_steady,
+                min_steady_speedup);
   }
   return 0;
 }

@@ -28,6 +28,7 @@
 //       See src/mnc/tuning/.
 //   serve [--budget-mb <m>] [--threads <n>] [--guided]
 //       [--spill-dir <dir> --catalog-budget-mb <m>]
+//       [--plan-budget-mb <m>] [--packed-budget-mb <m>]
 //       [--exec "cmd; cmd; ..."] [--listen <port> [--workers <n>]]
 //       Runs a long-lived estimation service: matrices are registered once
 //       (sketch catalog with content dedup), and repeated queries are
@@ -37,6 +38,11 @@
 //       counters reported by `stats`). With --spill-dir and
 //       --catalog-budget-mb, cold catalog sketches are LRU-evicted to
 //       checksummed disk segments and fault back transparently on use.
+//       With --guided, repeated `exec` of the same expression over the same
+//       operands replays a cached plan (canonicalization, propagation, and
+//       row estimation skipped; bit-identical results). --plan-budget-mb /
+//       --packed-budget-mb size the plan cache and packed-operand store
+//       (defaults 16/32 MB; 0 disables).
 //       Commands, one per stdin line (or ';'-separated via --exec):
 //         register <name> <file.mtx>   build/reuse the sketch of a matrix
 //         register-path <name> <file> [<file2> ...] [--union]
@@ -46,6 +52,7 @@
 //         exec <expression>            evaluate a DML-like expression
 //         stats                        print catalog/memo/query counters
 //         clear                        drop all memoized sub-expressions
+//         clear-catalog                drop sketches, packed operands, plans
 //         sleep <ms>                   hold a worker (testing/drain drills)
 //         quit                         exit
 //       With --listen the same commands are served over a framed TCP
@@ -104,6 +111,7 @@ int Usage() {
                "  mnc_tool serve [--budget-mb <m>] [--threads <n>]"
                " [--guided] [--profile <profile.mncp>]"
                " [--spill-dir <dir> --catalog-budget-mb <m>]"
+               " [--plan-budget-mb <m>] [--packed-budget-mb <m>]"
                " [--exec \"cmd; cmd; ...\"]"
                " [--listen <port> [--workers <n>]]\n"
                "  mnc_tool client --connect <port> [--deadline-ms <n>]"
@@ -655,6 +663,13 @@ int CmdServe(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--catalog-budget-mb") == 0 &&
                i + 1 < argc) {
       options.catalog_resident_budget_bytes = std::atoll(argv[++i]) << 20;
+    } else if (std::strcmp(argv[i], "--plan-budget-mb") == 0 && i + 1 < argc) {
+      // Warm-path plan cache (0 disables). Only consulted with --guided.
+      options.plan_cache_budget_bytes = std::atoll(argv[++i]) << 20;
+    } else if (std::strcmp(argv[i], "--packed-budget-mb") == 0 &&
+               i + 1 < argc) {
+      // Packed-operand store budget (0 disables).
+      options.packed_operand_budget_bytes = std::atoll(argv[++i]) << 20;
     } else if (std::strcmp(argv[i], "--exec") == 0 && i + 1 < argc) {
       exec = argv[++i];
     } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
@@ -674,6 +689,15 @@ int CmdServe(int argc, char** argv) {
       }
       auto profile = std::make_shared<const mnc::tuning::MachineProfile>(
           std::move(loaded).value());
+      // Detection only: an explicit --profile is honored even when foreign,
+      // but say so — replayed crossovers from another box skew timing (the
+      // answers stay bit-identical either way).
+      std::string why;
+      if (!mnc::tuning::ProfileMatchesHost(*profile, &why)) {
+        std::fprintf(stderr,
+                     "warning: profile %s does not match this host (%s)\n",
+                     argv[i], why.c_str());
+      }
       mnc::tuning::SetActiveProfile(profile);
       options.profile = std::move(profile);
     } else {

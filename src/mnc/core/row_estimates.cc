@@ -124,4 +124,19 @@ RowEstimateSummary SummarizeRowEstimates(
   return s;
 }
 
+RowEstimateTable BuildRowEstimateTable(
+    const std::vector<RowProductEstimate>& rows) {
+  RowEstimateTable t;
+  t.upper.resize(rows.size());
+  t.estimate.resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    t.upper[i] = rows[i].upper_bound;
+    t.estimate[i] = rows[i].estimate;
+    t.summary.estimate_total += rows[i].estimate;
+    t.summary.upper_bound_total += rows[i].upper_bound;
+    if (rows[i].exact) ++t.summary.exact_rows;
+  }
+  return t;
+}
+
 }  // namespace mnc

@@ -59,6 +59,28 @@ struct RowEstimateSummary {
   int64_t exact_rows = 0;
 };
 
+// Split-vector form of a per-row estimate table — the shape the guided
+// SpGEMM kernel consumes directly (MultiplySparseSparseGuided takes the
+// upper/estimate vectors separately) and the unit the estimation service's
+// plan cache stores per product node so a warm Execute can replay guided
+// decisions without recomputing any estimate.
+struct RowEstimateTable {
+  std::vector<int64_t> upper;    // Thm 3.2 per-row bounds
+  std::vector<double> estimate;  // Eq. 8 per-row estimates
+  RowEstimateSummary summary;
+
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(sizeof(*this)) +
+           static_cast<int64_t>(upper.capacity() * sizeof(int64_t)) +
+           static_cast<int64_t>(estimate.capacity() * sizeof(double));
+  }
+};
+
+// Splits `rows` into the kernel-facing table, summarizing in the same O(m)
+// pass SummarizeRowEstimates would take.
+RowEstimateTable BuildRowEstimateTable(
+    const std::vector<RowProductEstimate>& rows);
+
 // Per-row output estimates for C = A B from A's row patterns and B's
 // sketch. Requires a.cols() == b.rows() and b.hr() present (true for every
 // sketch this library builds or propagates). Deterministic: no PRNG, and

@@ -59,8 +59,9 @@ const MncSketch& Evaluator::SketchFor(const ExprNode* node) {
   return *pos->second;
 }
 
-Matrix Evaluator::GuidedMultiply(const Matrix& a, const Matrix& b,
-                                 const MncSketch& sa, const MncSketch& sb) {
+Matrix Evaluator::GuidedMultiply(const ExprNode* node, const Matrix& a,
+                                 const Matrix& b, const MncSketch& sa,
+                                 const MncSketch& sb) {
   const ParallelConfig config = GuidedConfig();
   const bool parallel = config.enabled() && pool_ != nullptr;
   // Calibrated guided break-evens, falling back to the built-in constants
@@ -78,30 +79,34 @@ Matrix Evaluator::GuidedMultiply(const Matrix& a, const Matrix& b,
     const std::vector<RowProductEstimate> rows =
         parallel ? EstimateProductRows(a.csr(), sb, config, pool_)
                  : EstimateProductRows(a.csr(), sb);
-    const RowEstimateSummary sum = SummarizeRowEstimates(rows);
+    RowEstimateTable table = BuildRowEstimateTable(rows);
     const double cells = static_cast<double>(m) * static_cast<double>(l);
     const double est_sp =
-        cells > 0.0 ? std::min(sum.estimate_total / cells, 1.0) : 0.0;
+        cells > 0.0 ? std::min(table.summary.estimate_total / cells, 1.0)
+                    : 0.0;
     if (est_sp >= dense_threshold) {
       // Estimated-dense product: accumulate straight into a DenseMatrix
       // instead of materializing CSR and converting afterwards, which is
       // what the blind path does for a dense-bound product.
       guided_stats_.guided_products += 1;
       guided_stats_.dense_direct += 1;
-      const int64_t blind_nnz =
-          std::min(static_cast<int64_t>(sum.estimate_total), m * l);
-      guided_stats_.blind_reserve_bytes +=
+      const int64_t blind_nnz = std::min(
+          static_cast<int64_t>(table.summary.estimate_total), m * l);
+      const int64_t blind_bytes =
           prof != nullptr && prof->guided.blind_reserve_bytes_per_nnz > 0.0
               ? static_cast<int64_t>(prof->guided.blind_reserve_bytes_per_nnz *
                                      static_cast<double>(blind_nnz))
               : BlindReserveBytesModel(blind_nnz);
+      guided_stats_.blind_reserve_bytes += blind_bytes;
+      if (options_.plan_record) {
+        ProductPlanEntry entry;
+        entry.sparse_sparse = true;
+        entry.dense_direct = true;
+        entry.est_sparsity = est_sp;
+        entry.blind_reserve_bytes = blind_bytes;
+        options_.plan_record(node, std::move(entry));
+      }
       return Matrix::Dense(MultiplySparseSparseDense(a.csr(), b.csr(), pool_));
-    }
-    std::vector<int64_t> upper(rows.size());
-    std::vector<double> estimate(rows.size());
-    for (size_t i = 0; i < rows.size(); ++i) {
-      upper[i] = rows[i].upper_bound;
-      estimate[i] = rows[i].estimate;
     }
     GuidedProductOptions opts;
     opts.single_pass_budget_bytes =
@@ -109,8 +114,16 @@ Matrix Evaluator::GuidedMultiply(const Matrix& a, const Matrix& b,
             ? prof->guided.single_pass_budget_bytes
             : options_.single_pass_budget_bytes;
     opts.merge_accum_max_nnz = options_.merge_accum_max_nnz;
+    if (options_.plan_record) {
+      ProductPlanEntry entry;
+      entry.sparse_sparse = true;
+      entry.est_sparsity = est_sp;
+      entry.table = table;
+      entry.opts = opts;
+      options_.plan_record(node, std::move(entry));
+    }
     return Matrix::AutoFromCsr(MultiplySparseSparseGuided(
-        a.csr(), b.csr(), upper, estimate, opts, config, pool_,
+        a.csr(), b.csr(), table.upper, table.estimate, opts, config, pool_,
         &guided_stats_));
   }
   // Mixed/dense products materialize a dense result anyway; the estimate
@@ -125,7 +138,49 @@ Matrix Evaluator::GuidedMultiply(const Matrix& a, const Matrix& b,
           : (a.is_dense() ? MultiplyDenseSparse(a.dense(), b.csr())
                           : MultiplySparseDense(a.csr(), b.dense()));
   if (est_sp >= dense_threshold) guided_stats_.dense_direct += 1;
+  if (options_.plan_record) {
+    ProductPlanEntry entry;
+    entry.dense_direct = est_sp >= dense_threshold;
+    entry.est_sparsity = est_sp;
+    options_.plan_record(node, std::move(entry));
+  }
   return Matrix::AutoFromDenseEstimated(std::move(out), est_sp);
+}
+
+Matrix Evaluator::ReplayMultiply(const ExprNode* node, const Matrix& a,
+                                 const Matrix& b) {
+  const ProductPlanEntry* plan = options_.plan_lookup(node);
+  // Replay preserves the cold guided execution exactly: the same kernels
+  // consume the same recorded vectors and budgets, so values AND physical
+  // formats reproduce bit-for-bit. The blind fallbacks below cover decision
+  // records that no longer match the operands' formats (possible only if a
+  // stale plan outlived an invalidation edge) — blind kernels compute
+  // bit-identical values in whatever format the operands dictate.
+  if (plan == nullptr) return Multiply(a, b, pool_);
+  if (plan->sparse_sparse) {
+    if (a.is_dense() || b.is_dense()) return Multiply(a, b, pool_);
+    if (plan->dense_direct) {
+      guided_stats_.guided_products += 1;
+      guided_stats_.dense_direct += 1;
+      guided_stats_.blind_reserve_bytes += plan->blind_reserve_bytes;
+      return Matrix::Dense(MultiplySparseSparseDense(a.csr(), b.csr(), pool_));
+    }
+    if (plan->table.upper.size() != static_cast<size_t>(a.rows())) {
+      return Multiply(a, b, pool_);
+    }
+    return Matrix::AutoFromCsr(MultiplySparseSparseGuided(
+        a.csr(), b.csr(), plan->table.upper, plan->table.estimate, plan->opts,
+        GuidedConfig(), pool_, &guided_stats_));
+  }
+  if (!a.is_dense() && !b.is_dense()) return Multiply(a, b, pool_);
+  guided_stats_.guided_products += 1;
+  DenseMatrix out =
+      a.is_dense() && b.is_dense()
+          ? MultiplyDenseDense(a.dense(), b.dense(), pool_)
+          : (a.is_dense() ? MultiplyDenseSparse(a.dense(), b.csr())
+                          : MultiplySparseDense(a.csr(), b.dense()));
+  if (plan->dense_direct) guided_stats_.dense_direct += 1;
+  return Matrix::AutoFromDenseEstimated(std::move(out), plan->est_sparsity);
 }
 
 Matrix Evaluator::Evaluate(const ExprPtr& root) {
@@ -163,10 +218,14 @@ Matrix Evaluator::Evaluate(const ExprPtr& root) {
         // memo hits here (children were sketched when cached). Either path
         // yields bit-identical values (guided may differ in physical format
         // only when the estimate is wrong about the dense threshold).
+        // Replay mode (plan_lookup) re-dispatches from recorded decisions
+        // without any sketch.
         result = options_.guided
-                     ? GuidedMultiply(a, cache_.at(right), SketchFor(left),
-                                      SketchFor(right))
-                     : Multiply(a, cache_.at(right), pool_);
+                     ? GuidedMultiply(node, a, cache_.at(right),
+                                      SketchFor(left), SketchFor(right))
+                     : (options_.plan_lookup
+                            ? ReplayMultiply(node, a, cache_.at(right))
+                            : Multiply(a, cache_.at(right), pool_));
         break;
       case OpKind::kEWiseAdd:
         result = Add(a, cache_.at(right));
@@ -174,9 +233,18 @@ Matrix Evaluator::Evaluate(const ExprPtr& root) {
       case OpKind::kEWiseMult:
         result = MultiplyEWise(a, cache_.at(right));
         break;
-      case OpKind::kTranspose:
-        result = Transpose(a);
+      case OpKind::kTranspose: {
+        // A cataloged leaf's transpose may be pre-packed by the service's
+        // packed-operand store; the cached matrix is the bit-exact
+        // Transpose of the leaf, so substituting it cannot change results.
+        std::shared_ptr<const Matrix> packed;
+        if (options_.cached_transpose && node->left()->is_leaf() &&
+            node->left()->has_matrix()) {
+          packed = options_.cached_transpose(*node->left());
+        }
+        result = packed != nullptr ? *packed : Transpose(a);
         break;
+      }
       case OpKind::kReshape:
         result = Reshape(a, node->rows(), node->cols());
         break;

@@ -22,12 +22,35 @@
 
 #include "mnc/core/mnc_propagation.h"
 #include "mnc/core/mnc_sketch.h"
+#include "mnc/core/row_estimates.h"
 #include "mnc/ir/expr.h"
 #include "mnc/matrix/ops_product.h"
 #include "mnc/util/status.h"
 #include "mnc/util/thread_pool.h"
 
 namespace mnc {
+
+// One recorded guided-product decision — everything GuidedMultiply derived
+// from the operands' sketches, in replayable form. A warm (plan-cached)
+// execution re-dispatches each product from its entry without building or
+// propagating a single sketch, and reproduces the cold guided execution
+// bit-for-bit: the entry feeds the very same vectors and budgets back into
+// the very same kernels.
+struct ProductPlanEntry {
+  bool sparse_sparse = false;  // both operands were CSR: guided SpGEMM path
+  bool dense_direct = false;   // accumulate straight into a DenseMatrix
+  double est_sparsity = 0.0;   // estimated output sparsity (dense paths)
+  // Modeled blind allocation for dense-direct products (stat parity with
+  // the cold run; the CSR kernel accounts its own reserve bytes).
+  int64_t blind_reserve_bytes = 0;
+  RowEstimateTable table;     // per-row bounds (sparse-sparse CSR path only)
+  GuidedProductOptions opts;  // effective budgets at record time
+
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(sizeof(*this)) + table.MemoryBytes() -
+           static_cast<int64_t>(sizeof(table));
+  }
+};
 
 // Sketch-guided execution knobs. With guided off (the default) the
 // evaluator behaves exactly as before: no sketches are built and every
@@ -59,6 +82,22 @@ struct EvaluatorOptions {
   // profile, then to the constants. Purely a performance switch: every
   // calibrated choice selects among bit-identical execution paths.
   std::shared_ptr<const tuning::MachineProfile> profile;
+  // Plan record/replay hooks (the estimation service's warm-path plan
+  // cache; see mnc/service/plan_cache.h). At most one of {guided +
+  // plan_record, plan_lookup} is meaningful per evaluator:
+  //   - plan_record fires once per guided matrix product with the node and
+  //     the decisions GuidedMultiply just derived (guided mode only).
+  //   - plan_lookup non-null switches evaluation into replay mode: guided
+  //     stays off, no sketch is built or propagated, and every product
+  //     re-dispatches from its recorded entry. A node without an entry
+  //     falls back to the blind kernel (bit-identical values).
+  std::function<void(const ExprNode*, ProductPlanEntry)> plan_record;
+  std::function<const ProductPlanEntry*(const ExprNode*)> plan_lookup;
+  // Precomputed exact transpose of a cataloged leaf (the packed-operand
+  // store). Consulted for Transpose(leaf) nodes; must return either nullptr
+  // or the bit-exact Transpose of the leaf's matrix.
+  std::function<std::shared_ptr<const Matrix>(const ExprNode&)>
+      cached_transpose;
 };
 
 class Evaluator {
@@ -109,9 +148,15 @@ class Evaluator {
   // sketches must already be present for internal nodes.
   const MncSketch& SketchFor(const ExprNode* node);
 
-  // Sketch-guided matrix product dispatch (guided mode only).
-  Matrix GuidedMultiply(const Matrix& a, const Matrix& b, const MncSketch& sa,
-                        const MncSketch& sb);
+  // Sketch-guided matrix product dispatch (guided mode only). `node` is the
+  // product being evaluated, forwarded to the plan_record hook.
+  Matrix GuidedMultiply(const ExprNode* node, const Matrix& a, const Matrix& b,
+                        const MncSketch& sa, const MncSketch& sb);
+
+  // Warm replay of a recorded product decision (plan_lookup mode only);
+  // falls back to the blind kernel when no entry was recorded for `node`.
+  Matrix ReplayMultiply(const ExprNode* node, const Matrix& a,
+                        const Matrix& b);
 
   // Parallel-propagation config sized to the attached pool (carries the
   // evaluator's profile for per-stage calibrated dispatch).

@@ -258,6 +258,16 @@ CommandOutcome RunServeCommand(EstimationService& service,
                static_cast<long long>(s.guided.scatter_rows),
                static_cast<long long>(s.guided.blind_reserve_bytes -
                                       s.guided.guided_reserve_bytes)) +
+        Format("\nplan: %lld hits, %lld misses, %lld invalidations, "
+               "%lld entries, %lld bytes, %lld packed operands, "
+               "%lld packed bytes",
+               static_cast<long long>(s.plan_hits),
+               static_cast<long long>(s.plan_misses),
+               static_cast<long long>(s.plan_invalidations),
+               static_cast<long long>(s.plan_entries),
+               static_cast<long long>(s.plan_bytes),
+               static_cast<long long>(s.packed_operands),
+               static_cast<long long>(s.packed_operand_bytes)) +
         Format("\ningest: %lld streaming registrations, %lld resident "
                "bytes, %lld spilled, %lld spills, %lld faults, "
                "%lld read failures, %lld write failures",
@@ -277,11 +287,18 @@ CommandOutcome RunServeCommand(EstimationService& service,
     return out;
   }
 
+  if (verb == "clear-catalog") {
+    service.ClearCatalog();
+    out.body = "catalog cleared (sketches, packed operands, cached plans)";
+    return out;
+  }
+
   if (verb == "sleep") return SleepCommand(rest, ctx);
 
   out.status = Status::InvalidArgument(
       "unknown command '" + TruncateEcho(verb) +
-      "' (register/register-path/estimate/exec/stats/clear/sleep/quit)");
+      "' (register/register-path/estimate/exec/stats/clear/clear-catalog/"
+      "sleep/quit)");
   return out;
 }
 

@@ -1,7 +1,9 @@
 #include "mnc/service/estimation_service.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
+#include <unordered_set>
 #include <utility>
 
 #include "mnc/estimators/fallback_estimator.h"
@@ -9,6 +11,7 @@
 #include "mnc/ir/evaluator.h"
 #include "mnc/ir/sketch_propagator.h"
 #include "mnc/lang/parser.h"
+#include "mnc/tuning/machine_profile.h"
 #include "mnc/util/fail_point.h"
 #include "mnc/util/random.h"
 
@@ -46,6 +49,8 @@ EstimationServiceOptions WithProfileAttached(EstimationServiceOptions o) {
 EstimationService::EstimationService(EstimationServiceOptions options)
     : options_(WithProfileAttached(std::move(options))),
       memo_(options_.memo_budget_bytes),
+      plan_cache_(options_.plan_cache_budget_bytes),
+      packed_(options_.packed_operand_budget_bytes),
       pool_(options_.num_threads) {
   if (options_.catalog_resident_budget_bytes > 0 &&
       !options_.spill_dir.empty()) {
@@ -112,6 +117,7 @@ StatusOr<ExprPtr> EstimationService::RegisterMatrix(const std::string& name,
     fresh = std::move(built);
   }
 
+  std::shared_ptr<const MncSketch> pack_sketch;
   {
     std::unique_lock<std::shared_mutex> lock(catalog_mu_);
     if (auto it = by_fp_.find(fp); it != by_fp_.end()) {
@@ -130,6 +136,15 @@ StatusOr<ExprPtr> EstimationService::RegisterMatrix(const std::string& name,
     storage_fp_[entry->leaf->matrix().storage_key()] = entry->fingerprint;
     TouchEntry(*entry);
     EnforceCatalogBudgetLocked(entry.get());
+    pack_sketch = entry->sketch;  // null when already spilled again
+  }
+  // Re-registration under this fingerprint is an invalidation edge:
+  // dependent plans are dropped (conservative refresh — the content is
+  // byte-equal, but the contract keeps every registration event airtight)
+  // and the packed analysis is rebuilt from the current sketch.
+  plan_cache_.InvalidateFingerprint(fp);
+  if (pack_sketch != nullptr) {
+    packed_.BuildAndInsert(fp, entry->leaf->matrix(), *pack_sketch);
   }
   return entry->leaf;
 }
@@ -270,6 +285,12 @@ void EstimationService::EnforceCatalogBudgetLocked(const CatalogEntry* keep) {
     victim->sketch.reset();
     resident_bytes_ -= victim->sketch_bytes;
     catalog_spills_.fetch_add(1, std::memory_order_relaxed);
+    // Spill eviction is an invalidation edge: plans and packed analysis
+    // derived from the evicted sketch are dropped with it. (Lock order:
+    // catalog_mu_ is held here; the plan/packed locks nest strictly inside
+    // it, never the other way around.)
+    plan_cache_.InvalidateFingerprint(victim->fingerprint);
+    packed_.Erase(victim->fingerprint);
   }
 }
 
@@ -554,6 +575,79 @@ StatusOr<EstimateResult> EstimationService::EstimateSource(
   return Estimate(parsed.expr, request);
 }
 
+const void* EstimationService::ProfileToken() const {
+  if (options_.profile != nullptr) return options_.profile.get();
+  return tuning::ActiveProfileRaw();
+}
+
+std::function<std::shared_ptr<const Matrix>(const ExprNode&)>
+EstimationService::MakeTransposeHook() {
+  if (!packed_.enabled()) return nullptr;
+  return [this](const ExprNode& leaf) -> std::shared_ptr<const Matrix> {
+    if (!leaf.has_matrix()) return nullptr;
+    uint64_t fp = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+      auto it = storage_fp_.find(leaf.matrix().storage_key());
+      if (it == storage_fp_.end()) return nullptr;
+      fp = it->second;
+    }
+    return packed_.TransposeFor(fp, leaf.matrix());
+  };
+}
+
+std::function<std::shared_ptr<const MncSketch>(const ExprNode&)>
+EstimationService::MakeLeafSketchHook() {
+  // Leaves whose storage is cataloged reuse their registered sketches;
+  // ad-hoc leaves return nullptr and are sketched by the evaluator.
+  return [this](const ExprNode& leaf) -> std::shared_ptr<const MncSketch> {
+    if (!leaf.has_matrix()) return nullptr;  // unreachable past ValidateDag
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    if (auto it = storage_fp_.find(leaf.matrix().storage_key());
+        it != storage_fp_.end()) {
+      if (auto fit = by_fp_.find(it->second); fit != by_fp_.end()) {
+        return fit->second->sketch;
+      }
+    }
+    return nullptr;
+  };
+}
+
+void EstimationService::RecordPlan(
+    uint64_t key, const ExprPtr& root, const LeafFingerprintFn& resolver,
+    const void* profile_token,
+    std::unordered_map<const ExprNode*, ProductPlanEntry> products,
+    const Evaluator& evaluator) {
+  auto plan = std::make_shared<CachedPlan>();
+  plan->key = key;
+  plan->root = root;
+  plan->profile_token = profile_token;
+  plan->products = std::move(products);
+  // One DAG walk collects the operand fingerprints (invalidation index)
+  // and the propagated intermediate summaries (diagnostics).
+  std::vector<const ExprNode*> stack = {root.get()};
+  std::unordered_map<const ExprNode*, bool> seen;
+  std::unordered_set<uint64_t> fps;
+  while (!stack.empty()) {
+    const ExprNode* node = stack.back();
+    stack.pop_back();
+    if (node == nullptr || !seen.emplace(node, true).second) continue;
+    if (node->is_leaf()) {
+      fps.insert(resolver(*node));
+      continue;
+    }
+    if (const MncSketch* sk = evaluator.NodeSketch(node)) {
+      plan->intermediates.push_back(
+          PlanNodeSummary{sk->rows(), sk->cols(), sk->Sparsity()});
+    }
+    stack.push_back(node->left().get());
+    if (node->right() != nullptr) stack.push_back(node->right().get());
+  }
+  plan->operand_fps.assign(fps.begin(), fps.end());
+  std::sort(plan->operand_fps.begin(), plan->operand_fps.end());
+  plan_cache_.Insert(std::move(plan));
+}
+
 StatusOr<Matrix> EstimationService::Execute(const ExprPtr& root,
                                             const RequestContext* request) {
   executions_.fetch_add(1, std::memory_order_relaxed);
@@ -563,25 +657,62 @@ StatusOr<Matrix> EstimationService::Execute(const ExprPtr& root,
   if (request != nullptr) {
     MNC_RETURN_IF_ERROR(request->Check("execute"));
   }
+
+  // Warm path: a structurally-equal query over the same operand contents
+  // replays the recorded plan — no canonicalization, no sketch resolution
+  // or propagation, no per-row estimation; products dispatch straight into
+  // the kernels with their recorded decisions, bit-identical to the cold
+  // guided run that recorded them.
+  const bool plans_active = options_.guided_exec && plan_cache_.enabled();
+  LeafFingerprintFn resolver;
+  uint64_t plan_key = 0;
+  const void* profile_token = nullptr;
+  if (plans_active) {
+    resolver = MakeResolver();
+    ExprHasher hasher(resolver);
+    plan_key = hasher.Hash(root);
+    profile_token = ProfileToken();
+    if (std::shared_ptr<const CachedPlan> plan =
+            plan_cache_.Lookup(plan_key, root, resolver, profile_token)) {
+      EvaluatorOptions opts;
+      opts.seed = options_.seed;
+      opts.rounding = options_.rounding;
+      opts.profile = options_.profile;
+      opts.plan_lookup =
+          [plan](const ExprNode* node) -> const ProductPlanEntry* {
+        auto it = plan->products.find(node);
+        return it != plan->products.end() ? &it->second : nullptr;
+      };
+      opts.cached_transpose = MakeTransposeHook();
+      // Replay executes the plan's own pinned DAG: its node identities key
+      // the recorded entries and its leaves pin the operand storage.
+      Evaluator evaluator(&pool_, std::move(opts));
+      StatusOr<Matrix> result = evaluator.TryEvaluate(plan->root);
+      {
+        std::lock_guard<std::mutex> lock(exec_mu_);
+        guided_stats_.MergeFrom(evaluator.guided_stats());
+      }
+      if (result.ok() && request != nullptr) {
+        MNC_RETURN_IF_ERROR(request->Check("execute"));
+      }
+      return result;
+    }
+  }
+
   EvaluatorOptions opts;
   opts.guided = options_.guided_exec;
   opts.seed = options_.seed;
   opts.rounding = options_.rounding;
   opts.profile = options_.profile;
   if (options_.guided_exec) {
-    // Leaves whose storage is cataloged reuse their registered sketches;
-    // ad-hoc leaves return nullptr and are sketched by the evaluator.
-    opts.leaf_sketches =
-        [this](const ExprNode& leaf) -> std::shared_ptr<const MncSketch> {
-      if (!leaf.has_matrix()) return nullptr;  // unreachable past ValidateDag
-      std::shared_lock<std::shared_mutex> lock(catalog_mu_);
-      if (auto it = storage_fp_.find(leaf.matrix().storage_key());
-          it != storage_fp_.end()) {
-        if (auto fit = by_fp_.find(it->second); fit != by_fp_.end()) {
-          return fit->second->sketch;
-        }
-      }
-      return nullptr;
+    opts.leaf_sketches = MakeLeafSketchHook();
+  }
+  opts.cached_transpose = MakeTransposeHook();
+  std::unordered_map<const ExprNode*, ProductPlanEntry> recorded;
+  if (plans_active) {
+    opts.plan_record = [&recorded](const ExprNode* node,
+                                   ProductPlanEntry entry) {
+      recorded[node] = std::move(entry);
     };
   }
   // Per-call evaluator: its caches key on node identity, which is only
@@ -598,7 +729,26 @@ StatusOr<Matrix> EstimationService::Execute(const ExprPtr& root,
   if (result.ok() && request != nullptr) {
     MNC_RETURN_IF_ERROR(request->Check("execute"));
   }
+  // Only fully successful cold guided executions are planned: failed and
+  // deadline-exceeded runs returned above, so nothing degraded or late is
+  // ever replayed.
+  if (plans_active && result.ok()) {
+    RecordPlan(plan_key, root, resolver, profile_token, std::move(recorded),
+               evaluator);
+  }
   return result;
+}
+
+void EstimationService::ClearCatalog() {
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    by_fp_.clear();
+    by_name_.clear();
+    storage_fp_.clear();
+    resident_bytes_ = 0;
+  }
+  packed_.Clear();
+  plan_cache_.Clear();
 }
 
 StatusOr<Matrix> EstimationService::ExecuteSource(const std::string& source,
@@ -674,6 +824,15 @@ ServiceStats EstimationService::stats() const {
     s.guided = guided_stats_;
   }
   s.memo = memo_.stats();
+  const PlanCacheStats plans = plan_cache_.stats();
+  s.plan_hits = plans.hits;
+  s.plan_misses = plans.misses;
+  s.plan_invalidations = plans.invalidations;
+  s.plan_entries = plans.entries;
+  s.plan_bytes = plans.bytes;
+  const PackedStoreStats packed = packed_.stats();
+  s.packed_operands = packed.entries;
+  s.packed_operand_bytes = packed.bytes;
   return s;
 }
 

@@ -67,6 +67,8 @@
 #include "mnc/ir/expr.h"
 #include "mnc/ir/expr_hash.h"
 #include "mnc/matrix/ops_product.h"
+#include "mnc/service/packed_operand.h"
+#include "mnc/service/plan_cache.h"
 #include "mnc/service/sketch_cache.h"
 #include "mnc/util/deadline.h"
 #include "mnc/util/parallel.h"
@@ -134,6 +136,19 @@ struct EstimationServiceOptions {
   // constants. Purely a performance knob — every profile-driven choice is
   // bit-identical to the uncalibrated path.
   std::shared_ptr<const tuning::MachineProfile> profile;
+
+  // Warm-path plan cache byte budget (mnc/service/plan_cache.h): repeated
+  // guided Execute over the same expression + operands replays recorded
+  // decisions and skips sketch propagation and per-row estimation entirely.
+  // <= 0 disables; only effective together with guided_exec (plans record
+  // guided decisions). Replayed results are bit-identical to cold guided
+  // execution (enforced by the differential harness).
+  int64_t plan_cache_budget_bytes = 16LL << 20;  // 16 MB
+
+  // Packed-operand store byte budget (mnc/service/packed_operand.h):
+  // per-operand packing — format verdict, leaf row table, cached exact
+  // transpose — precomputed at RegisterMatrix time. <= 0 disables.
+  int64_t packed_operand_budget_bytes = 32LL << 20;  // 32 MB
 };
 
 struct EstimateResult {
@@ -163,6 +178,14 @@ struct ServiceStats {
   // Execution.
   int64_t executions = 0;
   GuidedExecStats guided;
+  // Warm-path plan cache + packed-operand store.
+  int64_t plan_hits = 0;
+  int64_t plan_misses = 0;
+  int64_t plan_invalidations = 0;  // dropped by an invalidation edge
+  int64_t plan_entries = 0;
+  int64_t plan_bytes = 0;
+  int64_t packed_operands = 0;
+  int64_t packed_operand_bytes = 0;
   // Memo table.
   SketchMemoStats memo;
   // Streaming ingestion and the spill tier.
@@ -265,6 +288,14 @@ class EstimationService {
   ServiceStats stats() const;
   void ClearMemo() { memo_.Clear(); }
 
+  // Drops every catalog entry (names, fingerprints, storage keys, resident
+  // bytes) along with every packed operand and cached plan — the coarse
+  // invalidation edge. Spill segments already on disk are left behind;
+  // cleared entries can never reference them again. Roots held by callers
+  // stay executable (their leaves pin the matrices), they just lose warm
+  // service state.
+  void ClearCatalog();
+
   const EstimationServiceOptions& options() const { return options_; }
 
  private:
@@ -338,6 +369,27 @@ class EstimationService {
   StatusOr<EstimateResult> EstimateDegraded(const ExprPtr& canonical,
                                             const Status& cause);
 
+  // The calibration profile token plans are recorded/validated under: the
+  // instance profile, else the process-wide active profile pointer. A
+  // change of active profile flips the token and invalidates at lookup.
+  const void* ProfileToken() const;
+
+  // Evaluator hook resolving a cataloged leaf's pre-packed transpose (null
+  // hook when the packed store is disabled).
+  std::function<std::shared_ptr<const Matrix>(const ExprNode&)>
+  MakeTransposeHook();
+
+  // Evaluator hook resolving cataloged leaf sketches for guided execution.
+  std::function<std::shared_ptr<const MncSketch>(const ExprNode&)>
+  MakeLeafSketchHook();
+
+  // Assembles and inserts the plan recorded during a cold guided Execute.
+  void RecordPlan(uint64_t key, const ExprPtr& root,
+                  const LeafFingerprintFn& resolver, const void* profile_token,
+                  std::unordered_map<const ExprNode*, ProductPlanEntry>
+                      products,
+                  const Evaluator& evaluator);
+
   const EstimationServiceOptions options_;
 
   mutable std::shared_mutex catalog_mu_;
@@ -354,6 +406,11 @@ class EstimationService {
   std::unordered_map<const void*, uint64_t> storage_fp_;
 
   SketchMemoCache memo_;
+  // Warm-path serving tier: recorded execution plans keyed by raw
+  // structural hash, and per-operand packing keyed by fingerprint. Their
+  // internal locks are only ever acquired after (never before) catalog_mu_.
+  PlanCache plan_cache_;
+  PackedOperandStore packed_;
   // mutable: the pool carries no logical service state, and const query
   // paths (PropagateNode) schedule work on it.
   mutable ThreadPool pool_;

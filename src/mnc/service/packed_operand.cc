@@ -1,0 +1,184 @@
+#include "mnc/service/packed_operand.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mnc/matrix/ops_reorg.h"
+
+namespace mnc {
+
+namespace {
+
+int64_t MatrixStorageBytes(const Matrix& m) {
+  if (m.is_dense()) {
+    return m.rows() * m.cols() * static_cast<int64_t>(sizeof(double));
+  }
+  const CsrMatrix& c = m.csr();
+  return static_cast<int64_t>(c.row_ptr().capacity() * sizeof(int64_t) +
+                              c.col_idx().capacity() * sizeof(int64_t) +
+                              c.values().capacity() * sizeof(double));
+}
+
+}  // namespace
+
+const char* PackedFormatName(PackedFormat f) {
+  switch (f) {
+    case PackedFormat::kCsr:
+      return "csr";
+    case PackedFormat::kCsc:
+      return "csc";
+    case PackedFormat::kDense:
+      return "dense";
+  }
+  return "?";
+}
+
+PackedFormat ClassifyPackedFormat(const MncSketch& sketch) {
+  if (sketch.Sparsity() >= kDenseDispatchThreshold) return PackedFormat::kDense;
+  const double nnz = static_cast<double>(sketch.nnz());
+  const double mean_row =
+      nnz / static_cast<double>(std::max<int64_t>(1, sketch.non_empty_rows()));
+  const double mean_col =
+      nnz / static_cast<double>(std::max<int64_t>(1, sketch.non_empty_cols()));
+  return mean_col >= 4.0 * mean_row ? PackedFormat::kCsc : PackedFormat::kCsr;
+}
+
+void PackedOperandStore::BuildAndInsert(uint64_t fp, const Matrix& m,
+                                        const MncSketch& sketch) {
+  if (!enabled()) return;
+
+  auto packed = std::make_shared<PackedOperand>();
+  packed->fingerprint = fp;
+  packed->rows = sketch.rows();
+  packed->cols = sketch.cols();
+  packed->nnz = sketch.nnz();
+  packed->sparsity = sketch.Sparsity();
+  packed->verdict = ClassifyPackedFormat(sketch);
+  // Leaf base case of the per-row machinery: an exact sketch's hr IS the
+  // row pattern count, so upper == estimate == hr and every row is exact.
+  const std::vector<int64_t>& hr = sketch.hr();
+  packed->row_table.upper.assign(hr.begin(), hr.end());
+  packed->row_table.estimate.resize(hr.size());
+  for (size_t i = 0; i < hr.size(); ++i) {
+    packed->row_table.estimate[i] = static_cast<double>(hr[i]);
+    packed->row_table.summary.estimate_total += static_cast<double>(hr[i]);
+    packed->row_table.summary.upper_bound_total += hr[i];
+  }
+  packed->row_table.summary.exact_rows = static_cast<int64_t>(hr.size());
+  packed->base_bytes = static_cast<int64_t>(sizeof(PackedOperand)) +
+                       packed->row_table.MemoryBytes();
+  // A column-skewed operand will be consumed through column-major access
+  // (transposes, right-factor kernels); pack the transpose up front so even
+  // the first Execute gets it for free.
+  if (packed->verdict == PackedFormat::kCsc) {
+    packed->transpose = std::make_shared<const Matrix>(Transpose(m));
+    packed->transpose_bytes = MatrixStorageBytes(*packed->transpose);
+    transpose_builds_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (auto it = by_fp_.find(fp); it != by_fp_.end()) {
+    bytes_ -= it->second->base_bytes + it->second->transpose_bytes;
+    by_fp_.erase(it);
+  }
+  packed->last_use.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+  bytes_ += packed->base_bytes + packed->transpose_bytes;
+  PackedOperand* keep = packed.get();
+  by_fp_.emplace(fp, std::move(packed));
+  builds_.fetch_add(1, std::memory_order_relaxed);
+  EnforceBudgetLocked(keep);
+}
+
+std::shared_ptr<const PackedOperand> PackedOperandStore::Lookup(uint64_t fp) {
+  if (!enabled()) return nullptr;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = by_fp_.find(fp);
+  if (it == by_fp_.end()) return nullptr;
+  it->second->last_use.store(
+      tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  return it->second;
+}
+
+std::shared_ptr<const Matrix> PackedOperandStore::TransposeFor(
+    uint64_t fp, const Matrix& m) {
+  if (!enabled()) return nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = by_fp_.find(fp);
+    if (it == by_fp_.end()) return nullptr;
+    it->second->last_use.store(
+        tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    if (it->second->transpose != nullptr) {
+      transpose_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->transpose;
+    }
+  }
+  // Pack outside the lock; racing packers compute the identical matrix and
+  // the first to re-acquire installs it (the loser adopts the winner's).
+  auto transpose = std::make_shared<const Matrix>(Transpose(m));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = by_fp_.find(fp);
+  if (it == by_fp_.end()) return transpose;  // evicted meanwhile: still valid
+  if (it->second->transpose == nullptr) {
+    it->second->transpose = transpose;
+    it->second->transpose_bytes = MatrixStorageBytes(*transpose);
+    bytes_ += it->second->transpose_bytes;
+    transpose_builds_.fetch_add(1, std::memory_order_relaxed);
+    EnforceBudgetLocked(it->second.get());
+  }
+  return it->second->transpose;
+}
+
+bool PackedOperandStore::Erase(uint64_t fp) {
+  if (!enabled()) return false;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = by_fp_.find(fp);
+  if (it == by_fp_.end()) return false;
+  bytes_ -= it->second->base_bytes + it->second->transpose_bytes;
+  by_fp_.erase(it);
+  return true;
+}
+
+void PackedOperandStore::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  by_fp_.clear();
+  bytes_ = 0;
+}
+
+PackedStoreStats PackedOperandStore::stats() const {
+  PackedStoreStats s;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    s.entries = static_cast<int64_t>(by_fp_.size());
+    s.bytes = bytes_;
+  }
+  s.builds = builds_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.transpose_builds = transpose_builds_.load(std::memory_order_relaxed);
+  s.transpose_hits = transpose_hits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PackedOperandStore::EnforceBudgetLocked(const PackedOperand* keep) {
+  while (bytes_ > budget_ && by_fp_.size() > (keep != nullptr ? 1u : 0u)) {
+    auto victim = by_fp_.end();
+    uint64_t victim_use = 0;
+    for (auto it = by_fp_.begin(); it != by_fp_.end(); ++it) {
+      if (it->second.get() == keep) continue;
+      const uint64_t use = it->second->last_use.load(std::memory_order_relaxed);
+      if (victim == by_fp_.end() || use < victim_use) {
+        victim = it;
+        victim_use = use;
+      }
+    }
+    if (victim == by_fp_.end()) break;
+    bytes_ -= victim->second->base_bytes + victim->second->transpose_bytes;
+    by_fp_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mnc

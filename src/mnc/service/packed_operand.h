@@ -1,0 +1,135 @@
+// Packed-operand store — per-operand analysis precomputed once at
+// registration time and reused by every Execute that touches the operand.
+//
+// The serving workload is "same weight matrices, endless requests": a
+// cataloged matrix recurs across Execute calls, so anything derivable from
+// the operand alone should be paid once, at RegisterMatrix time, not per
+// request. The service already builds the operand's exact MNC sketch there;
+// this store derives from it, once per content fingerprint:
+//
+//   * a physical-format verdict (CSR / CSC / dense) from the sketch's
+//     density profile. The verdict is analysis, not substitution: swapping
+//     a different storage format into evaluation would change which product
+//     kernel runs and therefore the FP accumulation order, breaking the
+//     guided==blind bit-identity contract (see DESIGN.md). It steers which
+//     extras to pre-pack (a CSC verdict pre-builds the transpose, the
+//     column-major access form) and surfaces in diagnostics.
+//   * the operand's own per-row estimate table (the Thm 3.2 / Eq. 8 leaf
+//     base case: upper == estimate == hr, every row exact). Pairwise
+//     product tables depend on both operands and live in the plan cache
+//     (mnc/service/plan_cache.h); the leaf table is the per-operand seed.
+//   * the exact transposed matrix, pre-packed eagerly for CSC verdicts and
+//     lazily on the first Transpose(leaf) evaluation otherwise. Transpose
+//     is a pure exact permutation, so substituting the cached copy is
+//     bit-identical by construction.
+//
+// Entries are byte-accounted (packed_operand_bytes in ServiceStats) and
+// LRU-evicted under a budget, mirroring the catalog's resident accounting.
+// Thread-safe; lookups take a shared lock.
+
+#ifndef MNC_SERVICE_PACKED_OPERAND_H_
+#define MNC_SERVICE_PACKED_OPERAND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "mnc/core/mnc_sketch.h"
+#include "mnc/core/row_estimates.h"
+#include "mnc/matrix/matrix.h"
+
+namespace mnc {
+
+enum class PackedFormat { kCsr, kCsc, kDense };
+
+const char* PackedFormatName(PackedFormat f);
+
+// Format verdict from the sketch's density profile: dense at or above the
+// dense-dispatch threshold; CSC when the column fill of non-empty columns
+// is markedly heavier than the row fill (column-major access patterns —
+// right-factor use, transposes — dominate); CSR otherwise.
+PackedFormat ClassifyPackedFormat(const MncSketch& sketch);
+
+struct PackedOperand {
+  uint64_t fingerprint = 0;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t nnz = 0;
+  double sparsity = 0.0;
+  PackedFormat verdict = PackedFormat::kCsr;
+  // Leaf-level per-row table (exact by construction).
+  RowEstimateTable row_table;
+
+  // Null until packed; written under the store's exclusive lock, read via
+  // the shared_ptr snapshot TransposeFor returns.
+  std::shared_ptr<const Matrix> transpose;
+  int64_t base_bytes = 0;       // entry bytes excluding the transpose
+  int64_t transpose_bytes = 0;  // 0 until the transpose is packed
+  // LRU clock; atomic so lookups can touch it under the shared lock.
+  std::atomic<uint64_t> last_use{0};
+};
+
+struct PackedStoreStats {
+  int64_t entries = 0;
+  int64_t bytes = 0;
+  int64_t builds = 0;
+  int64_t evictions = 0;
+  int64_t transpose_builds = 0;
+  int64_t transpose_hits = 0;
+};
+
+class PackedOperandStore {
+ public:
+  // budget_bytes <= 0 disables the store entirely (every call no-ops).
+  explicit PackedOperandStore(int64_t budget_bytes) : budget_(budget_bytes) {}
+
+  PackedOperandStore(const PackedOperandStore&) = delete;
+  PackedOperandStore& operator=(const PackedOperandStore&) = delete;
+
+  bool enabled() const { return budget_ > 0; }
+
+  // Builds (or refreshes) the packed analysis for `fp` from the operand's
+  // matrix and its exact sketch. CSC verdicts pre-pack the transpose.
+  void BuildAndInsert(uint64_t fp, const Matrix& m, const MncSketch& sketch);
+
+  std::shared_ptr<const PackedOperand> Lookup(uint64_t fp);
+
+  // The cached exact transpose for `fp`, packing (and byte-accounting) it
+  // on first use. Returns nullptr when `fp` is not packed (ad-hoc leaf or
+  // evicted entry) — the caller then computes the transpose itself.
+  std::shared_ptr<const Matrix> TransposeFor(uint64_t fp, const Matrix& m);
+
+  // Drops the entry for `fp` (catalog invalidation edges). Returns true if
+  // an entry was dropped.
+  bool Erase(uint64_t fp);
+
+  void Clear();
+
+  int64_t bytes() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return bytes_;
+  }
+
+  PackedStoreStats stats() const;
+
+ private:
+  // Evicts least-recently-used entries (never `keep`) until under budget.
+  // Requires mu_ held exclusively.
+  void EnforceBudgetLocked(const PackedOperand* keep);
+
+  const int64_t budget_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<PackedOperand>> by_fp_;
+  int64_t bytes_ = 0;
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<int64_t> builds_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> transpose_builds_{0};
+  std::atomic<int64_t> transpose_hits_{0};
+};
+
+}  // namespace mnc
+
+#endif  // MNC_SERVICE_PACKED_OPERAND_H_

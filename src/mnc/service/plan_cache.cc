@@ -1,0 +1,182 @@
+#include "mnc/service/plan_cache.h"
+
+#include <cmath>
+#include <utility>
+
+#include "mnc/util/fail_point.h"
+
+namespace mnc {
+
+namespace {
+
+// Rough per-node DAG footprint: the node itself plus map/pin overhead.
+constexpr int64_t kNodeOverheadBytes = 160;
+
+int64_t CountNodes(const ExprPtr& root) {
+  int64_t n = 0;
+  std::vector<const ExprNode*> stack = {root.get()};
+  std::unordered_set<const ExprNode*> seen;
+  while (!stack.empty()) {
+    const ExprNode* node = stack.back();
+    stack.pop_back();
+    if (node == nullptr || !seen.insert(node).second) continue;
+    ++n;
+    if (!node->is_leaf()) {
+      stack.push_back(node->left().get());
+      if (node->right() != nullptr) stack.push_back(node->right().get());
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+int64_t CachedPlan::ComputeBytes() const {
+  int64_t b = static_cast<int64_t>(sizeof(CachedPlan));
+  b += static_cast<int64_t>(operand_fps.capacity() * sizeof(uint64_t));
+  b += static_cast<int64_t>(intermediates.capacity() *
+                            sizeof(PlanNodeSummary));
+  for (const auto& [node, entry] : products) {
+    b += entry.MemoryBytes() + kNodeOverheadBytes;
+  }
+  b += CountNodes(root) * kNodeOverheadBytes;
+  return b;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(
+    uint64_t key, const ExprPtr& root, const LeafFingerprintFn& leaf_fp,
+    const void* profile_token) {
+  if (!enabled()) return nullptr;
+  std::shared_ptr<CachedPlan> plan;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      plan = it->second.plan;
+      it->second.last_use.store(
+          tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+    }
+  }
+  if (plan == nullptr) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Invalidation edges checked at use: a profile change or a poisoned
+  // entry drops the plan rather than replaying stale decisions.
+  if (plan->profile_token != profile_token || std::isnan(plan->sanity)) {
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      auto it = by_key_.find(key);
+      if (it != by_key_.end() && it->second.plan == plan) {
+        EraseLocked(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Hash-collision guard: a different structure under the same key is a
+  // genuine miss, not an invalidation (the resident plan stays).
+  if (!StructuralEqual(root, plan->root, leaf_fp)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return plan;
+}
+
+void PlanCache::Insert(std::shared_ptr<CachedPlan> plan) {
+  if (!enabled() || plan == nullptr || plan->root == nullptr) return;
+  if (MncFailPointArmed("service.plan_poison")) {
+    plan->sanity = std::nan("");
+  }
+  plan->bytes = plan->ComputeBytes();
+  const uint64_t key = plan->key;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (auto it = by_key_.find(key); it != by_key_.end()) EraseLocked(it);
+  Slot& slot = by_key_[key];  // Slot holds an atomic: construct in place
+  slot.plan = std::move(plan);
+  slot.last_use.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+  bytes_ += slot.plan->bytes;
+  for (uint64_t fp : slot.plan->operand_fps) fp_index_[fp].insert(key);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  EnforceBudgetLocked(key);
+}
+
+int64_t PlanCache::InvalidateFingerprint(uint64_t fp) {
+  if (!enabled()) return 0;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto idx = fp_index_.find(fp);
+  if (idx == fp_index_.end()) return 0;
+  // EraseLocked edits fp_index_; detach this fingerprint's key set first.
+  const std::unordered_set<uint64_t> keys = std::move(idx->second);
+  fp_index_.erase(idx);
+  int64_t dropped = 0;
+  for (uint64_t key : keys) {
+    auto it = by_key_.find(key);
+    if (it == by_key_.end()) continue;
+    EraseLocked(it);
+    ++dropped;
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
+int64_t PlanCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const int64_t dropped = static_cast<int64_t>(by_key_.size());
+  by_key_.clear();
+  fp_index_.clear();
+  bytes_ = 0;
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats s;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    s.entries = static_cast<int64_t>(by_key_.size());
+    s.bytes = bytes_;
+  }
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PlanCache::EraseLocked(
+    std::unordered_map<uint64_t, Slot>::iterator it) {
+  bytes_ -= it->second.plan->bytes;
+  for (uint64_t fp : it->second.plan->operand_fps) {
+    auto idx = fp_index_.find(fp);
+    if (idx == fp_index_.end()) continue;
+    idx->second.erase(it->first);
+    if (idx->second.empty()) fp_index_.erase(idx);
+  }
+  by_key_.erase(it);
+}
+
+void PlanCache::EnforceBudgetLocked(uint64_t keep_key) {
+  while (bytes_ > budget_ && by_key_.size() > 1) {
+    auto victim = by_key_.end();
+    uint64_t victim_use = 0;
+    for (auto it = by_key_.begin(); it != by_key_.end(); ++it) {
+      if (it->first == keep_key) continue;
+      const uint64_t use = it->second.last_use.load(std::memory_order_relaxed);
+      if (victim == by_key_.end() || use < victim_use) {
+        victim = it;
+        victim_use = use;
+      }
+    }
+    if (victim == by_key_.end()) break;
+    EraseLocked(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mnc

@@ -1,0 +1,155 @@
+// Plan cache — warm-path Execute for repeat-operand serving.
+//
+// A cold guided Execute pays, on top of the kernels themselves: leaf sketch
+// resolution, sketch propagation for every intermediate, per-row Thm 3.2 /
+// Eq. 8 estimation for every product, and the dispatch decisions derived
+// from them. For the serving workload ("same weight matrices, endless
+// requests") all of that is a pure function of the expression structure and
+// the operands' contents — so it is computed once, recorded, and replayed.
+//
+// Keying. A CachedPlan is keyed by the structural hash of the RAW query
+// DAG (ExprHasher over the uncanonicalized root; leaves hash by shape +
+// content fingerprint, so the key already covers both the expression
+// structure and every operand's content). Deliberately NOT the canonical
+// form: CanonicalizeExpr re-associates product chains, which changes the FP
+// round-off of evaluation — a plan keyed canonically could answer a query
+// with differently-rounded bits than its cold execution. Hash hits are
+// verified with StructuralEqual before use.
+//
+// What a plan holds: the pinned query DAG (node identity anchors the
+// per-product entries and the leaves pin their matrices), the recorded
+// ProductPlanEntry per product node (all guided decisions + per-row
+// tables, see mnc/ir/evaluator.h), the operand fingerprints it depends on,
+// the propagated intermediate sketch summaries (diagnostics), and the
+// calibration-profile token it was recorded under.
+//
+// Invalidation (airtight by construction — every edge drops plans):
+//   - re-registration touching a fingerprint -> InvalidateFingerprint
+//   - ClearCatalog / catalog spill eviction  -> InvalidateFingerprint/Clear
+//   - calibration profile change             -> token mismatch at Lookup
+//   - "service.plan_poison" fail point       -> sanity check at Lookup
+// Degraded and deadline-exceeded executions are never inserted (same
+// contract as the memo cache); the service only records plans from fully
+// successful cold guided runs.
+//
+// Byte accounting: every plan is charged for its tables, entries, and an
+// estimate of its DAG, with LRU eviction under the configured budget.
+
+#ifndef MNC_SERVICE_PLAN_CACHE_H_
+#define MNC_SERVICE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mnc/ir/evaluator.h"
+#include "mnc/ir/expr.h"
+#include "mnc/ir/expr_hash.h"
+
+namespace mnc {
+
+// Propagated sketch summary of one intermediate node, kept with the plan
+// for diagnostics and reserve sizing without re-propagation.
+struct PlanNodeSummary {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  double est_sparsity = 0.0;
+};
+
+struct CachedPlan {
+  uint64_t key = 0;
+  // The recorded query DAG, pinned: replay executes THIS root (its leaves
+  // pin their matrices and its node pointers key `products`), never the
+  // caller's structurally-equal copy.
+  ExprPtr root;
+  // Content fingerprints of every leaf, sorted unique — the invalidation
+  // index entries for this plan.
+  std::vector<uint64_t> operand_fps;
+  std::unordered_map<const ExprNode*, ProductPlanEntry> products;
+  std::vector<PlanNodeSummary> intermediates;
+  // Effective calibration profile at record time; a different active
+  // profile invalidates the plan (budgets/thresholds may have moved).
+  const void* profile_token = nullptr;
+  int64_t bytes = 0;
+  // NaN when poisoned by the "service.plan_poison" fail point; Lookup
+  // drops such entries instead of replaying them.
+  double sanity = 0.0;
+
+  int64_t ComputeBytes() const;
+};
+
+struct PlanCacheStats {
+  int64_t entries = 0;
+  int64_t bytes = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  // Plans dropped by an invalidation edge (fingerprint, clear, profile
+  // change, poison) — NOT by LRU budget eviction, counted separately.
+  int64_t invalidations = 0;
+  int64_t evictions = 0;
+};
+
+class PlanCache {
+ public:
+  // budget_bytes <= 0 disables the cache (every call no-ops / misses).
+  explicit PlanCache(int64_t budget_bytes) : budget_(budget_bytes) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  bool enabled() const { return budget_ > 0; }
+
+  // Warm lookup. Returns the plan for `key` when it verifies: structurally
+  // equal to `root` (leaf fingerprints via `leaf_fp`), recorded under
+  // `profile_token`, and not poisoned. A plan failing the profile or sanity
+  // check is dropped (counted as an invalidation) and the lookup misses.
+  std::shared_ptr<const CachedPlan> Lookup(uint64_t key, const ExprPtr& root,
+                                           const LeafFingerprintFn& leaf_fp,
+                                           const void* profile_token);
+
+  // Inserts (or replaces) the plan under plan->key. The
+  // "service.plan_poison" fail point corrupts the stored plan's sanity
+  // marker so tests can exercise the poisoned-drop path.
+  void Insert(std::shared_ptr<CachedPlan> plan);
+
+  // Drops every plan depending on operand fingerprint `fp`; returns the
+  // number dropped.
+  int64_t InvalidateFingerprint(uint64_t fp);
+
+  // Drops everything; returns the number of plans dropped.
+  int64_t Clear();
+
+  PlanCacheStats stats() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<CachedPlan> plan;
+    std::atomic<uint64_t> last_use{0};
+  };
+
+  // Unlinks the slot at `it` from both indexes. Requires mu_ exclusive.
+  void EraseLocked(std::unordered_map<uint64_t, Slot>::iterator it);
+  void EnforceBudgetLocked(uint64_t keep_key);
+
+  const int64_t budget_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, Slot> by_key_;
+  // fingerprint -> keys of the plans depending on it.
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> fp_index_;
+  int64_t bytes_ = 0;
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> insertions_{0};
+  std::atomic<int64_t> invalidations_{0};
+  std::atomic<int64_t> evictions_{0};
+};
+
+}  // namespace mnc
+
+#endif  // MNC_SERVICE_PLAN_CACHE_H_

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <sstream>
 #include <sys/stat.h>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -319,6 +320,29 @@ std::string DefaultProfilePath() {
   return "";
 }
 
+bool ProfileMatchesHost(const MachineProfile& profile, std::string* why) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  // hardware_concurrency() may return 0 ("unknown"); skip the thread check
+  // then rather than rejecting every profile on such hosts.
+  if (hw > 0 && profile.calibrated_threads > static_cast<int>(hw)) {
+    if (why != nullptr) {
+      *why = "calibrated for " + std::to_string(profile.calibrated_threads) +
+             " threads but host reports " + std::to_string(hw);
+    }
+    return false;
+  }
+  const SimdLevel host = BestSupportedSimdLevel();
+  if (profile.simd_level != host) {
+    if (why != nullptr) {
+      *why = std::string("calibrated at SIMD level ") +
+             SimdLevelName(profile.simd_level) + " but host dispatches " +
+             SimdLevelName(host);
+    }
+    return false;
+  }
+  return true;
+}
+
 // --- Active profile registry ---------------------------------------------
 
 namespace {
@@ -358,6 +382,20 @@ void LazyLoadLocked() {
   if (path.empty()) return;
   StatusOr<MachineProfile> loaded = LoadProfile(path);
   if (loaded.ok()) {
+    // Topology guard: a profile copied from (or calibrated on) a different
+    // machine would replay crossovers and kernel verdicts this host cannot
+    // reproduce. Only the disk path is guarded — SetActiveProfile and
+    // ScopedProfileOverride stay unchecked so tests and benches can install
+    // arbitrary synthetic profiles.
+    std::string why;
+    if (!ProfileMatchesHost(*loaded, &why)) {
+      std::fprintf(stderr,
+                   "mnc: calibration profile %s does not match this host "
+                   "(%s); using neutral profile\n",
+                   path.c_str(), why.c_str());
+      InstallLocked(std::make_shared<const MachineProfile>(NeutralProfile()));
+      return;
+    }
     InstallLocked(
         std::make_shared<const MachineProfile>(std::move(loaded).value()));
     return;

@@ -152,6 +152,15 @@ StatusOr<MachineProfile> ParseProfile(std::string_view bytes);
 Status SaveProfile(const MachineProfile& profile, const std::string& path);
 StatusOr<MachineProfile> LoadProfile(const std::string& path);
 
+// Whether `profile` was calibrated on hardware compatible with this host:
+// its thread count must not exceed std::thread::hardware_concurrency() and
+// its SIMD level must equal BestSupportedSimdLevel(). A profile carried
+// over from a bigger box or a different ISA would replay crossovers and
+// kernel verdicts measured under conditions this host cannot reproduce.
+// On mismatch returns false and, when `why` is non-null, describes the
+// first mismatch. Detection only — callers decide whether to reject.
+bool ProfileMatchesHost(const MachineProfile& profile, std::string* why);
+
 // Default on-disk location: $MNC_PROFILE if set, else
 // $XDG_CACHE_HOME/mnc/profile.mncp, else $HOME/.cache/mnc/profile.mncp.
 // Empty when no base directory can be determined.

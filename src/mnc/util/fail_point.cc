@@ -167,6 +167,17 @@ StatusOr<int> FailPointRegistry::ArmFromSpec(const std::string& spec) {
           "fail point entry '" + entry + "': unknown tuning point '" + name +
           "' (tuning.measure, tuning.profile_read)");
     }
+    // service.* is closed too: these points drive the degradation and
+    // cache-poisoning drills of the estimation service, where a typo'd
+    // name would likewise pass vacuously.
+    if (name.rfind("service.", 0) == 0 && name != "service.sketch_build" &&
+        name != "service.memo_poison" && name != "service.catalog_read" &&
+        name != "service.plan_poison") {
+      return Status::InvalidArgument(
+          "fail point entry '" + entry + "': unknown service point '" + name +
+          "' (service.sketch_build, service.memo_poison, "
+          "service.catalog_read, service.plan_poison)");
+    }
     Arm(name, skip, count);
     ++armed;
   }

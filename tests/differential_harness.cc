@@ -37,6 +37,7 @@
 #include "mnc/ir/evaluator.h"
 #include "mnc/matrix/io.h"
 #include "mnc/matrix/ops_product.h"
+#include "mnc/service/estimation_service.h"
 #include "mnc/tuning/machine_profile.h"
 #include "mnc/util/thread_pool.h"
 
@@ -429,6 +430,66 @@ TEST_P(DifferentialHarnessTest, GuidedEvaluationBitIdenticalToBlind) {
   Evaluator stressed(&pool, stress);
   EXPECT_TRUE(CsrBitIdentical(blind.Evaluate(chain).AsCsr(),
                               stressed.Evaluate(chain).AsCsr()));
+}
+
+// Plan-cached serving: a warm service (plan cache + packed-operand store on)
+// must replay recorded plans bit-identically to a plans-disabled guided
+// service over the same operands — the replay skips canonicalization,
+// propagation and row estimation, so this pins down that none of those
+// stages is allowed to influence the numeric result. Covered at 1 and 8
+// execution threads; the second warm Execute of each expression is the
+// actual cache replay.
+TEST_P(DifferentialHarnessTest, PlanCachedExecuteBitIdenticalToColdGuided) {
+  Rng rng(Seed() * 13007 + 71);
+  const int64_t dim = RandomDim(rng);
+  const CsrMatrix a = RandomLeaf(rng, dim);
+  const CsrMatrix b = RandomLeaf(rng, dim);
+  const CsrMatrix c = RandomLeaf(rng, dim);
+  const CsrMatrix d = RandomLeaf(rng, dim);
+
+  const std::string sources[] = {
+      "A %*% B %*% C",
+      "t(A) %*% (B + C)",
+      "(A %*% B) * (C %*% D)",
+      "(A %*% A) %*% (A %*% A)",
+  };
+  for (const int threads : {1, 8}) {
+    EstimationServiceOptions cold_opts;
+    cold_opts.guided_exec = true;
+    cold_opts.num_threads = threads;
+    cold_opts.parallel.num_threads = threads;
+    cold_opts.plan_cache_budget_bytes = 0;
+    cold_opts.packed_operand_budget_bytes = 0;
+    EstimationServiceOptions warm_opts = cold_opts;
+    warm_opts.plan_cache_budget_bytes = 16LL << 20;
+    warm_opts.packed_operand_budget_bytes = 32LL << 20;
+
+    EstimationService cold(cold_opts);
+    EstimationService warm(warm_opts);
+    for (EstimationService* service : {&cold, &warm}) {
+      ASSERT_TRUE(service->RegisterMatrix("A", Matrix::Sparse(a)).ok());
+      ASSERT_TRUE(service->RegisterMatrix("B", Matrix::Sparse(b)).ok());
+      ASSERT_TRUE(service->RegisterMatrix("C", Matrix::Sparse(c)).ok());
+      ASSERT_TRUE(service->RegisterMatrix("D", Matrix::Sparse(d)).ok());
+    }
+
+    for (const std::string& source : sources) {
+      const StatusOr<Matrix> expected = cold.ExecuteSource(source);
+      ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+      const StatusOr<Matrix> recorded = warm.ExecuteSource(source);
+      const StatusOr<Matrix> replayed = warm.ExecuteSource(source);
+      ASSERT_TRUE(recorded.ok()) << recorded.status().ToString();
+      ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+      EXPECT_TRUE(CsrBitIdentical(expected->AsCsr(), recorded->AsCsr()))
+          << "threads=" << threads << " source=" << source;
+      EXPECT_TRUE(CsrBitIdentical(expected->AsCsr(), replayed->AsCsr()))
+          << "threads=" << threads << " source=" << source;
+    }
+    const ServiceStats stats = warm.stats();
+    EXPECT_GE(stats.plan_hits, static_cast<int64_t>(std::size(sources)))
+        << "threads=" << threads;
+    EXPECT_GT(stats.packed_operands, 0) << "threads=" << threads;
+  }
 }
 
 // (f) streaming ingestion: the chunked out-of-core sketch build must be

@@ -193,6 +193,30 @@ TEST(FailPointTest, ArmFromSpecRejectsUnknownTuningPoints) {
   EXPECT_FALSE(reg.IsArmed("tuning.profile_write"));
 }
 
+TEST(FailPointTest, ArmFromSpecAcceptsKnownServicePoints) {
+  auto& reg = FailPointRegistry::Instance();
+  const StatusOr<int> armed =
+      reg.ArmFromSpec("service.sketch_build;service.plan_poison=1:1");
+  ASSERT_TRUE(armed.ok());
+  EXPECT_EQ(*armed, 2);
+  EXPECT_TRUE(reg.IsArmed("service.sketch_build"));
+  EXPECT_TRUE(reg.IsArmed("service.plan_poison"));
+  reg.Disarm("service.sketch_build");
+  reg.Disarm("service.plan_poison");
+}
+
+TEST(FailPointTest, ArmFromSpecRejectsUnknownServicePoints) {
+  auto& reg = FailPointRegistry::Instance();
+  // service.* is closed like ingest.* and tuning.*: a typo'd degradation or
+  // cache-poisoning drill spec must fail loudly, not arm nothing.
+  const StatusOr<int> bogus = reg.ArmFromSpec("service.plan_posion");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_EQ(bogus.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bogus.status().message().find("service.plan_posion"),
+            std::string::npos);
+  EXPECT_FALSE(reg.IsArmed("service.plan_posion"));
+}
+
 TEST(FailPointTest, ScopedFailPointDisarmsOnDestruction) {
   auto& reg = FailPointRegistry::Instance();
   {

@@ -1,0 +1,614 @@
+// Plan cache + packed-operand store (warm-path serving).
+//
+// Unit level: format verdicts, packed-store build/lookup/transpose/LRU,
+// plan-cache keying (raw structural hash, StructuralEqual-verified hits),
+// and every invalidation edge — fingerprint, clear, profile-token change,
+// poison fail point, budget eviction. Service level: warm Execute replays
+// bit-identically to cold guided, re-registration / ClearCatalog / spill
+// eviction drop dependent plans, degraded requests are never cached, and an
+// 8-thread chaos suite pulses all three invalidation edges under concurrent
+// Executes (runs under TSan in CI; every reply must resolve and every ok
+// reply must equal the cold reference bit-for-bit).
+
+#include "mnc/service/plan_cache.h"
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mnc/ir/expr.h"
+#include "mnc/ir/expr_hash.h"
+#include "mnc/matrix/coo_matrix.h"
+#include "mnc/matrix/generate.h"
+#include "mnc/matrix/matrix.h"
+#include "mnc/matrix/ops_reorg.h"
+#include "mnc/tuning/machine_profile.h"
+#include "mnc/service/estimation_service.h"
+#include "mnc/service/packed_operand.h"
+#include "mnc/util/deadline.h"
+#include "mnc/util/fail_point.h"
+#include "mnc/util/random.h"
+
+namespace mnc {
+namespace {
+
+Matrix TestMatrix(int64_t rows, int64_t cols, double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Sparse(GenerateUniformSparse(rows, cols, sparsity, rng));
+}
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  return a.AsCsr().Equals(b.AsCsr());
+}
+
+// --- Packed-operand store --------------------------------------------------
+
+TEST(PackedOperandTest, ClassifyPackedFormatVerdicts) {
+  // Dense: at/above the dense-dispatch threshold.
+  const Matrix dense = TestMatrix(8, 8, 0.6, 1);
+  EXPECT_EQ(ClassifyPackedFormat(MncSketch::FromMatrix(dense)),
+            PackedFormat::kDense);
+
+  // CSR: balanced fill (a hypersparse uniform matrix).
+  const Matrix balanced = TestMatrix(64, 64, 0.01, 2);
+  EXPECT_EQ(ClassifyPackedFormat(MncSketch::FromMatrix(balanced)),
+            PackedFormat::kCsr);
+
+  // CSC: one heavy column, single-nnz rows — mean column fill is 32x the
+  // mean row fill, far past the 4x verdict threshold.
+  CooMatrix coo(64, 64);
+  for (int64_t i = 0; i < 32; ++i) coo.Add(i, 0, 1.0);
+  const Matrix skewed = Matrix::Sparse(coo.ToCsr());
+  EXPECT_EQ(ClassifyPackedFormat(MncSketch::FromMatrix(skewed)),
+            PackedFormat::kCsc);
+}
+
+TEST(PackedOperandTest, BuildLookupEraseAndByteAccounting) {
+  PackedOperandStore store(4 << 20);
+  const Matrix m = TestMatrix(32, 48, 0.05, 3);
+  const MncSketch sketch = MncSketch::FromMatrix(m);
+  store.BuildAndInsert(77, m, sketch);
+
+  const auto packed = store.Lookup(77);
+  ASSERT_NE(packed, nullptr);
+  EXPECT_EQ(packed->fingerprint, 77u);
+  EXPECT_EQ(packed->rows, 32);
+  EXPECT_EQ(packed->cols, 48);
+  EXPECT_EQ(packed->nnz, sketch.nnz());
+  // Leaf base case: upper == estimate == hr, every row exact.
+  ASSERT_EQ(packed->row_table.upper.size(), sketch.hr().size());
+  for (size_t i = 0; i < sketch.hr().size(); ++i) {
+    EXPECT_EQ(packed->row_table.upper[i], sketch.hr()[i]);
+    EXPECT_EQ(packed->row_table.estimate[i],
+              static_cast<double>(sketch.hr()[i]));
+  }
+  EXPECT_EQ(packed->row_table.summary.exact_rows, 32);
+  EXPECT_GT(store.bytes(), 0);
+  EXPECT_EQ(store.stats().entries, 1);
+
+  EXPECT_TRUE(store.Erase(77));
+  EXPECT_FALSE(store.Erase(77));
+  EXPECT_EQ(store.Lookup(77), nullptr);
+  EXPECT_EQ(store.bytes(), 0);
+
+  // A disabled store (budget <= 0) no-ops everything.
+  PackedOperandStore disabled(0);
+  disabled.BuildAndInsert(1, m, sketch);
+  EXPECT_EQ(disabled.Lookup(1), nullptr);
+  EXPECT_EQ(disabled.TransposeFor(1, m), nullptr);
+}
+
+TEST(PackedOperandTest, TransposeIsExactAndCachedOnce) {
+  PackedOperandStore store(4 << 20);
+  const Matrix m = TestMatrix(24, 40, 0.1, 4);
+  store.BuildAndInsert(5, m, MncSketch::FromMatrix(m));
+
+  const int64_t bytes_before = store.bytes();
+  const auto t1 = store.TransposeFor(5, m);
+  ASSERT_NE(t1, nullptr);
+  // Exact permutation, bit-identical to a fresh transpose.
+  EXPECT_TRUE(BitIdentical(*t1, Transpose(m)));
+  EXPECT_GT(store.bytes(), bytes_before);  // transpose bytes accounted
+
+  const auto t2 = store.TransposeFor(5, m);
+  EXPECT_EQ(t1.get(), t2.get());  // cached, not re-packed
+  const PackedStoreStats stats = store.stats();
+  EXPECT_EQ(stats.transpose_builds, 1);
+  EXPECT_GE(stats.transpose_hits, 1);
+
+  // Unknown fingerprint: caller computes its own transpose.
+  EXPECT_EQ(store.TransposeFor(999, m), nullptr);
+}
+
+TEST(PackedOperandTest, CscVerdictPrePacksTransposeEagerly) {
+  PackedOperandStore store(4 << 20);
+  CooMatrix coo(64, 64);
+  for (int64_t i = 0; i < 32; ++i) coo.Add(i, 0, 1.0);
+  const Matrix skewed = Matrix::Sparse(coo.ToCsr());
+  store.BuildAndInsert(9, skewed, MncSketch::FromMatrix(skewed));
+  EXPECT_EQ(store.stats().transpose_builds, 1);  // packed at insert
+  const auto packed = store.Lookup(9);
+  ASSERT_NE(packed, nullptr);
+  EXPECT_EQ(packed->verdict, PackedFormat::kCsc);
+  ASSERT_NE(packed->transpose, nullptr);
+  EXPECT_TRUE(BitIdentical(*packed->transpose, Transpose(skewed)));
+}
+
+TEST(PackedOperandTest, LruEvictsUnderByteBudget) {
+  // Budget fits roughly one packed 256-row operand; inserting three must
+  // evict the least-recently-used ones rather than grow without bound.
+  const Matrix m0 = TestMatrix(256, 256, 0.05, 10);
+  PackedOperandStore probe(64 << 20);
+  probe.BuildAndInsert(0, m0, MncSketch::FromMatrix(m0));
+  const int64_t one_entry = probe.bytes();
+
+  PackedOperandStore store(one_entry + one_entry / 2);
+  for (uint64_t fp = 1; fp <= 3; ++fp) {
+    const Matrix m = TestMatrix(256, 256, 0.05, fp);
+    store.BuildAndInsert(fp, m, MncSketch::FromMatrix(m));
+  }
+  const PackedStoreStats stats = store.stats();
+  EXPECT_GE(stats.evictions, 1);
+  EXPECT_LT(stats.entries, 3);
+  // The newest insert survives its own enforcement pass.
+  EXPECT_NE(store.Lookup(3), nullptr);
+}
+
+// --- Plan cache (unit) -----------------------------------------------------
+
+std::shared_ptr<CachedPlan> MakePlan(uint64_t key, ExprPtr root,
+                                     std::vector<uint64_t> fps,
+                                     const void* token) {
+  auto plan = std::make_shared<CachedPlan>();
+  plan->key = key;
+  plan->root = std::move(root);
+  plan->operand_fps = std::move(fps);
+  plan->profile_token = token;
+  return plan;
+}
+
+TEST(PlanCacheTest, HitRequiresStructuralEquality) {
+  PlanCache cache(1 << 20);
+  const ExprPtr a = ExprNode::Leaf(TestMatrix(16, 16, 0.2, 1), "A");
+  const ExprPtr b = ExprNode::Leaf(TestMatrix(16, 16, 0.2, 2), "B");
+  const ExprPtr ab = ExprNode::MatMul(a, b);
+  const ExprPtr ba = ExprNode::MatMul(b, a);
+  const uint64_t key = StructuralHash(ab);
+  const void* token = &cache;
+
+  cache.Insert(MakePlan(key, ab, {1, 2}, token));
+  EXPECT_NE(cache.Lookup(key, ab, nullptr, token), nullptr);
+
+  // Unknown key: plain miss.
+  EXPECT_EQ(cache.Lookup(key + 1, ba, nullptr, token), nullptr);
+
+  // Same key, different structure (simulated hash collision): a miss, and
+  // the resident plan must NOT be dropped.
+  EXPECT_EQ(cache.Lookup(key, ba, nullptr, token), nullptr);
+  EXPECT_EQ(cache.stats().entries, 1);
+  EXPECT_NE(cache.Lookup(key, ab, nullptr, token), nullptr);
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.insertions, 1);
+}
+
+TEST(PlanCacheTest, StructurallyEqualCopyOfTheDagHits) {
+  // The serving pattern: the same query text re-parsed into FRESH nodes
+  // over the same registered leaves must hit (leaves compare by content
+  // fingerprint, not pointer).
+  PlanCache cache(1 << 20);
+  const Matrix ma = TestMatrix(16, 16, 0.2, 1);
+  const Matrix mb = TestMatrix(16, 16, 0.2, 2);
+  const ExprPtr first =
+      ExprNode::MatMul(ExprNode::Leaf(ma, "A"), ExprNode::Leaf(mb, "B"));
+  const ExprPtr again =
+      ExprNode::MatMul(ExprNode::Leaf(ma, "A"), ExprNode::Leaf(mb, "B"));
+  const uint64_t key = StructuralHash(first);
+  ASSERT_EQ(key, StructuralHash(again));
+
+  cache.Insert(MakePlan(key, first, {1, 2}, nullptr));
+  const auto plan = cache.Lookup(key, again, nullptr, nullptr);
+  ASSERT_NE(plan, nullptr);
+  // Replay runs the plan's own pinned DAG, not the caller's copy.
+  EXPECT_EQ(plan->root.get(), first.get());
+}
+
+TEST(PlanCacheTest, InvalidateFingerprintDropsDependentPlansOnly) {
+  PlanCache cache(1 << 20);
+  const ExprPtr a = ExprNode::Leaf(TestMatrix(8, 8, 0.3, 1), "A");
+  const ExprPtr b = ExprNode::Leaf(TestMatrix(8, 8, 0.3, 2), "B");
+  const ExprPtr ab = ExprNode::MatMul(a, b);
+  const ExprPtr aa = ExprNode::MatMul(a, a);
+  const uint64_t k1 = StructuralHash(ab);
+  const uint64_t k2 = StructuralHash(aa);
+
+  cache.Insert(MakePlan(k1, ab, {100, 200}, nullptr));
+  cache.Insert(MakePlan(k2, aa, {100}, nullptr));
+  EXPECT_EQ(cache.stats().entries, 2);
+
+  // fp 200 only touches the first plan.
+  EXPECT_EQ(cache.InvalidateFingerprint(200), 1);
+  EXPECT_EQ(cache.Lookup(k1, ab, nullptr, nullptr), nullptr);
+  EXPECT_NE(cache.Lookup(k2, aa, nullptr, nullptr), nullptr);
+
+  // fp 100 drops the rest; repeating is a no-op.
+  EXPECT_EQ(cache.InvalidateFingerprint(100), 1);
+  EXPECT_EQ(cache.InvalidateFingerprint(100), 0);
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().invalidations, 2);
+
+  EXPECT_EQ(cache.Clear(), 0);
+}
+
+TEST(PlanCacheTest, ProfileTokenMismatchInvalidatesAtLookup) {
+  PlanCache cache(1 << 20);
+  const ExprPtr a = ExprNode::Leaf(TestMatrix(8, 8, 0.3, 1), "A");
+  const ExprPtr root = ExprNode::MatMul(a, a);
+  const uint64_t key = StructuralHash(root);
+  int old_profile = 0, new_profile = 0;
+
+  cache.Insert(MakePlan(key, root, {1}, &old_profile));
+  // A different active profile may have moved budgets/thresholds: the plan
+  // is dropped (invalidation, not eviction) and the lookup misses.
+  EXPECT_EQ(cache.Lookup(key, root, nullptr, &new_profile), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  EXPECT_EQ(cache.stats().hits, 0);
+}
+
+TEST(PlanCacheTest, PoisonFailPointDropsPlanAtLookup) {
+  PlanCache cache(1 << 20);
+  const ExprPtr a = ExprNode::Leaf(TestMatrix(8, 8, 0.3, 1), "A");
+  const ExprPtr root = ExprNode::MatMul(a, a);
+  const uint64_t key = StructuralHash(root);
+  {
+    ScopedFailPoint fp("service.plan_poison");
+    cache.Insert(MakePlan(key, root, {1}, nullptr));
+  }
+  // The poisoned sanity marker is detected at lookup; the plan is never
+  // replayed.
+  EXPECT_EQ(cache.Lookup(key, root, nullptr, nullptr), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+
+  // Without the fail point armed the same insert serves fine.
+  cache.Insert(MakePlan(key, root, {1}, nullptr));
+  EXPECT_NE(cache.Lookup(key, root, nullptr, nullptr), nullptr);
+}
+
+TEST(PlanCacheTest, BudgetEvictsLeastRecentlyUsedPlan) {
+  // Size the budget from a probe plan so the test tracks ComputeBytes.
+  const ExprPtr a = ExprNode::Leaf(TestMatrix(8, 8, 0.3, 1), "A");
+  auto probe = MakePlan(0, ExprNode::MatMul(a, a), {1}, nullptr);
+  ProductPlanEntry big;
+  big.table.upper.assign(4096, 1);
+  big.table.estimate.assign(4096, 1.0);
+  probe->products[probe->root.get()] = big;
+  const int64_t plan_bytes = probe->ComputeBytes();
+
+  PlanCache cache(2 * plan_bytes + plan_bytes / 2);
+  for (uint64_t i = 0; i < 3; ++i) {
+    const ExprPtr leaf = ExprNode::Leaf(TestMatrix(8, 8, 0.3, i + 1), "L");
+    auto plan = MakePlan(1000 + i, ExprNode::MatMul(leaf, leaf), {i}, nullptr);
+    plan->products[plan->root.get()] = big;
+    cache.Insert(std::move(plan));
+  }
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1);
+  EXPECT_LT(stats.entries, 3);
+  EXPECT_LE(stats.bytes, 2 * plan_bytes + plan_bytes / 2);
+
+  EXPECT_GE(cache.Clear(), 1);
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().bytes, 0);
+}
+
+TEST(PlanCacheTest, DisabledCacheNeverStores) {
+  PlanCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  const ExprPtr a = ExprNode::Leaf(TestMatrix(8, 8, 0.3, 1), "A");
+  const ExprPtr root = ExprNode::MatMul(a, a);
+  cache.Insert(MakePlan(1, root, {1}, nullptr));
+  EXPECT_EQ(cache.Lookup(1, root, nullptr, nullptr), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
+// --- Service integration ---------------------------------------------------
+
+EstimationServiceOptions GuidedOptions() {
+  EstimationServiceOptions options;
+  options.guided_exec = true;
+  return options;
+}
+
+TEST(PlanCacheServiceTest, WarmExecuteReplaysBitIdentically) {
+  EstimationService service(GuidedOptions());
+  ASSERT_TRUE(service.RegisterMatrix("A", TestMatrix(48, 48, 0.1, 1)).ok());
+  ASSERT_TRUE(service.RegisterMatrix("B", TestMatrix(48, 48, 0.1, 2)).ok());
+  ASSERT_TRUE(service.RegisterMatrix("C", TestMatrix(48, 48, 0.1, 3)).ok());
+
+  // Cold reference from a plans-disabled service over the same operands.
+  EstimationServiceOptions cold_opts = GuidedOptions();
+  cold_opts.plan_cache_budget_bytes = 0;
+  cold_opts.packed_operand_budget_bytes = 0;
+  EstimationService cold(cold_opts);
+  ASSERT_TRUE(cold.RegisterMatrix("A", TestMatrix(48, 48, 0.1, 1)).ok());
+  ASSERT_TRUE(cold.RegisterMatrix("B", TestMatrix(48, 48, 0.1, 2)).ok());
+  ASSERT_TRUE(cold.RegisterMatrix("C", TestMatrix(48, 48, 0.1, 3)).ok());
+
+  const std::string source = "A %*% B %*% C";
+  const auto reference = cold.ExecuteSource(source);
+  ASSERT_TRUE(reference.ok());
+
+  const auto first = service.ExecuteSource(source);   // records the plan
+  const auto second = service.ExecuteSource(source);  // replays it
+  const auto third = service.ExecuteSource(source);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(BitIdentical(*reference, *first));
+  EXPECT_TRUE(BitIdentical(*reference, *second));
+  EXPECT_TRUE(BitIdentical(*reference, *third));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.plan_hits, 2);
+  EXPECT_GE(stats.plan_misses, 1);
+  EXPECT_EQ(stats.plan_entries, 1);
+  EXPECT_GT(stats.plan_bytes, 0);
+  EXPECT_EQ(stats.packed_operands, 3);
+  EXPECT_GT(stats.packed_operand_bytes, 0);
+}
+
+TEST(PlanCacheServiceTest, ReRegistrationUnderSameFingerprintDropsPlans) {
+  EstimationService service(GuidedOptions());
+  ASSERT_TRUE(service.RegisterMatrix("A", TestMatrix(32, 32, 0.1, 1)).ok());
+  ASSERT_TRUE(service.RegisterMatrix("B", TestMatrix(32, 32, 0.1, 2)).ok());
+
+  ASSERT_TRUE(service.ExecuteSource("A %*% B").ok());
+  ASSERT_TRUE(service.ExecuteSource("A %*% B").ok());
+  EXPECT_EQ(service.stats().plan_hits, 1);
+  EXPECT_EQ(service.stats().plan_entries, 1);
+
+  // Same content under a new name: a dedup hit, but the fingerprint was
+  // touched — dependent plans must drop (re-registration edge).
+  ASSERT_TRUE(
+      service.RegisterMatrix("A_alias", TestMatrix(32, 32, 0.1, 1)).ok());
+  EXPECT_GE(service.stats().plan_invalidations, 1);
+  EXPECT_EQ(service.stats().plan_entries, 0);
+
+  // The next Execute re-records; the one after hits again.
+  ASSERT_TRUE(service.ExecuteSource("A %*% B").ok());
+  ASSERT_TRUE(service.ExecuteSource("A %*% B").ok());
+  EXPECT_EQ(service.stats().plan_hits, 2);
+}
+
+TEST(PlanCacheServiceTest, ClearCatalogDropsPlansAndPackedOperands) {
+  EstimationService service(GuidedOptions());
+  ASSERT_TRUE(service.RegisterMatrix("A", TestMatrix(32, 32, 0.1, 1)).ok());
+  ASSERT_TRUE(service.RegisterMatrix("B", TestMatrix(32, 32, 0.1, 2)).ok());
+  ASSERT_TRUE(service.ExecuteSource("A %*% B").ok());
+  EXPECT_EQ(service.stats().plan_entries, 1);
+  EXPECT_EQ(service.stats().packed_operands, 2);
+
+  service.ClearCatalog();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.plan_entries, 0);
+  EXPECT_EQ(stats.plan_bytes, 0);
+  EXPECT_EQ(stats.packed_operands, 0);
+  EXPECT_EQ(stats.packed_operand_bytes, 0);
+  EXPECT_EQ(stats.registered_names, 0);
+
+  // The names are gone too; the query now fails with a typed error instead
+  // of silently replaying a stale plan.
+  EXPECT_FALSE(service.ExecuteSource("A %*% B").ok());
+}
+
+TEST(PlanCacheServiceTest, SpillEvictionInvalidatesDependentPlans) {
+  EstimationServiceOptions options = GuidedOptions();
+  options.spill_dir = ::testing::TempDir() + "/plan_cache_spill_test";
+  // Budget of one sketch (roughly): every further registration evicts.
+  options.catalog_resident_budget_bytes = 4096;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterMatrix("A", TestMatrix(64, 64, 0.1, 1)).ok());
+  ASSERT_TRUE(service.RegisterMatrix("B", TestMatrix(64, 64, 0.1, 2)).ok());
+  ASSERT_TRUE(service.ExecuteSource("A %*% B").ok());
+  ASSERT_TRUE(service.ExecuteSource("A %*% B").ok());
+  const int64_t hits_before = service.stats().plan_hits;
+  EXPECT_GE(hits_before, 1);
+
+  // Register filler matrices until the catalog evicts A's or B's sketch to
+  // disk; the eviction edge must drop the dependent plan.
+  for (uint64_t i = 0; i < 8 && service.stats().plan_entries > 0; ++i) {
+    ASSERT_TRUE(service
+                    .RegisterMatrix("filler" + std::to_string(i),
+                                    TestMatrix(64, 64, 0.1, 100 + i))
+                    .ok());
+  }
+  EXPECT_EQ(service.stats().plan_entries, 0);
+  EXPECT_GE(service.stats().catalog_spills, 1);
+
+  // Spilled sketches fault back transparently: the query still answers,
+  // bit-identical to before, and re-records a plan.
+  const auto again = service.ExecuteSource("A %*% B");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(service.stats().plan_entries, 1);
+}
+
+TEST(PlanCacheServiceTest, ExpiredRequestsAreNeverCached) {
+  EstimationService service(GuidedOptions());
+  ASSERT_TRUE(service.RegisterMatrix("A", TestMatrix(32, 32, 0.1, 1)).ok());
+  ASSERT_TRUE(service.RegisterMatrix("B", TestMatrix(32, 32, 0.1, 2)).ok());
+
+  const RequestContext expired = RequestContext::Expired();
+  const auto late = service.ExecuteSource("A %*% B", &expired);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().plan_entries, 0);
+
+  // A live request records normally.
+  const RequestContext live = RequestContext::WithDeadlineAfterMillis(60'000);
+  ASSERT_TRUE(service.ExecuteSource("A %*% B", &live).ok());
+  EXPECT_EQ(service.stats().plan_entries, 1);
+}
+
+TEST(PlanCacheServiceTest, PoisonedServicePlansAreDroppedNotReplayed) {
+  EstimationService service(GuidedOptions());
+  ASSERT_TRUE(service.RegisterMatrix("A", TestMatrix(32, 32, 0.1, 1)).ok());
+  ASSERT_TRUE(service.RegisterMatrix("B", TestMatrix(32, 32, 0.1, 2)).ok());
+
+  {
+    ScopedFailPoint fp("service.plan_poison");
+    ASSERT_TRUE(service.ExecuteSource("A %*% B").ok());
+  }
+  // The recorded plan was poisoned; the next Execute detects it, drops it,
+  // and re-runs cold (still correct, then re-records a healthy plan).
+  const auto result = service.ExecuteSource("A %*% B");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(service.stats().plan_hits, 0);
+  EXPECT_GE(service.stats().plan_invalidations, 1);
+  ASSERT_TRUE(service.ExecuteSource("A %*% B").ok());
+  EXPECT_EQ(service.stats().plan_hits, 1);
+}
+
+TEST(PlanCacheServiceTest, ProfileChangeInvalidatesRecordedPlans) {
+  EstimationService service(GuidedOptions());  // no explicit profile:
+  // the effective token tracks the process-wide active profile.
+  ASSERT_TRUE(service.RegisterMatrix("A", TestMatrix(32, 32, 0.1, 1)).ok());
+  ASSERT_TRUE(service.RegisterMatrix("B", TestMatrix(32, 32, 0.1, 2)).ok());
+  ASSERT_TRUE(service.ExecuteSource("A %*% B").ok());
+  EXPECT_EQ(service.stats().plan_entries, 1);
+
+  {
+    // Installing a different profile changes the token; the stale plan is
+    // dropped at the next lookup and the query re-records under the new
+    // profile (values are bit-identical either way — this is a freshness
+    // guarantee for the recorded budgets/thresholds).
+    tuning::ScopedProfileOverride ov(
+        std::make_shared<const tuning::MachineProfile>());
+    const auto result = service.ExecuteSource("A %*% B");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(service.stats().plan_hits, 0);
+    EXPECT_GE(service.stats().plan_invalidations, 1);
+  }
+}
+
+// --- 8-thread chaos suite --------------------------------------------------
+//
+// Invalidation edges pulse (re-registration, ClearCatalog, spill eviction)
+// while worker threads Execute concurrently. Contract: every reply
+// resolves (ok or a typed error — never a hang or crash), and every ok
+// reply is bit-identical to the cold guided reference. Runs under TSan in
+// CI (tsan label).
+TEST(PlanCacheChaosTest, ConcurrentExecuteSurvivesInvalidationPulses) {
+  constexpr int64_t kDim = 40;
+  constexpr int kWorkers = 7;  // + 1 chaos thread = 8
+  constexpr int kIterations = 60;
+
+  const Matrix ma = TestMatrix(kDim, kDim, 0.1, 1);
+  const Matrix mb = TestMatrix(kDim, kDim, 0.1, 2);
+  const Matrix mc = TestMatrix(kDim, kDim, 0.1, 3);
+  const std::string sources[] = {
+      "A %*% B", "A %*% B %*% C", "t(A) %*% C", "(A + B) %*% C"};
+
+  // Cold guided references (plans disabled).
+  EstimationServiceOptions cold_opts = GuidedOptions();
+  cold_opts.plan_cache_budget_bytes = 0;
+  cold_opts.packed_operand_budget_bytes = 0;
+  EstimationService cold(cold_opts);
+  ASSERT_TRUE(cold.RegisterMatrix("A", ma).ok());
+  ASSERT_TRUE(cold.RegisterMatrix("B", mb).ok());
+  ASSERT_TRUE(cold.RegisterMatrix("C", mc).ok());
+  std::vector<Matrix> references;
+  for (const std::string& source : sources) {
+    auto r = cold.ExecuteSource(source);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    references.push_back(std::move(r).value());
+  }
+
+  EstimationServiceOptions options = GuidedOptions();
+  options.spill_dir = ::testing::TempDir() + "/plan_cache_chaos_test";
+  options.catalog_resident_budget_bytes = 2048;  // spill pulses on register
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterMatrix("A", ma).ok());
+  ASSERT_TRUE(service.RegisterMatrix("B", mb).ok());
+  ASSERT_TRUE(service.RegisterMatrix("C", mc).ok());
+
+  std::atomic<int64_t> ok_replies{0};
+  std::atomic<int64_t> error_replies{0};
+  std::atomic<bool> mismatch{false};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kIterations; ++i) {
+        const size_t which = static_cast<size_t>((w + i) % 4);
+        const auto result = service.ExecuteSource(sources[which]);
+        if (result.ok()) {
+          ok_replies.fetch_add(1, std::memory_order_relaxed);
+          if (!BitIdentical(references[which], *result)) {
+            mismatch.store(true, std::memory_order_relaxed);
+          }
+        } else {
+          // ClearCatalog windows surface as typed unknown-name errors;
+          // anything resolving is within contract.
+          error_replies.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::thread chaos([&] {
+    uint64_t round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Re-registration pulse: same contents, fresh names — every pulse
+      // touches all three fingerprints.
+      const std::string tag = std::to_string(round);
+      (void)service.RegisterMatrix("A_" + tag, ma);
+      (void)service.RegisterMatrix("B_" + tag, mb);
+      // Spill pulse: a filler registration squeezes the resident budget.
+      (void)service.RegisterMatrix("F_" + tag,
+                                   TestMatrix(kDim, kDim, 0.1, 500 + round));
+      if (round % 5 == 4) {
+        service.ClearCatalog();
+        (void)service.RegisterMatrix("A", ma);
+        (void)service.RegisterMatrix("B", mb);
+        (void)service.RegisterMatrix("C", mc);
+      }
+      ++round;
+    }
+  });
+
+  for (std::thread& t : workers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  chaos.join();
+
+  EXPECT_FALSE(mismatch.load()) << "a cached reply diverged from cold guided";
+  EXPECT_EQ(ok_replies.load() + error_replies.load(),
+            static_cast<int64_t>(kWorkers) * kIterations);
+  EXPECT_GE(ok_replies.load(), 1);
+
+  // Quiesced service still answers every query, bit-identically.
+  service.ClearCatalog();
+  ASSERT_TRUE(service.RegisterMatrix("A", ma).ok());
+  ASSERT_TRUE(service.RegisterMatrix("B", mb).ok());
+  ASSERT_TRUE(service.RegisterMatrix("C", mc).ok());
+  for (size_t i = 0; i < 4; ++i) {
+    const auto r1 = service.ExecuteSource(sources[i]);
+    const auto r2 = service.ExecuteSource(sources[i]);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_TRUE(BitIdentical(references[i], *r1));
+    EXPECT_TRUE(BitIdentical(references[i], *r2));
+  }
+  EXPECT_GE(service.stats().plan_hits, 1);
+}
+
+}  // namespace
+}  // namespace mnc

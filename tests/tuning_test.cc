@@ -328,19 +328,70 @@ TEST(MachineProfile, LazyLoadPicksUpMncProfileEnv) {
   // without complaint; afterwards restore the suppressed state.
   const std::string path = ::testing::TempDir() + "/mnc_env_profile.mncp";
   MachineProfile p;
-  p.calibrated_threads = 11;
+  // Must match the host topology or the lazy load (correctly) swaps in the
+  // neutral profile instead of installing this one.
+  p.calibrated_threads = 1;
+  p.simd_level = BestSupportedSimdLevel();
+  p.guided.single_pass_budget_bytes = 12345;
   ASSERT_TRUE(SaveProfile(p, path).ok());
 
   ::setenv("MNC_PROFILE", path.c_str(), /*overwrite=*/1);
   ResetActiveProfileForTest();
   const MachineProfile* loaded = ActiveProfileRaw();
   ASSERT_NE(loaded, nullptr);
-  EXPECT_EQ(loaded->calibrated_threads, 11);
+  EXPECT_EQ(loaded->guided.single_pass_budget_bytes, 12345);
 
   const std::string missing = ::testing::TempDir() + "/mnc_env_missing.mncp";
   ::setenv("MNC_PROFILE", missing.c_str(), /*overwrite=*/1);
   ResetActiveProfileForTest();
   EXPECT_EQ(ActiveProfileRaw(), nullptr);
+
+  ::unsetenv("MNC_PROFILE");
+  ResetActiveProfileForTest();
+  SetActiveProfile(nullptr);  // settle: no profile for the rest of the run
+  std::remove(path.c_str());
+}
+
+TEST(MachineProfile, ProfileMatchesHostDetectsTopologyDrift) {
+  MachineProfile ok;
+  ok.calibrated_threads = 1;
+  ok.simd_level = BestSupportedSimdLevel();
+  std::string why;
+  EXPECT_TRUE(ProfileMatchesHost(ok, &why)) << why;
+
+  MachineProfile threads = ok;
+  threads.calibrated_threads = 60000;  // parseable, but no such host
+  why.clear();
+  EXPECT_FALSE(ProfileMatchesHost(threads, &why));
+  EXPECT_NE(why.find("threads"), std::string::npos);
+
+  MachineProfile simd = ok;
+  simd.simd_level = simd.simd_level == SimdLevel::kScalar ? SimdLevel::kAvx2
+                                                          : SimdLevel::kScalar;
+  why.clear();
+  EXPECT_FALSE(ProfileMatchesHost(simd, &why));
+  EXPECT_NE(why.find("SIMD"), std::string::npos);
+  EXPECT_FALSE(ProfileMatchesHost(simd, nullptr));  // null `why` is fine
+}
+
+TEST(MachineProfile, LazyLoadFallsBackToNeutralOnTopologyMismatch) {
+  // A profile calibrated on a different machine (impossible thread count)
+  // must not be installed from disk: the lazy load warns and installs the
+  // neutral profile so dispatch decisions stay host-valid.
+  const std::string path = ::testing::TempDir() + "/mnc_foreign_profile.mncp";
+  MachineProfile foreign;
+  foreign.calibrated_threads = 60000;
+  foreign.simd_level = BestSupportedSimdLevel();
+  foreign.guided.single_pass_budget_bytes = 777;
+  ASSERT_TRUE(SaveProfile(foreign, path).ok());
+
+  ::setenv("MNC_PROFILE", path.c_str(), /*overwrite=*/1);
+  ResetActiveProfileForTest();
+  const MachineProfile* loaded = ActiveProfileRaw();
+  ASSERT_NE(loaded, nullptr);
+  // The neutral profile was installed, not the foreign one.
+  EXPECT_NE(loaded->guided.single_pass_budget_bytes, 777);
+  EXPECT_EQ(loaded->calibrated_threads, NeutralProfile().calibrated_threads);
 
   ::unsetenv("MNC_PROFILE");
   ResetActiveProfileForTest();

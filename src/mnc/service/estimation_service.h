@@ -180,6 +180,7 @@ struct ServiceStats {
   GuidedExecStats guided;
   // Warm-path plan cache + packed-operand store.
   int64_t plan_hits = 0;
+  int64_t plan_canonical_hits = 0;  // second-chance hits (also in plan_hits)
   int64_t plan_misses = 0;
   int64_t plan_invalidations = 0;  // dropped by an invalidation edge
   int64_t plan_entries = 0;
@@ -271,6 +272,27 @@ class EstimationService {
   // kDeadlineExceeded without computing anything.
   std::vector<StatusOr<EstimateResult>> EstimateBatch(
       const std::vector<ExprPtr>& roots, const RequestContext* ctx = nullptr);
+
+  // Per-entry bounded form: entry i is bounded by ctxs[i] (null pointers,
+  // or a `ctxs` shorter than `roots`, mean unbounded entries).
+  std::vector<StatusOr<EstimateResult>> EstimateBatch(
+      const std::vector<ExprPtr>& roots,
+      const std::vector<const RequestContext*>& ctxs);
+
+  // Batched EstimateSource — the serving tier's coalescing path. One catalog
+  // snapshot serves every parse, and identical source texts in the batch
+  // share a single parse + estimate (concurrent clients asking for the same
+  // expression amortize to one computation). Results align with `sources`
+  // and keep per-request semantics: parse and estimation errors are typed
+  // per entry, and each entry honors its own context — a member whose
+  // deadline expired (or whose connection cancelled) while a shared
+  // computation ran reports kDeadlineExceeded even though neighbors sharing
+  // that computation get the result. Shared computations for multi-member
+  // groups run under a merged bound (the laxest member's deadline, no cancel
+  // token) so one member giving up never cancels its neighbors.
+  std::vector<StatusOr<EstimateResult>> EstimateSourceBatch(
+      const std::vector<std::string>& sources,
+      const std::vector<const RequestContext*>& ctxs);
 
   // Evaluates the DAG on the internal pool. With options.guided_exec set,
   // execution is sketch-guided: cataloged leaf sketches are reused (ad-hoc

@@ -12,9 +12,10 @@ namespace {
 // Rough per-node DAG footprint: the node itself plus map/pin overhead.
 constexpr int64_t kNodeOverheadBytes = 160;
 
-int64_t CountNodes(const ExprPtr& root) {
+// Unique node count across all roots: the canonical form shares unchanged
+// subtrees with the raw DAG, so shared nodes are charged once.
+int64_t CountNodes(std::vector<const ExprNode*> stack) {
   int64_t n = 0;
-  std::vector<const ExprNode*> stack = {root.get()};
   std::unordered_set<const ExprNode*> seen;
   while (!stack.empty()) {
     const ExprNode* node = stack.back();
@@ -39,51 +40,81 @@ int64_t CachedPlan::ComputeBytes() const {
   for (const auto& [node, entry] : products) {
     b += entry.MemoryBytes() + kNodeOverheadBytes;
   }
-  b += CountNodes(root) * kNodeOverheadBytes;
+  b += CountNodes({root.get(), canonical_root.get()}) * kNodeOverheadBytes;
   return b;
+}
+
+std::shared_ptr<CachedPlan> PlanCache::FetchAndTouch(uint64_t key) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) return nullptr;
+  it->second.last_use.store(
+      tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  return it->second.plan;
+}
+
+void PlanCache::DropInvalidated(uint64_t key,
+                                const std::shared_ptr<CachedPlan>& plan) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end() && it->second.plan == plan) {
+    EraseLocked(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(
     uint64_t key, const ExprPtr& root, const LeafFingerprintFn& leaf_fp,
-    const void* profile_token) {
+    const void* profile_token, const CanonicalFn& canonical) {
   if (!enabled()) return nullptr;
-  std::shared_ptr<CachedPlan> plan;
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = by_key_.find(key);
-    if (it != by_key_.end()) {
-      plan = it->second.plan;
-      it->second.last_use.store(
-          tick_.fetch_add(1, std::memory_order_relaxed) + 1,
-          std::memory_order_relaxed);
+  if (std::shared_ptr<CachedPlan> plan = FetchAndTouch(key);
+      plan != nullptr) {
+    // Invalidation edges checked at use: a profile change or a poisoned
+    // entry drops the plan rather than replaying stale decisions.
+    if (plan->profile_token != profile_token || std::isnan(plan->sanity)) {
+      DropInvalidated(key, plan);
+    } else if (StructuralEqual(root, plan->root, leaf_fp)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return plan;
     }
+    // Hash-collision guard: a different structure under the same key is a
+    // genuine miss, not an invalidation (the resident plan stays) — but the
+    // canonical index below still gets its chance.
   }
-  if (plan == nullptr) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
-  }
-  // Invalidation edges checked at use: a profile change or a poisoned
-  // entry drops the plan rather than replaying stale decisions.
-  if (plan->profile_token != profile_token || std::isnan(plan->sanity)) {
-    {
-      std::unique_lock<std::shared_mutex> lock(mu_);
-      auto it = by_key_.find(key);
-      if (it != by_key_.end() && it->second.plan == plan) {
-        EraseLocked(it);
-        invalidations_.fetch_add(1, std::memory_order_relaxed);
+  // Second chance: an equivalent parenthesization may have recorded a plan
+  // under a different raw key but the same canonical form.
+  if (canonical != nullptr) {
+    const auto [ckey, croot] = canonical();
+    if (croot != nullptr) {
+      uint64_t alias = 0;
+      bool indexed = false;
+      {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        auto idx = canonical_index_.find(ckey);
+        if (idx != canonical_index_.end()) {
+          alias = idx->second;
+          indexed = true;
+        }
+      }
+      if (indexed && alias != key) {
+        if (std::shared_ptr<CachedPlan> plan = FetchAndTouch(alias);
+            plan != nullptr) {
+          if (plan->profile_token != profile_token ||
+              std::isnan(plan->sanity)) {
+            DropInvalidated(alias, plan);
+          } else if (plan->canonical_root != nullptr &&
+                     StructuralEqual(croot, plan->canonical_root, leaf_fp)) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            canonical_hits_.fetch_add(1, std::memory_order_relaxed);
+            return plan;
+          }
+        }
       }
     }
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
   }
-  // Hash-collision guard: a different structure under the same key is a
-  // genuine miss, not an invalidation (the resident plan stays).
-  if (!StructuralEqual(root, plan->root, leaf_fp)) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
-  }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return plan;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
 }
 
 void PlanCache::Insert(std::shared_ptr<CachedPlan> plan) {
@@ -101,6 +132,11 @@ void PlanCache::Insert(std::shared_ptr<CachedPlan> plan) {
                       std::memory_order_relaxed);
   bytes_ += slot.plan->bytes;
   for (uint64_t fp : slot.plan->operand_fps) fp_index_[fp].insert(key);
+  // Latest insertion wins the canonical slot: all spellings are equivalent,
+  // so any representative serves the second chance.
+  if (slot.plan->canonical_root != nullptr) {
+    canonical_index_[slot.plan->canonical_key] = key;
+  }
   insertions_.fetch_add(1, std::memory_order_relaxed);
   EnforceBudgetLocked(key);
 }
@@ -129,6 +165,7 @@ int64_t PlanCache::Clear() {
   const int64_t dropped = static_cast<int64_t>(by_key_.size());
   by_key_.clear();
   fp_index_.clear();
+  canonical_index_.clear();
   bytes_ = 0;
   invalidations_.fetch_add(dropped, std::memory_order_relaxed);
   return dropped;
@@ -142,6 +179,7 @@ PlanCacheStats PlanCache::stats() const {
     s.bytes = bytes_;
   }
   s.hits = hits_.load(std::memory_order_relaxed);
+  s.canonical_hits = canonical_hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.insertions = insertions_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
@@ -157,6 +195,14 @@ void PlanCache::EraseLocked(
     if (idx == fp_index_.end()) continue;
     idx->second.erase(it->first);
     if (idx->second.empty()) fp_index_.erase(idx);
+  }
+  // The canonical slot may point at a different (newer) spelling; only
+  // detach it when it names the plan being erased.
+  if (it->second.plan->canonical_root != nullptr) {
+    auto idx = canonical_index_.find(it->second.plan->canonical_key);
+    if (idx != canonical_index_.end() && idx->second == it->first) {
+      canonical_index_.erase(idx);
+    }
   }
   by_key_.erase(it);
 }

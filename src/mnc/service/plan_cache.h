@@ -16,6 +16,18 @@
 // with differently-rounded bits than its cold execution. Hash hits are
 // verified with StructuralEqual before use.
 //
+// Canonical second chance. On a raw-key miss the cache consults a second
+// index keyed by the hash of the CANONICAL form: equivalent
+// parenthesizations from different clients ((A·B)·C vs A·(B·C)) then share
+// one recorded plan instead of each paying a cold guided run. A canonical
+// hit replays the recorded plan's own pinned DAG, so its bytes are
+// bit-identical to the recorded spelling's cold execution — equal to the
+// querying spelling's cold bits only up to FP re-association round-off
+// (the non-zero structure agrees under assumption A1, exactly the contract
+// CanonicalizeExpr already applies to estimates). Canonical hits are
+// verified by StructuralEqual over the canonical forms and counted
+// separately (canonical_hits) so operators can see the sharing work.
+//
 // What a plan holds: the pinned query DAG (node identity anchors the
 // per-product entries and the leaves pin their matrices), the recorded
 // ProductPlanEntry per product node (all guided decisions + per-row
@@ -40,6 +52,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <unordered_map>
@@ -66,6 +79,12 @@ struct CachedPlan {
   // pin their matrices and its node pointers key `products`), never the
   // caller's structurally-equal copy.
   ExprPtr root;
+  // Canonical form of `root` and its structural hash — the second-chance
+  // index entry (0/null disables the second chance for this plan). The
+  // canonical DAG shares unchanged subtrees with `root`, so the extra
+  // footprint is the re-associated spine only.
+  uint64_t canonical_key = 0;
+  ExprPtr canonical_root;
   // Content fingerprints of every leaf, sorted unique — the invalidation
   // index entries for this plan.
   std::vector<uint64_t> operand_fps;
@@ -86,6 +105,9 @@ struct PlanCacheStats {
   int64_t entries = 0;
   int64_t bytes = 0;
   int64_t hits = 0;
+  // Second-chance hits via the canonical index (a different spelling of a
+  // recorded plan); also counted in `hits`.
+  int64_t canonical_hits = 0;
   int64_t misses = 0;
   int64_t insertions = 0;
   // Plans dropped by an invalidation edge (fingerprint, clear, profile
@@ -104,13 +126,23 @@ class PlanCache {
 
   bool enabled() const { return budget_ > 0; }
 
+  // Lazily computed (canonical hash, canonical root) of the querying DAG,
+  // consulted only when the raw key misses.
+  using CanonicalFn = std::function<std::pair<uint64_t, ExprPtr>()>;
+
   // Warm lookup. Returns the plan for `key` when it verifies: structurally
   // equal to `root` (leaf fingerprints via `leaf_fp`), recorded under
   // `profile_token`, and not poisoned. A plan failing the profile or sanity
   // check is dropped (counted as an invalidation) and the lookup misses.
+  // On a raw miss with a non-null `canonical`, the canonical index gives a
+  // second chance: a plan whose canonical form matches the query's is
+  // returned (verified by StructuralEqual over the canonical forms) and
+  // counted as a canonical hit. One miss is counted only when both fail.
   std::shared_ptr<const CachedPlan> Lookup(uint64_t key, const ExprPtr& root,
                                            const LeafFingerprintFn& leaf_fp,
-                                           const void* profile_token);
+                                           const void* profile_token,
+                                           const CanonicalFn& canonical =
+                                               nullptr);
 
   // Inserts (or replaces) the plan under plan->key. The
   // "service.plan_poison" fail point corrupts the stored plan's sanity
@@ -136,14 +168,24 @@ class PlanCache {
   void EraseLocked(std::unordered_map<uint64_t, Slot>::iterator it);
   void EnforceBudgetLocked(uint64_t keep_key);
 
+  // Fetches the slot's plan under the shared lock and bumps its LRU tick;
+  // null when `key` is absent.
+  std::shared_ptr<CachedPlan> FetchAndTouch(uint64_t key);
+  // Drops `plan` if it is still resident under `key` (invalidation at use:
+  // profile mismatch or poison). Takes mu_ exclusively.
+  void DropInvalidated(uint64_t key, const std::shared_ptr<CachedPlan>& plan);
+
   const int64_t budget_;
   mutable std::shared_mutex mu_;
   std::unordered_map<uint64_t, Slot> by_key_;
   // fingerprint -> keys of the plans depending on it.
   std::unordered_map<uint64_t, std::unordered_set<uint64_t>> fp_index_;
+  // canonical hash -> raw key of a representative plan (latest inserted).
+  std::unordered_map<uint64_t, uint64_t> canonical_index_;
   int64_t bytes_ = 0;
   std::atomic<uint64_t> tick_{0};
   std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> canonical_hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> insertions_{0};
   std::atomic<int64_t> invalidations_{0};

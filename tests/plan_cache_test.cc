@@ -219,6 +219,83 @@ TEST(PlanCacheTest, StructurallyEqualCopyOfTheDagHits) {
   EXPECT_EQ(plan->root.get(), first.get());
 }
 
+TEST(PlanCacheTest, CanonicalSecondChanceSharesEquivalentParenthesizations) {
+  // (A·B)·C and A·(B·C) hash to different raw keys, but canonicalization
+  // maps both to one form: the second spelling must find the first's plan
+  // through the canonical index instead of recording a duplicate.
+  PlanCache cache(1 << 20);
+  const ExprPtr a = ExprNode::Leaf(TestMatrix(16, 16, 0.2, 1), "A");
+  const ExprPtr b = ExprNode::Leaf(TestMatrix(16, 16, 0.2, 2), "B");
+  const ExprPtr c = ExprNode::Leaf(TestMatrix(16, 16, 0.2, 3), "C");
+  const ExprPtr left = ExprNode::MatMul(ExprNode::MatMul(a, b), c);
+  const ExprPtr right = ExprNode::MatMul(a, ExprNode::MatMul(b, c));
+  const uint64_t kl = StructuralHash(left);
+  const uint64_t kr = StructuralHash(right);
+  ASSERT_NE(kl, kr);
+
+  auto plan = MakePlan(kl, left, {1, 2, 3}, nullptr);
+  plan->canonical_root = CanonicalizeExpr(left);
+  plan->canonical_key = StructuralHash(plan->canonical_root);
+  cache.Insert(plan);
+
+  // Raw lookup under the other spelling's key misses without the lazy
+  // canonical callback...
+  EXPECT_EQ(cache.Lookup(kr, right, nullptr, nullptr), nullptr);
+  // ...and hits through it: the plan returned is the recorded spelling's.
+  const PlanCache::CanonicalFn canonical = [&]() {
+    const ExprPtr croot = CanonicalizeExpr(right);
+    return std::make_pair(StructuralHash(croot), croot);
+  };
+  const auto hit = cache.Lookup(kr, right, nullptr, nullptr, canonical);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->root.get(), left.get());
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);  // canonical hits count as hits too
+  EXPECT_EQ(stats.canonical_hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1);
+
+  // The raw-keyed hit does not touch the canonical counter.
+  EXPECT_NE(cache.Lookup(kl, left, nullptr, nullptr), nullptr);
+  EXPECT_EQ(cache.stats().canonical_hits, 1);
+
+  // Invalidation reaches plans found either way: dropping a shared operand
+  // fingerprint kills the canonical route along with the raw one.
+  EXPECT_EQ(cache.InvalidateFingerprint(2), 1);
+  EXPECT_EQ(cache.Lookup(kr, right, nullptr, nullptr, canonical), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
+TEST(PlanCacheTest, CanonicalIndexSkipsSelfAndUnrelatedShapes) {
+  // A canonical alias must never "second-chance" into a structurally
+  // different plan: the hit is StructuralEqual-verified over canonical
+  // forms, so a colliding or stale index entry degrades to a miss.
+  PlanCache cache(1 << 20);
+  const ExprPtr a = ExprNode::Leaf(TestMatrix(16, 16, 0.2, 1), "A");
+  const ExprPtr b = ExprNode::Leaf(TestMatrix(16, 16, 0.2, 2), "B");
+  const ExprPtr ab = ExprNode::MatMul(a, b);
+  const ExprPtr ba = ExprNode::MatMul(b, a);
+  const uint64_t key = StructuralHash(ab);
+
+  auto plan = MakePlan(key, ab, {1, 2}, nullptr);
+  plan->canonical_root = CanonicalizeExpr(ab);
+  plan->canonical_key = StructuralHash(plan->canonical_root);
+  cache.Insert(plan);
+
+  // A canonical callback claiming B·A maps to A·B's canonical key (a
+  // simulated collision): verification rejects it, the plan survives.
+  const PlanCache::CanonicalFn collide = [&]() {
+    return std::make_pair(StructuralHash(CanonicalizeExpr(ab)),
+                          CanonicalizeExpr(ba));
+  };
+  EXPECT_EQ(cache.Lookup(StructuralHash(ba), ba, nullptr, nullptr, collide),
+            nullptr);
+  EXPECT_EQ(cache.stats().entries, 1);
+  EXPECT_EQ(cache.stats().canonical_hits, 0);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
 TEST(PlanCacheTest, InvalidateFingerprintDropsDependentPlansOnly) {
   PlanCache cache(1 << 20);
   const ExprPtr a = ExprNode::Leaf(TestMatrix(8, 8, 0.3, 1), "A");
@@ -363,6 +440,44 @@ TEST(PlanCacheServiceTest, WarmExecuteReplaysBitIdentically) {
   EXPECT_GT(stats.plan_bytes, 0);
   EXPECT_EQ(stats.packed_operands, 3);
   EXPECT_GT(stats.packed_operand_bytes, 0);
+}
+
+TEST(PlanCacheServiceTest, EquivalentParenthesizationsShareOnePlan) {
+  EstimationService service(GuidedOptions());
+  ASSERT_TRUE(service.RegisterMatrix("A", TestMatrix(48, 48, 0.1, 1)).ok());
+  ASSERT_TRUE(service.RegisterMatrix("B", TestMatrix(48, 48, 0.1, 2)).ok());
+  ASSERT_TRUE(service.RegisterMatrix("C", TestMatrix(48, 48, 0.1, 3)).ok());
+
+  // The first spelling records the plan; the re-associated spelling has a
+  // different raw structural hash but the same canonical form, so it must
+  // replay the SAME plan through the canonical second chance — executing
+  // the recorded spelling's pinned DAG, hence bit-identical output.
+  const auto first = service.ExecuteSource("(A %*% B) %*% C");
+  const auto second = service.ExecuteSource("A %*% (B %*% C)");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(BitIdentical(*first, *second));
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.plan_canonical_hits, 1);
+  EXPECT_EQ(stats.plan_hits, 1);  // the canonical hit IS the hit
+  EXPECT_EQ(stats.plan_entries, 1);
+
+  // Both spellings now serve from the one resident plan.
+  ASSERT_TRUE(service.ExecuteSource("(A %*% B) %*% C").ok());
+  ASSERT_TRUE(service.ExecuteSource("A %*% (B %*% C)").ok());
+  stats = service.stats();
+  EXPECT_EQ(stats.plan_hits, 3);
+  EXPECT_EQ(stats.plan_canonical_hits, 2);
+  EXPECT_EQ(stats.plan_entries, 1);
+
+  // Invalidation reaches the shared plan no matter which spelling found
+  // it: touching B's fingerprint drops it for both.
+  ASSERT_TRUE(
+      service.RegisterMatrix("B_alias", TestMatrix(48, 48, 0.1, 2)).ok());
+  EXPECT_EQ(service.stats().plan_entries, 0);
+  ASSERT_TRUE(service.ExecuteSource("A %*% (B %*% C)").ok());  // re-records
+  EXPECT_EQ(service.stats().plan_entries, 1);
 }
 
 TEST(PlanCacheServiceTest, ReRegistrationUnderSameFingerprintDropsPlans) {

@@ -177,5 +177,153 @@ TEST(ServeChaosTest, ServerSurvivesFaultStorm) {
   EXPECT_FALSE(server.running());
 }
 
+// Batched variant: a wide coalescing window forces pipelined bursts through
+// EstimateSourceBatch while fail points pulse AND clients slam their
+// connections shut mid-batch. Invariants: every request on a surviving
+// connection resolves (reply or typed error, never a hang), one aborted
+// neighbor never poisons the rest of its batch, the server stays up, and
+// drain completes with a batch in flight. Runs under TSan in CI.
+TEST(ServeChaosTest, BatchedStormSurvivesMidBatchConnectionCloses) {
+  EstimationService service;
+  constexpr int kMatrices = 4;
+  for (int i = 0; i < kMatrices; ++i) {
+    ASSERT_TRUE(service
+                    .RegisterMatrix("M" + std::to_string(i),
+                                    TestMatrix(40, 40, 0.1, 100 + i))
+                    .ok());
+  }
+
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.max_inflight = 32;
+  opts.max_pipeline = 8;
+  opts.batch_window_us = 2000;  // wide enough to coalesce real bursts
+  opts.max_batch = 8;
+  Server server(&service, opts);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  constexpr int kClientThreads = 6;
+  constexpr int kItersPerThread = 40;
+  std::atomic<int64_t> resolved{0};
+  std::atomic<int64_t> transport{0};
+  std::atomic<int64_t> aborted{0};  // bursts deliberately closed mid-batch
+  std::atomic<int64_t> unresolved{0};
+  std::atomic<bool> stop_chaos{false};
+
+  std::thread chaos([&] {
+    const char* points[] = {
+        "serve.deadline",       "serve.read_frame",  "serve.write_frame",
+        "service.catalog_read", "service.plan_poison",
+    };
+    int round = 0;
+    while (!stop_chaos.load(std::memory_order_acquire)) {
+      {
+        ScopedFailPoint fp(
+            points[round % (sizeof(points) / sizeof(points[0]))]);
+        std::this_thread::sleep_for(std::chrono::milliseconds(7));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++round;
+    }
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 77);
+      for (int iter = 0; iter < kItersPerThread; ++iter) {
+        ServeClient client;
+        if (!client.Connect(port, /*timeout_ms=*/2000).ok()) {
+          transport.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;
+        }
+        // One pipelined burst of batchable estimates (plus the occasional
+        // parse error sharing the batch).
+        const int burst = 2 + static_cast<int>(rng.Next() % 4);
+        int sent = 0;
+        for (int i = 0; i < burst; ++i) {
+          const std::string a = "M" + std::to_string(rng.Next() % kMatrices);
+          const std::string b = "M" + std::to_string(rng.Next() % kMatrices);
+          std::string cmd = rng.Next() % 7 == 0
+                                ? "estimate " + a + " %*%"  // bad neighbor
+                                : "estimate " + a + " %*% " + b;
+          const uint32_t deadline_ms = (rng.Next() % 3 == 0) ? 40 : 0;
+          if (!client.Send(cmd, deadline_ms).ok()) break;
+          ++sent;
+        }
+        if (sent == 0) {
+          transport.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (rng.Next() % 3 == 0) {
+          // Mid-batch abort: close while the burst is (likely) coalescing
+          // or computing. The server must drop our replies and nothing
+          // else.
+          client.Close();
+          aborted.fetch_add(sent, std::memory_order_relaxed);
+          continue;
+        }
+        for (int i = 0; i < sent; ++i) {
+          auto r = client.Receive(/*timeout_ms=*/15'000);
+          if (r.ok()) {
+            resolved.fetch_add(1, std::memory_order_relaxed);
+          } else if (r.status().code() == StatusCode::kUnavailable ||
+                     r.status().code() == StatusCode::kDeadlineExceeded ||
+                     r.status().code() == StatusCode::kDataLoss) {
+            // The connection died under a fault: the rest of the burst is
+            // gone with it.
+            transport.fetch_add(sent - i, std::memory_order_relaxed);
+            break;
+          } else {
+            ADD_FAILURE() << "unexpected resolution: "
+                          << r.status().ToString();
+            unresolved.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  for (auto& th : clients) th.join();
+  stop_chaos.store(true, std::memory_order_release);
+  chaos.join();
+
+  EXPECT_EQ(unresolved.load(), 0);
+  EXPECT_GT(resolved.load(), 0);
+  EXPECT_GT(aborted.load(), 0) << "mid-batch closes never happened";
+  const ServerStats mid = server.stats();
+  // The storm exercised the batch path for real, and faults actually bit.
+  EXPECT_GT(mid.batches, 0);
+  EXPECT_GT(mid.batched_requests, mid.batches);
+  EXPECT_GT(mid.read_faults + mid.write_faults + mid.deadline_errors, 0);
+
+  // Healthy after the storm: a fresh pipelined burst coalesces and every
+  // member answers correctly.
+  ASSERT_TRUE(server.running());
+  ServeClient clean;
+  ASSERT_TRUE(clean.Connect(port).ok());
+  constexpr int kCleanBurst = 4;
+  for (int i = 0; i < kCleanBurst; ++i) {
+    ASSERT_TRUE(clean.Send("estimate M0 %*% M1").ok());
+  }
+  for (int i = 0; i < kCleanBurst; ++i) {
+    auto r = clean.Receive(/*timeout_ms=*/10'000);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_TRUE(r->ok()) << r->status.ToString();
+    EXPECT_FALSE(r->degraded);
+  }
+
+  // Clean drain with a burst still in flight.
+  ServeClient last;
+  ASSERT_TRUE(last.Connect(port).ok());
+  ASSERT_TRUE(last.Send("estimate M2 %*% M3").ok());
+  ASSERT_TRUE(last.Send("estimate M3 %*% M2").ok());
+  server.Shutdown();
+  EXPECT_FALSE(server.running());
+}
+
 }  // namespace
 }  // namespace mnc::serve

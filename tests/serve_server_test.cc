@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -579,6 +580,199 @@ TEST_F(ServeServerTest, DrainTimeoutBoundsShutdown) {
   // (its slices notice the cancelled connection token quickly), with a
   // wide margin for slow CI machines — the point is "not 5 s".
   EXPECT_LT(elapsed, 4000);
+}
+
+TEST_F(ServeServerTest, BatchedPipelinedEstimatesAllResolve) {
+  // A wide-open coalescing window plus a pipelined burst makes batching
+  // deterministic: the burst lands in the pending buffer and is dispatched
+  // through EstimateSourceBatch, not request-by-request.
+  ServerOptions opts;
+  opts.batch_window_us = 500'000;
+  opts.max_batch = 8;
+  opts.max_pipeline = 16;
+  StartServer(opts);
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+
+  // Reference replies via the single path (memo-warm both expressions).
+  auto warm_ab = client.Call("estimate A %*% B");
+  auto warm_ba = client.Call("estimate B %*% A");
+  ASSERT_TRUE(warm_ab.ok() && warm_ab->ok());
+  ASSERT_TRUE(warm_ba.ok() && warm_ba->ok());
+  const auto memo_ab = client.Call("estimate A %*% B");
+  const auto memo_ba = client.Call("estimate B %*% A");
+  ASSERT_TRUE(memo_ab.ok() && memo_ab->ok());
+  ASSERT_TRUE(memo_ba.ok() && memo_ba->ok());
+
+  constexpr int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(
+        client.Send(i % 2 == 0 ? "estimate A %*% B" : "estimate B %*% A")
+            .ok());
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    auto r = client.Receive(/*timeout_ms=*/10'000);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_TRUE(r->ok()) << r->status.ToString();
+    EXPECT_EQ(r->served_by, "memo");
+    // Identical to the single-path reply, wall-clock timing suffix aside.
+    const auto& want = i % 2 == 0 ? memo_ab : memo_ba;
+    const std::string got_body = r->body.substr(0, r->body.find_last_of(','));
+    const std::string want_body =
+        want->body.substr(0, want->body.find_last_of(','));
+    EXPECT_EQ(got_body, want_body);
+  }
+
+  const ServerStats stats = server_->stats();
+  EXPECT_GE(stats.batches, 1);
+  // The 4 sequential warm-up Calls also ride the batch path (as singleton
+  // batches), so the counter covers every estimate on this connection.
+  EXPECT_EQ(stats.batched_requests, kRequests + 4);
+  EXPECT_EQ(stats.replies, kRequests + 4);
+  EXPECT_EQ(stats.typed_errors, 0);
+}
+
+TEST_F(ServeServerTest, BatchIsolatesBadNeighbors) {
+  // One malformed expression and one unknown name inside a coalesced batch
+  // must produce their own typed errors without poisoning the good
+  // requests sharing the batch.
+  ServerOptions opts;
+  opts.batch_window_us = 500'000;
+  opts.max_batch = 8;
+  opts.max_pipeline = 16;
+  StartServer(opts);
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+
+  const char* burst[] = {
+      "estimate A %*% B",
+      "estimate A %*%",        // parse error
+      "estimate A %*% B",
+      "estimate NOPE %*% A",   // unknown leaf
+      "estimate B %*% A",
+  };
+  for (const char* cmd : burst) ASSERT_TRUE(client.Send(cmd).ok());
+
+  int ok = 0, bad = 0;
+  for (size_t i = 0; i < std::size(burst); ++i) {
+    auto r = client.Receive(/*timeout_ms=*/10'000);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (r->ok()) {
+      EXPECT_NE(r->body.find("sparsity"), std::string::npos);
+      ++ok;
+    } else {
+      ++bad;
+    }
+  }
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(bad, 2);
+  EXPECT_GE(server_->stats().batched_requests, 5);
+
+  // The batch fault touched only its own members: the session still serves.
+  auto again = client.Call("estimate A %*% B");
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->ok());
+}
+
+TEST_F(ServeServerTest, DeadlineFailPointAppliesPerRequestInsideBatch) {
+  ServerOptions opts;
+  opts.batch_window_us = 500'000;
+  opts.max_batch = 8;
+  opts.max_pipeline = 16;
+  StartServer(opts);
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  {
+    ScopedFailPoint fp("serve.deadline");
+    constexpr int kRequests = 4;
+    for (int i = 0; i < kRequests; ++i) {
+      ASSERT_TRUE(client.Send("estimate A %*% B").ok());
+    }
+    for (int i = 0; i < kRequests; ++i) {
+      auto r = client.Receive(/*timeout_ms=*/10'000);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      // Each coalesced request carries its own expired context and answers
+      // with its own typed error — never a late answer, never degraded.
+      EXPECT_EQ(r->status.code(), StatusCode::kDeadlineExceeded);
+      EXPECT_FALSE(r->degraded);
+    }
+    EXPECT_GE(server_->stats().deadline_errors, kRequests);
+  }
+  auto r = client.Call("estimate A %*% B");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->ok());
+}
+
+TEST_F(ServeServerTest, MaxConnectionsRejectsTypedAtAcceptTime) {
+  ServerOptions opts;
+  opts.max_connections = 2;
+  StartServer(opts);
+
+  ServeClient first, second;
+  ASSERT_TRUE(first.Connect(server_->port()).ok());
+  ASSERT_TRUE(second.Connect(server_->port()).ok());
+  ASSERT_TRUE(first.Ping().ok());
+  ASSERT_TRUE(second.Ping().ok());
+
+  // The third connection gets a typed RESOURCE_EXHAUSTED frame, then EOF.
+  const int fd = ConnectRaw(server_->port());
+  ASSERT_GE(fd, 0);
+  FrameReader reader;
+  char buf[4096];
+  bool got_reject = false, got_eof = false;
+  for (int i = 0; i < 100 && !got_eof; ++i) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      got_eof = true;
+      break;
+    }
+    ASSERT_GT(n, 0);
+    reader.Append(buf, static_cast<size_t>(n));
+    auto next = reader.Next();
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    if (next->has_value()) {
+      EXPECT_EQ((*next)->type, FrameType::kError);
+      const Status st = ErrorFrameStatus(**next);
+      EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+      EXPECT_NE(st.message().find("too many connections"), std::string::npos);
+      got_reject = true;
+    }
+  }
+  ::close(fd);
+  EXPECT_TRUE(got_reject);
+  EXPECT_TRUE(got_eof);
+  {
+    const ServerStats stats = server_->stats();
+    EXPECT_EQ(stats.conn_rejected, 1);
+    EXPECT_EQ(stats.open_connections, 2);
+    EXPECT_EQ(stats.accepted, 2);  // rejected accepts are not "accepted"
+  }
+
+  // The bound tracks closes: once a slot frees, new connections are served.
+  first.Close();
+  bool served = false;
+  for (int attempt = 0; attempt < 50 && !served; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ServeClient retry;
+    if (!retry.Connect(server_->port()).ok()) continue;
+    auto r = retry.Call("estimate A %*% B", 0, /*timeout_ms=*/3000);
+    served = r.ok() && r->ok();
+  }
+  EXPECT_TRUE(served);
+}
+
+TEST_F(ServeServerTest, StatsVerbReportsServeAndPlanLines) {
+  StartServer();
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(server_->port()).ok());
+  auto r = client.Call("stats");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->ok()) << r->status.ToString();
+  // The plan line carries the canonical second-chance counter; the serve
+  // line exists only on the socket path and reports this connection.
+  EXPECT_NE(r->body.find("canonical"), std::string::npos);
+  EXPECT_NE(r->body.find("serve: 1 open connections"), std::string::npos);
+  EXPECT_NE(r->body.find("mean batch size"), std::string::npos);
 }
 
 TEST_F(ServeServerTest, ManyConnectionsConcurrently) {
